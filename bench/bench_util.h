@@ -1,0 +1,32 @@
+#ifndef NDE_BENCH_BENCH_UTIL_H_
+#define NDE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace nde {
+namespace bench {
+
+/// Prints a section banner so each experiment's output reads as one report.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Wall-clock stopwatch for coarse harness timings.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+}  // namespace nde
+
+#endif  // NDE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,168 @@
+// Experiment E10 (survey Section 2.2, refs [20, 83]): complaint-driven
+// training-data debugging at the predictive-query stage, plus the
+// calibration half of Figure 1's "Predictive Query Processing" box.
+//
+// A deployed model answers the aggregate query "predicted positive rate per
+// group". A user complains that one group's rate is too high (the region's
+// training labels were partially corrupted upward). Complaint-driven
+// debugging attributes the aggregate to individual training tuples via the
+// exact KNN-Shapley recurrence and removes the strongest contributors,
+// moving the query result toward the complaint's target — while a random
+// removal of equal size barely moves it.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "ml/knn.h"
+#include "ml/svm.h"
+#include "query/calibration.h"
+#include "query/predictive_query.h"
+
+namespace nde {
+namespace {
+
+void ComplaintSection() {
+  bench::Banner("E10a: complaint-driven debugging of an aggregate query");
+  Rng rng(42);
+  // Two spatial regions; region 1's negatives were partially mislabeled as
+  // positives at the source.
+  size_t n = 400;
+  MlDataset train;
+  train.features = Matrix(n, 2);
+  train.labels.resize(n);
+  size_t poisoned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int region = rng.NextBernoulli(0.5) ? 1 : 0;
+    train.features(i, 0) = (region == 1 ? 3.0 : -3.0) + 0.8 * rng.NextGaussian();
+    train.features(i, 1) = rng.NextGaussian();
+    int label = rng.NextBernoulli(0.3) ? 1 : 0;
+    if (region == 1 && label == 0 && rng.NextBernoulli(0.4)) {
+      label = 1;
+      ++poisoned;
+    }
+    train.labels[i] = label;
+  }
+  size_t m = 160;
+  Matrix queries(m, 2);
+  std::vector<int> groups(m);
+  for (size_t i = 0; i < m; ++i) {
+    int region = static_cast<int>(i % 2);
+    queries(i, 0) = (region == 1 ? 3.0 : -3.0) + 0.8 * rng.NextGaussian();
+    queries(i, 1) = rng.NextGaussian();
+    groups[i] = region;
+  }
+
+  KnnClassifier knn(5);
+  Status fit = knn.Fit(train);
+  NDE_CHECK(fit.ok());
+  LabelDictionary dictionary({"rejected", "accepted"});
+  std::printf("query: mean predicted P(%s) per group (true base rate 0.30)\n",
+              dictionary.Lookup(1).c_str());
+  for (const GroupAggregate& agg :
+       AggregatePositiveRate(knn, queries, groups).value()) {
+    std::printf("  %s\n", agg.ToString().c_str());
+  }
+  std::printf("(injected %zu upward label flips into group 1's region)\n",
+              poisoned);
+
+  Complaint complaint{1, ComplaintDirection::kTooHigh};
+  std::printf("\ncomplaint: group 1's rate is too high. fixing...\n");
+  std::printf("%10s %18s %18s %20s\n", "budget", "informed fix",
+              "random removal", "group-0 side effect");
+  for (size_t budget : {10u, 25u, 50u, 80u}) {
+    ComplaintFixResult fix =
+        ApplyComplaintFix(train, queries, groups, complaint, 5, budget)
+            .value();
+    // Control: random removal of the same size.
+    Rng control_rng(budget);
+    MlDataset random_removed = train.Without(
+        control_rng.SampleWithoutReplacement(train.size(), budget));
+    KnnClassifier control(5);
+    Status control_fit = control.Fit(random_removed);
+    NDE_CHECK(control_fit.ok());
+    double random_aggregate = 0.0;
+    double group0_after = 0.0;
+    for (const GroupAggregate& agg :
+         AggregatePositiveRate(control, queries, groups).value()) {
+      if (agg.group == 1) random_aggregate = agg.positive_rate;
+    }
+    // Side effect of the informed fix on group 0.
+    KnnClassifier fixed(5);
+    Status fixed_fit = fixed.Fit(train.Without(fix.removed));
+    NDE_CHECK(fixed_fit.ok());
+    for (const GroupAggregate& agg :
+         AggregatePositiveRate(fixed, queries, groups).value()) {
+      if (agg.group == 0) group0_after = agg.positive_rate;
+    }
+    std::printf("%10zu %8.4f -> %.4f %18.4f %20.4f\n", budget,
+                fix.aggregate_before, fix.aggregate_after, random_aggregate,
+                group0_after);
+  }
+  std::printf(
+      "expected shape: the informed fix drives group 1's rate toward the\n"
+      "true base rate with a budget near the corruption count, while random\n"
+      "removal barely moves it and group 0 stays untouched.\n");
+}
+
+void CalibrationSection() {
+  bench::Banner("E10b: calibrating predictive-query scores (Platt scaling)");
+  BlobsOptions options;
+  options.num_examples = 600;
+  options.num_features = 4;
+  options.separation = 1.8;  // Overlapping classes: calibration matters.
+  options.noise = 1.2;
+  MlDataset data = MakeBlobs(options);
+  Rng rng(7);
+  SplitResult split = TrainTestSplit(data, 0.5, &rng);
+  SplitResult holdout = TrainTestSplit(split.test, 0.5, &rng);
+
+  LinearSvm svm;
+  Status fit = svm.Fit(split.train);
+  NDE_CHECK(fit.ok());
+  auto decision_values = [&svm](const MlDataset& d) {
+    std::vector<double> scores(d.size());
+    for (size_t i = 0; i < d.size(); ++i) {
+      scores[i] = svm.DecisionValue(d.features.Row(i));
+    }
+    return scores;
+  };
+  // Naive probability surrogate: clamp the decision value into [0, 1].
+  auto naive_probs = [](const std::vector<double>& scores) {
+    std::vector<double> p(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      p[i] = std::min(1.0, std::max(0.0, 0.5 + scores[i]));
+    }
+    return p;
+  };
+
+  PlattCalibrator calibrator;
+  Status cal = calibrator.Fit(decision_values(holdout.train),
+                              holdout.train.labels);
+  NDE_CHECK(cal.ok());
+  std::vector<double> test_scores = decision_values(holdout.test);
+  std::vector<double> calibrated = calibrator.Calibrate(test_scores);
+  std::vector<double> naive = naive_probs(test_scores);
+
+  std::printf("%24s %14s %10s\n", "scores", "Brier", "ECE");
+  std::printf("%24s %14.4f %10.4f\n", "clamped decision value",
+              BrierScore(naive, holdout.test.labels),
+              ExpectedCalibrationError(naive, holdout.test.labels));
+  std::printf("%24s %14.4f %10.4f\n", "Platt-calibrated",
+              BrierScore(calibrated, holdout.test.labels),
+              ExpectedCalibrationError(calibrated, holdout.test.labels));
+  std::printf(
+      "expected shape: calibration lowers both Brier score and ECE, making\n"
+      "the aggregate query results trustworthy as probabilities.\n");
+}
+
+}  // namespace
+}  // namespace nde
+
+int main() {
+  nde::ComplaintSection();
+  nde::CalibrationSection();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment E1 (Figure 2): data importance for data error detection.
+//
+// Reproduces the hands-on workflow of Figure 2: inject synthetic label errors
+// into the recommendation-letters training data, observe the accuracy drop,
+// rank tuples by KNN-Shapley importance against the validation set, clean the
+// lowest-ranked tuples with the ground-truth oracle, and report the recovered
+// accuracy. Also prints the full prioritized-cleaning curve for several
+// strategies, which is the quantitative version of the figure's story.
+//
+// Paper numbers (on the authors' data): accuracy 0.76 dirty -> 0.79 after
+// cleaning 25 records. We reproduce the *shape*: dirty < cleaned, and
+// importance-ranked cleaning beats random cleaning at equal budget.
+
+#include <cstdio>
+#include <memory>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "cleaning/cleaner.h"
+#include "cleaning/strategies.h"
+#include "datagen/synthetic.h"
+#include "importance/knn_shapley.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+
+namespace nde {
+namespace {
+
+void Run() {
+  bench::Banner("E1 / Figure 2: identify data errors via data importance");
+
+  DatasetSplits splits = LoadRecommendationLetters(600, 42);
+  auto factory = []() { return std::make_unique<KnnClassifier>(1); };  // 1-NN: noise-sensitive, like the figure
+
+  double clean_accuracy =
+      TrainAndScore(factory, splits.train, splits.test).value();
+  std::printf("clean train accuracy on test: %.4f\n", clean_accuracy);
+
+  // nde.inject_labelerrors(train_df, fraction=0.1)
+  MlDataset dirty = splits.train;
+  Rng rng(7);
+  std::vector<size_t> corrupted = InjectLabelErrors(&dirty, 0.1, &rng);
+  double dirty_accuracy = TrainAndScore(factory, dirty, splits.test).value();
+  std::printf("Accuracy with data errors: %.4f (injected %zu label flips)\n",
+              dirty_accuracy, corrupted.size());
+
+  // importances = nde.knn_shapley_values(train_df_err, validation=valid_df)
+  std::vector<double> importances = KnnShapleyValues(dirty, splits.valid, 5);
+  std::vector<size_t> ranking = AscendingOrder(importances);
+
+  std::printf("\nlowest-importance tuples (top 10 of 25 shown):\n");
+  std::printf("%8s %12s %s\n", "tuple", "importance", "injected_error");
+  std::unordered_set<size_t> bad(corrupted.begin(), corrupted.end());
+  for (size_t i = 0; i < 10; ++i) {
+    size_t idx = ranking[i];
+    std::printf("%8zu %12.5f %s\n", idx, importances[idx],
+                bad.count(idx) > 0 ? "yes" : "no");
+  }
+  std::printf("precision@25 of the Shapley ranking: %.3f\n",
+              PrecisionAtK(ranking, corrupted, 25));
+
+  // train_df_err.loc[lowest] = train_df.loc[lowest]; re-evaluate.
+  OracleCleaner oracle(splits.train);
+  MlDataset cleaned = dirty;
+  std::vector<size_t> lowest(ranking.begin(), ranking.begin() + 25);
+  Status repair = oracle.Repair(&cleaned, lowest);
+  if (!repair.ok()) {
+    std::printf("oracle repair failed: %s\n", repair.ToString().c_str());
+    return;
+  }
+  double cleaned_accuracy =
+      TrainAndScore(factory, cleaned, splits.test).value();
+  std::printf(
+      "\nCleaning some records improved accuracy from %.4f to %.4f.\n",
+      dirty_accuracy, cleaned_accuracy);
+  std::printf("(paper figure: 0.76 -> 0.79 after 25 cleaned records)\n");
+
+  // Prioritized-cleaning curves: the iterative-cleaning task for attendees.
+  bench::Banner("E1b: iterative prioritized cleaning curves (test accuracy)");
+  IterativeCleaningOptions options;
+  options.budget = 60;
+  options.batch_size = 10;
+  std::vector<CleaningStrategy> strategies = {
+      RandomStrategy(), LooStrategy(), KnnShapleyStrategy(),
+      SelfConfidenceStrategy()};
+  std::printf("%-16s", "cleaned");
+  for (size_t b = 0; b <= options.budget; b += options.batch_size) {
+    std::printf("%8zu", b);
+  }
+  std::printf("\n");
+  for (const CleaningStrategy& strategy : strategies) {
+    bench::Stopwatch watch;
+    IterativeCleaningResult result =
+        IterativeClean(strategy, dirty, oracle, splits.valid, splits.test,
+                       factory, options)
+            .value();
+    std::printf("%-16s", strategy.name.c_str());
+    for (double accuracy : result.accuracy_curve) {
+      std::printf("%8.4f", accuracy);
+    }
+    std::printf("   (%.0f ms)\n", watch.ElapsedMs());
+  }
+  std::printf("\nexpected shape: importance-guided rows dominate random.\n");
+}
+
+}  // namespace
+}  // namespace nde
+
+int main() {
+  nde::Run();
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Experiment E3 (Figure 4): learning from imperfect data with Zorro-style
+// symbolic uncertainty propagation.
+//
+// Reproduces the hands-on sweep of Figure 4: for increasing percentages of
+// MNAR missing values in the `employer_rating` feature, encode the data
+// symbolically (missing cells become intervals), train a possible-models
+// object by interval gradient descent, and report the maximum worst-case loss
+// on the test set. The paper's figure shows this quantity rising with the
+// missing percentage; soundness is verified against sampled possible worlds,
+// and an imputation baseline shows what a single best-guess repair hides.
+//
+// Also prints the ablation DESIGN.md calls out: interval growth vs epochs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "ml/linear_regression.h"
+#include "uncertain/zonotope_trainer.h"
+#include "uncertain/zorro.h"
+
+namespace nde {
+namespace {
+
+/// Regression view of the hiring data: predict a "offer score" target from
+/// numeric features; employer_rating (column 2) is the uncertain feature.
+RegressionDataset MakeRegressionData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  RegressionDataset data;
+  data.features = Matrix(n, 4);
+  data.targets.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double experience = rng.NextGaussian();
+    double education = rng.NextGaussian();
+    double employer_rating = rng.NextUniform(-1.0, 1.0);
+    double followers = rng.NextGaussian();
+    data.features(i, 0) = experience;
+    data.features(i, 1) = education;
+    data.features(i, 2) = employer_rating;
+    data.features(i, 3) = followers;
+    data.targets[i] = 0.8 * experience + 0.5 * education +
+                      0.6 * employer_rating + 0.1 * followers +
+                      0.05 * rng.NextGaussian();
+  }
+  return data;
+}
+
+/// MNAR missing rows for the employer_rating column: above-median values are
+/// three times more likely to be missing.
+std::vector<size_t> MnarMissingRows(const RegressionDataset& data,
+                                    size_t column, double fraction, Rng* rng) {
+  size_t n = data.size();
+  std::vector<std::pair<double, size_t>> keys(n);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = data.features(i, column);
+  std::vector<double> sorted = values;
+  std::nth_element(sorted.begin(), sorted.begin() + n / 2, sorted.end());
+  double median = sorted[n / 2];
+  for (size_t i = 0; i < n; ++i) {
+    double weight = values[i] > median ? 3.0 : 1.0;
+    double u = std::max(rng->NextDouble(), 1e-300);
+    keys[i] = {std::pow(u, 1.0 / weight), i};
+  }
+  size_t target = static_cast<size_t>(fraction * static_cast<double>(n));
+  std::partial_sort(
+      keys.begin(), keys.begin() + static_cast<ptrdiff_t>(target), keys.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<size_t> rows;
+  rows.reserve(target);
+  for (size_t i = 0; i < target; ++i) rows.push_back(keys[i].second);
+  return rows;
+}
+
+void Run() {
+  bench::Banner(
+      "E3 / Figure 4: maximum worst-case loss vs % MNAR missing values");
+
+  const size_t kColumn = 2;  // employer_rating
+  RegressionDataset train = MakeRegressionData(200, 42);
+  RegressionDataset test = MakeRegressionData(80, 43);
+  Rng rng(7);
+
+  ZorroOptions options;
+  // Few enough epochs that the interval over-approximation stays readable;
+  // see the ablation below for how intervals blow up with longer training.
+  options.epochs = 12;
+  options.learning_rate = 0.05;
+
+  std::printf("%10s %18s %18s %16s %18s %16s\n", "missing %",
+              "interval bound", "zonotope bound", "pred width",
+              "sampled max", "imputed MSE");
+  for (int percentage : {5, 10, 15, 20, 25}) {
+    std::vector<size_t> missing =
+        MnarMissingRows(train, kColumn, percentage / 100.0, &rng);
+    // X_train_symb = nde.encode_symbolic(..., missingness="MNAR")
+    SymbolicRegressionDataset symbolic =
+        EncodeSymbolicMissing(train, missing, kColumn, -1.0, 1.0).value();
+    ZorroModel model = TrainZorro(symbolic, options).value();
+    ZonotopeModel zonotope = TrainZorroZonotope(symbolic, options).value();
+    double worst_case = MaxWorstCaseLoss(model, test);
+    double zonotope_worst_case = MaxWorstCaseLoss(zonotope, test);
+    double width = MeanPredictionWidth(model, test.features);
+
+    // Soundness spot check: the worst sampled world's max test loss must be
+    // below the symbolic bound.
+    double sampled_max = 0.0;
+    for (int world = 0; world < 10; ++world) {
+      RegressionDataset sampled = symbolic.SampleWorld(&rng);
+      std::vector<double> w = TrainConcreteGd(sampled, options);
+      for (size_t i = 0; i < test.size(); ++i) {
+        double prediction = w.back();
+        for (size_t j = 0; j < 4; ++j) {
+          prediction += w[j] * test.features(i, j);
+        }
+        double diff = prediction - test.targets[i];
+        sampled_max = std::max(sampled_max, diff * diff);
+      }
+    }
+
+    // Baseline: mean-impute the missing cells, train one model.
+    RegressionDataset imputed = train;
+    double mean_rating = 0.0;
+    size_t observed = 0;
+    std::vector<bool> is_missing(train.size(), false);
+    for (size_t i : missing) is_missing[i] = true;
+    for (size_t i = 0; i < train.size(); ++i) {
+      if (!is_missing[i]) {
+        mean_rating += train.features(i, kColumn);
+        ++observed;
+      }
+    }
+    mean_rating /= static_cast<double>(observed);
+    for (size_t i : missing) imputed.features(i, kColumn) = mean_rating;
+    RidgeRegression baseline(1e-3);
+    baseline.Fit(imputed);
+    double baseline_mse = baseline.MeanSquaredError(test);
+
+    std::printf("%9d%% %18.4f %18.4f %16.4f %18.4f %16.4f\n", percentage,
+                worst_case, zonotope_worst_case, width, sampled_max,
+                baseline_mse);
+  }
+  std::printf(
+      "\nexpected shape (paper figure): worst-case loss grows monotonically\n"
+      "with the missing percentage; every sampled world stays below both\n"
+      "bounds; the zonotope (affine-form) domain — Zorro's actual abstract\n"
+      "domain — is tighter than plain intervals; the imputed baseline\n"
+      "reports one small number and hides the uncertainty entirely.\n");
+
+  bench::Banner("E3 ablation: interval growth vs training epochs");
+  std::vector<size_t> missing =
+      MnarMissingRows(train, kColumn, 0.15, &rng);
+  SymbolicRegressionDataset symbolic =
+      EncodeSymbolicMissing(train, missing, kColumn, -1.0, 1.0).value();
+  std::printf("%8s %22s %22s\n", "epochs", "interval weight width",
+              "zonotope weight width");
+  for (size_t epochs : {5u, 15u, 30u, 60u}) {
+    ZorroOptions ablation = options;
+    ablation.epochs = epochs;
+    ZorroModel model = TrainZorro(symbolic, ablation).value();
+    ZonotopeModel zonotope = TrainZorroZonotope(symbolic, ablation).value();
+    std::printf("%8zu %22.4f %22.4f\n", epochs, model.TotalWeightWidth(),
+                zonotope.TotalWeightWidth());
+  }
+  std::printf(
+      "trade-off: more epochs fit better in every world but widen the\n"
+      "bounds; the interval domain loses dependency information every step,\n"
+      "so its error compounds much faster than the zonotope's.\n");
+}
+
+}  // namespace
+}  // namespace nde
+
+int main() {
+  nde::Run();
+  return 0;
+}

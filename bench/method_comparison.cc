@@ -1,0 +1,159 @@
+// Experiment E4 (survey Section 2.1): which importance method finds injected
+// errors best?
+//
+// Compares the full importance-method panel — random baseline, LOO,
+// TMC-Shapley, exact KNN-Shapley, Banzhaf (MSR), Beta(16,1)-Shapley,
+// influence functions, AUM, self-confidence — on two error types (label
+// flips, feature noise), reporting detection precision@k (k = number of
+// injected errors) plus the cleaning gain achieved by repairing the top-k
+// ranked tuples. Includes the proxy-model ablation of Section 2.4: rankings
+// computed with the KNN proxy evaluated by cleaning gain of a *logistic
+// regression* downstream model.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cleaning/cleaner.h"
+#include "cleaning/strategies.h"
+#include "datagen/synthetic.h"
+#include "importance/game_values.h"
+#include "importance/knn_shapley.h"
+#include "importance/utility.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace nde {
+namespace {
+
+struct MethodRow {
+  std::string name;
+  double precision_at_k = 0.0;
+  double cleaning_gain_knn = 0.0;
+  double cleaning_gain_logreg = 0.0;
+  double milliseconds = 0.0;
+};
+
+std::vector<CleaningStrategy> Panel() {
+  std::vector<CleaningStrategy> panel;
+  panel.push_back(RandomStrategy());
+  panel.push_back(LooStrategy());
+  panel.push_back(TmcShapleyStrategy(/*permutations=*/15));
+  panel.push_back(KnnShapleyStrategy());
+  // Banzhaf via the generic estimator with a KNN utility.
+  panel.push_back(CleaningStrategy{
+      "banzhaf",
+      [](const MlDataset& dirty, const MlDataset& validation,
+         uint64_t seed) -> Result<std::vector<size_t>> {
+        ModelAccuracyUtility utility(
+            []() { return std::make_unique<KnnClassifier>(5); }, dirty,
+            validation);
+        BanzhafOptions options;
+        options.num_samples = 400;
+        options.seed = seed;
+        return AscendingOrder(BanzhafValues(utility, options).values);
+      }});
+  panel.push_back(CleaningStrategy{
+      "beta_shapley(16,1)",
+      [](const MlDataset& dirty, const MlDataset& validation,
+         uint64_t seed) -> Result<std::vector<size_t>> {
+        SoftKnnUtility utility(dirty, validation, 5);
+        BetaShapleyOptions options;
+        options.alpha = 16.0;
+        options.beta = 1.0;
+        options.samples_per_unit = 6;
+        options.seed = seed;
+        return AscendingOrder(BetaShapleyValues(utility, options).values);
+      }});
+  panel.push_back(InfluenceStrategy());
+  panel.push_back(AumStrategy());
+  panel.push_back(SelfConfidenceStrategy());
+  return panel;
+}
+
+void RunScenario(const std::string& title, const MlDataset& clean_train,
+                 const MlDataset& dirty_train, const MlDataset& validation,
+                 const MlDataset& test, const std::vector<size_t>& corrupted) {
+  bench::Banner(title);
+  OracleCleaner oracle(clean_train);
+  // 1-NN as the noise-sensitive downstream model (same regime as Figure 2).
+  auto knn_factory = []() { return std::make_unique<KnnClassifier>(1); };
+  auto logreg_factory = []() { return std::make_unique<LogisticRegression>(); };
+  double dirty_knn = TrainAndScore(knn_factory, dirty_train, test).value();
+  double dirty_logreg = TrainAndScore(logreg_factory, dirty_train, test).value();
+  std::printf("dirty accuracy: knn=%.4f logreg=%.4f; %zu corrupted of %zu\n",
+              dirty_knn, dirty_logreg, corrupted.size(), dirty_train.size());
+
+  size_t k = corrupted.size();
+  std::vector<MethodRow> rows;
+  for (const CleaningStrategy& strategy : Panel()) {
+    bench::Stopwatch watch;
+    Result<std::vector<size_t>> ranking =
+        strategy.rank(dirty_train, validation, 13);
+    MethodRow row;
+    row.name = strategy.name;
+    row.milliseconds = watch.ElapsedMs();
+    if (!ranking.ok()) {
+      std::printf("%-20s failed: %s\n", strategy.name.c_str(),
+                  ranking.status().ToString().c_str());
+      continue;
+    }
+    row.precision_at_k = PrecisionAtK(*ranking, corrupted, k);
+    std::vector<size_t> top_k(ranking->begin(),
+                              ranking->begin() + static_cast<ptrdiff_t>(k));
+    MlDataset repaired = dirty_train;
+    Status repair = oracle.Repair(&repaired, top_k);
+    if (repair.ok()) {
+      row.cleaning_gain_knn =
+          TrainAndScore(knn_factory, repaired, test).value() - dirty_knn;
+      row.cleaning_gain_logreg =
+          TrainAndScore(logreg_factory, repaired, test).value() - dirty_logreg;
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("\n%-20s %14s %16s %18s %12s\n", "method", "precision@k",
+              "gain (knn)", "gain (logreg)", "time (ms)");
+  for (const MethodRow& row : rows) {
+    std::printf("%-20s %14.3f %+16.4f %+18.4f %12.0f\n", row.name.c_str(),
+                row.precision_at_k, row.cleaning_gain_knn,
+                row.cleaning_gain_logreg, row.milliseconds);
+  }
+  std::printf(
+      "expected shape: importance methods beat random detection on label\n"
+      "flips, with margin/uncertainty methods strongest; on feature noise\n"
+      "the game-theoretic values only flag the harmful subset that crossed\n"
+      "the class boundary (a strengths-and-weaknesses takeaway of the\n"
+      "survey). The logreg column shows the proxy-model caveat of \xc2\xa7"
+      "2.4.\n");
+}
+
+void Run() {
+  DatasetSplits splits = LoadRecommendationLetters(400, 42);
+
+  {
+    MlDataset dirty = splits.train;
+    Rng rng(7);
+    std::vector<size_t> corrupted = InjectLabelErrors(&dirty, 0.1, &rng);
+    RunScenario("E4a: detection of label flips (10%)", splits.train, dirty,
+                splits.valid, splits.test, corrupted);
+  }
+  {
+    MlDataset dirty = splits.train;
+    Rng rng(11);
+    std::vector<size_t> corrupted = InjectFeatureNoise(&dirty, 0.1, 6.0, &rng);
+    RunScenario("E4b: detection of heavy feature noise (10%, 6 sigma)",
+                splits.train, dirty, splits.valid, splits.test, corrupted);
+  }
+}
+
+}  // namespace
+}  // namespace nde
+
+int main() {
+  nde::Run();
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Experiment E8 (survey Section 2.3 extensions): guarantees under uncertain
+// and incomplete data.
+//
+// Four sweeps:
+//   (a) certain KNN predictions: fraction of test queries with a certain
+//       prediction vs number of uncertain training cells;
+//   (b) dataset multiplicity: fraction of label-flip-robust predictions vs
+//       flip budget;
+//   (c) certain / approximately-certain models: the "do we even need to
+//       debug?" decision vs the relevance of the missing feature;
+//   (d) fairness certification under bounded selection bias: the
+//       demographic-parity range vs the bias bound.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "ml/knn.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "uncertain/certain_knn.h"
+#include "uncertain/certain_model.h"
+#include "uncertain/fairness_range.h"
+#include "uncertain/multiplicity.h"
+#include "uncertain/poisoning.h"
+
+namespace nde {
+namespace {
+
+void CertainKnnSweep() {
+  bench::Banner("E8a: certain KNN predictions vs uncertain-cell count");
+  BlobsOptions options;
+  options.num_examples = 200;
+  options.num_features = 4;
+  options.separation = 3.0;
+  MlDataset train = MakeBlobs(options);
+  BlobsOptions query_options = options;
+  query_options.num_examples = 60;
+  query_options.seed = 7;
+  MlDataset queries = MakeBlobs(query_options);
+
+  std::printf("%18s %18s\n", "uncertain cells", "certain ratio");
+  for (size_t cells : {0u, 20u, 80u, 200u, 400u}) {
+    UncertainClassificationDataset uncertain =
+        UncertainClassificationDataset::FromConcrete(train);
+    Rng rng(11);
+    for (size_t c = 0; c < cells; ++c) {
+      uncertain.SetUncertain(rng.NextBounded(train.size()),
+                             rng.NextBounded(train.num_features()), -3.0, 3.0);
+    }
+    std::printf("%18zu %18.3f\n", cells,
+                CertainPredictionRatio(uncertain, queries.features, 5));
+  }
+  std::printf("expected shape: monotonically decreasing certainty.\n");
+}
+
+void MultiplicitySweep() {
+  bench::Banner("E8b: label-flip robustness vs flip budget");
+  Rng rng(13);
+  RegressionDataset train;
+  train.features = Matrix(150, 3);
+  train.targets.resize(150);
+  for (size_t i = 0; i < 150; ++i) {
+    int label = rng.NextBernoulli(0.5) ? 1 : 0;
+    for (size_t j = 0; j < 3; ++j) {
+      train.features(i, j) =
+          (label == 1 ? 1.0 : -1.0) + 0.7 * rng.NextGaussian();
+    }
+    train.targets[i] = static_cast<double>(label);
+  }
+  RidgeRegression model(0.1);
+  Status fit = model.Fit(train);
+  if (!fit.ok()) {
+    std::printf("fit failed: %s\n", fit.ToString().c_str());
+    return;
+  }
+  Matrix queries = train.features.SelectRows(
+      {0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140});
+  std::printf("%14s %18s\n", "flip budget", "robust ratio");
+  for (size_t flips : {0u, 2u, 5u, 10u, 25u, 60u}) {
+    double ratio =
+        LabelFlipRobustRatio(model, train.targets, queries, flips, 0.5)
+            .value();
+    std::printf("%14zu %18.3f\n", flips, ratio);
+  }
+  std::printf("expected shape: robustness decays as the budget grows.\n");
+}
+
+void CertainModelSweep() {
+  bench::Banner("E8c: certain-model checks ('do we even need to debug?')");
+  Rng rng(17);
+  std::printf("%28s %10s %22s %22s\n", "scenario", "certain",
+              "max |w_missing|", "max |residual|");
+  for (double relevance : {0.0, 0.2, 1.0}) {
+    IncompleteRegressionDataset data;
+    data.features = Matrix(80, 3);
+    data.targets.resize(80);
+    for (size_t i = 0; i < 80; ++i) {
+      for (size_t j = 0; j < 3; ++j) data.features(i, j) = rng.NextGaussian();
+      data.targets[i] =
+          2.0 * data.features(i, 0) + relevance * data.features(i, 2);
+    }
+    for (uint32_t r = 0; r < 8; ++r) data.missing_cells.push_back({r, 2});
+    CertainModelResult result =
+        CheckCertainLinearModel(data, 1e-9, 1e-4).value();
+    std::printf("%21s=%5.2f %10s %22.5f %22.5f\n", "feature2 weight",
+                relevance, result.certain ? "yes" : "no",
+                result.max_missing_feature_weight,
+                result.max_incomplete_residual);
+  }
+
+  std::printf("\napproximately-certain sweep (missing cell bounds widen):\n");
+  IncompleteRegressionDataset data;
+  data.features = Matrix(60, 2);
+  data.targets.resize(60);
+  for (size_t i = 0; i < 60; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = data.features(i, 0) + 0.3 * data.features(i, 1);
+  }
+  data.missing_cells = {{0, 1}, {5, 1}, {9, 1}};
+  std::printf("%14s %18s %22s\n", "bound", "worst-case MSE",
+              "approx certain (eps=0.1)");
+  for (double bound : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    ApproxCertainResult result =
+        CheckApproximatelyCertainModel(data, -bound, bound, 0.1).value();
+    std::printf("%14.1f %18.4f %22s\n", bound, result.worst_case_mse,
+                result.approximately_certain ? "yes" : "no");
+  }
+  std::printf("expected shape: certainty only while bounds stay tight.\n");
+}
+
+void FairnessRangeSweep() {
+  bench::Banner("E8d: demographic-parity range under bounded selection bias");
+  // A fixed classifier's predictions over two groups with a modest gap.
+  Rng rng(19);
+  std::vector<int> predictions;
+  std::vector<int> groups;
+  for (int i = 0; i < 400; ++i) {
+    int group = i % 2;
+    groups.push_back(group);
+    double rate = group == 0 ? 0.55 : 0.45;
+    predictions.push_back(rng.NextBernoulli(rate) ? 1 : 0);
+  }
+  double observed = 0.0;
+  {
+    Interval point = DemographicParityRange(predictions, groups, 1.0).value();
+    observed = point.hi();
+  }
+  std::printf("observed demographic parity difference: %.4f\n", observed);
+  std::printf("%16s %14s %14s %22s\n", "bias bound r", "range lo", "range hi",
+              "certified fair @0.25");
+  for (double r : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    Interval range = DemographicParityRange(predictions, groups, r).value();
+    bool certified =
+        CertifyFairnessUnderBias(predictions, groups, r, 0.25).value();
+    std::printf("%16.1f %14.4f %14.4f %22s\n", r, range.lo(), range.hi(),
+                certified ? "yes" : "no");
+  }
+  std::printf(
+      "expected shape: the range widens with the bias bound until the\n"
+      "fairness certificate can no longer be issued.\n");
+}
+
+void PoisoningSweep() {
+  bench::Banner("E8e: certified K-NN robustness to training-data poisoning");
+  BlobsOptions options;
+  options.num_examples = 300;
+  options.num_features = 4;
+  options.separation = 3.0;
+  MlDataset train = MakeBlobs(options);
+  BlobsOptions query_options = options;
+  query_options.num_examples = 80;
+  query_options.seed = 9;
+  query_options.center_seed = 42;  // Same task as the training set.
+  MlDataset queries = MakeBlobs(query_options);
+
+  std::printf("%16s %24s\n", "deletion budget", "certified prediction ratio");
+  for (size_t budget : {0u, 1u, 2u, 5u, 10u, 25u, 60u}) {
+    std::printf("%16zu %24.3f\n", budget,
+                CertifiedRemovalRatio(train, queries.features, 5, budget));
+  }
+  double mean_insertion = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    mean_insertion += static_cast<double>(
+        CertifiedInsertionRadius(train, queries.features.Row(q), 5));
+  }
+  mean_insertion /= static_cast<double>(queries.size());
+  std::printf("mean certified insertion radius (k=5): %.2f (max possible 4)\n",
+              mean_insertion);
+  std::printf(
+      "expected shape: the certified ratio decays with the deletion budget;\n"
+      "confidently-classified regions tolerate large budgets.\n");
+}
+
+}  // namespace
+}  // namespace nde
+
+int main() {
+  nde::CertainKnnSweep();
+  nde::MultiplicitySweep();
+  nde::CertainModelSweep();
+  nde::FairnessRangeSweep();
+  nde::PoisoningSweep();
+  return 0;
+}

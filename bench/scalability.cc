@@ -1,0 +1,141 @@
+// Experiment E5 (survey Section 2.1, "Overcoming Computational Challenges"):
+// the cost of data-importance computation, and why the KNN proxy matters.
+//
+// google-benchmark microbenchmarks of the importance estimators as the
+// training-set size n grows: exact KNN-Shapley (closed form, ~n log n per
+// validation point) against permutation-based TMC-Shapley and leave-one-out
+// with model retraining, plus the truncation-tolerance ablation. The paper's
+// point — Monte-Carlo Shapley with retraining is orders of magnitude more
+// expensive than the KNN closed form at equal n — should be visible directly
+// in the reported times.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/synthetic.h"
+#include "importance/game_values.h"
+#include "importance/knn_shapley.h"
+#include "importance/utility.h"
+#include "ml/knn.h"
+
+namespace nde {
+namespace {
+
+MlDataset MakeTrain(size_t n) {
+  BlobsOptions options;
+  options.num_examples = n;
+  options.num_features = 8;
+  options.seed = 42;
+  options.center_seed = 99;  // Shared task with the validation set.
+  return MakeBlobs(options);
+}
+
+MlDataset MakeValidation() {
+  BlobsOptions options;
+  options.num_examples = 50;
+  options.num_features = 8;
+  options.seed = 43;
+  options.center_seed = 99;
+  return MakeBlobs(options);
+}
+
+void BM_KnnShapleyExact(benchmark::State& state) {
+  MlDataset train = MakeTrain(static_cast<size_t>(state.range(0)));
+  MlDataset validation = MakeValidation();
+  for (auto _ : state) {
+    std::vector<double> values = KnnShapleyValues(train, validation, 5);
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnnShapleyExact)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_TmcShapleyRetraining(benchmark::State& state) {
+  MlDataset train = MakeTrain(static_cast<size_t>(state.range(0)));
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  TmcShapleyOptions options;
+  options.num_permutations = 3;
+  options.truncation_tolerance = 0.0;
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation);
+    MonteCarloEstimate estimate = TmcShapleyValues(utility, options);
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TmcShapleyRetraining)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TmcShapleyTruncation(benchmark::State& state) {
+  // Ablation: truncation tolerance vs cost at fixed n.
+  MlDataset train = MakeTrain(150);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  TmcShapleyOptions options;
+  options.num_permutations = 3;
+  options.truncation_tolerance = static_cast<double>(state.range(0)) / 1000.0;
+  size_t evaluations = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation);
+    MonteCarloEstimate estimate = TmcShapleyValues(utility, options);
+    benchmark::DoNotOptimize(estimate);
+    evaluations += estimate.utility_evaluations;
+    ++iterations;
+  }
+  state.counters["utility_evals"] = benchmark::Counter(
+      static_cast<double>(evaluations) / static_cast<double>(iterations));
+}
+BENCHMARK(BM_TmcShapleyTruncation)
+    ->Arg(0)     // No truncation.
+    ->Arg(20)    // 0.02 tolerance.
+    ->Arg(100)   // 0.10 tolerance.
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LeaveOneOutRetraining(benchmark::State& state) {
+  MlDataset train = MakeTrain(static_cast<size_t>(state.range(0)));
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation);
+    std::vector<double> values = LeaveOneOutValues(utility);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_LeaveOneOutRetraining)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BanzhafMsr(benchmark::State& state) {
+  MlDataset train = MakeTrain(static_cast<size_t>(state.range(0)));
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  BanzhafOptions options;
+  options.num_samples = 100;
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation);
+    MonteCarloEstimate estimate = BanzhafValues(utility, options);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+BENCHMARK(BM_BanzhafMsr)->Arg(50)->Arg(100)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nde
+
+BENCHMARK_MAIN();

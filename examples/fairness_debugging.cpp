@@ -1,0 +1,93 @@
+// Fairness debugging end to end: find the training-data pattern responsible
+// for an equalized-odds violation (Gopher-style, Section 2.1), then ask
+// whether the fairness of the fixed model can be *certified* under bounded
+// selection bias (consistent range approximation, Section 2.3).
+//
+// Build & run:  ./build/examples/fairness_debugging
+
+#include <cstdio>
+#include <memory>
+
+#include "nde/nde.h"
+
+int main() {
+  using namespace nde;
+
+  // Synthetic hiring data where group "b" applicants had most of their
+  // positive outcomes recorded as negative — systematic label bias.
+  Rng rng(42);
+  auto make_dataset = [&rng](size_t n, bool biased,
+                             std::vector<std::string>* group_names,
+                             std::vector<int>* groups) {
+    MlDataset data;
+    data.features = Matrix(n, 3);
+    data.labels.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      int group = rng.NextBernoulli(0.5) ? 1 : 0;
+      int label = rng.NextBernoulli(0.5) ? 1 : 0;
+      data.features(i, 0) = static_cast<double>(group);
+      double direction = label == 1 ? 1.5 : -1.5;
+      data.features(i, 1) = direction + 0.5 * rng.NextGaussian();
+      data.features(i, 2) = direction + 0.5 * rng.NextGaussian();
+      if (biased && group == 1 && label == 1 && rng.NextBernoulli(0.8)) {
+        label = 0;
+      }
+      data.labels[i] = label;
+      if (group_names != nullptr) {
+        group_names->push_back(group == 1 ? "b" : "a");
+      }
+      if (groups != nullptr) groups->push_back(group);
+    }
+    return data;
+  };
+
+  std::vector<std::string> train_groups;
+  MlDataset train = make_dataset(300, /*biased=*/true, &train_groups, nullptr);
+  std::vector<int> val_groups;
+  MlDataset validation = make_dataset(150, /*biased=*/false, nullptr,
+                                      &val_groups);
+
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+
+  // Step 1: measure the damage.
+  std::unique_ptr<Classifier> model = factory();
+  if (!model->Fit(train).ok()) return 1;
+  std::vector<int> predictions = model->Predict(validation.features);
+  std::printf("validation accuracy: %.4f\n",
+              Accuracy(validation.labels, predictions));
+  std::printf("equalized-odds difference: %.4f\n",
+              EqualizedOddsDifference(validation.labels, predictions,
+                                      val_groups));
+  std::printf("demographic-parity difference: %.4f\n\n",
+              DemographicParityDifference(predictions, val_groups));
+
+  // Step 2: Gopher-style explanation — which training pattern, when removed,
+  // most improves fairness?
+  Table attributes = TableBuilder().AddStringColumn("g", train_groups).Build();
+  GopherOptions gopher;
+  gopher.max_conditions = 1;
+  gopher.top_k = 4;
+  std::printf("top fairness-debugging patterns (remove-and-retrain):\n");
+  std::vector<FairnessPattern> patterns =
+      ExplainFairness(factory, train, attributes, validation, val_groups,
+                      gopher)
+          .value();
+  for (const FairnessPattern& pattern : patterns) {
+    std::printf("  %s\n", pattern.ToString().c_str());
+  }
+
+  // Step 3: certification under selection bias — even if the *observed*
+  // fairness gap is small, how robust is that conclusion if each group's
+  // examples were sampled with up-to-r-fold unknown propensity skew?
+  std::printf("\nfairness certification under bounded selection bias:\n");
+  for (double r : {1.0, 1.5, 2.0, 4.0}) {
+    Interval range =
+        DemographicParityRange(predictions, val_groups, r).value();
+    bool certified =
+        CertifyFairnessUnderBias(predictions, val_groups, r, 0.3).value();
+    std::printf("  bias bound %.1f: DP range %s -> %s\n", r,
+                range.ToString().c_str(),
+                certified ? "certified fair (<= 0.3)" : "cannot certify");
+  }
+  return 0;
+}

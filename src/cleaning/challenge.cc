@@ -1,0 +1,121 @@
+#include "cleaning/challenge.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/synthetic.h"
+#include "ml/metrics.h"
+
+namespace nde {
+
+DataDebuggingChallenge::DataDebuggingChallenge(MlDataset clean_train,
+                                               MlDataset validation,
+                                               MlDataset hidden_test,
+                                               ClassifierFactory factory,
+                                               const ChallengeOptions& options)
+    : clean_train_(std::move(clean_train)),
+      validation_(std::move(validation)),
+      hidden_test_(std::move(hidden_test)),
+      factory_(std::move(factory)),
+      options_(options) {
+  NDE_CHECK(factory_ != nullptr);
+  dirty_train_ = clean_train_;
+  Rng rng(options_.seed);
+  std::vector<size_t> label_errors =
+      InjectLabelErrors(&dirty_train_, options_.label_error_fraction, &rng);
+  std::vector<size_t> noisy = InjectFeatureNoise(
+      &dirty_train_, options_.feature_noise_fraction, 3.0, &rng);
+  std::unordered_set<size_t> all(label_errors.begin(), label_errors.end());
+  all.insert(noisy.begin(), noisy.end());
+  corrupted_.assign(all.begin(), all.end());
+  std::sort(corrupted_.begin(), corrupted_.end());
+
+  Result<double> baseline = Score(dirty_train_);
+  NDE_CHECK(baseline.ok()) << baseline.status().ToString();
+  baseline_score_ = baseline.value();
+}
+
+Result<double> DataDebuggingChallenge::Score(const MlDataset& train) const {
+  return TrainAndScore(factory_, train, hidden_test_);
+}
+
+DataDebuggingChallenge::ParticipantState& DataDebuggingChallenge::GetOrCreate(
+    const std::string& participant) {
+  auto it = participants_.find(participant);
+  if (it == participants_.end()) {
+    ParticipantState state;
+    state.working_copy = dirty_train_;
+    state.cleaned.assign(dirty_train_.size(), false);
+    state.best_score = baseline_score_;
+    it = participants_.emplace(participant, std::move(state)).first;
+  }
+  return it->second;
+}
+
+Result<double> DataDebuggingChallenge::SubmitCleaningRequest(
+    const std::string& participant, const std::vector<size_t>& ids) {
+  ParticipantState& state = GetOrCreate(participant);
+  // Count only not-yet-cleaned ids against the budget.
+  std::unordered_set<size_t> fresh;
+  for (size_t id : ids) {
+    if (id >= dirty_train_.size()) {
+      return Status::OutOfRange(StrFormat("tuple id %zu out of range", id));
+    }
+    if (!state.cleaned[id]) fresh.insert(id);
+  }
+  if (state.budget_used + fresh.size() > options_.cleaning_budget) {
+    return Status::FailedPrecondition(
+        StrFormat("budget exceeded: %zu new tuples requested, %zu remaining",
+                  fresh.size(),
+                  options_.cleaning_budget - state.budget_used));
+  }
+  for (size_t id : fresh) {
+    state.cleaned[id] = true;
+    state.working_copy.labels[id] = clean_train_.labels[id];
+    for (size_t j = 0; j < clean_train_.features.cols(); ++j) {
+      state.working_copy.features(id, j) = clean_train_.features(id, j);
+    }
+  }
+  state.budget_used += fresh.size();
+  state.tuples_cleaned += fresh.size();
+  NDE_ASSIGN_OR_RETURN(double score, Score(state.working_copy));
+  if (score > state.best_score) state.best_score = score;
+  return score;
+}
+
+size_t DataDebuggingChallenge::RemainingBudget(
+    const std::string& participant) const {
+  auto it = participants_.find(participant);
+  if (it == participants_.end()) return options_.cleaning_budget;
+  return options_.cleaning_budget - it->second.budget_used;
+}
+
+std::string DataDebuggingChallenge::LeaderboardEntry::ToString() const {
+  return StrFormat("%-20s score=%.4f cleaned=%zu", participant.c_str(),
+                   best_score, tuples_cleaned);
+}
+
+std::vector<DataDebuggingChallenge::LeaderboardEntry>
+DataDebuggingChallenge::Leaderboard() const {
+  std::vector<LeaderboardEntry> entries;
+  entries.reserve(participants_.size());
+  for (const auto& [name, state] : participants_) {
+    entries.push_back(
+        LeaderboardEntry{name, state.best_score, state.tuples_cleaned});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const LeaderboardEntry& a, const LeaderboardEntry& b) {
+              if (a.best_score != b.best_score) {
+                return a.best_score > b.best_score;
+              }
+              if (a.tuples_cleaned != b.tuples_cleaned) {
+                return a.tuples_cleaned < b.tuples_cleaned;
+              }
+              return a.participant < b.participant;
+            });
+  return entries;
+}
+
+}  // namespace nde

@@ -1,0 +1,93 @@
+#ifndef NDE_CLEANING_CHALLENGE_H_
+#define NDE_CLEANING_CHALLENGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// Configuration for the data-debugging challenge of Section 3.2.
+struct ChallengeOptions {
+  double label_error_fraction = 0.15;  ///< hidden label flips in the train set
+  double feature_noise_fraction = 0.05;
+  size_t cleaning_budget = 40;         ///< per-participant oracle budget
+  uint64_t seed = 42;
+};
+
+/// The final hands-on exercise: participants see a dirty training set, a
+/// validation set and a classifier, and may ask a budget-limited oracle to
+/// clean specific tuples. The oracle retrains on the partially cleaned data
+/// and reports the metric on a *hidden* test set; a leaderboard tracks the
+/// best submissions.
+class DataDebuggingChallenge {
+ public:
+  /// Builds the challenge from clean splits; errors are injected internally
+  /// (the participants never see which rows were corrupted).
+  DataDebuggingChallenge(MlDataset clean_train, MlDataset validation,
+                         MlDataset hidden_test, ClassifierFactory factory,
+                         const ChallengeOptions& options = {});
+
+  /// The corrupted training data participants work with.
+  const MlDataset& dirty_train() const { return dirty_train_; }
+  const MlDataset& validation() const { return validation_; }
+
+  /// Hidden-test accuracy of the model trained on the *uncleaned* data.
+  double BaselineScore() const { return baseline_score_; }
+
+  /// Asks the oracle to clean `ids` for `participant`. Cleaning is
+  /// cumulative per participant; ids beyond the remaining budget are
+  /// rejected (nothing is cleaned). Returns the hidden-test accuracy after
+  /// retraining on the participant's partially cleaned copy.
+  Result<double> SubmitCleaningRequest(const std::string& participant,
+                                       const std::vector<size_t>& ids);
+
+  /// Remaining oracle budget for `participant`.
+  size_t RemainingBudget(const std::string& participant) const;
+
+  struct LeaderboardEntry {
+    std::string participant;
+    double best_score = 0.0;
+    size_t tuples_cleaned = 0;
+
+    std::string ToString() const;
+  };
+
+  /// Best score per participant, descending (ties: fewer cleaned tuples
+  /// first, then name).
+  std::vector<LeaderboardEntry> Leaderboard() const;
+
+  /// Ground-truth corrupted indices (for post-hoc analysis / scoring only —
+  /// a real deployment would keep this private).
+  const std::vector<size_t>& corrupted_indices() const { return corrupted_; }
+
+ private:
+  struct ParticipantState {
+    MlDataset working_copy;
+    std::vector<bool> cleaned;
+    size_t budget_used = 0;
+    double best_score = 0.0;
+    size_t tuples_cleaned = 0;
+  };
+
+  Result<double> Score(const MlDataset& train) const;
+  ParticipantState& GetOrCreate(const std::string& participant);
+
+  MlDataset clean_train_;
+  MlDataset dirty_train_;
+  MlDataset validation_;
+  MlDataset hidden_test_;
+  ClassifierFactory factory_;
+  ChallengeOptions options_;
+  std::vector<size_t> corrupted_;
+  double baseline_score_ = 0.0;
+  std::map<std::string, ParticipantState> participants_;
+};
+
+}  // namespace nde
+
+#endif  // NDE_CLEANING_CHALLENGE_H_

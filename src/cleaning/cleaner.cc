@@ -1,0 +1,78 @@
+#include "cleaning/cleaner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "ml/metrics.h"
+
+namespace nde {
+
+OracleCleaner::OracleCleaner(MlDataset clean) : clean_(std::move(clean)) {
+  Status s = clean_.Validate();
+  NDE_CHECK(s.ok()) << s.ToString();
+}
+
+Status OracleCleaner::Repair(MlDataset* dirty,
+                             const std::vector<size_t>& indices) const {
+  if (dirty == nullptr) {
+    return Status::InvalidArgument("dirty dataset must be non-null");
+  }
+  if (dirty->size() != clean_.size() ||
+      dirty->features.cols() != clean_.features.cols()) {
+    return Status::InvalidArgument(
+        "dirty dataset is not row-aligned with the oracle's ground truth");
+  }
+  for (size_t i : indices) {
+    if (i >= clean_.size()) {
+      return Status::OutOfRange(StrFormat("row %zu out of range", i));
+    }
+    dirty->labels[i] = clean_.labels[i];
+    for (size_t j = 0; j < clean_.features.cols(); ++j) {
+      dirty->features(i, j) = clean_.features(i, j);
+    }
+  }
+  return Status::OK();
+}
+
+Result<IterativeCleaningResult> IterativeClean(
+    const CleaningStrategy& strategy, MlDataset dirty,
+    const OracleCleaner& oracle, const MlDataset& validation,
+    const MlDataset& test, const ClassifierFactory& factory,
+    const IterativeCleaningOptions& options) {
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  IterativeCleaningResult result;
+  NDE_ASSIGN_OR_RETURN(double baseline,
+                       TrainAndScore(factory, dirty, test));
+  result.accuracy_curve.push_back(baseline);
+
+  std::unordered_set<size_t> already_cleaned;
+  size_t remaining = std::min(options.budget, dirty.size());
+  uint64_t round_seed = options.seed;
+  while (remaining > 0) {
+    NDE_ASSIGN_OR_RETURN(std::vector<size_t> ranking,
+                         strategy.rank(dirty, validation, round_seed));
+    ++round_seed;
+    std::vector<size_t> batch;
+    for (size_t idx : ranking) {
+      if (batch.size() >= std::min(options.batch_size, remaining)) break;
+      if (already_cleaned.count(idx) > 0) continue;
+      batch.push_back(idx);
+    }
+    if (batch.empty()) break;  // Everything reachable is already cleaned.
+    NDE_RETURN_IF_ERROR(oracle.Repair(&dirty, batch));
+    for (size_t idx : batch) {
+      already_cleaned.insert(idx);
+      result.cleaned_order.push_back(idx);
+    }
+    remaining -= batch.size();
+    NDE_ASSIGN_OR_RETURN(double accuracy,
+                         TrainAndScore(factory, dirty, test));
+    result.accuracy_curve.push_back(accuracy);
+  }
+  return result;
+}
+
+}  // namespace nde

@@ -1,0 +1,59 @@
+#ifndef NDE_CLEANING_CLEANER_H_
+#define NDE_CLEANING_CLEANER_H_
+
+#include <vector>
+
+#include "cleaning/strategies.h"
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// The "oracle" cleaning function of the hands-on session: it holds the
+/// ground-truth dataset and restores requested rows (label and features) in
+/// the participant's dirty copy.
+class OracleCleaner {
+ public:
+  /// `clean` is the ground truth, row-aligned with the dirty dataset.
+  explicit OracleCleaner(MlDataset clean);
+
+  /// Restores the given rows of `dirty` to their ground-truth state.
+  /// Out-of-range indices are an error; duplicates are fine (idempotent).
+  Status Repair(MlDataset* dirty, const std::vector<size_t>& indices) const;
+
+  const MlDataset& clean() const { return clean_; }
+
+ private:
+  MlDataset clean_;
+};
+
+/// Trace of an iterative prioritized-cleaning run (the Figure 2 "task for
+/// attendees": re-rank, clean a batch, measure, repeat).
+struct IterativeCleaningResult {
+  /// accuracy_curve[b] = test accuracy after cleaning b batches
+  /// (accuracy_curve[0] is the dirty baseline).
+  std::vector<double> accuracy_curve;
+  /// All indices cleaned, in cleaning order.
+  std::vector<size_t> cleaned_order;
+};
+
+struct IterativeCleaningOptions {
+  size_t budget = 50;       ///< total rows that may be cleaned
+  size_t batch_size = 10;   ///< rows cleaned between re-rankings
+  uint64_t seed = 42;
+};
+
+/// Runs iterative prioritized cleaning: rank suspects on the current dirty
+/// data with `strategy`, repair the top `batch_size` not-yet-cleaned rows via
+/// the oracle, retrain and record test accuracy, and repeat until the budget
+/// is exhausted.
+Result<IterativeCleaningResult> IterativeClean(
+    const CleaningStrategy& strategy, MlDataset dirty,
+    const OracleCleaner& oracle, const MlDataset& validation,
+    const MlDataset& test, const ClassifierFactory& factory,
+    const IterativeCleaningOptions& options = {});
+
+}  // namespace nde
+
+#endif  // NDE_CLEANING_CLEANER_H_

@@ -1,0 +1,58 @@
+#ifndef NDE_COMMON_CHECK_H_
+#define NDE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace nde {
+namespace internal {
+
+/// Stream sink that aborts the process when destroyed. Used by `NDE_CHECK` to
+/// collect a human-readable failure message before terminating.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "NDE_CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nde
+
+/// Aborts the process with a message when `condition` is false. For invariant
+/// violations and programming errors only; expected failures use Status.
+///
+///     NDE_CHECK(i < n) << "index " << i << " out of bounds";
+#define NDE_CHECK(condition)                                        \
+  if (condition) {                                                  \
+  } else /* NOLINT */                                               \
+    ::nde::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+/// Equality/comparison conveniences.
+#define NDE_CHECK_EQ(a, b) NDE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NDE_CHECK_NE(a, b) NDE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NDE_CHECK_LT(a, b) NDE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NDE_CHECK_LE(a, b) NDE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NDE_CHECK_GT(a, b) NDE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NDE_CHECK_GE(a, b) NDE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // NDE_COMMON_CHECK_H_

@@ -1,0 +1,102 @@
+#ifndef NDE_COMMON_RESULT_H_
+#define NDE_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace nde {
+
+/// Value-or-error holder, the return type of fallible functions that produce
+/// a value. Analogous to `absl::StatusOr<T>` / `arrow::Result<T>`.
+///
+/// A `Result<T>` is exactly one of:
+///   - a value of type `T` (then `ok()` is true and `status()` is OK), or
+///   - a non-OK `Status` describing why no value exists.
+///
+/// Accessing the value of a non-OK result is a programming error and aborts
+/// via `NDE_CHECK`.
+///
+///     Result<Table> t = Table::FromCsv(path);
+///     if (!t.ok()) return t.status();
+///     Use(t.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit on purpose: allows `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit on purpose: allows
+  /// `return Status::InvalidArgument(...)`). Constructing from an OK status
+  /// is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    NDE_CHECK(!std::get<Status>(repr_).ok())
+        << "Result<T> must not be constructed from an OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is present, otherwise the stored error.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Precondition: `ok()`.
+  const T& value() const& {
+    NDE_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    NDE_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  /// Rvalue overload returns the value BY VALUE (moved out), not as T&&:
+  /// a reference into the spent temporary would dangle in the common
+  /// `for (auto& x : Fallible().value())` pattern, while a prvalue is
+  /// lifetime-extended by the range-for.
+  T value() && {
+    NDE_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error; on success binds
+/// the value to `lhs`. Usable in functions returning Status or Result<U>.
+#define NDE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  NDE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      NDE_MACRO_CONCAT_(nde_result_tmp_, __LINE__), lhs, rexpr)
+
+#define NDE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define NDE_MACRO_CONCAT_INNER_(a, b) a##b
+#define NDE_MACRO_CONCAT_(a, b) NDE_MACRO_CONCAT_INNER_(a, b)
+
+}  // namespace nde
+
+#endif  // NDE_COMMON_RESULT_H_

@@ -1,0 +1,241 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+namespace {
+
+/// Splits one CSV record honoring double-quoted fields ("" escapes a quote).
+std::vector<std::string> SplitCsvRecord(const std::string& line,
+                                        char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
+  }
+  // Drop trailing blank lines.
+  while (!lines.empty() && StripWhitespace(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> names;
+  size_t first_data_line = 0;
+  std::vector<std::string> first = SplitCsvRecord(lines[0], options.delimiter);
+  if (options.has_header) {
+    for (auto& n : first) names.emplace_back(StripWhitespace(n));
+    first_data_line = 1;
+  } else {
+    for (size_t i = 0; i < first.size(); ++i) {
+      names.push_back(StrFormat("c%zu", i));
+    }
+  }
+  size_t num_cols = names.size();
+
+  // Pass 1: collect raw cells and infer per-column types.
+  std::vector<std::vector<std::string>> records;
+  records.reserve(lines.size() - first_data_line);
+  for (size_t i = first_data_line; i < lines.size(); ++i) {
+    std::vector<std::string> fields =
+        SplitCsvRecord(lines[i], options.delimiter);
+    if (fields.size() != num_cols) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", i + 1,
+                    fields.size(), num_cols));
+    }
+    records.push_back(std::move(fields));
+  }
+
+  auto is_null_cell = [&options](const std::string& raw) {
+    std::string trimmed(StripWhitespace(raw));
+    return trimmed.empty() || trimmed == options.null_marker;
+  };
+
+  std::vector<DataType> types(num_cols, DataType::kInt64);
+  std::vector<bool> saw_value(num_cols, false);
+  for (const auto& record : records) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& raw = record[c];
+      if (is_null_cell(raw)) continue;
+      saw_value[c] = true;
+      std::string trimmed(StripWhitespace(raw));
+      int64_t iv;
+      double dv;
+      if (types[c] == DataType::kInt64 && !ParseInt64(trimmed, &iv)) {
+        types[c] = DataType::kDouble;
+      }
+      if (types[c] == DataType::kDouble && !ParseDouble(trimmed, &dv)) {
+        types[c] = DataType::kString;
+      }
+    }
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (!saw_value[c]) types[c] = DataType::kString;  // All-null: default.
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    fields.push_back(Field{names[c], types[c]});
+  }
+  Table table{Schema(std::move(fields))};
+
+  // Pass 2: materialize typed cells.
+  for (const auto& record : records) {
+    std::vector<Value> row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& raw = record[c];
+      if (is_null_cell(raw)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      std::string trimmed(StripWhitespace(raw));
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t iv = 0;
+          ParseInt64(trimmed, &iv);
+          row.emplace_back(iv);
+          break;
+        }
+        case DataType::kDouble: {
+          double dv = 0.0;
+          ParseDouble(trimmed, &dv);
+          row.emplace_back(dv);
+          break;
+        }
+        case DataType::kString:
+          row.emplace_back(raw);
+          break;
+      }
+    }
+    NDE_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) os << delimiter;
+    const std::string& name = table.schema().field(c).name;
+    os << (NeedsQuoting(name, delimiter) ? QuoteField(name) : name);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << delimiter;
+      std::string cell = table.At(r, c).ToString();
+      os << (NeedsQuoting(cell, delimiter) ? QuoteField(cell) : cell);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  out << WriteCsvString(table, delimiter);
+  if (!out) {
+    return Status::IOError(StrFormat("failed writing '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace nde

@@ -1,0 +1,42 @@
+#ifndef NDE_DATA_CSV_H_
+#define NDE_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace nde {
+
+/// Options controlling CSV parsing.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true, the first line provides column names; otherwise columns are
+  /// named "c0", "c1", ...
+  bool has_header = true;
+  /// Cells equal to this marker (after trimming) are parsed as null, in
+  /// addition to empty cells.
+  std::string null_marker = "n/a";
+};
+
+/// Parses CSV text into a Table. Column types are inferred from the data:
+/// a column is int64 if every non-null cell parses as an integer, double if
+/// every non-null cell parses as a number, and string otherwise.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Serializes a table to CSV text (header included, nulls as empty cells,
+/// fields containing the delimiter/quotes/newlines are double-quoted).
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace nde
+
+#endif  // NDE_DATA_CSV_H_

@@ -1,0 +1,62 @@
+#include "data/value.h"
+
+#include <sstream>
+
+namespace nde {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType Value::type() const {
+  NDE_CHECK(!is_null()) << "null Value has no dynamic type";
+  if (is_double()) return DataType::kDouble;
+  if (is_int64()) return DataType::kInt64;
+  return DataType::kString;
+}
+
+bool Value::MatchesType(DataType type) const {
+  return is_null() || this->type() == type;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_string()) return as_string();
+  std::ostringstream os;
+  if (is_double()) {
+    os << as_double();
+  } else {
+    os << as_int64();
+  }
+  return os.str();
+}
+
+size_t Value::Hash() const {
+  // Type tag mixed with the per-type hash; keeps 1.0 and int64{1} distinct.
+  size_t seed = static_cast<size_t>(repr_.index()) * 0x9e3779b97f4a7c15ULL;
+  size_t h = 0;
+  if (is_double()) {
+    double d = as_double();
+    if (d == 0.0) d = 0.0;  // Collapse -0.0 and +0.0.
+    h = std::hash<double>{}(d);
+  } else if (is_int64()) {
+    h = std::hash<int64_t>{}(as_int64());
+  } else if (is_string()) {
+    h = std::hash<std::string>{}(as_string());
+  }
+  return seed ^ (h + 0x9e3779b9 + (seed << 6) + (seed >> 2));
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace nde

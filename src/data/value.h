@@ -1,0 +1,108 @@
+#ifndef NDE_DATA_VALUE_H_
+#define NDE_DATA_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/check.h"
+
+namespace nde {
+
+/// Logical column types supported by the table layer.
+enum class DataType {
+  kDouble = 0,
+  kInt64 = 1,
+  kString = 2,
+};
+
+/// Canonical lowercase name of a data type ("double", "int64", "string").
+const char* DataTypeToString(DataType type);
+
+/// A dynamically typed cell value: null, double, int64 or string.
+///
+/// `Value` is the unit of data flowing through pipeline operators before
+/// feature encoding turns rows into numeric vectors. Nulls model missing
+/// values — a first-class citizen in this library, since missing data is one
+/// of the core error types the paper studies.
+class Value {
+ public:
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+
+  /// Typed constructors (implicit on purpose: cells are written frequently).
+  Value(double v) : repr_(v) {}               // NOLINT(runtime/explicit)
+  Value(int64_t v) : repr_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : repr_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// Typed accessors. Preconditions: matching type (checked).
+  double as_double() const {
+    NDE_CHECK(is_double()) << "Value is not a double: " << ToString();
+    return std::get<double>(repr_);
+  }
+  int64_t as_int64() const {
+    NDE_CHECK(is_int64()) << "Value is not an int64: " << ToString();
+    return std::get<int64_t>(repr_);
+  }
+  const std::string& as_string() const {
+    NDE_CHECK(is_string()) << "Value is not a string: " << ToString();
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric view: double as-is, int64 widened. Precondition: numeric.
+  double AsNumeric() const {
+    if (is_double()) return std::get<double>(repr_);
+    NDE_CHECK(is_int64()) << "Value is not numeric: " << ToString();
+    return static_cast<double>(std::get<int64_t>(repr_));
+  }
+
+  /// The dynamic type of a non-null value. Precondition: !is_null().
+  DataType type() const;
+
+  /// True when the value is null or its dynamic type equals `type`.
+  bool MatchesType(DataType type) const;
+
+  /// Human/CSV-facing rendering; null renders as the empty string.
+  std::string ToString() const;
+
+  /// Exact equality: null == null, and values of different types are unequal.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Ordering for sort/group operations: null < double < int64 < string, with
+  /// natural ordering within a type. (Cross-type numeric comparison is not
+  /// performed; columns are homogeneous.)
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.repr_ < b.repr_;
+  }
+
+  /// Hash usable in hash-join and group-by tables.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, double, int64_t, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace nde
+
+#endif  // NDE_DATA_VALUE_H_

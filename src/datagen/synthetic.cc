@@ -1,0 +1,423 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+namespace {
+
+const char* const kPositiveTokens[] = {
+    "outstanding", "dedicated",  "brilliant", "reliable",   "innovative",
+    "thorough",    "exceptional", "driven",   "meticulous", "inspiring",
+    "talented",    "proactive",  "insightful", "capable",   "commendable",
+    "exemplary",   "diligent",   "creative",  "trustworthy", "impressive"};
+
+const char* const kNegativeTokens[] = {
+    "unreliable", "careless",   "dismissive", "disorganized", "inconsistent",
+    "negligent",  "uninspired", "apathetic",  "problematic",  "unprofessional",
+    "tardy",      "distracted", "unmotivated", "abrasive",    "sloppy",
+    "evasive",    "overbearing", "unprepared", "indifferent", "concerning"};
+
+const char* const kNeutralTokens[] = {
+    "project", "team",     "report",   "meeting", "analysis", "deadline",
+    "process", "client",   "software", "budget",  "schedule", "document",
+    "summary", "workflow", "training", "review",  "quarter",  "task",
+    "office",  "feedback", "the",      "with",    "during",   "worked"};
+
+constexpr size_t kNumPositive = std::size(kPositiveTokens);
+constexpr size_t kNumNegative = std::size(kNegativeTokens);
+constexpr size_t kNumNeutral = std::size(kNeutralTokens);
+
+const char* const kSectors[] = {"healthcare", "tech", "finance", "retail"};
+const char* const kDegrees[] = {"highschool", "bachelor", "master", "phd"};
+
+/// Median over non-null numeric cells of a column; 0 when all null.
+double NumericMedian(const std::vector<Value>& column) {
+  std::vector<double> values;
+  values.reserve(column.size());
+  for (const Value& v : column) {
+    if (!v.is_null()) values.push_back(v.AsNumeric());
+  }
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+/// Selects approximately `fraction * n` rows, where rows flagged in
+/// `high_risk` are `risk_multiplier` times more likely to be selected.
+/// Returns sorted indices.
+std::vector<size_t> BiasedSample(size_t n, double fraction,
+                                 const std::vector<bool>& high_risk,
+                                 double risk_multiplier, Rng* rng) {
+  size_t target = static_cast<size_t>(std::llround(fraction * static_cast<double>(n)));
+  target = std::min(target, n);
+  std::vector<double> weights(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!high_risk.empty() && high_risk[i]) weights[i] = risk_multiplier;
+  }
+  // Weighted sampling without replacement via exponential sort keys
+  // (Efraimidis-Spirakis): key = u^(1/w); take the largest `target` keys.
+  std::vector<std::pair<double, size_t>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = std::max(rng->NextDouble(), 1e-300);
+    keys[i] = {std::pow(u, 1.0 / weights[i]), i};
+  }
+  std::partial_sort(keys.begin(), keys.begin() + static_cast<ptrdiff_t>(target),
+                    keys.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<size_t> chosen;
+  chosen.reserve(target);
+  for (size_t i = 0; i < target; ++i) chosen.push_back(keys[i].second);
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+MlDataset MakeBlobs(const BlobsOptions& options) {
+  NDE_CHECK_GE(options.num_classes, 1);
+  Rng rng(options.seed);
+  // Random unit-ish centers scaled by separation. With an explicit
+  // center_seed the centers come from their own stream, so matched
+  // train/validation pairs can share the same task while varying examples.
+  Rng center_rng(options.center_seed == 0 ? options.seed
+                                          : options.center_seed);
+  Rng* center_source = options.center_seed == 0 ? &rng : &center_rng;
+  Matrix centers(static_cast<size_t>(options.num_classes),
+                 options.num_features);
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    for (size_t j = 0; j < centers.cols(); ++j) {
+      centers(c, j) = options.separation * center_source->NextGaussian() /
+                      std::sqrt(static_cast<double>(options.num_features));
+    }
+  }
+  MlDataset data;
+  data.features = Matrix(options.num_examples, options.num_features);
+  data.labels.resize(options.num_examples);
+  for (size_t i = 0; i < options.num_examples; ++i) {
+    int label = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(options.num_classes)));
+    data.labels[i] = label;
+    for (size_t j = 0; j < options.num_features; ++j) {
+      data.features(i, j) = centers(static_cast<size_t>(label), j) +
+                            options.noise * rng.NextGaussian();
+    }
+  }
+  return data;
+}
+
+HiringScenario MakeHiringScenario(const HiringScenarioOptions& options) {
+  Rng rng(options.seed);
+  HiringScenario scenario;
+
+  // --- jobdetail table ---
+  {
+    TableBuilder builder;
+    std::vector<int64_t> job_ids;
+    std::vector<std::string> sectors;
+    std::vector<double> ratings;
+    std::vector<int64_t> salary_bands;
+    for (size_t j = 0; j < options.num_jobs; ++j) {
+      job_ids.push_back(static_cast<int64_t>(j));
+      if (rng.NextBernoulli(options.healthcare_fraction)) {
+        sectors.emplace_back("healthcare");
+      } else {
+        sectors.emplace_back(
+            kSectors[1 + rng.NextBounded(std::size(kSectors) - 1)]);
+      }
+      ratings.push_back(1.0 + 4.0 * rng.NextDouble());
+      salary_bands.push_back(rng.NextInt(1, 5));
+    }
+    scenario.jobdetail = TableBuilder()
+                             .AddInt64Column("job_id", std::move(job_ids))
+                             .AddStringColumn("sector", std::move(sectors))
+                             .AddDoubleColumn("employer_rating", std::move(ratings))
+                             .AddInt64Column("salary_band", std::move(salary_bands))
+                             .Build();
+  }
+
+  // --- train table (letters) and social table ---
+  std::vector<int64_t> person_ids;
+  std::vector<int64_t> job_ids;
+  std::vector<std::string> letters;
+  std::vector<Value> degrees;
+  std::vector<int64_t> ages;
+  std::vector<std::string> sexes;
+  std::vector<int64_t> sentiments;
+
+  std::vector<int64_t> social_person_ids;
+  std::vector<Value> twitter_handles;
+  std::vector<int64_t> followers;
+
+  for (size_t i = 0; i < options.num_applicants; ++i) {
+    person_ids.push_back(static_cast<int64_t>(i));
+    job_ids.push_back(rng.NextInt(0, static_cast<int64_t>(options.num_jobs) - 1));
+
+    // Latent quality drives both the sentiment label and the token mix.
+    double quality = rng.NextGaussian();
+    int sentiment = quality > 0.0 ? 1 : 0;
+    sentiments.push_back(sentiment);
+
+    size_t length = static_cast<size_t>(rng.NextInt(18, 36));
+    std::vector<std::string> tokens;
+    tokens.reserve(length);
+    double positive_rate = sentiment == 1 ? 0.34 : 0.08;
+    double negative_rate = sentiment == 1 ? 0.08 : 0.34;
+    for (size_t t = 0; t < length; ++t) {
+      double u = rng.NextDouble();
+      if (u < positive_rate) {
+        tokens.emplace_back(kPositiveTokens[rng.NextBounded(kNumPositive)]);
+      } else if (u < positive_rate + negative_rate) {
+        tokens.emplace_back(kNegativeTokens[rng.NextBounded(kNumNegative)]);
+      } else {
+        tokens.emplace_back(kNeutralTokens[rng.NextBounded(kNumNeutral)]);
+      }
+    }
+    letters.push_back(JoinStrings(tokens, " "));
+
+    if (rng.NextBernoulli(0.05)) {
+      degrees.push_back(Value::Null());
+    } else {
+      degrees.push_back(Value(std::string(
+          kDegrees[rng.NextBounded(std::size(kDegrees))])));
+    }
+    ages.push_back(rng.NextInt(22, 65));
+    sexes.emplace_back(rng.NextBernoulli(0.5) ? "f" : "m");
+
+    social_person_ids.push_back(static_cast<int64_t>(i));
+    if (rng.NextBernoulli(0.6)) {
+      twitter_handles.push_back(Value(StrFormat("@applicant%zu", i)));
+      followers.push_back(rng.NextInt(10, 5000));
+    } else {
+      twitter_handles.push_back(Value::Null());
+      followers.push_back(0);
+    }
+  }
+
+  scenario.train = TableBuilder()
+                       .AddInt64Column("person_id", std::move(person_ids))
+                       .AddInt64Column("job_id", std::move(job_ids))
+                       .AddStringColumn("letter_text", std::move(letters))
+                       .AddValueColumn("degree", DataType::kString, std::move(degrees))
+                       .AddInt64Column("age", std::move(ages))
+                       .AddStringColumn("sex", std::move(sexes))
+                       .AddInt64Column("sentiment", std::move(sentiments))
+                       .Build();
+  scenario.social =
+      TableBuilder()
+          .AddInt64Column("person_id", std::move(social_person_ids))
+          .AddValueColumn("twitter", DataType::kString, std::move(twitter_handles))
+          .AddInt64Column("followers", std::move(followers))
+          .Build();
+  return scenario;
+}
+
+DatasetSplits LoadRecommendationLetters(size_t num_examples, uint64_t seed) {
+  // A single preprocessed table without complex features (Figure 2 setting):
+  // six numeric letter summary statistics per example, moderately separable
+  // so that clean accuracy lands around the low 0.8s as in the figure.
+  Rng rng(seed);
+  MlDataset all;
+  size_t d = 6;
+  all.features = Matrix(num_examples, d);
+  all.labels.resize(num_examples);
+  for (size_t i = 0; i < num_examples; ++i) {
+    double quality = rng.NextGaussian();
+    int label = quality > 0.0 ? 1 : 0;
+    all.labels[i] = label;
+    double direction = label == 1 ? 1.0 : -1.0;
+    // Feature semantics: positive-token rate, negative-token rate, length,
+    // exclamation count, formality score, hedging score.
+    all.features(i, 0) = 0.2 + 0.13 * direction + 0.1 * rng.NextGaussian();
+    all.features(i, 1) = 0.2 - 0.13 * direction + 0.1 * rng.NextGaussian();
+    all.features(i, 2) = 27.0 + 3.0 * rng.NextGaussian();
+    all.features(i, 3) = std::max(0.0, 1.0 + direction + rng.NextGaussian());
+    all.features(i, 4) = 0.5 + 0.1 * direction + 0.18 * rng.NextGaussian();
+    all.features(i, 5) = 0.5 - 0.1 * direction + 0.18 * rng.NextGaussian();
+  }
+  // 60 / 20 / 20 split.
+  SplitResult first = TrainTestSplit(all, 0.4, &rng);
+  SplitResult second = TrainTestSplit(first.test, 0.5, &rng);
+  DatasetSplits splits;
+  splits.train = std::move(first.train);
+  splits.valid = std::move(second.train);
+  splits.test = std::move(second.test);
+  return splits;
+}
+
+std::vector<size_t> InjectLabelErrors(MlDataset* data, double fraction,
+                                      Rng* rng) {
+  NDE_CHECK(data != nullptr);
+  NDE_CHECK(rng != nullptr);
+  NDE_CHECK_GE(fraction, 0.0);
+  NDE_CHECK_LE(fraction, 1.0);
+  int num_classes = std::max(data->NumClasses(), 2);
+  size_t count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(data->size())));
+  std::vector<size_t> corrupted =
+      rng->SampleWithoutReplacement(data->size(), count);
+  for (size_t i : corrupted) {
+    int offset = static_cast<int>(rng->NextBounded(
+        static_cast<uint64_t>(num_classes - 1))) + 1;
+    data->labels[i] = (data->labels[i] + offset) % num_classes;
+  }
+  std::sort(corrupted.begin(), corrupted.end());
+  return corrupted;
+}
+
+std::vector<size_t> InjectFeatureNoise(MlDataset* data, double fraction,
+                                       double noise_scale, Rng* rng) {
+  NDE_CHECK(data != nullptr);
+  NDE_CHECK(rng != nullptr);
+  FeatureScaler scaler = FeatureScaler::Fit(data->features);
+  size_t count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(data->size())));
+  std::vector<size_t> corrupted =
+      rng->SampleWithoutReplacement(data->size(), count);
+  for (size_t i : corrupted) {
+    double* row = data->features.RowPtr(i);
+    for (size_t j = 0; j < data->features.cols(); ++j) {
+      row[j] += noise_scale * scaler.stddev[j] * rng->NextGaussian();
+    }
+  }
+  std::sort(corrupted.begin(), corrupted.end());
+  return corrupted;
+}
+
+std::vector<size_t> InjectOutliers(MlDataset* data, double fraction,
+                                   double shift, Rng* rng) {
+  NDE_CHECK(data != nullptr);
+  NDE_CHECK(rng != nullptr);
+  FeatureScaler scaler = FeatureScaler::Fit(data->features);
+  size_t count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(data->size())));
+  std::vector<size_t> corrupted =
+      rng->SampleWithoutReplacement(data->size(), count);
+  for (size_t i : corrupted) {
+    // Random direction on the unit sphere, scaled to `shift` global stddevs.
+    std::vector<double> direction(data->features.cols());
+    for (double& v : direction) v = rng->NextGaussian();
+    double norm = Norm2(direction);
+    if (norm < 1e-12) norm = 1.0;
+    double* row = data->features.RowPtr(i);
+    for (size_t j = 0; j < data->features.cols(); ++j) {
+      row[j] += shift * scaler.stddev[j] * direction[j] / norm;
+    }
+  }
+  std::sort(corrupted.begin(), corrupted.end());
+  return corrupted;
+}
+
+const char* MissingnessToString(Missingness mechanism) {
+  switch (mechanism) {
+    case Missingness::kMcar:
+      return "MCAR";
+    case Missingness::kMar:
+      return "MAR";
+    case Missingness::kMnar:
+      return "MNAR";
+  }
+  return "unknown";
+}
+
+Result<std::vector<size_t>> InjectMissingValues(
+    Table* table, const std::string& column, double fraction,
+    Missingness mechanism, Rng* rng, const std::string& driver_column) {
+  if (table == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("table and rng must be non-null");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  NDE_ASSIGN_OR_RETURN(size_t col, table->schema().FieldIndex(column));
+  size_t n = table->num_rows();
+
+  std::vector<bool> high_risk;
+  if (mechanism == Missingness::kMar) {
+    if (driver_column.empty()) {
+      return Status::InvalidArgument("MAR requires a driver_column");
+    }
+    NDE_ASSIGN_OR_RETURN(size_t driver, table->schema().FieldIndex(driver_column));
+    if (table->schema().field(driver).type == DataType::kString) {
+      return Status::InvalidArgument("MAR driver column must be numeric");
+    }
+    double median = NumericMedian(table->column(driver));
+    high_risk.resize(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = table->At(i, driver);
+      high_risk[i] = !v.is_null() && v.AsNumeric() > median;
+    }
+  } else if (mechanism == Missingness::kMnar) {
+    if (table->schema().field(col).type == DataType::kString) {
+      return Status::InvalidArgument("MNAR target column must be numeric");
+    }
+    double median = NumericMedian(table->column(col));
+    high_risk.resize(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = table->At(i, col);
+      high_risk[i] = !v.is_null() && v.AsNumeric() > median;
+    }
+  }
+
+  std::vector<size_t> affected =
+      BiasedSample(n, fraction, high_risk, /*risk_multiplier=*/3.0, rng);
+  for (size_t i : affected) {
+    NDE_RETURN_IF_ERROR(table->SetCell(i, col, Value::Null()));
+  }
+  return affected;
+}
+
+Result<std::vector<size_t>> InjectLabelErrorsTable(
+    Table* table, const std::string& label_column, double fraction, Rng* rng) {
+  if (table == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("table and rng must be non-null");
+  }
+  NDE_ASSIGN_OR_RETURN(size_t col, table->schema().FieldIndex(label_column));
+  if (table->schema().field(col).type != DataType::kInt64) {
+    return Status::InvalidArgument("label column must be int64");
+  }
+  size_t count = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(table->num_rows())));
+  std::vector<size_t> affected =
+      rng->SampleWithoutReplacement(table->num_rows(), count);
+  std::sort(affected.begin(), affected.end());
+  for (size_t i : affected) {
+    const Value& v = table->At(i, col);
+    if (v.is_null()) continue;
+    int64_t flipped = v.as_int64() == 0 ? 1 : 0;
+    NDE_RETURN_IF_ERROR(table->SetCell(i, col, Value(flipped)));
+  }
+  return affected;
+}
+
+Result<Table> InjectSelectionBias(const Table& table,
+                                  const std::string& group_column,
+                                  const Value& disadvantaged_value,
+                                  double keep_probability, Rng* rng,
+                                  std::vector<size_t>* kept) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must be non-null");
+  }
+  if (keep_probability < 0.0 || keep_probability > 1.0) {
+    return Status::InvalidArgument("keep_probability must be in [0, 1]");
+  }
+  NDE_ASSIGN_OR_RETURN(size_t col, table.schema().FieldIndex(group_column));
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    bool disadvantaged = table.At(i, col) == disadvantaged_value;
+    if (!disadvantaged || rng->NextBernoulli(keep_probability)) {
+      indices.push_back(i);
+    }
+  }
+  if (kept != nullptr) *kept = indices;
+  return table.SelectRows(indices);
+}
+
+}  // namespace nde

@@ -1,0 +1,142 @@
+#ifndef NDE_DATAGEN_SYNTHETIC_H_
+#define NDE_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+#include "ml/dataset.h"
+
+namespace nde {
+
+/// --- Numeric benchmark datasets --------------------------------------------
+
+/// Options for the Gaussian-blobs classification generator.
+struct BlobsOptions {
+  size_t num_examples = 500;
+  size_t num_features = 8;
+  int num_classes = 2;
+  double separation = 2.5;  ///< distance between class centers
+  double noise = 1.0;       ///< within-class standard deviation
+  uint64_t seed = 42;
+  /// Seed for the class-center placement. 0 (default) reuses `seed`. Two
+  /// generations share the same task (same centers) iff their center seeds
+  /// match — set this explicitly when generating matched train/validation
+  /// sets with different example seeds.
+  uint64_t center_seed = 0;
+};
+
+/// Generates a classification dataset of Gaussian class blobs with randomly
+/// placed centers. Deterministic given the seeds; see
+/// BlobsOptions::center_seed for generating matched dataset pairs.
+MlDataset MakeBlobs(const BlobsOptions& options);
+
+/// Train/validation/test bundle used throughout the hands-on workflows.
+struct DatasetSplits {
+  MlDataset train;
+  MlDataset valid;
+  MlDataset test;
+};
+
+/// --- The paper's hiring scenario -------------------------------------------
+
+/// Options for the synthetic hiring scenario of the hands-on session: a set
+/// of recommendation letters plus side tables with job details and social
+/// media information (Section 3.1).
+struct HiringScenarioOptions {
+  size_t num_applicants = 600;
+  size_t num_jobs = 40;
+  /// Fraction of applicants working in the "healthcare" sector (the Figure 3
+  /// pipeline filters on it, so it controls post-filter training size).
+  double healthcare_fraction = 0.55;
+  uint64_t seed = 42;
+};
+
+/// The three source tables of the scenario.
+///
+/// `train`: person_id, job_id, letter_text, degree (nullable), age, sex,
+///          sentiment (label: 1 positive / 0 negative).
+/// `jobdetail`: job_id, sector, employer_rating, salary_band.
+/// `social`: person_id, twitter (nullable handle), followers.
+///
+/// Letter text is a bag of sentiment-bearing and neutral tokens: positive
+/// letters draw more positive tokens, so hashed bag-of-words features are
+/// genuinely predictive of the sentiment label, mirroring the role of the
+/// SentenceBERT encoder in the paper's pipeline.
+struct HiringScenario {
+  Table train;
+  Table jobdetail;
+  Table social;
+};
+
+HiringScenario MakeHiringScenario(const HiringScenarioOptions& options);
+
+/// Figure 2 workflow entry point (mirrors nde.load_recommendation_letters):
+/// a single *preprocessed* table-free classification dataset with simple
+/// numeric features derived from the letters, split into train/valid/test.
+DatasetSplits LoadRecommendationLetters(size_t num_examples = 600,
+                                        uint64_t seed = 42);
+
+/// --- Error injection (Figure 1 error taxonomy) ------------------------------
+
+/// Flips the labels of a `fraction` of uniformly chosen examples to a
+/// different class. Returns the corrupted indices (sorted).
+std::vector<size_t> InjectLabelErrors(MlDataset* data, double fraction,
+                                      Rng* rng);
+
+/// Adds Gaussian noise with standard deviation `noise_scale` * (per-feature
+/// stddev) to all features of a `fraction` of examples. Returns corrupted
+/// indices (sorted).
+std::vector<size_t> InjectFeatureNoise(MlDataset* data, double fraction,
+                                       double noise_scale, Rng* rng);
+
+/// Replaces a `fraction` of examples with out-of-distribution points: their
+/// features are shifted by `shift` standard deviations in a random direction.
+/// Returns corrupted indices (sorted).
+std::vector<size_t> InjectOutliers(MlDataset* data, double fraction,
+                                   double shift, Rng* rng);
+
+/// Missing-value mechanisms (Rubin's taxonomy).
+enum class Missingness {
+  kMcar,  ///< missing completely at random
+  kMar,   ///< probability depends on another (fully observed) column
+  kMnar,  ///< probability depends on the missing value itself
+};
+
+const char* MissingnessToString(Missingness mechanism);
+
+/// Sets a `fraction` of cells in `column` of `table` to null.
+///   - kMcar: uniformly at random;
+///   - kMar: rows with above-median value in `driver_column` are 3x more
+///     likely to lose the value (driver must be numeric);
+///   - kMnar: rows whose *own* value is above the column median are 3x more
+///     likely to lose it (column must be numeric).
+/// Returns the affected row indices (sorted), or an error for bad arguments.
+Result<std::vector<size_t>> InjectMissingValues(Table* table,
+                                                const std::string& column,
+                                                double fraction,
+                                                Missingness mechanism,
+                                                Rng* rng,
+                                                const std::string& driver_column = "");
+
+/// Flips the binary int64 label column `label_column` (0 <-> 1) in a
+/// `fraction` of rows of a source table. Returns affected rows (sorted).
+Result<std::vector<size_t>> InjectLabelErrorsTable(Table* table,
+                                                   const std::string& label_column,
+                                                   double fraction, Rng* rng);
+
+/// Selection bias: returns a subsample of `table` in which rows whose
+/// `group_column` equals `disadvantaged_value` are kept only with probability
+/// `keep_probability` (others always kept). Returns the biased table and the
+/// kept source row indices via `kept` when non-null.
+Result<Table> InjectSelectionBias(const Table& table,
+                                  const std::string& group_column,
+                                  const Value& disadvantaged_value,
+                                  double keep_probability, Rng* rng,
+                                  std::vector<size_t>* kept = nullptr);
+
+}  // namespace nde
+
+#endif  // NDE_DATAGEN_SYNTHETIC_H_

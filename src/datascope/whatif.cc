@@ -1,0 +1,113 @@
+#include "datascope/whatif.h"
+
+#include <utility>
+
+#include "cleaning/imputation.h"
+#include "common/string_util.h"
+
+namespace nde {
+
+std::string WhatIfOutcome::ToString() const {
+  return StrFormat(
+      "%-28s acc=%.4f (%+.4f) f1=%.4f eq_odds=%.4f rows=%zu", name.c_str(),
+      report.accuracy, accuracy_delta, report.f1, report.equalized_odds,
+      output_rows);
+}
+
+namespace {
+
+Result<WhatIfOutcome> EvaluateVariant(const MlPipeline& pipeline,
+                                      const ClassifierFactory& factory,
+                                      const MlDataset& validation,
+                                      const std::vector<int>& validation_groups,
+                                      std::string name) {
+  NDE_ASSIGN_OR_RETURN(PipelineOutput output, pipeline.Run());
+  if (output.size() == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("variant '%s' produced no training rows", name.c_str()));
+  }
+  WhatIfOutcome outcome;
+  outcome.name = std::move(name);
+  outcome.output_rows = output.size();
+  NDE_ASSIGN_OR_RETURN(
+      outcome.report,
+      TrainAndEvaluate(factory, output.ToDataset(), validation,
+                       validation_groups));
+  return outcome;
+}
+
+}  // namespace
+
+Result<std::vector<WhatIfOutcome>> RunWhatIfAnalysis(
+    const MlPipeline& pipeline, const ClassifierFactory& factory,
+    const MlDataset& validation,
+    const std::vector<WhatIfIntervention>& interventions,
+    const std::vector<int>& validation_groups) {
+  std::vector<WhatIfOutcome> outcomes;
+  NDE_ASSIGN_OR_RETURN(
+      WhatIfOutcome baseline,
+      EvaluateVariant(pipeline, factory, validation, validation_groups,
+                      "(baseline)"));
+  double baseline_accuracy = baseline.report.accuracy;
+  outcomes.push_back(std::move(baseline));
+
+  for (const WhatIfIntervention& intervention : interventions) {
+    if (intervention.source_index >= pipeline.sources().size()) {
+      return Status::InvalidArgument(
+          StrFormat("intervention '%s' targets source %zu of %zu",
+                    intervention.name.c_str(), intervention.source_index,
+                    pipeline.sources().size()));
+    }
+    if (intervention.apply == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("intervention '%s' has no apply function",
+                    intervention.name.c_str()));
+    }
+    // Build a variant pipeline with the rewritten source.
+    std::vector<NamedTable> sources = pipeline.sources();
+    const Table& original = sources[intervention.source_index].table;
+    NDE_ASSIGN_OR_RETURN(Table rewritten, intervention.apply(original));
+    if (!(rewritten.schema() == original.schema())) {
+      return Status::InvalidArgument(
+          StrFormat("intervention '%s' changed the source schema",
+                    intervention.name.c_str()));
+    }
+    sources[intervention.source_index].table = std::move(rewritten);
+    MlPipeline variant(std::move(sources), pipeline.builder(),
+                       pipeline.transformer(), pipeline.label_column());
+    NDE_ASSIGN_OR_RETURN(
+        WhatIfOutcome outcome,
+        EvaluateVariant(variant, factory, validation, validation_groups,
+                        intervention.name));
+    outcome.accuracy_delta = outcome.report.accuracy - baseline_accuracy;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+SourceIntervention MeanImputeIntervention(const std::string& column) {
+  return [column](const Table& table) -> Result<Table> {
+    Table copy = table;
+    MeanImputer imputer;
+    NDE_RETURN_IF_ERROR(ImputeColumn(&copy, column, &imputer).status());
+    return copy;
+  };
+}
+
+SourceIntervention DropNullRowsIntervention(const std::string& column) {
+  return [column](const Table& table) -> Result<Table> {
+    NDE_ASSIGN_OR_RETURN(size_t col, table.schema().FieldIndex(column));
+    return table.FilterRows(
+        [&table, col](size_t r) { return !table.At(r, col).is_null(); });
+  };
+}
+
+SourceIntervention FilterRowsIntervention(
+    std::function<bool(const Table&, size_t)> predicate) {
+  return [predicate = std::move(predicate)](const Table& table) -> Result<Table> {
+    return table.FilterRows(
+        [&table, &predicate](size_t r) { return predicate(table, r); });
+  };
+}
+
+}  // namespace nde

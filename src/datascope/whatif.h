@@ -1,0 +1,70 @@
+#ifndef NDE_DATASCOPE_WHATIF_H_
+#define NDE_DATASCOPE_WHATIF_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/metrics.h"
+#include "pipeline/pipeline.h"
+
+namespace nde {
+
+/// Data-centric what-if analysis over ML pipelines (Grafberger et al.,
+/// "Automating and Optimizing Data-Centric What-If Analyses on Native
+/// Machine Learning Pipelines", SIGMOD 2023 — reference [23] of the
+/// tutorial): instead of asking "which tuple is important?", ask "what
+/// happens to my downstream metrics if I apply this cleaning / filtering /
+/// repair intervention to a source table?" and evaluate a whole catalog of
+/// such interventions in one sweep.
+
+/// Rewrites one source table (impute a column, drop suspicious rows, fix a
+/// unit error, ...). Must not change the schema.
+using SourceIntervention = std::function<Result<Table>(const Table&)>;
+
+/// A named intervention targeting one registered source of the pipeline.
+struct WhatIfIntervention {
+  std::string name;
+  size_t source_index = 0;  ///< index into MlPipeline::sources()
+  SourceIntervention apply;
+};
+
+/// Outcome of one what-if variant.
+struct WhatIfOutcome {
+  std::string name;
+  QualityReport report;
+  double accuracy_delta = 0.0;  ///< vs the unmodified pipeline
+  size_t output_rows = 0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the baseline pipeline plus every intervention variant: for each
+/// variant the target source table is rewritten, the pipeline re-executed
+/// (encoders refit — interventions may change fit statistics), a model
+/// trained and the full quality panel measured on `validation`.
+///
+/// The first returned entry is always the baseline (name "(baseline)",
+/// delta 0). Interventions whose pipeline fails are reported via the status.
+Result<std::vector<WhatIfOutcome>> RunWhatIfAnalysis(
+    const MlPipeline& pipeline, const ClassifierFactory& factory,
+    const MlDataset& validation,
+    const std::vector<WhatIfIntervention>& interventions,
+    const std::vector<int>& validation_groups = {});
+
+/// Canned interventions for the catalog.
+
+/// Imputes `column` with the observed mean (numeric columns).
+SourceIntervention MeanImputeIntervention(const std::string& column);
+
+/// Drops rows where `column` is null.
+SourceIntervention DropNullRowsIntervention(const std::string& column);
+
+/// Drops rows failing `predicate` (row index into the source table).
+SourceIntervention FilterRowsIntervention(
+    std::function<bool(const Table&, size_t)> predicate);
+
+}  // namespace nde
+
+#endif  // NDE_DATASCOPE_WHATIF_H_

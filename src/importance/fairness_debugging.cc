@@ -1,0 +1,145 @@
+#include "importance/fairness_debugging.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "ml/metrics.h"
+
+namespace nde {
+
+std::string FairnessPattern::ToString() const {
+  return StrFormat("[%s] support=%zu d_fair=%+.4f d_acc=%+.4f",
+                   JoinStrings(conditions, " AND ").c_str(), support,
+                   fairness_delta, accuracy_delta);
+}
+
+namespace {
+
+/// One atomic condition: column index + category value, with its row set.
+struct Atom {
+  std::string description;
+  std::vector<size_t> rows;  // sorted
+};
+
+std::vector<size_t> IntersectSorted(const std::vector<size_t>& a,
+                                    const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+struct ModelScores {
+  double fairness = 0.0;
+  double accuracy = 0.0;
+};
+
+Result<ModelScores> ScoreWithout(const ClassifierFactory& factory,
+                                 const MlDataset& train,
+                                 const std::vector<size_t>& removed,
+                                 const MlDataset& validation,
+                                 const std::vector<int>& validation_groups,
+                                 int num_classes) {
+  MlDataset reduced = removed.empty() ? train : train.Without(removed);
+  if (reduced.size() == 0) {
+    return Status::InvalidArgument("pattern removes every training row");
+  }
+  std::unique_ptr<Classifier> model = factory();
+  NDE_RETURN_IF_ERROR(model->FitWithClasses(reduced, num_classes));
+  std::vector<int> predicted = model->Predict(validation.features);
+  ModelScores scores;
+  scores.accuracy = Accuracy(validation.labels, predicted);
+  scores.fairness =
+      EqualizedOddsDifference(validation.labels, predicted, validation_groups);
+  return scores;
+}
+
+}  // namespace
+
+Result<std::vector<FairnessPattern>> ExplainFairness(
+    const ClassifierFactory& factory, const MlDataset& train,
+    const Table& train_attributes, const MlDataset& validation,
+    const std::vector<int>& validation_groups, const GopherOptions& options) {
+  NDE_RETURN_IF_ERROR(train.Validate());
+  if (train_attributes.num_rows() != train.size()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute rows %zu != train rows %zu",
+                  train_attributes.num_rows(), train.size()));
+  }
+  if (validation_groups.size() != validation.size()) {
+    return Status::InvalidArgument("validation_groups size mismatch");
+  }
+  if (options.max_conditions < 1 || options.max_conditions > 2) {
+    return Status::InvalidArgument("max_conditions must be 1 or 2");
+  }
+  int num_classes = std::max(train.NumClasses(), validation.NumClasses());
+
+  // Atoms: every (categorical column, value) pair under the cardinality cap.
+  std::vector<Atom> atoms;
+  for (size_t c = 0; c < train_attributes.num_columns(); ++c) {
+    const Field& field = train_attributes.schema().field(c);
+    if (field.type == DataType::kDouble) continue;
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> groups;
+    for (size_t r = 0; r < train_attributes.num_rows(); ++r) {
+      const Value& v = train_attributes.At(r, c);
+      if (v.is_null()) continue;
+      groups[v].push_back(r);
+    }
+    if (groups.size() > options.max_column_cardinality) continue;
+    for (auto& [value, rows] : groups) {
+      if (rows.size() < options.min_support) continue;
+      atoms.push_back(Atom{field.name + "=" + value.ToString(),
+                           std::move(rows)});
+    }
+  }
+
+  NDE_ASSIGN_OR_RETURN(ModelScores baseline,
+                       ScoreWithout(factory, train, {}, validation,
+                                    validation_groups, num_classes));
+
+  std::vector<FairnessPattern> patterns;
+  auto evaluate = [&](std::vector<std::string> conditions,
+                      const std::vector<size_t>& rows) -> Status {
+    if (rows.size() < options.min_support || rows.size() >= train.size()) {
+      return Status::OK();
+    }
+    Result<ModelScores> scores = ScoreWithout(
+        factory, train, rows, validation, validation_groups, num_classes);
+    if (!scores.ok()) return Status::OK();  // Degenerate removal: skip.
+    FairnessPattern pattern;
+    pattern.conditions = std::move(conditions);
+    pattern.support = rows.size();
+    pattern.fairness_delta = baseline.fairness - scores->fairness;
+    pattern.accuracy_delta = scores->accuracy - baseline.accuracy;
+    patterns.push_back(std::move(pattern));
+    return Status::OK();
+  };
+
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    NDE_RETURN_IF_ERROR(evaluate({atoms[a].description}, atoms[a].rows));
+    if (options.max_conditions < 2) continue;
+    for (size_t b = a + 1; b < atoms.size(); ++b) {
+      std::vector<size_t> rows = IntersectSorted(atoms[a].rows, atoms[b].rows);
+      // Skip pairs that add nothing over either atom alone.
+      if (rows.size() == atoms[a].rows.size() ||
+          rows.size() == atoms[b].rows.size()) {
+        continue;
+      }
+      NDE_RETURN_IF_ERROR(
+          evaluate({atoms[a].description, atoms[b].description}, rows));
+    }
+  }
+
+  std::sort(patterns.begin(), patterns.end(),
+            [](const FairnessPattern& x, const FairnessPattern& y) {
+              if (x.fairness_delta != y.fairness_delta) {
+                return x.fairness_delta > y.fairness_delta;
+              }
+              return x.support < y.support;
+            });
+  if (patterns.size() > options.top_k) patterns.resize(options.top_k);
+  return patterns;
+}
+
+}  // namespace nde

@@ -1,0 +1,54 @@
+#ifndef NDE_IMPORTANCE_FAIRNESS_DEBUGGING_H_
+#define NDE_IMPORTANCE_FAIRNESS_DEBUGGING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// A conjunctive pattern over categorical training attributes, scored by the
+/// effect of removing the matching training subset — Gopher-style
+/// "interpretable data-based explanations for fairness debugging" (Pradhan
+/// et al., SIGMOD 2022).
+struct FairnessPattern {
+  /// Conditions column == value rendered as strings, e.g. {"sex=m",
+  /// "sector=tech"}.
+  std::vector<std::string> conditions;
+  size_t support = 0;            ///< matching training rows
+  double fairness_delta = 0.0;   ///< baseline violation - violation after
+                                 ///< removal; positive = removal improves
+  double accuracy_delta = 0.0;   ///< accuracy after removal - baseline
+
+  std::string ToString() const;
+};
+
+struct GopherOptions {
+  size_t max_conditions = 2;   ///< pattern size cap (1 or 2 supported)
+  size_t min_support = 8;      ///< ignore patterns matching fewer rows
+  size_t top_k = 10;           ///< patterns returned
+  /// Skip attribute columns with more than this many distinct values
+  /// (identifiers would otherwise explode the pattern space).
+  size_t max_column_cardinality = 12;
+};
+
+/// Enumerates conjunctive patterns over the categorical (string / int64)
+/// columns of `train_attributes` (row-aligned with `train`), retrains the
+/// model without each pattern's rows, and reports the top patterns by
+/// equalized-odds improvement on the validation set.
+///
+/// Exact (retraining-based) removal effects, as in Gopher's ground-truth
+/// mode; suitable for the dataset sizes of this library's scenarios.
+Result<std::vector<FairnessPattern>> ExplainFairness(
+    const ClassifierFactory& factory, const MlDataset& train,
+    const Table& train_attributes, const MlDataset& validation,
+    const std::vector<int>& validation_groups, const GopherOptions& options = {});
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_FAIRNESS_DEBUGGING_H_

@@ -1,0 +1,295 @@
+#include "importance/game_values.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+namespace {
+
+/// Sorted copy helper: utilities accept any order, but we normalize anyway
+/// so memoizing utilities can key on the subset directly.
+std::vector<size_t> Sorted(std::vector<size_t> subset) {
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double LogChoose(size_t n, size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+/// Evaluates v over every subset of {0..n-1}; 2^n evaluations.
+std::vector<double> EnumerateAllSubsets(const UtilityFunction& utility) {
+  size_t n = utility.num_units();
+  std::vector<double> values(size_t{1} << n);
+  for (size_t mask = 0; mask < values.size(); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) subset.push_back(i);
+    }
+    values[mask] = utility.Evaluate(subset);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<double> LeaveOneOutValues(const UtilityFunction& utility) {
+  size_t n = utility.num_units();
+  double full = utility.FullUtility();
+  std::vector<double> values(n);
+  std::vector<size_t> subset(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    subset.clear();
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) subset.push_back(j);
+    }
+    values[i] = full - utility.Evaluate(subset);
+  }
+  return values;
+}
+
+MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
+                                    const TmcShapleyOptions& options) {
+  size_t n = utility.num_units();
+  NDE_CHECK_GT(n, 0u);
+  Rng rng(options.seed);
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> sum_sq(n, 0.0);
+  double empty_utility = utility.EmptyUtility();
+  double full_utility = utility.FullUtility();
+  size_t evaluations = 2;
+
+  for (size_t t = 0; t < options.num_permutations; ++t) {
+    std::vector<size_t> perm = rng.Permutation(n);
+    std::vector<size_t> prefix;
+    prefix.reserve(n);
+    double previous = empty_utility;
+    bool truncated = false;
+    for (size_t pos = 0; pos < n; ++pos) {
+      size_t unit = perm[pos];
+      double marginal = 0.0;
+      if (!truncated) {
+        if (options.truncation_tolerance > 0.0 &&
+            std::fabs(full_utility - previous) < options.truncation_tolerance) {
+          truncated = true;  // Remaining marginals are treated as zero.
+        } else {
+          prefix.push_back(unit);
+          double current = utility.Evaluate(Sorted(prefix));
+          ++evaluations;
+          marginal = current - previous;
+          previous = current;
+        }
+      }
+      sum[unit] += marginal;
+      sum_sq[unit] += marginal * marginal;
+    }
+  }
+
+  MonteCarloEstimate estimate;
+  estimate.values.resize(n);
+  estimate.std_errors.resize(n);
+  double m = static_cast<double>(options.num_permutations);
+  for (size_t i = 0; i < n; ++i) {
+    double mean = sum[i] / m;
+    estimate.values[i] = mean;
+    if (options.num_permutations > 1) {
+      double variance = (sum_sq[i] / m - mean * mean) * m / (m - 1.0);
+      estimate.std_errors[i] = std::sqrt(std::max(variance, 0.0) / m);
+    }
+  }
+  estimate.utility_evaluations = evaluations;
+  return estimate;
+}
+
+Result<std::vector<double>> ExactShapleyValues(const UtilityFunction& utility,
+                                               size_t max_units) {
+  size_t n = utility.num_units();
+  if (n > max_units || n > 24) {
+    return Status::InvalidArgument(
+        StrFormat("exact Shapley is exponential; n=%zu exceeds cap %zu", n,
+                  std::min(max_units, size_t{24})));
+  }
+  std::vector<double> subset_values = EnumerateAllSubsets(utility);
+  // Precompute |S|!(n-|S|-1)!/n! per cardinality.
+  std::vector<double> weight(n);
+  for (size_t s = 0; s < n; ++s) {
+    weight[s] = std::exp(std::lgamma(static_cast<double>(s) + 1.0) +
+                         std::lgamma(static_cast<double>(n - s)) -
+                         std::lgamma(static_cast<double>(n) + 1.0));
+  }
+  std::vector<double> values(n, 0.0);
+  size_t full = size_t{1} << n;
+  for (size_t mask = 0; mask < full; ++mask) {
+    size_t cardinality = static_cast<size_t>(__builtin_popcountll(mask));
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) continue;
+      double marginal =
+          subset_values[mask | (size_t{1} << i)] - subset_values[mask];
+      values[i] += weight[cardinality] * marginal;
+    }
+  }
+  return values;
+}
+
+MonteCarloEstimate BanzhafValues(const UtilityFunction& utility,
+                                 const BanzhafOptions& options) {
+  size_t n = utility.num_units();
+  NDE_CHECK_GT(n, 0u);
+  Rng rng(options.seed);
+  // MSR: every sample updates every unit's in-mean or out-mean.
+  std::vector<double> in_sum(n, 0.0), in_sq(n, 0.0);
+  std::vector<double> out_sum(n, 0.0), out_sq(n, 0.0);
+  std::vector<size_t> in_count(n, 0), out_count(n, 0);
+
+  std::vector<size_t> subset;
+  std::vector<bool> member(n);
+  for (size_t t = 0; t < options.num_samples; ++t) {
+    subset.clear();
+    for (size_t i = 0; i < n; ++i) {
+      member[i] = rng.NextBernoulli(0.5);
+      if (member[i]) subset.push_back(i);
+    }
+    double value = utility.Evaluate(subset);
+    for (size_t i = 0; i < n; ++i) {
+      if (member[i]) {
+        in_sum[i] += value;
+        in_sq[i] += value * value;
+        ++in_count[i];
+      } else {
+        out_sum[i] += value;
+        out_sq[i] += value * value;
+        ++out_count[i];
+      }
+    }
+  }
+
+  MonteCarloEstimate estimate;
+  estimate.values.resize(n, 0.0);
+  estimate.std_errors.resize(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (in_count[i] == 0 || out_count[i] == 0) continue;
+    double in_mean = in_sum[i] / static_cast<double>(in_count[i]);
+    double out_mean = out_sum[i] / static_cast<double>(out_count[i]);
+    estimate.values[i] = in_mean - out_mean;
+    auto mean_var = [](double sum, double sq, size_t count) {
+      if (count < 2) return 0.0;
+      double m = sum / static_cast<double>(count);
+      double var = (sq / static_cast<double>(count) - m * m) *
+                   static_cast<double>(count) / static_cast<double>(count - 1);
+      return std::max(var, 0.0) / static_cast<double>(count);
+    };
+    estimate.std_errors[i] =
+        std::sqrt(mean_var(in_sum[i], in_sq[i], in_count[i]) +
+                  mean_var(out_sum[i], out_sq[i], out_count[i]));
+  }
+  estimate.utility_evaluations = options.num_samples;
+  return estimate;
+}
+
+Result<std::vector<double>> ExactBanzhafValues(const UtilityFunction& utility,
+                                               size_t max_units) {
+  size_t n = utility.num_units();
+  if (n > max_units || n > 24) {
+    return Status::InvalidArgument(
+        StrFormat("exact Banzhaf is exponential; n=%zu exceeds cap %zu", n,
+                  std::min(max_units, size_t{24})));
+  }
+  std::vector<double> subset_values = EnumerateAllSubsets(utility);
+  std::vector<double> values(n, 0.0);
+  size_t full = size_t{1} << n;
+  double scale = 1.0 / static_cast<double>(size_t{1} << (n - 1));
+  for (size_t mask = 0; mask < full; ++mask) {
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) continue;
+      values[i] +=
+          (subset_values[mask | (size_t{1} << i)] - subset_values[mask]) *
+          scale;
+    }
+  }
+  return values;
+}
+
+std::vector<double> BetaShapleyCardinalityWeights(size_t n, double alpha,
+                                                  double beta) {
+  NDE_CHECK_GT(n, 0u);
+  NDE_CHECK_GT(alpha, 0.0);
+  NDE_CHECK_GT(beta, 0.0);
+  // P(|S| = j) proportional to C(n-1, j) * B(j + beta, n - 1 - j + alpha),
+  // which for (alpha, beta) = (1, 1) is the uniform Shapley distribution.
+  std::vector<double> log_weights(n);
+  double max_log = -1e300;
+  for (size_t j = 0; j < n; ++j) {
+    log_weights[j] =
+        LogChoose(n - 1, j) + LogBeta(static_cast<double>(j) + beta,
+                                      static_cast<double>(n - 1 - j) + alpha);
+    max_log = std::max(max_log, log_weights[j]);
+  }
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    weights[j] = std::exp(log_weights[j] - max_log);
+    total += weights[j];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
+                                     const BetaShapleyOptions& options) {
+  size_t n = utility.num_units();
+  NDE_CHECK_GT(n, 0u);
+  Rng rng(options.seed);
+  std::vector<double> cardinality_weights =
+      BetaShapleyCardinalityWeights(n, options.alpha, options.beta);
+
+  MonteCarloEstimate estimate;
+  estimate.values.resize(n, 0.0);
+  estimate.std_errors.resize(n, 0.0);
+  size_t evaluations = 0;
+
+  std::vector<size_t> others(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    others.clear();
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t s = 0; s < options.samples_per_unit; ++s) {
+      size_t cardinality = rng.NextCategorical(cardinality_weights);
+      std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(others.size(), cardinality);
+      std::vector<size_t> subset;
+      subset.reserve(cardinality + 1);
+      for (size_t p : picks) subset.push_back(others[p]);
+      double without = utility.Evaluate(Sorted(subset));
+      subset.push_back(i);
+      double with = utility.Evaluate(Sorted(subset));
+      evaluations += 2;
+      double marginal = with - without;
+      sum += marginal;
+      sum_sq += marginal * marginal;
+    }
+    double m = static_cast<double>(options.samples_per_unit);
+    double mean = sum / m;
+    estimate.values[i] = mean;
+    if (options.samples_per_unit > 1) {
+      double variance = (sum_sq / m - mean * mean) * m / (m - 1.0);
+      estimate.std_errors[i] = std::sqrt(std::max(variance, 0.0) / m);
+    }
+  }
+  estimate.utility_evaluations = evaluations;
+  return estimate;
+}
+
+}  // namespace nde

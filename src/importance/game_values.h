@@ -1,0 +1,91 @@
+#ifndef NDE_IMPORTANCE_GAME_VALUES_H_
+#define NDE_IMPORTANCE_GAME_VALUES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "importance/utility.h"
+
+namespace nde {
+
+/// --- Leave-one-out -----------------------------------------------------------
+
+/// LOO importance: phi_i = v(N) - v(N \ {i}). The simplest importance score;
+/// O(n) utility evaluations.
+std::vector<double> LeaveOneOutValues(const UtilityFunction& utility);
+
+/// --- Truncated Monte-Carlo Shapley (Ghorbani & Zou 2019) --------------------
+
+struct TmcShapleyOptions {
+  size_t num_permutations = 100;
+  /// Truncation: once |v(prefix) - v(N)| falls below this tolerance, the
+  /// remaining marginal contributions of the permutation are taken as zero.
+  /// Set to 0 to disable truncation.
+  double truncation_tolerance = 0.01;
+  uint64_t seed = 42;
+};
+
+struct MonteCarloEstimate {
+  std::vector<double> values;
+  /// Per-unit standard error of the Monte-Carlo mean (0 when not estimable).
+  std::vector<double> std_errors;
+  size_t utility_evaluations = 0;
+};
+
+/// Permutation-sampling Shapley estimator with truncation. Unbiased for
+/// truncation_tolerance == 0.
+MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
+                                    const TmcShapleyOptions& options);
+
+/// Exact Shapley values by full subset enumeration; exponential, only for
+/// n <= ~20. Used as the ground truth in tests. Returns InvalidArgument for
+/// larger n.
+Result<std::vector<double>> ExactShapleyValues(const UtilityFunction& utility,
+                                               size_t max_units = 20);
+
+/// --- Banzhaf values (Wang & Jia 2023) ----------------------------------------
+
+struct BanzhafOptions {
+  size_t num_samples = 500;  ///< random subsets drawn
+  uint64_t seed = 42;
+};
+
+/// Maximum-sample-reuse (MSR) Banzhaf estimator: every sampled subset updates
+/// the estimate of *all* units (phi_i = mean[v(S) | i in S] - mean[v(S) |
+/// i not in S]).
+MonteCarloEstimate BanzhafValues(const UtilityFunction& utility,
+                                 const BanzhafOptions& options);
+
+/// Exact Banzhaf values by subset enumeration (n <= ~20).
+Result<std::vector<double>> ExactBanzhafValues(const UtilityFunction& utility,
+                                               size_t max_units = 20);
+
+/// --- Beta Shapley (Kwon & Zou 2022) ------------------------------------------
+
+struct BetaShapleyOptions {
+  double alpha = 1.0;  ///< Beta(alpha, beta); (1,1) recovers Shapley
+  double beta = 1.0;
+  size_t samples_per_unit = 64;
+  uint64_t seed = 42;
+};
+
+/// Beta(alpha, beta)-Shapley semivalue estimated by stratified cardinality
+/// sampling: for each unit, sample a coalition size from the Beta-induced
+/// cardinality distribution, then a uniform coalition of that size, and
+/// average the marginal contributions. Beta(1, 1) is an unbiased Shapley
+/// estimator; larger alpha emphasizes small coalitions (the noise-reduced
+/// regime recommended by Kwon & Zou, e.g. Beta(16, 1)), larger beta
+/// emphasizes large coalitions.
+MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
+                                     const BetaShapleyOptions& options);
+
+/// The Beta-induced distribution over coalition sizes j in {0, ..., n-1}
+/// (probability the coalition S, excluding the target unit, has size j).
+/// Exposed for tests: Beta(1,1) must be uniform.
+std::vector<double> BetaShapleyCardinalityWeights(size_t n, double alpha,
+                                                  double beta);
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_GAME_VALUES_H_

@@ -1,0 +1,66 @@
+#include "importance/grouped.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "importance/game_values.h"
+
+namespace nde {
+
+GroupedUtility::GroupedUtility(const UtilityFunction* base,
+                               std::vector<size_t> group_of)
+    : base_(base) {
+  NDE_CHECK(base != nullptr);
+  NDE_CHECK_EQ(group_of.size(), base->num_units());
+  num_groups_ = 0;
+  for (size_t g : group_of) num_groups_ = std::max(num_groups_, g + 1);
+  rows_by_group_.assign(num_groups_, {});
+  for (size_t i = 0; i < group_of.size(); ++i) {
+    rows_by_group_[group_of[i]].push_back(i);
+  }
+}
+
+Result<GroupedUtility> GroupedUtility::Create(const UtilityFunction* base,
+                                              std::vector<size_t> group_of) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("base utility must be non-null");
+  }
+  if (group_of.size() != base->num_units()) {
+    return Status::InvalidArgument(
+        StrFormat("group assignment covers %zu rows, utility has %zu",
+                  group_of.size(), base->num_units()));
+  }
+  size_t num_groups = 0;
+  for (size_t g : group_of) num_groups = std::max(num_groups, g + 1);
+  std::vector<bool> seen(num_groups, false);
+  for (size_t g : group_of) seen[g] = true;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (!seen[g]) {
+      return Status::InvalidArgument(
+          StrFormat("group ids must be dense; %zu is unused", g));
+    }
+  }
+  return GroupedUtility(base, std::move(group_of));
+}
+
+double GroupedUtility::Evaluate(const std::vector<size_t>& group_subset) const {
+  std::vector<size_t> rows;
+  for (size_t g : group_subset) {
+    NDE_CHECK_LT(g, num_groups_);
+    rows.insert(rows.end(), rows_by_group_[g].begin(),
+                rows_by_group_[g].end());
+  }
+  std::sort(rows.begin(), rows.end());
+  return base_->Evaluate(rows);
+}
+
+Result<std::vector<double>> GroupShapleyValues(
+    const ClassifierFactory& factory, const MlDataset& train,
+    const MlDataset& validation, const std::vector<size_t>& group_of) {
+  ModelAccuracyUtility base(factory, train, validation);
+  NDE_ASSIGN_OR_RETURN(GroupedUtility grouped,
+                       GroupedUtility::Create(&base, group_of));
+  return ExactShapleyValues(grouped, /*max_units=*/15);
+}
+
+}  // namespace nde

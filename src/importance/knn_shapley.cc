@@ -1,0 +1,100 @@
+#include "importance/knn_shapley.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace nde {
+
+namespace {
+
+/// Training indices sorted by squared distance to `query` (ties by index).
+std::vector<size_t> DistanceOrder(const Matrix& train_features,
+                                  const std::vector<double>& query) {
+  size_t n = train_features.rows();
+  std::vector<double> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = train_features.RowPtr(i);
+    double acc = 0.0;
+    for (size_t c = 0; c < train_features.cols(); ++c) {
+      double diff = row[c] - query[c];
+      acc += diff * diff;
+    }
+    dist[i] = acc;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&dist](size_t a, size_t b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<double> KnnShapleyValues(const MlDataset& train,
+                                     const MlDataset& validation, size_t k) {
+  NDE_CHECK_GE(k, 1u);
+  NDE_CHECK_GT(train.size(), 0u);
+  NDE_CHECK_GT(validation.size(), 0u);
+  NDE_CHECK_EQ(train.features.cols(), validation.features.cols());
+  size_t n = train.size();
+  double kd = static_cast<double>(k);
+
+  std::vector<double> values(n, 0.0);
+  std::vector<double> s(n, 0.0);
+  for (size_t v = 0; v < validation.size(); ++v) {
+    std::vector<size_t> order =
+        DistanceOrder(train.features, validation.features.Row(v));
+    int y = validation.labels[v];
+    // Recurrence from Jia et al. (2019), Theorem 1. Positions are 1-indexed
+    // in the paper; `pos` below is 0-indexed.
+    size_t farthest = order[n - 1];
+    s[farthest] = (train.labels[farthest] == y ? 1.0 : 0.0) /
+                  static_cast<double>(n);
+    for (size_t pos = n - 1; pos-- > 0;) {
+      size_t i = order[pos];
+      size_t next = order[pos + 1];
+      double indicator_i = train.labels[i] == y ? 1.0 : 0.0;
+      double indicator_next = train.labels[next] == y ? 1.0 : 0.0;
+      double rank = static_cast<double>(pos + 1);  // 1-indexed position.
+      s[i] = s[next] + (indicator_i - indicator_next) / kd *
+                           std::min(kd, rank) / rank;
+    }
+    for (size_t i = 0; i < n; ++i) values[i] += s[i];
+  }
+  double inv_m = 1.0 / static_cast<double>(validation.size());
+  for (double& value : values) value *= inv_m;
+  return values;
+}
+
+SoftKnnUtility::SoftKnnUtility(MlDataset train, MlDataset validation, size_t k)
+    : train_(std::move(train)), validation_(std::move(validation)), k_(k) {
+  NDE_CHECK_GE(k, 1u);
+  distance_order_.reserve(validation_.size());
+  for (size_t v = 0; v < validation_.size(); ++v) {
+    distance_order_.push_back(
+        DistanceOrder(train_.features, validation_.features.Row(v)));
+  }
+}
+
+double SoftKnnUtility::Evaluate(const std::vector<size_t>& subset) const {
+  if (subset.empty() || validation_.size() == 0) return 0.0;
+  std::unordered_set<size_t> members(subset.begin(), subset.end());
+  double total = 0.0;
+  for (size_t v = 0; v < validation_.size(); ++v) {
+    int y = validation_.labels[v];
+    size_t taken = 0;
+    double hits = 0.0;
+    for (size_t idx : distance_order_[v]) {
+      if (members.find(idx) == members.end()) continue;
+      if (train_.labels[idx] == y) hits += 1.0;
+      if (++taken >= k_) break;
+    }
+    total += hits / static_cast<double>(k_);
+  }
+  return total / static_cast<double>(validation_.size());
+}
+
+}  // namespace nde

@@ -1,0 +1,49 @@
+#ifndef NDE_IMPORTANCE_KNN_SHAPLEY_H_
+#define NDE_IMPORTANCE_KNN_SHAPLEY_H_
+
+#include <vector>
+
+#include "importance/utility.h"
+#include "ml/dataset.h"
+
+namespace nde {
+
+/// Exact Shapley values for the soft K-NN utility in O(n log n) per
+/// validation point (Jia et al., "Efficient task-specific data valuation for
+/// nearest neighbor algorithms", 2019) — the workhorse that makes
+/// Shapley-based data debugging tractable (Figure 2's
+/// `nde.knn_shapley_values`).
+///
+/// The underlying cooperative game is
+///   v(S) = mean over validation points of
+///          (1/K) * sum_{j=1}^{min(K,|S|)} 1[label of j-th nearest in S == y]
+/// with v(empty) = 0. The returned values satisfy the efficiency axiom:
+/// sum_i phi_i == v(full training set).
+///
+/// Ties in distance are broken by training index, matching
+/// `KnnClassifier::Neighbors`.
+std::vector<double> KnnShapleyValues(const MlDataset& train,
+                                     const MlDataset& validation, size_t k);
+
+/// The same game as an explicit UtilityFunction, used to validate the closed
+/// form against exact enumeration in tests and to plug the KNN proxy game
+/// into the generic Monte-Carlo estimators.
+class SoftKnnUtility : public UtilityFunction {
+ public:
+  SoftKnnUtility(MlDataset train, MlDataset validation, size_t k);
+
+  double Evaluate(const std::vector<size_t>& subset) const override;
+  size_t num_units() const override { return train_.size(); }
+
+ private:
+  MlDataset train_;
+  MlDataset validation_;
+  size_t k_;
+  /// distance_order_[v] = training indices sorted by distance to validation
+  /// point v (precomputed once).
+  std::vector<std::vector<size_t>> distance_order_;
+};
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_KNN_SHAPLEY_H_

@@ -1,0 +1,149 @@
+#include "importance/label_scores.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/logistic_regression.h"
+
+namespace nde {
+
+Result<std::vector<double>> AumScores(const MlDataset& data,
+                                      const AumOptions& options) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  int num_classes = std::max(data.NumClasses(), 2);
+  size_t n = data.size();
+  size_t d = data.features.cols();
+
+  FeatureScaler scaler = FeatureScaler::Fit(data.features);
+  Matrix x = scaler.Transform(data.features);
+
+  Matrix weights(static_cast<size_t>(num_classes), d + 1);
+  Matrix gradient(static_cast<size_t>(num_classes), d + 1);
+  std::vector<double> margin_sum(n, 0.0);
+  double inv_n = 1.0 / static_cast<double>(n);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Forward pass: logits, margins, probabilities.
+    Matrix logits(n, static_cast<size_t>(num_classes));
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.RowPtr(i);
+      for (int c = 0; c < num_classes; ++c) {
+        const double* w = weights.RowPtr(static_cast<size_t>(c));
+        double acc = w[d];
+        for (size_t j = 0; j < d; ++j) acc += w[j] * xi[j];
+        logits(i, static_cast<size_t>(c)) = acc;
+      }
+      double assigned = logits(i, static_cast<size_t>(data.labels[i]));
+      double best_other = -1e300;
+      for (int c = 0; c < num_classes; ++c) {
+        if (c == data.labels[i]) continue;
+        best_other = std::max(best_other, logits(i, static_cast<size_t>(c)));
+      }
+      margin_sum[i] += assigned - best_other;
+    }
+    SoftmaxRowsInPlace(&logits);
+    // Backward pass.
+    for (size_t i = 0; i < gradient.size(); ++i) {
+      gradient.mutable_data()[i] = 0.0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.RowPtr(i);
+      for (int c = 0; c < num_classes; ++c) {
+        double err = logits(i, static_cast<size_t>(c)) -
+                     (data.labels[i] == c ? 1.0 : 0.0);
+        double* grad = gradient.RowPtr(static_cast<size_t>(c));
+        for (size_t j = 0; j < d; ++j) grad[j] += err * xi[j];
+        grad[d] += err;
+      }
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      double* grad = gradient.RowPtr(static_cast<size_t>(c));
+      const double* w = weights.RowPtr(static_cast<size_t>(c));
+      for (size_t j = 0; j < d; ++j) {
+        grad[j] = grad[j] * inv_n + options.l2 * w[j];
+      }
+      grad[d] *= inv_n;
+    }
+    gradient.ScaleInPlace(-options.learning_rate);
+    weights.AddInPlace(gradient);
+  }
+
+  for (double& m : margin_sum) m /= static_cast<double>(options.epochs);
+  return margin_sum;
+}
+
+Result<std::vector<double>> SelfConfidenceScores(
+    const ClassifierFactory& factory, const MlDataset& data,
+    const SelfConfidenceOptions& options) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (factory == nullptr) {
+    return Status::InvalidArgument("null classifier factory");
+  }
+  size_t n = data.size();
+  if (options.num_folds < 2 || n < options.num_folds) {
+    return Status::InvalidArgument("need num_folds >= 2 and n >= num_folds");
+  }
+  int num_classes = std::max(data.NumClasses(), 2);
+
+  Rng rng(options.seed);
+  std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<size_t> fold_of(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    fold_of[perm[pos]] = pos % options.num_folds;
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (size_t fold = 0; fold < options.num_folds; ++fold) {
+    std::vector<size_t> train_idx;
+    std::vector<size_t> held_idx;
+    for (size_t i = 0; i < n; ++i) {
+      (fold_of[i] == fold ? held_idx : train_idx).push_back(i);
+    }
+    if (train_idx.empty() || held_idx.empty()) continue;
+    MlDataset fold_train = data.Subset(train_idx);
+    std::unique_ptr<Classifier> model = factory();
+    NDE_RETURN_IF_ERROR(model->FitWithClasses(fold_train, num_classes));
+    MlDataset held = data.Subset(held_idx);
+    Matrix proba = model->PredictProba(held.features);
+    for (size_t pos = 0; pos < held_idx.size(); ++pos) {
+      scores[held_idx[pos]] =
+          proba(pos, static_cast<size_t>(data.labels[held_idx[pos]]));
+    }
+  }
+  return scores;
+}
+
+std::vector<size_t> ConfidentLearningSuspects(
+    const std::vector<double>& self_confidence, const std::vector<int>& labels) {
+  NDE_CHECK_EQ(self_confidence.size(), labels.size());
+  // Per-class mean self-confidence threshold.
+  std::vector<double> class_sum;
+  std::vector<size_t> class_count;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    size_t c = static_cast<size_t>(labels[i]);
+    if (c >= class_sum.size()) {
+      class_sum.resize(c + 1, 0.0);
+      class_count.resize(c + 1, 0);
+    }
+    class_sum[c] += self_confidence[i];
+    ++class_count[c];
+  }
+  std::vector<double> threshold(class_sum.size(), 0.0);
+  for (size_t c = 0; c < class_sum.size(); ++c) {
+    if (class_count[c] > 0) {
+      threshold[c] = class_sum[c] / static_cast<double>(class_count[c]);
+    }
+  }
+  std::vector<size_t> suspects;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (self_confidence[i] < threshold[static_cast<size_t>(labels[i])]) {
+      suspects.push_back(i);
+    }
+  }
+  return suspects;
+}
+
+}  // namespace nde

@@ -1,0 +1,53 @@
+#ifndef NDE_IMPORTANCE_LABEL_SCORES_H_
+#define NDE_IMPORTANCE_LABEL_SCORES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// --- Area under the margin (Pleiss et al. 2020) ------------------------------
+
+struct AumOptions {
+  double learning_rate = 0.5;
+  size_t epochs = 60;
+  double l2 = 1e-3;
+};
+
+/// Trains a softmax logistic model by gradient descent and records, for every
+/// training example and epoch, the margin
+///   logit(assigned label) - max logit(other labels).
+/// The returned score is the mean margin over training ("area under the
+/// margin"). Mislabeled examples fight the gradient signal of their
+/// neighbors and accumulate low or negative margins, so *low* AUM flags
+/// suspect labels.
+Result<std::vector<double>> AumScores(const MlDataset& data,
+                                      const AumOptions& options = {});
+
+/// --- Cross-validated self-confidence (confident-learning style) --------------
+
+struct SelfConfidenceOptions {
+  size_t num_folds = 5;
+  uint64_t seed = 42;
+};
+
+/// Out-of-fold predicted probability of each example's *assigned* label,
+/// using models trained on the other folds (Northcutt et al.'s
+/// self-confidence signal). Low values flag suspect labels.
+Result<std::vector<double>> SelfConfidenceScores(
+    const ClassifierFactory& factory, const MlDataset& data,
+    const SelfConfidenceOptions& options = {});
+
+/// Confident-learning-style suspect selection: an example is a suspect when
+/// its self-confidence falls below the mean self-confidence of its assigned
+/// class. Returns suspect indices (sorted).
+std::vector<size_t> ConfidentLearningSuspects(
+    const std::vector<double>& self_confidence, const std::vector<int>& labels);
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_LABEL_SCORES_H_

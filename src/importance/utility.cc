@@ -1,0 +1,55 @@
+#include "importance/utility.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace nde {
+
+double UtilityFunction::FullUtility() const {
+  std::vector<size_t> all(num_units());
+  std::iota(all.begin(), all.end(), size_t{0});
+  return Evaluate(all);
+}
+
+ModelAccuracyUtility::ModelAccuracyUtility(ClassifierFactory factory,
+                                           MlDataset train, MlDataset validation)
+    : factory_(std::move(factory)),
+      train_(std::move(train)),
+      validation_(std::move(validation)) {
+  NDE_CHECK(factory_ != nullptr);
+  num_classes_ = std::max({train_.NumClasses(), validation_.NumClasses(), 2});
+}
+
+double ModelAccuracyUtility::Evaluate(const std::vector<size_t>& subset) const {
+  ++evaluations_;
+  if (subset.empty()) {
+    return 1.0 / static_cast<double>(num_classes_);
+  }
+  MlDataset coalition = train_.Subset(subset);
+  std::unique_ptr<Classifier> model = factory_();
+  Status fit = model->FitWithClasses(coalition, num_classes_);
+  if (fit.ok()) {
+    std::vector<int> predicted = model->Predict(validation_.features);
+    return Accuracy(validation_.labels, predicted);
+  }
+  // Fallback: majority-label predictor of the coalition.
+  std::map<int, size_t> counts;
+  for (int label : coalition.labels) ++counts[label];
+  int majority = 0;
+  size_t best = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best) {
+      best = count;
+      majority = label;
+    }
+  }
+  size_t correct = 0;
+  for (int label : validation_.labels) {
+    if (label == majority) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(validation_.labels.size());
+}
+
+}  // namespace nde

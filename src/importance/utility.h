@@ -1,0 +1,67 @@
+#ifndef NDE_IMPORTANCE_UTILITY_H_
+#define NDE_IMPORTANCE_UTILITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// A coalition utility v(S) over subsets of training units, the object all
+/// game-theoretic importance methods (LOO, Shapley, Banzhaf, Beta-Shapley)
+/// are defined on.
+///
+/// Subsets are given as sorted, unique indices into the training set.
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Value of the coalition `subset`.
+  virtual double Evaluate(const std::vector<size_t>& subset) const = 0;
+
+  /// Number of training units (players).
+  virtual size_t num_units() const = 0;
+
+  /// v(N): utility of the full training set.
+  double FullUtility() const;
+
+  /// v(empty set).
+  double EmptyUtility() const { return Evaluate({}); }
+};
+
+/// The standard data-valuation utility: validation accuracy of a model
+/// retrained on the subset.
+///
+/// Conventions for degenerate coalitions:
+///   - empty subset: random-guess accuracy 1/num_classes;
+///   - training failure (e.g. one class only and the model rejects it):
+///     accuracy of predicting the subset's majority label on the validation
+///     set.
+class ModelAccuracyUtility : public UtilityFunction {
+ public:
+  ModelAccuracyUtility(ClassifierFactory factory, MlDataset train,
+                       MlDataset validation);
+
+  double Evaluate(const std::vector<size_t>& subset) const override;
+  size_t num_units() const override { return train_.size(); }
+
+  const MlDataset& train() const { return train_; }
+  const MlDataset& validation() const { return validation_; }
+
+  /// Total number of Evaluate calls so far (Monte-Carlo cost accounting).
+  size_t num_evaluations() const { return evaluations_; }
+
+ private:
+  ClassifierFactory factory_;
+  MlDataset train_;
+  MlDataset validation_;
+  int num_classes_;
+  mutable size_t evaluations_ = 0;
+};
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_UTILITY_H_

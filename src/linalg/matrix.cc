@@ -1,0 +1,193 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nde {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    NDE_CHECK_EQ(rows[r].size(), m.cols_) << "ragged row " << r;
+    std::copy(rows[r].begin(), rows[r].end(), m.RowPtr(r));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  NDE_CHECK_LT(r, rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  NDE_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  NDE_CHECK_LT(r, rows_);
+  NDE_CHECK_EQ(values.size(), cols_);
+  std::copy(values.begin(), values.end(), RowPtr(r));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  NDE_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams over contiguous rows of both operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& v) const {
+  NDE_CHECK_EQ(v.size(), cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposedMatVec(const std::vector<double>& v) const {
+  NDE_CHECK_EQ(v.size(), rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double scale = v[r];
+    if (scale == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += scale * row[c];
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  NDE_CHECK_EQ(rows_, other.rows_);
+  NDE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::ScaleInPlace(double factor) {
+  for (double& value : data_) value *= factor;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    NDE_CHECK_LT(row_indices[i], rows_);
+    std::copy(RowPtr(row_indices[i]), RowPtr(row_indices[i]) + cols_,
+              out.RowPtr(i));
+  }
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (empty() && rows_ == 0) {
+    *this = other;
+    return;
+  }
+  NDE_CHECK_EQ(cols_, other.cols_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  NDE_CHECK_EQ(rows_, other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::copy(RowPtr(r), RowPtr(r) + cols_, out.RowPtr(r));
+    std::copy(other.RowPtr(r), other.RowPtr(r) + other.cols_,
+              out.RowPtr(r) + cols_);
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  NDE_CHECK_EQ(rows_, other.rows_);
+  NDE_CHECK_EQ(cols_, other.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Matrix::DebugString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  size_t show_rows = std::min(rows_, max_rows);
+  size_t show_cols = std::min(cols_, max_cols);
+  for (size_t r = 0; r < show_rows; ++r) {
+    os << "\n  [";
+    for (size_t c = 0; c < show_cols; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    if (show_cols < cols_) os << ", ...";
+    os << "]";
+  }
+  if (show_rows < rows_) os << "\n  ...";
+  return os.str();
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  NDE_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  NDE_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  NDE_CHECK(y != nullptr);
+  NDE_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* v) {
+  NDE_CHECK(v != nullptr);
+  for (double& value : *v) value *= alpha;
+}
+
+}  // namespace nde

@@ -1,0 +1,145 @@
+#ifndef NDE_LINALG_MATRIX_H_
+#define NDE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nde {
+
+/// Dense row-major matrix of doubles. The workhorse numeric container for
+/// feature matrices, model parameters and intermediate products.
+///
+/// Kept deliberately simple: contiguous storage, bounds-checked element
+/// access via NDE_CHECK in debug-friendly builds, and explicit methods
+/// instead of expression templates so that generated code stays predictable.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    NDE_CHECK_LT(r, rows_);
+    NDE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    NDE_CHECK_LT(r, rows_);
+    NDE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for inner loops.
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r` (contiguous `cols()` doubles).
+  double* RowPtr(size_t r) {
+    NDE_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    NDE_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Copy of row `r` as a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// Copy of column `c` as a vector.
+  std::vector<double> Col(size_t c) const;
+
+  /// Overwrites row `r`. Precondition: values.size() == cols().
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other. Precondition: cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Matrix-vector product this * v. Precondition: v.size() == cols().
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// Transposed matrix-vector product this^T * v.
+  /// Precondition: v.size() == rows().
+  std::vector<double> TransposedMatVec(const std::vector<double>& v) const;
+
+  /// Elementwise in-place operations.
+  void AddInPlace(const Matrix& other);
+  void ScaleInPlace(double factor);
+
+  /// Returns the submatrix consisting of the given rows, in order.
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  /// Appends the rows of `other`. Precondition: other.cols() == cols() (or
+  /// this matrix is empty, in which case it adopts other's width).
+  void AppendRows(const Matrix& other);
+
+  /// Horizontal concatenation [this | other].
+  /// Precondition: other.rows() == rows().
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Maximum absolute difference with `other` (matching shapes required).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Raw storage access (row-major).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Compact human-readable rendering for debugging and test failures.
+  std::string DebugString(size_t max_rows = 8, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Free-function vector helpers used throughout the library.
+
+/// Dot product. Precondition: a.size() == b.size().
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm2(const std::vector<double>& v);
+
+/// Squared Euclidean distance. Precondition: a.size() == b.size().
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// y += alpha * x. Precondition: x.size() == y->size().
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// Elementwise scale in place.
+void Scale(double alpha, std::vector<double>* v);
+
+}  // namespace nde
+
+#endif  // NDE_LINALG_MATRIX_H_

@@ -1,0 +1,125 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+namespace {
+
+/// Forward substitution: solves L y = b for lower-triangular L.
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b) {
+  size_t n = l.rows();
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+/// Backward substitution: solves L^T x = y for lower-triangular L.
+std::vector<double> BackwardSubstituteTransposed(const Matrix& l,
+                                                 const std::vector<double>& y) {
+  size_t n = l.rows();
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) acc -= l(j, ii) * x[j];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("Cholesky requires a square matrix, got %zux%zu", a.rows(),
+                  a.cols()));
+  }
+  size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0 || !std::isfinite(acc)) {
+          return Status::FailedPrecondition(StrFormat(
+              "matrix is not positive definite (pivot %zu = %g)", i, acc));
+        }
+        l(i, j) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("rhs size %zu does not match matrix rows %zu", b.size(),
+                  a.rows()));
+  }
+  NDE_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  std::vector<double> y = ForwardSubstitute(l, b);
+  return BackwardSubstituteTransposed(l, y);
+}
+
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b) {
+  if (b.rows() != a.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("rhs rows %zu do not match matrix rows %zu", b.rows(),
+                  a.rows()));
+  }
+  NDE_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    std::vector<double> col = b.Col(c);
+    std::vector<double> y = ForwardSubstitute(l, col);
+    std::vector<double> sol = BackwardSubstituteTransposed(l, y);
+    for (size_t r = 0; r < x.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Result<Matrix> SpdInverse(const Matrix& a) {
+  return CholeskySolveMatrix(a, Matrix::Identity(a.rows()));
+}
+
+Result<std::vector<double>> RidgeSolve(const Matrix& x,
+                                       const std::vector<double>& y,
+                                       double lambda) {
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("label count %zu does not match row count %zu", y.size(),
+                  x.rows()));
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  size_t d = x.cols();
+  // Gram matrix X^T X + lambda I.
+  Matrix gram(d, d);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t i = 0; i < d; ++i) {
+      double xi = row[i];
+      if (xi == 0.0) continue;
+      for (size_t j = 0; j < d; ++j) gram(i, j) += xi * row[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) gram(i, i) += lambda;
+  std::vector<double> xty = x.TransposedMatVec(y);
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace nde

@@ -1,0 +1,38 @@
+#ifndef NDE_LINALG_SOLVE_H_
+#define NDE_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace nde {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns the lower-triangular factor L, or InvalidArgument when A is not
+/// square / FailedPrecondition when A is not (numerically) positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Precondition: b.size() == a.rows().
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+/// Solves A X = B column-by-column for symmetric positive-definite A.
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b);
+
+/// Inverse of a symmetric positive-definite matrix via Cholesky. Intended for
+/// small systems (d x d Hessians in influence functions), not large n.
+Result<Matrix> SpdInverse(const Matrix& a);
+
+/// Solves the ridge-regularized least squares problem
+///   min_w ||X w - y||^2 + lambda ||w||^2
+/// via the normal equations (X^T X + lambda I) w = X^T y.
+/// `lambda` must be >= 0; lambda > 0 guarantees a unique solution.
+Result<std::vector<double>> RidgeSolve(const Matrix& x,
+                                       const std::vector<double>& y,
+                                       double lambda);
+
+}  // namespace nde
+
+#endif  // NDE_LINALG_SOLVE_H_

@@ -1,0 +1,212 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nde {
+
+namespace {
+
+/// Gini impurity of a label histogram with `total` examples.
+double Gini(const std::vector<size_t>& histogram, size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  double inv = 1.0 / static_cast<double>(total);
+  for (size_t count : histogram) {
+    double p = static_cast<double>(count) * inv;
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(DecisionTreeOptions options)
+    : options_(options) {}
+
+Status DecisionTreeClassifier::Fit(const MlDataset& data) {
+  return FitWithClasses(data, data.NumClasses());
+}
+
+Status DecisionTreeClassifier::FitWithClasses(const MlDataset& data,
+                                              int num_classes) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit tree on empty data");
+  }
+  if (num_classes < data.NumClasses()) {
+    return Status::InvalidArgument("num_classes below max label");
+  }
+  num_classes_ = std::max(num_classes, 1);
+  nodes_.clear();
+  std::vector<size_t> all(data.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  BuildNode(data, all, 0);
+  fitted_ = true;
+  return Status::OK();
+}
+
+int DecisionTreeClassifier::BuildNode(const MlDataset& data,
+                                      const std::vector<size_t>& indices,
+                                      size_t depth) {
+  Node node;
+  std::vector<size_t> histogram(static_cast<size_t>(num_classes_), 0);
+  for (size_t i : indices) ++histogram[static_cast<size_t>(data.labels[i])];
+  node.class_fractions.assign(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    node.class_fractions[static_cast<size_t>(c)] =
+        static_cast<double>(histogram[static_cast<size_t>(c)]) /
+        static_cast<double>(indices.size());
+  }
+
+  double parent_gini = Gini(histogram, indices.size());
+  bool can_split = depth < options_.max_depth &&
+                   indices.size() >= options_.min_samples_split &&
+                   parent_gini > 0.0;
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  // Accept any valid split of an impure node, even at zero gain (as CART
+  // implementations do): parity-style targets like XOR have zero first-split
+  // gain but become separable one level down. Among (near-)equal gains the
+  // most balanced split wins — this makes zero-gain levels of parity targets
+  // cut through the middle instead of shaving single points off.
+  double best_gain = -1.0;
+  size_t best_imbalance = 0;
+
+  if (can_split) {
+    size_t d = data.features.cols();
+    std::vector<size_t> sorted = indices;
+    for (size_t f = 0; f < d; ++f) {
+      std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+        double va = data.features(a, f);
+        double vb = data.features(b, f);
+        if (va != vb) return va < vb;
+        return a < b;
+      });
+      std::vector<size_t> left_hist(static_cast<size_t>(num_classes_), 0);
+      std::vector<size_t> right_hist = histogram;
+      for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+        size_t idx = sorted[pos];
+        size_t label = static_cast<size_t>(data.labels[idx]);
+        ++left_hist[label];
+        --right_hist[label];
+        double v = data.features(idx, f);
+        double v_next = data.features(sorted[pos + 1], f);
+        if (v == v_next) continue;  // Can only split between distinct values.
+        size_t left_count = pos + 1;
+        size_t right_count = sorted.size() - left_count;
+        if (left_count < options_.min_samples_leaf ||
+            right_count < options_.min_samples_leaf) {
+          continue;
+        }
+        double weighted =
+            (static_cast<double>(left_count) * Gini(left_hist, left_count) +
+             static_cast<double>(right_count) * Gini(right_hist, right_count)) /
+            static_cast<double>(sorted.size());
+        double gain = parent_gini - weighted;
+        size_t imbalance = left_count > right_count ? left_count - right_count
+                                                    : right_count - left_count;
+        bool better = gain > best_gain + 1e-12 ||
+                      (gain > best_gain - 1e-12 && best_feature >= 0 &&
+                       imbalance < best_imbalance);
+        if (better) {
+          best_gain = std::max(gain, best_gain);
+          best_imbalance = imbalance;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (v + v_next);
+        }
+      }
+    }
+  }
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (best_feature >= 0) {
+    std::vector<size_t> left_indices;
+    std::vector<size_t> right_indices;
+    for (size_t i : indices) {
+      if (data.features(i, static_cast<size_t>(best_feature)) <=
+          best_threshold) {
+        left_indices.push_back(i);
+      } else {
+        right_indices.push_back(i);
+      }
+    }
+    int left = BuildNode(data, left_indices, depth + 1);
+    int right = BuildNode(data, right_indices, depth + 1);
+    nodes_[static_cast<size_t>(node_index)].feature = best_feature;
+    nodes_[static_cast<size_t>(node_index)].threshold = best_threshold;
+    nodes_[static_cast<size_t>(node_index)].left = left;
+    nodes_[static_cast<size_t>(node_index)].right = right;
+  }
+  return node_index;
+}
+
+const DecisionTreeClassifier::Node& DecisionTreeClassifier::Descend(
+    const double* row) const {
+  const Node* node = &nodes_[0];
+  while (node->feature >= 0) {
+    int next = row[static_cast<size_t>(node->feature)] <= node->threshold
+                   ? node->left
+                   : node->right;
+    node = &nodes_[static_cast<size_t>(next)];
+  }
+  return *node;
+}
+
+std::vector<int> DecisionTreeClassifier::Predict(const Matrix& features) const {
+  NDE_CHECK(fitted_);
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const Node& leaf = Descend(features.RowPtr(r));
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (leaf.class_fractions[static_cast<size_t>(c)] >
+          leaf.class_fractions[static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+Matrix DecisionTreeClassifier::PredictProba(const Matrix& features) const {
+  NDE_CHECK(fitted_);
+  Matrix proba(features.rows(), static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const Node& leaf = Descend(features.RowPtr(r));
+    for (int c = 0; c < num_classes_; ++c) {
+      proba(r, static_cast<size_t>(c)) =
+          leaf.class_fractions[static_cast<size_t>(c)];
+    }
+  }
+  return proba;
+}
+
+size_t DecisionTreeClassifier::Depth() const {
+  NDE_CHECK(fitted_);
+  // Iterative depth computation over the flat node array.
+  std::vector<std::pair<int, size_t>> stack = {{0, 1}};
+  size_t max_depth = 0;
+  while (!stack.empty()) {
+    auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.feature >= 0) {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::unique_ptr<Classifier> DecisionTreeClassifier::Clone() const {
+  return std::make_unique<DecisionTreeClassifier>(options_);
+}
+
+}  // namespace nde

@@ -1,0 +1,62 @@
+#ifndef NDE_ML_DECISION_TREE_H_
+#define NDE_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace nde {
+
+/// Configuration for the CART decision-tree trainer.
+struct DecisionTreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+};
+
+/// CART-style decision-tree classifier: axis-aligned binary splits chosen by
+/// Gini impurity reduction over exact midpoints of sorted feature values.
+/// Fully deterministic; ties favor lower feature index and smaller threshold.
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeOptions options = {});
+
+  Status Fit(const MlDataset& data) override;
+  Status FitWithClasses(const MlDataset& data, int num_classes) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Matrix PredictProba(const Matrix& features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override { return "decision_tree"; }
+
+  /// Number of nodes in the fitted tree (diagnostics). Precondition: fitted.
+  size_t NodeCount() const { return nodes_.size(); }
+
+  /// Depth of the fitted tree. Precondition: fitted.
+  size_t Depth() const;
+
+ private:
+  /// Flat node storage; children referenced by index (-1 = none).
+  struct Node {
+    int feature = -1;        ///< split feature, -1 for a leaf
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<double> class_fractions;  ///< leaf class distribution
+  };
+
+  int BuildNode(const MlDataset& data, const std::vector<size_t>& indices,
+                size_t depth);
+  const Node& Descend(const double* row) const;
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace nde
+
+#endif  // NDE_ML_DECISION_TREE_H_

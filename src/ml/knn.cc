@@ -1,0 +1,94 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+KnnClassifier::KnnClassifier(size_t k) : k_(k) { NDE_CHECK_GE(k, 1u); }
+
+Status KnnClassifier::Fit(const MlDataset& data) {
+  return FitWithClasses(data, data.NumClasses());
+}
+
+Status KnnClassifier::FitWithClasses(const MlDataset& data, int num_classes) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit KNN on an empty dataset");
+  }
+  if (num_classes < data.NumClasses()) {
+    return Status::InvalidArgument("num_classes below max label");
+  }
+  train_ = data;
+  num_classes_ = std::max(num_classes, 1);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<size_t> KnnClassifier::Neighbors(const std::vector<double>& query,
+                                             size_t k) const {
+  NDE_CHECK(fitted_) << "KNN not fitted";
+  size_t n = train_.size();
+  std::vector<double> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = train_.features.RowPtr(i);
+    double acc = 0.0;
+    for (size_t c = 0; c < train_.features.cols(); ++c) {
+      double diff = row[c] - query[c];
+      acc += diff * diff;
+    }
+    dist[i] = acc;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  size_t take = std::min(k, n);
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(take),
+                    order.end(), [&dist](size_t a, size_t b) {
+                      if (dist[a] != dist[b]) return dist[a] < dist[b];
+                      return a < b;  // Stable tie-break for determinism.
+                    });
+  order.resize(take);
+  return order;
+}
+
+std::vector<int> KnnClassifier::Predict(const Matrix& features) const {
+  std::vector<int> out(features.rows());
+  Matrix proba = PredictProba(features);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (proba(r, static_cast<size_t>(c)) >
+          proba(r, static_cast<size_t>(best))) {
+        best = c;
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+Matrix KnnClassifier::PredictProba(const Matrix& features) const {
+  NDE_CHECK(fitted_) << "KNN not fitted";
+  NDE_CHECK_EQ(features.cols(), train_.features.cols());
+  Matrix proba(features.rows(), static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    std::vector<size_t> neighbors = Neighbors(features.Row(r), k_);
+    double weight = 1.0 / static_cast<double>(neighbors.size());
+    for (size_t idx : neighbors) {
+      proba(r, static_cast<size_t>(train_.labels[idx])) += weight;
+    }
+  }
+  return proba;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::Clone() const {
+  return std::make_unique<KnnClassifier>(k_);
+}
+
+std::string KnnClassifier::name() const {
+  return StrFormat("knn(k=%zu)", k_);
+}
+
+}  // namespace nde

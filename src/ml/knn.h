@@ -1,0 +1,49 @@
+#ifndef NDE_ML_KNN_H_
+#define NDE_ML_KNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace nde {
+
+/// K-nearest-neighbors classifier with Euclidean distance and majority vote
+/// (ties broken toward the smaller class id, which keeps behavior
+/// deterministic).
+///
+/// KNN plays a double role in this library: it is both a baseline model and
+/// the proxy model that makes Shapley-based data importance tractable
+/// (`KnnShapley` in the importance module uses the same distance ordering).
+class KnnClassifier : public Classifier {
+ public:
+  /// `k` must be >= 1.
+  explicit KnnClassifier(size_t k = 5);
+
+  Status Fit(const MlDataset& data) override;
+  Status FitWithClasses(const MlDataset& data, int num_classes) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Matrix PredictProba(const Matrix& features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override;
+
+  size_t k() const { return k_; }
+
+  /// Indices of the (up to) `k` nearest training rows to `query`, ordered by
+  /// increasing distance. Exposed for KNN-Shapley and certain-prediction
+  /// analyses. Precondition: fitted.
+  std::vector<size_t> Neighbors(const std::vector<double>& query,
+                                size_t k) const;
+
+ private:
+  size_t k_;
+  MlDataset train_;
+  int num_classes_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace nde
+
+#endif  // NDE_ML_KNN_H_

@@ -1,0 +1,103 @@
+#include "ml/linear_regression.h"
+
+#include "common/string_util.h"
+#include "linalg/solve.h"
+
+namespace nde {
+
+namespace {
+
+/// Appends a constant-1 column when fitting an intercept.
+Matrix DesignMatrix(const Matrix& features, bool fit_intercept) {
+  if (!fit_intercept) return features;
+  Matrix ones(features.rows(), 1, 1.0);
+  return features.ConcatCols(ones);
+}
+
+}  // namespace
+
+RidgeRegression::RidgeRegression(double lambda, bool fit_intercept)
+    : lambda_(lambda), fit_intercept_(fit_intercept) {
+  NDE_CHECK_GE(lambda, 0.0);
+}
+
+Status RidgeRegression::Fit(const RegressionDataset& data) {
+  if (data.features.rows() != data.targets.size()) {
+    return Status::InvalidArgument(
+        StrFormat("feature rows %zu != target count %zu", data.features.rows(),
+                  data.targets.size()));
+  }
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit on empty data");
+  }
+  Matrix phi = DesignMatrix(data.features, fit_intercept_);
+  size_t p = phi.cols();
+  // Gram = Phi^T Phi + lambda I (intercept column also regularized only when
+  // lambda is tiny; we exclude it for statistical correctness).
+  Matrix gram(p, p);
+  for (size_t r = 0; r < phi.rows(); ++r) {
+    const double* row = phi.RowPtr(r);
+    for (size_t i = 0; i < p; ++i) {
+      double xi = row[i];
+      if (xi == 0.0) continue;
+      for (size_t j = 0; j < p; ++j) gram(i, j) += xi * row[j];
+    }
+  }
+  size_t reg_limit = fit_intercept_ ? p - 1 : p;
+  for (size_t i = 0; i < reg_limit; ++i) gram(i, i) += lambda_;
+  if (fit_intercept_) gram(p - 1, p - 1) += 1e-12;  // Numerical safeguard.
+
+  NDE_ASSIGN_OR_RETURN(Matrix gram_inv, SpdInverse(gram));
+  // hat_basis = gram_inv * Phi^T, shape p x n.
+  hat_basis_ = gram_inv.MatMul(phi.Transposed());
+  std::vector<double> coeffs = hat_basis_.MatVec(data.targets);
+
+  if (fit_intercept_) {
+    weights_.assign(coeffs.begin(), coeffs.end() - 1);
+    intercept_ = coeffs.back();
+  } else {
+    weights_ = coeffs;
+    intercept_ = 0.0;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double RidgeRegression::PredictOne(const std::vector<double>& x) const {
+  NDE_CHECK(fitted_);
+  NDE_CHECK_EQ(x.size(), weights_.size());
+  return Dot(x, weights_) + intercept_;
+}
+
+std::vector<double> RidgeRegression::Predict(const Matrix& features) const {
+  NDE_CHECK(fitted_);
+  std::vector<double> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const double* row = features.RowPtr(r);
+    double acc = intercept_;
+    for (size_t c = 0; c < weights_.size(); ++c) acc += weights_[c] * row[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double RidgeRegression::MeanSquaredError(const RegressionDataset& data) const {
+  std::vector<double> predictions = Predict(data.features);
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double diff = predictions[i] - data.targets[i];
+    total += diff * diff;
+  }
+  return data.size() == 0 ? 0.0 : total / static_cast<double>(data.size());
+}
+
+std::vector<double> RidgeRegression::HatRow(const std::vector<double>& x) const {
+  NDE_CHECK(fitted_);
+  std::vector<double> phi_x = x;
+  if (fit_intercept_) phi_x.push_back(1.0);
+  NDE_CHECK_EQ(phi_x.size(), hat_basis_.rows());
+  // a = phi(x)^T * hat_basis_ -> one weight per training example.
+  return hat_basis_.TransposedMatVec(phi_x);
+}
+
+}  // namespace nde

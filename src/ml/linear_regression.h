@@ -1,0 +1,57 @@
+#ifndef NDE_ML_LINEAR_REGRESSION_H_
+#define NDE_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "ml/dataset.h"
+
+namespace nde {
+
+/// Ridge-regularized linear regression solved in closed form via the normal
+/// equations. The regression substrate for the uncertainty module (Zorro's
+/// baseline, label-flip robustness, certain-model checks).
+class RidgeRegression {
+ public:
+  /// `lambda` >= 0; lambda > 0 guarantees a unique solution.
+  explicit RidgeRegression(double lambda = 1e-3, bool fit_intercept = true);
+
+  /// Fits on (features, targets). Returns InvalidArgument on shape mismatch
+  /// or FailedPrecondition when the system is singular (lambda == 0 only).
+  Status Fit(const RegressionDataset& data);
+
+  /// Predicted target per row. Precondition: fitted.
+  std::vector<double> Predict(const Matrix& features) const;
+
+  /// Prediction for a single example.
+  double PredictOne(const std::vector<double>& x) const;
+
+  /// Mean squared error on `data`. Precondition: fitted.
+  double MeanSquaredError(const RegressionDataset& data) const;
+
+  /// Learned weights (d entries) and intercept.
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  double lambda() const { return lambda_; }
+  bool fitted() const { return fitted_; }
+
+  /// The "hat" row a(x) with prediction = a(x)^T y for the training targets
+  /// y: a(x) = phi(x)^T (Phi^T Phi + lambda I)^{-1} Phi^T where phi appends
+  /// the intercept. Linearity of predictions in y powers the exact
+  /// label-flip robustness analysis. Precondition: fitted.
+  std::vector<double> HatRow(const std::vector<double>& x) const;
+
+ private:
+  double lambda_;
+  bool fit_intercept_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+  // Cached factorization inputs for HatRow: (Phi^T Phi + lambda I)^{-1} Phi^T.
+  Matrix hat_basis_;  // (d+1) x n
+};
+
+}  // namespace nde
+
+#endif  // NDE_ML_LINEAR_REGRESSION_H_

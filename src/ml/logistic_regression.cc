@@ -1,0 +1,141 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nde {
+
+void SoftmaxRowsInPlace(Matrix* logits) {
+  NDE_CHECK(logits != nullptr);
+  for (size_t r = 0; r < logits->rows(); ++r) {
+    double* row = logits->RowPtr(r);
+    double max_logit = row[0];
+    for (size_t c = 1; c < logits->cols(); ++c) {
+      max_logit = std::max(max_logit, row[c]);
+    }
+    double total = 0.0;
+    for (size_t c = 0; c < logits->cols(); ++c) {
+      row[c] = std::exp(row[c] - max_logit);
+      total += row[c];
+    }
+    for (size_t c = 0; c < logits->cols(); ++c) row[c] /= total;
+  }
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+Status LogisticRegression::Fit(const MlDataset& data) {
+  return FitWithClasses(data, data.NumClasses());
+}
+
+Status LogisticRegression::FitWithClasses(const MlDataset& data,
+                                          int num_classes) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit logistic regression on empty data");
+  }
+  if (num_classes < std::max(data.NumClasses(), 2)) {
+    num_classes = std::max(data.NumClasses(), 2);
+  }
+  num_classes_ = num_classes;
+  size_t n = data.size();
+  size_t d = data.features.cols();
+
+  scaler_ = options_.standardize ? FeatureScaler::Fit(data.features)
+                                 : FeatureScaler{std::vector<double>(d, 0.0),
+                                                 std::vector<double>(d, 1.0)};
+  Matrix x = scaler_.Transform(data.features);
+
+  weights_ = Matrix(static_cast<size_t>(num_classes_), d + 1);
+  Matrix gradient(static_cast<size_t>(num_classes_), d + 1);
+
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Forward pass: probabilities.
+    Matrix proba = Logits(x);
+    SoftmaxRowsInPlace(&proba);
+    // Gradient of mean cross-entropy + L2.
+    for (size_t i = 0; i < gradient.size(); ++i) {
+      gradient.mutable_data()[i] = 0.0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.RowPtr(i);
+      for (int c = 0; c < num_classes_; ++c) {
+        double err = proba(i, static_cast<size_t>(c)) -
+                     (data.labels[i] == c ? 1.0 : 0.0);
+        double* grad_row = gradient.RowPtr(static_cast<size_t>(c));
+        for (size_t j = 0; j < d; ++j) grad_row[j] += err * xi[j];
+        grad_row[d] += err;  // Bias term.
+      }
+    }
+    for (int c = 0; c < num_classes_; ++c) {
+      double* grad_row = gradient.RowPtr(static_cast<size_t>(c));
+      const double* w_row = weights_.RowPtr(static_cast<size_t>(c));
+      for (size_t j = 0; j < d; ++j) {
+        grad_row[j] = grad_row[j] * inv_n + options_.l2 * w_row[j];
+      }
+      grad_row[d] *= inv_n;  // Bias is not regularized.
+    }
+    gradient.ScaleInPlace(-options_.learning_rate);
+    weights_.AddInPlace(gradient);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Matrix LogisticRegression::Logits(const Matrix& features) const {
+  size_t d = features.cols();
+  NDE_CHECK_EQ(d + 1, weights_.cols());
+  Matrix logits(features.rows(), static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const double* xi = features.RowPtr(r);
+    for (int c = 0; c < num_classes_; ++c) {
+      const double* w = weights_.RowPtr(static_cast<size_t>(c));
+      double acc = w[d];  // Bias.
+      for (size_t j = 0; j < d; ++j) acc += w[j] * xi[j];
+      logits(r, static_cast<size_t>(c)) = acc;
+    }
+  }
+  return logits;
+}
+
+std::vector<int> LogisticRegression::Predict(const Matrix& features) const {
+  Matrix proba = PredictProba(features);
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (proba(r, static_cast<size_t>(c)) >
+          proba(r, static_cast<size_t>(best))) {
+        best = c;
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+Matrix LogisticRegression::PredictProba(const Matrix& features) const {
+  NDE_CHECK(fitted_) << "logistic regression not fitted";
+  Matrix logits = Logits(scaler_.Transform(features));
+  SoftmaxRowsInPlace(&logits);
+  return logits;
+}
+
+double LogisticRegression::LogLoss(const MlDataset& data) const {
+  NDE_CHECK(fitted_);
+  Matrix proba = PredictProba(data.features);
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double p = std::max(proba(i, static_cast<size_t>(data.labels[i])), 1e-12);
+    total -= std::log(p);
+  }
+  return data.size() == 0 ? 0.0 : total / static_cast<double>(data.size());
+}
+
+std::unique_ptr<Classifier> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(options_);
+}
+
+}  // namespace nde

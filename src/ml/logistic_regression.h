@@ -1,0 +1,62 @@
+#ifndef NDE_ML_LOGISTIC_REGRESSION_H_
+#define NDE_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace nde {
+
+/// Configuration for (multinomial) logistic regression training.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.5;
+  size_t epochs = 200;
+  double l2 = 1e-3;           ///< L2 regularization strength (per-example).
+  bool standardize = true;    ///< z-score features before training.
+};
+
+/// Multinomial (softmax) logistic regression trained by full-batch gradient
+/// descent. Deterministic: no random initialization (weights start at zero).
+///
+/// Handles the binary case as a 2-class softmax. Exposes the learned weights
+/// so influence-function and fairness-debugging code can differentiate
+/// through the model.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  Status Fit(const MlDataset& data) override;
+  Status FitWithClasses(const MlDataset& data, int num_classes) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Matrix PredictProba(const Matrix& features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override { return "logreg"; }
+
+  /// Learned weights, num_classes x (d + 1); the last column is the bias.
+  /// Weights are in *standardized* feature space when options.standardize.
+  const Matrix& weights() const { return weights_; }
+
+  /// Mean negative log-likelihood of `data` under the fitted model.
+  double LogLoss(const MlDataset& data) const;
+
+  const LogisticRegressionOptions& options() const { return options_; }
+
+ private:
+  Matrix Logits(const Matrix& features) const;
+
+  LogisticRegressionOptions options_;
+  Matrix weights_;  // num_classes x (d+1)
+  FeatureScaler scaler_;
+  int num_classes_ = 0;
+  bool fitted_ = false;
+};
+
+/// Numerically stable softmax of each row of `logits`, in place.
+void SoftmaxRowsInPlace(Matrix* logits);
+
+}  // namespace nde
+
+#endif  // NDE_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,219 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+namespace {
+
+/// Per-group binary confusion matrices.
+std::map<int, BinaryConfusion> GroupConfusions(
+    const std::vector<int>& actual, const std::vector<int>& predicted,
+    const std::vector<int>& groups) {
+  NDE_CHECK_EQ(actual.size(), predicted.size());
+  NDE_CHECK_EQ(actual.size(), groups.size());
+  std::map<int, BinaryConfusion> out;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    BinaryConfusion& c = out[groups[i]];
+    bool actual_pos = actual[i] == 1;
+    bool pred_pos = predicted[i] == 1;
+    if (actual_pos && pred_pos) ++c.true_positives;
+    if (!actual_pos && pred_pos) ++c.false_positives;
+    if (!actual_pos && !pred_pos) ++c.true_negatives;
+    if (actual_pos && !pred_pos) ++c.false_negatives;
+  }
+  return out;
+}
+
+double MaxPairwiseGap(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return *hi - *lo;
+}
+
+}  // namespace
+
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  NDE_CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(actual.size());
+}
+
+double BinaryConfusion::Precision() const {
+  size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double BinaryConfusion::Recall() const {
+  size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double BinaryConfusion::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryConfusion::FalsePositiveRate() const {
+  size_t denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+BinaryConfusion ComputeBinaryConfusion(const std::vector<int>& actual,
+                                       const std::vector<int>& predicted,
+                                       int positive_label) {
+  NDE_CHECK_EQ(actual.size(), predicted.size());
+  BinaryConfusion c;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    bool actual_pos = actual[i] == positive_label;
+    bool pred_pos = predicted[i] == positive_label;
+    if (actual_pos && pred_pos) ++c.true_positives;
+    if (!actual_pos && pred_pos) ++c.false_positives;
+    if (!actual_pos && !pred_pos) ++c.true_negatives;
+    if (actual_pos && !pred_pos) ++c.false_negatives;
+  }
+  return c;
+}
+
+double F1Score(const std::vector<int>& actual,
+               const std::vector<int>& predicted) {
+  return ComputeBinaryConfusion(actual, predicted, 1).F1();
+}
+
+double MacroF1Score(const std::vector<int>& actual,
+                    const std::vector<int>& predicted, int num_classes) {
+  if (num_classes <= 0) return 0.0;
+  double total = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    total += ComputeBinaryConfusion(actual, predicted, c).F1();
+  }
+  return total / static_cast<double>(num_classes);
+}
+
+double LogLoss(const Matrix& probabilities, const std::vector<int>& actual) {
+  NDE_CHECK_EQ(probabilities.rows(), actual.size());
+  if (actual.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    NDE_CHECK_GE(actual[i], 0);
+    NDE_CHECK_LT(static_cast<size_t>(actual[i]), probabilities.cols());
+    double p = std::max(probabilities(i, static_cast<size_t>(actual[i])),
+                        1e-12);
+    total -= std::log(p);
+  }
+  return total / static_cast<double>(actual.size());
+}
+
+double DemographicParityDifference(const std::vector<int>& predicted,
+                                   const std::vector<int>& groups) {
+  NDE_CHECK_EQ(predicted.size(), groups.size());
+  std::map<int, std::pair<size_t, size_t>> counts;  // group -> (positives, n)
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    auto& entry = counts[groups[i]];
+    if (predicted[i] == 1) ++entry.first;
+    ++entry.second;
+  }
+  std::vector<double> rates;
+  for (const auto& [group, entry] : counts) {
+    (void)group;
+    rates.push_back(static_cast<double>(entry.first) /
+                    static_cast<double>(entry.second));
+  }
+  return MaxPairwiseGap(rates);
+}
+
+double EqualizedOddsDifference(const std::vector<int>& actual,
+                               const std::vector<int>& predicted,
+                               const std::vector<int>& groups) {
+  auto confusions = GroupConfusions(actual, predicted, groups);
+  std::vector<double> tprs;
+  std::vector<double> fprs;
+  for (const auto& [group, c] : confusions) {
+    (void)group;
+    tprs.push_back(c.TruePositiveRate());
+    fprs.push_back(c.FalsePositiveRate());
+  }
+  return std::max(MaxPairwiseGap(tprs), MaxPairwiseGap(fprs));
+}
+
+double PredictiveParityDifference(const std::vector<int>& actual,
+                                  const std::vector<int>& predicted,
+                                  const std::vector<int>& groups) {
+  auto confusions = GroupConfusions(actual, predicted, groups);
+  std::vector<double> precisions;
+  for (const auto& [group, c] : confusions) {
+    (void)group;
+    precisions.push_back(c.Precision());
+  }
+  return MaxPairwiseGap(precisions);
+}
+
+double MeanPredictionEntropy(const Matrix& probabilities) {
+  if (probabilities.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t r = 0; r < probabilities.rows(); ++r) {
+    double entropy = 0.0;
+    for (size_t c = 0; c < probabilities.cols(); ++c) {
+      double p = probabilities(r, c);
+      if (p > 1e-12) entropy -= p * std::log(p);
+    }
+    total += entropy;
+  }
+  return total / static_cast<double>(probabilities.rows());
+}
+
+Result<QualityReport> TrainAndEvaluate(const ClassifierFactory& factory,
+                                       const MlDataset& train,
+                                       const MlDataset& test,
+                                       const std::vector<int>& test_groups) {
+  if (!test_groups.empty() && test_groups.size() != test.size()) {
+    return Status::InvalidArgument(
+        StrFormat("group count %zu != test rows %zu", test_groups.size(),
+                  test.size()));
+  }
+  std::unique_ptr<Classifier> model = factory();
+  int num_classes = std::max(train.NumClasses(), test.NumClasses());
+  NDE_RETURN_IF_ERROR(model->FitWithClasses(train, num_classes));
+  std::vector<int> predicted = model->Predict(test.features);
+  Matrix proba = model->PredictProba(test.features);
+
+  QualityReport report;
+  report.accuracy = Accuracy(test.labels, predicted);
+  report.f1 = num_classes <= 2
+                  ? F1Score(test.labels, predicted)
+                  : MacroF1Score(test.labels, predicted, num_classes);
+  report.log_loss = LogLoss(proba, test.labels);
+  report.prediction_entropy = MeanPredictionEntropy(proba);
+  if (!test_groups.empty()) {
+    report.equalized_odds =
+        EqualizedOddsDifference(test.labels, predicted, test_groups);
+    report.predictive_parity =
+        PredictiveParityDifference(test.labels, predicted, test_groups);
+  }
+  return report;
+}
+
+Result<double> TrainAndScore(const ClassifierFactory& factory,
+                             const MlDataset& train, const MlDataset& test) {
+  NDE_ASSIGN_OR_RETURN(QualityReport report,
+                       TrainAndEvaluate(factory, train, test));
+  return report.accuracy;
+}
+
+}  // namespace nde

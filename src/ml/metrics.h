@@ -1,0 +1,98 @@
+#ifndef NDE_ML_METRICS_H_
+#define NDE_ML_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// --- Correctness metrics (Figure 1: "Correctness Metric") -----------------
+
+/// Fraction of positions where predicted == actual. Empty input yields 0.
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted);
+
+/// Confusion counts for a binary task with positive class `positive_label`.
+struct BinaryConfusion {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double FalsePositiveRate() const;
+  double TruePositiveRate() const { return Recall(); }
+};
+
+BinaryConfusion ComputeBinaryConfusion(const std::vector<int>& actual,
+                                       const std::vector<int>& predicted,
+                                       int positive_label = 1);
+
+/// Binary F1 with positive class 1.
+double F1Score(const std::vector<int>& actual,
+               const std::vector<int>& predicted);
+
+/// Macro-averaged F1 over all classes present in `actual`.
+double MacroF1Score(const std::vector<int>& actual,
+                    const std::vector<int>& predicted, int num_classes);
+
+/// Mean cross-entropy of probability rows against the actual labels.
+double LogLoss(const Matrix& probabilities, const std::vector<int>& actual);
+
+/// --- Fairness metrics (Figure 1: "Fairness Metric") ------------------------
+/// All take a per-example protected-group id; metrics are the maximum
+/// pairwise absolute gap across groups, so 0 means perfectly fair and larger
+/// values mean more disparity.
+
+/// Demographic parity difference: max gap in P(pred = 1) across groups.
+double DemographicParityDifference(const std::vector<int>& predicted,
+                                   const std::vector<int>& groups);
+
+/// Equalized odds difference: max over {TPR gap, FPR gap} across groups.
+double EqualizedOddsDifference(const std::vector<int>& actual,
+                               const std::vector<int>& predicted,
+                               const std::vector<int>& groups);
+
+/// Predictive parity difference: max gap in precision across groups.
+double PredictiveParityDifference(const std::vector<int>& actual,
+                                  const std::vector<int>& predicted,
+                                  const std::vector<int>& groups);
+
+/// --- Stability metrics (Figure 1: "Stability Metric") ----------------------
+
+/// Mean Shannon entropy (natural log) of the per-row probability
+/// distributions; lower means more confident/stable predictions.
+double MeanPredictionEntropy(const Matrix& probabilities);
+
+/// --- Evaluation harness -----------------------------------------------------
+
+/// The quality metric panel of Figure 1 computed in one pass.
+struct QualityReport {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double log_loss = 0.0;
+  double equalized_odds = 0.0;       ///< 0 when no groups supplied
+  double predictive_parity = 0.0;    ///< 0 when no groups supplied
+  double prediction_entropy = 0.0;
+};
+
+/// Trains a fresh model from `factory` on `train` and evaluates on `test`.
+/// `test_groups` (optional, empty = skip fairness metrics) must align with
+/// test rows.
+Result<QualityReport> TrainAndEvaluate(const ClassifierFactory& factory,
+                                       const MlDataset& train,
+                                       const MlDataset& test,
+                                       const std::vector<int>& test_groups = {});
+
+/// Convenience: test accuracy of `factory` trained on `train`.
+Result<double> TrainAndScore(const ClassifierFactory& factory,
+                             const MlDataset& train, const MlDataset& test);
+
+}  // namespace nde
+
+#endif  // NDE_ML_METRICS_H_

@@ -1,0 +1,17 @@
+#include "ml/model.h"
+
+namespace nde {
+
+Matrix Classifier::PredictProba(const Matrix& features) const {
+  std::vector<int> predictions = Predict(features);
+  Matrix proba(features.rows(), static_cast<size_t>(num_classes()));
+  for (size_t r = 0; r < predictions.size(); ++r) {
+    int label = predictions[r];
+    NDE_CHECK_GE(label, 0);
+    NDE_CHECK_LT(label, num_classes());
+    proba(r, static_cast<size_t>(label)) = 1.0;
+  }
+  return proba;
+}
+
+}  // namespace nde

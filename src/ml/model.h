@@ -1,0 +1,63 @@
+#ifndef NDE_ML_MODEL_H_
+#define NDE_ML_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "ml/dataset.h"
+
+namespace nde {
+
+/// Abstract multi-class classifier. All models in the library implement this
+/// interface so importance methods, cleaning strategies and benchmarks can be
+/// written once against it.
+///
+/// Contract:
+///   - `Fit` must be called before `Predict`/`PredictProba`.
+///   - Labels are 0-based; `Fit` learns `num_classes = max(label)+1` classes
+///     (callers may pass an explicit class count via the dataset if a class
+///     is absent from a subset — see `FitWithClasses`).
+///   - Models are deterministic given the same data and configuration.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset. Returns InvalidArgument for inconsistent data.
+  virtual Status Fit(const MlDataset& data) = 0;
+
+  /// Trains knowing the total class count (subsets may miss classes).
+  /// Default: delegates to Fit.
+  virtual Status FitWithClasses(const MlDataset& data, int num_classes) {
+    (void)num_classes;
+    return Fit(data);
+  }
+
+  /// Predicted class per row. Precondition: fitted.
+  virtual std::vector<int> Predict(const Matrix& features) const = 0;
+
+  /// Class-probability estimates, n x num_classes. Models without calibrated
+  /// probabilities return one-hot rows of their hard predictions.
+  virtual Matrix PredictProba(const Matrix& features) const;
+
+  /// Number of classes the model was fitted with. Precondition: fitted.
+  virtual int num_classes() const = 0;
+
+  /// Deep copy with the same configuration (fitted state need not carry).
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Short human-readable identifier ("knn(k=5)", "logreg", ...).
+  virtual std::string name() const = 0;
+};
+
+/// A factory for fresh, unfitted classifiers of a fixed configuration.
+/// Importance methods retrain many times; they take a factory rather than a
+/// model instance.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace nde
+
+#endif  // NDE_ML_MODEL_H_

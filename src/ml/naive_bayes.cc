@@ -1,0 +1,154 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/logistic_regression.h"  // SoftmaxRowsInPlace
+
+namespace nde {
+
+namespace {
+constexpr double kLogTwoPi = 1.8378770664093454835606594728112;
+}  // namespace
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing)
+    : var_smoothing_(var_smoothing) {
+  NDE_CHECK_GE(var_smoothing, 0.0);
+}
+
+Status GaussianNaiveBayes::Fit(const MlDataset& data) {
+  return FitWithClasses(data, data.NumClasses());
+}
+
+Status GaussianNaiveBayes::FitWithClasses(const MlDataset& data,
+                                          int num_classes) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit naive Bayes on empty data");
+  }
+  if (num_classes < data.NumClasses()) {
+    return Status::InvalidArgument("num_classes below max label");
+  }
+  num_classes_ = std::max(num_classes, 1);
+  size_t n = data.size();
+  size_t d = data.features.cols();
+
+  means_ = Matrix(static_cast<size_t>(num_classes_), d);
+  variances_ = Matrix(static_cast<size_t>(num_classes_), d);
+  std::vector<size_t> counts(static_cast<size_t>(num_classes_), 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(data.labels[i]);
+    ++counts[c];
+    const double* row = data.features.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) means_(c, j) += row[j];
+  }
+  for (size_t c = 0; c < static_cast<size_t>(num_classes_); ++c) {
+    if (counts[c] == 0) continue;
+    for (size_t j = 0; j < d; ++j) {
+      means_(c, j) /= static_cast<double>(counts[c]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(data.labels[i]);
+    const double* row = data.features.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      double diff = row[j] - means_(c, j);
+      variances_(c, j) += diff * diff;
+    }
+  }
+  // Global per-feature statistics: the fallback distribution for classes
+  // absent from the training subset (a tiny prior times the global density,
+  // instead of a degenerate spike at zero).
+  std::vector<double> global_mean(d, 0.0);
+  std::vector<double> global_var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.features.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) global_mean[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) global_mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.features.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      double diff = row[j] - global_mean[j];
+      global_var[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) global_var[j] /= static_cast<double>(n);
+
+  double max_feature_var = 0.0;
+  for (size_t c = 0; c < static_cast<size_t>(num_classes_); ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      if (counts[c] > 0) {
+        variances_(c, j) /= static_cast<double>(counts[c]);
+      } else {
+        means_(c, j) = global_mean[j];
+        variances_(c, j) = global_var[j];
+      }
+      max_feature_var = std::max(max_feature_var, variances_(c, j));
+    }
+  }
+  double floor = var_smoothing_ * std::max(max_feature_var, 1.0) + 1e-12;
+  for (size_t c = 0; c < static_cast<size_t>(num_classes_); ++c) {
+    for (size_t j = 0; j < d; ++j) variances_(c, j) += floor;
+  }
+
+  log_priors_.assign(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t c = 0; c < static_cast<size_t>(num_classes_); ++c) {
+    // Laplace-smoothed priors: classes absent from a subset get small but
+    // non-zero prior instead of -inf.
+    double prior = (static_cast<double>(counts[c]) + 1.0) /
+                   (static_cast<double>(n) + num_classes_);
+    log_priors_[c] = std::log(prior);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Matrix GaussianNaiveBayes::LogJoint(const Matrix& features) const {
+  NDE_CHECK(fitted_);
+  NDE_CHECK_EQ(features.cols(), means_.cols());
+  size_t d = features.cols();
+  Matrix log_joint(features.rows(), static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const double* row = features.RowPtr(r);
+    for (size_t c = 0; c < static_cast<size_t>(num_classes_); ++c) {
+      double acc = log_priors_[c];
+      for (size_t j = 0; j < d; ++j) {
+        double var = variances_(c, j);
+        double diff = row[j] - means_(c, j);
+        acc -= 0.5 * (kLogTwoPi + std::log(var) + diff * diff / var);
+      }
+      log_joint(r, c) = acc;
+    }
+  }
+  return log_joint;
+}
+
+std::vector<int> GaussianNaiveBayes::Predict(const Matrix& features) const {
+  Matrix log_joint = LogJoint(features);
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (log_joint(r, static_cast<size_t>(c)) >
+          log_joint(r, static_cast<size_t>(best))) {
+        best = c;
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+Matrix GaussianNaiveBayes::PredictProba(const Matrix& features) const {
+  Matrix log_joint = LogJoint(features);
+  SoftmaxRowsInPlace(&log_joint);
+  return log_joint;
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::Clone() const {
+  return std::make_unique<GaussianNaiveBayes>(var_smoothing_);
+}
+
+}  // namespace nde

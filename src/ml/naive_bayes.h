@@ -1,0 +1,40 @@
+#ifndef NDE_ML_NAIVE_BAYES_H_
+#define NDE_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace nde {
+
+/// Gaussian naive Bayes classifier: per-class feature means and variances
+/// with a small variance floor for numerical stability.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  /// `var_smoothing` is added to every per-class feature variance.
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9);
+
+  Status Fit(const MlDataset& data) override;
+  Status FitWithClasses(const MlDataset& data, int num_classes) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Matrix PredictProba(const Matrix& features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override { return "gaussian_nb"; }
+
+ private:
+  Matrix LogJoint(const Matrix& features) const;
+
+  double var_smoothing_;
+  Matrix means_;      // num_classes x d
+  Matrix variances_;  // num_classes x d
+  std::vector<double> log_priors_;
+  int num_classes_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace nde
+
+#endif  // NDE_ML_NAIVE_BAYES_H_

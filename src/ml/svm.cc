@@ -1,0 +1,78 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nde {
+
+LinearSvm::LinearSvm(LinearSvmOptions options) : options_(options) {
+  NDE_CHECK_GT(options_.lambda, 0.0);
+}
+
+Status LinearSvm::Fit(const MlDataset& data) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit SVM on empty data");
+  }
+  if (data.NumClasses() > 2) {
+    return Status::InvalidArgument("LinearSvm supports binary labels only");
+  }
+  size_t n = data.size();
+  size_t d = data.features.cols();
+  scaler_ = options_.standardize ? FeatureScaler::Fit(data.features)
+                                 : FeatureScaler{std::vector<double>(d, 0.0),
+                                                 std::vector<double>(d, 1.0)};
+  Matrix x = scaler_.Transform(data.features);
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t epoch = 1; epoch <= options_.epochs; ++epoch) {
+    double eta = 1.0 / (options_.lambda * static_cast<double>(epoch));
+    std::vector<double> grad(d, 0.0);
+    double grad_bias = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = x.RowPtr(i);
+      double yi = data.labels[i] == 1 ? 1.0 : -1.0;
+      double margin = bias_;
+      for (size_t j = 0; j < d; ++j) margin += weights_[j] * xi[j];
+      if (yi * margin < 1.0) {
+        for (size_t j = 0; j < d; ++j) grad[j] -= yi * xi[j];
+        grad_bias -= yi;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] = grad[j] * inv_n + options_.lambda * weights_[j];
+      weights_[j] -= eta * grad[j];
+    }
+    bias_ -= eta * grad_bias * inv_n;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LinearSvm::DecisionValue(const std::vector<double>& x) const {
+  NDE_CHECK(fitted_);
+  NDE_CHECK_EQ(x.size(), weights_.size());
+  double acc = bias_;
+  for (size_t j = 0; j < x.size(); ++j) {
+    double standardized = (x[j] - scaler_.mean[j]) / scaler_.stddev[j];
+    acc += weights_[j] * standardized;
+  }
+  return acc;
+}
+
+std::vector<int> LinearSvm::Predict(const Matrix& features) const {
+  NDE_CHECK(fitted_);
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    out[r] = DecisionValue(features.Row(r)) >= 0.0 ? 1 : 0;
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> LinearSvm::Clone() const {
+  return std::make_unique<LinearSvm>(options_);
+}
+
+}  // namespace nde

@@ -1,0 +1,51 @@
+#ifndef NDE_ML_SVM_H_
+#define NDE_ML_SVM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace nde {
+
+/// Configuration for the linear SVM trainer.
+struct LinearSvmOptions {
+  double lambda = 1e-2;     ///< L2 regularization strength.
+  size_t epochs = 200;      ///< Full passes over the data.
+  bool standardize = true;  ///< z-score features before training.
+};
+
+/// Binary linear support vector machine trained with deterministic
+/// full-batch subgradient descent on the hinge loss (Pegasos-style step
+/// sizes eta_t = 1 / (lambda * t)).
+///
+/// Labels must be in {0, 1}; internally mapped to {-1, +1}. Multi-class
+/// datasets are rejected at Fit time.
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmOptions options = {});
+
+  Status Fit(const MlDataset& data) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  int num_classes() const override { return 2; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override { return "linear_svm"; }
+
+  /// Signed decision value w^T x + b (in standardized space when enabled).
+  double DecisionValue(const std::vector<double>& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LinearSvmOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  FeatureScaler scaler_;
+  bool fitted_ = false;
+};
+
+}  // namespace nde
+
+#endif  // NDE_ML_SVM_H_

@@ -1,0 +1,103 @@
+#ifndef NDE_ML_UNLEARNING_H_
+#define NDE_ML_UNLEARNING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// Low-latency machine unlearning (the Section 2.4 connection between data
+/// debugging and "forgetting critical data fast", cf. HedgeCut): data
+/// debugging repeatedly asks what happens when points are removed, and
+/// regulation (GDPR/CCPA deletion requests) asks to *actually* remove them
+/// without a full retrain.
+///
+/// A `DecrementalClassifier` supports exact point removal: after
+/// `Forget(i)` the model must be indistinguishable from one retrained from
+/// scratch on the data without row i.
+class DecrementalClassifier : public Classifier {
+ public:
+  /// Removes training row `original_index` (the index into the dataset
+  /// passed to Fit) from the model. Idempotent per index; removing an
+  /// already-forgotten or out-of-range index is an error. Must leave the
+  /// model exactly equal to a fresh fit on the remaining rows.
+  virtual Status Forget(size_t original_index) = 0;
+
+  /// Rows still contributing to the model.
+  virtual size_t remaining_size() const = 0;
+};
+
+/// Gaussian naive Bayes with exact decremental updates: per-class count,
+/// sum and sum-of-squares statistics support O(d) removal of any training
+/// point, versus O(n d) retraining.
+class DecrementalGaussianNb : public DecrementalClassifier {
+ public:
+  explicit DecrementalGaussianNb(double var_smoothing = 1e-9);
+
+  Status Fit(const MlDataset& data) override;
+  Status FitWithClasses(const MlDataset& data, int num_classes) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Matrix PredictProba(const Matrix& features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override { return "decremental_gaussian_nb"; }
+
+  Status Forget(size_t original_index) override;
+  size_t remaining_size() const override { return remaining_; }
+
+ private:
+  /// Rebuilds the per-class mean/variance view from the sufficient
+  /// statistics (counts, sums, sums of squares) — O(C d).
+  void RefreshDerivedState() const;
+
+  double var_smoothing_;
+  int num_classes_ = 0;
+  size_t remaining_ = 0;
+  bool fitted_ = false;
+
+  MlDataset train_;                  // retained rows (for Forget bookkeeping)
+  std::vector<bool> forgotten_;
+  std::vector<size_t> class_counts_;
+  Matrix class_sums_;                // num_classes x d
+  Matrix class_sum_squares_;         // num_classes x d
+
+  // Derived (lazily recomputed after Forget).
+  mutable bool derived_fresh_ = false;
+  mutable Matrix means_;
+  mutable Matrix variances_;
+  mutable std::vector<double> log_priors_;
+};
+
+/// KNN with exact decremental updates: removal just masks the row out of the
+/// neighbor search — O(1) removal, identical predictions to a fresh fit.
+class DecrementalKnn : public DecrementalClassifier {
+ public:
+  explicit DecrementalKnn(size_t k = 5);
+
+  Status Fit(const MlDataset& data) override;
+  Status FitWithClasses(const MlDataset& data, int num_classes) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Matrix PredictProba(const Matrix& features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string name() const override { return "decremental_knn"; }
+
+  Status Forget(size_t original_index) override;
+  size_t remaining_size() const override { return remaining_; }
+
+ private:
+  size_t k_;
+  int num_classes_ = 0;
+  size_t remaining_ = 0;
+  bool fitted_ = false;
+  MlDataset train_;
+  std::vector<bool> forgotten_;
+};
+
+}  // namespace nde
+
+#endif  // NDE_ML_UNLEARNING_H_

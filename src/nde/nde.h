@@ -1,0 +1,78 @@
+#ifndef NDE_NDE_H_
+#define NDE_NDE_H_
+
+/// Umbrella header for the `nde` library — Navigating Data Errors in Machine
+/// Learning Pipelines: Identify, Debug, and Learn (SIGMOD 2025 tutorial
+/// reproduction).
+///
+/// The library is organized around the tutorial's three pillars:
+///
+///  1. IDENTIFY — data importance for error detection
+///     (importance/: LOO, TMC-Shapley, Banzhaf, Beta-Shapley, exact
+///      KNN-Shapley, influence functions, AUM, self-confidence, Gopher-style
+///      fairness debugging).
+///  2. DEBUG — end-to-end pipelines with fine-grained provenance
+///     (pipeline/: relational plan, encoders, provenance, mlinspect-style
+///      screens; datascope/: source-tuple importance, what-if removals).
+///  3. LEARN — guarantees under uncertain and incomplete data
+///     (uncertain/: Zorro interval training, certain KNN predictions,
+///      dataset-multiplicity ranges, certain-model checks, fairness ranges
+///      under selection bias).
+///
+/// Plus the substrates everything rests on: data/ (tables, CSV), linalg/,
+/// ml/ (models and metrics), datagen/ (the hiring scenario and error
+/// injectors), and cleaning/ (prioritized cleaning and the debugging
+/// challenge).
+
+#include "cleaning/challenge.h"
+#include "cleaning/cleaner.h"
+#include "cleaning/imputation.h"
+#include "cleaning/strategies.h"
+#include "common/check.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "data/table.h"
+#include "data/value.h"
+#include "datagen/synthetic.h"
+#include "datascope/datascope.h"
+#include "datascope/whatif.h"
+#include "importance/fairness_debugging.h"
+#include "importance/game_values.h"
+#include "importance/grouped.h"
+#include "importance/influence.h"
+#include "importance/knn_shapley.h"
+#include "importance/label_scores.h"
+#include "importance/utility.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "ml/unlearning.h"
+#include "pipeline/encoders.h"
+#include "pipeline/inspection.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/plan.h"
+#include "pipeline/provenance.h"
+#include "query/calibration.h"
+#include "query/predictive_query.h"
+#include "uncertain/affine.h"
+#include "uncertain/certain_knn.h"
+#include "uncertain/certain_model.h"
+#include "uncertain/fairness_range.h"
+#include "uncertain/interval.h"
+#include "uncertain/multiplicity.h"
+#include "uncertain/poisoning.h"
+#include "uncertain/zonotope_trainer.h"
+#include "uncertain/zorro.h"
+
+#endif  // NDE_NDE_H_

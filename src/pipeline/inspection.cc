@@ -1,0 +1,282 @@
+#include "pipeline/inspection.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "ml/knn.h"
+
+namespace nde {
+
+const char* IssueSeverityToString(IssueSeverity severity) {
+  switch (severity) {
+    case IssueSeverity::kInfo:
+      return "info";
+    case IssueSeverity::kWarning:
+      return "warning";
+    case IssueSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string PipelineIssue::ToString() const {
+  return StrFormat("[%s] %s: %s", IssueSeverityToString(severity),
+                   check.c_str(), message.c_str());
+}
+
+namespace {
+
+/// Category -> proportion for one column of a table (nulls tracked under a
+/// dedicated null key rendered as "<null>").
+std::map<std::string, double> CategoryProportions(const Table& table,
+                                                  size_t col) {
+  std::map<std::string, double> proportions;
+  if (table.num_rows() == 0) return proportions;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.At(r, col);
+    std::string key = v.is_null() ? "<null>" : v.ToString();
+    proportions[key] += 1.0;
+  }
+  for (auto& [key, count] : proportions) {
+    count /= static_cast<double>(table.num_rows());
+  }
+  return proportions;
+}
+
+void CheckNodeDistribution(const PlanNode& node, const AnnotatedTable& input,
+                           const AnnotatedTable& output,
+                           const std::vector<std::string>& sensitive_columns,
+                           double min_ratio,
+                           std::vector<PipelineIssue>* issues) {
+  for (const std::string& column : sensitive_columns) {
+    Result<size_t> in_col = input.table.schema().FieldIndex(column);
+    Result<size_t> out_col = output.table.schema().FieldIndex(column);
+    if (!in_col.ok() || !out_col.ok()) continue;
+    if (output.table.num_rows() == 0) {
+      issues->push_back(PipelineIssue{
+          "distribution_change", IssueSeverity::kError,
+          StrFormat("operator '%s' produced no rows", node.label().c_str())});
+      return;
+    }
+    auto before = CategoryProportions(input.table, in_col.value());
+    auto after = CategoryProportions(output.table, out_col.value());
+    for (const auto& [category, in_share] : before) {
+      if (in_share < 0.01) continue;  // Ignore trace categories.
+      auto it = after.find(category);
+      double out_share = it == after.end() ? 0.0 : it->second;
+      if (out_share < min_ratio * in_share) {
+        issues->push_back(PipelineIssue{
+            "distribution_change", IssueSeverity::kWarning,
+            StrFormat("operator '%s' shrank group %s=%s from %.1f%% to %.1f%%",
+                      node.label().c_str(), column.c_str(), category.c_str(),
+                      100.0 * in_share, 100.0 * out_share)});
+      }
+    }
+  }
+}
+
+Status WalkDistribution(const PlanNode& node,
+                        const std::vector<std::string>& sensitive_columns,
+                        double min_ratio, std::vector<PipelineIssue>* issues,
+                        std::unordered_map<const PlanNode*, AnnotatedTable>* cache) {
+  if (cache->count(&node) > 0) return Status::OK();
+  for (const PlanNode* child : node.children()) {
+    NDE_RETURN_IF_ERROR(
+        WalkDistribution(*child, sensitive_columns, min_ratio, issues, cache));
+  }
+  Result<AnnotatedTable> result = node.Execute();
+  if (!result.ok()) return result.status();
+  // Compare against each child's output (unary operators produce exactly the
+  // comparison mlinspect performs; for joins each side is compared).
+  for (const PlanNode* child : node.children()) {
+    CheckNodeDistribution(node, cache->at(child), result.value(),
+                          sensitive_columns, min_ratio, issues);
+  }
+  (*cache)[&node] = std::move(result).value();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PipelineIssue>> CheckDistributionChange(
+    const PlanNode& root, const std::vector<std::string>& sensitive_columns,
+    double min_ratio) {
+  std::vector<PipelineIssue> issues;
+  std::unordered_map<const PlanNode*, AnnotatedTable> cache;
+  NDE_RETURN_IF_ERROR(
+      WalkDistribution(root, sensitive_columns, min_ratio, &issues, &cache));
+  return issues;
+}
+
+std::vector<PipelineIssue> CheckDataLeakage(
+    const std::vector<RowProvenance>& train_provenance,
+    const std::vector<RowProvenance>& test_provenance) {
+  std::unordered_set<uint64_t> train_keys;
+  for (const RowProvenance& prov : train_provenance) {
+    for (const SourceRef& ref : prov.refs()) train_keys.insert(ref.Key());
+  }
+  std::unordered_set<uint64_t> leaked;
+  for (const RowProvenance& prov : test_provenance) {
+    for (const SourceRef& ref : prov.refs()) {
+      if (train_keys.count(ref.Key()) > 0) leaked.insert(ref.Key());
+    }
+  }
+  std::vector<PipelineIssue> issues;
+  if (!leaked.empty()) {
+    issues.push_back(PipelineIssue{
+        "data_leakage", IssueSeverity::kError,
+        StrFormat("%zu source rows feed both the train and test outputs",
+                  leaked.size())});
+  }
+  return issues;
+}
+
+std::vector<PipelineIssue> CheckLabelErrors(const MlDataset& data, size_t k,
+                                            double max_suspect_fraction,
+                                            std::vector<size_t>* suspects) {
+  std::vector<PipelineIssue> issues;
+  if (suspects != nullptr) suspects->clear();
+  if (data.size() < k + 1) return issues;
+  KnnClassifier knn(k);
+  Status s = knn.Fit(data);
+  NDE_CHECK(s.ok()) << s.ToString();
+  size_t suspect_count = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    // k+1 neighbors; the point itself is its own nearest neighbor.
+    std::vector<size_t> neighbors = knn.Neighbors(data.features.Row(i), k + 1);
+    size_t disagree = 0;
+    size_t considered = 0;
+    for (size_t idx : neighbors) {
+      if (idx == i) continue;
+      ++considered;
+      if (data.labels[idx] != data.labels[i]) ++disagree;
+    }
+    if (considered > 0 && disagree * 2 > considered) {
+      ++suspect_count;
+      if (suspects != nullptr) suspects->push_back(i);
+    }
+  }
+  double fraction = static_cast<double>(suspect_count) /
+                    static_cast<double>(data.size());
+  if (fraction > max_suspect_fraction) {
+    issues.push_back(PipelineIssue{
+        "label_errors", IssueSeverity::kWarning,
+        StrFormat("%.1f%% of examples disagree with their neighborhood label "
+                  "(threshold %.1f%%)",
+                  100.0 * fraction, 100.0 * max_suspect_fraction)});
+  }
+  return issues;
+}
+
+std::vector<PipelineIssue> CheckNullFractions(const Table& table,
+                                              double max_null_fraction) {
+  std::vector<PipelineIssue> issues;
+  if (table.num_rows() == 0) return issues;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    double fraction = static_cast<double>(table.CountNulls(c)) /
+                      static_cast<double>(table.num_rows());
+    if (fraction > max_null_fraction) {
+      issues.push_back(PipelineIssue{
+          "null_fraction", IssueSeverity::kWarning,
+          StrFormat("column '%s' is %.1f%% null (threshold %.1f%%)",
+                    table.schema().field(c).name.c_str(), 100.0 * fraction,
+                    100.0 * max_null_fraction)});
+    }
+  }
+  return issues;
+}
+
+std::vector<PipelineIssue> CheckClassBalance(const std::vector<int>& labels,
+                                             double min_class_fraction) {
+  std::vector<PipelineIssue> issues;
+  if (labels.empty()) {
+    issues.push_back(PipelineIssue{"class_balance", IssueSeverity::kError,
+                                   "pipeline produced no labeled rows"});
+    return issues;
+  }
+  std::map<int, size_t> counts;
+  for (int label : labels) ++counts[label];
+  for (const auto& [label, count] : counts) {
+    double fraction =
+        static_cast<double>(count) / static_cast<double>(labels.size());
+    if (fraction < min_class_fraction) {
+      issues.push_back(PipelineIssue{
+          "class_balance", IssueSeverity::kWarning,
+          StrFormat("class %d holds only %.1f%% of examples (threshold %.1f%%)",
+                    label, 100.0 * fraction, 100.0 * min_class_fraction)});
+    }
+  }
+  return issues;
+}
+
+Result<std::vector<PipelineIssue>> CheckNearDuplicates(
+    const Table& table, const std::string& column, size_t max_edit_distance,
+    std::vector<std::pair<size_t, size_t>>* pairs) {
+  NDE_ASSIGN_OR_RETURN(size_t col, table.schema().FieldIndex(column));
+  if (table.schema().field(col).type != DataType::kString) {
+    return Status::InvalidArgument("duplicate screen requires a string column");
+  }
+  if (pairs != nullptr) pairs->clear();
+  // Bucket by length so only pairs within the edit-distance length band are
+  // compared (same pruning as the fuzzy join).
+  std::map<size_t, std::vector<size_t>> by_length;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.At(r, col);
+    if (!v.is_null()) by_length[v.as_string().size()].push_back(r);
+  }
+  size_t duplicate_pairs = 0;
+  for (auto it = by_length.begin(); it != by_length.end(); ++it) {
+    for (auto jt = it; jt != by_length.end(); ++jt) {
+      if (jt->first > it->first + max_edit_distance) break;
+      for (size_t a : it->second) {
+        for (size_t b : jt->second) {
+          if (b <= a) continue;
+          const std::string& sa = table.At(a, col).as_string();
+          const std::string& sb = table.At(b, col).as_string();
+          if (EditDistance(sa, sb) <= max_edit_distance) {
+            ++duplicate_pairs;
+            if (pairs != nullptr) pairs->push_back({a, b});
+          }
+        }
+      }
+    }
+  }
+  std::vector<PipelineIssue> issues;
+  if (duplicate_pairs > 0) {
+    issues.push_back(PipelineIssue{
+        "near_duplicates", IssueSeverity::kWarning,
+        StrFormat("%zu near-duplicate pair(s) in column '%s' (edit distance "
+                  "<= %zu)",
+                  duplicate_pairs, column.c_str(), max_edit_distance)});
+  }
+  return issues;
+}
+
+Result<std::vector<PipelineIssue>> ScreenPipeline(
+    const MlPipeline& pipeline, const PipelineOutput& output,
+    const ScreeningOptions& options) {
+  std::vector<PipelineIssue> issues;
+  // Source-table hygiene.
+  for (const NamedTable& source : pipeline.sources()) {
+    auto nulls = CheckNullFractions(source.table, options.max_null_fraction);
+    issues.insert(issues.end(), nulls.begin(), nulls.end());
+  }
+  // Distribution change across the plan.
+  PlanNodePtr plan = pipeline.BuildPlan();
+  NDE_ASSIGN_OR_RETURN(
+      std::vector<PipelineIssue> distribution,
+      CheckDistributionChange(*plan, options.sensitive_columns,
+                              options.min_distribution_ratio));
+  issues.insert(issues.end(), distribution.begin(), distribution.end());
+  // Output-level screens.
+  auto balance = CheckClassBalance(output.labels, options.min_class_fraction);
+  issues.insert(issues.end(), balance.begin(), balance.end());
+  auto labels = CheckLabelErrors(output.ToDataset(), options.label_check_k,
+                                 options.max_suspect_fraction);
+  issues.insert(issues.end(), labels.begin(), labels.end());
+  return issues;
+}
+
+}  // namespace nde

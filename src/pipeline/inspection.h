@@ -1,0 +1,96 @@
+#ifndef NDE_PIPELINE_INSPECTION_H_
+#define NDE_PIPELINE_INSPECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/plan.h"
+
+namespace nde {
+
+/// Severity of a screening finding.
+enum class IssueSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* IssueSeverityToString(IssueSeverity severity);
+
+/// One finding produced by a pipeline screen, in the spirit of mlinspect's
+/// data-distribution debugger and ArgusEyes' CI pipeline screening.
+struct PipelineIssue {
+  std::string check;     ///< which screen fired ("distribution_change", ...)
+  IssueSeverity severity;
+  std::string message;   ///< human-readable description
+
+  std::string ToString() const;
+};
+
+/// --- Individual screens -----------------------------------------------------
+
+/// Walks the plan and, for every unary operator, compares the proportion of
+/// each category of each `sensitive_column` between the operator's input and
+/// output. A category whose share shrinks below `min_ratio` of its input
+/// share triggers a warning — the classic "your filter silently dropped a
+/// demographic group" bug mlinspect demonstrates.
+Result<std::vector<PipelineIssue>> CheckDistributionChange(
+    const PlanNode& root, const std::vector<std::string>& sensitive_columns,
+    double min_ratio = 0.5);
+
+/// Flags source rows feeding both the train-side and test-side outputs —
+/// provenance-level train/test leakage detection.
+std::vector<PipelineIssue> CheckDataLeakage(
+    const std::vector<RowProvenance>& train_provenance,
+    const std::vector<RowProvenance>& test_provenance);
+
+/// Neighborhood-disagreement label screen: an example is a label-error
+/// suspect when more than half of its `k` nearest neighbors (excluding
+/// itself) carry a different label. Fires a warning when the suspect share
+/// exceeds `max_suspect_fraction`. Returns the suspect indices via
+/// `suspects` when non-null.
+std::vector<PipelineIssue> CheckLabelErrors(const MlDataset& data, size_t k = 5,
+                                            double max_suspect_fraction = 0.15,
+                                            std::vector<size_t>* suspects = nullptr);
+
+/// Warns for each column whose null fraction exceeds `max_null_fraction`.
+std::vector<PipelineIssue> CheckNullFractions(const Table& table,
+                                              double max_null_fraction = 0.2);
+
+/// Warns when any class's share of `labels` is below `min_class_fraction`.
+std::vector<PipelineIssue> CheckClassBalance(const std::vector<int>& labels,
+                                             double min_class_fraction = 0.1);
+
+/// Near-duplicate screen for a string column: flags row pairs whose values
+/// are within `max_edit_distance` of each other (exact duplicates included).
+/// Duplicated entities inflate apparent data volume and leak across
+/// train/test splits — a classic integration-stage data error. The matched
+/// pairs are returned via `pairs` when non-null (first < second).
+Result<std::vector<PipelineIssue>> CheckNearDuplicates(
+    const Table& table, const std::string& column, size_t max_edit_distance = 1,
+    std::vector<std::pair<size_t, size_t>>* pairs = nullptr);
+
+/// --- Aggregate screening ----------------------------------------------------
+
+/// Configuration for `ScreenPipeline`.
+struct ScreeningOptions {
+  std::vector<std::string> sensitive_columns;  ///< for distribution change
+  double min_distribution_ratio = 0.5;
+  size_t label_check_k = 5;
+  double max_suspect_fraction = 0.15;
+  double max_null_fraction = 0.2;
+  double min_class_fraction = 0.1;
+};
+
+/// Runs every applicable screen over a pipeline and its output, ArgusEyes
+/// style: distribution change across the plan, null fractions on each source
+/// table, class balance and label-error screen on the encoded output.
+Result<std::vector<PipelineIssue>> ScreenPipeline(const MlPipeline& pipeline,
+                                                  const PipelineOutput& output,
+                                                  const ScreeningOptions& options);
+
+}  // namespace nde
+
+#endif  // NDE_PIPELINE_INSPECTION_H_

@@ -1,0 +1,98 @@
+#ifndef NDE_PIPELINE_PIPELINE_H_
+#define NDE_PIPELINE_PIPELINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "pipeline/encoders.h"
+#include "pipeline/plan.h"
+
+namespace nde {
+
+/// Everything the preprocessing pipeline produces for model training:
+/// encoded features, labels, the relational output table they came from, the
+/// fitted transformer, and per-row provenance back to the source tables.
+struct PipelineOutput {
+  Matrix features;
+  std::vector<int> labels;
+  std::vector<RowProvenance> provenance;
+  Table processed;             ///< relational output before encoding
+  ColumnTransformer encoders;  ///< fitted copy (usable on validation data)
+
+  size_t size() const { return labels.size(); }
+
+  /// Features + labels as an MlDataset (provenance dropped).
+  MlDataset ToDataset() const;
+};
+
+/// A named source table registered with a pipeline; its position in the
+/// pipeline's source list is its provenance `table_id`.
+struct NamedTable {
+  std::string name;
+  Table table;
+};
+
+/// Builds the relational plan from one already-created source node per
+/// registered table (same order). Builders must use every source at most
+/// once along any path so that row provenance stays a monomial.
+using PlanBuilder =
+    std::function<PlanNodePtr(const std::vector<PlanNodePtr>& sources)>;
+
+/// An end-to-end preprocessing pipeline: source tables -> relational plan ->
+/// feature encoding -> (features, labels) with full row provenance. This is
+/// the C++ analogue of the Figure 3 `pipeline(train_df, jobdetail_df,
+/// social_df)` function plus `nde.with_provenance(...)`.
+class MlPipeline {
+ public:
+  /// `label_column` must be an int64 column of the plan output with
+  /// non-negative values.
+  MlPipeline(std::vector<NamedTable> sources, PlanBuilder builder,
+             ColumnTransformer transformer, std::string label_column);
+
+  /// Executes the full pipeline: plan, then fit+transform the encoders.
+  Result<PipelineOutput> Run() const;
+
+  /// Ground-truth removal semantics: re-executes the pipeline with the given
+  /// source rows deleted (encoders are *refit* on the reduced data).
+  /// Provenance row ids still refer to the original tables.
+  Result<PipelineOutput> RunWithout(const std::vector<SourceRef>& removed) const;
+
+  /// Fast what-if removal: drops the rows of `output` whose provenance
+  /// intersects `removed`, keeping the already-fitted encoders. Exact
+  /// equivalent of RunWithout when `output.encoders.is_row_local()`; an
+  /// approximation otherwise (fit statistics would shift slightly).
+  static PipelineOutput RemoveByProvenance(const PipelineOutput& output,
+                                           const std::vector<SourceRef>& removed);
+
+  /// The relational plan over the current sources (for printing/inspection).
+  PlanNodePtr BuildPlan() const;
+
+  /// Registered source tables, index == provenance table_id.
+  const std::vector<NamedTable>& sources() const { return sources_; }
+
+  /// The plan builder and encoder configuration (for constructing variant
+  /// pipelines, e.g. in what-if analyses).
+  const PlanBuilder& builder() const { return builder_; }
+  const ColumnTransformer& transformer() const { return transformer_; }
+
+  const std::string& label_column() const { return label_column_; }
+
+ private:
+  Result<PipelineOutput> Execute(const PlanNodePtr& plan) const;
+
+  std::vector<NamedTable> sources_;
+  PlanBuilder builder_;
+  ColumnTransformer transformer_;
+  std::string label_column_;
+};
+
+/// Drops rows whose provenance intersects `removed_keys` without touching
+/// encoders. Shared helper for the plan layer.
+PlanNodePtr MakeProvenanceFilter(PlanNodePtr input,
+                                 std::unordered_set<uint64_t> removed_keys);
+
+}  // namespace nde
+
+#endif  // NDE_PIPELINE_PIPELINE_H_

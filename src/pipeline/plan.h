@@ -1,0 +1,112 @@
+#ifndef NDE_PIPELINE_PLAN_H_
+#define NDE_PIPELINE_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "pipeline/provenance.h"
+
+namespace nde {
+
+/// A table whose rows carry why-provenance back to pipeline source tables.
+struct AnnotatedTable {
+  Table table;
+  std::vector<RowProvenance> provenance;  ///< one entry per table row
+
+  Status Validate() const;
+};
+
+/// Lightweight accessor for one row during predicate / UDF evaluation.
+class RowView {
+ public:
+  RowView(const Table* table, size_t row) : table_(table), row_(row) {}
+
+  /// Cell by column name; NotFound for unknown columns.
+  Result<Value> Get(const std::string& column) const;
+
+  /// Cell by column name; aborts on unknown columns (for trusted UDFs).
+  const Value& GetOrDie(const std::string& column) const;
+
+  size_t row_index() const { return row_; }
+  const Table& table() const { return *table_; }
+
+ private:
+  const Table* table_;
+  size_t row_;
+};
+
+/// Row predicate used by Filter.
+using RowPredicate = std::function<bool(const RowView&)>;
+/// Row-level UDF producing one cell, used by Project's computed columns.
+using RowUdf = std::function<Value(const RowView&)>;
+
+/// A node in the logical pipeline plan. Plans are immutable DAGs built from
+/// shared_ptr edges; `Execute` evaluates the subtree bottom-up, threading
+/// row-level provenance through every operator.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Evaluates this subtree to an annotated table.
+  virtual Result<AnnotatedTable> Execute() const = 0;
+
+  /// Operator label, e.g. "Filter(sector == healthcare)".
+  virtual std::string label() const = 0;
+
+  /// Child nodes (inputs), empty for sources.
+  virtual std::vector<const PlanNode*> children() const = 0;
+};
+
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// Leaf scanning a registered source table. Every row r is annotated with
+/// provenance {(table_id, r)}.
+PlanNodePtr MakeSource(int32_t table_id, std::string name, Table table);
+
+/// Keeps rows satisfying `predicate`. `description` is used in plan labels.
+PlanNodePtr MakeFilter(PlanNodePtr input, std::string description,
+                       RowPredicate predicate);
+
+/// Convenience filter: keeps rows where `column` equals `value`
+/// (nulls never match).
+PlanNodePtr MakeFilterEquals(PlanNodePtr input, const std::string& column,
+                             Value value);
+
+/// Projects to `columns` (in order), then appends computed columns, each
+/// produced by a UDF over the *input* row.
+struct ComputedColumn {
+  Field field;
+  RowUdf udf;
+};
+PlanNodePtr MakeProject(PlanNodePtr input, std::vector<std::string> columns,
+                        std::vector<ComputedColumn> computed = {});
+
+/// Inner hash equi-join on left_key == right_key (null keys never match).
+/// Output schema: all left columns, then right columns except `right_key`;
+/// right column names colliding with left ones get an "_r" suffix. Output
+/// provenance is the merge (monomial product) of the matched rows'.
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right,
+                         std::string left_key, std::string right_key);
+
+/// Inner fuzzy join for string keys: rows match when the edit distance
+/// between their keys is <= max_edit_distance. Each left row joins all
+/// matching right rows. Same schema/provenance rules as the hash join.
+PlanNodePtr MakeFuzzyJoin(PlanNodePtr left, PlanNodePtr right,
+                          std::string left_key, std::string right_key,
+                          size_t max_edit_distance);
+
+/// --- Plan rendering ---------------------------------------------------------
+
+/// Indented text rendering of the plan tree (Figure 3's "query plan" view).
+std::string PlanToString(const PlanNode& root);
+
+/// Graphviz DOT rendering of the plan DAG.
+std::string PlanToDot(const PlanNode& root);
+
+}  // namespace nde
+
+#endif  // NDE_PIPELINE_PLAN_H_

@@ -1,0 +1,62 @@
+#include "pipeline/provenance.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+std::string SourceRef::ToString() const {
+  return StrFormat("t%d/r%u", table_id, row_id);
+}
+
+void RowProvenance::Add(SourceRef ref) {
+  auto pos = std::lower_bound(refs_.begin(), refs_.end(), ref);
+  if (pos != refs_.end() && *pos == ref) return;
+  refs_.insert(pos, ref);
+}
+
+RowProvenance RowProvenance::Merge(const RowProvenance& a,
+                                   const RowProvenance& b) {
+  RowProvenance out;
+  out.refs_.resize(a.refs_.size() + b.refs_.size());
+  auto end = std::set_union(a.refs_.begin(), a.refs_.end(), b.refs_.begin(),
+                            b.refs_.end(), out.refs_.begin());
+  out.refs_.resize(static_cast<size_t>(end - out.refs_.begin()));
+  return out;
+}
+
+bool RowProvenance::DependsOnTable(int32_t table_id) const {
+  return FindTableRef(table_id) != nullptr;
+}
+
+const SourceRef* RowProvenance::FindTableRef(int32_t table_id) const {
+  for (const SourceRef& ref : refs_) {
+    if (ref.table_id == table_id) return &ref;
+  }
+  return nullptr;
+}
+
+bool RowProvenance::IntersectsKeys(
+    const std::unordered_set<uint64_t>& removed_keys) const {
+  for (const SourceRef& ref : refs_) {
+    if (removed_keys.find(ref.Key()) != removed_keys.end()) return true;
+  }
+  return false;
+}
+
+std::string RowProvenance::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(refs_.size());
+  for (const SourceRef& ref : refs_) parts.push_back(ref.ToString());
+  return "{" + JoinStrings(parts, " * ") + "}";
+}
+
+std::unordered_set<uint64_t> MakeKeySet(const std::vector<SourceRef>& refs) {
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(refs.size() * 2);
+  for (const SourceRef& ref : refs) keys.insert(ref.Key());
+  return keys;
+}
+
+}  // namespace nde

@@ -1,0 +1,89 @@
+#ifndef NDE_PIPELINE_PROVENANCE_H_
+#define NDE_PIPELINE_PROVENANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nde {
+
+/// Identity of one row in one registered source table.
+struct SourceRef {
+  int32_t table_id = 0;
+  uint32_t row_id = 0;
+
+  friend bool operator==(const SourceRef& a, const SourceRef& b) {
+    return a.table_id == b.table_id && a.row_id == b.row_id;
+  }
+  friend bool operator<(const SourceRef& a, const SourceRef& b) {
+    if (a.table_id != b.table_id) return a.table_id < b.table_id;
+    return a.row_id < b.row_id;
+  }
+
+  /// Packs (table_id, row_id) into one 64-bit key.
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(table_id)) << 32) |
+           row_id;
+  }
+
+  std::string ToString() const;
+};
+
+struct SourceRefHash {
+  size_t operator()(const SourceRef& ref) const {
+    return std::hash<uint64_t>{}(ref.Key());
+  }
+};
+
+/// Why-provenance of one derived row: the conjunction (monomial) of source
+/// rows it was derived from. With our operator set (map/filter/project/join)
+/// every output row is a join of at most one row per source table, so the
+/// provenance polynomial of a row is a single monomial — exactly the setting
+/// exploited by Datascope-style pipeline-aware importance.
+///
+/// Refs are kept sorted and deduplicated.
+class RowProvenance {
+ public:
+  RowProvenance() = default;
+  explicit RowProvenance(SourceRef ref) : refs_{ref} {}
+
+  const std::vector<SourceRef>& refs() const { return refs_; }
+  bool empty() const { return refs_.empty(); }
+  size_t size() const { return refs_.size(); }
+
+  /// Adds one source ref, keeping the set sorted and unique.
+  void Add(SourceRef ref);
+
+  /// Monomial product: union of the two ref sets (join semantics).
+  static RowProvenance Merge(const RowProvenance& a, const RowProvenance& b);
+
+  /// True when any ref belongs to `table_id`.
+  bool DependsOnTable(int32_t table_id) const;
+
+  /// The ref from `table_id` if present (at most one for well-formed plans
+  /// that join each source once); refs are scanned in order.
+  const SourceRef* FindTableRef(int32_t table_id) const;
+
+  /// True when this row depends on any ref in `removed`.
+  bool IntersectsKeys(const std::unordered_set<uint64_t>& removed_keys) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const RowProvenance& a, const RowProvenance& b) {
+    return a.refs_ == b.refs_;
+  }
+
+ private:
+  std::vector<SourceRef> refs_;
+};
+
+/// Builds the packed-key set for a list of refs (helper for removal tests).
+std::unordered_set<uint64_t> MakeKeySet(const std::vector<SourceRef>& refs);
+
+}  // namespace nde
+
+#endif  // NDE_PIPELINE_PROVENANCE_H_

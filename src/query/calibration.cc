@@ -1,0 +1,131 @@
+#include "query/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nde {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status PlattCalibrator::Fit(const std::vector<double>& scores,
+                            const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty calibration data");
+  }
+  size_t positives = 0;
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be binary {0, 1}");
+    }
+    if (label == 1) ++positives;
+  }
+  if (positives == 0 || positives == labels.size()) {
+    return Status::FailedPrecondition("calibration needs both classes");
+  }
+
+  // Newton's method on the 2-parameter logistic log-loss, with Platt's
+  // label smoothing to avoid saturated targets.
+  double n = static_cast<double>(labels.size());
+  double n_pos = static_cast<double>(positives);
+  double t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+  double t_neg = 1.0 / ((n - n_pos) + 2.0);
+
+  double a = 1.0;
+  double b = 0.0;
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    double g_a = 0.0, g_b = 0.0;
+    double h_aa = 1e-9, h_ab = 0.0, h_bb = 1e-9;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      double target = labels[i] == 1 ? t_pos : t_neg;
+      double p = Sigmoid(a * scores[i] + b);
+      double err = p - target;
+      double w = std::max(p * (1.0 - p), 1e-9);
+      g_a += err * scores[i];
+      g_b += err;
+      h_aa += w * scores[i] * scores[i];
+      h_ab += w * scores[i];
+      h_bb += w;
+    }
+    // Solve the 2x2 Newton system.
+    double det = h_aa * h_bb - h_ab * h_ab;
+    if (std::fabs(det) < 1e-18) break;
+    double step_a = (g_a * h_bb - g_b * h_ab) / det;
+    double step_b = (g_b * h_aa - g_a * h_ab) / det;
+    a -= step_a;
+    b -= step_b;
+    if (step_a * step_a + step_b * step_b < 1e-18) break;
+  }
+  a_ = a;
+  b_ = b;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double PlattCalibrator::Calibrate(double score) const {
+  NDE_CHECK(fitted_) << "calibrator is not fitted";
+  return Sigmoid(a_ * score + b_);
+}
+
+std::vector<double> PlattCalibrator::Calibrate(
+    const std::vector<double>& scores) const {
+  std::vector<double> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) out[i] = Calibrate(scores[i]);
+  return out;
+}
+
+double BrierScore(const std::vector<double>& probabilities,
+                  const std::vector<int>& labels) {
+  NDE_CHECK_EQ(probabilities.size(), labels.size());
+  if (probabilities.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    double diff = probabilities[i] - static_cast<double>(labels[i]);
+    total += diff * diff;
+  }
+  return total / static_cast<double>(probabilities.size());
+}
+
+double ExpectedCalibrationError(const std::vector<double>& probabilities,
+                                const std::vector<int>& labels,
+                                size_t num_bins) {
+  NDE_CHECK_EQ(probabilities.size(), labels.size());
+  NDE_CHECK_GE(num_bins, 1u);
+  if (probabilities.empty()) return 0.0;
+  std::vector<double> confidence(num_bins, 0.0);
+  std::vector<double> accuracy(num_bins, 0.0);
+  std::vector<size_t> counts(num_bins, 0);
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    double p = std::clamp(probabilities[i], 0.0, 1.0);
+    size_t bin = std::min(static_cast<size_t>(p * num_bins), num_bins - 1);
+    confidence[bin] += p;
+    accuracy[bin] += static_cast<double>(labels[i]);
+    ++counts[bin];
+  }
+  double ece = 0.0;
+  double n = static_cast<double>(probabilities.size());
+  for (size_t bin = 0; bin < num_bins; ++bin) {
+    if (counts[bin] == 0) continue;
+    double c = confidence[bin] / static_cast<double>(counts[bin]);
+    double a = accuracy[bin] / static_cast<double>(counts[bin]);
+    ece += (static_cast<double>(counts[bin]) / n) * std::fabs(c - a);
+  }
+  return ece;
+}
+
+}  // namespace nde

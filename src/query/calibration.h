@@ -1,0 +1,51 @@
+#ifndef NDE_QUERY_CALIBRATION_H_
+#define NDE_QUERY_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace nde {
+
+/// Probability calibration for binary scores — the "calibration" half of
+/// Figure 1's predictive-query-processing stage. Raw model scores (SVM
+/// decision values, over-confident probability estimates) are mapped to
+/// calibrated probabilities with Platt scaling: p = sigmoid(a * score + b),
+/// with (a, b) fitted by Newton's method on held-out data.
+class PlattCalibrator {
+ public:
+  PlattCalibrator() = default;
+
+  /// Fits (a, b) on held-out scores and binary labels {0, 1} by minimizing
+  /// log-loss. Returns InvalidArgument for size mismatch / non-binary labels
+  /// and FailedPrecondition when the data is degenerate (one class only).
+  Status Fit(const std::vector<double>& scores, const std::vector<int>& labels);
+
+  /// Calibrated probability of the positive class. Precondition: fitted.
+  double Calibrate(double score) const;
+  std::vector<double> Calibrate(const std::vector<double>& scores) const;
+
+  double slope() const { return a_; }
+  double intercept() const { return b_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Brier score: mean squared error between probabilities and binary labels.
+/// Lower is better; the standard calibration-quality metric.
+double BrierScore(const std::vector<double>& probabilities,
+                  const std::vector<int>& labels);
+
+/// Expected calibration error with equal-width probability bins: the
+/// weighted average gap between per-bin confidence and per-bin accuracy.
+double ExpectedCalibrationError(const std::vector<double>& probabilities,
+                                const std::vector<int>& labels,
+                                size_t num_bins = 10);
+
+}  // namespace nde
+
+#endif  // NDE_QUERY_CALIBRATION_H_

@@ -1,0 +1,103 @@
+#ifndef NDE_QUERY_PREDICTIVE_QUERY_H_
+#define NDE_QUERY_PREDICTIVE_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace nde {
+
+/// The downstream stage of Figure 1: trained models feed *predictive
+/// queries* — per-group aggregates of predictions, rendered with a label
+/// dictionary — and those query results are what users actually see and
+/// complain about.
+
+/// Maps class ids to human-readable labels ("dictionary lookup").
+class LabelDictionary {
+ public:
+  LabelDictionary() = default;
+  explicit LabelDictionary(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  /// Name of class `label`; falls back to "class_<id>" for unknown ids.
+  std::string Lookup(int label) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One row of an aggregate predictive-query result.
+struct GroupAggregate {
+  int group = 0;
+  size_t count = 0;
+  double positive_rate = 0.0;  ///< mean predicted P(class 1) over the group
+
+  std::string ToString() const;
+};
+
+/// The canonical aggregate query: "mean predicted positive probability per
+/// group" (e.g. predicted hiring rate per demographic, predicted default
+/// rate per region). Uses the model's probability estimates.
+Result<std::vector<GroupAggregate>> AggregatePositiveRate(
+    const Classifier& model, const Matrix& query_features,
+    const std::vector<int>& groups);
+
+/// --- Complaint-driven training-data debugging (refs [20, 83]) --------------
+///
+/// A user complains that a query result is wrong ("the predicted positive
+/// rate for group 3 is too high"). Complaint-driven debugging translates the
+/// complaint into a ranking of *training* tuples whose removal moves the
+/// aggregate in the requested direction.
+
+enum class ComplaintDirection {
+  kTooHigh,  ///< the aggregate should be lower
+  kTooLow,   ///< the aggregate should be higher
+};
+
+struct Complaint {
+  int group = 0;
+  ComplaintDirection direction = ComplaintDirection::kTooHigh;
+};
+
+/// Exact per-tuple attribution of the aggregate for a K-NN model: the
+/// Shapley value of each training tuple in the game
+///   v(S) = mean over the complaint group's query points of the soft K-NN
+///          predicted P(class 1) under training set S.
+/// Computed with the closed-form KNN-Shapley recurrence (the aggregate is a
+/// sum of per-query "votes for class 1", which is exactly the KNN-Shapley
+/// payoff with every query label forced to 1). Satisfies efficiency:
+/// the values sum to the full-data aggregate.
+Result<std::vector<double>> AggregateAttribution(
+    const MlDataset& train, const Matrix& query_features,
+    const std::vector<int>& groups, int group, size_t k);
+
+/// Ranks training tuples for repair under `complaint`: tuples whose removal
+/// most decreases (kTooHigh) or increases (kTooLow) the group aggregate come
+/// first.
+Result<std::vector<size_t>> ComplaintDrivenRanking(
+    const MlDataset& train, const Matrix& query_features,
+    const std::vector<int>& groups, const Complaint& complaint, size_t k);
+
+/// Outcome of applying a complaint fix.
+struct ComplaintFixResult {
+  double aggregate_before = 0.0;
+  double aggregate_after = 0.0;
+  std::vector<size_t> removed;  ///< training tuples removed, in rank order
+};
+
+/// Removes the top `budget` complaint-ranked tuples and re-evaluates the
+/// group aggregate with a freshly fitted K-NN model.
+Result<ComplaintFixResult> ApplyComplaintFix(
+    const MlDataset& train, const Matrix& query_features,
+    const std::vector<int>& groups, const Complaint& complaint, size_t k,
+    size_t budget);
+
+}  // namespace nde
+
+#endif  // NDE_QUERY_PREDICTIVE_QUERY_H_

@@ -1,0 +1,173 @@
+#include "uncertain/affine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nde {
+
+AffineForm AffineForm::Constant(double value) {
+  AffineForm form;
+  form.center_ = value;
+  return form;
+}
+
+AffineForm AffineForm::Symbol(double center, double radius, uint32_t symbol) {
+  NDE_CHECK_GE(radius, 0.0);
+  AffineForm form;
+  form.center_ = center;
+  if (radius > 0.0) form.terms_.push_back({symbol, radius});
+  return form;
+}
+
+double AffineForm::Radius() const {
+  double total = remainder_;
+  for (const auto& [symbol, coeff] : terms_) {
+    (void)symbol;
+    total += std::fabs(coeff);
+  }
+  return total;
+}
+
+Interval AffineForm::ToInterval() const {
+  double radius = Radius();
+  return Interval(center_ - radius, center_ + radius);
+}
+
+AffineForm::Terms AffineForm::MergeTerms(const Terms& a, const Terms& b,
+                                         double scale_b) {
+  Terms out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out.push_back(a[i++]);
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      out.push_back({b[j].first, scale_b * b[j].second});
+      ++j;
+    } else {
+      double coeff = a[i].second + scale_b * b[j].second;
+      if (coeff != 0.0) out.push_back({a[i].first, coeff});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+AffineForm operator+(const AffineForm& a, const AffineForm& b) {
+  AffineForm out;
+  out.center_ = a.center_ + b.center_;
+  out.terms_ = AffineForm::MergeTerms(a.terms_, b.terms_, 1.0);
+  out.remainder_ = a.remainder_ + b.remainder_;
+  return out;
+}
+
+AffineForm operator-(const AffineForm& a, const AffineForm& b) {
+  AffineForm out;
+  out.center_ = a.center_ - b.center_;
+  out.terms_ = AffineForm::MergeTerms(a.terms_, b.terms_, -1.0);
+  out.remainder_ = a.remainder_ + b.remainder_;
+  return out;
+}
+
+AffineForm operator*(double s, const AffineForm& a) {
+  AffineForm out;
+  out.center_ = s * a.center_;
+  if (s != 0.0) {
+    out.terms_ = a.terms_;
+    for (auto& [symbol, coeff] : out.terms_) {
+      (void)symbol;
+      coeff *= s;
+    }
+  }
+  out.remainder_ = std::fabs(s) * a.remainder_;
+  return out;
+}
+
+AffineForm AffineForm::operator-() const { return -1.0 * *this; }
+
+AffineForm& AffineForm::operator+=(const AffineForm& other) {
+  *this = *this + other;
+  return *this;
+}
+
+AffineForm& AffineForm::operator-=(const AffineForm& other) {
+  *this = *this - other;
+  return *this;
+}
+
+AffineForm operator*(const AffineForm& a, const AffineForm& b) {
+  // x = x0 + X + rx E1, y = y0 + Y + ry E2 with X, Y the named parts.
+  // x*y = x0 y0 + x0 Y + y0 X  (affine part)
+  //     + x0 ry E2 + y0 rx E1 + (X + rx E1)(Y + ry E2)  (remainder part).
+  AffineForm out;
+  out.center_ = a.center_ * b.center_;
+  AffineForm::Terms scaled_b = b.terms_;
+  for (auto& [symbol, coeff] : scaled_b) {
+    (void)symbol;
+    coeff *= a.center_;
+  }
+  AffineForm::Terms scaled_a = a.terms_;
+  for (auto& [symbol, coeff] : scaled_a) {
+    (void)symbol;
+    coeff *= b.center_;
+  }
+  out.terms_ = AffineForm::MergeTerms(scaled_a, scaled_b, 1.0);
+
+  double dev_a = a.Radius();  // Includes remainder.
+  double dev_b = b.Radius();
+  out.remainder_ = std::fabs(a.center_) * b.remainder_ +
+                   std::fabs(b.center_) * a.remainder_ + dev_a * dev_b;
+  return out;
+}
+
+AffineForm AffineForm::Square() const {
+  // x^2 = x0^2 + 2 x0 (X + r E) + (X + r E)^2.
+  // The quadratic part lies in [0, dev^2]; re-center it as dev^2/2 +/- dev^2/2
+  // so only half the quadratic range leaks into the remainder.
+  AffineForm out;
+  double dev = Radius();
+  out.center_ = center_ * center_ + 0.5 * dev * dev;
+  out.terms_ = terms_;
+  for (auto& [symbol, coeff] : out.terms_) {
+    (void)symbol;
+    coeff *= 2.0 * center_;
+  }
+  out.remainder_ = 2.0 * std::fabs(center_) * remainder_ + 0.5 * dev * dev;
+  return out;
+}
+
+double AffineForm::Evaluate(
+    const std::vector<std::pair<uint32_t, double>>& assignment,
+    double remainder_eps) const {
+  NDE_CHECK_GE(remainder_eps, -1.0);
+  NDE_CHECK_LE(remainder_eps, 1.0);
+  double value = center_ + remainder_ * remainder_eps;
+  for (const auto& [symbol, coeff] : terms_) {
+    for (const auto& [assigned_symbol, eps] : assignment) {
+      if (assigned_symbol == symbol) {
+        NDE_CHECK_GE(eps, -1.0);
+        NDE_CHECK_LE(eps, 1.0);
+        value += coeff * eps;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+std::string AffineForm::ToString() const {
+  std::ostringstream os;
+  os << center_;
+  for (const auto& [symbol, coeff] : terms_) {
+    os << (coeff >= 0 ? " + " : " - ") << std::fabs(coeff) << "*e" << symbol;
+  }
+  if (remainder_ > 0.0) os << " +/- " << remainder_;
+  return os.str();
+}
+
+}  // namespace nde

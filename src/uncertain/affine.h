@@ -1,0 +1,93 @@
+#ifndef NDE_UNCERTAIN_AFFINE_H_
+#define NDE_UNCERTAIN_AFFINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "uncertain/interval.h"
+
+namespace nde {
+
+/// Affine form (the building block of zonotopes): a value represented as
+///
+///   x = c + sum_k a_k * eps_k + r * eps_new,   eps in [-1, 1]
+///
+/// where the eps_k are shared *named* noise symbols (one per uncertain input
+/// cell) and `r >= 0` is an anonymous remainder absorbing non-affine error.
+///
+/// Unlike plain intervals, affine forms remember which uncertainty each value
+/// depends on, so correlated terms cancel: x - x is exactly 0, and gradient
+/// descent over uncertain data stays orders of magnitude tighter than with
+/// interval arithmetic. This is the abstract domain of the Zorro line of work
+/// ("From Possible Worlds to Possible Models").
+///
+/// All operations are sound: for any concrete assignment of the noise symbols
+/// in [-1,1]^K, the concrete result of an operation lies in the concretization
+/// of the affine result.
+class AffineForm {
+ public:
+  /// The constant 0.
+  AffineForm() : center_(0.0), remainder_(0.0) {}
+
+  /// An exactly known constant.
+  static AffineForm Constant(double value);
+
+  /// An uncertain input: value in [center - radius, center + radius], tied to
+  /// the shared noise symbol `symbol`. Two inputs created with the same
+  /// symbol are treated as perfectly correlated. radius must be >= 0.
+  static AffineForm Symbol(double center, double radius, uint32_t symbol);
+
+  double center() const { return center_; }
+  double remainder() const { return remainder_; }
+
+  /// Total deviation sum_k |a_k| + r: half the concretization width.
+  double Radius() const;
+
+  /// Concretization [center - Radius(), center + Radius()].
+  Interval ToInterval() const;
+
+  /// True when the form is an exact constant.
+  bool is_constant() const { return terms_.empty() && remainder_ == 0.0; }
+
+  /// Arithmetic. Addition/subtraction/scaling are exact (no new error);
+  /// multiplication introduces a remainder bounded by the standard affine-
+  /// arithmetic product rule.
+  friend AffineForm operator+(const AffineForm& a, const AffineForm& b);
+  friend AffineForm operator-(const AffineForm& a, const AffineForm& b);
+  friend AffineForm operator*(const AffineForm& a, const AffineForm& b);
+  friend AffineForm operator*(double s, const AffineForm& a);
+  AffineForm operator-() const;
+  AffineForm& operator+=(const AffineForm& other);
+  AffineForm& operator-=(const AffineForm& other);
+
+  /// Tight square: exploits (sum_k a_k eps_k)^2 in [0, dev^2] to center the
+  /// quadratic error, halving the loss versus self-multiplication.
+  AffineForm Square() const;
+
+  /// Evaluates the affine part at a concrete assignment of noise symbols
+  /// (symbols absent from `assignment` evaluate as 0; the remainder term is
+  /// evaluated at `remainder_eps` in [-1, 1]). For tests.
+  double Evaluate(const std::vector<std::pair<uint32_t, double>>& assignment,
+                  double remainder_eps = 0.0) const;
+
+  /// Number of tracked noise symbols (diagnostics).
+  size_t num_terms() const { return terms_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  /// Sorted by symbol id; no duplicates; no zero coefficients kept.
+  using Terms = std::vector<std::pair<uint32_t, double>>;
+
+  static Terms MergeTerms(const Terms& a, const Terms& b, double scale_b);
+
+  double center_;
+  Terms terms_;
+  double remainder_;  // >= 0
+};
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_AFFINE_H_

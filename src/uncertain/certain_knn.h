@@ -1,0 +1,61 @@
+#ifndef NDE_UNCERTAIN_CERTAIN_KNN_H_
+#define NDE_UNCERTAIN_CERTAIN_KNN_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "uncertain/interval.h"
+
+namespace nde {
+
+/// A classification dataset whose feature cells are intervals — incomplete
+/// information in the sense of "Nearest Neighbor Classifiers over Incomplete
+/// Information: From Certain Answers to Certain Predictions" (Karlaš et al.,
+/// VLDB 2020). Labels are exact.
+struct UncertainClassificationDataset {
+  std::vector<std::vector<Interval>> features;  ///< n rows of d intervals
+  std::vector<int> labels;
+
+  size_t size() const { return labels.size(); }
+  size_t num_features() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  static UncertainClassificationDataset FromConcrete(const MlDataset& data);
+  void SetUncertain(size_t row, size_t col, double lo, double hi);
+
+  /// Draws a possible world (uniform per uncertain cell).
+  MlDataset SampleWorld(Rng* rng) const;
+
+  /// Minimum / maximum possible squared distance from row `i` to `query`.
+  double MinSquaredDistance(size_t i, const std::vector<double>& query) const;
+  double MaxSquaredDistance(size_t i, const std::vector<double>& query) const;
+};
+
+/// Decides whether the K-NN majority prediction for `query` is *certain*:
+/// the same label in every possible world of the training data.
+///
+/// Method: for each candidate label y, adversarial worlds are constructed in
+/// which the points of one competing class sit at their minimum possible
+/// distance while all other points sit at their maximum; y is certain iff it
+/// wins the (deterministic, lowest-class-id tie-break) vote in all of them.
+/// Exact for binary labels; for multi-class it is sound (a returned label is
+/// truly certain) and may rarely miss certainty.
+///
+/// Returns the certain label, or nullopt when the prediction depends on the
+/// unknown values.
+std::optional<int> CertainKnnPrediction(
+    const UncertainClassificationDataset& train,
+    const std::vector<double>& query, size_t k);
+
+/// Fraction of `queries` rows with a certain K-NN prediction — the headline
+/// robustness ratio of the certain-predictions line of work.
+double CertainPredictionRatio(const UncertainClassificationDataset& train,
+                              const Matrix& queries, size_t k);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_CERTAIN_KNN_H_

@@ -1,0 +1,221 @@
+#include "uncertain/certain_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ml/linear_regression.h"
+#include "ml/svm.h"
+
+namespace nde {
+
+std::vector<size_t> IncompleteRegressionDataset::CompleteRows() const {
+  std::vector<bool> incomplete(size(), false);
+  for (const auto& [row, col] : missing_cells) {
+    (void)col;
+    if (row < incomplete.size()) incomplete[row] = true;
+  }
+  std::vector<size_t> complete;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!incomplete[i]) complete.push_back(i);
+  }
+  return complete;
+}
+
+namespace {
+
+Status ValidateIncomplete(const IncompleteRegressionDataset& data) {
+  if (data.features.rows() != data.targets.size()) {
+    return Status::InvalidArgument("feature/target size mismatch");
+  }
+  for (const auto& [row, col] : data.missing_cells) {
+    if (row >= data.features.rows() || col >= data.features.cols()) {
+      return Status::OutOfRange("missing cell out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CertainModelResult> CheckCertainLinearModel(
+    const IncompleteRegressionDataset& data, double lambda, double eps) {
+  NDE_RETURN_IF_ERROR(ValidateIncomplete(data));
+  std::vector<size_t> complete = data.CompleteRows();
+  if (complete.empty()) {
+    return Status::FailedPrecondition("no complete rows to fit on");
+  }
+  RegressionDataset complete_data;
+  complete_data.features = data.features.SelectRows(complete);
+  complete_data.targets.reserve(complete.size());
+  for (size_t i : complete) complete_data.targets.push_back(data.targets[i]);
+
+  RidgeRegression model(lambda);
+  NDE_RETURN_IF_ERROR(model.Fit(complete_data));
+
+  CertainModelResult result;
+  result.weights = model.weights();
+  result.intercept = model.intercept();
+
+  // Features missing anywhere must carry zero weight.
+  std::set<size_t> missing_features;
+  std::set<size_t> incomplete_rows;
+  for (const auto& [row, col] : data.missing_cells) {
+    missing_features.insert(col);
+    incomplete_rows.insert(row);
+  }
+  for (size_t j : missing_features) {
+    result.max_missing_feature_weight = std::max(
+        result.max_missing_feature_weight, std::fabs(result.weights[j]));
+  }
+  // Incomplete rows must have zero residual (computed with the missing cells
+  // contributing nothing, which is exact when their weights are zero).
+  for (size_t i : incomplete_rows) {
+    double prediction = result.intercept;
+    for (size_t j = 0; j < data.features.cols(); ++j) {
+      bool cell_missing = false;
+      for (const auto& [row, col] : data.missing_cells) {
+        if (row == i && col == j) {
+          cell_missing = true;
+          break;
+        }
+      }
+      if (!cell_missing) prediction += result.weights[j] * data.features(i, j);
+    }
+    result.max_incomplete_residual =
+        std::max(result.max_incomplete_residual,
+                 std::fabs(prediction - data.targets[i]));
+  }
+  result.certain = result.max_missing_feature_weight <= eps &&
+                   result.max_incomplete_residual <= eps;
+  return result;
+}
+
+Result<ApproxCertainResult> CheckApproximatelyCertainModel(
+    const IncompleteRegressionDataset& data, double bound_lo, double bound_hi,
+    double epsilon, double lambda) {
+  NDE_RETURN_IF_ERROR(ValidateIncomplete(data));
+  if (bound_lo > bound_hi) {
+    return Status::InvalidArgument("bound_lo must be <= bound_hi");
+  }
+  std::vector<size_t> complete = data.CompleteRows();
+  if (complete.empty()) {
+    return Status::FailedPrecondition("no complete rows to fit on");
+  }
+  RegressionDataset complete_data;
+  complete_data.features = data.features.SelectRows(complete);
+  complete_data.targets.reserve(complete.size());
+  for (size_t i : complete) complete_data.targets.push_back(data.targets[i]);
+
+  RidgeRegression model(lambda);
+  NDE_RETURN_IF_ERROR(model.Fit(complete_data));
+
+  ApproxCertainResult result;
+  result.complete_mse = model.MeanSquaredError(complete_data);
+
+  // Interval evaluation of the full-data MSE with missing cells in bounds.
+  std::vector<std::vector<Interval>> rows(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    rows[i].reserve(data.features.cols());
+    for (size_t j = 0; j < data.features.cols(); ++j) {
+      rows[i].emplace_back(data.features(i, j));
+    }
+  }
+  for (const auto& [row, col] : data.missing_cells) {
+    rows[row][col] = Interval(bound_lo, bound_hi);
+  }
+  Interval total(0.0);
+  std::vector<Interval> weight_intervals;
+  weight_intervals.reserve(model.weights().size());
+  for (double w : model.weights()) weight_intervals.emplace_back(w);
+  for (size_t i = 0; i < data.size(); ++i) {
+    Interval residual = IntervalDot(weight_intervals, rows[i]) +
+                        Interval(model.intercept()) -
+                        Interval(data.targets[i]);
+    total += residual.Square();
+  }
+  result.worst_case_mse = total.hi() / static_cast<double>(data.size());
+  result.approximately_certain =
+      result.worst_case_mse - result.complete_mse <= epsilon;
+  return result;
+}
+
+std::vector<size_t> IncompleteClassificationDataset::CompleteRows() const {
+  std::vector<bool> incomplete(size(), false);
+  for (const auto& [row, col] : missing_cells) {
+    (void)col;
+    if (row < incomplete.size()) incomplete[row] = true;
+  }
+  std::vector<size_t> complete;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!incomplete[i]) complete.push_back(i);
+  }
+  return complete;
+}
+
+Result<CertainSvmResult> CheckCertainSvmModel(
+    const IncompleteClassificationDataset& data, double bound_lo,
+    double bound_hi) {
+  if (data.features.rows() != data.labels.size()) {
+    return Status::InvalidArgument("feature/label size mismatch");
+  }
+  if (bound_lo > bound_hi) {
+    return Status::InvalidArgument("bound_lo must be <= bound_hi");
+  }
+  for (int label : data.labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be binary {0, 1}");
+    }
+  }
+  for (const auto& [row, col] : data.missing_cells) {
+    if (row >= data.features.rows() || col >= data.features.cols()) {
+      return Status::OutOfRange("missing cell out of range");
+    }
+  }
+  std::vector<size_t> complete = data.CompleteRows();
+  if (complete.empty()) {
+    return Status::FailedPrecondition("no complete rows to fit on");
+  }
+  MlDataset complete_data;
+  complete_data.features = data.features.SelectRows(complete);
+  for (size_t i : complete) complete_data.labels.push_back(data.labels[i]);
+
+  LinearSvmOptions options;
+  options.standardize = false;  // Bounds apply in raw feature space.
+  LinearSvm svm(options);
+  NDE_RETURN_IF_ERROR(svm.Fit(complete_data));
+
+  // Interval margin y * (w x + b) for every incomplete row.
+  std::vector<bool> incomplete(data.size(), false);
+  for (const auto& [row, col] : data.missing_cells) {
+    (void)col;
+    incomplete[row] = true;
+  }
+  CertainSvmResult result;
+  result.min_incomplete_margin = 1e300;
+  const std::vector<double>& w = svm.weights();
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!incomplete[i]) continue;
+    Interval score(svm.bias());
+    for (size_t j = 0; j < data.features.cols(); ++j) {
+      bool cell_missing = false;
+      for (const auto& [row, col] : data.missing_cells) {
+        if (row == i && col == j) {
+          cell_missing = true;
+          break;
+        }
+      }
+      Interval x = cell_missing ? Interval(bound_lo, bound_hi)
+                                : Interval(data.features(i, j));
+      score += Interval(w[j]) * x;
+    }
+    double y = data.labels[i] == 1 ? 1.0 : -1.0;
+    Interval margin = y * score;
+    result.min_incomplete_margin =
+        std::min(result.min_incomplete_margin, margin.lo());
+  }
+  result.certain = result.min_incomplete_margin >= 1.0;
+  return result;
+}
+
+}  // namespace nde

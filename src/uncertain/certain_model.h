@@ -1,0 +1,97 @@
+#ifndef NDE_UNCERTAIN_CERTAIN_MODEL_H_
+#define NDE_UNCERTAIN_CERTAIN_MODEL_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "uncertain/interval.h"
+
+namespace nde {
+
+/// A regression dataset with missing feature cells (the values stored at the
+/// missing positions are ignored).
+struct IncompleteRegressionDataset {
+  Matrix features;
+  std::vector<double> targets;
+  std::vector<std::pair<size_t, size_t>> missing_cells;  ///< (row, col)
+
+  size_t size() const { return targets.size(); }
+
+  /// Rows without any missing cell, in order.
+  std::vector<size_t> CompleteRows() const;
+};
+
+/// Outcome of the certain-model check (Zhen et al., "Certain and
+/// Approximately Certain Models for Statistical Learning", SIGMOD 2024).
+struct CertainModelResult {
+  /// True when the model fitted on the complete rows is provably optimal for
+  /// *every* imputation of the missing cells, so no cleaning is needed at
+  /// all — the "do we even need to debug?" answer of Section 2.3.
+  bool certain = false;
+  /// Weights of the model fitted on the complete rows (bias last).
+  std::vector<double> weights;
+  double intercept = 0.0;
+  /// Largest |residual| among incomplete rows (0 needed for certainty).
+  double max_incomplete_residual = 0.0;
+  /// Largest |w_j| over features missing somewhere (0 needed for certainty).
+  double max_missing_feature_weight = 0.0;
+};
+
+/// Checks the sufficient certainty condition for ridge regression: with the
+/// model w* fitted on the complete rows, the model is certain when every
+/// incomplete row has zero residual and every feature that is missing
+/// anywhere has zero weight — then no imputation can change the gradient, so
+/// w* stays optimal in every possible world. Tolerance `eps` absorbs
+/// floating-point noise.
+Result<CertainModelResult> CheckCertainLinearModel(
+    const IncompleteRegressionDataset& data, double lambda = 1e-3,
+    double eps = 1e-6);
+
+/// Approximately-certain check: trains on the complete rows and bounds, by
+/// interval arithmetic with the missing cells ranging over
+/// [bound_lo, bound_hi], the worst-case mean squared error over all possible
+/// worlds. The model is approximately certain when
+///   worst_case_mse - complete_rows_mse <= epsilon.
+struct ApproxCertainResult {
+  bool approximately_certain = false;
+  double complete_mse = 0.0;
+  double worst_case_mse = 0.0;
+};
+
+Result<ApproxCertainResult> CheckApproximatelyCertainModel(
+    const IncompleteRegressionDataset& data, double bound_lo, double bound_hi,
+    double epsilon, double lambda = 1e-3);
+
+/// A binary classification dataset with missing feature cells.
+struct IncompleteClassificationDataset {
+  Matrix features;
+  std::vector<int> labels;  ///< in {0, 1}
+  std::vector<std::pair<size_t, size_t>> missing_cells;
+
+  size_t size() const { return labels.size(); }
+  std::vector<size_t> CompleteRows() const;
+};
+
+/// Certain-model check for the linear SVM (Zhen et al. 2024 cover SVMs as
+/// well): with the model fitted on the complete rows, the model is certain
+/// when every incomplete row lies strictly outside the margin in *every*
+/// possible world — then its hinge subgradient is zero regardless of the
+/// imputation, so the complete-rows solution stays stationary.
+struct CertainSvmResult {
+  bool certain = false;
+  /// Smallest guaranteed margin y * f(x) over the incomplete rows (>= 1
+  /// required for certainty). +inf when there are no incomplete rows.
+  double min_incomplete_margin = 0.0;
+};
+
+/// `bound_lo`/`bound_hi` bound every missing cell's possible value. The SVM
+/// is trained without feature standardization so the bounds apply directly.
+Result<CertainSvmResult> CheckCertainSvmModel(
+    const IncompleteClassificationDataset& data, double bound_lo,
+    double bound_hi);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_CERTAIN_MODEL_H_

@@ -1,0 +1,86 @@
+#include "uncertain/fairness_range.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nde {
+
+Interval PositiveRateRange(const std::vector<int>& group_predictions,
+                           double max_weight_ratio) {
+  NDE_CHECK_GE(max_weight_ratio, 1.0);
+  if (group_predictions.empty()) return Interval(0.0, 0.0);
+  double positives = 0.0;
+  for (int pred : group_predictions) {
+    if (pred == 1) positives += 1.0;
+  }
+  double p = positives / static_cast<double>(group_predictions.size());
+  double r = max_weight_ratio;
+  // Upper: weight every positive by r, every negative by 1; lower: reverse.
+  // Both extremes are attained, so the range is exact.
+  double hi = (r * p) / (r * p + (1.0 - p));
+  double lo = p / (p + r * (1.0 - p));
+  if (p == 0.0) return Interval(0.0, 0.0);
+  if (p == 1.0) return Interval(1.0, 1.0);
+  return Interval(lo, hi);
+}
+
+Result<Interval> DemographicParityRange(const std::vector<int>& predictions,
+                                        const std::vector<int>& groups,
+                                        double max_weight_ratio) {
+  if (predictions.size() != groups.size()) {
+    return Status::InvalidArgument("predictions/groups size mismatch");
+  }
+  if (predictions.empty()) {
+    return Status::InvalidArgument("empty predictions");
+  }
+  if (max_weight_ratio < 1.0) {
+    return Status::InvalidArgument("max_weight_ratio must be >= 1");
+  }
+  std::map<int, std::vector<int>> by_group;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    by_group[groups[i]].push_back(predictions[i]);
+  }
+  if (by_group.size() < 2) {
+    return Interval(0.0, 0.0);
+  }
+  std::vector<Interval> ranges;
+  ranges.reserve(by_group.size());
+  for (const auto& [group, preds] : by_group) {
+    (void)group;
+    ranges.push_back(PositiveRateRange(preds, max_weight_ratio));
+  }
+  // Upper bound of the max pairwise gap: push one group up, another down.
+  double max_gap = 0.0;
+  double min_gap_possible = 0.0;
+  for (size_t a = 0; a < ranges.size(); ++a) {
+    for (size_t b = 0; b < ranges.size(); ++b) {
+      if (a == b) continue;
+      max_gap = std::max(max_gap, ranges[a].hi() - ranges[b].lo());
+    }
+  }
+  // Lower bound: the gap that remains even in the most equalizing world.
+  // Two groups can be equalized iff their rate ranges intersect; otherwise
+  // the residual separation is forced. The minimum of the max-pairwise gap is
+  // the smallest interval stabbing distance across groups.
+  double lo_max = 0.0;
+  double hi_min = 1.0;
+  for (const Interval& range : ranges) {
+    lo_max = std::max(lo_max, range.lo());
+    hi_min = std::min(hi_min, range.hi());
+  }
+  min_gap_possible = std::max(0.0, lo_max - hi_min);
+  max_gap = std::max(max_gap, 0.0);
+  return Interval(min_gap_possible, max_gap);
+}
+
+Result<bool> CertifyFairnessUnderBias(const std::vector<int>& predictions,
+                                      const std::vector<int>& groups,
+                                      double max_weight_ratio,
+                                      double threshold) {
+  NDE_ASSIGN_OR_RETURN(
+      Interval range,
+      DemographicParityRange(predictions, groups, max_weight_ratio));
+  return range.hi() <= threshold;
+}
+
+}  // namespace nde

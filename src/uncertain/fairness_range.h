@@ -1,0 +1,43 @@
+#ifndef NDE_UNCERTAIN_FAIRNESS_RANGE_H_
+#define NDE_UNCERTAIN_FAIRNESS_RANGE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "uncertain/interval.h"
+
+namespace nde {
+
+/// Consistent-range approximation of fairness metrics under bounded selection
+/// bias (simplified from Zhu et al., "Consistent Range Approximation for Fair
+/// Predictive Modeling", VLDB 2023).
+///
+/// Bias model: the observed examples of each group were sampled from the
+/// true population with unknown per-example inclusion propensities; the
+/// ratio between any two propensities within a group is bounded by
+/// `max_weight_ratio` (>= 1). Equivalently, each observed example carries an
+/// unknown importance weight in [1, max_weight_ratio].
+
+/// Exact range of a group's positive-prediction rate over all consistent
+/// weightings. Closed form: with observed rate p and ratio r,
+///   [p / (p + r(1-p)),  r p / (r p + (1-p))].
+Interval PositiveRateRange(const std::vector<int>& group_predictions,
+                           double max_weight_ratio);
+
+/// Range of the demographic parity difference (max pairwise gap of
+/// positive rates) across groups over all consistent weightings.
+Result<Interval> DemographicParityRange(const std::vector<int>& predictions,
+                                        const std::vector<int>& groups,
+                                        double max_weight_ratio);
+
+/// Certifies fairness despite selection bias: true when the *upper* end of
+/// the demographic-parity-difference range stays below `threshold`, i.e. the
+/// model is fair in every world consistent with the bias bound.
+Result<bool> CertifyFairnessUnderBias(const std::vector<int>& predictions,
+                                      const std::vector<int>& groups,
+                                      double max_weight_ratio,
+                                      double threshold);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_FAIRNESS_RANGE_H_

@@ -1,0 +1,32 @@
+#include "uncertain/interval.h"
+
+#include "common/string_util.h"
+
+namespace nde {
+
+std::string Interval::ToString() const {
+  if (is_point()) return StrFormat("[%g]", lo_);
+  return StrFormat("[%g, %g]", lo_, hi_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << interval.ToString();
+}
+
+Interval IntervalDot(const std::vector<Interval>& a,
+                     const std::vector<Interval>& b) {
+  NDE_CHECK_EQ(a.size(), b.size());
+  Interval acc;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Interval IntervalDot(const std::vector<Interval>& a,
+                     const std::vector<double>& b) {
+  NDE_CHECK_EQ(a.size(), b.size());
+  Interval acc;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * Interval(b[i]);
+  return acc;
+}
+
+}  // namespace nde

@@ -1,0 +1,114 @@
+#ifndef NDE_UNCERTAIN_INTERVAL_H_
+#define NDE_UNCERTAIN_INTERVAL_H_
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nde {
+
+/// Closed real interval [lo, hi] with standard interval arithmetic — the
+/// abstract domain used by the Zorro-style symbolic trainer to soundly
+/// over-approximate every possible world of an uncertain dataset.
+///
+/// All operations satisfy the inclusion property: for any a in A and b in B,
+/// (a op b) lies in (A op B).
+class Interval {
+ public:
+  /// Degenerate interval [0, 0].
+  Interval() : lo_(0.0), hi_(0.0) {}
+
+  /// Degenerate interval [v, v] (an exactly known value).
+  explicit Interval(double v) : lo_(v), hi_(v) {}
+
+  /// [lo, hi]; requires lo <= hi.
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    NDE_CHECK_LE(lo, hi);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double width() const { return hi_ - lo_; }
+  double mid() const { return 0.5 * (lo_ + hi_); }
+  bool is_point() const { return lo_ == hi_; }
+
+  bool Contains(double v) const { return lo_ <= v && v <= hi_; }
+  bool ContainsInterval(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  bool Intersects(const Interval& other) const {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// Smallest interval containing both.
+  static Interval Hull(const Interval& a, const Interval& b) {
+    return Interval(std::min(a.lo_, b.lo_), std::max(a.hi_, b.hi_));
+  }
+
+  Interval operator-() const { return Interval(-hi_, -lo_); }
+
+  friend Interval operator+(const Interval& a, const Interval& b) {
+    return Interval(a.lo_ + b.lo_, a.hi_ + b.hi_);
+  }
+  friend Interval operator-(const Interval& a, const Interval& b) {
+    return Interval(a.lo_ - b.hi_, a.hi_ - b.lo_);
+  }
+  friend Interval operator*(const Interval& a, const Interval& b) {
+    double p1 = a.lo_ * b.lo_;
+    double p2 = a.lo_ * b.hi_;
+    double p3 = a.hi_ * b.lo_;
+    double p4 = a.hi_ * b.hi_;
+    return Interval(std::min({p1, p2, p3, p4}), std::max({p1, p2, p3, p4}));
+  }
+  friend Interval operator*(double s, const Interval& a) {
+    return Interval(s) * a;
+  }
+  friend Interval operator+(const Interval& a, double s) {
+    return Interval(a.lo_ + s, a.hi_ + s);
+  }
+
+  Interval& operator+=(const Interval& other) {
+    lo_ += other.lo_;
+    hi_ += other.hi_;
+    return *this;
+  }
+  Interval& operator-=(const Interval& other) {
+    *this = *this - other;
+    return *this;
+  }
+
+  /// Interval square: tight (not via self-multiplication, which would lose
+  /// the dependency between the two factors).
+  Interval Square() const {
+    if (lo_ >= 0.0) return Interval(lo_ * lo_, hi_ * hi_);
+    if (hi_ <= 0.0) return Interval(hi_ * hi_, lo_ * lo_);
+    return Interval(0.0, std::max(lo_ * lo_, hi_ * hi_));
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+/// Interval dot product sum_j a_j * b_j.
+Interval IntervalDot(const std::vector<Interval>& a,
+                     const std::vector<Interval>& b);
+
+/// Mixed dot product with a concrete vector.
+Interval IntervalDot(const std::vector<Interval>& a,
+                     const std::vector<double>& b);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_INTERVAL_H_

@@ -1,0 +1,89 @@
+#include "uncertain/multiplicity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nde {
+
+Result<Interval> LabelPerturbationPredictionRange(
+    const RidgeRegression& model, const std::vector<double>& x,
+    size_t max_flips, double max_perturbation) {
+  if (!model.fitted()) {
+    return Status::FailedPrecondition("model is not fitted");
+  }
+  if (max_perturbation < 0.0) {
+    return Status::InvalidArgument("max_perturbation must be >= 0");
+  }
+  double base = model.PredictOne(x);
+  std::vector<double> hat = model.HatRow(x);
+  // Worst case: perturb the targets with the largest |a_i| coefficients.
+  std::vector<double> magnitudes(hat.size());
+  for (size_t i = 0; i < hat.size(); ++i) magnitudes[i] = std::fabs(hat[i]);
+  size_t budget = std::min(max_flips, magnitudes.size());
+  std::partial_sort(magnitudes.begin(),
+                    magnitudes.begin() + static_cast<ptrdiff_t>(budget),
+                    magnitudes.end(), std::greater<double>());
+  double swing = 0.0;
+  for (size_t i = 0; i < budget; ++i) swing += magnitudes[i] * max_perturbation;
+  return Interval(base - swing, base + swing);
+}
+
+Result<Interval> LabelFlipPredictionRange(const RidgeRegression& model,
+                                          const std::vector<double>& train_targets,
+                                          const std::vector<double>& x,
+                                          size_t max_flips) {
+  if (!model.fitted()) {
+    return Status::FailedPrecondition("model is not fitted");
+  }
+  std::vector<double> hat = model.HatRow(x);
+  if (hat.size() != train_targets.size()) {
+    return Status::InvalidArgument("train_targets size mismatch with model");
+  }
+  double base = model.PredictOne(x);
+  // Flipping y_i in {0,1} changes the prediction by a_i * (1 - 2 y_i).
+  std::vector<double> deltas(hat.size());
+  for (size_t i = 0; i < hat.size(); ++i) {
+    if (train_targets[i] != 0.0 && train_targets[i] != 1.0) {
+      return Status::InvalidArgument("binary flip analysis requires 0/1 targets");
+    }
+    deltas[i] = hat[i] * (1.0 - 2.0 * train_targets[i]);
+  }
+  size_t budget = std::min(max_flips, deltas.size());
+  // Max increase: largest positive deltas; max decrease: most negative.
+  std::vector<double> sorted = deltas;
+  std::partial_sort(sorted.begin(),
+                    sorted.begin() + static_cast<ptrdiff_t>(budget),
+                    sorted.end(), std::greater<double>());
+  double up = 0.0;
+  for (size_t i = 0; i < budget; ++i) up += std::max(sorted[i], 0.0);
+  std::partial_sort(sorted.begin(),
+                    sorted.begin() + static_cast<ptrdiff_t>(budget),
+                    sorted.end());
+  double down = 0.0;
+  for (size_t i = 0; i < budget; ++i) down += std::min(sorted[i], 0.0);
+  return Interval(base + down, base + up);
+}
+
+bool IsRobustPrediction(const Interval& range, double threshold) {
+  return range.lo() > threshold || range.hi() < threshold;
+}
+
+Result<double> LabelFlipRobustRatio(const RidgeRegression& model,
+                                    const std::vector<double>& train_targets,
+                                    const Matrix& queries, size_t max_flips,
+                                    double threshold) {
+  if (queries.rows() == 0) {
+    return Status::InvalidArgument("no query rows");
+  }
+  size_t robust = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    NDE_ASSIGN_OR_RETURN(
+        Interval range,
+        LabelFlipPredictionRange(model, train_targets, queries.Row(q),
+                                 max_flips));
+    if (IsRobustPrediction(range, threshold)) ++robust;
+  }
+  return static_cast<double>(robust) / static_cast<double>(queries.rows());
+}
+
+}  // namespace nde

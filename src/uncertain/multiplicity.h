@@ -1,0 +1,50 @@
+#ifndef NDE_UNCERTAIN_MULTIPLICITY_H_
+#define NDE_UNCERTAIN_MULTIPLICITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/linear_regression.h"
+#include "uncertain/interval.h"
+
+namespace nde {
+
+/// Dataset-multiplicity analysis for ridge regression (in the spirit of
+/// Meyer et al., "The Dataset Multiplicity Problem", FAccT 2023): how much
+/// can a prediction move if up to `max_flips` training targets were wrong by
+/// at most `max_perturbation` each?
+///
+/// Because ridge predictions are linear in the training targets
+/// (prediction = a(x)^T y, see RidgeRegression::HatRow), the worst case is
+/// exact: perturb the `max_flips` targets with the largest |a_i| by
+/// +/- max_perturbation.
+///
+/// `model` must already be fitted on `train`.
+Result<Interval> LabelPerturbationPredictionRange(
+    const RidgeRegression& model, const std::vector<double>& x,
+    size_t max_flips, double max_perturbation);
+
+/// Binary variant: training targets are 0/1 and an adversary may flip up to
+/// `max_flips` of them (y_i -> 1 - y_i). Exact range of the regression score
+/// for input `x`. `train_targets` must match the data the model was fitted
+/// on.
+Result<Interval> LabelFlipPredictionRange(const RidgeRegression& model,
+                                          const std::vector<double>& train_targets,
+                                          const std::vector<double>& x,
+                                          size_t max_flips);
+
+/// A prediction is multiplicity-robust when its entire range stays on one
+/// side of `threshold` (e.g. 0.5 for a 0/1 regression-as-classifier).
+bool IsRobustPrediction(const Interval& range, double threshold);
+
+/// Fraction of `queries` whose prediction is robust to `max_flips` binary
+/// label flips — the per-dataset robustness rate reported in the dataset
+/// multiplicity line of work.
+Result<double> LabelFlipRobustRatio(const RidgeRegression& model,
+                                    const std::vector<double>& train_targets,
+                                    const Matrix& queries, size_t max_flips,
+                                    double threshold);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_MULTIPLICITY_H_

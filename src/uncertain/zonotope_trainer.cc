@@ -1,0 +1,115 @@
+#include "uncertain/zonotope_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nde {
+
+Interval ZonotopeModel::Predict(const std::vector<double>& x) const {
+  NDE_CHECK_EQ(x.size(), weights.size());
+  AffineForm acc = bias;
+  for (size_t j = 0; j < x.size(); ++j) acc += x[j] * weights[j];
+  return acc.ToInterval();
+}
+
+Interval ZonotopeModel::PredictTrainingRow(const SymbolicRegressionDataset& data,
+                                           size_t row) const {
+  NDE_CHECK_LT(row, data.size());
+  NDE_CHECK_EQ(data.num_features(), weights.size());
+  AffineForm acc = bias;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    const Interval& cell = data.features[row][j];
+    AffineForm x =
+        cell_symbols[row][j] == kNoSymbol
+            ? AffineForm::Constant(cell.mid())
+            : AffineForm::Symbol(cell.mid(), 0.5 * cell.width(),
+                                 cell_symbols[row][j]);
+    acc += weights[j] * x;
+  }
+  return acc.ToInterval();
+}
+
+double ZonotopeModel::WorstCaseSquaredLoss(const std::vector<double>& x,
+                                           double y) const {
+  AffineForm acc = bias;
+  for (size_t j = 0; j < x.size(); ++j) acc += x[j] * weights[j];
+  AffineForm residual = acc - AffineForm::Constant(y);
+  return residual.Square().ToInterval().hi();
+}
+
+std::vector<Interval> ZonotopeModel::WeightIntervals() const {
+  std::vector<Interval> out;
+  out.reserve(weights.size() + 1);
+  for (const AffineForm& w : weights) out.push_back(w.ToInterval());
+  out.push_back(bias.ToInterval());
+  return out;
+}
+
+double ZonotopeModel::TotalWeightWidth() const {
+  double total = bias.ToInterval().width();
+  for (const AffineForm& w : weights) total += w.ToInterval().width();
+  return total;
+}
+
+Result<ZonotopeModel> TrainZorroZonotope(const SymbolicRegressionDataset& data,
+                                         const ZorroOptions& options) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot train on empty data");
+  }
+  size_t n = data.size();
+  size_t d = data.num_features();
+
+  // Assign one shared noise symbol per uncertain cell and lift inputs.
+  ZonotopeModel model;
+  model.cell_symbols.assign(n, std::vector<uint32_t>(d, ZonotopeModel::kNoSymbol));
+  std::vector<std::vector<AffineForm>> x(n, std::vector<AffineForm>(d));
+  uint32_t next_symbol = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const Interval& cell = data.features[i][j];
+      if (cell.is_point()) {
+        x[i][j] = AffineForm::Constant(cell.lo());
+      } else {
+        model.cell_symbols[i][j] = next_symbol;
+        x[i][j] = AffineForm::Symbol(cell.mid(), 0.5 * cell.width(),
+                                     next_symbol);
+        ++next_symbol;
+      }
+    }
+  }
+
+  model.weights.assign(d, AffineForm::Constant(0.0));
+  model.bias = AffineForm::Constant(0.0);
+
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<AffineForm> grad(d, AffineForm::Constant(0.0));
+    AffineForm grad_bias = AffineForm::Constant(0.0);
+    for (size_t i = 0; i < n; ++i) {
+      AffineForm residual = model.bias - AffineForm::Constant(data.targets[i]);
+      for (size_t j = 0; j < d; ++j) residual += model.weights[j] * x[i][j];
+      for (size_t j = 0; j < d; ++j) grad[j] += residual * x[i][j];
+      grad_bias += residual;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      AffineForm step = 2.0 * inv_n * grad[j] +
+                        (2.0 * options.l2) * model.weights[j];
+      model.weights[j] -= options.learning_rate * step;
+    }
+    model.bias -= options.learning_rate * (2.0 * inv_n * grad_bias);
+  }
+  return model;
+}
+
+double MaxWorstCaseLoss(const ZonotopeModel& model,
+                        const RegressionDataset& test) {
+  double worst = 0.0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    worst = std::max(worst, model.WorstCaseSquaredLoss(test.features.Row(i),
+                                                       test.targets[i]));
+  }
+  return worst;
+}
+
+}  // namespace nde

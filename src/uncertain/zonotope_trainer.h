@@ -1,0 +1,57 @@
+#ifndef NDE_UNCERTAIN_ZONOTOPE_TRAINER_H_
+#define NDE_UNCERTAIN_ZONOTOPE_TRAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "uncertain/affine.h"
+#include "uncertain/zorro.h"
+
+namespace nde {
+
+/// A possible-models object in the zonotope domain: every weight is an affine
+/// form over the *shared* noise symbols of the uncertain input cells, so
+/// correlations between weights and inputs are preserved end to end.
+struct ZonotopeModel {
+  std::vector<AffineForm> weights;
+  AffineForm bias;
+  /// symbol id of each uncertain cell: (row, col) -> symbol, as assigned by
+  /// the trainer (used to evaluate predictions symbolically).
+  std::vector<std::vector<uint32_t>> cell_symbols;  ///< kNoSymbol when exact
+  static constexpr uint32_t kNoSymbol = 0xffffffffu;
+
+  /// Prediction range for a concrete input (correlation-aware).
+  Interval Predict(const std::vector<double>& x) const;
+
+  /// Symbolic prediction for training row `row` of the dataset the model was
+  /// trained on: the row's own uncertain cells reuse their original noise
+  /// symbols, so weight/input correlations cancel exactly.
+  Interval PredictTrainingRow(const SymbolicRegressionDataset& data,
+                              size_t row) const;
+
+  /// Worst-case squared loss for a concrete labeled example.
+  double WorstCaseSquaredLoss(const std::vector<double>& x, double y) const;
+
+  /// Interval hull of the weights (for comparison with the interval trainer).
+  std::vector<Interval> WeightIntervals() const;
+
+  double TotalWeightWidth() const;
+};
+
+/// Trains ridge regression by full-batch gradient descent with every
+/// operation lifted to affine arithmetic — the zonotope-domain counterpart of
+/// `TrainZorro`. Same hyperparameters concretize to the same concrete GD, so
+/// the result soundly over-approximates `TrainConcreteGd` on every possible
+/// world, but typically with far tighter bounds than the interval trainer
+/// (dependency tracking lets opposing occurrences of the same uncertain cell
+/// cancel).
+Result<ZonotopeModel> TrainZorroZonotope(const SymbolicRegressionDataset& data,
+                                         const ZorroOptions& options = {});
+
+/// Figure 4 headline quantity in the zonotope domain.
+double MaxWorstCaseLoss(const ZonotopeModel& model,
+                        const RegressionDataset& test);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_ZONOTOPE_TRAINER_H_

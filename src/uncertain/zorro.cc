@@ -1,0 +1,187 @@
+#include "uncertain/zorro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace nde {
+
+SymbolicRegressionDataset SymbolicRegressionDataset::FromConcrete(
+    const RegressionDataset& data) {
+  SymbolicRegressionDataset out;
+  out.features.reserve(data.size());
+  for (size_t i = 0; i < data.features.rows(); ++i) {
+    std::vector<Interval> row;
+    row.reserve(data.features.cols());
+    for (size_t j = 0; j < data.features.cols(); ++j) {
+      row.emplace_back(data.features(i, j));
+    }
+    out.features.push_back(std::move(row));
+  }
+  out.targets = data.targets;
+  return out;
+}
+
+void SymbolicRegressionDataset::SetUncertain(size_t row, size_t col, double lo,
+                                             double hi) {
+  NDE_CHECK_LT(row, features.size());
+  NDE_CHECK_LT(col, features[row].size());
+  features[row][col] = Interval(lo, hi);
+}
+
+RegressionDataset SymbolicRegressionDataset::SampleWorld(Rng* rng) const {
+  NDE_CHECK(rng != nullptr);
+  RegressionDataset world;
+  world.features = Matrix(features.size(), num_features());
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (size_t j = 0; j < features[i].size(); ++j) {
+      const Interval& cell = features[i][j];
+      world.features(i, j) =
+          cell.is_point() ? cell.lo() : rng->NextUniform(cell.lo(), cell.hi());
+    }
+  }
+  world.targets = targets;
+  return world;
+}
+
+Status SymbolicRegressionDataset::Validate() const {
+  if (features.size() != targets.size()) {
+    return Status::InvalidArgument(
+        StrFormat("feature rows %zu != target count %zu", features.size(),
+                  targets.size()));
+  }
+  size_t d = num_features();
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (features[i].size() != d) {
+      return Status::InvalidArgument(StrFormat("ragged row %zu", i));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SymbolicRegressionDataset> EncodeSymbolicMissing(
+    const RegressionDataset& data, const std::vector<size_t>& missing_rows,
+    size_t column, double lo, double hi) {
+  if (column >= data.features.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("column %zu out of range", column));
+  }
+  if (lo > hi) {
+    return Status::InvalidArgument("lo must be <= hi");
+  }
+  SymbolicRegressionDataset out = SymbolicRegressionDataset::FromConcrete(data);
+  for (size_t row : missing_rows) {
+    if (row >= data.size()) {
+      return Status::OutOfRange(StrFormat("row %zu out of range", row));
+    }
+    out.SetUncertain(row, column, lo, hi);
+  }
+  return out;
+}
+
+Interval ZorroModel::Predict(const std::vector<double>& x) const {
+  return IntervalDot(weights, x) + bias;
+}
+
+Interval ZorroModel::Predict(const std::vector<Interval>& x) const {
+  return IntervalDot(weights, x) + bias;
+}
+
+double ZorroModel::WorstCaseSquaredLoss(const std::vector<double>& x,
+                                        double y) const {
+  Interval residual = Predict(x) - Interval(y);
+  return residual.Square().hi();
+}
+
+double ZorroModel::TotalWeightWidth() const {
+  double total = bias.width();
+  for (const Interval& w : weights) total += w.width();
+  return total;
+}
+
+Result<ZorroModel> TrainZorro(const SymbolicRegressionDataset& data,
+                              const ZorroOptions& options) {
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot train on empty data");
+  }
+  size_t n = data.size();
+  size_t d = data.num_features();
+
+  ZorroModel model;
+  model.weights.assign(d, Interval(0.0));
+  model.bias = Interval(0.0);
+
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<Interval> grad(d, Interval(0.0));
+    Interval grad_bias(0.0);
+    for (size_t i = 0; i < n; ++i) {
+      Interval residual = IntervalDot(model.weights, data.features[i]) +
+                          model.bias - Interval(data.targets[i]);
+      for (size_t j = 0; j < d; ++j) {
+        grad[j] += residual * data.features[i][j];
+      }
+      grad_bias += residual;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] = 2.0 * inv_n * grad[j] +
+                (2.0 * options.l2) * model.weights[j];
+      model.weights[j] -= options.learning_rate * grad[j];
+    }
+    grad_bias = 2.0 * inv_n * grad_bias;
+    model.bias -= options.learning_rate * grad_bias;
+  }
+  return model;
+}
+
+std::vector<double> TrainConcreteGd(const RegressionDataset& data,
+                                    const ZorroOptions& options) {
+  // Mirrors TrainZorro exactly, with point arithmetic. Returns weights with
+  // the bias appended as the last entry.
+  size_t n = data.size();
+  size_t d = data.features.cols();
+  NDE_CHECK_GT(n, 0u);
+  std::vector<double> w(d, 0.0);
+  double b = 0.0;
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<double> grad(d, 0.0);
+    double grad_bias = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* xi = data.features.RowPtr(i);
+      double residual = b - data.targets[i];
+      for (size_t j = 0; j < d; ++j) residual += w[j] * xi[j];
+      for (size_t j = 0; j < d; ++j) grad[j] += residual * xi[j];
+      grad_bias += residual;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] = 2.0 * inv_n * grad[j] + 2.0 * options.l2 * w[j];
+      w[j] -= options.learning_rate * grad[j];
+    }
+    b -= options.learning_rate * 2.0 * inv_n * grad_bias;
+  }
+  w.push_back(b);
+  return w;
+}
+
+double MaxWorstCaseLoss(const ZorroModel& model, const RegressionDataset& test) {
+  double worst = 0.0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    worst = std::max(worst, model.WorstCaseSquaredLoss(test.features.Row(i),
+                                                       test.targets[i]));
+  }
+  return worst;
+}
+
+double MeanPredictionWidth(const ZorroModel& model, const Matrix& test_features) {
+  if (test_features.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < test_features.rows(); ++i) {
+    total += model.Predict(test_features.Row(i)).width();
+  }
+  return total / static_cast<double>(test_features.rows());
+}
+
+}  // namespace nde

@@ -1,0 +1,99 @@
+#ifndef NDE_UNCERTAIN_ZORRO_H_
+#define NDE_UNCERTAIN_ZORRO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "uncertain/interval.h"
+
+namespace nde {
+
+/// A regression dataset whose feature cells are intervals: each concrete
+/// instantiation of the intervals is one "possible world" of the data. The
+/// symbolic encoding of uncertainty/missingness used by the Zorro-style
+/// trainer ("Learning from Uncertain Data: From Possible Worlds to Possible
+/// Models", Zhu et al. 2024).
+struct SymbolicRegressionDataset {
+  std::vector<std::vector<Interval>> features;  ///< n rows of d intervals
+  std::vector<double> targets;                  ///< exact targets
+
+  size_t size() const { return targets.size(); }
+  size_t num_features() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Exact (point-interval) encoding of a concrete dataset.
+  static SymbolicRegressionDataset FromConcrete(const RegressionDataset& data);
+
+  /// Marks one cell as uncertain within [lo, hi].
+  void SetUncertain(size_t row, size_t col, double lo, double hi);
+
+  /// Draws one possible world uniformly (independently per uncertain cell).
+  RegressionDataset SampleWorld(Rng* rng) const;
+
+  /// Consistency check: rectangular, targets aligned.
+  Status Validate() const;
+};
+
+/// Marks a fraction-style list of rows as missing in `column`, replacing the
+/// cell with the interval [lo, hi] — the `nde.encode_symbolic` step of
+/// Figure 4.
+Result<SymbolicRegressionDataset> EncodeSymbolicMissing(
+    const RegressionDataset& data, const std::vector<size_t>& missing_rows,
+    size_t column, double lo, double hi);
+
+/// Training configuration for the symbolic trainer. The interval trainer
+/// runs full-batch gradient descent on the ridge-regularized squared loss
+/// with every arithmetic operation lifted to intervals, so the resulting
+/// weight intervals contain the weights GD would reach in *every* possible
+/// world (same initialization, learning rate and epoch count).
+struct ZorroOptions {
+  double learning_rate = 0.05;
+  size_t epochs = 60;
+  double l2 = 1e-2;
+};
+
+/// A possible-models object: interval weights + interval bias.
+struct ZorroModel {
+  std::vector<Interval> weights;
+  Interval bias;
+
+  /// Prediction range for a concrete input.
+  Interval Predict(const std::vector<double>& x) const;
+
+  /// Prediction range for an uncertain input.
+  Interval Predict(const std::vector<Interval>& x) const;
+
+  /// Worst-case squared loss for one labeled example: hi((pred - y)^2).
+  double WorstCaseSquaredLoss(const std::vector<double>& x, double y) const;
+
+  /// Total interval width of the weights (uncertainty magnitude diagnostic).
+  double TotalWeightWidth() const;
+};
+
+/// Trains the symbolic model. Interval widths grow with the amount of
+/// injected uncertainty and with epochs; the default configuration is tuned
+/// to converge on standardized features without exploding.
+Result<ZorroModel> TrainZorro(const SymbolicRegressionDataset& data,
+                              const ZorroOptions& options = {});
+
+/// Reference implementation the symbolic trainer over-approximates: concrete
+/// full-batch GD with identical hyperparameters. Exposed so tests and benches
+/// can verify soundness (every sampled world's weights lie inside the
+/// symbolic model's intervals).
+std::vector<double> TrainConcreteGd(const RegressionDataset& data,
+                                    const ZorroOptions& options);
+
+/// The Figure 4 headline quantity: the maximum over test points of the
+/// worst-case squared loss under the possible-models set.
+double MaxWorstCaseLoss(const ZorroModel& model, const RegressionDataset& test);
+
+/// Mean prediction-interval width over the test set (robustness diagnostic
+/// shown in the hands-on session).
+double MeanPredictionWidth(const ZorroModel& model, const Matrix& test_features);
+
+}  // namespace nde
+
+#endif  // NDE_UNCERTAIN_ZORRO_H_

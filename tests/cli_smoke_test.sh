@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Smoke test for the nde_cli tool: exercises every subcommand end to end on a
+# generated CSV and checks exit codes and key output. Registered with ctest.
+set -u
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# --- fixture: a small binary-classification CSV with some nulls -------------
+{
+  echo "age,score,label"
+  for i in $(seq 0 99); do
+    if [ $((i % 2)) -eq 0 ]; then
+      label=1
+      score="1.$((i % 9))"
+    else
+      label=0
+      score="-1.$((i % 9))"
+    fi
+    if [ $((i % 13)) -eq 0 ]; then
+      score=""  # missing value
+    fi
+    echo "$((22 + i % 40)),$score,$label"
+  done
+} > train.csv
+head -41 train.csv > valid.csv
+
+# --- screen ------------------------------------------------------------------
+"$CLI" screen train.csv --label label > screen_out.txt
+code=$?
+[ $code -eq 0 ] || [ $code -eq 1 ] || fail "screen exited with $code"
+
+# Unknown file must fail cleanly.
+"$CLI" screen missing.csv > /dev/null 2>&1 && fail "screen accepted a missing file"
+
+# --- importance ---------------------------------------------------------------
+"$CLI" importance train.csv valid.csv --label label --method knn_shapley \
+    --top 5 > importance_out.txt || fail "importance failed"
+[ "$(grep -c '^[0-9]\+$' importance_out.txt)" -eq 5 ] \
+    || fail "importance did not print 5 candidate ids"
+
+"$CLI" importance train.csv valid.csv --label label --method bogus \
+    > /dev/null 2>&1 && fail "importance accepted a bogus method"
+
+# --- impute ---------------------------------------------------------------------
+"$CLI" impute train.csv --column score --strategy median --out fixed.csv \
+    > impute_out.txt || fail "impute failed"
+grep -q "repaired" impute_out.txt || fail "impute did not report repairs"
+# The repaired file must have no empty score cells left.
+if awk -F, 'NR > 1 && $2 == "" { found = 1 } END { exit found }' fixed.csv; then
+  :
+else
+  fail "fixed.csv still has empty score cells"
+fi
+
+# --- usage ----------------------------------------------------------------------
+"$CLI" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "bare invocation should exit 2 with usage"
+
+echo "cli smoke test passed"

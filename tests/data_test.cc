@@ -1,0 +1,296 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace nde {
+namespace {
+
+// --- Value --------------------------------------------------------------------
+
+TEST(ValueTest, NullSemantics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_double());
+  EXPECT_EQ(v, Value::Null());
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value(int64_t{7}).as_int64(), 7);
+  EXPECT_EQ(Value(7).as_int64(), 7);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_EQ(Value(std::string("hey")).as_string(), "hey");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_EQ(Value(3).AsNumeric(), 3.0);
+  EXPECT_EQ(Value(3.5).AsNumeric(), 3.5);
+}
+
+TEST(ValueTest, TypeQueries) {
+  EXPECT_EQ(Value(1.0).type(), DataType::kDouble);
+  EXPECT_EQ(Value(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+}
+
+TEST(ValueTest, MatchesTypeAllowsNull) {
+  EXPECT_TRUE(Value::Null().MatchesType(DataType::kDouble));
+  EXPECT_TRUE(Value(1.0).MatchesType(DataType::kDouble));
+  EXPECT_FALSE(Value(1.0).MatchesType(DataType::kString));
+}
+
+TEST(ValueTest, EqualityDistinguishesTypes) {
+  EXPECT_NE(Value(1.0), Value(int64_t{1}));
+  EXPECT_EQ(Value(1.0), Value(1.0));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(5).Hash(), Value(5).Hash());
+  EXPECT_NE(Value(5).Hash(), Value(5.0).Hash());
+}
+
+TEST(ValueTest, ToStringRendersNumbers) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("text").ToString(), "text");
+}
+
+// --- Schema -------------------------------------------------------------------
+
+TEST(SchemaTest, FieldIndexAndHasField) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(schema.FieldIndex("b").value(), 1u);
+  EXPECT_TRUE(schema.HasField("a"));
+  EXPECT_FALSE(schema.HasField("c"));
+  EXPECT_EQ(schema.FieldIndex("c").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddField({"x", DataType::kDouble}).ok());
+  EXPECT_EQ(schema.AddField({"x", DataType::kInt64}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(schema.ToString(), "a:int64, b:string");
+}
+
+// --- Table --------------------------------------------------------------------
+
+Table MakeSampleTable() {
+  return TableBuilder()
+      .AddInt64Column("id", {1, 2, 3, 4})
+      .AddStringColumn("name", {"ann", "bob", "cat", "dan"})
+      .AddDoubleColumn("score", {1.5, 2.5, 3.5, 4.5})
+      .Build();
+}
+
+TEST(TableTest, BuilderProducesConsistentTable) {
+  Table t = MakeSampleTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.At(2, 1).as_string(), "cat");
+}
+
+TEST(TableTest, AppendRowTypeChecked) {
+  Table t = MakeSampleTable();
+  EXPECT_TRUE(t.AppendRow({Value(5), Value("eve"), Value(5.5)}).ok());
+  EXPECT_EQ(t.num_rows(), 5u);
+  // Wrong type.
+  EXPECT_FALSE(t.AppendRow({Value("x"), Value("eve"), Value(5.5)}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(t.AppendRow({Value(6)}).ok());
+  // Nulls always allowed.
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, SetCellValidatesTypeAndRange) {
+  Table t = MakeSampleTable();
+  EXPECT_TRUE(t.SetCell(0, 2, Value(9.0)).ok());
+  EXPECT_EQ(t.At(0, 2).as_double(), 9.0);
+  EXPECT_EQ(t.SetCell(0, 2, Value("bad")).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.SetCell(99, 0, Value(1)).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(t.SetCell(0, 2, Value::Null()).ok());
+  EXPECT_TRUE(t.At(0, 2).is_null());
+}
+
+TEST(TableTest, RowRoundTrip) {
+  Table t = MakeSampleTable();
+  std::vector<Value> row = t.Row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].as_int64(), 2);
+  EXPECT_EQ(row[1].as_string(), "bob");
+}
+
+TEST(TableTest, AddAndDropColumn) {
+  Table t = MakeSampleTable();
+  EXPECT_TRUE(t.AddColumn({"flag", DataType::kInt64},
+                          {Value(0), Value(1), Value(0), Value(1)})
+                  .ok());
+  EXPECT_EQ(t.num_columns(), 4u);
+  // Wrong length rejected.
+  EXPECT_FALSE(t.AddColumn({"bad", DataType::kInt64}, {Value(0)}).ok());
+  // Duplicate name rejected.
+  EXPECT_FALSE(t.AddColumn({"flag", DataType::kInt64},
+                           {Value(0), Value(0), Value(0), Value(0)})
+                   .ok());
+  EXPECT_TRUE(t.DropColumn("flag").ok());
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_FALSE(t.DropColumn("flag").ok());
+}
+
+TEST(TableTest, SelectColumnsReorders) {
+  Table t = MakeSampleTable();
+  Result<Table> s = t.SelectColumns({"score", "id"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 2u);
+  EXPECT_EQ(s->schema().field(0).name, "score");
+  EXPECT_EQ(s->At(0, 1).as_int64(), 1);
+  EXPECT_FALSE(t.SelectColumns({"nope"}).ok());
+}
+
+TEST(TableTest, SelectRowsAndFilter) {
+  Table t = MakeSampleTable();
+  Table s = t.SelectRows({3, 0});
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.At(0, 0).as_int64(), 4);
+
+  std::vector<size_t> kept;
+  Table f = t.FilterRows(
+      [&t](size_t r) { return t.At(r, 2).as_double() > 2.0; }, &kept);
+  EXPECT_EQ(f.num_rows(), 3u);
+  EXPECT_EQ(kept, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(TableTest, AppendTableRequiresSameSchema) {
+  Table a = MakeSampleTable();
+  Table b = MakeSampleTable();
+  EXPECT_TRUE(a.AppendTable(b).ok());
+  EXPECT_EQ(a.num_rows(), 8u);
+  Table c = TableBuilder().AddInt64Column("other", {1}).Build();
+  EXPECT_FALSE(a.AppendTable(c).ok());
+}
+
+TEST(TableTest, CountNulls) {
+  Table t = TableBuilder()
+                .AddValueColumn("x", DataType::kDouble,
+                                {Value(1.0), Value::Null(), Value::Null()})
+                .Build();
+  EXPECT_EQ(t.CountNulls(0), 2u);
+}
+
+TEST(TableTest, FromRowsValidates) {
+  Schema schema({{"a", DataType::kInt64}});
+  Result<Table> good = Table::FromRows(schema, {{Value(1)}, {Value(2)}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->num_rows(), 2u);
+  EXPECT_FALSE(Table::FromRows(schema, {{Value("x")}}).ok());
+}
+
+// --- CSV ------------------------------------------------------------------------
+
+TEST(CsvTest, ParsesTypedColumns) {
+  Result<Table> t = ReadCsvString("id,name,score\n1,ann,1.5\n2,bob,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kString);
+  EXPECT_EQ(t->schema().field(2).type, DataType::kDouble);
+  EXPECT_EQ(t->At(1, 2).as_double(), 2.0);
+}
+
+TEST(CsvTest, EmptyCellsAndMarkerBecomeNull) {
+  Result<Table> t = ReadCsvString("a,b\n1,\nn/a,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->At(0, 1).is_null());
+  EXPECT_TRUE(t->At(1, 0).is_null());
+  EXPECT_EQ(t->At(1, 1).as_int64(), 2);
+}
+
+TEST(CsvTest, MixedIntThenStringFallsBackToString) {
+  Result<Table> t = ReadCsvString("a\n1\n2\nhello\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+  EXPECT_EQ(t->At(0, 0).as_string(), "1");
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  Result<Table> t = ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0).as_string(), "x,y");
+  EXPECT_EQ(t->At(0, 1).as_string(), "he said \"hi\"");
+}
+
+TEST(CsvTest, NoHeaderGeneratesColumnNames) {
+  CsvReadOptions options;
+  options.has_header = false;
+  Result<Table> t = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).name, "c0");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("\n\n").ok());
+}
+
+TEST(CsvTest, CrlfLineEndingsHandled) {
+  Result<Table> t = ReadCsvString("a\r\n1\r\n2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->At(0, 0).as_int64(), 1);
+}
+
+TEST(CsvTest, RoundTripPreservesContent) {
+  Table original = TableBuilder()
+                       .AddInt64Column("id", {1, 2})
+                       .AddStringColumn("text", {"plain", "with,comma"})
+                       .AddValueColumn("maybe", DataType::kDouble,
+                                       {Value(1.5), Value::Null()})
+                       .Build();
+  std::string csv = WriteCsvString(original);
+  Result<Table> parsed = ReadCsvString(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->At(1, 1).as_string(), "with,comma");
+  EXPECT_TRUE(parsed->At(1, 2).is_null());
+  EXPECT_EQ(parsed->At(0, 2).as_double(), 1.5);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table original = TableBuilder().AddInt64Column("v", {10, 20}).Build();
+  std::string path = ::testing::TempDir() + "/nde_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  Result<Table> parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->At(1, 0).as_int64(), 20);
+}
+
+TEST(CsvTest, MissingFileReturnsIOError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/nde.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(CsvTest, AllNullColumnDefaultsToString) {
+  Result<Table> t = ReadCsvString("a,b\n1,\n2,\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(1).type, DataType::kString);
+}
+
+}  // namespace
+}  // namespace nde

@@ -1,0 +1,351 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+
+namespace nde {
+namespace {
+
+TEST(BlobsTest, ShapeAndDeterminism) {
+  BlobsOptions options;
+  options.num_examples = 120;
+  options.num_features = 5;
+  options.num_classes = 3;
+  MlDataset a = MakeBlobs(options);
+  MlDataset b = MakeBlobs(options);
+  EXPECT_EQ(a.size(), 120u);
+  EXPECT_EQ(a.num_features(), 5u);
+  EXPECT_EQ(a.NumClasses(), 3);
+  EXPECT_EQ(a.features.MaxAbsDiff(b.features), 0.0);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(BlobsTest, DifferentSeedsProduceDifferentData) {
+  BlobsOptions a_options;
+  BlobsOptions b_options;
+  b_options.seed = 7;
+  MlDataset a = MakeBlobs(a_options);
+  MlDataset b = MakeBlobs(b_options);
+  EXPECT_GT(a.features.MaxAbsDiff(b.features), 0.0);
+}
+
+TEST(BlobsTest, CenterSeedSharesTaskAcrossExampleSeeds) {
+  BlobsOptions train_options;
+  train_options.num_examples = 200;
+  train_options.separation = 5.0;
+  train_options.noise = 0.5;
+  train_options.seed = 1;
+  train_options.center_seed = 99;
+  BlobsOptions val_options = train_options;
+  val_options.num_examples = 100;
+  val_options.seed = 2;  // Different examples, same centers.
+  MlDataset train = MakeBlobs(train_options);
+  MlDataset validation = MakeBlobs(val_options);
+  // The examples differ...
+  EXPECT_NE(train.size(), validation.size());
+  // ...but a model trained on one generalizes to the other, proving the
+  // class geometry is shared.
+  double accuracy =
+      TrainAndScore([]() { return std::make_unique<KnnClassifier>(3); },
+                    train, validation)
+          .value();
+  EXPECT_GT(accuracy, 0.9);
+
+  // Without a shared center seed the "validation" set is a different task.
+  val_options.center_seed = 0;
+  MlDataset mismatched = MakeBlobs(val_options);
+  double mismatched_accuracy =
+      TrainAndScore([]() { return std::make_unique<KnnClassifier>(3); },
+                    train, mismatched)
+          .value();
+  EXPECT_LT(mismatched_accuracy, accuracy);
+}
+
+TEST(BlobsTest, SeparatedBlobsAreLearnable) {
+  BlobsOptions options;
+  options.num_examples = 300;
+  options.separation = 5.0;
+  options.noise = 0.5;
+  MlDataset data = MakeBlobs(options);
+  Rng rng(1);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  double accuracy =
+      TrainAndScore([]() { return std::make_unique<KnnClassifier>(3); },
+                    split.train, split.test)
+          .value();
+  EXPECT_GT(accuracy, 0.9);
+}
+
+TEST(HiringScenarioTest, TablesHaveDeclaredSchemas) {
+  HiringScenarioOptions options;
+  options.num_applicants = 50;
+  options.num_jobs = 10;
+  HiringScenario scenario = MakeHiringScenario(options);
+
+  EXPECT_EQ(scenario.train.num_rows(), 50u);
+  EXPECT_TRUE(scenario.train.schema().HasField("person_id"));
+  EXPECT_TRUE(scenario.train.schema().HasField("job_id"));
+  EXPECT_TRUE(scenario.train.schema().HasField("letter_text"));
+  EXPECT_TRUE(scenario.train.schema().HasField("sentiment"));
+
+  EXPECT_EQ(scenario.jobdetail.num_rows(), 10u);
+  EXPECT_TRUE(scenario.jobdetail.schema().HasField("sector"));
+  EXPECT_TRUE(scenario.jobdetail.schema().HasField("employer_rating"));
+
+  EXPECT_EQ(scenario.social.num_rows(), 50u);
+  EXPECT_TRUE(scenario.social.schema().HasField("twitter"));
+  EXPECT_TRUE(scenario.train.Validate().ok());
+  EXPECT_TRUE(scenario.jobdetail.Validate().ok());
+  EXPECT_TRUE(scenario.social.Validate().ok());
+}
+
+TEST(HiringScenarioTest, JobIdsReferenceJobTable) {
+  HiringScenario scenario = MakeHiringScenario({});
+  size_t job_col = scenario.train.schema().FieldIndex("job_id").value();
+  int64_t num_jobs = static_cast<int64_t>(scenario.jobdetail.num_rows());
+  for (size_t r = 0; r < scenario.train.num_rows(); ++r) {
+    int64_t job = scenario.train.At(r, job_col).as_int64();
+    EXPECT_GE(job, 0);
+    EXPECT_LT(job, num_jobs);
+  }
+}
+
+TEST(HiringScenarioTest, LettersCorrelateWithSentiment) {
+  // Positive letters should contain more positive-list tokens; verify via a
+  // crude proxy: the token "outstanding" appears mostly in positive letters.
+  HiringScenarioOptions options;
+  options.num_applicants = 400;
+  HiringScenario scenario = MakeHiringScenario(options);
+  size_t letter_col = scenario.train.schema().FieldIndex("letter_text").value();
+  size_t label_col = scenario.train.schema().FieldIndex("sentiment").value();
+  size_t negative_with_marker = 0;
+  size_t positive_with_marker = 0;
+  for (size_t r = 0; r < scenario.train.num_rows(); ++r) {
+    bool has_marker = scenario.train.At(r, letter_col)
+                          .as_string()
+                          .find("outstanding") != std::string::npos;
+    if (!has_marker) continue;
+    if (scenario.train.At(r, label_col).as_int64() == 1) {
+      ++positive_with_marker;
+    } else {
+      ++negative_with_marker;
+    }
+  }
+  EXPECT_GT(positive_with_marker, 3 * std::max<size_t>(negative_with_marker, 1));
+}
+
+TEST(HiringScenarioTest, SectorsIncludeHealthcare) {
+  HiringScenario scenario = MakeHiringScenario({});
+  size_t sector_col = scenario.jobdetail.schema().FieldIndex("sector").value();
+  size_t healthcare = 0;
+  for (size_t r = 0; r < scenario.jobdetail.num_rows(); ++r) {
+    if (scenario.jobdetail.At(r, sector_col).as_string() == "healthcare") {
+      ++healthcare;
+    }
+  }
+  EXPECT_GT(healthcare, 0u);
+  EXPECT_LT(healthcare, scenario.jobdetail.num_rows());
+}
+
+TEST(LoadRecommendationLettersTest, SplitsPartitionData) {
+  DatasetSplits splits = LoadRecommendationLetters(200, 3);
+  EXPECT_NEAR(static_cast<double>(splits.train.size()), 120.0, 3.0);
+  EXPECT_GT(splits.valid.size(), 20u);
+  EXPECT_GT(splits.test.size(), 20u);
+  EXPECT_EQ(splits.train.size() + splits.valid.size() + splits.test.size(),
+            200u);
+}
+
+TEST(LoadRecommendationLettersTest, CleanDataIsLearnable) {
+  DatasetSplits splits = LoadRecommendationLetters(500, 42);
+  double accuracy =
+      TrainAndScore([]() { return std::make_unique<KnnClassifier>(5); },
+                    splits.train, splits.test)
+          .value();
+  EXPECT_GT(accuracy, 0.72);  // The Figure 2 regime: good but not perfect.
+  EXPECT_LT(accuracy, 0.99);
+}
+
+// --- Error injection ----------------------------------------------------------
+
+TEST(InjectLabelErrorsTest, FlipsRequestedFraction) {
+  MlDataset data = MakeBlobs({});
+  MlDataset original = data;
+  Rng rng(5);
+  std::vector<size_t> corrupted = InjectLabelErrors(&data, 0.1, &rng);
+  EXPECT_EQ(corrupted.size(), 50u);  // 10% of 500.
+  EXPECT_TRUE(std::is_sorted(corrupted.begin(), corrupted.end()));
+  for (size_t i : corrupted) {
+    EXPECT_NE(data.labels[i], original.labels[i]);
+  }
+  // Untouched rows unchanged.
+  std::unordered_set<size_t> hit(corrupted.begin(), corrupted.end());
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (hit.count(i) == 0) {
+      EXPECT_EQ(data.labels[i], original.labels[i]);
+    }
+  }
+  // Features untouched by label errors.
+  EXPECT_EQ(data.features.MaxAbsDiff(original.features), 0.0);
+}
+
+TEST(InjectLabelErrorsTest, ZeroFractionIsNoOp) {
+  MlDataset data = MakeBlobs({});
+  MlDataset original = data;
+  Rng rng(5);
+  EXPECT_TRUE(InjectLabelErrors(&data, 0.0, &rng).empty());
+  EXPECT_EQ(data.labels, original.labels);
+}
+
+TEST(InjectFeatureNoiseTest, PerturbsOnlySelectedRows) {
+  MlDataset data = MakeBlobs({});
+  MlDataset original = data;
+  Rng rng(7);
+  std::vector<size_t> corrupted = InjectFeatureNoise(&data, 0.2, 2.0, &rng);
+  EXPECT_EQ(corrupted.size(), 100u);
+  std::unordered_set<size_t> hit(corrupted.begin(), corrupted.end());
+  for (size_t i = 0; i < data.size(); ++i) {
+    double diff = 0.0;
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      diff += std::fabs(data.features(i, j) - original.features(i, j));
+    }
+    if (hit.count(i) > 0) {
+      EXPECT_GT(diff, 0.0);
+    } else {
+      EXPECT_EQ(diff, 0.0);
+    }
+  }
+  EXPECT_EQ(data.labels, original.labels);
+}
+
+TEST(InjectOutliersTest, ShiftsRowsFar) {
+  MlDataset data = MakeBlobs({});
+  MlDataset original = data;
+  Rng rng(9);
+  std::vector<size_t> corrupted = InjectOutliers(&data, 0.05, 10.0, &rng);
+  EXPECT_EQ(corrupted.size(), 25u);
+  for (size_t i : corrupted) {
+    double dist = SquaredDistance(data.features.Row(i),
+                                  original.features.Row(i));
+    EXPECT_GT(dist, 1.0);
+  }
+}
+
+TEST(InjectMissingValuesTest, McarNullsRequestedFraction) {
+  HiringScenario scenario = MakeHiringScenario({});
+  Rng rng(11);
+  auto affected = InjectMissingValues(&scenario.jobdetail, "employer_rating",
+                                      0.25, Missingness::kMcar, &rng);
+  ASSERT_TRUE(affected.ok());
+  size_t col =
+      scenario.jobdetail.schema().FieldIndex("employer_rating").value();
+  EXPECT_EQ(scenario.jobdetail.CountNulls(col), affected->size());
+  EXPECT_NEAR(static_cast<double>(affected->size()),
+              0.25 * scenario.jobdetail.num_rows(), 1.0);
+}
+
+TEST(InjectMissingValuesTest, MnarPrefersHighValues) {
+  // Build a table with known values 0..999; MNAR should null above-median
+  // rows about 3x as often.
+  std::vector<double> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  Table t = TableBuilder().AddDoubleColumn("v", values).Build();
+  Rng rng(13);
+  auto affected =
+      InjectMissingValues(&t, "v", 0.3, Missingness::kMnar, &rng);
+  ASSERT_TRUE(affected.ok());
+  size_t high = 0;
+  for (size_t i : *affected) {
+    if (i >= 500) ++high;
+  }
+  double high_fraction = static_cast<double>(high) / affected->size();
+  EXPECT_GT(high_fraction, 0.6);
+}
+
+TEST(InjectMissingValuesTest, MarRequiresDriver) {
+  Table t = TableBuilder().AddDoubleColumn("v", {1, 2, 3}).Build();
+  Rng rng(1);
+  EXPECT_FALSE(
+      InjectMissingValues(&t, "v", 0.5, Missingness::kMar, &rng).ok());
+}
+
+TEST(InjectMissingValuesTest, MarFollowsDriverColumn) {
+  std::vector<double> driver(1000);
+  std::vector<double> target(1000, 1.0);
+  for (size_t i = 0; i < driver.size(); ++i) {
+    driver[i] = static_cast<double>(i);
+  }
+  Table t = TableBuilder()
+                .AddDoubleColumn("driver", driver)
+                .AddDoubleColumn("target", target)
+                .Build();
+  Rng rng(17);
+  auto affected = InjectMissingValues(&t, "target", 0.3, Missingness::kMar,
+                                      &rng, "driver");
+  ASSERT_TRUE(affected.ok());
+  size_t high = 0;
+  for (size_t i : *affected) {
+    if (i >= 500) ++high;
+  }
+  EXPECT_GT(static_cast<double>(high) / affected->size(), 0.6);
+}
+
+TEST(InjectMissingValuesTest, RejectsBadArguments) {
+  Table t = TableBuilder().AddStringColumn("s", {"a", "b"}).Build();
+  Rng rng(1);
+  EXPECT_FALSE(
+      InjectMissingValues(&t, "nope", 0.5, Missingness::kMcar, &rng).ok());
+  EXPECT_FALSE(
+      InjectMissingValues(&t, "s", 1.5, Missingness::kMcar, &rng).ok());
+  EXPECT_FALSE(
+      InjectMissingValues(&t, "s", 0.5, Missingness::kMnar, &rng).ok());
+}
+
+TEST(InjectLabelErrorsTableTest, FlipsBinaryColumn) {
+  Table t = TableBuilder().AddInt64Column("y", {0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+                .Build();
+  Table original = t;
+  Rng rng(19);
+  auto affected = InjectLabelErrorsTable(&t, "y", 0.4, &rng);
+  ASSERT_TRUE(affected.ok());
+  EXPECT_EQ(affected->size(), 4u);
+  for (size_t i : *affected) {
+    EXPECT_NE(t.At(i, 0).as_int64(), original.At(i, 0).as_int64());
+  }
+}
+
+TEST(InjectSelectionBiasTest, DropsDisadvantagedGroup) {
+  std::vector<std::string> groups;
+  for (int i = 0; i < 500; ++i) groups.push_back(i % 2 == 0 ? "a" : "b");
+  Table t = TableBuilder().AddStringColumn("g", groups).Build();
+  Rng rng(23);
+  std::vector<size_t> kept;
+  Result<Table> biased =
+      InjectSelectionBias(t, "g", Value("b"), 0.2, &rng, &kept);
+  ASSERT_TRUE(biased.ok());
+  size_t b_count = 0;
+  for (size_t r = 0; r < biased->num_rows(); ++r) {
+    if (biased->At(r, 0).as_string() == "b") ++b_count;
+  }
+  EXPECT_NEAR(static_cast<double>(b_count), 50.0, 20.0);
+  EXPECT_EQ(kept.size(), biased->num_rows());
+  // "a" rows all survive.
+  EXPECT_EQ(biased->num_rows() - b_count, 250u);
+}
+
+TEST(MissingnessToStringTest, Names) {
+  EXPECT_STREQ(MissingnessToString(Missingness::kMcar), "MCAR");
+  EXPECT_STREQ(MissingnessToString(Missingness::kMar), "MAR");
+  EXPECT_STREQ(MissingnessToString(Missingness::kMnar), "MNAR");
+}
+
+}  // namespace
+}  // namespace nde

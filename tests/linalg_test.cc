@@ -1,0 +1,248 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace nde {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->NextGaussian();
+  }
+  return m;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.At(1, 2), 0.0);
+  m.At(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+}
+
+TEST(MatrixTest, FromRowsAndIdentity) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  EXPECT_EQ(id(2, 2), 1.0);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 2);
+  m.SetRow(0, {7, 8});
+  EXPECT_EQ(m(0, 0), 7.0);
+  EXPECT_EQ(m(0, 1), 8.0);
+}
+
+TEST(MatrixTest, TransposeIsInvolution) {
+  Rng rng(5);
+  Matrix m = RandomMatrix(4, 7, &rng);
+  EXPECT_EQ(m.Transposed().Transposed().MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulAssociativeWithVector) {
+  Rng rng(11);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  Matrix b = RandomMatrix(4, 5, &rng);
+  std::vector<double> v = {1.0, -2.0, 0.5, 3.0, -1.0};
+  std::vector<double> left = a.MatMul(b).MatVec(v);
+  std::vector<double> right = a.MatVec(b.MatVec(v));
+  for (size_t i = 0; i < left.size(); ++i) {
+    EXPECT_NEAR(left[i], right[i], 1e-9);
+  }
+}
+
+TEST(MatrixTest, TransposedMatVecMatchesExplicitTranspose) {
+  Rng rng(13);
+  Matrix a = RandomMatrix(6, 3, &rng);
+  std::vector<double> v = {1, 2, 3, 4, 5, 6};
+  std::vector<double> fast = a.TransposedMatVec(v);
+  std::vector<double> slow = a.Transposed().MatVec(v);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9);
+  }
+}
+
+TEST(MatrixTest, SelectRowsReordersAndRepeats) {
+  Matrix m = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Matrix s = m.SelectRows({2, 0, 2});
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s(0, 0), 3.0);
+  EXPECT_EQ(s(1, 0), 1.0);
+  EXPECT_EQ(s(2, 0), 3.0);
+}
+
+TEST(MatrixTest, AppendRows) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 4}, {5, 6}});
+  a.AppendRows(b);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a(2, 1), 6.0);
+  Matrix empty;
+  empty.AppendRows(b);
+  EXPECT_EQ(empty.rows(), 2u);
+}
+
+TEST(MatrixTest, ConcatCols) {
+  Matrix a = Matrix::FromRows({{1}, {2}});
+  Matrix b = Matrix::FromRows({{3, 4}, {5, 6}});
+  Matrix c = a.ConcatCols(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c(1, 2), 6.0);
+  EXPECT_EQ(c(0, 0), 1.0);
+}
+
+TEST(MatrixTest, AddAndScaleInPlace) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 4}});
+  a.AddInPlace(b);
+  a.ScaleInPlace(2.0);
+  EXPECT_EQ(a(0, 0), 8.0);
+  EXPECT_EQ(a(0, 1), 12.0);
+}
+
+TEST(MatrixTest, DebugStringTruncates) {
+  Matrix m(100, 100);
+  std::string s = m.DebugString(2, 2);
+  EXPECT_NE(s.find("Matrix(100x100)"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(VectorOpsTest, DotNormDistance) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_EQ(Dot(a, b), 32.0);
+  EXPECT_NEAR(Norm2(a), std::sqrt(14.0), 1e-12);
+  EXPECT_EQ(SquaredDistance(a, b), 27.0);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  std::vector<double> x = {1, 1};
+  std::vector<double> y = {2, 3};
+  Axpy(2.0, x, &y);
+  EXPECT_EQ(y, (std::vector<double>{4, 5}));
+  Scale(0.5, &y);
+  EXPECT_EQ(y, (std::vector<double>{2, 2.5}));
+}
+
+// --- Cholesky / solvers -------------------------------------------------------
+
+TEST(CholeskyTest, FactorOfKnownMatrix) {
+  // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, FactorTimesTransposeReconstructs) {
+  Rng rng(17);
+  Matrix b = RandomMatrix(5, 5, &rng);
+  Matrix a = b.Transposed().MatMul(b);
+  for (size_t i = 0; i < 5; ++i) a(i, i) += 5.0;  // Ensure SPD.
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix reconstructed = l->MatMul(l->Transposed());
+  EXPECT_LT(reconstructed.MaxAbsDiff(a), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // Eigenvalues 3, -1.
+  EXPECT_EQ(CholeskyFactor(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  std::vector<double> x_true = {1.0, -2.0};
+  std::vector<double> b = a.MatVec(x_true);
+  Result<std::vector<double>> x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], -2.0, 1e-10);
+}
+
+TEST(CholeskyTest, SolveRejectsBadRhsSize) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 2.0}).ok());
+}
+
+TEST(CholeskyTest, SpdInverseTimesOriginalIsIdentity) {
+  Rng rng(19);
+  Matrix b = RandomMatrix(4, 4, &rng);
+  Matrix a = b.Transposed().MatMul(b);
+  for (size_t i = 0; i < 4; ++i) a(i, i) += 4.0;
+  Result<Matrix> inv = SpdInverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix product = a.MatMul(*inv);
+  EXPECT_LT(product.MaxAbsDiff(Matrix::Identity(4)), 1e-8);
+}
+
+TEST(RidgeSolveTest, RecoversGeneratingWeights) {
+  Rng rng(23);
+  size_t n = 200;
+  size_t d = 4;
+  std::vector<double> w_true = {2.0, -1.0, 0.5, 3.0};
+  Matrix x = RandomMatrix(n, d, &rng);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = Dot(x.Row(i), w_true) + 0.01 * rng.NextGaussian();
+  }
+  Result<std::vector<double>> w = RidgeSolve(x, y, 1e-6);
+  ASSERT_TRUE(w.ok());
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR((*w)[j], w_true[j], 0.02);
+  }
+}
+
+TEST(RidgeSolveTest, LargerLambdaShrinksWeights) {
+  Rng rng(29);
+  Matrix x = RandomMatrix(100, 3, &rng);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) y[i] = Dot(x.Row(i), {5.0, 5.0, 5.0});
+  std::vector<double> small = RidgeSolve(x, y, 1e-6).value();
+  std::vector<double> large = RidgeSolve(x, y, 1e3).value();
+  EXPECT_LT(Norm2(large), Norm2(small));
+}
+
+TEST(RidgeSolveTest, RejectsNegativeLambdaAndBadShapes) {
+  Matrix x(3, 2);
+  EXPECT_FALSE(RidgeSolve(x, {1.0, 2.0, 3.0}, -1.0).ok());
+  EXPECT_FALSE(RidgeSolve(x, {1.0, 2.0}, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace nde

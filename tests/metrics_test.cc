@@ -1,0 +1,132 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+
+namespace nde {
+namespace {
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_EQ(Accuracy({1, 0, 1}, {1, 0, 1}), 1.0);
+  EXPECT_EQ(Accuracy({1, 0, 1, 0}, {1, 1, 1, 1}), 0.5);
+  EXPECT_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(ConfusionTest, CountsHandChecked) {
+  //               actual:   1  1  0  0  1
+  //               predicted:1  0  1  0  1
+  BinaryConfusion c = ComputeBinaryConfusion({1, 1, 0, 0, 1}, {1, 0, 1, 0, 1});
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.true_negatives, 1u);
+  EXPECT_NEAR(c.Precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.Recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.F1(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.FalsePositiveRate(), 0.5, 1e-12);
+}
+
+TEST(ConfusionTest, DegenerateDenominatorsGiveZero) {
+  BinaryConfusion c = ComputeBinaryConfusion({0, 0}, {0, 0});
+  EXPECT_EQ(c.Precision(), 0.0);
+  EXPECT_EQ(c.Recall(), 0.0);
+  EXPECT_EQ(c.F1(), 0.0);
+}
+
+TEST(F1Test, MacroAveragesClasses) {
+  // Perfect on class 0, terrible on class 1.
+  std::vector<int> actual = {0, 0, 1, 1};
+  std::vector<int> predicted = {0, 0, 0, 0};
+  double macro = MacroF1Score(actual, predicted, 2);
+  double f1_class0 = ComputeBinaryConfusion(actual, predicted, 0).F1();
+  EXPECT_NEAR(macro, f1_class0 / 2.0, 1e-12);
+}
+
+TEST(LogLossTest, PerfectAndUncertain) {
+  Matrix confident = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(LogLoss(confident, {1, 0}), 0.0, 1e-9);
+  Matrix uniform = Matrix::FromRows({{0.5, 0.5}});
+  EXPECT_NEAR(LogLoss(uniform, {1}), std::log(2.0), 1e-12);
+}
+
+TEST(FairnessTest, DemographicParityDifference) {
+  // Group 0: 2/2 positive; group 1: 0/2 positive -> gap 1.
+  EXPECT_EQ(DemographicParityDifference({1, 1, 0, 0}, {0, 0, 1, 1}), 1.0);
+  // Equal rates -> 0.
+  EXPECT_EQ(DemographicParityDifference({1, 0, 1, 0}, {0, 0, 1, 1}), 0.0);
+  // Single group -> 0.
+  EXPECT_EQ(DemographicParityDifference({1, 0}, {0, 0}), 0.0);
+}
+
+TEST(FairnessTest, EqualizedOddsHandChecked) {
+  // Group 0: actual {1,0}, predicted {1,0} -> TPR 1, FPR 0.
+  // Group 1: actual {1,0}, predicted {0,1} -> TPR 0, FPR 1.
+  std::vector<int> actual = {1, 0, 1, 0};
+  std::vector<int> predicted = {1, 0, 0, 1};
+  std::vector<int> groups = {0, 0, 1, 1};
+  EXPECT_EQ(EqualizedOddsDifference(actual, predicted, groups), 1.0);
+  // Identical behavior across groups -> 0.
+  EXPECT_EQ(EqualizedOddsDifference(actual, actual, groups), 0.0);
+}
+
+TEST(FairnessTest, PredictiveParityHandChecked) {
+  // Group 0 precision 1.0 (one TP), group 1 precision 0.0 (one FP).
+  std::vector<int> actual = {1, 0};
+  std::vector<int> predicted = {1, 1};
+  std::vector<int> groups = {0, 1};
+  EXPECT_EQ(PredictiveParityDifference(actual, predicted, groups), 1.0);
+}
+
+TEST(EntropyTest, UniformIsMaximal) {
+  Matrix uniform = Matrix::FromRows({{0.5, 0.5}});
+  Matrix confident = Matrix::FromRows({{1.0, 0.0}});
+  EXPECT_NEAR(MeanPredictionEntropy(uniform), std::log(2.0), 1e-12);
+  EXPECT_NEAR(MeanPredictionEntropy(confident), 0.0, 1e-12);
+  EXPECT_EQ(MeanPredictionEntropy(Matrix()), 0.0);
+}
+
+TEST(TrainAndEvaluateTest, ProducesFullQualityPanel) {
+  MlDataset data = MakeBlobs({});
+  Rng rng(31);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  std::vector<int> groups(split.test.size());
+  for (size_t i = 0; i < groups.size(); ++i) groups[i] = i % 2;
+  Result<QualityReport> report = TrainAndEvaluate(
+      []() { return std::make_unique<KnnClassifier>(5); }, split.train,
+      split.test, groups);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->accuracy, 0.7);
+  EXPECT_GT(report->f1, 0.5);
+  EXPECT_GE(report->log_loss, 0.0);
+  EXPECT_GE(report->equalized_odds, 0.0);
+  EXPECT_LE(report->equalized_odds, 1.0);
+  EXPECT_GE(report->prediction_entropy, 0.0);
+}
+
+TEST(TrainAndEvaluateTest, RejectsMisalignedGroups) {
+  MlDataset data = MakeBlobs({});
+  Rng rng(1);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  EXPECT_FALSE(TrainAndEvaluate(
+                   []() { return std::make_unique<KnnClassifier>(5); },
+                   split.train, split.test, {0, 1})
+                   .ok());
+}
+
+TEST(TrainAndScoreTest, MatchesAccuracyOfReport) {
+  MlDataset data = MakeBlobs({});
+  Rng rng(2);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  auto factory = []() { return std::make_unique<KnnClassifier>(3); };
+  double score = TrainAndScore(factory, split.train, split.test).value();
+  QualityReport report =
+      TrainAndEvaluate(factory, split.train, split.test).value();
+  EXPECT_EQ(score, report.accuracy);
+}
+
+}  // namespace
+}  // namespace nde

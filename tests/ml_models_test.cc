@@ -1,0 +1,407 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+
+namespace nde {
+namespace {
+
+MlDataset EasyBinaryBlobs(uint64_t seed = 42, size_t n = 300) {
+  BlobsOptions options;
+  options.num_examples = n;
+  options.num_features = 4;
+  options.num_classes = 2;
+  options.separation = 4.0;
+  options.noise = 0.8;
+  options.seed = seed;
+  return MakeBlobs(options);
+}
+
+// --- Dataset helpers ------------------------------------------------------------
+
+TEST(MlDatasetTest, SubsetAndWithout) {
+  MlDataset data = EasyBinaryBlobs();
+  MlDataset subset = data.Subset({0, 5, 10});
+  EXPECT_EQ(subset.size(), 3u);
+  EXPECT_EQ(subset.labels[1], data.labels[5]);
+
+  MlDataset without = data.Without({0, 1, 2});
+  EXPECT_EQ(without.size(), data.size() - 3);
+  EXPECT_EQ(without.labels[0], data.labels[3]);
+}
+
+TEST(MlDatasetTest, NumClasses) {
+  MlDataset data;
+  data.features = Matrix(3, 1);
+  data.labels = {0, 4, 2};
+  EXPECT_EQ(data.NumClasses(), 5);
+  MlDataset empty;
+  EXPECT_EQ(empty.NumClasses(), 0);
+}
+
+TEST(MlDatasetTest, ValidateCatchesMismatch) {
+  MlDataset data;
+  data.features = Matrix(3, 2);
+  data.labels = {0, 1};
+  EXPECT_FALSE(data.Validate().ok());
+  data.labels = {0, 1, -1};
+  EXPECT_FALSE(data.Validate().ok());
+}
+
+TEST(TrainTestSplitTest, PartitionsWithoutOverlap) {
+  MlDataset data = EasyBinaryBlobs();
+  Rng rng(3);
+  SplitResult split = TrainTestSplit(data, 0.25, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), data.size());
+  EXPECT_NEAR(static_cast<double>(split.test.size()), 75.0, 1.0);
+  std::vector<bool> seen(data.size(), false);
+  for (size_t i : split.train_indices) seen[i] = true;
+  for (size_t i : split.test_indices) {
+    EXPECT_FALSE(seen[i]) << "index in both splits";
+    seen[i] = true;
+  }
+}
+
+TEST(FeatureScalerTest, TransformsToZeroMeanUnitVariance) {
+  MlDataset data = EasyBinaryBlobs();
+  FeatureScaler scaler = FeatureScaler::Fit(data.features);
+  Matrix z = scaler.Transform(data.features);
+  FeatureScaler check = FeatureScaler::Fit(z);
+  for (size_t j = 0; j < z.cols(); ++j) {
+    EXPECT_NEAR(check.mean[j], 0.0, 1e-9);
+    EXPECT_NEAR(check.stddev[j], 1.0, 1e-9);
+  }
+}
+
+TEST(FeatureScalerTest, ConstantFeatureGetsUnitStddev) {
+  Matrix m(5, 1, 3.0);
+  FeatureScaler scaler = FeatureScaler::Fit(m);
+  EXPECT_EQ(scaler.stddev[0], 1.0);
+  Matrix z = scaler.Transform(m);
+  EXPECT_EQ(z(0, 0), 0.0);
+}
+
+// --- KNN ------------------------------------------------------------------------
+
+TEST(KnnTest, PerfectOnTrainingDataWithK1) {
+  MlDataset data = EasyBinaryBlobs();
+  KnnClassifier knn(1);
+  ASSERT_TRUE(knn.Fit(data).ok());
+  std::vector<int> predictions = knn.Predict(data.features);
+  EXPECT_EQ(Accuracy(data.labels, predictions), 1.0);
+}
+
+TEST(KnnTest, NeighborsSortedByDistance) {
+  MlDataset data;
+  data.features = Matrix::FromRows({{0.0}, {1.0}, {2.0}, {5.0}});
+  data.labels = {0, 0, 1, 1};
+  KnnClassifier knn(2);
+  ASSERT_TRUE(knn.Fit(data).ok());
+  std::vector<size_t> neighbors = knn.Neighbors({1.9}, 3);
+  EXPECT_EQ(neighbors, (std::vector<size_t>{2, 1, 0}));
+}
+
+TEST(KnnTest, ProbaSumsToOne) {
+  MlDataset data = EasyBinaryBlobs();
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(data).ok());
+  Matrix proba = knn.PredictProba(data.features.SelectRows({0, 1, 2}));
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < proba.cols(); ++c) total += proba(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(KnnTest, RejectsEmptyData) {
+  KnnClassifier knn(3);
+  EXPECT_FALSE(knn.Fit(MlDataset{}).ok());
+}
+
+TEST(KnnTest, CloneIsUnfittedSameConfig) {
+  KnnClassifier knn(7);
+  std::unique_ptr<Classifier> clone = knn.Clone();
+  EXPECT_EQ(clone->name(), "knn(k=7)");
+}
+
+// --- Logistic regression ----------------------------------------------------------
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  MlDataset data = EasyBinaryBlobs();
+  Rng rng(5);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  std::vector<int> predictions = model.Predict(split.test.features);
+  EXPECT_GT(Accuracy(split.test.labels, predictions), 0.95);
+}
+
+TEST(LogisticRegressionTest, MulticlassBlobsTrainable) {
+  BlobsOptions options;
+  options.num_classes = 3;
+  options.num_examples = 300;
+  options.separation = 5.0;
+  MlDataset data = MakeBlobs(options);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(model.num_classes(), 3);
+  std::vector<int> predictions = model.Predict(data.features);
+  EXPECT_GT(Accuracy(data.labels, predictions), 0.9);
+}
+
+TEST(LogisticRegressionTest, ProbaRowsAreDistributions) {
+  MlDataset data = EasyBinaryBlobs();
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  Matrix proba = model.PredictProba(data.features);
+  for (size_t r = 0; r < std::min<size_t>(proba.rows(), 20); ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < proba.cols(); ++c) {
+      EXPECT_GE(proba(r, c), 0.0);
+      total += proba(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LogisticRegressionTest, LogLossDecreasesWithTraining) {
+  MlDataset data = EasyBinaryBlobs();
+  LogisticRegressionOptions few;
+  few.epochs = 2;
+  LogisticRegressionOptions many;
+  many.epochs = 300;
+  LogisticRegression short_model(few);
+  LogisticRegression long_model(many);
+  ASSERT_TRUE(short_model.Fit(data).ok());
+  ASSERT_TRUE(long_model.Fit(data).ok());
+  EXPECT_LT(long_model.LogLoss(data), short_model.LogLoss(data));
+}
+
+TEST(SoftmaxTest, RowsNormalizedAndStable) {
+  Matrix logits = Matrix::FromRows({{1000.0, 1001.0}, {-1000.0, -1001.0}});
+  SoftmaxRowsInPlace(&logits);
+  EXPECT_NEAR(logits(0, 0) + logits(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(logits(1, 0) + logits(1, 1), 1.0, 1e-12);
+  EXPECT_GT(logits(0, 1), logits(0, 0));
+  EXPECT_GT(logits(1, 0), logits(1, 1));
+}
+
+// --- Ridge regression ---------------------------------------------------------------
+
+TEST(RidgeRegressionTest, RecoversLinearFunction) {
+  Rng rng(7);
+  RegressionDataset data;
+  data.features = Matrix(100, 2);
+  data.targets.resize(100);
+  for (size_t i = 0; i < 100; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] =
+        3.0 * data.features(i, 0) - 2.0 * data.features(i, 1) + 1.0;
+  }
+  RidgeRegression model(1e-6);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-3);
+  EXPECT_NEAR(model.weights()[1], -2.0, 1e-3);
+  EXPECT_NEAR(model.intercept(), 1.0, 1e-3);
+  EXPECT_LT(model.MeanSquaredError(data), 1e-6);
+}
+
+TEST(RidgeRegressionTest, HatRowReproducesPrediction) {
+  Rng rng(11);
+  RegressionDataset data;
+  data.features = Matrix(50, 3);
+  data.targets.resize(50);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) data.features(i, j) = rng.NextGaussian();
+    data.targets[i] = rng.NextGaussian();
+  }
+  RidgeRegression model(0.1);
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> x = {0.5, -1.0, 2.0};
+  std::vector<double> hat = model.HatRow(x);
+  ASSERT_EQ(hat.size(), data.size());
+  // prediction must equal hat . y exactly (linearity in targets).
+  EXPECT_NEAR(Dot(hat, data.targets), model.PredictOne(x), 1e-9);
+}
+
+TEST(RidgeRegressionTest, RejectsShapeMismatch) {
+  RegressionDataset data;
+  data.features = Matrix(3, 1);
+  data.targets = {1.0};
+  RidgeRegression model;
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+// --- SVM ------------------------------------------------------------------------
+
+TEST(LinearSvmTest, LearnsSeparableData) {
+  MlDataset data = EasyBinaryBlobs();
+  Rng rng(13);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  std::vector<int> predictions = model.Predict(split.test.features);
+  EXPECT_GT(Accuracy(split.test.labels, predictions), 0.92);
+}
+
+TEST(LinearSvmTest, DecisionValueSignMatchesPrediction) {
+  MlDataset data = EasyBinaryBlobs();
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<int> predictions = model.Predict(data.features);
+  for (size_t i = 0; i < 20; ++i) {
+    double value = model.DecisionValue(data.features.Row(i));
+    EXPECT_EQ(predictions[i], value >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(LinearSvmTest, RejectsMulticlass) {
+  BlobsOptions options;
+  options.num_classes = 3;
+  MlDataset data = MakeBlobs(options);
+  LinearSvm model;
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+// --- Decision tree ------------------------------------------------------------------
+
+TEST(DecisionTreeTest, SolvesXor) {
+  // XOR is not linearly separable; a depth>=2 tree nails it.
+  MlDataset data;
+  data.features = Matrix::FromRows(
+      {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1},
+       {0.9, 0.9}});
+  data.labels = {0, 1, 1, 0, 0, 1, 1, 0};
+  DecisionTreeOptions options;
+  options.max_depth = 3;
+  options.min_samples_leaf = 1;
+  options.min_samples_split = 2;
+  DecisionTreeClassifier tree(options);
+  ASSERT_TRUE(tree.Fit(data).ok());
+  std::vector<int> predictions = tree.Predict(data.features);
+  EXPECT_EQ(Accuracy(data.labels, predictions), 1.0);
+  EXPECT_GE(tree.Depth(), 2u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  MlDataset data = EasyBinaryBlobs();
+  DecisionTreeOptions options;
+  options.max_depth = 1;
+  DecisionTreeClassifier stump(options);
+  ASSERT_TRUE(stump.Fit(data).ok());
+  EXPECT_LE(stump.Depth(), 2u);
+  EXPECT_LE(stump.NodeCount(), 3u);
+}
+
+TEST(DecisionTreeTest, PureLeafStopsSplitting) {
+  MlDataset data;
+  data.features = Matrix::FromRows({{1}, {2}, {3}});
+  data.labels = {1, 1, 1};
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_EQ(tree.Predict(data.features), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(DecisionTreeTest, GeneralizesOnBlobs) {
+  MlDataset data = EasyBinaryBlobs();
+  Rng rng(17);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(split.train).ok());
+  EXPECT_GT(Accuracy(split.test.labels, tree.Predict(split.test.features)),
+            0.85);
+}
+
+// --- Naive Bayes --------------------------------------------------------------------
+
+TEST(GaussianNbTest, LearnsBlobs) {
+  MlDataset data = EasyBinaryBlobs();
+  Rng rng(19);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_GT(Accuracy(split.test.labels, model.Predict(split.test.features)),
+            0.92);
+}
+
+TEST(GaussianNbTest, ProbaRowsNormalized) {
+  MlDataset data = EasyBinaryBlobs();
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  Matrix proba = model.PredictProba(data.features.SelectRows({0, 1}));
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < proba.cols(); ++c) total += proba(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GaussianNbTest, FitWithClassesHandlesAbsentClass) {
+  MlDataset data;
+  data.features = Matrix::FromRows({{0.0}, {0.1}, {5.0}});
+  data.labels = {0, 0, 1};
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.FitWithClasses(data, 3).ok());
+  EXPECT_EQ(model.num_classes(), 3);
+  std::vector<int> predictions = model.Predict(data.features);
+  EXPECT_EQ(predictions[0], 0);
+  EXPECT_EQ(predictions[2], 1);
+}
+
+// --- Shared interface behaviors -------------------------------------------------------
+
+class AllModelsTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Classifier> MakeModel() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<KnnClassifier>(5);
+      case 1:
+        return std::make_unique<LogisticRegression>();
+      case 2:
+        return std::make_unique<LinearSvm>();
+      case 3:
+        return std::make_unique<DecisionTreeClassifier>();
+      default:
+        return std::make_unique<GaussianNaiveBayes>();
+    }
+  }
+};
+
+TEST_P(AllModelsTest, BeatsChanceOnBlobs) {
+  MlDataset data = EasyBinaryBlobs(GetParam() + 100);
+  Rng rng(29);
+  SplitResult split = TrainTestSplit(data, 0.3, &rng);
+  std::unique_ptr<Classifier> model = MakeModel();
+  ASSERT_TRUE(model->Fit(split.train).ok());
+  EXPECT_GT(Accuracy(split.test.labels, model->Predict(split.test.features)),
+            0.8)
+      << model->name();
+}
+
+TEST_P(AllModelsTest, CloneProducesSameKind) {
+  std::unique_ptr<Classifier> model = MakeModel();
+  std::unique_ptr<Classifier> clone = model->Clone();
+  EXPECT_EQ(model->name(), clone->name());
+}
+
+TEST_P(AllModelsTest, RejectsEmptyFit) {
+  std::unique_ptr<Classifier> model = MakeModel();
+  EXPECT_FALSE(model->Fit(MlDataset{}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModelsTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace nde

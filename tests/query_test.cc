@@ -1,0 +1,253 @@
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "ml/knn.h"
+#include "ml/svm.h"
+#include "query/calibration.h"
+#include "query/predictive_query.h"
+
+namespace nde {
+namespace {
+
+// --- Platt calibration --------------------------------------------------------
+
+TEST(PlattCalibratorTest, RecoversSigmoidRelationship) {
+  // Labels generated from sigmoid(2s - 1); the calibrator should recover a
+  // mapping close to the true probabilities.
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    double s = rng.NextUniform(-3, 3);
+    double p = 1.0 / (1.0 + std::exp(-(2.0 * s - 1.0)));
+    scores.push_back(s);
+    labels.push_back(rng.NextBernoulli(p) ? 1 : 0);
+  }
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(scores, labels).ok());
+  EXPECT_NEAR(calibrator.slope(), 2.0, 0.3);
+  EXPECT_NEAR(calibrator.intercept(), -1.0, 0.3);
+  EXPECT_NEAR(calibrator.Calibrate(0.5), 0.5, 0.05);  // 2*0.5 - 1 = 0.
+}
+
+TEST(PlattCalibratorTest, ImprovesMiscalibratedScores) {
+  // Over-confident scores: raw "probabilities" are sigmoid(10 s) while the
+  // truth is sigmoid(s). Calibration must reduce Brier score and ECE.
+  Rng rng(5);
+  std::vector<double> raw_scores;
+  std::vector<double> overconfident;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    double s = rng.NextUniform(-2.5, 2.5);
+    double truth = 1.0 / (1.0 + std::exp(-s));
+    raw_scores.push_back(s);
+    overconfident.push_back(1.0 / (1.0 + std::exp(-10.0 * s)));
+    labels.push_back(rng.NextBernoulli(truth) ? 1 : 0);
+  }
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(raw_scores, labels).ok());
+  std::vector<double> calibrated = calibrator.Calibrate(raw_scores);
+  EXPECT_LT(BrierScore(calibrated, labels), BrierScore(overconfident, labels));
+  EXPECT_LT(ExpectedCalibrationError(calibrated, labels),
+            ExpectedCalibrationError(overconfident, labels));
+}
+
+TEST(PlattCalibratorTest, Validation) {
+  PlattCalibrator calibrator;
+  EXPECT_FALSE(calibrator.Fit({1.0}, {1, 0}).ok());      // Size mismatch.
+  EXPECT_FALSE(calibrator.Fit({}, {}).ok());             // Empty.
+  EXPECT_FALSE(calibrator.Fit({1.0, 2.0}, {1, 2}).ok()); // Non-binary.
+  EXPECT_FALSE(calibrator.Fit({1.0, 2.0}, {1, 1}).ok()); // One class.
+}
+
+TEST(BrierScoreTest, HandChecked) {
+  EXPECT_NEAR(BrierScore({1.0, 0.0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(BrierScore({0.5, 0.5}, {1, 0}), 0.25, 1e-12);
+  EXPECT_NEAR(BrierScore({0.0, 1.0}, {1, 0}), 1.0, 1e-12);
+}
+
+TEST(EceTest, PerfectCalibrationIsZeroish) {
+  // Probabilities equal to empirical frequencies per bin.
+  std::vector<double> probabilities;
+  std::vector<int> labels;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    double p = rng.NextUniform(0, 1);
+    probabilities.push_back(p);
+    labels.push_back(rng.NextBernoulli(p) ? 1 : 0);
+  }
+  EXPECT_LT(ExpectedCalibrationError(probabilities, labels), 0.02);
+  // Systematic over-confidence scores high ECE.
+  std::vector<double> shifted;
+  for (double p : probabilities) shifted.push_back(p > 0.5 ? 0.99 : 0.01);
+  EXPECT_GT(ExpectedCalibrationError(shifted, labels), 0.1);
+}
+
+// --- Label dictionary ----------------------------------------------------------
+
+TEST(LabelDictionaryTest, LookupWithFallback) {
+  LabelDictionary dictionary({"negative", "positive"});
+  EXPECT_EQ(dictionary.Lookup(0), "negative");
+  EXPECT_EQ(dictionary.Lookup(1), "positive");
+  EXPECT_EQ(dictionary.Lookup(7), "class_7");
+  EXPECT_EQ(dictionary.Lookup(-1), "class_-1");
+}
+
+// --- Aggregate queries -----------------------------------------------------------
+
+struct QueryFixture {
+  MlDataset train;
+  Matrix queries;
+  std::vector<int> groups;
+  std::vector<size_t> poisoned;  ///< group-1-area tuples flipped to positive
+
+  static QueryFixture Make(uint64_t seed, bool poison) {
+    Rng rng(seed);
+    QueryFixture fixture;
+    size_t n = 240;
+    fixture.train.features = Matrix(n, 2);
+    fixture.train.labels.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Two spatial regions (groups live in different x bands).
+      int region = rng.NextBernoulli(0.5) ? 1 : 0;
+      double x = region == 1 ? 3.0 : -3.0;
+      fixture.train.features(i, 0) = x + 0.8 * rng.NextGaussian();
+      fixture.train.features(i, 1) = rng.NextGaussian();
+      int label = rng.NextBernoulli(0.3) ? 1 : 0;  // True base rate 0.3.
+      if (poison && region == 1 && label == 0 && rng.NextBernoulli(0.5)) {
+        label = 1;  // Inflate region 1's positive rate.
+        fixture.poisoned.push_back(i);
+      }
+      fixture.train.labels[i] = label;
+    }
+    size_t m = 100;
+    fixture.queries = Matrix(m, 2);
+    fixture.groups.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      int region = i % 2;
+      fixture.queries(i, 0) = (region == 1 ? 3.0 : -3.0) +
+                              0.8 * rng.NextGaussian();
+      fixture.queries(i, 1) = rng.NextGaussian();
+      fixture.groups[i] = region;
+    }
+    return fixture;
+  }
+};
+
+TEST(AggregateQueryTest, PerGroupRatesReflectData) {
+  QueryFixture fixture = QueryFixture::Make(11, /*poison=*/true);
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(fixture.train).ok());
+  std::vector<GroupAggregate> aggregates =
+      AggregatePositiveRate(knn, fixture.queries, fixture.groups).value();
+  ASSERT_EQ(aggregates.size(), 2u);
+  // Region 1 was poisoned toward positive.
+  EXPECT_GT(aggregates[1].positive_rate, aggregates[0].positive_rate + 0.1);
+  EXPECT_EQ(aggregates[0].count + aggregates[1].count, 100u);
+  EXPECT_FALSE(aggregates[0].ToString().empty());
+}
+
+TEST(AggregateQueryTest, Validation) {
+  QueryFixture fixture = QueryFixture::Make(13, false);
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(fixture.train).ok());
+  EXPECT_FALSE(
+      AggregatePositiveRate(knn, fixture.queries, {0, 1}).ok());
+}
+
+// --- Complaint-driven debugging -----------------------------------------------------
+
+TEST(ComplaintTest, AttributionSatisfiesEfficiency) {
+  QueryFixture fixture = QueryFixture::Make(17, true);
+  size_t k = 5;
+  std::vector<double> attribution =
+      AggregateAttribution(fixture.train, fixture.queries, fixture.groups,
+                           /*group=*/1, k)
+          .value();
+  double total =
+      std::accumulate(attribution.begin(), attribution.end(), 0.0);
+  // Sum of Shapley values == full-data aggregate (soft K-NN vote for class 1
+  // over the group's queries).
+  KnnClassifier knn(k);
+  ASSERT_TRUE(knn.Fit(fixture.train).ok());
+  double aggregate = 0.0;
+  size_t count = 0;
+  Matrix proba = knn.PredictProba(fixture.queries);
+  for (size_t i = 0; i < fixture.groups.size(); ++i) {
+    if (fixture.groups[i] != 1) continue;
+    aggregate += proba(i, 1);
+    ++count;
+  }
+  aggregate /= static_cast<double>(count);
+  EXPECT_NEAR(total, aggregate, 1e-9);
+}
+
+TEST(ComplaintTest, RankingSurfacesPoisonedTuples) {
+  QueryFixture fixture = QueryFixture::Make(19, true);
+  ASSERT_FALSE(fixture.poisoned.empty());
+  Complaint complaint{1, ComplaintDirection::kTooHigh};
+  std::vector<size_t> ranking =
+      ComplaintDrivenRanking(fixture.train, fixture.queries, fixture.groups,
+                             complaint, 5)
+          .value();
+  // The poisoned tuples should be heavily over-represented near the top.
+  std::unordered_set<size_t> poisoned(fixture.poisoned.begin(),
+                                      fixture.poisoned.end());
+  size_t hits = 0;
+  size_t budget = fixture.poisoned.size();
+  for (size_t i = 0; i < budget; ++i) {
+    if (poisoned.count(ranking[i]) > 0) ++hits;
+  }
+  double precision = static_cast<double>(hits) / static_cast<double>(budget);
+  double base_rate = static_cast<double>(budget) /
+                     static_cast<double>(fixture.train.size());
+  // The top ranks mix poisoned tuples with legitimately positive tuples of
+  // the same region (both push the aggregate up), so we require a clear
+  // enrichment over chance rather than perfect precision.
+  EXPECT_GT(precision, base_rate * 2.5);
+  // And every top-ranked tuple should at least carry the positive label.
+  for (size_t i = 0; i < budget; ++i) {
+    EXPECT_EQ(fixture.train.labels[ranking[i]], 1);
+  }
+}
+
+TEST(ComplaintTest, FixMovesAggregateInRequestedDirection) {
+  QueryFixture fixture = QueryFixture::Make(23, true);
+  Complaint complaint{1, ComplaintDirection::kTooHigh};
+  ComplaintFixResult fix =
+      ApplyComplaintFix(fixture.train, fixture.queries, fixture.groups,
+                        complaint, 5, /*budget=*/30)
+          .value();
+  EXPECT_LT(fix.aggregate_after, fix.aggregate_before);
+  EXPECT_EQ(fix.removed.size(), 30u);
+
+  // The opposite complaint moves it the other way.
+  Complaint opposite{1, ComplaintDirection::kTooLow};
+  ComplaintFixResult raise =
+      ApplyComplaintFix(fixture.train, fixture.queries, fixture.groups,
+                        opposite, 5, 30)
+          .value();
+  EXPECT_GT(raise.aggregate_after, raise.aggregate_before);
+}
+
+TEST(ComplaintTest, Validation) {
+  QueryFixture fixture = QueryFixture::Make(29, false);
+  Complaint complaint{99, ComplaintDirection::kTooHigh};  // Unknown group.
+  EXPECT_FALSE(ComplaintDrivenRanking(fixture.train, fixture.queries,
+                                      fixture.groups, complaint, 5)
+                   .ok());
+  Complaint valid{1, ComplaintDirection::kTooHigh};
+  EXPECT_FALSE(ApplyComplaintFix(fixture.train, fixture.queries,
+                                 fixture.groups, valid, 5,
+                                 fixture.train.size())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace nde

@@ -1,0 +1,575 @@
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "uncertain/certain_knn.h"
+#include "uncertain/certain_model.h"
+#include "uncertain/fairness_range.h"
+#include "uncertain/interval.h"
+#include "uncertain/multiplicity.h"
+#include "uncertain/zorro.h"
+
+namespace nde {
+namespace {
+
+// --- Interval arithmetic ---------------------------------------------------------
+
+TEST(IntervalTest, Construction) {
+  Interval point(3.0);
+  EXPECT_TRUE(point.is_point());
+  EXPECT_EQ(point.mid(), 3.0);
+  Interval range(1.0, 4.0);
+  EXPECT_EQ(range.width(), 3.0);
+  EXPECT_TRUE(range.Contains(2.0));
+  EXPECT_FALSE(range.Contains(5.0));
+}
+
+TEST(IntervalTest, ArithmeticHandChecked) {
+  Interval a(1.0, 2.0);
+  Interval b(-1.0, 3.0);
+  EXPECT_EQ(a + b, Interval(0.0, 5.0));
+  EXPECT_EQ(a - b, Interval(-2.0, 3.0));
+  EXPECT_EQ(a * b, Interval(-2.0, 6.0));
+  EXPECT_EQ(-a, Interval(-2.0, -1.0));
+  EXPECT_EQ(2.0 * a, Interval(2.0, 4.0));
+}
+
+TEST(IntervalTest, SquareIsTight) {
+  EXPECT_EQ(Interval(-2.0, 3.0).Square(), Interval(0.0, 9.0));
+  EXPECT_EQ(Interval(1.0, 2.0).Square(), Interval(1.0, 4.0));
+  EXPECT_EQ(Interval(-3.0, -1.0).Square(), Interval(1.0, 9.0));
+}
+
+TEST(IntervalTest, HullAndIntersect) {
+  Interval a(0.0, 1.0);
+  Interval b(2.0, 3.0);
+  EXPECT_EQ(Interval::Hull(a, b), Interval(0.0, 3.0));
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersects(Interval(0.5, 2.0)));
+  EXPECT_TRUE(Interval(0.0, 5.0).ContainsInterval(a));
+}
+
+/// Property: for randomly sampled concrete points inside the operand
+/// intervals, the result of the concrete operation lies inside the interval
+/// result (the inclusion property all soundness proofs rest on).
+class IntervalInclusionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalInclusionTest, InclusionHoldsForRandomOperands) {
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    double a_lo = rng.NextUniform(-5, 5);
+    double a_hi = a_lo + rng.NextUniform(0, 4);
+    double b_lo = rng.NextUniform(-5, 5);
+    double b_hi = b_lo + rng.NextUniform(0, 4);
+    Interval a(a_lo, a_hi);
+    Interval b(b_lo, b_hi);
+    double x = rng.NextUniform(a_lo, a_hi);
+    double y = rng.NextUniform(b_lo, b_hi);
+    EXPECT_TRUE((a + b).Contains(x + y));
+    EXPECT_TRUE((a - b).Contains(x - y));
+    EXPECT_TRUE((a * b).Contains(x * y));
+    EXPECT_TRUE(a.Square().Contains(x * x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalInclusionTest, ::testing::Range(0, 5));
+
+TEST(IntervalDotTest, MatchesConcreteDot) {
+  std::vector<Interval> a = {Interval(1.0), Interval(2.0)};
+  std::vector<double> b = {3.0, -1.0};
+  Interval result = IntervalDot(a, b);
+  EXPECT_TRUE(result.is_point());
+  EXPECT_EQ(result.lo(), 1.0);
+}
+
+// --- Zorro -------------------------------------------------------------------------
+
+RegressionDataset MakeLinearData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  RegressionDataset data;
+  data.features = Matrix(n, 2);
+  data.targets.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = 1.5 * data.features(i, 0) - 0.5 * data.features(i, 1) +
+                      0.3 + 0.05 * rng.NextGaussian();
+  }
+  return data;
+}
+
+TEST(ZorroTest, PointIntervalsMatchConcreteGd) {
+  RegressionDataset data = MakeLinearData(60, 7);
+  SymbolicRegressionDataset symbolic =
+      SymbolicRegressionDataset::FromConcrete(data);
+  ZorroOptions options;
+  ZorroModel model = TrainZorro(symbolic, options).value();
+  std::vector<double> concrete = TrainConcreteGd(data, options);
+  for (size_t j = 0; j < model.weights.size(); ++j) {
+    EXPECT_TRUE(model.weights[j].is_point());
+    EXPECT_NEAR(model.weights[j].lo(), concrete[j], 1e-9);
+  }
+  EXPECT_NEAR(model.bias.lo(), concrete.back(), 1e-9);
+}
+
+TEST(ZorroTest, ConvergesToUsefulModelOnCertainData) {
+  RegressionDataset data = MakeLinearData(100, 9);
+  SymbolicRegressionDataset symbolic =
+      SymbolicRegressionDataset::FromConcrete(data);
+  ZorroModel model = TrainZorro(symbolic).value();
+  EXPECT_NEAR(model.weights[0].mid(), 1.5, 0.2);
+  EXPECT_NEAR(model.weights[1].mid(), -0.5, 0.2);
+}
+
+class ZorroSoundnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZorroSoundnessTest, SampledWorldsStayInsideIntervals) {
+  double missing_fraction = GetParam();
+  RegressionDataset data = MakeLinearData(50, 11);
+  Rng rng(13);
+  size_t missing_count = static_cast<size_t>(missing_fraction * 50);
+  std::vector<size_t> missing_rows =
+      rng.SampleWithoutReplacement(50, missing_count);
+  SymbolicRegressionDataset symbolic =
+      EncodeSymbolicMissing(data, missing_rows, /*column=*/0, -2.0, 2.0)
+          .value();
+  ZorroOptions options;
+  options.epochs = 25;
+  ZorroModel model = TrainZorro(symbolic, options).value();
+
+  for (int world = 0; world < 20; ++world) {
+    RegressionDataset sampled = symbolic.SampleWorld(&rng);
+    std::vector<double> w = TrainConcreteGd(sampled, options);
+    for (size_t j = 0; j < model.weights.size(); ++j) {
+      EXPECT_TRUE(model.weights[j].Contains(w[j]))
+          << "weight " << j << " = " << w[j] << " outside "
+          << model.weights[j].ToString();
+    }
+    EXPECT_TRUE(model.bias.Contains(w.back()));
+    // Prediction soundness on a probe point.
+    std::vector<double> probe = {0.7, -0.4};
+    double concrete_pred = w.back();
+    for (size_t j = 0; j < probe.size(); ++j) concrete_pred += w[j] * probe[j];
+    EXPECT_TRUE(model.Predict(probe).Contains(concrete_pred));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MissingFractions, ZorroSoundnessTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+TEST(ZorroTest, UncertaintyGrowsWithMissingFraction) {
+  RegressionDataset data = MakeLinearData(80, 17);
+  RegressionDataset test = MakeLinearData(40, 18);
+  ZorroOptions options;
+  options.epochs = 25;
+  Rng rng(19);
+  double previous_loss = 0.0;
+  double previous_width = 0.0;
+  for (double fraction : {0.05, 0.15, 0.3}) {
+    size_t count = static_cast<size_t>(fraction * 80);
+    std::vector<size_t> missing = rng.SampleWithoutReplacement(80, count);
+    SymbolicRegressionDataset symbolic =
+        EncodeSymbolicMissing(data, missing, 0, -2.0, 2.0).value();
+    ZorroModel model = TrainZorro(symbolic, options).value();
+    double loss = MaxWorstCaseLoss(model, test);
+    double width = model.TotalWeightWidth();
+    EXPECT_GT(loss, previous_loss);
+    EXPECT_GT(width, previous_width);
+    previous_loss = loss;
+    previous_width = width;
+  }
+}
+
+TEST(ZorroTest, EncodeSymbolicValidation) {
+  RegressionDataset data = MakeLinearData(10, 21);
+  EXPECT_FALSE(EncodeSymbolicMissing(data, {0}, 99, -1, 1).ok());
+  EXPECT_FALSE(EncodeSymbolicMissing(data, {99}, 0, -1, 1).ok());
+  EXPECT_FALSE(EncodeSymbolicMissing(data, {0}, 0, 1, -1).ok());
+  SymbolicRegressionDataset symbolic =
+      EncodeSymbolicMissing(data, {0, 3}, 1, -1, 1).value();
+  EXPECT_EQ(symbolic.features[0][1], Interval(-1.0, 1.0));
+  EXPECT_TRUE(symbolic.features[1][1].is_point());
+}
+
+TEST(ZorroTest, MeanPredictionWidthZeroWhenCertain) {
+  RegressionDataset data = MakeLinearData(30, 23);
+  SymbolicRegressionDataset symbolic =
+      SymbolicRegressionDataset::FromConcrete(data);
+  ZorroModel model = TrainZorro(symbolic).value();
+  EXPECT_NEAR(MeanPredictionWidth(model, data.features), 0.0, 1e-9);
+}
+
+// --- Certain KNN predictions ----------------------------------------------------------
+
+TEST(CertainKnnTest, FullyCertainDataAlwaysCertain) {
+  MlDataset data = MakeBlobs({});
+  UncertainClassificationDataset uncertain =
+      UncertainClassificationDataset::FromConcrete(data);
+  KnnClassifier knn(3);
+  ASSERT_TRUE(knn.Fit(data).ok());
+  for (size_t q = 0; q < 20; ++q) {
+    std::vector<double> query = data.features.Row(q);
+    std::optional<int> certain = CertainKnnPrediction(uncertain, query, 3);
+    ASSERT_TRUE(certain.has_value());
+    Matrix single(1, data.num_features());
+    single.SetRow(0, query);
+    EXPECT_EQ(*certain, knn.Predict(single)[0]);
+  }
+}
+
+TEST(CertainKnnTest, MinMaxDistancesBracketSampledWorlds) {
+  MlDataset data = MakeBlobs({});
+  UncertainClassificationDataset uncertain =
+      UncertainClassificationDataset::FromConcrete(data);
+  Rng rng(29);
+  for (int c = 0; c < 30; ++c) {
+    uncertain.SetUncertain(rng.NextBounded(data.size()),
+                           rng.NextBounded(data.num_features()), -1.5, 1.5);
+  }
+  std::vector<double> query = data.features.Row(0);
+  for (int world = 0; world < 10; ++world) {
+    MlDataset sampled = uncertain.SampleWorld(&rng);
+    for (size_t i = 0; i < sampled.size(); ++i) {
+      double dist = SquaredDistance(sampled.features.Row(i), query);
+      EXPECT_GE(dist, uncertain.MinSquaredDistance(i, query) - 1e-9);
+      EXPECT_LE(dist, uncertain.MaxSquaredDistance(i, query) + 1e-9);
+    }
+  }
+}
+
+TEST(CertainKnnTest, CertainDecisionsAgreeWithEverySampledWorld) {
+  // Binary task: the certainty decision is exact, so certain predictions
+  // must match the concrete KNN result in every sampled world.
+  BlobsOptions options;
+  options.num_examples = 60;
+  options.num_features = 2;
+  options.separation = 4.0;
+  MlDataset data = MakeBlobs(options);
+  UncertainClassificationDataset uncertain =
+      UncertainClassificationDataset::FromConcrete(data);
+  Rng rng(31);
+  for (int c = 0; c < 25; ++c) {
+    uncertain.SetUncertain(rng.NextBounded(60), rng.NextBounded(2), -3.0, 3.0);
+  }
+  BlobsOptions query_options = options;
+  query_options.num_examples = 15;
+  query_options.seed = 99;
+  MlDataset queries = MakeBlobs(query_options);
+
+  size_t certain_count = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<double> query = queries.features.Row(q);
+    std::optional<int> certain = CertainKnnPrediction(uncertain, query, 3);
+    if (!certain.has_value()) continue;
+    ++certain_count;
+    for (int world = 0; world < 15; ++world) {
+      MlDataset sampled = uncertain.SampleWorld(&rng);
+      KnnClassifier knn(3);
+      ASSERT_TRUE(knn.Fit(sampled).ok());
+      Matrix single(1, 2);
+      single.SetRow(0, query);
+      EXPECT_EQ(knn.Predict(single)[0], *certain) << "query " << q;
+    }
+  }
+  EXPECT_GT(certain_count, 0u);  // The test must exercise the certain path.
+}
+
+TEST(CertainKnnTest, HeavyUncertaintyDestroysCertainty) {
+  BlobsOptions options;
+  options.num_examples = 40;
+  options.num_features = 2;
+  options.separation = 1.0;  // Weakly separated.
+  MlDataset data = MakeBlobs(options);
+  UncertainClassificationDataset uncertain =
+      UncertainClassificationDataset::FromConcrete(data);
+  // Make every cell wildly uncertain.
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 2; ++j) uncertain.SetUncertain(i, j, -50.0, 50.0);
+  }
+  std::optional<int> certain =
+      CertainKnnPrediction(uncertain, {0.0, 0.0}, 3);
+  EXPECT_FALSE(certain.has_value());
+}
+
+TEST(CertainKnnTest, CertainRatioDecreasesWithMissingness) {
+  BlobsOptions options;
+  options.num_examples = 100;
+  options.num_features = 3;
+  options.separation = 3.0;
+  MlDataset data = MakeBlobs(options);
+  BlobsOptions query_options = options;
+  query_options.num_examples = 30;
+  query_options.seed = 7;
+  MlDataset queries = MakeBlobs(query_options);
+
+  Rng rng(37);
+  double previous_ratio = 1.1;
+  for (size_t uncertain_cells : {5u, 40u, 150u}) {
+    UncertainClassificationDataset uncertain =
+        UncertainClassificationDataset::FromConcrete(data);
+    Rng cell_rng(41);
+    for (size_t c = 0; c < uncertain_cells; ++c) {
+      uncertain.SetUncertain(cell_rng.NextBounded(100),
+                             cell_rng.NextBounded(3), -4.0, 4.0);
+    }
+    double ratio = CertainPredictionRatio(uncertain, queries.features, 3);
+    EXPECT_LE(ratio, previous_ratio);
+    previous_ratio = ratio;
+  }
+  EXPECT_LT(previous_ratio, 1.0);
+}
+
+// --- Dataset multiplicity ---------------------------------------------------------------
+
+TEST(MultiplicityTest, ZeroFlipsGiveDegenerateRange) {
+  RegressionDataset data = MakeLinearData(40, 43);
+  RidgeRegression model(0.1);
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> x = {0.5, 0.5};
+  Interval range =
+      LabelPerturbationPredictionRange(model, x, 0, 1.0).value();
+  EXPECT_TRUE(range.is_point());
+  EXPECT_NEAR(range.lo(), model.PredictOne(x), 1e-12);
+}
+
+TEST(MultiplicityTest, RangeGrowsWithBudget) {
+  RegressionDataset data = MakeLinearData(40, 47);
+  RidgeRegression model(0.1);
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> x = {0.5, 0.5};
+  double previous_width = -1.0;
+  for (size_t flips : {0u, 1u, 5u, 20u}) {
+    Interval range =
+        LabelPerturbationPredictionRange(model, x, flips, 0.5).value();
+    EXPECT_GT(range.width(), previous_width);
+    previous_width = range.width();
+  }
+}
+
+TEST(MultiplicityTest, BinaryFlipRangeIsExact) {
+  // Compare against brute-force enumeration of all single flips.
+  Rng rng(53);
+  RegressionDataset data;
+  data.features = Matrix(20, 2);
+  data.targets.resize(20);
+  for (size_t i = 0; i < 20; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  RidgeRegression model(0.1);
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> x = {0.3, -0.7};
+  Interval range =
+      LabelFlipPredictionRange(model, data.targets, x, 1).value();
+
+  double brute_lo = model.PredictOne(x);
+  double brute_hi = brute_lo;
+  for (size_t i = 0; i < 20; ++i) {
+    RegressionDataset flipped = data;
+    flipped.targets[i] = 1.0 - flipped.targets[i];
+    RidgeRegression refit(0.1);
+    ASSERT_TRUE(refit.Fit(flipped).ok());
+    double prediction = refit.PredictOne(x);
+    brute_lo = std::min(brute_lo, prediction);
+    brute_hi = std::max(brute_hi, prediction);
+  }
+  EXPECT_NEAR(range.lo(), brute_lo, 1e-8);
+  EXPECT_NEAR(range.hi(), brute_hi, 1e-8);
+}
+
+TEST(MultiplicityTest, RobustnessChecks) {
+  EXPECT_TRUE(IsRobustPrediction(Interval(0.6, 0.9), 0.5));
+  EXPECT_TRUE(IsRobustPrediction(Interval(0.1, 0.4), 0.5));
+  EXPECT_FALSE(IsRobustPrediction(Interval(0.4, 0.6), 0.5));
+}
+
+TEST(MultiplicityTest, RobustRatioDecreasesWithBudget) {
+  Rng rng(59);
+  RegressionDataset data;
+  data.features = Matrix(60, 2);
+  data.targets.resize(60);
+  for (size_t i = 0; i < 60; ++i) {
+    int label = rng.NextBernoulli(0.5) ? 1 : 0;
+    data.features(i, 0) = (label == 1 ? 1.0 : -1.0) + 0.4 * rng.NextGaussian();
+    data.features(i, 1) = (label == 1 ? 1.0 : -1.0) + 0.4 * rng.NextGaussian();
+    data.targets[i] = static_cast<double>(label);
+  }
+  RidgeRegression model(0.1);
+  ASSERT_TRUE(model.Fit(data).ok());
+  Matrix queries = data.features.SelectRows({0, 5, 10, 15, 20, 25, 30, 35});
+  double previous = 1.1;
+  for (size_t flips : {0u, 3u, 15u, 40u}) {
+    double ratio =
+        LabelFlipRobustRatio(model, data.targets, queries, flips, 0.5)
+            .value();
+    EXPECT_LE(ratio, previous);
+    previous = ratio;
+  }
+}
+
+// --- Certain / approximately certain models ------------------------------------------------
+
+TEST(CertainModelTest, IrrelevantMissingFeatureIsCertain) {
+  // Target depends only on feature 0; feature 1 is pure noise with zero
+  // weight, so missing cells in feature 1 leave the model certain.
+  Rng rng(61);
+  IncompleteRegressionDataset data;
+  data.features = Matrix(50, 2);
+  data.targets.resize(50);
+  for (size_t i = 0; i < 50; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = 2.0 * data.features(i, 0);
+  }
+  data.missing_cells = {{3, 1}, {7, 1}};
+  // Residual condition: rows 3 and 7 must have zero residual under the
+  // complete-data model; they do because the target is exactly linear in f0.
+  CertainModelResult result =
+      CheckCertainLinearModel(data, /*lambda=*/1e-9, /*eps=*/1e-4).value();
+  EXPECT_TRUE(result.certain);
+  EXPECT_NEAR(result.weights[0], 2.0, 1e-3);
+  EXPECT_NEAR(result.weights[1], 0.0, 1e-3);
+}
+
+TEST(CertainModelTest, RelevantMissingFeatureIsNotCertain) {
+  Rng rng(67);
+  IncompleteRegressionDataset data;
+  data.features = Matrix(50, 2);
+  data.targets.resize(50);
+  for (size_t i = 0; i < 50; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = 2.0 * data.features(i, 0) + 1.0 * data.features(i, 1);
+  }
+  data.missing_cells = {{3, 1}};
+  CertainModelResult result =
+      CheckCertainLinearModel(data, 1e-9, 1e-4).value();
+  EXPECT_FALSE(result.certain);
+  EXPECT_GT(result.max_missing_feature_weight, 0.5);
+}
+
+TEST(CertainModelTest, CompleteRowsHelper) {
+  IncompleteRegressionDataset data;
+  data.features = Matrix(4, 2);
+  data.targets = {0, 0, 0, 0};
+  data.missing_cells = {{1, 0}, {3, 1}};
+  EXPECT_EQ(data.CompleteRows(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(CertainModelTest, NoCompleteRowsFails) {
+  IncompleteRegressionDataset data;
+  data.features = Matrix(2, 1);
+  data.targets = {0, 0};
+  data.missing_cells = {{0, 0}, {1, 0}};
+  EXPECT_FALSE(CheckCertainLinearModel(data).ok());
+}
+
+TEST(ApproxCertainTest, TightBoundsYieldApproxCertainty) {
+  Rng rng(71);
+  IncompleteRegressionDataset data;
+  data.features = Matrix(40, 2);
+  data.targets.resize(40);
+  for (size_t i = 0; i < 40; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = data.features(i, 0) + 0.5 * data.features(i, 1);
+  }
+  data.missing_cells = {{0, 1}};
+  // With the missing cell confined near its true value, the worst-case MSE
+  // stays near the complete MSE.
+  data.features(0, 1) = 0.0;
+  ApproxCertainResult tight =
+      CheckApproximatelyCertainModel(data, -0.1, 0.1, /*epsilon=*/0.05)
+          .value();
+  EXPECT_TRUE(tight.approximately_certain);
+  ApproxCertainResult loose =
+      CheckApproximatelyCertainModel(data, -50.0, 50.0, 0.05).value();
+  EXPECT_FALSE(loose.approximately_certain);
+  EXPECT_GT(loose.worst_case_mse, tight.worst_case_mse);
+}
+
+// --- Fairness ranges under selection bias ---------------------------------------------------
+
+TEST(FairnessRangeTest, NoBiasGivesPointRange) {
+  std::vector<int> predictions = {1, 0, 1, 0, 1};
+  Interval range = PositiveRateRange(predictions, 1.0);
+  EXPECT_NEAR(range.lo(), 0.6, 1e-12);
+  EXPECT_NEAR(range.hi(), 0.6, 1e-12);
+}
+
+TEST(FairnessRangeTest, ClosedFormMatchesBruteForceWeighting) {
+  std::vector<int> predictions = {1, 1, 0, 0, 0};
+  double r = 3.0;
+  Interval range = PositiveRateRange(predictions, r);
+  // Brute force over a weight grid: weights in {1, r} per example (the
+  // extremes of the weight polytope, which suffice for a linear-fractional
+  // objective).
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int mask = 0; mask < 32; ++mask) {
+    double pos = 0.0;
+    double total = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      double w = (mask & (1 << i)) ? r : 1.0;
+      total += w;
+      if (predictions[static_cast<size_t>(i)] == 1) pos += w;
+    }
+    lo = std::min(lo, pos / total);
+    hi = std::max(hi, pos / total);
+  }
+  EXPECT_NEAR(range.lo(), lo, 1e-12);
+  EXPECT_NEAR(range.hi(), hi, 1e-12);
+}
+
+TEST(FairnessRangeTest, DegenerateRates) {
+  EXPECT_EQ(PositiveRateRange({1, 1, 1}, 5.0), Interval(1.0, 1.0));
+  EXPECT_EQ(PositiveRateRange({0, 0}, 5.0), Interval(0.0, 0.0));
+}
+
+TEST(FairnessRangeTest, DemographicParityRangeContainsObserved) {
+  std::vector<int> predictions = {1, 1, 0, 1, 0, 0, 0, 1};
+  std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+  double observed = DemographicParityDifference(predictions, groups);
+  Interval range = DemographicParityRange(predictions, groups, 2.0).value();
+  EXPECT_LE(range.lo(), observed + 1e-12);
+  EXPECT_GE(range.hi(), observed - 1e-12);
+  EXPECT_GT(range.width(), 0.0);
+}
+
+TEST(FairnessRangeTest, RangeWidensWithBiasBound) {
+  std::vector<int> predictions = {1, 1, 0, 1, 0, 0, 0, 1};
+  std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+  double previous = -1.0;
+  for (double r : {1.0, 2.0, 5.0}) {
+    Interval range = DemographicParityRange(predictions, groups, r).value();
+    EXPECT_GT(range.width(), previous);
+    previous = range.width();
+  }
+}
+
+TEST(FairnessRangeTest, CertificationLogic) {
+  std::vector<int> predictions = {1, 0, 1, 0};
+  std::vector<int> groups = {0, 0, 1, 1};
+  // Equal observed rates; small bias bound keeps the worst case under 0.5.
+  EXPECT_TRUE(
+      CertifyFairnessUnderBias(predictions, groups, 1.0, 0.1).value());
+  // Huge bias bound cannot be certified at a tight threshold.
+  EXPECT_FALSE(
+      CertifyFairnessUnderBias(predictions, groups, 50.0, 0.1).value());
+}
+
+TEST(FairnessRangeTest, InputValidation) {
+  EXPECT_FALSE(DemographicParityRange({1}, {0, 1}, 2.0).ok());
+  EXPECT_FALSE(DemographicParityRange({}, {}, 2.0).ok());
+  EXPECT_FALSE(DemographicParityRange({1, 0}, {0, 1}, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace nde

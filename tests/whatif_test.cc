@@ -1,0 +1,221 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "datascope/datascope.h"
+#include "datascope/whatif.h"
+#include "ml/knn.h"
+#include "pipeline/encoders.h"
+#include "pipeline/inspection.h"
+#include "uncertain/certain_model.h"
+
+namespace nde {
+namespace {
+
+/// A single-source pipeline over a toy table whose `signal` column is
+/// predictive but partially null, plus a `noise_label` flag marking rows
+/// with flipped labels.
+struct WhatIfFixture {
+  MlPipeline pipeline;
+  MlDataset validation;
+  size_t num_flipped = 0;
+
+  static WhatIfFixture Make(uint64_t seed) {
+    Rng rng(seed);
+    auto make_table = [&rng](size_t n, bool with_errors, size_t* flipped) {
+      std::vector<Value> signal;
+      std::vector<int64_t> flags;
+      std::vector<int64_t> labels;
+      for (size_t i = 0; i < n; ++i) {
+        int label = rng.NextBernoulli(0.5) ? 1 : 0;
+        double direction = label == 1 ? 1.5 : -1.5;
+        bool missing = with_errors && rng.NextBernoulli(0.15);
+        signal.push_back(missing
+                             ? Value::Null()
+                             : Value(direction + 0.6 * rng.NextGaussian()));
+        bool flip = with_errors && rng.NextBernoulli(0.1);
+        flags.push_back(flip ? 1 : 0);
+        if (flip) {
+          label = 1 - label;
+          if (flipped != nullptr) ++*flipped;
+        }
+        labels.push_back(label);
+      }
+      return TableBuilder()
+          .AddValueColumn("signal", DataType::kDouble, std::move(signal))
+          .AddInt64Column("suspect", std::move(flags))
+          .AddInt64Column("label", std::move(labels))
+          .Build();
+    };
+
+    size_t flipped = 0;
+    Table train = make_table(250, /*with_errors=*/true, &flipped);
+    Table validation_table = make_table(120, /*with_errors=*/false, nullptr);
+
+    ColumnTransformer transformer;
+    transformer.Add("signal", std::make_unique<NumericEncoder>());
+    MlPipeline pipeline(
+        {{"train", train}},
+        [](const std::vector<PlanNodePtr>& s) { return s[0]; },
+        std::move(transformer), "label");
+
+    PipelineOutput output = pipeline.Run().value();
+    MlDataset validation =
+        EncodeValidation(output, validation_table, "label").value();
+    return WhatIfFixture{std::move(pipeline), std::move(validation), flipped};
+  }
+};
+
+TEST(WhatIfTest, BaselineComesFirstWithZeroDelta) {
+  WhatIfFixture fixture = WhatIfFixture::Make(3);
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  std::vector<WhatIfOutcome> outcomes =
+      RunWhatIfAnalysis(fixture.pipeline, factory, fixture.validation, {})
+          .value();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].name, "(baseline)");
+  EXPECT_EQ(outcomes[0].accuracy_delta, 0.0);
+  EXPECT_GT(outcomes[0].report.accuracy, 0.5);
+}
+
+TEST(WhatIfTest, DroppingFlippedRowsImprovesAccuracy) {
+  WhatIfFixture fixture = WhatIfFixture::Make(5);
+  ASSERT_GT(fixture.num_flipped, 0u);
+  // 1-NN: sensitive to individual poisoned neighborhoods, so the repair
+  // interventions move the metric measurably.
+  auto factory = []() { return std::make_unique<KnnClassifier>(1); };
+  std::vector<WhatIfIntervention> interventions;
+  interventions.push_back(WhatIfIntervention{
+      "drop suspect rows", 0,
+      FilterRowsIntervention([](const Table& t, size_t r) {
+        size_t col = t.schema().FieldIndex("suspect").value();
+        return t.At(r, col).as_int64() == 0;
+      })});
+  interventions.push_back(
+      WhatIfIntervention{"impute signal", 0, MeanImputeIntervention("signal")});
+  interventions.push_back(WhatIfIntervention{
+      "drop rows with null signal", 0, DropNullRowsIntervention("signal")});
+
+  std::vector<WhatIfOutcome> outcomes =
+      RunWhatIfAnalysis(fixture.pipeline, factory, fixture.validation,
+                        interventions)
+          .value();
+  ASSERT_EQ(outcomes.size(), 4u);
+  // Dropping the flipped rows must help.
+  EXPECT_GT(outcomes[1].accuracy_delta, 0.0);
+  // The suspect-drop variant trains on fewer rows.
+  EXPECT_LT(outcomes[1].output_rows, outcomes[0].output_rows);
+  for (const WhatIfOutcome& outcome : outcomes) {
+    EXPECT_FALSE(outcome.ToString().empty());
+  }
+}
+
+TEST(WhatIfTest, SchemaChangingInterventionRejected) {
+  WhatIfFixture fixture = WhatIfFixture::Make(7);
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  std::vector<WhatIfIntervention> interventions;
+  interventions.push_back(WhatIfIntervention{
+      "drop a column", 0, [](const Table& t) -> Result<Table> {
+        Table copy = t;
+        NDE_RETURN_IF_ERROR(copy.DropColumn("suspect"));
+        return copy;
+      }});
+  EXPECT_FALSE(RunWhatIfAnalysis(fixture.pipeline, factory,
+                                 fixture.validation, interventions)
+                   .ok());
+}
+
+TEST(WhatIfTest, BadTargetIndexRejected) {
+  WhatIfFixture fixture = WhatIfFixture::Make(9);
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  std::vector<WhatIfIntervention> interventions;
+  interventions.push_back(
+      WhatIfIntervention{"oops", 9, MeanImputeIntervention("signal")});
+  EXPECT_FALSE(RunWhatIfAnalysis(fixture.pipeline, factory,
+                                 fixture.validation, interventions)
+                   .ok());
+}
+
+// --- Certain SVM -----------------------------------------------------------------
+
+TEST(CertainSvmTest, FarFromMarginIsCertain) {
+  // Widely separated classes; missing cells bounded tightly around their
+  // cluster, so incomplete rows stay far outside the margin.
+  Rng rng(11);
+  IncompleteClassificationDataset data;
+  data.features = Matrix(60, 2);
+  data.labels.resize(60);
+  for (size_t i = 0; i < 60; ++i) {
+    int label = i % 2;
+    double direction = label == 1 ? 5.0 : -5.0;
+    data.features(i, 0) = direction + 0.3 * rng.NextGaussian();
+    data.features(i, 1) = direction + 0.3 * rng.NextGaussian();
+    data.labels[i] = label;
+  }
+  // Row 1 belongs to the +5 cluster and misses feature 1. When the missing
+  // value could lie anywhere (even inside the other cluster), the model
+  // cannot be certain; when it is known to stay in the +5 band, row 1 is
+  // provably outside the margin in every world.
+  data.missing_cells = {{1, 1}};
+  CertainSvmResult wide =
+      CheckCertainSvmModel(data, /*bound_lo=*/-6.0, /*bound_hi=*/6.0).value();
+  EXPECT_FALSE(wide.certain);
+  EXPECT_LT(wide.min_incomplete_margin, 1.0);
+
+  CertainSvmResult tight = CheckCertainSvmModel(data, 4.0, 6.0).value();
+  EXPECT_TRUE(tight.certain);
+  EXPECT_GE(tight.min_incomplete_margin, 1.0);
+}
+
+TEST(CertainSvmTest, NoIncompleteRowsIsTriviallyCertain) {
+  IncompleteClassificationDataset data;
+  data.features = Matrix::FromRows({{-2.0}, {2.0}, {-2.1}, {2.1}});
+  data.labels = {0, 1, 0, 1};
+  CertainSvmResult result = CheckCertainSvmModel(data, -1, 1).value();
+  EXPECT_TRUE(result.certain);
+}
+
+TEST(CertainSvmTest, Validation) {
+  IncompleteClassificationDataset data;
+  data.features = Matrix::FromRows({{0.0}, {1.0}});
+  data.labels = {0, 2};
+  EXPECT_FALSE(CheckCertainSvmModel(data, -1, 1).ok());  // Non-binary.
+  data.labels = {0, 1};
+  EXPECT_FALSE(CheckCertainSvmModel(data, 1, -1).ok());  // Bad bounds.
+  data.missing_cells = {{5, 0}};
+  EXPECT_FALSE(CheckCertainSvmModel(data, -1, 1).ok());  // Out of range.
+}
+
+// --- Near-duplicate screen ----------------------------------------------------------
+
+TEST(NearDuplicatesTest, FindsTyposAndExactCopies) {
+  Table t = TableBuilder()
+                .AddStringColumn("name", {"acme corp", "acme corp",
+                                          "acme c0rp", "globex", "initech"})
+                .Build();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<PipelineIssue> issues =
+      CheckNearDuplicates(t, "name", 1, &pairs).value();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].check, "near_duplicates");
+  // (0,1) exact, (0,2) and (1,2) one substitution.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(NearDuplicatesTest, CleanColumnPasses) {
+  Table t = TableBuilder()
+                .AddStringColumn("name", {"alpha", "bravo", "charlie"})
+                .Build();
+  EXPECT_TRUE(CheckNearDuplicates(t, "name", 1).value().empty());
+}
+
+TEST(NearDuplicatesTest, RequiresStringColumn) {
+  Table t = TableBuilder().AddInt64Column("id", {1, 2}).Build();
+  EXPECT_FALSE(CheckNearDuplicates(t, "id", 1).ok());
+  EXPECT_FALSE(CheckNearDuplicates(t, "missing", 1).ok());
+}
+
+}  // namespace
+}  // namespace nde

@@ -1,0 +1,257 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "uncertain/affine.h"
+#include "uncertain/zonotope_trainer.h"
+#include "uncertain/zorro.h"
+
+namespace nde {
+namespace {
+
+// --- AffineForm algebra --------------------------------------------------------
+
+TEST(AffineFormTest, ConstantsAndSymbols) {
+  AffineForm c = AffineForm::Constant(3.0);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.ToInterval(), Interval(3.0, 3.0));
+
+  AffineForm s = AffineForm::Symbol(1.0, 0.5, 0);
+  EXPECT_FALSE(s.is_constant());
+  EXPECT_EQ(s.ToInterval(), Interval(0.5, 1.5));
+  EXPECT_EQ(s.num_terms(), 1u);
+}
+
+TEST(AffineFormTest, CorrelatedSubtractionCancelsExactly) {
+  // The defining advantage over intervals: x - x == 0.
+  AffineForm x = AffineForm::Symbol(2.0, 1.0, 7);
+  AffineForm diff = x - x;
+  EXPECT_TRUE(diff.is_constant());
+  EXPECT_EQ(diff.ToInterval(), Interval(0.0, 0.0));
+  // Interval arithmetic cannot do this: [1,3] - [1,3] = [-2,2].
+}
+
+TEST(AffineFormTest, IndependentSymbolsDoNotCancel) {
+  AffineForm x = AffineForm::Symbol(2.0, 1.0, 0);
+  AffineForm y = AffineForm::Symbol(2.0, 1.0, 1);
+  EXPECT_EQ((x - y).ToInterval(), Interval(-2.0, 2.0));
+}
+
+TEST(AffineFormTest, AdditionIsExact) {
+  AffineForm x = AffineForm::Symbol(1.0, 0.5, 0);
+  AffineForm y = AffineForm::Symbol(-1.0, 0.25, 1);
+  AffineForm sum = x + y;
+  EXPECT_EQ(sum.ToInterval(), Interval(-0.75, 0.75));
+  EXPECT_EQ(sum.remainder(), 0.0);
+}
+
+TEST(AffineFormTest, ScalingIsExact) {
+  AffineForm x = AffineForm::Symbol(1.0, 0.5, 0);
+  EXPECT_EQ((2.0 * x).ToInterval(), Interval(1.0, 3.0));
+  EXPECT_EQ((-x).ToInterval(), Interval(-1.5, -0.5));
+  EXPECT_EQ((0.0 * x).ToInterval(), Interval(0.0, 0.0));
+}
+
+TEST(AffineFormTest, MultiplicationSoundAgainstSampling) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    double cx = rng.NextUniform(-3, 3);
+    double rx = rng.NextUniform(0, 2);
+    double cy = rng.NextUniform(-3, 3);
+    double ry = rng.NextUniform(0, 2);
+    AffineForm x = AffineForm::Symbol(cx, rx, 0);
+    AffineForm y = AffineForm::Symbol(cy, ry, 1);
+    AffineForm product = x * y;
+    Interval hull = product.ToInterval();
+    for (int sample = 0; sample < 20; ++sample) {
+      double ex = rng.NextUniform(-1, 1);
+      double ey = rng.NextUniform(-1, 1);
+      double concrete = (cx + rx * ex) * (cy + ry * ey);
+      EXPECT_TRUE(hull.Contains(concrete))
+          << concrete << " outside " << hull.ToString();
+    }
+  }
+}
+
+TEST(AffineFormTest, CorrelatedMultiplicationSoundness) {
+  // x * x through operator*: must contain all of {v^2 : v in [1,3]}.
+  Rng rng(7);
+  AffineForm x = AffineForm::Symbol(2.0, 1.0, 0);
+  Interval hull = (x * x).ToInterval();
+  for (int sample = 0; sample < 50; ++sample) {
+    double eps = rng.NextUniform(-1, 1);
+    double v = 2.0 + eps;
+    EXPECT_TRUE(hull.Contains(v * v));
+  }
+}
+
+TEST(AffineFormTest, SquareTighterThanSelfMultiplication) {
+  AffineForm x = AffineForm::Symbol(2.0, 1.0, 0);
+  Interval square = x.Square().ToInterval();
+  Interval product = (x * x).ToInterval();
+  EXPECT_LE(square.width(), product.width());
+  // And still sound.
+  Rng rng(9);
+  for (int sample = 0; sample < 50; ++sample) {
+    double v = rng.NextUniform(1.0, 3.0);
+    EXPECT_TRUE(square.Contains(v * v));
+  }
+}
+
+TEST(AffineFormTest, EvaluateMatchesAlgebra) {
+  AffineForm x = AffineForm::Symbol(1.0, 2.0, 0);
+  AffineForm y = AffineForm::Symbol(-1.0, 0.5, 1);
+  AffineForm expr = 3.0 * x + y - AffineForm::Constant(2.0);
+  double value = expr.Evaluate({{0, 0.5}, {1, -1.0}});
+  // 3*(1 + 2*0.5) + (-1 + 0.5*(-1)) - 2 = 6 - 1.5 - 2 = 2.5.
+  EXPECT_NEAR(value, 2.5, 1e-12);
+}
+
+TEST(AffineFormTest, ToStringReadable) {
+  AffineForm x = AffineForm::Symbol(1.0, 2.0, 3);
+  EXPECT_NE(x.ToString().find("e3"), std::string::npos);
+}
+
+// --- Zonotope trainer ------------------------------------------------------------
+
+RegressionDataset MakeLinearData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  RegressionDataset data;
+  data.features = Matrix(n, 2);
+  data.targets.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.features(i, 0) = rng.NextGaussian();
+    data.features(i, 1) = rng.NextGaussian();
+    data.targets[i] = 1.5 * data.features(i, 0) - 0.5 * data.features(i, 1) +
+                      0.3 + 0.05 * rng.NextGaussian();
+  }
+  return data;
+}
+
+TEST(ZonotopeTrainerTest, PointDataMatchesConcreteGd) {
+  RegressionDataset data = MakeLinearData(50, 3);
+  SymbolicRegressionDataset symbolic =
+      SymbolicRegressionDataset::FromConcrete(data);
+  ZorroOptions options;
+  ZonotopeModel model = TrainZorroZonotope(symbolic, options).value();
+  std::vector<double> concrete = TrainConcreteGd(data, options);
+  std::vector<Interval> weights = model.WeightIntervals();
+  for (size_t j = 0; j < concrete.size(); ++j) {
+    EXPECT_NEAR(weights[j].mid(), concrete[j], 1e-9);
+    EXPECT_NEAR(weights[j].width(), 0.0, 1e-9);
+  }
+}
+
+class ZonotopeSoundnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZonotopeSoundnessTest, SampledWorldsInsideBounds) {
+  double missing_fraction = GetParam();
+  RegressionDataset data = MakeLinearData(50, 11);
+  Rng rng(13);
+  size_t missing_count = static_cast<size_t>(missing_fraction * 50);
+  std::vector<size_t> missing =
+      rng.SampleWithoutReplacement(50, missing_count);
+  SymbolicRegressionDataset symbolic =
+      EncodeSymbolicMissing(data, missing, 0, -2.0, 2.0).value();
+  ZorroOptions options;
+  options.epochs = 25;
+  ZonotopeModel model = TrainZorroZonotope(symbolic, options).value();
+  std::vector<Interval> weight_hulls = model.WeightIntervals();
+
+  for (int world = 0; world < 20; ++world) {
+    RegressionDataset sampled = symbolic.SampleWorld(&rng);
+    std::vector<double> w = TrainConcreteGd(sampled, options);
+    for (size_t j = 0; j < w.size(); ++j) {
+      EXPECT_TRUE(weight_hulls[j].Contains(w[j]))
+          << "weight " << j << " = " << w[j] << " outside "
+          << weight_hulls[j].ToString();
+    }
+    std::vector<double> probe = {0.7, -0.4};
+    double prediction = w.back();
+    for (size_t j = 0; j < probe.size(); ++j) prediction += w[j] * probe[j];
+    EXPECT_TRUE(model.Predict(probe).Contains(prediction));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MissingFractions, ZonotopeSoundnessTest,
+                         ::testing::Values(0.1, 0.2, 0.4));
+
+TEST(ZonotopeTrainerTest, TighterThanIntervalTrainer) {
+  RegressionDataset data = MakeLinearData(60, 17);
+  Rng rng(19);
+  std::vector<size_t> missing = rng.SampleWithoutReplacement(60, 12);
+  SymbolicRegressionDataset symbolic =
+      EncodeSymbolicMissing(data, missing, 0, -2.0, 2.0).value();
+  ZorroOptions options;
+  options.epochs = 25;
+  ZorroModel interval_model = TrainZorro(symbolic, options).value();
+  ZonotopeModel zonotope_model =
+      TrainZorroZonotope(symbolic, options).value();
+  // Dependency tracking must pay off: materially tighter weight hulls.
+  EXPECT_LT(zonotope_model.TotalWeightWidth(),
+            interval_model.TotalWeightWidth() / 1.5);
+  // And the advantage grows with training length (interval error compounds
+  // faster than the affine remainder).
+  ZorroOptions longer = options;
+  longer.epochs = 35;
+  double interval_long =
+      TrainZorro(symbolic, longer).value().TotalWeightWidth();
+  double zonotope_long =
+      TrainZorroZonotope(symbolic, longer).value().TotalWeightWidth();
+  EXPECT_LT(zonotope_long / interval_long,
+            zonotope_model.TotalWeightWidth() /
+                interval_model.TotalWeightWidth());
+}
+
+TEST(ZonotopeTrainerTest, WorstCaseLossGrowsWithMissingness) {
+  RegressionDataset data = MakeLinearData(80, 23);
+  RegressionDataset test = MakeLinearData(30, 24);
+  ZorroOptions options;
+  options.epochs = 25;
+  Rng rng(29);
+  double previous = 0.0;
+  for (double fraction : {0.05, 0.2, 0.4}) {
+    size_t count = static_cast<size_t>(fraction * 80);
+    std::vector<size_t> missing = rng.SampleWithoutReplacement(80, count);
+    SymbolicRegressionDataset symbolic =
+        EncodeSymbolicMissing(data, missing, 0, -2.0, 2.0).value();
+    ZonotopeModel model = TrainZorroZonotope(symbolic, options).value();
+    double loss = MaxWorstCaseLoss(model, test);
+    EXPECT_GT(loss, previous);
+    previous = loss;
+  }
+}
+
+TEST(ZonotopeTrainerTest, TrainingRowPredictionUsesSharedSymbols) {
+  // Predicting a training row with its own symbols must be at least as tight
+  // as predicting the same row as an unrelated concrete point is for the
+  // midpoint (correlation awareness).
+  RegressionDataset data = MakeLinearData(40, 31);
+  Rng rng(37);
+  std::vector<size_t> missing = rng.SampleWithoutReplacement(40, 8);
+  SymbolicRegressionDataset symbolic =
+      EncodeSymbolicMissing(data, missing, 0, -2.0, 2.0).value();
+  ZorroOptions options;
+  options.epochs = 15;
+  ZonotopeModel model = TrainZorroZonotope(symbolic, options).value();
+  size_t uncertain_row = missing.front();
+  Interval shared = model.PredictTrainingRow(symbolic, uncertain_row);
+  // Sanity: both are finite and the shared-symbol prediction is an interval
+  // containing the midpoint-world prediction.
+  std::vector<double> midpoint_row(symbolic.num_features());
+  for (size_t j = 0; j < midpoint_row.size(); ++j) {
+    midpoint_row[j] = symbolic.features[uncertain_row][j].mid();
+  }
+  Interval concrete_mid = model.Predict(midpoint_row);
+  EXPECT_TRUE(shared.Intersects(concrete_mid));
+}
+
+TEST(ZonotopeTrainerTest, RejectsEmptyData) {
+  SymbolicRegressionDataset empty;
+  EXPECT_FALSE(TrainZorroZonotope(empty).ok());
+}
+
+}  // namespace
+}  // namespace nde

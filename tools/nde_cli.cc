@@ -1,0 +1,228 @@
+// nde_cli — command-line data debugging for CSV files.
+//
+// Subcommands:
+//
+//   nde_cli screen <table.csv> --label <col> [--max-null 0.2]
+//       Runs the source-data screens (null fractions, class balance,
+//       neighborhood label-error screen) on one CSV. Exit code 1 when any
+//       error-severity issue fires, 0 otherwise.
+//
+//   nde_cli importance <train.csv> <valid.csv> --label <col>
+//           [--method knn_shapley|influence|aum|self_confidence|loo]
+//           [--top 25]
+//       Encodes both tables with an automatic column transformer, ranks the
+//       training rows by the chosen importance method (most suspect first)
+//       and prints the top rows with their scores.
+//
+//   nde_cli impute <table.csv> --column <col>
+//           [--strategy mean|median|most_frequent] [--out <out.csv>]
+//       Fills the column's missing values and writes the repaired CSV.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nde/nde.h"
+
+namespace nde {
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      std::string key = arg.substr(2);
+      std::string value = "true";
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+      args.flags[key] = value;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::string FlagOr(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  auto it = args.flags.find(key);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+/// Loads a CSV and extracts (features via auto transformer, labels).
+Result<MlDataset> LoadDataset(const std::string& path,
+                              const std::string& label,
+                              ColumnTransformer* transformer,
+                              bool fit_transformer) {
+  NDE_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path));
+  NDE_ASSIGN_OR_RETURN(size_t label_col, table.schema().FieldIndex(label));
+  if (table.schema().field(label_col).type != DataType::kInt64) {
+    return Status::InvalidArgument("label column must be integer-typed");
+  }
+  MlDataset data;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.At(r, label_col);
+    if (v.is_null() || v.as_int64() < 0) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has a null/negative label", r));
+    }
+    data.labels.push_back(static_cast<int>(v.as_int64()));
+  }
+  if (fit_transformer) {
+    NDE_ASSIGN_OR_RETURN(*transformer, MakeAutoTransformer(table, {label}));
+  }
+  NDE_ASSIGN_OR_RETURN(data.features, transformer->Transform(table));
+  return data;
+}
+
+int RunScreen(const Args& args) {
+  if (args.positional.size() != 1) {
+    return Fail("usage: nde_cli screen <table.csv> --label <col>");
+  }
+  Result<Table> table = ReadCsvFile(args.positional[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  double max_null = std::stod(FlagOr(args, "max-null", "0.2"));
+
+  std::vector<PipelineIssue> issues = CheckNullFractions(*table, max_null);
+  std::string label = FlagOr(args, "label", "");
+  if (!label.empty()) {
+    ColumnTransformer transformer;
+    Result<MlDataset> data =
+        LoadDataset(args.positional[0], label, &transformer, true);
+    if (!data.ok()) return Fail(data.status().ToString());
+    auto balance = CheckClassBalance(data->labels, 0.1);
+    issues.insert(issues.end(), balance.begin(), balance.end());
+    auto labels = CheckLabelErrors(*data, 5, 0.2);
+    issues.insert(issues.end(), labels.begin(), labels.end());
+  }
+
+  if (issues.empty()) {
+    std::printf("all screens pass (%zu rows, %zu columns)\n",
+                table->num_rows(), table->num_columns());
+    return 0;
+  }
+  bool has_error = false;
+  for (const PipelineIssue& issue : issues) {
+    std::printf("%s\n", issue.ToString().c_str());
+    if (issue.severity == IssueSeverity::kError) has_error = true;
+  }
+  return has_error ? 1 : 0;
+}
+
+int RunImportance(const Args& args) {
+  if (args.positional.size() != 2) {
+    return Fail(
+        "usage: nde_cli importance <train.csv> <valid.csv> --label <col>");
+  }
+  std::string label = FlagOr(args, "label", "");
+  if (label.empty()) return Fail("--label is required");
+  std::string method = FlagOr(args, "method", "knn_shapley");
+  size_t top = static_cast<size_t>(std::stoul(FlagOr(args, "top", "25")));
+
+  ColumnTransformer transformer;
+  Result<MlDataset> train =
+      LoadDataset(args.positional[0], label, &transformer, true);
+  if (!train.ok()) return Fail("train: " + train.status().ToString());
+  Result<MlDataset> valid =
+      LoadDataset(args.positional[1], label, &transformer, false);
+  if (!valid.ok()) return Fail("valid: " + valid.status().ToString());
+
+  CleaningStrategy strategy;
+  if (method == "knn_shapley") {
+    strategy = KnnShapleyStrategy();
+  } else if (method == "influence") {
+    strategy = InfluenceStrategy();
+  } else if (method == "aum") {
+    strategy = AumStrategy();
+  } else if (method == "self_confidence") {
+    strategy = SelfConfidenceStrategy();
+  } else if (method == "loo") {
+    strategy = LooStrategy();
+  } else {
+    return Fail("unknown method '" + method + "'");
+  }
+  Result<std::vector<size_t>> ranking = strategy.rank(*train, *valid, 42);
+  if (!ranking.ok()) return Fail(ranking.status().ToString());
+
+  std::printf("top %zu cleaning candidates by %s (most suspect first):\n", top,
+              strategy.name.c_str());
+  for (size_t i = 0; i < std::min(top, ranking->size()); ++i) {
+    std::printf("%zu\n", (*ranking)[i]);
+  }
+  return 0;
+}
+
+int RunImpute(const Args& args) {
+  if (args.positional.size() != 1) {
+    return Fail("usage: nde_cli impute <table.csv> --column <col>");
+  }
+  std::string column = FlagOr(args, "column", "");
+  if (column.empty()) return Fail("--column is required");
+  std::string strategy = FlagOr(args, "strategy", "mean");
+  std::string out_path = FlagOr(args, "out", args.positional[0] + ".imputed");
+
+  Result<Table> table = ReadCsvFile(args.positional[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+
+  std::unique_ptr<Imputer> imputer;
+  if (strategy == "mean") {
+    imputer = std::make_unique<MeanImputer>();
+  } else if (strategy == "median") {
+    imputer = std::make_unique<MedianImputer>();
+  } else if (strategy == "most_frequent") {
+    imputer = std::make_unique<MostFrequentImputer>();
+  } else {
+    return Fail("unknown strategy '" + strategy + "'");
+  }
+  Result<std::vector<size_t>> repaired =
+      ImputeColumn(&table.value(), column, imputer.get());
+  if (!repaired.ok()) return Fail(repaired.status().ToString());
+  Status written = WriteCsvFile(*table, out_path);
+  if (!written.ok()) return Fail(written.ToString());
+  std::printf("repaired %zu cells in '%s' (%s); wrote %s\n", repaired->size(),
+              column.c_str(), imputer->name().c_str(), out_path.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nde_cli <screen|importance|impute> ...\n"
+               "  screen <table.csv> [--label <col>] [--max-null 0.2]\n"
+               "  importance <train.csv> <valid.csv> --label <col>\n"
+               "             [--method knn_shapley|influence|aum|"
+               "self_confidence|loo] [--top 25]\n"
+               "  impute <table.csv> --column <col>\n"
+               "         [--strategy mean|median|most_frequent] "
+               "[--out <out.csv>]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args = ParseArgs(argc, argv);
+  if (command == "screen") return RunScreen(args);
+  if (command == "importance") return RunImportance(args);
+  if (command == "impute") return RunImpute(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace nde
+
+int main(int argc, char** argv) { return nde::Main(argc, argv); }
