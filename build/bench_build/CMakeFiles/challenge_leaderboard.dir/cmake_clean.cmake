@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/challenge_leaderboard"
+  "../bench/challenge_leaderboard.pdb"
+  "CMakeFiles/challenge_leaderboard.dir/challenge_leaderboard.cc.o"
+  "CMakeFiles/challenge_leaderboard.dir/challenge_leaderboard.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/challenge_leaderboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

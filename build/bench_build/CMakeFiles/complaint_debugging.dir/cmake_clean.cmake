@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/complaint_debugging"
+  "../bench/complaint_debugging.pdb"
+  "CMakeFiles/complaint_debugging.dir/complaint_debugging.cc.o"
+  "CMakeFiles/complaint_debugging.dir/complaint_debugging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complaint_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

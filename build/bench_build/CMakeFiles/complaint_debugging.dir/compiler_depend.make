@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for complaint_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_cleaning_recovery"
+  "../bench/fig2_cleaning_recovery.pdb"
+  "CMakeFiles/fig2_cleaning_recovery.dir/fig2_cleaning_recovery.cc.o"
+  "CMakeFiles/fig2_cleaning_recovery.dir/fig2_cleaning_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cleaning_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_pipeline_debugging"
+  "../bench/fig3_pipeline_debugging.pdb"
+  "CMakeFiles/fig3_pipeline_debugging.dir/fig3_pipeline_debugging.cc.o"
+  "CMakeFiles/fig3_pipeline_debugging.dir/fig3_pipeline_debugging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pipeline_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/method_comparison"
+  "../bench/method_comparison.pdb"
+  "CMakeFiles/method_comparison.dir/method_comparison.cc.o"
+  "CMakeFiles/method_comparison.dir/method_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pipeline_screening"
+  "../bench/pipeline_screening.pdb"
+  "CMakeFiles/pipeline_screening.dir/pipeline_screening.cc.o"
+  "CMakeFiles/pipeline_screening.dir/pipeline_screening.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_suite"
+  "../bench/robustness_suite.pdb"
+  "CMakeFiles/robustness_suite.dir/robustness_suite.cc.o"
+  "CMakeFiles/robustness_suite.dir/robustness_suite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/unlearning_latency"
+  "../bench/unlearning_latency.pdb"
+  "CMakeFiles/unlearning_latency.dir/unlearning_latency.cc.o"
+  "CMakeFiles/unlearning_latency.dir/unlearning_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlearning_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

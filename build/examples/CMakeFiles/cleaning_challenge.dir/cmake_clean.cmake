@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_challenge.dir/cleaning_challenge.cpp.o"
+  "CMakeFiles/cleaning_challenge.dir/cleaning_challenge.cpp.o.d"
+  "cleaning_challenge"
+  "cleaning_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

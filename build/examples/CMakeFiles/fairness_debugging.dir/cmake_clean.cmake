@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_debugging.dir/fairness_debugging.cpp.o"
+  "CMakeFiles/fairness_debugging.dir/fairness_debugging.cpp.o.d"
+  "fairness_debugging"
+  "fairness_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

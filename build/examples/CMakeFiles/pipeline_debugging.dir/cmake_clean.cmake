@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_debugging.dir/pipeline_debugging.cpp.o"
+  "CMakeFiles/pipeline_debugging.dir/pipeline_debugging.cpp.o.d"
+  "pipeline_debugging"
+  "pipeline_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_importance.dir/rag_importance.cpp.o"
+  "CMakeFiles/rag_importance.dir/rag_importance.cpp.o.d"
+  "rag_importance"
+  "rag_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

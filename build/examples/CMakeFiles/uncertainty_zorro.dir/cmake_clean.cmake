@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_zorro.dir/uncertainty_zorro.cpp.o"
+  "CMakeFiles/uncertainty_zorro.dir/uncertainty_zorro.cpp.o.d"
+  "uncertainty_zorro"
+  "uncertainty_zorro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_zorro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uncertainty_zorro.
+# This may be replaced when dependencies are built.

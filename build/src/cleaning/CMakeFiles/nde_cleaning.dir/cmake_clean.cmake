@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_cleaning.dir/challenge.cc.o"
+  "CMakeFiles/nde_cleaning.dir/challenge.cc.o.d"
+  "CMakeFiles/nde_cleaning.dir/cleaner.cc.o"
+  "CMakeFiles/nde_cleaning.dir/cleaner.cc.o.d"
+  "CMakeFiles/nde_cleaning.dir/imputation.cc.o"
+  "CMakeFiles/nde_cleaning.dir/imputation.cc.o.d"
+  "CMakeFiles/nde_cleaning.dir/strategies.cc.o"
+  "CMakeFiles/nde_cleaning.dir/strategies.cc.o.d"
+  "libnde_cleaning.a"
+  "libnde_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

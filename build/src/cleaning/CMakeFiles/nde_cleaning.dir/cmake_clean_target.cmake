@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnde_cleaning.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_common.dir/rng.cc.o"
+  "CMakeFiles/nde_common.dir/rng.cc.o.d"
+  "CMakeFiles/nde_common.dir/status.cc.o"
+  "CMakeFiles/nde_common.dir/status.cc.o.d"
+  "CMakeFiles/nde_common.dir/string_util.cc.o"
+  "CMakeFiles/nde_common.dir/string_util.cc.o.d"
+  "libnde_common.a"
+  "libnde_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

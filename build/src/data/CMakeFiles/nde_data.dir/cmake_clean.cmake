@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_data.dir/csv.cc.o"
+  "CMakeFiles/nde_data.dir/csv.cc.o.d"
+  "CMakeFiles/nde_data.dir/table.cc.o"
+  "CMakeFiles/nde_data.dir/table.cc.o.d"
+  "CMakeFiles/nde_data.dir/value.cc.o"
+  "CMakeFiles/nde_data.dir/value.cc.o.d"
+  "libnde_data.a"
+  "libnde_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

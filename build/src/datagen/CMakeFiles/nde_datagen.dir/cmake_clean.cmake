@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/nde_datagen.dir/synthetic.cc.o.d"
+  "libnde_datagen.a"
+  "libnde_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_datascope.dir/datascope.cc.o"
+  "CMakeFiles/nde_datascope.dir/datascope.cc.o.d"
+  "CMakeFiles/nde_datascope.dir/whatif.cc.o"
+  "CMakeFiles/nde_datascope.dir/whatif.cc.o.d"
+  "libnde_datascope.a"
+  "libnde_datascope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_datascope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

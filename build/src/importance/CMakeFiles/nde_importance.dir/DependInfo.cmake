@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/importance/fairness_debugging.cc" "src/importance/CMakeFiles/nde_importance.dir/fairness_debugging.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/fairness_debugging.cc.o.d"
+  "/root/repo/src/importance/game_values.cc" "src/importance/CMakeFiles/nde_importance.dir/game_values.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/game_values.cc.o.d"
+  "/root/repo/src/importance/grouped.cc" "src/importance/CMakeFiles/nde_importance.dir/grouped.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/grouped.cc.o.d"
+  "/root/repo/src/importance/influence.cc" "src/importance/CMakeFiles/nde_importance.dir/influence.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/influence.cc.o.d"
+  "/root/repo/src/importance/knn_shapley.cc" "src/importance/CMakeFiles/nde_importance.dir/knn_shapley.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/knn_shapley.cc.o.d"
+  "/root/repo/src/importance/label_scores.cc" "src/importance/CMakeFiles/nde_importance.dir/label_scores.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/label_scores.cc.o.d"
+  "/root/repo/src/importance/utility.cc" "src/importance/CMakeFiles/nde_importance.dir/utility.cc.o" "gcc" "src/importance/CMakeFiles/nde_importance.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nde_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nde_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

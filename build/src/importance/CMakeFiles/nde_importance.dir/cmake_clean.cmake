@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_importance.dir/fairness_debugging.cc.o"
+  "CMakeFiles/nde_importance.dir/fairness_debugging.cc.o.d"
+  "CMakeFiles/nde_importance.dir/game_values.cc.o"
+  "CMakeFiles/nde_importance.dir/game_values.cc.o.d"
+  "CMakeFiles/nde_importance.dir/grouped.cc.o"
+  "CMakeFiles/nde_importance.dir/grouped.cc.o.d"
+  "CMakeFiles/nde_importance.dir/influence.cc.o"
+  "CMakeFiles/nde_importance.dir/influence.cc.o.d"
+  "CMakeFiles/nde_importance.dir/knn_shapley.cc.o"
+  "CMakeFiles/nde_importance.dir/knn_shapley.cc.o.d"
+  "CMakeFiles/nde_importance.dir/label_scores.cc.o"
+  "CMakeFiles/nde_importance.dir/label_scores.cc.o.d"
+  "CMakeFiles/nde_importance.dir/utility.cc.o"
+  "CMakeFiles/nde_importance.dir/utility.cc.o.d"
+  "libnde_importance.a"
+  "libnde_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

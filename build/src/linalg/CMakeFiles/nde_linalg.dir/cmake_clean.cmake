@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_linalg.dir/matrix.cc.o"
+  "CMakeFiles/nde_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/nde_linalg.dir/solve.cc.o"
+  "CMakeFiles/nde_linalg.dir/solve.cc.o.d"
+  "libnde_linalg.a"
+  "libnde_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

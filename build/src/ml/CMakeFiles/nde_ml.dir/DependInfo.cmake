@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/nde_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/nde_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/nde_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/nde_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/nde_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/nde_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/nde_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/nde_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/nde_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/svm.cc.o.d"
+  "/root/repo/src/ml/unlearning.cc" "src/ml/CMakeFiles/nde_ml.dir/unlearning.cc.o" "gcc" "src/ml/CMakeFiles/nde_ml.dir/unlearning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nde_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_ml.dir/dataset.cc.o"
+  "CMakeFiles/nde_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/nde_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/nde_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/nde_ml.dir/knn.cc.o"
+  "CMakeFiles/nde_ml.dir/knn.cc.o.d"
+  "CMakeFiles/nde_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/nde_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/nde_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/nde_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/nde_ml.dir/metrics.cc.o"
+  "CMakeFiles/nde_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/nde_ml.dir/model.cc.o"
+  "CMakeFiles/nde_ml.dir/model.cc.o.d"
+  "CMakeFiles/nde_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/nde_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/nde_ml.dir/svm.cc.o"
+  "CMakeFiles/nde_ml.dir/svm.cc.o.d"
+  "CMakeFiles/nde_ml.dir/unlearning.cc.o"
+  "CMakeFiles/nde_ml.dir/unlearning.cc.o.d"
+  "libnde_ml.a"
+  "libnde_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/encoders.cc" "src/pipeline/CMakeFiles/nde_pipeline.dir/encoders.cc.o" "gcc" "src/pipeline/CMakeFiles/nde_pipeline.dir/encoders.cc.o.d"
+  "/root/repo/src/pipeline/inspection.cc" "src/pipeline/CMakeFiles/nde_pipeline.dir/inspection.cc.o" "gcc" "src/pipeline/CMakeFiles/nde_pipeline.dir/inspection.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "src/pipeline/CMakeFiles/nde_pipeline.dir/pipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/nde_pipeline.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/plan.cc" "src/pipeline/CMakeFiles/nde_pipeline.dir/plan.cc.o" "gcc" "src/pipeline/CMakeFiles/nde_pipeline.dir/plan.cc.o.d"
+  "/root/repo/src/pipeline/provenance.cc" "src/pipeline/CMakeFiles/nde_pipeline.dir/provenance.cc.o" "gcc" "src/pipeline/CMakeFiles/nde_pipeline.dir/provenance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nde_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nde_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_pipeline.dir/encoders.cc.o"
+  "CMakeFiles/nde_pipeline.dir/encoders.cc.o.d"
+  "CMakeFiles/nde_pipeline.dir/inspection.cc.o"
+  "CMakeFiles/nde_pipeline.dir/inspection.cc.o.d"
+  "CMakeFiles/nde_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/nde_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/nde_pipeline.dir/plan.cc.o"
+  "CMakeFiles/nde_pipeline.dir/plan.cc.o.d"
+  "CMakeFiles/nde_pipeline.dir/provenance.cc.o"
+  "CMakeFiles/nde_pipeline.dir/provenance.cc.o.d"
+  "libnde_pipeline.a"
+  "libnde_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/calibration.cc" "src/query/CMakeFiles/nde_query.dir/calibration.cc.o" "gcc" "src/query/CMakeFiles/nde_query.dir/calibration.cc.o.d"
+  "/root/repo/src/query/predictive_query.cc" "src/query/CMakeFiles/nde_query.dir/predictive_query.cc.o" "gcc" "src/query/CMakeFiles/nde_query.dir/predictive_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nde_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/importance/CMakeFiles/nde_importance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nde_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nde_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

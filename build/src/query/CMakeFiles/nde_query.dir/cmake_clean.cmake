@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_query.dir/calibration.cc.o"
+  "CMakeFiles/nde_query.dir/calibration.cc.o.d"
+  "CMakeFiles/nde_query.dir/predictive_query.cc.o"
+  "CMakeFiles/nde_query.dir/predictive_query.cc.o.d"
+  "libnde_query.a"
+  "libnde_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uncertain/affine.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/affine.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/affine.cc.o.d"
+  "/root/repo/src/uncertain/certain_knn.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/certain_knn.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/certain_knn.cc.o.d"
+  "/root/repo/src/uncertain/certain_model.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/certain_model.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/certain_model.cc.o.d"
+  "/root/repo/src/uncertain/fairness_range.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/fairness_range.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/fairness_range.cc.o.d"
+  "/root/repo/src/uncertain/interval.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/interval.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/interval.cc.o.d"
+  "/root/repo/src/uncertain/multiplicity.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/multiplicity.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/multiplicity.cc.o.d"
+  "/root/repo/src/uncertain/poisoning.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/poisoning.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/poisoning.cc.o.d"
+  "/root/repo/src/uncertain/zonotope_trainer.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/zonotope_trainer.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/zonotope_trainer.cc.o.d"
+  "/root/repo/src/uncertain/zorro.cc" "src/uncertain/CMakeFiles/nde_uncertain.dir/zorro.cc.o" "gcc" "src/uncertain/CMakeFiles/nde_uncertain.dir/zorro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nde_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nde_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_uncertain.dir/affine.cc.o"
+  "CMakeFiles/nde_uncertain.dir/affine.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/certain_knn.cc.o"
+  "CMakeFiles/nde_uncertain.dir/certain_knn.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/certain_model.cc.o"
+  "CMakeFiles/nde_uncertain.dir/certain_model.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/fairness_range.cc.o"
+  "CMakeFiles/nde_uncertain.dir/fairness_range.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/interval.cc.o"
+  "CMakeFiles/nde_uncertain.dir/interval.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/multiplicity.cc.o"
+  "CMakeFiles/nde_uncertain.dir/multiplicity.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/poisoning.cc.o"
+  "CMakeFiles/nde_uncertain.dir/poisoning.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/zonotope_trainer.cc.o"
+  "CMakeFiles/nde_uncertain.dir/zonotope_trainer.cc.o.d"
+  "CMakeFiles/nde_uncertain.dir/zorro.cc.o"
+  "CMakeFiles/nde_uncertain.dir/zorro.cc.o.d"
+  "libnde_uncertain.a"
+  "libnde_uncertain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_uncertain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nde_uncertain.
+# This may be replaced when dependencies are built.

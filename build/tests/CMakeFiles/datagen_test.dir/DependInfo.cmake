@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/datagen_test.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/datagen_test.dir/datagen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/nde_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cleaning/CMakeFiles/nde_cleaning.dir/DependInfo.cmake"
+  "/root/repo/build/src/datascope/CMakeFiles/nde_datascope.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncertain/CMakeFiles/nde_uncertain.dir/DependInfo.cmake"
+  "/root/repo/build/src/importance/CMakeFiles/nde_importance.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/nde_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/nde_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nde_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nde_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datascope_test.dir/datascope_test.cc.o"
+  "CMakeFiles/datascope_test.dir/datascope_test.cc.o.d"
+  "datascope_test"
+  "datascope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datascope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unlearning_test.dir/unlearning_test.cc.o"
+  "CMakeFiles/unlearning_test.dir/unlearning_test.cc.o.d"
+  "unlearning_test"
+  "unlearning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlearning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonotope_test.dir/zonotope_test.cc.o"
+  "CMakeFiles/zonotope_test.dir/zonotope_test.cc.o.d"
+  "zonotope_test"
+  "zonotope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonotope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nde_cli.dir/nde_cli.cc.o"
+  "CMakeFiles/nde_cli.dir/nde_cli.cc.o.d"
+  "nde_cli"
+  "nde_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nde_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
