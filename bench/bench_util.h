@@ -3,7 +3,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace nde {
 namespace bench {
@@ -16,15 +19,64 @@ inline void Banner(const std::string& title) {
 /// Wall-clock stopwatch for coarse harness timings.
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  Stopwatch() { Reset(); }
+
+  /// Milliseconds since construction or the last Reset().
   double ElapsedMs() const {
     auto now = std::chrono::steady_clock::now();
     return std::chrono::duration<double, std::milli>(now - start_).count();
   }
 
+  /// Milliseconds since the last LapMs()/Reset() (or construction), and
+  /// starts a new lap. ElapsedMs() keeps measuring from the last Reset().
+  double LapMs() {
+    auto now = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(now - lap_).count();
+    lap_ = now;
+    return ms;
+  }
+
+  /// Restarts both the total and the current lap.
+  void Reset() {
+    start_ = std::chrono::steady_clock::now();
+    lap_ = start_;
+  }
+
  private:
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lap_;
 };
+
+/// Where ReportJson appends its records. Defaults to BENCH_results.json in
+/// the working directory; override with the NDE_BENCH_RESULTS environment
+/// variable (set it to an empty string to disable reporting entirely).
+inline std::string ResultsPath() {
+  const char* env = std::getenv("NDE_BENCH_RESULTS");
+  if (env != nullptr) return env;
+  return "BENCH_results.json";
+}
+
+/// Appends one machine-readable record to ResultsPath() as a JSON line:
+///
+///   {"name": "...", "ms": 1.25, "key": value, ...}
+///
+/// `extra` values are emitted verbatim, so pass numbers as their decimal
+/// text ("500") and strings pre-quoted ("\"tmc\""). One record per line
+/// (JSON-lines) so runs can be appended and parsed with any JSON reader.
+inline void ReportJson(
+    const std::string& name, double ms,
+    const std::vector<std::pair<std::string, std::string>>& extra = {}) {
+  std::string path = ResultsPath();
+  if (path.empty()) return;
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return;
+  std::fprintf(file, "{\"name\": \"%s\", \"ms\": %.6f", name.c_str(), ms);
+  for (const auto& [key, value] : extra) {
+    std::fprintf(file, ", \"%s\": %s", key.c_str(), value.c_str());
+  }
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+}
 
 }  // namespace bench
 }  // namespace nde

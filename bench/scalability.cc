@@ -10,9 +10,12 @@
 // in the reported times.
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "datagen/synthetic.h"
 #include "importance/game_values.h"
 #include "importance/knn_shapley.h"
@@ -135,7 +138,34 @@ void BM_BanzhafMsr(benchmark::State& state) {
 BENCHMARK(BM_BanzhafMsr)->Arg(50)->Arg(100)->Arg(200)->Unit(
     benchmark::kMillisecond);
 
+// Console output as usual, plus one JSON-lines record per benchmark run in
+// BENCH_results.json (see bench_util.h) so sweeps can be plotted or diffed
+// without scraping the console table.
+class JsonAppendingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double iterations = static_cast<double>(run.iterations);
+      if (iterations <= 0) continue;
+      double ms = run.real_accumulated_time / iterations * 1e3;
+      bench::ReportJson(
+          run.benchmark_name(), ms,
+          {{"iterations", std::to_string(run.iterations)},
+           {"bench", "\"scalability\""}});
+    }
+  }
+};
+
 }  // namespace
 }  // namespace nde
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  nde::JsonAppendingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -60,6 +60,12 @@ void LatencySweep() {
 
     std::printf("%8zu %10zu %22.2f %22.2f %9.1fx\n", n, removals, forget_ms,
                 retrain_ms, retrain_ms / std::max(forget_ms, 1e-6));
+    bench::ReportJson("unlearning.forget", forget_ms,
+                      {{"n", std::to_string(n)},
+                       {"removals", std::to_string(removals)}});
+    bench::ReportJson("unlearning.retrain", retrain_ms,
+                      {{"n", std::to_string(n)},
+                       {"removals", std::to_string(removals)}});
   }
   std::printf("expected shape: speedup grows with n (O(d) vs O(n d) work).\n");
 }
@@ -91,10 +97,16 @@ void DebugThenForget() {
       NDE_CHECK(s.ok());
       ++forgotten;
     }
+    double batch_ms = watch.LapMs();
     double accuracy =
         Accuracy(splits.test.labels, model.Predict(splits.test.features));
     std::printf("%16zu %14.4f %16.2f\n", forgotten, accuracy,
                 watch.ElapsedMs());
+    char accuracy_text[32];
+    std::snprintf(accuracy_text, sizeof(accuracy_text), "%.4f", accuracy);
+    bench::ReportJson("unlearning.debug_then_forget", batch_ms,
+                      {{"forgotten", std::to_string(forgotten)},
+                       {"accuracy", accuracy_text}});
   }
   std::printf(
       "expected shape: forgetting the flagged tuples recovers accuracy with\n"

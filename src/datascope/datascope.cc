@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "importance/knn_shapley.h"
 #include "ml/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 
@@ -41,6 +42,9 @@ Result<std::vector<double>> KnnShapleyOverPipeline(
   if (validation.size() == 0) {
     return Status::InvalidArgument("validation set is empty");
   }
+  NDE_TRACE_SPAN_VAR(span, "KnnShapleyOverPipeline", "datascope");
+  NDE_SPAN_ARG(span, "output_rows", static_cast<int64_t>(output.size()));
+  NDE_METRIC_COUNT("datascope.knn_shapley_runs", 1);
   MlDataset train = output.ToDataset();
   std::vector<double> output_values = KnnShapleyValues(train, validation, k);
 
@@ -79,6 +83,7 @@ PipelineSourceUtility::PipelineSourceUtility(const MlPipeline* pipeline,
 
 double PipelineSourceUtility::Evaluate(const std::vector<size_t>& subset) const {
   ++evaluations_;
+  NDE_METRIC_COUNT("datascope.pipeline_utility_evaluations", 1);
   // Remove the complement of the coalition from the target table.
   std::vector<bool> keep(num_units_, false);
   for (size_t i : subset) {
@@ -127,10 +132,14 @@ Result<RemovalImpact> EvaluateSourceRemoval(
   NDE_ASSIGN_OR_RETURN(impact.baseline_accuracy,
                        score(baseline_output.ToDataset()));
 
+  // The fast path reuses the already-computed output via provenance; the
+  // hit/miss counters expose how often what-ifs avoid a full re-execution.
   PipelineOutput reduced;
   if (fast_path) {
+    NDE_METRIC_COUNT("datascope.whatif_fastpath_hits", 1);
     reduced = MlPipeline::RemoveByProvenance(baseline_output, removed);
   } else {
+    NDE_METRIC_COUNT("datascope.whatif_full_reruns", 1);
     NDE_ASSIGN_OR_RETURN(reduced, pipeline.RunWithout(removed));
   }
   if (reduced.size() == 0) {

@@ -4,6 +4,7 @@
 
 #include "cleaning/imputation.h"
 #include "common/string_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 
@@ -21,6 +22,11 @@ Result<WhatIfOutcome> EvaluateVariant(const MlPipeline& pipeline,
                                       const MlDataset& validation,
                                       const std::vector<int>& validation_groups,
                                       std::string name) {
+  NDE_TRACE_SPAN_VAR(span,
+                     telemetry::Enabled() ? "whatif_variant: " + name
+                                          : std::string(),
+                     "datascope");
+  NDE_METRIC_COUNT("datascope.whatif_variants", 1);
   NDE_ASSIGN_OR_RETURN(PipelineOutput output, pipeline.Run());
   if (output.size() == 0) {
     return Status::FailedPrecondition(

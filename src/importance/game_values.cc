@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/string_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 
@@ -62,6 +63,7 @@ MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
                                     const TmcShapleyOptions& options) {
   size_t n = utility.num_units();
   NDE_CHECK_GT(n, 0u);
+  NDE_TRACE_SPAN_VAR(span, "TmcShapleyValues", "importance");
   Rng rng(options.seed);
   std::vector<double> sum(n, 0.0);
   std::vector<double> sum_sq(n, 0.0);
@@ -70,6 +72,10 @@ MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
   size_t evaluations = 2;
 
   for (size_t t = 0; t < options.num_permutations; ++t) {
+    // One complete-event per permutation: the trace shows where sampling
+    // time goes and how hard truncation is biting, iteration by iteration.
+    NDE_TRACE_SPAN_VAR(perm_span, "tmc_permutation", "importance");
+    size_t evaluations_before = evaluations;
     std::vector<size_t> perm = rng.Permutation(n);
     std::vector<size_t> prefix;
     prefix.reserve(n);
@@ -82,6 +88,8 @@ MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
         if (options.truncation_tolerance > 0.0 &&
             std::fabs(full_utility - previous) < options.truncation_tolerance) {
           truncated = true;  // Remaining marginals are treated as zero.
+          NDE_METRIC_COUNT("shapley.truncation_hits", 1);
+          NDE_SPAN_ARG(perm_span, "truncated_at", static_cast<int64_t>(pos));
         } else {
           prefix.push_back(unit);
           double current = utility.Evaluate(Sorted(prefix));
@@ -93,7 +101,14 @@ MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
       sum[unit] += marginal;
       sum_sq[unit] += marginal * marginal;
     }
+    NDE_SPAN_ARG(perm_span, "permutation", static_cast<int64_t>(t));
+    NDE_SPAN_ARG(perm_span, "evaluations",
+                 static_cast<int64_t>(evaluations - evaluations_before));
   }
+  NDE_METRIC_COUNT("shapley.permutations", options.num_permutations);
+  NDE_METRIC_COUNT("shapley.utility_evaluations", evaluations);
+  NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
+  NDE_SPAN_ARG(span, "evaluations", static_cast<int64_t>(evaluations));
 
   MonteCarloEstimate estimate;
   estimate.values.resize(n);
@@ -108,6 +123,12 @@ MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
     }
   }
   estimate.utility_evaluations = evaluations;
+  NDE_METRIC_GAUGE_SET(
+      "shapley.max_std_error",
+      estimate.std_errors.empty()
+          ? 0.0
+          : *std::max_element(estimate.std_errors.begin(),
+                              estimate.std_errors.end()));
   return estimate;
 }
 
@@ -145,33 +166,44 @@ MonteCarloEstimate BanzhafValues(const UtilityFunction& utility,
                                  const BanzhafOptions& options) {
   size_t n = utility.num_units();
   NDE_CHECK_GT(n, 0u);
+  NDE_TRACE_SPAN_VAR(span, "BanzhafValues", "importance");
   Rng rng(options.seed);
   // MSR: every sample updates every unit's in-mean or out-mean.
   std::vector<double> in_sum(n, 0.0), in_sq(n, 0.0);
   std::vector<double> out_sum(n, 0.0), out_sq(n, 0.0);
   std::vector<size_t> in_count(n, 0), out_count(n, 0);
 
+  // Samples are traced in batches so a large num_samples does not flood the
+  // bounded trace buffer with per-sample events.
+  constexpr size_t kTraceBatch = 64;
   std::vector<size_t> subset;
   std::vector<bool> member(n);
-  for (size_t t = 0; t < options.num_samples; ++t) {
-    subset.clear();
-    for (size_t i = 0; i < n; ++i) {
-      member[i] = rng.NextBernoulli(0.5);
-      if (member[i]) subset.push_back(i);
-    }
-    double value = utility.Evaluate(subset);
-    for (size_t i = 0; i < n; ++i) {
-      if (member[i]) {
-        in_sum[i] += value;
-        in_sq[i] += value * value;
-        ++in_count[i];
-      } else {
-        out_sum[i] += value;
-        out_sq[i] += value * value;
-        ++out_count[i];
+  for (size_t batch = 0; batch < options.num_samples; batch += kTraceBatch) {
+    size_t batch_end = std::min(batch + kTraceBatch, options.num_samples);
+    NDE_TRACE_SPAN_VAR(batch_span, "banzhaf_sample_batch", "importance");
+    NDE_SPAN_ARG(batch_span, "samples",
+                 static_cast<int64_t>(batch_end - batch));
+    for (size_t t = batch; t < batch_end; ++t) {
+      subset.clear();
+      for (size_t i = 0; i < n; ++i) {
+        member[i] = rng.NextBernoulli(0.5);
+        if (member[i]) subset.push_back(i);
+      }
+      double value = utility.Evaluate(subset);
+      for (size_t i = 0; i < n; ++i) {
+        if (member[i]) {
+          in_sum[i] += value;
+          in_sq[i] += value * value;
+          ++in_count[i];
+        } else {
+          out_sum[i] += value;
+          out_sq[i] += value * value;
+          ++out_count[i];
+        }
       }
     }
   }
+  NDE_METRIC_COUNT("banzhaf.samples", options.num_samples);
 
   MonteCarloEstimate estimate;
   estimate.values.resize(n, 0.0);
@@ -248,6 +280,7 @@ MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
                                      const BetaShapleyOptions& options) {
   size_t n = utility.num_units();
   NDE_CHECK_GT(n, 0u);
+  NDE_TRACE_SPAN_VAR(span, "BetaShapleyValues", "importance");
   Rng rng(options.seed);
   std::vector<double> cardinality_weights =
       BetaShapleyCardinalityWeights(n, options.alpha, options.beta);
@@ -259,6 +292,8 @@ MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
 
   std::vector<size_t> others(n - 1);
   for (size_t i = 0; i < n; ++i) {
+    NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
+    NDE_SPAN_ARG(unit_span, "unit", static_cast<int64_t>(i));
     others.clear();
     for (size_t j = 0; j < n; ++j) {
       if (j != i) others.push_back(j);
@@ -287,8 +322,10 @@ MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
       double variance = (sum_sq / m - mean * mean) * m / (m - 1.0);
       estimate.std_errors[i] = std::sqrt(std::max(variance, 0.0) / m);
     }
+    NDE_SPAN_ARG(unit_span, "std_error", estimate.std_errors[i]);
   }
   estimate.utility_evaluations = evaluations;
+  NDE_METRIC_COUNT("beta_shapley.utility_evaluations", evaluations);
   return estimate;
 }
 

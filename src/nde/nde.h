@@ -22,7 +22,9 @@
 /// Plus the substrates everything rests on: data/ (tables, CSV), linalg/,
 /// ml/ (models and metrics), datagen/ (the hiring scenario and error
 /// injectors), and cleaning/ (prioritized cleaning and the debugging
-/// challenge).
+/// challenge) — and the cross-cutting observability layer, telemetry/
+/// (metrics registry, scoped trace spans with Chrome trace_event export,
+/// per-operator pipeline profiling; see src/telemetry/README.md).
 
 #include "cleaning/challenge.h"
 #include "cleaning/cleaner.h"
@@ -65,6 +67,9 @@
 #include "pipeline/provenance.h"
 #include "query/calibration.h"
 #include "query/predictive_query.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "uncertain/affine.h"
 #include "uncertain/certain_knn.h"
 #include "uncertain/certain_model.h"

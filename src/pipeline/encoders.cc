@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 
@@ -184,11 +185,21 @@ Status ColumnTransformer::Fit(const Table& table) {
   if (entries_.empty()) {
     return Status::FailedPrecondition("ColumnTransformer has no encoders");
   }
+  NDE_TRACE_SPAN_VAR(span, "ColumnTransformer::Fit", "encoder");
+  NDE_SPAN_ARG(span, "rows", static_cast<int64_t>(table.num_rows()));
   for (Entry& e : entries_) {
     NDE_ASSIGN_OR_RETURN(const std::vector<Value>* column,
                          table.ColumnByName(e.column));
+    NDE_TRACE_SPAN_VAR(fit_span,
+                       telemetry::Enabled()
+                           ? StrFormat("fit %s(%s)", e.encoder->name().c_str(),
+                                       e.column.c_str())
+                           : std::string(),
+                       "encoder");
     NDE_RETURN_IF_ERROR(e.encoder->Fit(*column));
+    NDE_METRIC_RECORD("encoder.fit_ms", fit_span.ElapsedMs());
   }
+  NDE_METRIC_COUNT("encoder.fits", 1);
   fitted_ = true;
   return Status::OK();
 }
@@ -197,12 +208,21 @@ Result<Matrix> ColumnTransformer::Transform(const Table& table) const {
   if (!fitted_) {
     return Status::FailedPrecondition("ColumnTransformer is not fitted");
   }
+  NDE_TRACE_SPAN_VAR(span, "ColumnTransformer::Transform", "encoder");
+  NDE_SPAN_ARG(span, "rows", static_cast<int64_t>(table.num_rows()));
   size_t width = num_features();
   Matrix out(table.num_rows(), width);
   size_t offset = 0;
   for (const Entry& e : entries_) {
     NDE_ASSIGN_OR_RETURN(const std::vector<Value>* column,
                          table.ColumnByName(e.column));
+    NDE_TRACE_SPAN_VAR(col_span,
+                       telemetry::Enabled()
+                           ? StrFormat("transform %s(%s)",
+                                       e.encoder->name().c_str(),
+                                       e.column.c_str())
+                           : std::string(),
+                       "encoder");
     size_t block = e.encoder->num_features();
     for (size_t r = 0; r < table.num_rows(); ++r) {
       double* cells = out.RowPtr(r) + offset;
@@ -212,7 +232,10 @@ Result<Matrix> ColumnTransformer::Transform(const Table& table) const {
       }
     }
     offset += block;
+    NDE_METRIC_RECORD("encoder.transform_ms", col_span.ElapsedMs());
   }
+  NDE_METRIC_COUNT("encoder.transforms", 1);
+  NDE_METRIC_COUNT("encoder.transform_rows", table.num_rows());
   return out;
 }
 

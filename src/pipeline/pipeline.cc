@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 
@@ -17,7 +18,7 @@ class ProvenanceFilterNode : public PlanNode {
                        std::unordered_set<uint64_t> removed_keys)
       : input_(std::move(input)), removed_keys_(std::move(removed_keys)) {}
 
-  Result<AnnotatedTable> Execute() const override {
+  Result<AnnotatedTable> ExecuteImpl() const override {
     NDE_ASSIGN_OR_RETURN(AnnotatedTable in, input_->Execute());
     std::vector<size_t> kept;
     kept.reserve(in.table.num_rows());
@@ -85,6 +86,7 @@ Result<PipelineOutput> MlPipeline::Execute(const PlanNodePtr& plan) const {
   if (plan == nullptr) {
     return Status::InvalidArgument("plan builder returned null");
   }
+  NDE_TRACE_SPAN_VAR(span, "MlPipeline::Execute", "pipeline");
   NDE_ASSIGN_OR_RETURN(AnnotatedTable annotated, plan->Execute());
   NDE_RETURN_IF_ERROR(annotated.Validate());
 
@@ -115,6 +117,9 @@ Result<PipelineOutput> MlPipeline::Execute(const PlanNodePtr& plan) const {
   out.encoders = std::move(encoders);
   out.processed = std::move(annotated.table);
   out.provenance = std::move(annotated.provenance);
+  NDE_SPAN_ARG(span, "output_rows", static_cast<int64_t>(out.size()));
+  NDE_METRIC_COUNT("pipeline.executions", 1);
+  NDE_METRIC_COUNT("pipeline.output_rows", out.size());
   return out;
 }
 
@@ -137,6 +142,8 @@ Result<PipelineOutput> MlPipeline::RunWithout(
 
 PipelineOutput MlPipeline::RemoveByProvenance(
     const PipelineOutput& output, const std::vector<SourceRef>& removed) {
+  NDE_TRACE_SPAN_VAR(span, "MlPipeline::RemoveByProvenance", "pipeline");
+  NDE_METRIC_COUNT("pipeline.provenance_shortcut_removals", 1);
   std::unordered_set<uint64_t> removed_keys = MakeKeySet(removed);
   std::vector<size_t> kept;
   kept.reserve(output.size());

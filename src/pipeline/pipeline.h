@@ -54,6 +54,11 @@ class MlPipeline {
   /// Executes the full pipeline: plan, then fit+transform the encoders.
   Result<PipelineOutput> Run() const;
 
+  /// Executes the pipeline over an externally built plan (normally one from
+  /// BuildPlan()). Useful when the caller needs the plan object itself, e.g.
+  /// to render a PlanProfiler's per-operator timings after the run.
+  Result<PipelineOutput> Execute(const PlanNodePtr& plan) const;
+
   /// Ground-truth removal semantics: re-executes the pipeline with the given
   /// source rows deleted (encoders are *refit* on the reduced data).
   /// Provenance row ids still refer to the original tables.
@@ -80,8 +85,6 @@ class MlPipeline {
   const std::string& label_column() const { return label_column_; }
 
  private:
-  Result<PipelineOutput> Execute(const PlanNodePtr& plan) const;
-
   std::vector<NamedTable> sources_;
   PlanBuilder builder_;
   ColumnTransformer transformer_;

@@ -1,13 +1,105 @@
 #include "pipeline/plan.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
+
+namespace {
+
+thread_local PlanProfiler* t_active_profiler = nullptr;
+
+}  // namespace
+
+Result<AnnotatedTable> PlanNode::Execute() const {
+  PlanProfiler* profiler = t_active_profiler;
+  // With NDE_TELEMETRY_ENABLED == 0 `traced` is constant false and the
+  // whole instrumented branch folds away.
+  const bool traced = NDE_TELEMETRY_ENABLED && telemetry::Enabled();
+  if (profiler == nullptr && !traced) return ExecuteImpl();
+
+  std::optional<telemetry::ScopedSpan> span;
+  if (traced) span.emplace(label(), "plan");
+  auto start = std::chrono::steady_clock::now();
+  Result<AnnotatedTable> result = ExecuteImpl();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  size_t rows_out = result.ok() ? result->table.num_rows() : 0;
+  if (profiler != nullptr) profiler->Record(this, rows_out, wall_ms);
+  if (traced) {
+    span->AddArg("rows_out", static_cast<int64_t>(rows_out));
+    NDE_METRIC_RECORD("pipeline.operator_ms", wall_ms);
+    NDE_METRIC_COUNT("pipeline.operator_executions", 1);
+    NDE_METRIC_COUNT("pipeline.operator_rows_out", rows_out);
+  }
+  return result;
+}
+
+PlanProfiler::PlanProfiler() : previous_(t_active_profiler) {
+  t_active_profiler = this;
+}
+
+PlanProfiler::~PlanProfiler() { t_active_profiler = previous_; }
+
+PlanProfiler* PlanProfiler::Active() { return t_active_profiler; }
+
+void PlanProfiler::Record(const PlanNode* node, size_t rows_out,
+                          double wall_ms) {
+  OperatorStats& stats = stats_[node];
+  ++stats.invocations;
+  stats.rows_out += rows_out;
+  stats.wall_ms += wall_ms;
+}
+
+const OperatorStats* PlanProfiler::StatsFor(const PlanNode& node) const {
+  auto it = stats_.find(&node);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void AppendAnnotatedPlanText(const PlanProfiler& profiler, const PlanNode& node,
+                             size_t depth, std::ostringstream* os) {
+  for (size_t i = 0; i < depth; ++i) *os << "  ";
+  *os << node.label();
+  if (const OperatorStats* stats = profiler.StatsFor(node)) {
+    size_t rows_in = 0;
+    double children_ms = 0.0;
+    for (const PlanNode* child : node.children()) {
+      if (const OperatorStats* child_stats = profiler.StatsFor(*child)) {
+        rows_in += child_stats->rows_out;
+        children_ms += child_stats->wall_ms;
+      }
+    }
+    *os << StrFormat("  [%zu -> %zu rows, %.3f ms total, %.3f ms self",
+                     rows_in, stats->rows_out, stats->wall_ms,
+                     std::max(stats->wall_ms - children_ms, 0.0));
+    if (stats->invocations > 1) {
+      *os << StrFormat(", %zu runs", stats->invocations);
+    }
+    *os << "]";
+  }
+  *os << "\n";
+  for (const PlanNode* child : node.children()) {
+    AppendAnnotatedPlanText(profiler, *child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string PlanProfiler::AnnotatedPlan(const PlanNode& root) const {
+  std::ostringstream os;
+  AppendAnnotatedPlanText(*this, root, 0, &os);
+  return os.str();
+}
 
 Status AnnotatedTable::Validate() const {
   NDE_RETURN_IF_ERROR(table.Validate());
@@ -37,7 +129,7 @@ class SourceNode : public PlanNode {
   SourceNode(int32_t table_id, std::string name, Table table)
       : table_id_(table_id), name_(std::move(name)), table_(std::move(table)) {}
 
-  Result<AnnotatedTable> Execute() const override {
+  Result<AnnotatedTable> ExecuteImpl() const override {
     AnnotatedTable out;
     out.table = table_;
     out.provenance.reserve(table_.num_rows());
@@ -68,7 +160,7 @@ class FilterNode : public PlanNode {
         description_(std::move(description)),
         predicate_(std::move(predicate)) {}
 
-  Result<AnnotatedTable> Execute() const override {
+  Result<AnnotatedTable> ExecuteImpl() const override {
     NDE_ASSIGN_OR_RETURN(AnnotatedTable in, input_->Execute());
     std::vector<size_t> kept;
     AnnotatedTable out;
@@ -101,7 +193,7 @@ class ProjectNode : public PlanNode {
         columns_(std::move(columns)),
         computed_(std::move(computed)) {}
 
-  Result<AnnotatedTable> Execute() const override {
+  Result<AnnotatedTable> ExecuteImpl() const override {
     NDE_ASSIGN_OR_RETURN(AnnotatedTable in, input_->Execute());
     AnnotatedTable out;
     NDE_ASSIGN_OR_RETURN(out.table, in.table.SelectColumns(columns_));
@@ -177,7 +269,7 @@ class HashJoinNode : public PlanNode {
         left_key_(std::move(left_key)),
         right_key_(std::move(right_key)) {}
 
-  Result<AnnotatedTable> Execute() const override {
+  Result<AnnotatedTable> ExecuteImpl() const override {
     NDE_ASSIGN_OR_RETURN(AnnotatedTable l, left_->Execute());
     NDE_ASSIGN_OR_RETURN(AnnotatedTable r, right_->Execute());
     NDE_ASSIGN_OR_RETURN(size_t lk, l.table.schema().FieldIndex(left_key_));
@@ -240,7 +332,7 @@ class FuzzyJoinNode : public PlanNode {
         right_key_(std::move(right_key)),
         max_distance_(max_edit_distance) {}
 
-  Result<AnnotatedTable> Execute() const override {
+  Result<AnnotatedTable> ExecuteImpl() const override {
     NDE_ASSIGN_OR_RETURN(AnnotatedTable l, left_->Execute());
     NDE_ASSIGN_OR_RETURN(AnnotatedTable r, right_->Execute());
     NDE_ASSIGN_OR_RETURN(size_t lk, l.table.schema().FieldIndex(left_key_));

@@ -2,6 +2,7 @@
 #define NDE_PIPELINE_PLAN_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,17 +52,64 @@ class PlanNode {
  public:
   virtual ~PlanNode() = default;
 
-  /// Evaluates this subtree to an annotated table.
-  virtual Result<AnnotatedTable> Execute() const = 0;
+  /// Evaluates this subtree to an annotated table. Non-virtual: wraps the
+  /// operator's ExecuteImpl with per-operator instrumentation — a telemetry
+  /// span + operator metrics when telemetry is enabled, and rows/wall-time
+  /// stats when a PlanProfiler is active on this thread. With neither, it is
+  /// a plain virtual dispatch.
+  Result<AnnotatedTable> Execute() const;
 
   /// Operator label, e.g. "Filter(sector == healthcare)".
   virtual std::string label() const = 0;
 
   /// Child nodes (inputs), empty for sources.
   virtual std::vector<const PlanNode*> children() const = 0;
+
+ private:
+  /// The operator's actual evaluation; implementations execute their inputs
+  /// via the instrumented `child->Execute()`.
+  virtual Result<AnnotatedTable> ExecuteImpl() const = 0;
 };
 
 using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// Per-operator execution statistics collected by a PlanProfiler.
+struct OperatorStats {
+  size_t invocations = 0;
+  size_t rows_out = 0;   ///< cumulative over invocations
+  double wall_ms = 0.0;  ///< inclusive: children's execution time included
+};
+
+/// RAII collector of per-operator stats: while an instance is alive on the
+/// current thread, every PlanNode::Execute on that thread reports into it
+/// (profilers nest; the innermost wins). Keyed by node identity, so one
+/// profiler can cover repeated executions of the same plan.
+class PlanProfiler {
+ public:
+  PlanProfiler();
+  ~PlanProfiler();
+
+  PlanProfiler(const PlanProfiler&) = delete;
+  PlanProfiler& operator=(const PlanProfiler&) = delete;
+
+  /// The profiler currently active on this thread, or nullptr.
+  static PlanProfiler* Active();
+
+  void Record(const PlanNode* node, size_t rows_out, double wall_ms);
+
+  /// Stats for `node`, or nullptr when it never executed under this profiler.
+  const OperatorStats* StatsFor(const PlanNode& node) const;
+
+  /// Indented plan rendering annotated with per-operator timings:
+  ///   label  [rows_in -> rows_out, total ms, self ms]
+  /// where self-time subtracts the children's inclusive time and rows_in is
+  /// the sum of the children's rows_out.
+  std::string AnnotatedPlan(const PlanNode& root) const;
+
+ private:
+  PlanProfiler* previous_;
+  std::map<const PlanNode*, OperatorStats> stats_;
+};
 
 /// Leaf scanning a registered source table. Every row r is annotated with
 /// provenance {(table_id, r)}.

@@ -1,0 +1,190 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace nde {
+namespace telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1) {
+  NDE_CHECK(!upper_bounds_.empty()) << "histogram needs at least one bound";
+  NDE_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()))
+      << "histogram bounds must be increasing";
+}
+
+void Histogram::Record(double value) {
+  // First bucket whose upper bound contains `value`; the extra final slot
+  // catches everything above the largest bound.
+  size_t bucket = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(),
+                                   value) -
+                  upper_bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  NDE_CHECK_LT(i, counts_.size());
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate the rank's position inside this bucket's range. The
+      // underflow bucket's lower edge is 0 (all recorded values are expected
+      // to be non-negative durations/counts); the overflow bucket collapses
+      // to the largest finite bound.
+      if (i == counts_.size() - 1) return upper_bounds_.back();
+      double lo = i == 0 ? std::min(0.0, upper_bounds_.front())
+                         : upper_bounds_[i - 1];
+      double hi = upper_bounds_[i];
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return upper_bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>();
+    for (double bound = 0.001; bound < 2e5; bound *= 4.0) b->push_back(bound);
+    return b;
+  }();
+  return *buckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return *slot;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << StrFormat("%-44s %-10s %s\n", "metric", "kind", "value");
+  for (const auto& [name, counter] : counters_) {
+    os << StrFormat("%-44s %-10s %llu\n", name.c_str(), "counter",
+                    static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << StrFormat("%-44s %-10s %.6g\n", name.c_str(), "gauge",
+                    gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    os << StrFormat(
+        "%-44s %-10s count=%llu sum=%.3f p50=%.4g p95=%.4g p99=%.4g\n",
+        name.c_str(), "histogram",
+        static_cast<unsigned long long>(histogram->count()), histogram->sum(),
+        histogram->Quantile(0.5), histogram->Quantile(0.95),
+        histogram->Quantile(0.99));
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.'
+/// (and anything else) to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " counter\n"
+       << pname << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " gauge\n"
+       << pname << " " << StrFormat("%.6g", gauge->value()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+      cumulative += histogram->bucket_count(i);
+      std::string le =
+          i < histogram->upper_bounds().size()
+              ? StrFormat("%g", histogram->upper_bounds()[i])
+              : std::string("+Inf");
+      os << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << pname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
+       << pname << "_count " << histogram->count() << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace telemetry
+}  // namespace nde

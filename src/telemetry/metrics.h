@@ -1,0 +1,115 @@
+#ifndef NDE_TELEMETRY_METRICS_H_
+#define NDE_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nde {
+namespace telemetry {
+
+/// Monotonically increasing event counter. Increments are lock-free; reads
+/// may race with writers and return a slightly stale value, which is fine
+/// for reporting.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. "rows currently buffered").
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `upper_bounds` (strictly increasing) define the
+/// buckets (-inf, b0], (b0, b1], ..., (b_last, +inf); recording and reading
+/// are thread-safe and lock-free. Quantiles are estimated by linear
+/// interpolation inside the bucket containing the target rank, so their
+/// resolution is the bucket width (the standard Prometheus semantics).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  /// Count of values landing in bucket `i` (0 .. num_buckets()-1).
+  uint64_t bucket_count(size_t i) const;
+  size_t num_buckets() const { return counts_.size(); }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  /// Quantile estimate for q in [0, 1]; 0 when the histogram is empty.
+  /// Values in the overflow bucket are reported as the largest finite bound.
+  double Quantile(double q) const;
+
+  /// Zeroes all buckets; the bucket layout is kept.
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  ///< one per bucket, + overflow
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets in milliseconds: 1us .. ~100s, x4 per bucket.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// Process-wide named-metric registry. Getters create on first use and
+/// return references that stay valid for the registry's lifetime, so hot
+/// paths may cache them. All operations are thread-safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `upper_bounds` is honored on first registration only; later callers
+  /// with different bounds share the originally created histogram.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& upper_bounds =
+                              DefaultLatencyBucketsMs());
+
+  /// Human-readable fixed-width table of every registered metric.
+  std::string ToTable() const;
+
+  /// Prometheus text exposition format (counters, gauges, and histograms
+  /// with cumulative `_bucket{le=...}` series).
+  std::string ToPrometheusText() const;
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void Reset();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace nde
+
+#endif  // NDE_TELEMETRY_METRICS_H_

@@ -1,0 +1,180 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace nde {
+namespace telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint32_t NextThreadId() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t CurrentThreadId() {
+  thread_local uint32_t id = NextThreadId();
+  return id;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {}
+
+void TraceBuffer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_back();
+    ++dropped_;
+  }
+}
+
+std::string TraceBuffer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+       << JsonEscape(event.category) << "\",\"ph\":\"X\",\"ts\":"
+       << event.ts_us << ",\"dur\":" << event.dur_us
+       << ",\"pid\":1,\"tid\":" << event.tid << ",\"args\":{\"depth\":"
+       << event.depth;
+    for (const auto& [key, value] : event.args) {
+      os << ",\"" << JsonEscape(key) << "\":" << value;
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category)
+    : active_(Enabled()) {
+  if (!active_) return;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.tid = CurrentThreadId();
+  event_.depth = t_span_depth++;
+  event_.ts_us = NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  event_.dur_us = NowMicros() - event_.ts_us;
+  --t_span_depth;
+  TraceBuffer::Global().Record(std::move(event_));
+}
+
+void ScopedSpan::AddArg(const std::string& key, int64_t value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void ScopedSpan::AddArg(const std::string& key, double value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, StrFormat("%.6g", value));
+}
+
+void ScopedSpan::AddArg(const std::string& key, const std::string& value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+double ScopedSpan::ElapsedMs() const {
+  if (!active_) return 0.0;
+  return static_cast<double>(NowMicros() - event_.ts_us) / 1000.0;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace nde

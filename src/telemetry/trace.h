@@ -1,0 +1,108 @@
+#ifndef NDE_TELEMETRY_TRACE_H_
+#define NDE_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nde {
+namespace telemetry {
+
+/// Runtime on/off switch for span recording and metric macros. Defaults to
+/// off so instrumented hot paths cost a single relaxed atomic load until a
+/// caller (CLI flag, bench harness, test) opts in.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Small dense id for the calling thread (1, 2, ... in first-use order);
+/// stable for the thread's lifetime. Used as the Chrome-trace `tid`.
+uint32_t CurrentThreadId();
+
+/// Microseconds since the process's trace epoch (steady clock; first call
+/// pins the epoch).
+int64_t NowMicros();
+
+/// One completed span, matching a Chrome `trace_event` complete event
+/// (`"ph":"X"`).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// Extra args as (key, already-JSON-encoded value) pairs.
+  std::vector<std::pair<std::string, std::string>> args;
+  int64_t ts_us = 0;   ///< span start, relative to the trace epoch
+  int64_t dur_us = 0;  ///< span duration
+  uint32_t tid = 0;
+  uint32_t depth = 0;  ///< span nesting depth on its thread (0 = top level)
+};
+
+/// Bounded in-memory store of completed spans. When full, new events are
+/// dropped (and counted) so a long run keeps its earliest — structurally most
+/// interesting — spans and memory stays bounded.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global();
+
+  explicit TraceBuffer(size_t capacity = 1 << 16);
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+  size_t dropped() const;
+  size_t capacity() const;
+
+  /// Drops all buffered events and zeroes the dropped counter.
+  void Clear();
+  /// Also truncates the buffer if it is over the new capacity.
+  void SetCapacity(size_t capacity);
+
+  /// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` object form),
+  /// loadable in about:tracing / Perfetto.
+  std::string ToChromeJson() const;
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> events_;
+  size_t capacity_;
+  size_t dropped_ = 0;
+};
+
+/// RAII span: records one complete event into TraceBuffer::Global() at scope
+/// exit. Construction is a no-op (no clock reads, no allocations beyond the
+/// moved-in name) when telemetry is disabled at the time the span opens.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string category = "nde");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an arg shown in the trace viewer's detail pane.
+  void AddArg(const std::string& key, int64_t value);
+  void AddArg(const std::string& key, double value);
+  void AddArg(const std::string& key, const std::string& value);
+
+  /// Elapsed time since the span opened (0 when recording is off).
+  double ElapsedMs() const;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  TraceEvent event_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace telemetry
+}  // namespace nde
+
+#endif  // NDE_TELEMETRY_TRACE_H_

@@ -60,6 +60,41 @@ else
   fail "fixed.csv still has empty score cells"
 fi
 
+# --- pipeline-mode importance with telemetry ---------------------------------
+"$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    --metrics --trace out.json > pipeline_out.txt 2> pipeline_err.txt \
+    || fail "pipeline-mode importance failed"
+[ "$(grep -c '^[0-9]\+$' pipeline_out.txt)" -eq 5 ] \
+    || fail "pipeline-mode importance did not print 5 candidate ids"
+# The annotated plan printout lists per-operator rows and timings.
+grep -q "rows," pipeline_out.txt || fail "no annotated plan in pipeline output"
+grep -q "ms total" pipeline_out.txt || fail "no per-operator timings in plan"
+# --trace writes Chrome trace_event JSON.
+[ -s out.json ] || fail "trace file missing or empty"
+grep -q '"traceEvents"' out.json || fail "trace file lacks traceEvents"
+if grep -q "telemetry compiled out" pipeline_err.txt; then
+  : # NDE_TELEMETRY=OFF build: metrics table and trace are legitimately empty.
+else
+  # --metrics appends the metrics table.
+  grep -q "pipeline.operator_executions" pipeline_out.txt \
+      || fail "metrics table missing pipeline counters"
+  grep -q '"ph":"X"' out.json || fail "trace file lacks complete events"
+  grep -q 'tmc_permutation' out.json || fail "trace lacks Shapley iteration spans"
+fi
+
+# --- error handling ----------------------------------------------------------
+"$CLI" bogus train.csv > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "unknown command should exit 2"
+grep -q "bogus" err.txt || fail "unknown-command error does not name the token"
+
+"$CLI" screen train.csv --label label --bogus-flag 3 > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "unknown flag should exit 2"
+grep -q -- "--bogus-flag" err.txt || fail "unknown-flag error does not name the flag"
+
+"$CLI" importance train.csv --label label --trace > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "value-less --trace should exit 2"
+grep -q -- "--trace" err.txt || fail "missing-value error does not name the flag"
+
 # --- usage ----------------------------------------------------------------------
 "$CLI" > /dev/null 2>&1
 [ $? -eq 2 ] || fail "bare invocation should exit 2 with usage"

@@ -1,0 +1,407 @@
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/table.h"
+#include "pipeline/plan.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace nde {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::ScopedSpan;
+using telemetry::TraceBuffer;
+using telemetry::TraceEvent;
+
+// Restores the global runtime toggle and clears the global trace buffer so
+// tests don't leak state into each other.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(false);
+    TraceBuffer::Global().Clear();
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    TraceBuffer::Global().Clear();
+  }
+};
+
+// --- Histogram bucket and quantile math -------------------------------------
+
+TEST_F(TelemetryTest, HistogramBucketAssignment) {
+  // Buckets: (-inf, 1], (1, 10], (10, 100], (100, +inf).
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);
+  h.Record(1.0);   // Upper bounds are inclusive.
+  h.Record(5.0);
+  h.Record(10.0);
+  h.Record(50.0);
+  h.Record(1000.0);  // Overflow bucket.
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 10.0 + 50.0 + 1000.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileInterpolation) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 values uniformly in (10, 20]: the p50 rank lands mid-bucket.
+  for (int i = 0; i < 10; ++i) h.Record(15.0);
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  // All mass in one bucket: every quantile stays inside that bucket.
+  EXPECT_GE(h.Quantile(0.01), 10.0);
+  EXPECT_LE(h.Quantile(0.99), 20.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.25), h.Quantile(0.75));
+}
+
+TEST_F(TelemetryTest, HistogramQuantileEdgeCases) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // Empty histogram.
+  h.Record(100.0);                  // Overflow-only mass...
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);  // ...reports the last finite bound.
+}
+
+TEST_F(TelemetryTest, HistogramResetKeepsLayout) {
+  Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  ASSERT_EQ(h.num_buckets(), 3u);
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  }
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+TEST_F(TelemetryTest, ConcurrentCounterIncrements) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  counter.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      Counter& c =
+          MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+      for (int i = 0; i < kIncrementsPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST_F(TelemetryTest, ConcurrentHistogramRecords) {
+  Histogram h({1.0, 10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kRecordsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.Record(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < h.num_buckets(); ++i) bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST_F(TelemetryTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("stable");
+  Counter& b = registry.GetCounter("stable");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  registry.Reset();  // Zeroes in place; references stay valid.
+  EXPECT_EQ(b.value(), 0u);
+}
+
+TEST_F(TelemetryTest, RegistryExportsPrometheusText) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs.total").Increment(7);
+  registry.GetGauge("queue.depth").Set(3.5);
+  registry.GetHistogram("lat.ms", {1.0, 10.0}).Record(0.5);
+  std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  std::string table = registry.ToTable();
+  EXPECT_NE(table.find("reqs.total"), std::string::npos);
+}
+
+// --- Spans and the trace buffer ---------------------------------------------
+
+TEST_F(TelemetryTest, SpanNestingRecordsInnerFirstWithIncreasingDepth) {
+  telemetry::SetEnabled(true);
+  {
+    ScopedSpan outer("outer", "test");
+    {
+      ScopedSpan inner("inner", "test");
+    }
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at close, so the inner span lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // The outer span encloses the inner one in time.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST_F(TelemetryTest, DisabledSpansRecordNothing) {
+  telemetry::SetEnabled(false);
+  {
+    ScopedSpan span("invisible", "test");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.ElapsedMs(), 0.0);
+  }
+  EXPECT_EQ(TraceBuffer::Global().size(), 0u);
+}
+
+TEST_F(TelemetryTest, MacrosCompileAndRespectRuntimeToggle) {
+  telemetry::SetEnabled(true);
+  {
+    NDE_TRACE_SPAN("macro_span", "test");
+    NDE_TRACE_SPAN_VAR(named, "macro_named_span", "test");
+    NDE_SPAN_ARG(named, "k", static_cast<int64_t>(42));
+    NDE_METRIC_COUNT("test.macro_counter", 2);
+  }
+#if NDE_TELEMETRY_ENABLED
+  EXPECT_EQ(TraceBuffer::Global().size(), 2u);
+  EXPECT_GE(MetricsRegistry::Global().GetCounter("test.macro_counter").value(),
+            2u);
+#endif
+}
+
+TEST_F(TelemetryTest, BoundedBufferDropsNewestAndCounts) {
+  TraceBuffer buffer(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    buffer.Record(std::move(event));
+  }
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  EXPECT_EQ(events[0].name, "e0");  // Earliest events are kept.
+  EXPECT_EQ(events[2].name, "e2");
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+// --- Chrome trace JSON ------------------------------------------------------
+
+// Minimal recursive-descent JSON well-formedness checker — enough to catch
+// broken escaping or unbalanced structure without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWhitespace();
+    if (!Value()) return false;
+    SkipWhitespace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWhitespace();
+      if (!String()) return false;
+      SkipWhitespace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWhitespace();
+      if (!Value()) return false;
+      SkipWhitespace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWhitespace();
+      if (!Value()) return false;
+      SkipWhitespace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST_F(TelemetryTest, ChromeTraceJsonIsWellFormed) {
+  telemetry::SetEnabled(true);
+  {
+    ScopedSpan span("json \"quoted\"\nspan", "test");
+    span.AddArg("rows", static_cast<int64_t>(12));
+    span.AddArg("note", std::string("needs \\escaping\""));
+  }
+  std::string json = TraceBuffer::Global().ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":12"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(telemetry::JsonEscape("plain"), "plain");
+  EXPECT_EQ(telemetry::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(telemetry::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::JsonEscape("a\nb"), "a\\nb");
+  std::string escaped = telemetry::JsonEscape(std::string(1, '\x01'));
+  EXPECT_EQ(escaped, "\\u0001");
+}
+
+// --- PlanProfiler -----------------------------------------------------------
+
+Table SmallTable() {
+  return TableBuilder()
+      .AddInt64Column("id", {0, 1, 2, 3})
+      .AddInt64Column("x", {5, 15, 25, 35})
+      .Build();
+}
+
+TEST_F(TelemetryTest, PlanProfilerCollectsPerOperatorStats) {
+  PlanNodePtr plan = MakeProject(
+      MakeFilter(MakeSource(0, "rows", SmallTable()), "x > 10",
+                 [](const RowView& row) {
+                   return row.GetOrDie("x").as_int64() > 10;
+                 }),
+      {"id"});
+  PlanProfiler profiler;
+  AnnotatedTable out = plan->Execute().value();
+  ASSERT_EQ(out.table.num_rows(), 3u);
+
+  const OperatorStats* stats = profiler.StatsFor(*plan);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->invocations, 1u);
+  EXPECT_EQ(stats->rows_out, 3u);
+  EXPECT_GE(stats->wall_ms, 0.0);
+
+  std::string annotated = profiler.AnnotatedPlan(*plan);
+  EXPECT_NE(annotated.find("Project"), std::string::npos);
+  EXPECT_NE(annotated.find("Filter"), std::string::npos);
+  EXPECT_NE(annotated.find("4 -> 3 rows"), std::string::npos);
+  EXPECT_NE(annotated.find("ms total"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, PlanProfilerScopesNestAndRestore) {
+  PlanNodePtr plan = MakeSource(0, "rows", SmallTable());
+  PlanProfiler outer;
+  (void)plan->Execute().value();
+  {
+    PlanProfiler inner;
+    (void)plan->Execute().value();
+    (void)plan->Execute().value();
+    const OperatorStats* stats = inner.StatsFor(*plan);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->invocations, 2u);
+  }
+  // The outer profiler resumes after the inner scope closes.
+  (void)plan->Execute().value();
+  const OperatorStats* stats = outer.StatsFor(*plan);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->invocations, 2u);
+}
+
+}  // namespace
+}  // namespace nde

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Sanitizer check: configure a Debug build with ASan+UBSan, build everything,
+# and run the full test suite under the sanitizers. Usage:
+#
+#   tools/check.sh [build-dir]       # default build dir: build-asan
+#
+# A non-zero exit means a build failure, test failure, or sanitizer report.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan reports fail the test instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all tests passed under ASan+UBSan"

@@ -17,11 +17,19 @@
 //   nde_cli impute <table.csv> --column <col>
 //           [--strategy mean|median|most_frequent] [--out <out.csv>]
 //       Fills the column's missing values and writes the repaired CSV.
+//
+// Global flags (any subcommand):
+//
+//   --metrics            print the telemetry metrics table after the command
+//   --prometheus         print metrics in Prometheus text format instead
+//   --trace <out.json>   write a Chrome trace_event JSON of the run,
+//                        loadable in about:tracing or https://ui.perfetto.dev
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,7 +41,15 @@ namespace {
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
+  std::string error;  ///< Non-empty when parsing failed (e.g. missing value).
 };
+
+/// Flags that never take a value (so a following positional is not eaten).
+const std::set<std::string>& BooleanFlags() {
+  static const std::set<std::string>* flags =
+      new std::set<std::string>{"metrics", "prometheus"};
+  return *flags;
+}
 
 Args ParseArgs(int argc, char** argv) {
   Args args;
@@ -41,11 +57,15 @@ Args ParseArgs(int argc, char** argv) {
     std::string arg = argv[i];
     if (StartsWith(arg, "--")) {
       std::string key = arg.substr(2);
-      std::string value = "true";
-      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
-        value = argv[++i];
+      if (BooleanFlags().count(key) > 0) {
+        args.flags[key] = "true";
+        continue;
       }
-      args.flags[key] = value;
+      if (i + 1 >= argc || StartsWith(argv[i + 1], "--")) {
+        args.error = StrFormat("flag '--%s' requires a value", key.c_str());
+        return args;
+      }
+      args.flags[key] = argv[++i];
     } else {
       args.positional.push_back(arg);
     }
@@ -62,6 +82,21 @@ std::string FlagOr(const Args& args, const std::string& key,
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 2;
+}
+
+/// Rejects flags outside `allowed` (plus the global telemetry flags) so a
+/// typo like --labell fails loudly instead of silently using the default.
+Status CheckFlags(const Args& args, const std::string& command,
+                  const std::set<std::string>& allowed) {
+  for (const auto& [key, value] : args.flags) {
+    if (allowed.count(key) > 0 || key == "metrics" || key == "prometheus" ||
+        key == "trace") {
+      continue;
+    }
+    return Status::InvalidArgument(StrFormat(
+        "unknown flag '--%s' for '%s'", key.c_str(), command.c_str()));
+  }
+  return Status::OK();
 }
 
 /// Loads a CSV and extracts (features via auto transformer, labels).
@@ -91,6 +126,8 @@ Result<MlDataset> LoadDataset(const std::string& path,
 }
 
 int RunScreen(const Args& args) {
+  Status flags_ok = CheckFlags(args, "screen", {"label", "max-null"});
+  if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() != 1) {
     return Fail("usage: nde_cli screen <table.csv> --label <col>");
   }
@@ -124,10 +161,116 @@ int RunScreen(const Args& args) {
   return has_error ? 1 : 0;
 }
 
+/// Single-CSV importance: runs the file through a real MlPipeline (source ->
+/// filter -> project -> encode) under a PlanProfiler, prints the annotated
+/// plan with per-operator timings, then ranks the training rows with a
+/// game-theoretic estimator over an internal train/validation split. This is
+/// the fully instrumented path: with --trace, the output JSON contains one
+/// complete-event per plan operator and per Shapley iteration batch.
+int RunImportancePipeline(const Args& args) {
+  std::string label = FlagOr(args, "label", "");
+  if (label.empty()) return Fail("--label is required");
+  std::string method = FlagOr(args, "method", "tmc_shapley");
+  size_t top = static_cast<size_t>(std::stoul(FlagOr(args, "top", "25")));
+  size_t permutations =
+      static_cast<size_t>(std::stoul(FlagOr(args, "permutations", "8")));
+
+  Result<Table> table = ReadCsvFile(args.positional[0]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  Result<size_t> label_col = table->schema().FieldIndex(label);
+  if (!label_col.ok()) return Fail(label_col.status().ToString());
+
+  Result<ColumnTransformer> transformer = MakeAutoTransformer(*table, {label});
+  if (!transformer.ok()) return Fail(transformer.status().ToString());
+
+  std::vector<std::string> columns;
+  for (size_t c = 0; c < table->schema().num_fields(); ++c) {
+    columns.push_back(table->schema().field(c).name);
+  }
+  PlanBuilder builder = [label, columns](
+                            const std::vector<PlanNodePtr>& sources) {
+    PlanNodePtr node = MakeFilter(
+        sources[0], label + " is not null", [label](const RowView& row) {
+          Result<Value> cell = row.Get(label);
+          return cell.ok() && !cell.value().is_null();
+        });
+    return MakeProject(std::move(node), columns);
+  };
+  MlPipeline pipeline({{"train", *table}}, builder, *std::move(transformer),
+                      label);
+
+  PlanNodePtr plan = pipeline.BuildPlan();
+  PlanProfiler profiler;
+  Result<PipelineOutput> output = pipeline.Execute(plan);
+  if (!output.ok()) return Fail(output.status().ToString());
+
+  std::printf("pipeline plan (per-operator timings):\n%s\n",
+              profiler.AnnotatedPlan(*plan).c_str());
+
+  // Internal split: every 5th output row validates, the rest train.
+  MlDataset all = output->ToDataset();
+  std::vector<size_t> train_rows, valid_rows;
+  for (size_t r = 0; r < all.size(); ++r) {
+    (r % 5 == 4 ? valid_rows : train_rows).push_back(r);
+  }
+  if (train_rows.empty() || valid_rows.empty()) {
+    return Fail("not enough rows for an importance split");
+  }
+  MlDataset train = all.Subset(train_rows);
+  MlDataset valid = all.Subset(valid_rows);
+
+  std::vector<double> values;
+  if (method == "knn_shapley") {
+    values = KnnShapleyValues(train, valid, 5);
+  } else {
+    auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+    ModelAccuracyUtility utility(factory, train, valid);
+    MonteCarloEstimate estimate;
+    if (method == "tmc_shapley") {
+      TmcShapleyOptions options;
+      options.num_permutations = permutations;
+      estimate = TmcShapleyValues(utility, options);
+    } else if (method == "banzhaf") {
+      BanzhafOptions options;
+      options.num_samples = permutations * 8;
+      estimate = BanzhafValues(utility, options);
+    } else if (method == "beta_shapley") {
+      BetaShapleyOptions options;
+      options.samples_per_unit = std::max<size_t>(permutations, 2);
+      estimate = BetaShapleyValues(utility, options);
+    } else {
+      return Fail("unknown method '" + method +
+                  "' (single-file mode supports "
+                  "tmc_shapley|banzhaf|beta_shapley|knn_shapley)");
+    }
+    values = std::move(estimate.values);
+    std::printf("%zu utility evaluations over %zu training rows\n",
+                estimate.utility_evaluations, train.size());
+  }
+
+  // Most suspect first = lowest importance value; report source row ids via
+  // the pipeline's provenance.
+  std::vector<size_t> ranking = AscendingOrder(values);
+  std::printf("top %zu cleaning candidates by %s (most suspect first):\n",
+              std::min(top, ranking.size()), method.c_str());
+  for (size_t i = 0; i < std::min(top, ranking.size()); ++i) {
+    size_t output_row = train_rows[ranking[i]];
+    const std::vector<SourceRef>& refs =
+        output->provenance[output_row].refs();
+    std::printf("%u\n", refs.empty() ? static_cast<uint32_t>(output_row)
+                                     : refs[0].row_id);
+  }
+  return 0;
+}
+
 int RunImportance(const Args& args) {
+  Status flags_ok = CheckFlags(args, "importance",
+                               {"label", "method", "top", "permutations"});
+  if (!flags_ok.ok()) return Fail(flags_ok.ToString());
+  if (args.positional.size() == 1) return RunImportancePipeline(args);
   if (args.positional.size() != 2) {
     return Fail(
-        "usage: nde_cli importance <train.csv> <valid.csv> --label <col>");
+        "usage: nde_cli importance <train.csv> [<valid.csv>] --label <col>");
   }
   std::string label = FlagOr(args, "label", "");
   if (label.empty()) return Fail("--label is required");
@@ -168,6 +311,8 @@ int RunImportance(const Args& args) {
 }
 
 int RunImpute(const Args& args) {
+  Status flags_ok = CheckFlags(args, "impute", {"column", "strategy", "out"});
+  if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() != 1) {
     return Fail("usage: nde_cli impute <table.csv> --column <col>");
   }
@@ -206,20 +351,75 @@ int Usage() {
                "  importance <train.csv> <valid.csv> --label <col>\n"
                "             [--method knn_shapley|influence|aum|"
                "self_confidence|loo] [--top 25]\n"
+               "  importance <table.csv> --label <col>  (pipeline mode)\n"
+               "             [--method tmc_shapley|banzhaf|beta_shapley|"
+               "knn_shapley]\n"
+               "             [--top 25] [--permutations 8]\n"
                "  impute <table.csv> --column <col>\n"
                "         [--strategy mean|median|most_frequent] "
-               "[--out <out.csv>]\n");
+               "[--out <out.csv>]\n"
+               "global flags: --metrics | --prometheus | --trace <out.json>\n");
   return 2;
+}
+
+/// Writes the global trace buffer as Chrome trace JSON.
+int WriteTrace(const std::string& path) {
+  std::string json = telemetry::TraceBuffer::Global().ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Fail("cannot write trace file '" + path + "'");
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %zu trace events to %s (open in Perfetto)\n",
+               telemetry::TraceBuffer::Global().size(), path.c_str());
+  return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Args args = ParseArgs(argc, argv);
-  if (command == "screen") return RunScreen(args);
-  if (command == "importance") return RunImportance(args);
-  if (command == "impute") return RunImpute(args);
-  return Usage();
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", args.error.c_str());
+    return 2;
+  }
+
+  bool want_metrics = args.flags.count("metrics") > 0;
+  bool want_prometheus = args.flags.count("prometheus") > 0;
+  std::string trace_path = FlagOr(args, "trace", "");
+  if (want_metrics || want_prometheus || !trace_path.empty()) {
+    telemetry::SetEnabled(true);
+#if !NDE_TELEMETRY_ENABLED
+    std::fprintf(stderr,
+                 "note: telemetry compiled out (NDE_TELEMETRY=OFF); metrics "
+                 "and traces will be empty\n");
+#endif
+  }
+
+  int code;
+  if (command == "screen") {
+    code = RunScreen(args);
+  } else if (command == "importance") {
+    code = RunImportance(args);
+  } else if (command == "impute") {
+    code = RunImpute(args);
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+
+  if (want_metrics) {
+    std::printf("\n=== telemetry metrics ===\n%s",
+                telemetry::MetricsRegistry::Global().ToTable().c_str());
+  }
+  if (want_prometheus) {
+    std::printf("%s",
+                telemetry::MetricsRegistry::Global().ToPrometheusText().c_str());
+  }
+  if (!trace_path.empty()) {
+    int trace_code = WriteTrace(trace_path);
+    if (code == 0) code = trace_code;
+  }
+  return code;
 }
 
 }  // namespace
