@@ -54,7 +54,9 @@ std::vector<CleaningStrategy> Panel() {
         BanzhafOptions options;
         options.num_samples = 400;
         options.seed = seed;
-        return AscendingOrder(BanzhafValues(utility, options).values);
+        NDE_ASSIGN_OR_RETURN(ImportanceEstimate estimate,
+                             BanzhafValues(utility, options));
+        return AscendingOrder(estimate.values);
       }});
   panel.push_back(CleaningStrategy{
       "beta_shapley(16,1)",
@@ -66,7 +68,9 @@ std::vector<CleaningStrategy> Panel() {
         options.beta = 1.0;
         options.samples_per_unit = 6;
         options.seed = seed;
-        return AscendingOrder(BetaShapleyValues(utility, options).values);
+        NDE_ASSIGN_OR_RETURN(ImportanceEstimate estimate,
+                             BetaShapleyValues(utility, options));
+        return AscendingOrder(estimate.values);
       }});
   panel.push_back(InfluenceStrategy());
   panel.push_back(AumStrategy());

@@ -9,6 +9,8 @@
 // expensive than the KNN closed form at equal n — should be visible directly
 // in the reported times.
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,7 +72,7 @@ void BM_TmcShapleyRetraining(benchmark::State& state) {
   options.truncation_tolerance = 0.0;
   for (auto _ : state) {
     ModelAccuracyUtility utility(factory, train, validation);
-    MonteCarloEstimate estimate = TmcShapleyValues(utility, options);
+    ImportanceEstimate estimate = TmcShapleyValues(utility, options).value();
     benchmark::DoNotOptimize(estimate);
   }
   state.SetComplexityN(state.range(0));
@@ -93,7 +95,7 @@ void BM_TmcShapleyTruncation(benchmark::State& state) {
   size_t iterations = 0;
   for (auto _ : state) {
     ModelAccuracyUtility utility(factory, train, validation);
-    MonteCarloEstimate estimate = TmcShapleyValues(utility, options);
+    ImportanceEstimate estimate = TmcShapleyValues(utility, options).value();
     benchmark::DoNotOptimize(estimate);
     evaluations += estimate.utility_evaluations;
     ++iterations;
@@ -113,7 +115,7 @@ void BM_LeaveOneOutRetraining(benchmark::State& state) {
   auto factory = []() { return std::make_unique<KnnClassifier>(5); };
   for (auto _ : state) {
     ModelAccuracyUtility utility(factory, train, validation);
-    std::vector<double> values = LeaveOneOutValues(utility);
+    std::vector<double> values = LeaveOneOutValues(utility).value();
     benchmark::DoNotOptimize(values);
   }
 }
@@ -131,12 +133,38 @@ void BM_BanzhafMsr(benchmark::State& state) {
   options.num_samples = 100;
   for (auto _ : state) {
     ModelAccuracyUtility utility(factory, train, validation);
-    MonteCarloEstimate estimate = BanzhafValues(utility, options);
+    ImportanceEstimate estimate = BanzhafValues(utility, options).value();
     benchmark::DoNotOptimize(estimate);
   }
 }
 BENCHMARK(BM_BanzhafMsr)->Arg(50)->Arg(100)->Arg(200)->Unit(
     benchmark::kMillisecond);
+
+void BM_TmcShapleyThreads(benchmark::State& state) {
+  // Thread-scaling sweep: same seed and sampling budget at every arg, only
+  // the worker count varies. main() asserts the values are byte-identical
+  // across thread counts before the timing runs.
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation);
+    ImportanceEstimate estimate = TmcShapleyValues(utility, options).value();
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+BENCHMARK(BM_TmcShapleyThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // Console output as usual, plus one JSON-lines record per benchmark run in
 // BENCH_results.json (see bench_util.h) so sweeps can be plotted or diffed
@@ -158,10 +186,41 @@ class JsonAppendingReporter : public benchmark::ConsoleReporter {
   }
 };
 
+/// Guards the scaling sweep's premise: a fixed seed must yield byte-identical
+/// TMC-Shapley values whether the estimator runs on 1, 2, or 8 threads.
+bool CheckThreadCountDeterminism() {
+  MlDataset train = MakeTrain(60);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  std::vector<std::vector<double>> runs;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    options.num_threads = threads;
+    ModelAccuracyUtility utility(factory, train, validation);
+    runs.push_back(TmcShapleyValues(utility, options).value().values);
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].size() != runs[0].size() ||
+        std::memcmp(runs[i].data(), runs[0].data(),
+                    runs[0].size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "FATAL: TMC-Shapley values differ across thread counts\n");
+      return false;
+    }
+  }
+  std::fprintf(stderr,
+               "determinism: TMC-Shapley values byte-identical across "
+               "{1, 2, 8} threads\n");
+  return true;
+}
+
 }  // namespace
 }  // namespace nde
 
 int main(int argc, char** argv) {
+  if (!nde::CheckThreadCountDeterminism()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   nde::JsonAppendingReporter reporter;

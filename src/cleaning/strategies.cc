@@ -54,7 +54,9 @@ CleaningStrategy LooStrategy(size_t k) {
         ModelAccuracyUtility utility(
             [k]() { return std::make_unique<KnnClassifier>(k); }, dirty,
             validation);
-        return AscendingOrder(LeaveOneOutValues(utility));
+        NDE_ASSIGN_OR_RETURN(std::vector<double> values,
+                             LeaveOneOutValues(utility));
+        return AscendingOrder(values);
       }};
 }
 
@@ -111,7 +113,9 @@ CleaningStrategy TmcShapleyStrategy(size_t permutations, size_t k) {
         TmcShapleyOptions options;
         options.num_permutations = permutations;
         options.seed = seed;
-        return AscendingOrder(TmcShapleyValues(utility, options).values);
+        NDE_ASSIGN_OR_RETURN(ImportanceEstimate estimate,
+                             TmcShapleyValues(utility, options));
+        return AscendingOrder(estimate.values);
       }};
 }
 

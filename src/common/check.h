@@ -47,6 +47,17 @@ class CheckFailureStream {
   } else /* NOLINT */                                               \
     ::nde::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
 
+/// Debug-build-only check: in NDEBUG (release) builds the condition is not
+/// evaluated and the whole statement compiles away. For invariants that are
+/// too hot — or too intrusive — to verify in optimized builds, e.g. the Rng
+/// thread-ownership check.
+#ifndef NDEBUG
+#define NDE_DCHECK(condition) NDE_CHECK(condition)
+#else
+#define NDE_DCHECK(condition) \
+  while (false) NDE_CHECK(true)
+#endif
+
 /// Equality/comparison conveniences.
 #define NDE_CHECK_EQ(a, b) NDE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
 #define NDE_CHECK_NE(a, b) NDE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -5,9 +5,7 @@
 
 namespace nde {
 
-namespace {
-
-constexpr double kTwoPi = 6.283185307179586476925286766559;
+namespace internal {
 
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
@@ -16,18 +14,30 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+}  // namespace internal
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
 uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
 void Rng::Reseed(uint64_t seed) {
   uint64_t sm = seed;
-  for (auto& word : state_) word = SplitMix64(&sm);
+  for (auto& word : state_) word = internal::SplitMix64(&sm);
   has_cached_gaussian_ = false;
   cached_gaussian_ = 0.0;
+#ifndef NDEBUG
+  owner_ = std::this_thread::get_id();
+#endif
 }
 
 uint64_t Rng::NextUint64() {
+  NDE_DCHECK(owner_ == std::this_thread::get_id())
+      << "Rng drawn from a thread other than its owner; Rng is "
+         "single-thread-owned — derive per-task streams via SeedSequence";
   // xoshiro256** by Blackman & Vigna (public domain reference implementation).
   const uint64_t result = RotL(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;
@@ -68,6 +78,11 @@ double Rng::NextUniform(double lo, double hi) {
 }
 
 double Rng::NextGaussian() {
+  // The cached branch returns without touching NextUint64, so the ownership
+  // invariant must be re-checked here.
+  NDE_DCHECK(owner_ == std::this_thread::get_id())
+      << "Rng drawn from a thread other than its owner; Rng is "
+         "single-thread-owned — derive per-task streams via SeedSequence";
   if (has_cached_gaussian_) {
     has_cached_gaussian_ = false;
     return cached_gaussian_;

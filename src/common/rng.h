@@ -3,24 +3,38 @@
 
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
 
 namespace nde {
 
+namespace internal {
+
+/// One splitmix64 step: advances `*state` and returns the next output. The
+/// seeding primitive shared by Rng and SeedSequence (common/parallel.h).
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace internal
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// splitmix64). Every stochastic component in the library draws from an
 /// explicitly seeded `Rng`, so all experiments and tests are reproducible
 /// bit-for-bit across runs and platforms.
 ///
-/// Not cryptographically secure; not thread-safe (use one Rng per thread).
+/// Not cryptographically secure; not thread-safe. Each Rng is owned by one
+/// thread at a time — the thread that constructed or last Reseed()-ed it —
+/// and debug builds abort (NDE_DCHECK) on draws from any other thread.
+/// Parallel code derives one Rng per task via `SeedSequence` instead of
+/// sharing a generator.
 class Rng {
  public:
   /// Seeds the generator. Identical seeds yield identical streams.
   explicit Rng(uint64_t seed) { Reseed(seed); }
 
-  /// Re-seeds in place, restarting the stream.
+  /// Re-seeds in place, restarting the stream. Also transfers debug-build
+  /// thread ownership to the calling thread.
   void Reseed(uint64_t seed);
 
   /// Uniform 64-bit value.
@@ -82,6 +96,9 @@ class Rng {
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
+#ifndef NDEBUG
+  std::thread::id owner_;  ///< Set by Reseed; draws NDE_DCHECK against it.
+#endif
 };
 
 }  // namespace nde

@@ -35,7 +35,8 @@ Result<MlDataset> EncodeValidation(const PipelineOutput& output,
 
 Result<std::vector<double>> KnnShapleyOverPipeline(
     const PipelineOutput& output, const MlDataset& validation,
-    int32_t target_table_id, size_t num_source_rows, size_t k) {
+    int32_t target_table_id, size_t num_source_rows, size_t k,
+    const EstimatorOptions& options) {
   if (output.size() == 0) {
     return Status::InvalidArgument("pipeline output is empty");
   }
@@ -46,7 +47,8 @@ Result<std::vector<double>> KnnShapleyOverPipeline(
   NDE_SPAN_ARG(span, "output_rows", static_cast<int64_t>(output.size()));
   NDE_METRIC_COUNT("datascope.knn_shapley_runs", 1);
   MlDataset train = output.ToDataset();
-  std::vector<double> output_values = KnnShapleyValues(train, validation, k);
+  std::vector<double> output_values =
+      KnnShapleyValues(train, validation, k, options);
 
   std::vector<double> source_values(num_source_rows, 0.0);
   for (size_t r = 0; r < output.size(); ++r) {
@@ -82,7 +84,7 @@ PipelineSourceUtility::PipelineSourceUtility(const MlPipeline* pipeline,
 }
 
 double PipelineSourceUtility::Evaluate(const std::vector<size_t>& subset) const {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   NDE_METRIC_COUNT("datascope.pipeline_utility_evaluations", 1);
   // Remove the complement of the coalition from the target table.
   std::vector<bool> keep(num_units_, false);

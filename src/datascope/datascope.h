@@ -1,8 +1,10 @@
 #ifndef NDE_DATASCOPE_DATASCOPE_H_
 #define NDE_DATASCOPE_DATASCOPE_H_
 
+#include <atomic>
 #include <vector>
 
+#include "importance/estimator_options.h"
 #include "importance/utility.h"
 #include "ml/dataset.h"
 #include "ml/model.h"
@@ -31,9 +33,12 @@ Result<MlDataset> EncodeValidation(const PipelineOutput& output,
 ///
 /// Returns one value per row of the target source table (rows that reach no
 /// output get 0). `num_source_rows` is the target table's row count.
+/// `options.num_threads` fans the underlying KnnShapleyValues over validation
+/// points; results are bit-identical for any thread count.
 Result<std::vector<double>> KnnShapleyOverPipeline(
     const PipelineOutput& output, const MlDataset& validation,
-    int32_t target_table_id, size_t num_source_rows, size_t k);
+    int32_t target_table_id, size_t num_source_rows, size_t k,
+    const EstimatorOptions& options = {});
 
 /// Ground-truth coalition game over source tuples: v(S) re-executes the
 /// whole pipeline with only the source rows S of the target table present
@@ -50,7 +55,9 @@ class PipelineSourceUtility : public UtilityFunction {
   double Evaluate(const std::vector<size_t>& subset) const override;
   size_t num_units() const override { return num_units_; }
 
-  size_t num_evaluations() const { return evaluations_; }
+  size_t num_evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   const MlPipeline* pipeline_;
@@ -59,7 +66,8 @@ class PipelineSourceUtility : public UtilityFunction {
   MlDataset validation_;
   size_t num_units_;
   int num_classes_;
-  mutable size_t evaluations_ = 0;
+  /// Atomic: Evaluate runs concurrently under the parallel estimators.
+  mutable std::atomic<size_t> evaluations_{0};
 };
 
 /// Result of a removal what-if (Figure 3's `nde.remove` +

@@ -1,0 +1,32 @@
+#ifndef NDE_IMPORTANCE_ESTIMATOR_OPTIONS_H_
+#define NDE_IMPORTANCE_ESTIMATOR_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nde {
+
+/// Knobs shared by every importance estimator. Method-specific option structs
+/// (TmcShapleyOptions, BanzhafOptions, BetaShapleyOptions) embed this by
+/// inheritance, so `options.seed = ...` keeps working at every call site and
+/// any estimator can be handed a plain EstimatorOptions.
+struct EstimatorOptions {
+  /// Base seed for the estimator's SeedSequence. Fixing the seed fixes the
+  /// result bit-for-bit regardless of num_threads (see DESIGN.md §8).
+  uint64_t seed = 42;
+
+  /// Worker threads for the utility-evaluation fan-out; 0 means the
+  /// process-wide default (DefaultNumThreads(), i.e. hardware concurrency
+  /// unless overridden by the CLI's --threads flag).
+  size_t num_threads = 0;
+
+  /// Early-stopping tolerance for Monte-Carlo estimators: sampling stops once
+  /// every unit's standard error falls to or below this value (checked at
+  /// fixed wave boundaries, so stopping is thread-count invariant). 0 disables
+  /// early stopping and runs the full sampling budget.
+  double convergence_tolerance = 0.0;
+};
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_ESTIMATOR_OPTIONS_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "telemetry/telemetry.h"
 
@@ -28,6 +29,15 @@ double LogChoose(size_t n, size_t k) {
          std::lgamma(static_cast<double>(n - k) + 1.0);
 }
 
+/// Standard error of the mean of `m` samples with the given sum and sum of
+/// squares (0 when m < 2).
+double MeanStdError(double sum, double sum_sq, double m) {
+  if (m < 2.0) return 0.0;
+  double mean = sum / m;
+  double variance = (sum_sq / m - mean * mean) * m / (m - 1.0);
+  return std::sqrt(std::max(variance, 0.0) / m);
+}
+
 /// Evaluates v over every subset of {0..n-1}; 2^n evaluations.
 std::vector<double> EnumerateAllSubsets(const UtilityFunction& utility) {
   size_t n = utility.num_units();
@@ -44,85 +54,153 @@ std::vector<double> EnumerateAllSubsets(const UtilityFunction& utility) {
 
 }  // namespace
 
-std::vector<double> LeaveOneOutValues(const UtilityFunction& utility) {
+Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
+                                              const EstimatorOptions& options) {
   size_t n = utility.num_units();
+  if (n == 0) {
+    return Status::InvalidArgument("leave-one-out requires at least one unit");
+  }
+  NDE_TRACE_SPAN_VAR(span, "LeaveOneOutValues", "importance");
+  NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
   double full = utility.FullUtility();
   std::vector<double> values(n);
-  std::vector<size_t> subset(n - 1);
-  for (size_t i = 0; i < n; ++i) {
-    subset.clear();
-    for (size_t j = 0; j < n; ++j) {
-      if (j != i) subset.push_back(j);
-    }
-    values[i] = full - utility.Evaluate(subset);
-  }
+  // One task per unit, writing into its own slot: no randomness and no shared
+  // accumulator, so results are identical for any thread count.
+  ParallelFor(
+      0, n,
+      [&](size_t i) {
+        std::vector<size_t> subset;
+        subset.reserve(n - 1);
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i) subset.push_back(j);
+        }
+        values[i] = full - utility.Evaluate(subset);
+      },
+      options.num_threads, "leave_one_out");
   return values;
 }
 
-MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
-                                    const TmcShapleyOptions& options) {
+Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
+                                            const TmcShapleyOptions& options) {
   size_t n = utility.num_units();
-  NDE_CHECK_GT(n, 0u);
+  if (n == 0) {
+    return Status::InvalidArgument("TMC-Shapley requires at least one unit");
+  }
+  if (options.num_permutations == 0) {
+    return Status::InvalidArgument(
+        "TMC-Shapley requires at least one permutation");
+  }
   NDE_TRACE_SPAN_VAR(span, "TmcShapleyValues", "importance");
-  Rng rng(options.seed);
-  std::vector<double> sum(n, 0.0);
-  std::vector<double> sum_sq(n, 0.0);
   double empty_utility = utility.EmptyUtility();
   double full_utility = utility.FullUtility();
-  size_t evaluations = 2;
 
-  for (size_t t = 0; t < options.num_permutations; ++t) {
-    // One complete-event per permutation: the trace shows where sampling
-    // time goes and how hard truncation is biting, iteration by iteration.
-    NDE_TRACE_SPAN_VAR(perm_span, "tmc_permutation", "importance");
-    size_t evaluations_before = evaluations;
-    std::vector<size_t> perm = rng.Permutation(n);
-    std::vector<size_t> prefix;
-    prefix.reserve(n);
-    double previous = empty_utility;
-    bool truncated = false;
-    for (size_t pos = 0; pos < n; ++pos) {
-      size_t unit = perm[pos];
-      double marginal = 0.0;
-      if (!truncated) {
-        if (options.truncation_tolerance > 0.0 &&
-            std::fabs(full_utility - previous) < options.truncation_tolerance) {
-          truncated = true;  // Remaining marginals are treated as zero.
-          NDE_METRIC_COUNT("shapley.truncation_hits", 1);
-          NDE_SPAN_ARG(perm_span, "truncated_at", static_cast<int64_t>(pos));
-        } else {
-          prefix.push_back(unit);
-          double current = utility.Evaluate(Sorted(prefix));
-          ++evaluations;
-          marginal = current - previous;
-          previous = current;
-        }
-      }
-      sum[unit] += marginal;
-      sum_sq[unit] += marginal * marginal;
+  // Permutation t always draws from stream SeedFor(t) and waves always span
+  // the same permutation indices, so both the sampled marginals and the
+  // convergence decision are independent of the thread count.
+  SeedSequence seeds(options.seed);
+  constexpr size_t kWavePermutations = 32;
+
+  struct PermutationPartial {
+    std::vector<double> marginals;
+    size_t evaluations = 0;
+  };
+
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> sum_sq(n, 0.0);
+  size_t evaluations = 2;  // empty + full, evaluated above on this thread
+  size_t executed = 0;
+  size_t threads_used = 1;
+  std::vector<PermutationPartial> wave(
+      std::min(kWavePermutations, options.num_permutations));
+
+  while (executed < options.num_permutations) {
+    size_t wave_begin = executed;
+    size_t wave_end =
+        std::min(wave_begin + kWavePermutations, options.num_permutations);
+    for (auto& partial : wave) {
+      partial.marginals.assign(n, 0.0);
+      partial.evaluations = 0;
     }
-    NDE_SPAN_ARG(perm_span, "permutation", static_cast<int64_t>(t));
-    NDE_SPAN_ARG(perm_span, "evaluations",
-                 static_cast<int64_t>(evaluations - evaluations_before));
+    size_t used = ParallelFor(
+        wave_begin, wave_end,
+        [&](size_t t) {
+          // One complete-event per permutation: the trace shows where sampling
+          // time goes and how hard truncation is biting, task by task.
+          NDE_TRACE_SPAN_VAR(perm_span, "tmc_permutation", "importance");
+          PermutationPartial& out = wave[t - wave_begin];
+          Rng rng = seeds.RngFor(t);
+          std::vector<size_t> perm = rng.Permutation(n);
+          std::vector<size_t> prefix;
+          prefix.reserve(n);
+          double previous = empty_utility;
+          bool truncated = false;
+          for (size_t pos = 0; pos < n; ++pos) {
+            size_t unit = perm[pos];
+            double marginal = 0.0;
+            if (!truncated) {
+              if (options.truncation_tolerance > 0.0 &&
+                  std::fabs(full_utility - previous) <
+                      options.truncation_tolerance) {
+                truncated = true;  // Remaining marginals are treated as zero.
+                NDE_METRIC_COUNT("shapley.truncation_hits", 1);
+                NDE_SPAN_ARG(perm_span, "truncated_at",
+                             static_cast<int64_t>(pos));
+              } else {
+                prefix.push_back(unit);
+                double current = utility.Evaluate(Sorted(prefix));
+                ++out.evaluations;
+                marginal = current - previous;
+                previous = current;
+              }
+            }
+            out.marginals[unit] = marginal;
+          }
+          NDE_SPAN_ARG(perm_span, "permutation", static_cast<int64_t>(t));
+          NDE_SPAN_ARG(perm_span, "evaluations",
+                       static_cast<int64_t>(out.evaluations));
+        },
+        options.num_threads, "tmc_wave");
+    threads_used = std::max(threads_used, used);
+
+    // Deterministic reduction: fold permutation partials in index order.
+    for (size_t t = wave_begin; t < wave_end; ++t) {
+      const PermutationPartial& partial = wave[t - wave_begin];
+      for (size_t i = 0; i < n; ++i) {
+        double marginal = partial.marginals[i];
+        sum[i] += marginal;
+        sum_sq[i] += marginal * marginal;
+      }
+      evaluations += partial.evaluations;
+    }
+    executed = wave_end;
+
+    if (options.convergence_tolerance > 0.0 && executed > 1) {
+      double m = static_cast<double>(executed);
+      bool converged = true;
+      for (size_t i = 0; i < n && converged; ++i) {
+        converged = MeanStdError(sum[i], sum_sq[i], m) <=
+                    options.convergence_tolerance;
+      }
+      if (converged) break;
+    }
   }
-  NDE_METRIC_COUNT("shapley.permutations", options.num_permutations);
+  NDE_METRIC_COUNT("shapley.permutations", executed);
   NDE_METRIC_COUNT("shapley.utility_evaluations", evaluations);
   NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
+  NDE_SPAN_ARG(span, "permutations", static_cast<int64_t>(executed));
   NDE_SPAN_ARG(span, "evaluations", static_cast<int64_t>(evaluations));
+  NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
 
-  MonteCarloEstimate estimate;
+  ImportanceEstimate estimate;
   estimate.values.resize(n);
   estimate.std_errors.resize(n);
-  double m = static_cast<double>(options.num_permutations);
+  double m = static_cast<double>(executed);
   for (size_t i = 0; i < n; ++i) {
-    double mean = sum[i] / m;
-    estimate.values[i] = mean;
-    if (options.num_permutations > 1) {
-      double variance = (sum_sq[i] / m - mean * mean) * m / (m - 1.0);
-      estimate.std_errors[i] = std::sqrt(std::max(variance, 0.0) / m);
-    }
+    estimate.values[i] = sum[i] / m;
+    estimate.std_errors[i] = MeanStdError(sum[i], sum_sq[i], m);
   }
   estimate.utility_evaluations = evaluations;
+  estimate.num_threads_used = threads_used;
   NDE_METRIC_GAUGE_SET(
       "shapley.max_std_error",
       estimate.std_errors.empty()
@@ -162,50 +240,129 @@ Result<std::vector<double>> ExactShapleyValues(const UtilityFunction& utility,
   return values;
 }
 
-MonteCarloEstimate BanzhafValues(const UtilityFunction& utility,
-                                 const BanzhafOptions& options) {
+Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
+                                         const BanzhafOptions& options) {
   size_t n = utility.num_units();
-  NDE_CHECK_GT(n, 0u);
+  if (n == 0) {
+    return Status::InvalidArgument("Banzhaf MSR requires at least one unit");
+  }
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("Banzhaf MSR requires at least one sample");
+  }
   NDE_TRACE_SPAN_VAR(span, "BanzhafValues", "importance");
-  Rng rng(options.seed);
-  // MSR: every sample updates every unit's in-mean or out-mean.
+
+  // MSR: every sample updates every unit's in-mean or out-mean. Samples run
+  // as fixed 16-sample chunks; sample t always draws from stream SeedFor(t)
+  // and the convergence check sits at fixed 8-chunk wave boundaries, so both
+  // are thread-count invariant.
+  SeedSequence seeds(options.seed);
+  constexpr size_t kChunkSamples = 16;
+  constexpr size_t kWaveChunks = 8;
+
+  struct ChunkPartial {
+    std::vector<double> in_sum, in_sq, out_sum, out_sq;
+    std::vector<size_t> in_count, out_count;
+  };
+
   std::vector<double> in_sum(n, 0.0), in_sq(n, 0.0);
   std::vector<double> out_sum(n, 0.0), out_sq(n, 0.0);
   std::vector<size_t> in_count(n, 0), out_count(n, 0);
 
-  // Samples are traced in batches so a large num_samples does not flood the
-  // bounded trace buffer with per-sample events.
-  constexpr size_t kTraceBatch = 64;
-  std::vector<size_t> subset;
-  std::vector<bool> member(n);
-  for (size_t batch = 0; batch < options.num_samples; batch += kTraceBatch) {
-    size_t batch_end = std::min(batch + kTraceBatch, options.num_samples);
-    NDE_TRACE_SPAN_VAR(batch_span, "banzhaf_sample_batch", "importance");
-    NDE_SPAN_ARG(batch_span, "samples",
-                 static_cast<int64_t>(batch_end - batch));
-    for (size_t t = batch; t < batch_end; ++t) {
-      subset.clear();
+  size_t num_chunks = (options.num_samples + kChunkSamples - 1) / kChunkSamples;
+  size_t chunk_cursor = 0;
+  size_t executed_samples = 0;
+  size_t threads_used = 1;
+  std::vector<ChunkPartial> wave(std::min(kWaveChunks, num_chunks));
+
+  while (chunk_cursor < num_chunks) {
+    size_t wave_begin = chunk_cursor;
+    size_t wave_end = std::min(wave_begin + kWaveChunks, num_chunks);
+    for (auto& partial : wave) {
+      partial.in_sum.assign(n, 0.0);
+      partial.in_sq.assign(n, 0.0);
+      partial.out_sum.assign(n, 0.0);
+      partial.out_sq.assign(n, 0.0);
+      partial.in_count.assign(n, 0);
+      partial.out_count.assign(n, 0);
+    }
+    size_t used = ParallelFor(
+        wave_begin, wave_end,
+        [&](size_t c) {
+          ChunkPartial& out = wave[c - wave_begin];
+          size_t sample_begin = c * kChunkSamples;
+          size_t sample_end =
+              std::min(sample_begin + kChunkSamples, options.num_samples);
+          // Chunks are traced (not samples) so a large num_samples does not
+          // flood the bounded trace buffer with per-sample events.
+          NDE_TRACE_SPAN_VAR(batch_span, "banzhaf_sample_batch", "importance");
+          NDE_SPAN_ARG(batch_span, "samples",
+                       static_cast<int64_t>(sample_end - sample_begin));
+          std::vector<size_t> subset;
+          std::vector<bool> member(n);
+          for (size_t t = sample_begin; t < sample_end; ++t) {
+            Rng rng = seeds.RngFor(t);
+            subset.clear();
+            for (size_t i = 0; i < n; ++i) {
+              member[i] = rng.NextBernoulli(0.5);
+              if (member[i]) subset.push_back(i);
+            }
+            double value = utility.Evaluate(subset);
+            for (size_t i = 0; i < n; ++i) {
+              if (member[i]) {
+                out.in_sum[i] += value;
+                out.in_sq[i] += value * value;
+                ++out.in_count[i];
+              } else {
+                out.out_sum[i] += value;
+                out.out_sq[i] += value * value;
+                ++out.out_count[i];
+              }
+            }
+          }
+        },
+        options.num_threads, "banzhaf_wave");
+    threads_used = std::max(threads_used, used);
+
+    // Deterministic reduction: fold chunk partials in index order.
+    for (size_t c = wave_begin; c < wave_end; ++c) {
+      const ChunkPartial& partial = wave[c - wave_begin];
       for (size_t i = 0; i < n; ++i) {
-        member[i] = rng.NextBernoulli(0.5);
-        if (member[i]) subset.push_back(i);
+        in_sum[i] += partial.in_sum[i];
+        in_sq[i] += partial.in_sq[i];
+        out_sum[i] += partial.out_sum[i];
+        out_sq[i] += partial.out_sq[i];
+        in_count[i] += partial.in_count[i];
+        out_count[i] += partial.out_count[i];
       }
-      double value = utility.Evaluate(subset);
-      for (size_t i = 0; i < n; ++i) {
-        if (member[i]) {
-          in_sum[i] += value;
-          in_sq[i] += value * value;
-          ++in_count[i];
-        } else {
-          out_sum[i] += value;
-          out_sq[i] += value * value;
-          ++out_count[i];
+      executed_samples +=
+          std::min((c + 1) * kChunkSamples, options.num_samples) -
+          c * kChunkSamples;
+    }
+    chunk_cursor = wave_end;
+
+    if (options.convergence_tolerance > 0.0) {
+      bool converged = true;
+      for (size_t i = 0; i < n && converged; ++i) {
+        if (in_count[i] < 2 || out_count[i] < 2) {
+          converged = false;
+          break;
         }
+        double in_err = MeanStdError(in_sum[i], in_sq[i],
+                                     static_cast<double>(in_count[i]));
+        double out_err = MeanStdError(out_sum[i], out_sq[i],
+                                      static_cast<double>(out_count[i]));
+        converged = std::sqrt(in_err * in_err + out_err * out_err) <=
+                    options.convergence_tolerance;
       }
+      if (converged) break;
     }
   }
-  NDE_METRIC_COUNT("banzhaf.samples", options.num_samples);
+  NDE_METRIC_COUNT("banzhaf.samples", executed_samples);
+  NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
+  NDE_SPAN_ARG(span, "samples", static_cast<int64_t>(executed_samples));
+  NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
 
-  MonteCarloEstimate estimate;
+  ImportanceEstimate estimate;
   estimate.values.resize(n, 0.0);
   estimate.std_errors.resize(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
@@ -213,18 +370,14 @@ MonteCarloEstimate BanzhafValues(const UtilityFunction& utility,
     double in_mean = in_sum[i] / static_cast<double>(in_count[i]);
     double out_mean = out_sum[i] / static_cast<double>(out_count[i]);
     estimate.values[i] = in_mean - out_mean;
-    auto mean_var = [](double sum, double sq, size_t count) {
-      if (count < 2) return 0.0;
-      double m = sum / static_cast<double>(count);
-      double var = (sq / static_cast<double>(count) - m * m) *
-                   static_cast<double>(count) / static_cast<double>(count - 1);
-      return std::max(var, 0.0) / static_cast<double>(count);
-    };
-    estimate.std_errors[i] =
-        std::sqrt(mean_var(in_sum[i], in_sq[i], in_count[i]) +
-                  mean_var(out_sum[i], out_sq[i], out_count[i]));
+    double in_err =
+        MeanStdError(in_sum[i], in_sq[i], static_cast<double>(in_count[i]));
+    double out_err =
+        MeanStdError(out_sum[i], out_sq[i], static_cast<double>(out_count[i]));
+    estimate.std_errors[i] = std::sqrt(in_err * in_err + out_err * out_err);
   }
-  estimate.utility_evaluations = options.num_samples;
+  estimate.utility_evaluations = executed_samples;
+  estimate.num_threads_used = threads_used;
   return estimate;
 }
 
@@ -276,56 +429,89 @@ std::vector<double> BetaShapleyCardinalityWeights(size_t n, double alpha,
   return weights;
 }
 
-MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
-                                     const BetaShapleyOptions& options) {
+Result<ImportanceEstimate> BetaShapleyValues(
+    const UtilityFunction& utility, const BetaShapleyOptions& options) {
   size_t n = utility.num_units();
-  NDE_CHECK_GT(n, 0u);
+  if (n == 0) {
+    return Status::InvalidArgument("Beta-Shapley requires at least one unit");
+  }
+  if (options.samples_per_unit == 0) {
+    return Status::InvalidArgument(
+        "Beta-Shapley requires at least one sample per unit");
+  }
   NDE_TRACE_SPAN_VAR(span, "BetaShapleyValues", "importance");
-  Rng rng(options.seed);
   std::vector<double> cardinality_weights =
       BetaShapleyCardinalityWeights(n, options.alpha, options.beta);
 
-  MonteCarloEstimate estimate;
+  // One task per unit with its own Rng stream; each unit converges on its own
+  // samples only, so per-unit results never depend on the thread count.
+  SeedSequence seeds(options.seed);
+  constexpr size_t kMinSamplesForConvergence = 8;
+
+  struct UnitPartial {
+    double mean = 0.0;
+    double std_error = 0.0;
+    size_t evaluations = 0;
+  };
+  std::vector<UnitPartial> units(n);
+
+  size_t threads_used = ParallelFor(
+      0, n,
+      [&](size_t i) {
+        NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
+        NDE_SPAN_ARG(unit_span, "unit", static_cast<int64_t>(i));
+        Rng rng = seeds.RngFor(i);
+        std::vector<size_t> others;
+        others.reserve(n - 1);
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i) others.push_back(j);
+        }
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        size_t samples = 0;
+        for (size_t s = 0; s < options.samples_per_unit; ++s) {
+          size_t cardinality = rng.NextCategorical(cardinality_weights);
+          std::vector<size_t> picks =
+              rng.SampleWithoutReplacement(others.size(), cardinality);
+          std::vector<size_t> subset;
+          subset.reserve(cardinality + 1);
+          for (size_t p : picks) subset.push_back(others[p]);
+          double without = utility.Evaluate(Sorted(subset));
+          subset.push_back(i);
+          double with = utility.Evaluate(Sorted(subset));
+          double marginal = with - without;
+          sum += marginal;
+          sum_sq += marginal * marginal;
+          ++samples;
+          if (options.convergence_tolerance > 0.0 &&
+              samples >= kMinSamplesForConvergence &&
+              MeanStdError(sum, sum_sq, static_cast<double>(samples)) <=
+                  options.convergence_tolerance) {
+            break;
+          }
+        }
+        double m = static_cast<double>(samples);
+        UnitPartial& out = units[i];
+        out.mean = sum / m;
+        out.std_error = MeanStdError(sum, sum_sq, m);
+        out.evaluations = 2 * samples;
+        NDE_SPAN_ARG(unit_span, "std_error", out.std_error);
+      },
+      options.num_threads, "beta_shapley_units");
+
+  ImportanceEstimate estimate;
   estimate.values.resize(n, 0.0);
   estimate.std_errors.resize(n, 0.0);
   size_t evaluations = 0;
-
-  std::vector<size_t> others(n - 1);
   for (size_t i = 0; i < n; ++i) {
-    NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
-    NDE_SPAN_ARG(unit_span, "unit", static_cast<int64_t>(i));
-    others.clear();
-    for (size_t j = 0; j < n; ++j) {
-      if (j != i) others.push_back(j);
-    }
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (size_t s = 0; s < options.samples_per_unit; ++s) {
-      size_t cardinality = rng.NextCategorical(cardinality_weights);
-      std::vector<size_t> picks =
-          rng.SampleWithoutReplacement(others.size(), cardinality);
-      std::vector<size_t> subset;
-      subset.reserve(cardinality + 1);
-      for (size_t p : picks) subset.push_back(others[p]);
-      double without = utility.Evaluate(Sorted(subset));
-      subset.push_back(i);
-      double with = utility.Evaluate(Sorted(subset));
-      evaluations += 2;
-      double marginal = with - without;
-      sum += marginal;
-      sum_sq += marginal * marginal;
-    }
-    double m = static_cast<double>(options.samples_per_unit);
-    double mean = sum / m;
-    estimate.values[i] = mean;
-    if (options.samples_per_unit > 1) {
-      double variance = (sum_sq / m - mean * mean) * m / (m - 1.0);
-      estimate.std_errors[i] = std::sqrt(std::max(variance, 0.0) / m);
-    }
-    NDE_SPAN_ARG(unit_span, "std_error", estimate.std_errors[i]);
+    estimate.values[i] = units[i].mean;
+    estimate.std_errors[i] = units[i].std_error;
+    evaluations += units[i].evaluations;
   }
   estimate.utility_evaluations = evaluations;
+  estimate.num_threads_used = threads_used;
   NDE_METRIC_COUNT("beta_shapley.utility_evaluations", evaluations);
+  NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
   return estimate;
 }
 

@@ -5,38 +5,60 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "importance/estimator_options.h"
 #include "importance/utility.h"
 
 namespace nde {
 
+/// Every Monte-Carlo estimator in this header follows one contract:
+///  - options embed EstimatorOptions (seed, num_threads, convergence
+///    tolerance);
+///  - utility evaluations fan out over ParallelFor with per-task Rng streams
+///    from SeedSequence, and partial results reduce in fixed task order, so a
+///    fixed seed yields bit-identical values for any num_threads;
+///  - bad input (zero units, zero sampling budget) returns
+///    Status::InvalidArgument instead of aborting.
+
+/// Result of a Monte-Carlo importance estimator.
+struct ImportanceEstimate {
+  std::vector<double> values;
+  /// Per-unit standard error of the Monte-Carlo mean (0 when not estimable).
+  std::vector<double> std_errors;
+  size_t utility_evaluations = 0;
+  /// Worker threads the estimator actually fanned out over.
+  size_t num_threads_used = 1;
+};
+
+/// Deprecated pre-parallel name; remove after one release.
+using MonteCarloEstimate [[deprecated("use ImportanceEstimate")]] =
+    ImportanceEstimate;
+
 /// --- Leave-one-out -----------------------------------------------------------
 
 /// LOO importance: phi_i = v(N) - v(N \ {i}). The simplest importance score;
-/// O(n) utility evaluations.
-std::vector<double> LeaveOneOutValues(const UtilityFunction& utility);
+/// O(n) utility evaluations, one per unit, evaluated in parallel. LOO draws no
+/// randomness, so results are identical for any (seed, num_threads).
+/// Returns InvalidArgument when the utility has zero units.
+Result<std::vector<double>> LeaveOneOutValues(
+    const UtilityFunction& utility, const EstimatorOptions& options = {});
 
 /// --- Truncated Monte-Carlo Shapley (Ghorbani & Zou 2019) --------------------
 
-struct TmcShapleyOptions {
+struct TmcShapleyOptions : EstimatorOptions {
   size_t num_permutations = 100;
   /// Truncation: once |v(prefix) - v(N)| falls below this tolerance, the
   /// remaining marginal contributions of the permutation are taken as zero.
   /// Set to 0 to disable truncation.
   double truncation_tolerance = 0.01;
-  uint64_t seed = 42;
-};
-
-struct MonteCarloEstimate {
-  std::vector<double> values;
-  /// Per-unit standard error of the Monte-Carlo mean (0 when not estimable).
-  std::vector<double> std_errors;
-  size_t utility_evaluations = 0;
 };
 
 /// Permutation-sampling Shapley estimator with truncation. Unbiased for
-/// truncation_tolerance == 0.
-MonteCarloEstimate TmcShapleyValues(const UtilityFunction& utility,
-                                    const TmcShapleyOptions& options);
+/// truncation_tolerance == 0. Permutations are independent tasks (one Rng
+/// stream per permutation index); with convergence_tolerance > 0, sampling
+/// stops at the first 32-permutation wave where every std error is within
+/// tolerance. Returns InvalidArgument for zero units or zero permutations.
+Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
+                                            const TmcShapleyOptions& options);
 
 /// Exact Shapley values by full subset enumeration; exponential, only for
 /// n <= ~20. Used as the ground truth in tests. Returns InvalidArgument for
@@ -46,16 +68,18 @@ Result<std::vector<double>> ExactShapleyValues(const UtilityFunction& utility,
 
 /// --- Banzhaf values (Wang & Jia 2023) ----------------------------------------
 
-struct BanzhafOptions {
+struct BanzhafOptions : EstimatorOptions {
   size_t num_samples = 500;  ///< random subsets drawn
-  uint64_t seed = 42;
 };
 
 /// Maximum-sample-reuse (MSR) Banzhaf estimator: every sampled subset updates
 /// the estimate of *all* units (phi_i = mean[v(S) | i in S] - mean[v(S) |
-/// i not in S]).
-MonteCarloEstimate BanzhafValues(const UtilityFunction& utility,
-                                 const BanzhafOptions& options);
+/// i not in S]). Samples run as 16-sample chunks (one Rng stream per sample
+/// index); with convergence_tolerance > 0, sampling stops at the first
+/// 128-sample wave where every std error is within tolerance. Returns
+/// InvalidArgument for zero units or zero samples.
+Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
+                                         const BanzhafOptions& options);
 
 /// Exact Banzhaf values by subset enumeration (n <= ~20).
 Result<std::vector<double>> ExactBanzhafValues(const UtilityFunction& utility,
@@ -63,11 +87,10 @@ Result<std::vector<double>> ExactBanzhafValues(const UtilityFunction& utility,
 
 /// --- Beta Shapley (Kwon & Zou 2022) ------------------------------------------
 
-struct BetaShapleyOptions {
+struct BetaShapleyOptions : EstimatorOptions {
   double alpha = 1.0;  ///< Beta(alpha, beta); (1,1) recovers Shapley
   double beta = 1.0;
   size_t samples_per_unit = 64;
-  uint64_t seed = 42;
 };
 
 /// Beta(alpha, beta)-Shapley semivalue estimated by stratified cardinality
@@ -76,9 +99,12 @@ struct BetaShapleyOptions {
 /// average the marginal contributions. Beta(1, 1) is an unbiased Shapley
 /// estimator; larger alpha emphasizes small coalitions (the noise-reduced
 /// regime recommended by Kwon & Zou, e.g. Beta(16, 1)), larger beta
-/// emphasizes large coalitions.
-MonteCarloEstimate BetaShapleyValues(const UtilityFunction& utility,
-                                     const BetaShapleyOptions& options);
+/// emphasizes large coalitions. Units are independent tasks (one Rng stream
+/// per unit); with convergence_tolerance > 0, each unit stops independently
+/// once its std error is within tolerance (after at least 8 samples). Returns
+/// InvalidArgument for zero units or zero samples_per_unit.
+Result<ImportanceEstimate> BetaShapleyValues(const UtilityFunction& utility,
+                                             const BetaShapleyOptions& options);
 
 /// The Beta-induced distribution over coalition sizes j in {0, ..., n-1}
 /// (probability the coalition S, excluding the target unit, has size j).

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "common/parallel.h"
+
 namespace nde {
 
 namespace {
@@ -34,7 +36,8 @@ std::vector<size_t> DistanceOrder(const Matrix& train_features,
 }  // namespace
 
 std::vector<double> KnnShapleyValues(const MlDataset& train,
-                                     const MlDataset& validation, size_t k) {
+                                     const MlDataset& validation, size_t k,
+                                     const EstimatorOptions& options) {
   NDE_CHECK_GE(k, 1u);
   NDE_CHECK_GT(train.size(), 0u);
   NDE_CHECK_GT(validation.size(), 0u);
@@ -42,27 +45,46 @@ std::vector<double> KnnShapleyValues(const MlDataset& train,
   size_t n = train.size();
   double kd = static_cast<double>(k);
 
+  // Validation points are independent; process them as fixed 8-point chunks
+  // with one partial sum per chunk, folded in chunk order below, so the
+  // result is bit-identical for any thread count.
+  constexpr size_t kChunkPoints = 8;
+  size_t num_chunks = (validation.size() + kChunkPoints - 1) / kChunkPoints;
+  std::vector<std::vector<double>> partials(num_chunks);
+  ParallelFor(
+      0, num_chunks,
+      [&](size_t chunk) {
+        std::vector<double>& partial = partials[chunk];
+        partial.assign(n, 0.0);
+        std::vector<double> s(n, 0.0);
+        size_t begin = chunk * kChunkPoints;
+        size_t end = std::min(begin + kChunkPoints, validation.size());
+        for (size_t v = begin; v < end; ++v) {
+          std::vector<size_t> order =
+              DistanceOrder(train.features, validation.features.Row(v));
+          int y = validation.labels[v];
+          // Recurrence from Jia et al. (2019), Theorem 1. Positions are
+          // 1-indexed in the paper; `pos` below is 0-indexed.
+          size_t farthest = order[n - 1];
+          s[farthest] = (train.labels[farthest] == y ? 1.0 : 0.0) /
+                        static_cast<double>(n);
+          for (size_t pos = n - 1; pos-- > 0;) {
+            size_t i = order[pos];
+            size_t next = order[pos + 1];
+            double indicator_i = train.labels[i] == y ? 1.0 : 0.0;
+            double indicator_next = train.labels[next] == y ? 1.0 : 0.0;
+            double rank = static_cast<double>(pos + 1);  // 1-indexed position.
+            s[i] = s[next] + (indicator_i - indicator_next) / kd *
+                                 std::min(kd, rank) / rank;
+          }
+          for (size_t i = 0; i < n; ++i) partial[i] += s[i];
+        }
+      },
+      options.num_threads, "knn_shapley");
+
   std::vector<double> values(n, 0.0);
-  std::vector<double> s(n, 0.0);
-  for (size_t v = 0; v < validation.size(); ++v) {
-    std::vector<size_t> order =
-        DistanceOrder(train.features, validation.features.Row(v));
-    int y = validation.labels[v];
-    // Recurrence from Jia et al. (2019), Theorem 1. Positions are 1-indexed
-    // in the paper; `pos` below is 0-indexed.
-    size_t farthest = order[n - 1];
-    s[farthest] = (train.labels[farthest] == y ? 1.0 : 0.0) /
-                  static_cast<double>(n);
-    for (size_t pos = n - 1; pos-- > 0;) {
-      size_t i = order[pos];
-      size_t next = order[pos + 1];
-      double indicator_i = train.labels[i] == y ? 1.0 : 0.0;
-      double indicator_next = train.labels[next] == y ? 1.0 : 0.0;
-      double rank = static_cast<double>(pos + 1);  // 1-indexed position.
-      s[i] = s[next] + (indicator_i - indicator_next) / kd *
-                           std::min(kd, rank) / rank;
-    }
-    for (size_t i = 0; i < n; ++i) values[i] += s[i];
+  for (const std::vector<double>& partial : partials) {
+    for (size_t i = 0; i < n; ++i) values[i] += partial[i];
   }
   double inv_m = 1.0 / static_cast<double>(validation.size());
   for (double& value : values) value *= inv_m;

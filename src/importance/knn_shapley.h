@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "importance/estimator_options.h"
 #include "importance/utility.h"
 #include "ml/dataset.h"
 
@@ -22,8 +23,14 @@ namespace nde {
 ///
 /// Ties in distance are broken by training index, matching
 /// `KnnClassifier::Neighbors`.
+///
+/// Validation points are scored in parallel (fixed 8-point chunks with
+/// per-chunk partial sums folded in chunk order), so for any
+/// `options.num_threads` the result is bit-identical; the closed form draws
+/// no randomness, so `options.seed` is unused.
 std::vector<double> KnnShapleyValues(const MlDataset& train,
-                                     const MlDataset& validation, size_t k);
+                                     const MlDataset& validation, size_t k,
+                                     const EstimatorOptions& options = {});
 
 /// The same game as an explicit UtilityFunction, used to validate the closed
 /// form against exact enumeration in tests and to plug the KNN proxy game

@@ -22,7 +22,7 @@ ModelAccuracyUtility::ModelAccuracyUtility(ClassifierFactory factory,
 }
 
 double ModelAccuracyUtility::Evaluate(const std::vector<size_t>& subset) const {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   if (subset.empty()) {
     return 1.0 / static_cast<double>(num_classes_);
   }

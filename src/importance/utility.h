@@ -1,6 +1,7 @@
 #ifndef NDE_IMPORTANCE_UTILITY_H_
 #define NDE_IMPORTANCE_UTILITY_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,11 @@ namespace nde {
 /// are defined on.
 ///
 /// Subsets are given as sorted, unique indices into the training set.
+///
+/// Thread-safety contract: the parallel estimators call Evaluate concurrently
+/// from many worker threads, so implementations must keep Evaluate free of
+/// unsynchronized mutable state (counters go in atomics, as
+/// ModelAccuracyUtility does).
 class UtilityFunction {
  public:
   virtual ~UtilityFunction() = default;
@@ -52,14 +58,17 @@ class ModelAccuracyUtility : public UtilityFunction {
   const MlDataset& validation() const { return validation_; }
 
   /// Total number of Evaluate calls so far (Monte-Carlo cost accounting).
-  size_t num_evaluations() const { return evaluations_; }
+  size_t num_evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   ClassifierFactory factory_;
   MlDataset train_;
   MlDataset validation_;
   int num_classes_;
-  mutable size_t evaluations_ = 0;
+  /// Atomic: Evaluate runs concurrently under the parallel estimators.
+  mutable std::atomic<size_t> evaluations_{0};
 };
 
 }  // namespace nde

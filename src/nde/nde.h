@@ -31,6 +31,7 @@
 #include "cleaning/imputation.h"
 #include "cleaning/strategies.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -41,6 +42,7 @@
 #include "datagen/synthetic.h"
 #include "datascope/datascope.h"
 #include "datascope/whatif.h"
+#include "importance/estimator_options.h"
 #include "importance/fairness_debugging.h"
 #include "importance/game_values.h"
 #include "importance/grouped.h"

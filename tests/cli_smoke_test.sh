@@ -82,6 +82,28 @@ else
   grep -q 'tmc_permutation' out.json || fail "trace lacks Shapley iteration spans"
 fi
 
+# --- --threads: parallel runs match the serial run ---------------------------
+"$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    --threads 1 > threads1_out.txt || fail "--threads 1 importance failed"
+"$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    --threads 2 > threads2_out.txt || fail "--threads 2 importance failed"
+grep '^[0-9]\+$' threads1_out.txt > threads1_ids.txt
+grep '^[0-9]\+$' threads2_out.txt > threads2_ids.txt
+cmp -s threads1_ids.txt threads2_ids.txt \
+    || fail "--threads 2 ranked different candidates than --threads 1"
+grep -q "threads)" threads2_out.txt \
+    || fail "importance output does not report the thread count"
+
+"$CLI" importance train.csv --label label --threads bogus > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "non-numeric --threads should exit 2"
+grep -q -- "--threads" err.txt || fail "--threads error does not name the flag"
+
+"$CLI" importance train.csv --label label --threads 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--threads 0 should exit 2"
+
+"$CLI" importance train.csv --label label --threads -3 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "negative --threads should exit 2"
+
 # --- error handling ----------------------------------------------------------
 "$CLI" bogus train.csv > /dev/null 2> err.txt
 [ $? -eq 2 ] || fail "unknown command should exit 2"

@@ -1,0 +1,222 @@
+// The parallel runtime's central promise (DESIGN.md §8): for a fixed seed,
+// every estimator returns bit-identical values no matter how many worker
+// threads run it. These tests exercise the promise across num_threads
+// {1, 2, 8}, including ragged chunk sizes and early stopping.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "datagen/synthetic.h"
+#include "importance/game_values.h"
+#include "importance/knn_shapley.h"
+#include "importance/utility.h"
+
+namespace nde {
+namespace {
+
+class LambdaUtility : public UtilityFunction {
+ public:
+  LambdaUtility(size_t n, std::function<double(const std::vector<size_t>&)> fn)
+      : n_(n), fn_(std::move(fn)) {}
+
+  double Evaluate(const std::vector<size_t>& subset) const override {
+    return fn_(subset);
+  }
+  size_t num_units() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::function<double(const std::vector<size_t>&)> fn_;
+};
+
+LambdaUtility NonAdditiveGame(size_t n) {
+  return LambdaUtility(n, [](const std::vector<size_t>& subset) {
+    double v = 0.0;
+    for (size_t i : subset) v += static_cast<double>(i + 1);
+    return std::sqrt(v);
+  });
+}
+
+const std::vector<size_t> kThreadCounts = {1, 2, 8};
+
+TEST(DeterminismTest, TmcShapleyIdenticalAcrossThreadCounts) {
+  LambdaUtility game = NonAdditiveGame(8);
+  TmcShapleyOptions options;
+  options.num_permutations = 65;  // Ragged final wave (65 = 2*32 + 1).
+  options.truncation_tolerance = 0.0;
+  options.seed = 7;
+
+  std::vector<ImportanceEstimate> runs;
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    runs.push_back(TmcShapleyValues(game, options).value());
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values) << kThreadCounts[r] << " threads";
+    EXPECT_EQ(runs[r].std_errors, runs[0].std_errors);
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
+}
+
+TEST(DeterminismTest, TmcShapleyWithTruncationIdenticalAcrossThreadCounts) {
+  // Truncation decisions depend only on each permutation's own stream and the
+  // utility values, so they too must be thread-count invariant.
+  LambdaUtility game = NonAdditiveGame(10);
+  TmcShapleyOptions options;
+  options.num_permutations = 48;
+  options.truncation_tolerance = 0.4;
+  options.seed = 11;
+
+  std::vector<ImportanceEstimate> runs;
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    runs.push_back(TmcShapleyValues(game, options).value());
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values);
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
+}
+
+TEST(DeterminismTest, BanzhafIdenticalAcrossThreadCounts) {
+  LambdaUtility game = NonAdditiveGame(6);
+  BanzhafOptions options;
+  options.num_samples = 333;  // Not a multiple of the 16-sample chunk.
+  options.seed = 3;
+
+  std::vector<ImportanceEstimate> runs;
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    runs.push_back(BanzhafValues(game, options).value());
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values) << kThreadCounts[r] << " threads";
+    EXPECT_EQ(runs[r].std_errors, runs[0].std_errors);
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
+}
+
+TEST(DeterminismTest, BetaShapleyIdenticalAcrossThreadCounts) {
+  LambdaUtility game = NonAdditiveGame(7);
+  BetaShapleyOptions options;
+  options.alpha = 4.0;
+  options.beta = 1.0;
+  options.samples_per_unit = 32;
+  options.seed = 5;
+
+  std::vector<ImportanceEstimate> runs;
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    runs.push_back(BetaShapleyValues(game, options).value());
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values) << kThreadCounts[r] << " threads";
+    EXPECT_EQ(runs[r].std_errors, runs[0].std_errors);
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
+}
+
+TEST(DeterminismTest, LeaveOneOutIdenticalAcrossThreadCounts) {
+  LambdaUtility game = NonAdditiveGame(9);
+  EstimatorOptions options;
+  std::vector<std::vector<double>> runs;
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    runs.push_back(LeaveOneOutValues(game, options).value());
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r], runs[0]) << kThreadCounts[r] << " threads";
+  }
+}
+
+TEST(DeterminismTest, KnnShapleyIdenticalAcrossThreadCounts) {
+  BlobsOptions blob;
+  blob.num_examples = 40;
+  blob.num_features = 4;
+  blob.seed = 42;
+  blob.center_seed = 99;
+  MlDataset train = MakeBlobs(blob);
+  blob.num_examples = 21;  // Not a multiple of the 8-point chunk.
+  blob.seed = 43;
+  MlDataset validation = MakeBlobs(blob);
+
+  EstimatorOptions options;
+  std::vector<std::vector<double>> runs;
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    runs.push_back(KnnShapleyValues(train, validation, 3, options));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r], runs[0]) << kThreadCounts[r] << " threads";
+  }
+}
+
+TEST(DeterminismTest, ConvergenceToleranceStopsEarlyAndStaysDeterministic) {
+  LambdaUtility game = NonAdditiveGame(6);
+  TmcShapleyOptions full;
+  full.num_permutations = 4096;
+  full.truncation_tolerance = 0.0;
+  full.seed = 13;
+  TmcShapleyOptions early = full;
+  early.convergence_tolerance = 0.05;
+
+  ImportanceEstimate full_run = TmcShapleyValues(game, full).value();
+  std::vector<ImportanceEstimate> runs;
+  for (size_t threads : kThreadCounts) {
+    early.num_threads = threads;
+    runs.push_back(TmcShapleyValues(game, early).value());
+  }
+  EXPECT_LT(runs[0].utility_evaluations, full_run.utility_evaluations);
+  for (double err : runs[0].std_errors) EXPECT_LE(err, 0.05);
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values) << kThreadCounts[r] << " threads";
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
+}
+
+TEST(DeterminismTest, NumThreadsUsedIsReported) {
+  LambdaUtility game = NonAdditiveGame(6);
+  TmcShapleyOptions options;
+  options.num_permutations = 64;
+  options.num_threads = 2;
+  ImportanceEstimate estimate = TmcShapleyValues(game, options).value();
+  EXPECT_EQ(estimate.num_threads_used, 2u);
+  options.num_threads = 1;
+  estimate = TmcShapleyValues(game, options).value();
+  EXPECT_EQ(estimate.num_threads_used, 1u);
+}
+
+TEST(EstimatorValidationTest, ZeroUnitsIsInvalidArgument) {
+  LambdaUtility empty(0, [](const std::vector<size_t>&) { return 0.0; });
+  EXPECT_EQ(LeaveOneOutValues(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TmcShapleyValues(empty, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BanzhafValues(empty, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BetaShapleyValues(empty, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EstimatorValidationTest, ZeroBudgetIsInvalidArgument) {
+  LambdaUtility game = NonAdditiveGame(4);
+  TmcShapleyOptions tmc;
+  tmc.num_permutations = 0;
+  EXPECT_EQ(TmcShapleyValues(game, tmc).status().code(),
+            StatusCode::kInvalidArgument);
+  BanzhafOptions banzhaf;
+  banzhaf.num_samples = 0;
+  EXPECT_EQ(BanzhafValues(game, banzhaf).status().code(),
+            StatusCode::kInvalidArgument);
+  BetaShapleyOptions beta;
+  beta.samples_per_unit = 0;
+  EXPECT_EQ(BetaShapleyValues(game, beta).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nde

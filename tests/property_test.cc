@@ -103,7 +103,7 @@ TEST_P(ShapleyAxiomsTest, EfficiencyNullPlayerAndEstimatorAgreement) {
   options.num_permutations = 3000;
   options.truncation_tolerance = 0.0;
   options.seed = GetParam() * 31 + 1;
-  MonteCarloEstimate estimate = TmcShapleyValues(game, options);
+  ImportanceEstimate estimate = TmcShapleyValues(game, options).value();
   for (size_t i = 0; i < exact.size(); ++i) {
     EXPECT_NEAR(estimate.values[i], exact[i], 0.02);
   }

@@ -1,24 +1,51 @@
 #!/usr/bin/env bash
-# Sanitizer check: configure a Debug build with ASan+UBSan, build everything,
-# and run the full test suite under the sanitizers. Usage:
+# Sanitizer check: configure a Debug build with sanitizers, build everything,
+# and run the test suite under them. Usage:
 #
-#   tools/check.sh [build-dir]       # default build dir: build-asan
+#   tools/check.sh [build-dir]         # ASan+UBSan, full suite
+#                                      # (default build dir: build-asan)
+#   tools/check.sh --tsan [build-dir]  # ThreadSanitizer, parallel-runtime and
+#                                      # determinism tests only
+#                                      # (default build dir: build-tsan)
 #
+# TSan is incompatible with ASan, hence the separate mode and build dir.
 # A non-zero exit means a build failure, test failure, or sanitizer report.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
+
+MODE=asan
+if [ "${1:-}" = "--tsan" ]; then
+  MODE=tsan
+  shift
+fi
+
+if [ "$MODE" = "tsan" ]; then
+  BUILD_DIR="${1:-build-tsan}"
+  SANITIZE="thread"
+else
+  BUILD_DIR="${1:-build-asan}"
+  SANITIZE="address,undefined"
+fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  -DCMAKE_CXX_FLAGS="-fsanitize=$SANITIZE -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=$SANITIZE"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error makes UBSan reports fail the test instead of just logging.
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+export TSAN_OPTIONS="halt_on_error=1"
 
-echo "check.sh: all tests passed under ASan+UBSan"
+if [ "$MODE" = "tsan" ]; then
+  # The thread-heavy suites: pool lifecycle, ParallelFor, and the estimators'
+  # cross-thread determinism contract.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R "determinism|parallel|importance"
+  echo "check.sh: parallel suites passed under TSan"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  echo "check.sh: all tests passed under ASan+UBSan"
+fi

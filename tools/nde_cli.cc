@@ -24,8 +24,12 @@
 //   --prometheus         print metrics in Prometheus text format instead
 //   --trace <out.json>   write a Chrome trace_event JSON of the run,
 //                        loadable in about:tracing or https://ui.perfetto.dev
+//   --threads <N>        worker threads for parallel estimators (default:
+//                        hardware concurrency; results are identical for any
+//                        N at a fixed seed)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -90,7 +94,7 @@ Status CheckFlags(const Args& args, const std::string& command,
                   const std::set<std::string>& allowed) {
   for (const auto& [key, value] : args.flags) {
     if (allowed.count(key) > 0 || key == "metrics" || key == "prometheus" ||
-        key == "trace") {
+        key == "trace" || key == "threads") {
       continue;
     }
     return Status::InvalidArgument(StrFormat(
@@ -225,27 +229,33 @@ int RunImportancePipeline(const Args& args) {
   } else {
     auto factory = []() { return std::make_unique<KnnClassifier>(5); };
     ModelAccuracyUtility utility(factory, train, valid);
-    MonteCarloEstimate estimate;
-    if (method == "tmc_shapley") {
-      TmcShapleyOptions options;
-      options.num_permutations = permutations;
-      estimate = TmcShapleyValues(utility, options);
-    } else if (method == "banzhaf") {
-      BanzhafOptions options;
-      options.num_samples = permutations * 8;
-      estimate = BanzhafValues(utility, options);
-    } else if (method == "beta_shapley") {
-      BetaShapleyOptions options;
-      options.samples_per_unit = std::max<size_t>(permutations, 2);
-      estimate = BetaShapleyValues(utility, options);
-    } else {
-      return Fail("unknown method '" + method +
-                  "' (single-file mode supports "
-                  "tmc_shapley|banzhaf|beta_shapley|knn_shapley)");
-    }
-    values = std::move(estimate.values);
-    std::printf("%zu utility evaluations over %zu training rows\n",
-                estimate.utility_evaluations, train.size());
+    auto estimate_for = [&]() -> Result<ImportanceEstimate> {
+      if (method == "tmc_shapley") {
+        TmcShapleyOptions options;
+        options.num_permutations = permutations;
+        return TmcShapleyValues(utility, options);
+      }
+      if (method == "banzhaf") {
+        BanzhafOptions options;
+        options.num_samples = permutations * 8;
+        return BanzhafValues(utility, options);
+      }
+      if (method == "beta_shapley") {
+        BetaShapleyOptions options;
+        options.samples_per_unit = std::max<size_t>(permutations, 2);
+        return BetaShapleyValues(utility, options);
+      }
+      return Status::InvalidArgument(
+          "unknown method '" + method +
+          "' (single-file mode supports "
+          "tmc_shapley|banzhaf|beta_shapley|knn_shapley)");
+    };
+    Result<ImportanceEstimate> estimate = estimate_for();
+    if (!estimate.ok()) return Fail(estimate.status().ToString());
+    std::printf("%zu utility evaluations over %zu training rows (%zu threads)\n",
+                estimate->utility_evaluations, train.size(),
+                estimate->num_threads_used);
+    values = std::move(estimate->values);
   }
 
   // Most suspect first = lowest importance value; report source row ids via
@@ -358,7 +368,8 @@ int Usage() {
                "  impute <table.csv> --column <col>\n"
                "         [--strategy mean|median|most_frequent] "
                "[--out <out.csv>]\n"
-               "global flags: --metrics | --prometheus | --trace <out.json>\n");
+               "global flags: --metrics | --prometheus | --trace <out.json> "
+               "| --threads <N>\n");
   return 2;
 }
 
@@ -381,6 +392,22 @@ int Main(int argc, char** argv) {
   if (!args.error.empty()) {
     std::fprintf(stderr, "error: %s\n", args.error.c_str());
     return 2;
+  }
+
+  std::string threads_flag = FlagOr(args, "threads", "");
+  if (!threads_flag.empty()) {
+    char* end = nullptr;
+    // strtoull silently wraps negative input, so reject any non-digit upfront.
+    bool all_digits = !threads_flag.empty() &&
+                      threads_flag.find_first_not_of("0123456789") ==
+                          std::string::npos;
+    unsigned long long parsed = std::strtoull(threads_flag.c_str(), &end, 10);
+    if (!all_digits || end == threads_flag.c_str() || *end != '\0' ||
+        parsed == 0) {
+      return Fail("--threads requires a positive integer, got '" +
+                  threads_flag + "'");
+    }
+    SetDefaultNumThreads(static_cast<size_t>(parsed));
   }
 
   bool want_metrics = args.flags.count("metrics") > 0;
