@@ -166,6 +166,86 @@ BENCHMARK(BM_TmcShapleyThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_TmcUtilityFastPath(benchmark::State& state) {
+  // The utility fast path on the medium TMC config at one thread: arg 0 runs
+  // the legacy path (materialized coalitions, per-prefix retraining), arg 1
+  // the prefix scan over zero-copy views. Values are byte-identical either
+  // way (asserted at startup); only evals/sec should move.
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  bool fast = state.range(0) != 0;
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  options.num_threads = 1;
+  options.use_prefix_scan = fast;
+  UtilityFastPathOptions fast_path;
+  fast_path.zero_copy_views = fast;
+  size_t evaluations = 0;
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation, fast_path);
+    ImportanceEstimate estimate = TmcShapleyValues(utility, options).value();
+    benchmark::DoNotOptimize(estimate);
+    evaluations += estimate.utility_evaluations;
+  }
+  state.counters["utility_evals_per_sec"] = benchmark::Counter(
+      static_cast<double>(evaluations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TmcUtilityFastPath)
+    ->ArgName("fast")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BanzhafSubsetCache(benchmark::State& state) {
+  // Sharded subset-memoization cache, cold vs warm. Arg 0: a fresh cache per
+  // estimator run, so only within-run duplicates hit. Arg 1: one cache shared
+  // across runs (the wave-replay scenario), so after the first run nearly
+  // every coalition is a hit. The hit_rate counter lands in
+  // BENCH_results.json alongside the timings.
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  bool warm = state.range(0) != 0;
+  BanzhafOptions options;
+  options.num_samples = 100;
+  options.num_threads = 1;
+  UtilityFastPathOptions fast_path;
+  fast_path.subset_cache = true;
+  std::unique_ptr<ModelAccuracyUtility> shared;
+  if (warm) {
+    shared =
+        std::make_unique<ModelAccuracyUtility>(factory, train, validation,
+                                               fast_path);
+    // Populate outside the timed region; the timed runs replay these subsets.
+    benchmark::DoNotOptimize(BanzhafValues(*shared, options).value());
+  }
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    if (warm) {
+      ImportanceEstimate estimate = BanzhafValues(*shared, options).value();
+      benchmark::DoNotOptimize(estimate);
+      SubsetCache::Stats stats = shared->subset_cache()->stats();
+      hit_rate = static_cast<double>(stats.hits) /
+                 static_cast<double>(stats.hits + stats.misses);
+    } else {
+      ModelAccuracyUtility utility(factory, train, validation, fast_path);
+      ImportanceEstimate estimate = BanzhafValues(utility, options).value();
+      benchmark::DoNotOptimize(estimate);
+      SubsetCache::Stats stats = utility.subset_cache()->stats();
+      hit_rate = static_cast<double>(stats.hits) /
+                 static_cast<double>(stats.hits + stats.misses);
+    }
+  }
+  state.counters["cache_hit_rate"] = benchmark::Counter(hit_rate);
+}
+BENCHMARK(BM_BanzhafSubsetCache)
+    ->ArgName("warm")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // Console output as usual, plus one JSON-lines record per benchmark run in
 // BENCH_results.json (see bench_util.h) so sweeps can be plotted or diffed
 // without scraping the console table.
@@ -178,10 +258,16 @@ class JsonAppendingReporter : public benchmark::ConsoleReporter {
       double iterations = static_cast<double>(run.iterations);
       if (iterations <= 0) continue;
       double ms = run.real_accumulated_time / iterations * 1e3;
-      bench::ReportJson(
-          run.benchmark_name(), ms,
-          {{"iterations", std::to_string(run.iterations)},
-           {"bench", "\"scalability\""}});
+      std::vector<std::pair<std::string, std::string>> extras = {
+          {"iterations", std::to_string(run.iterations)},
+          {"bench", "\"scalability\""}};
+      // User counters (evals/sec, cache hit rate, ...) ride along so the
+      // fast-path sweep is diffable straight from BENCH_results.json. They
+      // arrive already finalized (rates divided by elapsed time).
+      for (const auto& [name, counter] : run.counters) {
+        extras.emplace_back(name, std::to_string(counter.value));
+      }
+      bench::ReportJson(run.benchmark_name(), ms, extras);
     }
   }
 };
@@ -216,11 +302,50 @@ bool CheckThreadCountDeterminism() {
   return true;
 }
 
+/// Guards the fast-path sweep's premise: the prefix scan + zero-copy views +
+/// subset cache must change only the speed of BM_TmcUtilityFastPath, never a
+/// bit of its output.
+bool CheckUtilityFastPathBitIdentity() {
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  options.num_threads = 1;
+
+  options.use_prefix_scan = false;
+  UtilityFastPathOptions slow_path;
+  slow_path.zero_copy_views = false;
+  ModelAccuracyUtility slow(factory, train, validation, slow_path);
+  ImportanceEstimate baseline = TmcShapleyValues(slow, options).value();
+
+  options.use_prefix_scan = true;
+  UtilityFastPathOptions fast_path;
+  fast_path.subset_cache = true;
+  ModelAccuracyUtility fast(factory, train, validation, fast_path);
+  ImportanceEstimate candidate = TmcShapleyValues(fast, options).value();
+
+  if (candidate.values.size() != baseline.values.size() ||
+      std::memcmp(candidate.values.data(), baseline.values.data(),
+                  baseline.values.size() * sizeof(double)) != 0 ||
+      candidate.utility_evaluations != baseline.utility_evaluations) {
+    std::fprintf(stderr,
+                 "FATAL: utility fast path changed TMC-Shapley output\n");
+    return false;
+  }
+  std::fprintf(stderr,
+               "determinism: utility fast path (views + prefix scan + cache) "
+               "byte-identical to the slow path\n");
+  return true;
+}
+
 }  // namespace
 }  // namespace nde
 
 int main(int argc, char** argv) {
   if (!nde::CheckThreadCountDeterminism()) return 1;
+  if (!nde::CheckUtilityFastPathBitIdentity()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   nde::JsonAppendingReporter reporter;

@@ -25,6 +25,20 @@ struct EstimatorOptions {
   /// fixed wave boundaries, so stopping is thread-count invariant). 0 disables
   /// early stopping and runs the full sampling budget.
   double convergence_tolerance = 0.0;
+
+  /// Use the utility's incremental prefix-scan fast path for permutation
+  /// scans (TMC-Shapley) when the utility offers one. Exact scans (e.g. the
+  /// KNN coalition scorer) are bit-identical to per-prefix Evaluate calls, so
+  /// this is on by default; turn off only to benchmark the slow path.
+  bool use_prefix_scan = true;
+
+  /// Opt into *approximate* warm-started prefix training: when the utility
+  /// has no exact scan, permutation scans may reuse one model per permutation
+  /// via Classifier::FitIncremental (reduced iteration budget for gradient
+  /// models). Like truncation_tolerance this trades a little bias for a big
+  /// speedup, so it is off by default; results stay deterministic for any
+  /// thread count either way.
+  bool warm_start = false;
 };
 
 }  // namespace nde

@@ -130,6 +130,14 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
           PermutationPartial& out = wave[t - wave_begin];
           Rng rng = seeds.RngFor(t);
           std::vector<size_t> perm = rng.Permutation(n);
+          // Prefix-scan fast path: the permutation grows one coalition a unit
+          // at a time, so a utility offering an incremental scan evaluates
+          // each prefix without retraining from scratch. Exact scans are
+          // bit-identical to Evaluate; approximate warm-started scans are
+          // only handed out when options.warm_start opted in.
+          std::unique_ptr<UtilityFunction::PrefixScan> scan =
+              options.use_prefix_scan ? utility.NewPrefixScan(options.warm_start)
+                                      : nullptr;
           std::vector<size_t> prefix;
           prefix.reserve(n);
           double previous = empty_utility;
@@ -146,8 +154,13 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
                 NDE_SPAN_ARG(perm_span, "truncated_at",
                              static_cast<int64_t>(pos));
               } else {
-                prefix.push_back(unit);
-                double current = utility.Evaluate(Sorted(prefix));
+                double current;
+                if (scan != nullptr) {
+                  current = scan->Push(unit);
+                } else {
+                  prefix.push_back(unit);
+                  current = utility.Evaluate(Sorted(prefix));
+                }
                 ++out.evaluations;
                 marginal = current - previous;
                 previous = current;

@@ -1,8 +1,9 @@
 #include "importance/knn_shapley.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
-#include <unordered_set>
+#include <span>
 
 #include "common/parallel.h"
 
@@ -12,7 +13,7 @@ namespace {
 
 /// Training indices sorted by squared distance to `query` (ties by index).
 std::vector<size_t> DistanceOrder(const Matrix& train_features,
-                                  const std::vector<double>& query) {
+                                  std::span<const double> query) {
   size_t n = train_features.rows();
   std::vector<double> dist(n);
   for (size_t i = 0; i < n; ++i) {
@@ -61,7 +62,7 @@ std::vector<double> KnnShapleyValues(const MlDataset& train,
         size_t end = std::min(begin + kChunkPoints, validation.size());
         for (size_t v = begin; v < end; ++v) {
           std::vector<size_t> order =
-              DistanceOrder(train.features, validation.features.Row(v));
+              DistanceOrder(train.features, validation.features.RowSpan(v));
           int y = validation.labels[v];
           // Recurrence from Jia et al. (2019), Theorem 1. Positions are
           // 1-indexed in the paper; `pos` below is 0-indexed.
@@ -97,20 +98,40 @@ SoftKnnUtility::SoftKnnUtility(MlDataset train, MlDataset validation, size_t k)
   distance_order_.reserve(validation_.size());
   for (size_t v = 0; v < validation_.size(); ++v) {
     distance_order_.push_back(
-        DistanceOrder(train_.features, validation_.features.Row(v)));
+        DistanceOrder(train_.features, validation_.features.RowSpan(v)));
   }
 }
 
+namespace {
+
+/// Reusable membership marks: stamp[i] == epoch says i is in the current
+/// subset, and bumping the epoch invalidates every mark from the previous
+/// call without clearing (or reallocating) the vector. One instance per
+/// thread keeps Evaluate allocation-free and safe under the parallel
+/// estimators, which call it concurrently.
+struct EpochMembership {
+  std::vector<uint64_t> stamp;
+  uint64_t epoch = 0;
+};
+
+}  // namespace
+
 double SoftKnnUtility::Evaluate(const std::vector<size_t>& subset) const {
   if (subset.empty() || validation_.size() == 0) return 0.0;
-  std::unordered_set<size_t> members(subset.begin(), subset.end());
+  static thread_local EpochMembership members;
+  if (members.stamp.size() < train_.size()) {
+    members.stamp.assign(train_.size(), 0);
+    members.epoch = 0;
+  }
+  uint64_t epoch = ++members.epoch;
+  for (size_t i : subset) members.stamp[i] = epoch;
   double total = 0.0;
   for (size_t v = 0; v < validation_.size(); ++v) {
     int y = validation_.labels[v];
     size_t taken = 0;
     double hits = 0.0;
     for (size_t idx : distance_order_[v]) {
-      if (members.find(idx) == members.end()) continue;
+      if (members.stamp[idx] != epoch) continue;
       if (train_.labels[idx] == y) hits += 1.0;
       if (++taken >= k_) break;
     }

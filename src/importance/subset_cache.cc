@@ -1,0 +1,111 @@
+#include "importance/subset_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace nde {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit hash of one element.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t OrderIndependentSubsetHash::operator()(
+    const std::vector<size_t>& subset) const {
+  // Commutative fold (+) keeps the hash order-independent; the size term
+  // separates e.g. {} from nothing-at-all and cheapens prefix collisions.
+  uint64_t h = Mix64(subset.size());
+  for (size_t element : subset) h += Mix64(element);
+  return static_cast<size_t>(h);
+}
+
+SubsetCache::SubsetCache(SubsetCacheOptions options) : options_(options) {
+  NDE_CHECK_GE(options_.num_shards, 1u);
+  NDE_CHECK_GE(options_.max_entries, options_.num_shards);
+  per_shard_capacity_ = options_.max_entries / options_.num_shards;
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Pre-register the telemetry counters so `nde_cli --metrics` lists them
+  // (at zero) even before the first evaluation lands.
+  telemetry::MetricsRegistry::Global().GetCounter("utility_cache.hits");
+  telemetry::MetricsRegistry::Global().GetCounter("utility_cache.misses");
+  telemetry::MetricsRegistry::Global().GetCounter("utility_cache.evictions");
+}
+
+double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
+                                 const std::function<double()>& compute) {
+  // Canonicalize to sorted form so key equality matches the order-independent
+  // hash. Estimators already pass sorted subsets, making this a linear scan.
+  std::vector<size_t> key;
+  const std::vector<size_t>* lookup = &subset;
+  if (!std::is_sorted(subset.begin(), subset.end())) {
+    key = subset;
+    std::sort(key.begin(), key.end());
+    lookup = &key;
+  }
+
+  uint64_t hash = OrderIndependentSubsetHash{}(*lookup);
+  Shard& shard = *shards_[hash % options_.num_shards];
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.values.find(*lookup);
+    if (it != shard.values.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      NDE_METRIC_COUNT("utility_cache.hits", 1);
+      return it->second;
+    }
+  }
+
+  // Compute outside the lock: distinct subsets never serialize on each other,
+  // and a concurrent duplicate compute returns the identical (deterministic)
+  // value, so double computation is a small waste, never a correctness issue.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  NDE_METRIC_COUNT("utility_cache.misses", 1);
+  double value = compute();
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<size_t> owned = (lookup == &subset) ? subset : std::move(key);
+    auto [it, inserted] = shard.values.emplace(std::move(owned), value);
+    if (inserted) {
+      shard.order.push_back(it->first);
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      while (shard.values.size() > per_shard_capacity_) {
+        shard.values.erase(shard.order.front());
+        shard.order.pop_front();
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        NDE_METRIC_COUNT("utility_cache.evictions", 1);
+      }
+      NDE_METRIC_GAUGE_SET("utility_cache.entries",
+                           static_cast<double>(
+                               entries_.load(std::memory_order_relaxed)));
+    }
+  }
+  return value;
+}
+
+SubsetCache::Stats SubsetCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace nde

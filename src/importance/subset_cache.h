@@ -1,0 +1,88 @@
+#ifndef NDE_IMPORTANCE_SUBSET_CACHE_H_
+#define NDE_IMPORTANCE_SUBSET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace nde {
+
+/// Order-independent subset hash: a commutative (addition) fold of a 64-bit
+/// mix of each element, so {1,5,9} and {9,1,5} collide by construction.
+/// Equality still compares full (canonicalized) keys, so the commutative fold
+/// costs nothing in correctness.
+struct OrderIndependentSubsetHash {
+  size_t operator()(const std::vector<size_t>& subset) const;
+};
+
+/// Configuration for a SubsetCache.
+struct SubsetCacheOptions {
+  /// Lock shards. Concurrent utility evaluations from the parallel
+  /// estimators hash to independent shards, so contention stays low without
+  /// a lock-free structure.
+  size_t num_shards = 8;
+  /// Size bound across all shards (entries, not bytes). Each shard holds up
+  /// to max_entries / num_shards values and evicts FIFO beyond that.
+  size_t max_entries = 16384;
+};
+
+/// Thread-safe, size-bounded memoization cache for coalition utility values,
+/// shared across waves and across estimators evaluating the same game.
+///
+/// Keys are subsets of training-unit indices, hashed order-independently
+/// (commutative mix over the elements) and canonicalized to sorted form, so
+/// the same coalition hits regardless of the order a caller lists it in.
+///
+/// Determinism: the cache stores exact values produced by the deterministic
+/// utility, hits are resolved by full-key equality (hash collisions can share
+/// a shard, never corrupt a value), and concurrent computes of the same key
+/// produce identical values (first insert wins). Estimator results are
+/// therefore bit-identical with the cache on or off, for any thread count and
+/// any eviction pattern — eviction only costs recomputation.
+class SubsetCache {
+ public:
+  explicit SubsetCache(SubsetCacheOptions options = {});
+
+  /// Returns the cached value for `subset`, or invokes `compute` (outside the
+  /// shard lock, so concurrent evaluations of distinct subsets never
+  /// serialize) and caches the result.
+  double GetOrCompute(const std::vector<size_t>& subset,
+                      const std::function<double()>& compute);
+
+  /// Counters over the cache's lifetime. `entries` is the current size.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  const SubsetCacheOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::vector<size_t>, double, OrderIndependentSubsetHash>
+        values;
+    /// Insertion-order queue for FIFO eviction.
+    std::deque<std::vector<size_t>> order;
+  };
+
+  SubsetCacheOptions options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<size_t> entries_{0};
+};
+
+}  // namespace nde
+
+#endif  // NDE_IMPORTANCE_SUBSET_CACHE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <utility>
+
+#include "telemetry/telemetry.h"
 
 namespace nde {
 
@@ -13,29 +16,53 @@ double UtilityFunction::FullUtility() const {
 }
 
 ModelAccuracyUtility::ModelAccuracyUtility(ClassifierFactory factory,
-                                           MlDataset train, MlDataset validation)
+                                           MlDataset train,
+                                           MlDataset validation,
+                                           UtilityFastPathOptions fast_path)
     : factory_(std::move(factory)),
       train_(std::move(train)),
-      validation_(std::move(validation)) {
+      validation_(std::move(validation)),
+      fast_path_(fast_path) {
   NDE_CHECK(factory_ != nullptr);
   num_classes_ = std::max({train_.NumClasses(), validation_.NumClasses(), 2});
+  if (fast_path_.subset_cache) {
+    cache_ = std::make_unique<SubsetCache>(fast_path_.cache);
+  }
 }
 
 double ModelAccuracyUtility::Evaluate(const std::vector<size_t>& subset) const {
+  // Counted before the cache lookup so evaluation counts (the estimators'
+  // cost accounting) are identical with the cache on or off.
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   if (subset.empty()) {
     return 1.0 / static_cast<double>(num_classes_);
   }
-  MlDataset coalition = train_.Subset(subset);
+  if (cache_ != nullptr) {
+    return cache_->GetOrCompute(subset,
+                                [&] { return EvaluateUncached(subset); });
+  }
+  return EvaluateUncached(subset);
+}
+
+double ModelAccuracyUtility::EvaluateUncached(
+    const std::vector<size_t>& subset) const {
   std::unique_ptr<Classifier> model = factory_();
-  Status fit = model->FitWithClasses(coalition, num_classes_);
+  MlDatasetView view(train_, subset);
+  Status fit = fast_path_.zero_copy_views
+                   ? model->FitView(view, num_classes_)
+                   : model->FitWithClasses(train_.Subset(subset), num_classes_);
   if (fit.ok()) {
     std::vector<int> predicted = model->Predict(validation_.features);
     return Accuracy(validation_.labels, predicted);
   }
   // Fallback: majority-label predictor of the coalition.
+  return MajorityAccuracy(view.CopyLabels());
+}
+
+double ModelAccuracyUtility::MajorityAccuracy(
+    const std::vector<int>& coalition_labels) const {
   std::map<int, size_t> counts;
-  for (int label : coalition.labels) ++counts[label];
+  for (int label : coalition_labels) ++counts[label];
   int majority = 0;
   size_t best = 0;
   for (const auto& [label, count] : counts) {
@@ -50,6 +77,82 @@ double ModelAccuracyUtility::Evaluate(const std::vector<size_t>& subset) const {
   }
   return static_cast<double>(correct) /
          static_cast<double>(validation_.labels.size());
+}
+
+/// Exact prefix scan over a model's CoalitionScorer: every Push admits one
+/// row and rescores the validation set, bit-identical to a cold retrain by
+/// the CoalitionScorer contract. Bypasses the subset cache — the scorer is
+/// already cheaper than a cache probe plus the occasional retrain.
+class ModelAccuracyUtility::ExactScan : public UtilityFunction::PrefixScan {
+ public:
+  ExactScan(const ModelAccuracyUtility* owner,
+            std::unique_ptr<CoalitionScorer> scorer)
+      : owner_(owner), scorer_(std::move(scorer)) {}
+
+  double Push(size_t unit) override {
+    owner_->evaluations_.fetch_add(1, std::memory_order_relaxed);
+    NDE_METRIC_COUNT("utility.prefix_scan_evals", 1);
+    scorer_->Add(unit);
+    return Accuracy(owner_->validation_.labels, scorer_->Predict());
+  }
+
+ private:
+  const ModelAccuracyUtility* owner_;
+  std::unique_ptr<CoalitionScorer> scorer_;
+};
+
+/// Approximate warm-started scan: one persistent model re-fitted via
+/// FitIncremental as the coalition grows. Only handed out when the caller
+/// opted in (EstimatorOptions::warm_start) because values differ from cold
+/// retraining; they remain deterministic for any thread count since each
+/// permutation owns one scan.
+class ModelAccuracyUtility::WarmStartScan
+    : public UtilityFunction::PrefixScan {
+ public:
+  explicit WarmStartScan(const ModelAccuracyUtility* owner)
+      : owner_(owner),
+        model_(owner->factory_()),
+        row_(1, owner->train_.features.cols()) {
+    coalition_.features = Matrix(0, owner->train_.features.cols());
+  }
+
+  double Push(size_t unit) override {
+    owner_->evaluations_.fetch_add(1, std::memory_order_relaxed);
+    NDE_METRIC_COUNT("utility.warm_start_evals", 1);
+    const double* src = owner_->train_.features.RowPtr(unit);
+    std::copy(src, src + row_.cols(), row_.RowPtr(0));
+    coalition_.features.AppendRows(row_);
+    coalition_.labels.push_back(owner_->train_.labels[unit]);
+    Status fit = model_->FitIncremental(coalition_, owner_->num_classes_);
+    if (!fit.ok()) {
+      return owner_->MajorityAccuracy(coalition_.labels);
+    }
+    return Accuracy(owner_->validation_.labels,
+                    model_->Predict(owner_->validation_.features));
+  }
+
+ private:
+  const ModelAccuracyUtility* owner_;
+  std::unique_ptr<Classifier> model_;
+  MlDataset coalition_;
+  Matrix row_;  ///< Reused 1 x d staging row for AppendRows.
+};
+
+std::unique_ptr<UtilityFunction::PrefixScan>
+ModelAccuracyUtility::NewPrefixScan(bool allow_warm_start) const {
+  if (train_.size() == 0 || validation_.size() == 0) return nullptr;
+  std::call_once(scorer_context_once_, [this] {
+    std::unique_ptr<Classifier> probe = factory_();
+    scorer_context_ = probe->NewCoalitionScorerContext(
+        train_, validation_.features, num_classes_);
+  });
+  if (scorer_context_ != nullptr) {
+    return std::make_unique<ExactScan>(this, scorer_context_->NewScorer());
+  }
+  if (allow_warm_start) {
+    return std::make_unique<WarmStartScan>(this);
+  }
+  return nullptr;
 }
 
 }  // namespace nde

@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "importance/subset_cache.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
 #include "ml/model.h"
@@ -36,6 +38,51 @@ class UtilityFunction {
 
   /// v(empty set).
   double EmptyUtility() const { return Evaluate({}); }
+
+  /// One permutation scan's worth of incremental utility evaluation: the TMC
+  /// estimator grows a coalition one unit at a time, and Push(unit) returns
+  /// v(coalition + unit) — the same value Evaluate would return on the grown
+  /// subset, but without retraining from scratch. A scan session is
+  /// single-threaded and starts from the empty coalition.
+  class PrefixScan {
+   public:
+    virtual ~PrefixScan() = default;
+
+    /// Adds `unit` to the coalition and returns the utility of the grown
+    /// coalition. Each Push counts as one utility evaluation.
+    virtual double Push(size_t unit) = 0;
+  };
+
+  /// Returns a fresh scan session, or nullptr when the utility has no fast
+  /// path (the caller then falls back to plain Evaluate per prefix).
+  ///
+  /// An *exact* scan returns bit-identical values to Evaluate and may always
+  /// be used. When no exact scan exists and `allow_warm_start` is true, the
+  /// utility may return an approximate warm-started scan (model reuse across
+  /// prefixes) — estimators only pass true when the caller opted in via
+  /// EstimatorOptions::warm_start. Thread-safe; called once per permutation.
+  virtual std::unique_ptr<PrefixScan> NewPrefixScan(
+      bool allow_warm_start) const {
+    (void)allow_warm_start;
+    return nullptr;
+  }
+};
+
+/// Fast-path knobs for ModelAccuracyUtility. All defaults preserve the exact
+/// semantics of the slow path.
+struct UtilityFastPathOptions {
+  /// Train via zero-copy index views (Classifier::FitView) instead of
+  /// materializing each coalition. Bit-identical by the FitView contract;
+  /// off only to benchmark the copy cost.
+  bool zero_copy_views = true;
+
+  /// Attach a sharded exact-value SubsetCache shared by every Evaluate call
+  /// on this utility (and thus across waves and estimators). Values stay
+  /// bit-identical; repeated coalitions skip retraining entirely.
+  bool subset_cache = false;
+
+  /// Cache shape when `subset_cache` is on.
+  SubsetCacheOptions cache;
 };
 
 /// The standard data-valuation utility: validation accuracy of a model
@@ -49,24 +96,52 @@ class UtilityFunction {
 class ModelAccuracyUtility : public UtilityFunction {
  public:
   ModelAccuracyUtility(ClassifierFactory factory, MlDataset train,
-                       MlDataset validation);
+                       MlDataset validation,
+                       UtilityFastPathOptions fast_path = {});
 
   double Evaluate(const std::vector<size_t>& subset) const override;
   size_t num_units() const override { return train_.size(); }
+
+  /// Exact scan via the model's CoalitionScorerContext when available (KNN),
+  /// else a warm-started scan via Classifier::FitIncremental when
+  /// `allow_warm_start`, else nullptr.
+  std::unique_ptr<PrefixScan> NewPrefixScan(
+      bool allow_warm_start) const override;
 
   const MlDataset& train() const { return train_; }
   const MlDataset& validation() const { return validation_; }
 
   /// Total number of Evaluate calls so far (Monte-Carlo cost accounting).
+  /// Cache hits and prefix-scan pushes count too: the number reflects how
+  /// often the *game* was queried, not how often a model was trained, so it
+  /// is identical with every fast path on or off.
   size_t num_evaluations() const {
     return evaluations_.load(std::memory_order_relaxed);
   }
 
+  /// The attached cache, or nullptr when fast_path.subset_cache is off.
+  const SubsetCache* subset_cache() const { return cache_.get(); }
+
  private:
+  class ExactScan;
+  class WarmStartScan;
+
+  /// Evaluate minus counting and caching.
+  double EvaluateUncached(const std::vector<size_t>& subset) const;
+
+  /// Majority-label fallback accuracy from coalition label counts.
+  double MajorityAccuracy(const std::vector<int>& coalition_labels) const;
+
   ClassifierFactory factory_;
   MlDataset train_;
   MlDataset validation_;
   int num_classes_;
+  UtilityFastPathOptions fast_path_;
+  std::unique_ptr<SubsetCache> cache_;  ///< Internally synchronized.
+  /// Shared exact-scorer precomputation, built lazily on the first
+  /// NewPrefixScan (it is useless — and not free — for plain Evaluate users).
+  mutable std::once_flag scorer_context_once_;
+  mutable std::shared_ptr<const CoalitionScorerContext> scorer_context_;
   /// Atomic: Evaluate runs concurrently under the parallel estimators.
   mutable std::atomic<size_t> evaluations_{0};
 };

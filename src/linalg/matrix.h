@@ -2,6 +2,7 @@
 #define NDE_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,14 @@ class Matrix {
   const double* RowPtr(size_t r) const {
     NDE_CHECK_LT(r, rows_);
     return data_.data() + r * cols_;
+  }
+
+  /// Row `r` as a non-owning span (pointer + length): the no-copy alternative
+  /// to Row() for hot loops. Invalidated by any operation that reallocates the
+  /// matrix (AppendRows, assignment, ...).
+  std::span<const double> RowSpan(size_t r) const {
+    NDE_CHECK_LT(r, rows_);
+    return {data_.data() + r * cols_, cols_};
   }
 
   /// Copy of row `r` as a vector.

@@ -25,6 +25,27 @@ MlDataset MlDataset::Subset(const std::vector<size_t>& indices) const {
   return out;
 }
 
+int MlDatasetView::NumClasses() const {
+  int max_label = -1;
+  for (size_t i = 0; i < size(); ++i) max_label = std::max(max_label, label(i));
+  return max_label + 1;
+}
+
+MlDataset MlDatasetView::Materialize() const {
+  MlDataset out;
+  out.features = parent_->features.SelectRows(
+      {indices_.begin(), indices_.end()});
+  out.labels = CopyLabels();
+  return out;
+}
+
+std::vector<int> MlDatasetView::CopyLabels() const {
+  std::vector<int> labels;
+  labels.reserve(size());
+  for (size_t i = 0; i < size(); ++i) labels.push_back(label(i));
+  return labels;
+}
+
 MlDataset MlDataset::Without(const std::vector<size_t>& excluded) const {
   std::unordered_set<size_t> skip(excluded.begin(), excluded.end());
   std::vector<size_t> keep;
@@ -106,6 +127,33 @@ FeatureScaler FeatureScaler::Fit(const Matrix& features) {
   std::vector<double> var(d, 0.0);
   for (size_t r = 0; r < n; ++r) {
     const double* row = features.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      double diff = row[c] - scaler.mean[c];
+      var[c] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    double sd = std::sqrt(var[c] / static_cast<double>(n));
+    scaler.stddev[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  return scaler;
+}
+
+FeatureScaler FeatureScaler::Fit(const MlDatasetView& view) {
+  size_t n = view.size();
+  size_t d = view.num_features();
+  FeatureScaler scaler;
+  scaler.mean.assign(d, 0.0);
+  scaler.stddev.assign(d, 1.0);
+  if (n == 0) return scaler;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = view.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) scaler.mean[c] += row[c];
+  }
+  for (double& m : scaler.mean) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = view.RowPtr(r);
     for (size_t c = 0; c < d; ++c) {
       double diff = row[c] - scaler.mean[c];
       var[c] += diff * diff;

@@ -1,6 +1,7 @@
 #ifndef NDE_ML_DATASET_H_
 #define NDE_ML_DATASET_H_
 
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +34,51 @@ struct MlDataset {
   Status Validate() const;
 };
 
+/// Zero-copy view of selected rows of a parent MlDataset. The utility fast
+/// path threads this through training (`Classifier::FitView`) so evaluating a
+/// coalition never materializes its feature rows.
+///
+/// Lifetime: the view borrows both the parent dataset and the index vector;
+/// they must outlive the view. A classifier that *borrows* the view when
+/// fitting (see FitView) additionally requires the parent to outlive its use
+/// of the fitted model. Indices may repeat and appear in any order; row i of
+/// the view is parent row indices[i], exactly as in MlDataset::Subset.
+class MlDatasetView {
+ public:
+  MlDatasetView(const MlDataset& parent, const std::vector<size_t>& indices)
+      : parent_(&parent), indices_(indices.data(), indices.size()) {}
+
+  size_t size() const { return indices_.size(); }
+  size_t num_features() const { return parent_->features.cols(); }
+
+  /// Parent-row index backing view row `i`.
+  size_t parent_index(size_t i) const { return indices_[i]; }
+  std::span<const size_t> indices() const { return indices_; }
+
+  const double* RowPtr(size_t i) const {
+    return parent_->features.RowPtr(indices_[i]);
+  }
+  std::span<const double> RowSpan(size_t i) const {
+    return parent_->features.RowSpan(indices_[i]);
+  }
+  int label(size_t i) const { return parent_->labels[indices_[i]]; }
+
+  const MlDataset& parent() const { return *parent_; }
+
+  /// Largest label in the view + 1 (0 for an empty view).
+  int NumClasses() const;
+
+  /// Copies the view into an owning dataset; equal to parent.Subset(indices).
+  MlDataset Materialize() const;
+
+  /// Copies just the labels (cheap next to the feature rows).
+  std::vector<int> CopyLabels() const;
+
+ private:
+  const MlDataset* parent_;
+  std::span<const size_t> indices_;
+};
+
 /// A regression dataset: numeric features plus real-valued targets.
 struct RegressionDataset {
   Matrix features;             ///< n x d feature matrix.
@@ -63,6 +109,11 @@ struct FeatureScaler {
 
   /// Computes statistics from `features`.
   static FeatureScaler Fit(const Matrix& features);
+
+  /// Same statistics computed over the rows of a view, without materializing
+  /// them. Bit-identical to Fit(view.Materialize().features): rows are
+  /// accumulated in view order with the same arithmetic.
+  static FeatureScaler Fit(const MlDatasetView& view);
 
   /// Returns (x - mean) / stddev applied per column.
   Matrix Transform(const Matrix& features) const;

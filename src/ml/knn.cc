@@ -22,20 +22,38 @@ Status KnnClassifier::FitWithClasses(const MlDataset& data, int num_classes) {
     return Status::InvalidArgument("num_classes below max label");
   }
   train_ = data;
+  view_parent_ = nullptr;
+  view_indices_.clear();
   num_classes_ = std::max(num_classes, 1);
   fitted_ = true;
   return Status::OK();
 }
 
-std::vector<size_t> KnnClassifier::Neighbors(const std::vector<double>& query,
+Status KnnClassifier::FitView(const MlDatasetView& view, int num_classes) {
+  if (view.size() == 0) {
+    return Status::InvalidArgument("cannot fit KNN on an empty dataset");
+  }
+  if (num_classes < view.NumClasses()) {
+    return Status::InvalidArgument("num_classes below max label");
+  }
+  train_ = MlDataset{};  // Drop any previously owned rows.
+  view_parent_ = &view.parent();
+  view_indices_.assign(view.indices().begin(), view.indices().end());
+  num_classes_ = std::max(num_classes, 1);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<size_t> KnnClassifier::Neighbors(std::span<const double> query,
                                              size_t k) const {
   NDE_CHECK(fitted_) << "KNN not fitted";
-  size_t n = train_.size();
+  size_t n = TrainSize();
+  size_t d = TrainCols();
   std::vector<double> dist(n);
   for (size_t i = 0; i < n; ++i) {
-    const double* row = train_.features.RowPtr(i);
+    const double* row = TrainRowPtr(i);
     double acc = 0.0;
-    for (size_t c = 0; c < train_.features.cols(); ++c) {
+    for (size_t c = 0; c < d; ++c) {
       double diff = row[c] - query[c];
       acc += diff * diff;
     }
@@ -71,16 +89,155 @@ std::vector<int> KnnClassifier::Predict(const Matrix& features) const {
 
 Matrix KnnClassifier::PredictProba(const Matrix& features) const {
   NDE_CHECK(fitted_) << "KNN not fitted";
-  NDE_CHECK_EQ(features.cols(), train_.features.cols());
+  NDE_CHECK_EQ(features.cols(), TrainCols());
   Matrix proba(features.rows(), static_cast<size_t>(num_classes_));
   for (size_t r = 0; r < features.rows(); ++r) {
-    std::vector<size_t> neighbors = Neighbors(features.Row(r), k_);
+    std::vector<size_t> neighbors = Neighbors(features.RowSpan(r), k_);
     double weight = 1.0 / static_cast<double>(neighbors.size());
     for (size_t idx : neighbors) {
-      proba(r, static_cast<size_t>(train_.labels[idx])) += weight;
+      proba(r, static_cast<size_t>(TrainLabel(idx))) += weight;
     }
   }
   return proba;
+}
+
+namespace {
+
+class KnnCoalitionContext;
+
+/// Maintains, per evaluation point, a sorted window of the (up to) k nearest
+/// coalition rows keyed by (distance, parent index). Inserting in any order
+/// yields the same window as the fitted classifier's partial_sort over the
+/// sorted coalition, and the integer class-count argmax below matches
+/// PredictProba's weighted argmax (constant positive weight, strict `>`
+/// keeping the smaller class id) — so Predict() is bit-identical to the cold
+/// path, as CoalitionScorer requires.
+class KnnCoalitionScorer : public CoalitionScorer {
+ public:
+  explicit KnnCoalitionScorer(const KnnCoalitionContext* context);
+
+  void Add(size_t train_index) override;
+  const std::vector<int>& Predict() override;
+
+ private:
+  const KnnCoalitionContext* context_;
+  size_t num_eval_;
+  size_t k_;
+  std::vector<double> top_dist_;  ///< num_eval x k windows, row-major.
+  std::vector<size_t> top_idx_;
+  std::vector<size_t> counts_;  ///< Occupied window slots per eval point.
+  std::vector<size_t> class_counts_;
+  std::vector<int> predictions_;
+};
+
+class KnnCoalitionContext : public CoalitionScorerContext {
+ public:
+  KnnCoalitionContext(const MlDataset& train, const Matrix& eval_features,
+                      size_t k, int num_classes)
+      : labels_(&train.labels),
+        k_(k),
+        num_classes_(num_classes),
+        distances_(train.size(), eval_features.rows()) {
+    size_t d = train.features.cols();
+    for (size_t i = 0; i < train.size(); ++i) {
+      const double* row = train.features.RowPtr(i);
+      for (size_t e = 0; e < eval_features.rows(); ++e) {
+        const double* query = eval_features.RowPtr(e);
+        double acc = 0.0;
+        for (size_t c = 0; c < d; ++c) {
+          double diff = row[c] - query[c];
+          acc += diff * diff;
+        }
+        distances_(i, e) = acc;
+      }
+    }
+  }
+
+  std::unique_ptr<CoalitionScorer> NewScorer() const override {
+    return std::make_unique<KnnCoalitionScorer>(this);
+  }
+
+  /// Squared distance from training row `i` to evaluation row `e`; row-major
+  /// in `i`, so a scorer's Add(i) streams one contiguous row.
+  double distance(size_t i, size_t e) const { return distances_(i, e); }
+  int label(size_t i) const { return (*labels_)[i]; }
+  size_t num_eval() const { return distances_.cols(); }
+  size_t k() const { return k_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  const std::vector<int>* labels_;
+  size_t k_;
+  int num_classes_;
+  Matrix distances_;
+};
+
+KnnCoalitionScorer::KnnCoalitionScorer(const KnnCoalitionContext* context)
+    : context_(context),
+      num_eval_(context->num_eval()),
+      k_(context->k()),
+      top_dist_(num_eval_ * k_, 0.0),
+      top_idx_(num_eval_ * k_, 0),
+      counts_(num_eval_, 0),
+      class_counts_(static_cast<size_t>(context->num_classes()), 0),
+      predictions_(num_eval_, 0) {}
+
+void KnnCoalitionScorer::Add(size_t train_index) {
+  for (size_t e = 0; e < num_eval_; ++e) {
+    double dist = context_->distance(train_index, e);
+    double* window_dist = &top_dist_[e * k_];
+    size_t* window_idx = &top_idx_[e * k_];
+    size_t count = counts_[e];
+    // Insertion position under the (distance, parent index) order. Parent
+    // indices are unique, so the key is a strict total order.
+    size_t pos = count;
+    while (pos > 0 && (dist < window_dist[pos - 1] ||
+                       (dist == window_dist[pos - 1] &&
+                        train_index < window_idx[pos - 1]))) {
+      --pos;
+    }
+    if (pos >= k_) continue;  // Farther than every kept neighbor.
+    size_t new_count = std::min(count + 1, k_);
+    for (size_t j = new_count; j-- > pos + 1;) {
+      window_dist[j] = window_dist[j - 1];
+      window_idx[j] = window_idx[j - 1];
+    }
+    window_dist[pos] = dist;
+    window_idx[pos] = train_index;
+    counts_[e] = new_count;
+  }
+}
+
+const std::vector<int>& KnnCoalitionScorer::Predict() {
+  int num_classes = context_->num_classes();
+  for (size_t e = 0; e < num_eval_; ++e) {
+    std::fill(class_counts_.begin(), class_counts_.end(), size_t{0});
+    const size_t* window_idx = &top_idx_[e * k_];
+    for (size_t j = 0; j < counts_[e]; ++j) {
+      ++class_counts_[static_cast<size_t>(context_->label(window_idx[j]))];
+    }
+    int best = 0;
+    for (int c = 1; c < num_classes; ++c) {
+      if (class_counts_[static_cast<size_t>(c)] >
+          class_counts_[static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    predictions_[e] = best;
+  }
+  return predictions_;
+}
+
+}  // namespace
+
+std::shared_ptr<const CoalitionScorerContext>
+KnnClassifier::NewCoalitionScorerContext(const MlDataset& train,
+                                         const Matrix& eval_features,
+                                         int num_classes) const {
+  if (train.size() == 0 || eval_features.rows() == 0) return nullptr;
+  if (num_classes < train.NumClasses()) num_classes = train.NumClasses();
+  return std::make_shared<KnnCoalitionContext>(train, eval_features, k_,
+                                               std::max(num_classes, 1));
 }
 
 std::unique_ptr<Classifier> KnnClassifier::Clone() const {

@@ -2,6 +2,7 @@
 #define NDE_ML_KNN_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,20 @@ class KnnClassifier : public Classifier {
 
   Status Fit(const MlDataset& data) override;
   Status FitWithClasses(const MlDataset& data, int num_classes) override;
+
+  /// Zero-copy fit: borrows the parent dataset and the coalition indices
+  /// instead of copying the rows. Predictions are bit-identical to a fit on
+  /// view.Materialize() (distances, tie-breaks and labels all follow the view
+  /// order). The parent dataset must outlive this model's use.
+  Status FitView(const MlDatasetView& view, int num_classes) override;
+
+  /// KNN supports exact incremental coalition scoring: the context holds the
+  /// train-to-eval distance matrix, computed once, and scorers maintain
+  /// per-evaluation-point k-nearest windows as rows are added.
+  std::shared_ptr<const CoalitionScorerContext> NewCoalitionScorerContext(
+      const MlDataset& train, const Matrix& eval_features,
+      int num_classes) const override;
+
   std::vector<int> Predict(const Matrix& features) const override;
   Matrix PredictProba(const Matrix& features) const override;
   int num_classes() const override { return num_classes_; }
@@ -34,12 +49,35 @@ class KnnClassifier : public Classifier {
   /// Indices of the (up to) `k` nearest training rows to `query`, ordered by
   /// increasing distance. Exposed for KNN-Shapley and certain-prediction
   /// analyses. Precondition: fitted.
+  std::vector<size_t> Neighbors(std::span<const double> query, size_t k) const;
   std::vector<size_t> Neighbors(const std::vector<double>& query,
-                                size_t k) const;
+                                size_t k) const {
+    return Neighbors(std::span<const double>(query), k);
+  }
 
  private:
+  // Training-row accessors that hide whether the model owns its rows (train_)
+  // or borrows them from a view parent (view_parent_ + view_indices_).
+  size_t TrainSize() const {
+    return view_parent_ ? view_indices_.size() : train_.size();
+  }
+  size_t TrainCols() const {
+    return view_parent_ ? view_parent_->features.cols()
+                        : train_.features.cols();
+  }
+  const double* TrainRowPtr(size_t i) const {
+    return view_parent_ ? view_parent_->features.RowPtr(view_indices_[i])
+                        : train_.features.RowPtr(i);
+  }
+  int TrainLabel(size_t i) const {
+    return view_parent_ ? view_parent_->labels[view_indices_[i]]
+                        : train_.labels[i];
+  }
+
   size_t k_;
   MlDataset train_;
+  const MlDataset* view_parent_ = nullptr;  ///< Borrowed parent when FitView.
+  std::vector<size_t> view_indices_;
   int num_classes_ = 0;
   bool fitted_ = false;
 };

@@ -39,7 +39,6 @@ Status LogisticRegression::FitWithClasses(const MlDataset& data,
     num_classes = std::max(data.NumClasses(), 2);
   }
   num_classes_ = num_classes;
-  size_t n = data.size();
   size_t d = data.features.cols();
 
   scaler_ = options_.standardize ? FeatureScaler::Fit(data.features)
@@ -48,10 +47,70 @@ Status LogisticRegression::FitWithClasses(const MlDataset& data,
   Matrix x = scaler_.Transform(data.features);
 
   weights_ = Matrix(static_cast<size_t>(num_classes_), d + 1);
+  RunEpochs(x, data.labels, options_.epochs);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status LogisticRegression::FitView(const MlDatasetView& view, int num_classes) {
+  if (view.size() == 0) {
+    return Status::InvalidArgument("cannot fit logistic regression on empty data");
+  }
+  if (num_classes < std::max(view.NumClasses(), 2)) {
+    num_classes = std::max(view.NumClasses(), 2);
+  }
+  num_classes_ = num_classes;
+  size_t n = view.size();
+  size_t d = view.num_features();
+
+  scaler_ = options_.standardize ? FeatureScaler::Fit(view)
+                                 : FeatureScaler{std::vector<double>(d, 0.0),
+                                                 std::vector<double>(d, 1.0)};
+  // Standardize straight off the parent rows; same per-element arithmetic as
+  // scaler_.Transform on a materialized subset, minus the subset copy.
+  Matrix x(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    const double* src = view.RowPtr(r);
+    double* dst = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      dst[c] = (src[c] - scaler_.mean[c]) / scaler_.stddev[c];
+    }
+  }
+  std::vector<int> labels = view.CopyLabels();
+
+  weights_ = Matrix(static_cast<size_t>(num_classes_), d + 1);
+  RunEpochs(x, labels, options_.epochs);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status LogisticRegression::FitIncremental(const MlDataset& data,
+                                          int num_classes) {
+  int resolved = std::max({num_classes, data.NumClasses(), 2});
+  if (!fitted_ || resolved != num_classes_ ||
+      data.features.cols() + 1 != weights_.cols()) {
+    return FitWithClasses(data, num_classes);
+  }
+  NDE_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot fit logistic regression on empty data");
+  }
+  // Keep the previous scaler too: the warm weights live in its feature space,
+  // and re-fitting it would silently rescale them.
+  Matrix x = scaler_.Transform(data.features);
+  RunEpochs(x, data.labels, options_.warm_start_epochs);
+  return Status::OK();
+}
+
+void LogisticRegression::RunEpochs(const Matrix& x,
+                                   const std::vector<int>& labels,
+                                   size_t epochs) {
+  size_t n = x.rows();
+  size_t d = x.cols();
   Matrix gradient(static_cast<size_t>(num_classes_), d + 1);
 
   double inv_n = 1.0 / static_cast<double>(n);
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
     // Forward pass: probabilities.
     Matrix proba = Logits(x);
     SoftmaxRowsInPlace(&proba);
@@ -63,7 +122,7 @@ Status LogisticRegression::FitWithClasses(const MlDataset& data,
       const double* xi = x.RowPtr(i);
       for (int c = 0; c < num_classes_; ++c) {
         double err = proba(i, static_cast<size_t>(c)) -
-                     (data.labels[i] == c ? 1.0 : 0.0);
+                     (labels[i] == c ? 1.0 : 0.0);
         double* grad_row = gradient.RowPtr(static_cast<size_t>(c));
         for (size_t j = 0; j < d; ++j) grad_row[j] += err * xi[j];
         grad_row[d] += err;  // Bias term.
@@ -80,8 +139,6 @@ Status LogisticRegression::FitWithClasses(const MlDataset& data,
     gradient.ScaleInPlace(-options_.learning_rate);
     weights_.AddInPlace(gradient);
   }
-  fitted_ = true;
-  return Status::OK();
 }
 
 Matrix LogisticRegression::Logits(const Matrix& features) const {

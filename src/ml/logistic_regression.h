@@ -15,6 +15,10 @@ struct LogisticRegressionOptions {
   size_t epochs = 200;
   double l2 = 1e-3;           ///< L2 regularization strength (per-example).
   bool standardize = true;    ///< z-score features before training.
+  /// Gradient-descent epochs for FitIncremental when warm-starting from the
+  /// previous weights. The warm start amortizes most of the full budget, so a
+  /// small fraction of `epochs` suffices in practice.
+  size_t warm_start_epochs = 20;
 };
 
 /// Multinomial (softmax) logistic regression trained by full-batch gradient
@@ -29,6 +33,20 @@ class LogisticRegression : public Classifier {
 
   Status Fit(const MlDataset& data) override;
   Status FitWithClasses(const MlDataset& data, int num_classes) override;
+
+  /// Zero-copy fit: standardizes straight off the parent rows into the
+  /// training buffer (one materialization instead of two). Learned weights
+  /// are bit-identical to FitWithClasses(view.Materialize(), num_classes);
+  /// nothing is borrowed after returning.
+  Status FitView(const MlDatasetView& view, int num_classes) override;
+
+  /// Warm start: when already fitted with matching shape, keeps the current
+  /// weights *and* scaler (warm weights live in the old standardized space)
+  /// and runs options.warm_start_epochs of gradient descent on `data`.
+  /// Approximate — results differ from a cold fit; falls back to an exact
+  /// FitWithClasses when unfitted or when the feature/class shape changed.
+  Status FitIncremental(const MlDataset& data, int num_classes) override;
+
   std::vector<int> Predict(const Matrix& features) const override;
   Matrix PredictProba(const Matrix& features) const override;
   int num_classes() const override { return num_classes_; }
@@ -46,6 +64,11 @@ class LogisticRegression : public Classifier {
 
  private:
   Matrix Logits(const Matrix& features) const;
+
+  /// Full-batch gradient descent on pre-standardized features, continuing
+  /// from the current weights_.
+  void RunEpochs(const Matrix& x, const std::vector<int>& labels,
+                 size_t epochs);
 
   LogisticRegressionOptions options_;
   Matrix weights_;  // num_classes x (d+1)

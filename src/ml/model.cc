@@ -2,6 +2,10 @@
 
 namespace nde {
 
+Status Classifier::FitView(const MlDatasetView& view, int num_classes) {
+  return FitWithClasses(view.Materialize(), num_classes);
+}
+
 Matrix Classifier::PredictProba(const Matrix& features) const {
   std::vector<int> predictions = Predict(features);
   Matrix proba(features.rows(), static_cast<size_t>(num_classes()));

@@ -12,6 +12,41 @@
 
 namespace nde {
 
+/// Incrementally scores a growing coalition of training rows against a fixed
+/// evaluation set (see CoalitionScorerContext). Add() admits one parent-row
+/// index at a time; Predict() returns the evaluation-set predictions of the
+/// model trained on the current coalition.
+///
+/// Contract: Predict() after any sequence of Add() calls is bit-identical to
+/// a cold FitWithClasses on the same coalition followed by Predict on the
+/// evaluation features, regardless of insertion order. That exactness is what
+/// lets the prefix-scan fast path replace per-prefix retraining without
+/// changing estimator results. A scorer is single-threaded.
+class CoalitionScorer {
+ public:
+  virtual ~CoalitionScorer() = default;
+
+  /// Adds training row `train_index` (an index into the context's training
+  /// set) to the coalition.
+  virtual void Add(size_t train_index) = 0;
+
+  /// Predictions for the context's evaluation rows under the current
+  /// coalition. The reference stays valid until the next Add/Predict call.
+  /// Precondition: at least one Add().
+  virtual const std::vector<int>& Predict() = 0;
+};
+
+/// Immutable shared precomputation for coalition scorers over one fixed
+/// (train, eval) pair — e.g. the train-to-eval distance matrix for KNN.
+/// Built once per utility; NewScorer() is then cheap enough to call once per
+/// permutation. Thread-safe: NewScorer may be called concurrently, and the
+/// scorers it returns are independent.
+class CoalitionScorerContext {
+ public:
+  virtual ~CoalitionScorerContext() = default;
+  virtual std::unique_ptr<CoalitionScorer> NewScorer() const = 0;
+};
+
 /// Abstract multi-class classifier. All models in the library implement this
 /// interface so importance methods, cleaning strategies and benchmarks can be
 /// written once against it.
@@ -34,6 +69,34 @@ class Classifier {
   virtual Status FitWithClasses(const MlDataset& data, int num_classes) {
     (void)num_classes;
     return Fit(data);
+  }
+
+  /// Trains on a zero-copy row view with results bit-identical to
+  /// FitWithClasses(view.Materialize(), num_classes) — which is also the
+  /// default implementation. Models that can train straight off the parent
+  /// rows override this to skip the coalition copy; an override that keeps
+  /// *borrowing* the view after returning (KnnClassifier does) requires the
+  /// parent dataset to outlive the model's use.
+  virtual Status FitView(const MlDatasetView& view, int num_classes);
+
+  /// Refits on `data` reusing the previously fitted state as the starting
+  /// point when the model supports warm starts (and shapes allow). The
+  /// default is an exact refit from scratch, so callers must treat this as an
+  /// *approximate* Fit: warm-started results may differ from a cold fit.
+  virtual Status FitIncremental(const MlDataset& data, int num_classes) {
+    return FitWithClasses(data, num_classes);
+  }
+
+  /// A scorer context for models that support exact incremental coalition
+  /// scoring over (`train`, `eval_features`); nullptr (the default) when the
+  /// model has no such fast path. Both arguments must outlive the context.
+  virtual std::shared_ptr<const CoalitionScorerContext>
+  NewCoalitionScorerContext(const MlDataset& train, const Matrix& eval_features,
+                            int num_classes) const {
+    (void)train;
+    (void)eval_features;
+    (void)num_classes;
+    return nullptr;
   }
 
   /// Predicted class per row. Precondition: fitted.

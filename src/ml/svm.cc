@@ -51,7 +51,7 @@ Status LinearSvm::Fit(const MlDataset& data) {
   return Status::OK();
 }
 
-double LinearSvm::DecisionValue(const std::vector<double>& x) const {
+double LinearSvm::DecisionValue(std::span<const double> x) const {
   NDE_CHECK(fitted_);
   NDE_CHECK_EQ(x.size(), weights_.size());
   double acc = bias_;
@@ -66,7 +66,7 @@ std::vector<int> LinearSvm::Predict(const Matrix& features) const {
   NDE_CHECK(fitted_);
   std::vector<int> out(features.rows());
   for (size_t r = 0; r < features.rows(); ++r) {
-    out[r] = DecisionValue(features.Row(r)) >= 0.0 ? 1 : 0;
+    out[r] = DecisionValue(features.RowSpan(r)) >= 0.0 ? 1 : 0;
   }
   return out;
 }

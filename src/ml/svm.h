@@ -2,6 +2,7 @@
 #define NDE_ML_SVM_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,10 @@ class LinearSvm : public Classifier {
   std::string name() const override { return "linear_svm"; }
 
   /// Signed decision value w^T x + b (in standardized space when enabled).
-  double DecisionValue(const std::vector<double>& x) const;
+  double DecisionValue(std::span<const double> x) const;
+  double DecisionValue(const std::vector<double>& x) const {
+    return DecisionValue(std::span<const double>(x));
+  }
 
   const std::vector<double>& weights() const { return weights_; }
   double bias() const { return bias_; }

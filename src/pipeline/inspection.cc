@@ -145,7 +145,8 @@ std::vector<PipelineIssue> CheckLabelErrors(const MlDataset& data, size_t k,
   size_t suspect_count = 0;
   for (size_t i = 0; i < data.size(); ++i) {
     // k+1 neighbors; the point itself is its own nearest neighbor.
-    std::vector<size_t> neighbors = knn.Neighbors(data.features.Row(i), k + 1);
+    std::vector<size_t> neighbors =
+        knn.Neighbors(data.features.RowSpan(i), k + 1);
     size_t disagree = 0;
     size_t considered = 0;
     for (size_t idx : neighbors) {

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +16,8 @@
 #include "importance/game_values.h"
 #include "importance/knn_shapley.h"
 #include "importance/utility.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
 
 namespace nde {
 namespace {
@@ -188,6 +192,238 @@ TEST(DeterminismTest, NumThreadsUsedIsReported) {
   options.num_threads = 1;
   estimate = TmcShapleyValues(game, options).value();
   EXPECT_EQ(estimate.num_threads_used, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Utility fast path (DESIGN.md §9): zero-copy views, the prefix-scan exact
+// scorer, and the subset cache must leave estimates bit-identical — same
+// values, same std errors, same eval counts — for every on/off combination
+// and every thread count. Warm start is the one *opt-in approximate* knob;
+// its results must still be identical across thread counts and cache states.
+// ---------------------------------------------------------------------------
+
+MlDataset FastPathTrain() {
+  BlobsOptions blob;
+  blob.num_examples = 24;
+  blob.num_features = 4;
+  blob.seed = 17;
+  blob.center_seed = 99;
+  return MakeBlobs(blob);
+}
+
+MlDataset FastPathValidation() {
+  BlobsOptions blob;
+  blob.num_examples = 15;
+  blob.num_features = 4;
+  blob.seed = 18;
+  blob.center_seed = 99;
+  return MakeBlobs(blob);
+}
+
+ClassifierFactory KnnFactory() {
+  return []() { return std::make_unique<KnnClassifier>(3); };
+}
+
+ClassifierFactory SmallLogregFactory() {
+  LogisticRegressionOptions options;
+  options.epochs = 30;
+  options.warm_start_epochs = 6;
+  return [options]() { return std::make_unique<LogisticRegression>(options); };
+}
+
+TmcShapleyOptions FastPathTmcOptions() {
+  TmcShapleyOptions options;
+  options.num_permutations = 33;  // Ragged final wave.
+  options.seed = 21;
+  return options;
+}
+
+TEST(FastPathBitIdentityTest, TmcIdenticalAcrossAllFastPathConfigs) {
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+
+  // Baseline: every fast path off, single-threaded.
+  UtilityFastPathOptions slow;
+  slow.zero_copy_views = false;
+  ModelAccuracyUtility baseline_utility(KnnFactory(), train, validation, slow);
+  TmcShapleyOptions baseline_options = FastPathTmcOptions();
+  baseline_options.use_prefix_scan = false;
+  baseline_options.num_threads = 1;
+  ImportanceEstimate baseline =
+      TmcShapleyValues(baseline_utility, baseline_options).value();
+
+  for (bool views : {false, true}) {
+    for (bool cache : {false, true}) {
+      for (bool prefix_scan : {false, true}) {
+        for (bool warm_start : {false, true}) {
+          for (size_t threads : kThreadCounts) {
+            UtilityFastPathOptions fast;
+            fast.zero_copy_views = views;
+            fast.subset_cache = cache;
+            ModelAccuracyUtility utility(KnnFactory(), train, validation,
+                                         fast);
+            TmcShapleyOptions options = FastPathTmcOptions();
+            options.use_prefix_scan = prefix_scan;
+            // KNN has an exact scorer, so opting into warm start must be a
+            // no-op for values.
+            options.warm_start = warm_start;
+            options.num_threads = threads;
+            ImportanceEstimate run = TmcShapleyValues(utility, options).value();
+            std::string config =
+                "views=" + std::to_string(views) +
+                " cache=" + std::to_string(cache) +
+                " prefix_scan=" + std::to_string(prefix_scan) +
+                " warm_start=" + std::to_string(warm_start) +
+                " threads=" + std::to_string(threads);
+            EXPECT_EQ(run.values, baseline.values) << config;
+            EXPECT_EQ(run.std_errors, baseline.std_errors) << config;
+            EXPECT_EQ(run.utility_evaluations, baseline.utility_evaluations)
+                << config;
+            EXPECT_EQ(utility.num_evaluations(),
+                      baseline_utility.num_evaluations())
+                << config;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FastPathBitIdentityTest, BanzhafIdenticalWithCacheOnOffAcrossThreads) {
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  BanzhafOptions options;
+  options.num_samples = 120;
+  options.seed = 9;
+
+  UtilityFastPathOptions slow;
+  slow.zero_copy_views = false;
+  ModelAccuracyUtility baseline_utility(KnnFactory(), train, validation, slow);
+  options.num_threads = 1;
+  ImportanceEstimate baseline = BanzhafValues(baseline_utility, options).value();
+
+  for (bool cache : {false, true}) {
+    for (size_t threads : kThreadCounts) {
+      UtilityFastPathOptions fast;
+      fast.subset_cache = cache;
+      ModelAccuracyUtility utility(KnnFactory(), train, validation, fast);
+      options.num_threads = threads;
+      ImportanceEstimate run = BanzhafValues(utility, options).value();
+      EXPECT_EQ(run.values, baseline.values)
+          << "cache=" << cache << " threads=" << threads;
+      EXPECT_EQ(run.std_errors, baseline.std_errors);
+      EXPECT_EQ(run.utility_evaluations, baseline.utility_evaluations);
+    }
+  }
+}
+
+TEST(FastPathBitIdentityTest, BetaShapleyIdenticalWithCacheOnOffAcrossThreads) {
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  BetaShapleyOptions options;
+  options.alpha = 1.0;
+  options.beta = 16.0;
+  options.samples_per_unit = 6;
+  options.seed = 31;
+
+  UtilityFastPathOptions slow;
+  slow.zero_copy_views = false;
+  ModelAccuracyUtility baseline_utility(KnnFactory(), train, validation, slow);
+  options.num_threads = 1;
+  ImportanceEstimate baseline =
+      BetaShapleyValues(baseline_utility, options).value();
+
+  for (bool cache : {false, true}) {
+    for (size_t threads : kThreadCounts) {
+      UtilityFastPathOptions fast;
+      fast.subset_cache = cache;
+      ModelAccuracyUtility utility(KnnFactory(), train, validation, fast);
+      options.num_threads = threads;
+      ImportanceEstimate run = BetaShapleyValues(utility, options).value();
+      EXPECT_EQ(run.values, baseline.values)
+          << "cache=" << cache << " threads=" << threads;
+      EXPECT_EQ(run.std_errors, baseline.std_errors);
+      EXPECT_EQ(run.utility_evaluations, baseline.utility_evaluations);
+    }
+  }
+}
+
+TEST(FastPathBitIdentityTest, TinyCacheEvictionPreservesIdentity) {
+  // A cache far smaller than the working set evicts constantly; eviction may
+  // only cost recomputation, never change a value.
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  BanzhafOptions options;
+  options.num_samples = 96;
+  options.seed = 15;
+  options.num_threads = 2;
+
+  ModelAccuracyUtility uncached(KnnFactory(), train, validation);
+  ImportanceEstimate expected = BanzhafValues(uncached, options).value();
+
+  UtilityFastPathOptions fast;
+  fast.subset_cache = true;
+  fast.cache.num_shards = 2;
+  fast.cache.max_entries = 8;
+  ModelAccuracyUtility tiny(KnnFactory(), train, validation, fast);
+  ImportanceEstimate run = BanzhafValues(tiny, options).value();
+  EXPECT_EQ(run.values, expected.values);
+  EXPECT_EQ(run.std_errors, expected.std_errors);
+  ASSERT_NE(tiny.subset_cache(), nullptr);
+  EXPECT_GT(tiny.subset_cache()->stats().evictions, 0u);
+  EXPECT_LE(tiny.subset_cache()->stats().entries, 8u);
+}
+
+TEST(FastPathBitIdentityTest,
+     WarmStartLogregDeterministicAcrossThreadsAndCache) {
+  // Logistic regression has no exact scorer, so warm_start=true switches TMC
+  // to the approximate warm-started scan. The *approximation* must still be
+  // bit-identical across thread counts and cache states.
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  TmcShapleyOptions options = FastPathTmcOptions();
+  options.num_permutations = 8;
+  options.warm_start = true;
+
+  std::vector<ImportanceEstimate> runs;
+  for (bool cache : {false, true}) {
+    for (size_t threads : kThreadCounts) {
+      UtilityFastPathOptions fast;
+      fast.subset_cache = cache;
+      ModelAccuracyUtility utility(SmallLogregFactory(), train, validation,
+                                   fast);
+      options.num_threads = threads;
+      runs.push_back(TmcShapleyValues(utility, options).value());
+    }
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values) << "run " << r;
+    EXPECT_EQ(runs[r].std_errors, runs[0].std_errors);
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
+}
+
+TEST(FastPathBitIdentityTest,
+     LogregWithoutWarmStartFallsBackToExactEvaluate) {
+  // warm_start off + no exact scorer: NewPrefixScan returns nullptr and the
+  // scan must match the plain per-prefix Evaluate path exactly.
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  TmcShapleyOptions options = FastPathTmcOptions();
+  options.num_permutations = 4;
+  options.num_threads = 1;
+
+  ModelAccuracyUtility scan_utility(SmallLogregFactory(), train, validation);
+  options.use_prefix_scan = true;
+  ImportanceEstimate with_scan = TmcShapleyValues(scan_utility, options).value();
+
+  ModelAccuracyUtility plain_utility(SmallLogregFactory(), train, validation);
+  options.use_prefix_scan = false;
+  ImportanceEstimate plain = TmcShapleyValues(plain_utility, options).value();
+
+  EXPECT_EQ(with_scan.values, plain.values);
+  EXPECT_EQ(with_scan.std_errors, plain.std_errors);
+  EXPECT_EQ(with_scan.utility_evaluations, plain.utility_evaluations);
 }
 
 TEST(EstimatorValidationTest, ZeroUnitsIsInvalidArgument) {

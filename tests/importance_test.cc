@@ -516,5 +516,183 @@ TEST(ModelAccuracyUtilityTest, FullUtilityIsTrainedAccuracy) {
   EXPECT_GE(utility.num_evaluations(), 1u);
 }
 
+TEST(ModelAccuracyUtilityTest, ZeroCopyViewsMatchMaterializedSubsets) {
+  // The FitView contract: identical doubles whether the coalition is
+  // materialized or trained through the index view, for models with a real
+  // FitView override (KNN, logreg) and for ones using the default.
+  BlobsOptions options;
+  options.num_examples = 20;
+  options.num_features = 3;
+  options.seed = 23;
+  MlDataset train = MakeBlobs(options);
+  BlobsOptions val_options = options;
+  val_options.num_examples = 10;
+  val_options.seed = 24;
+  MlDataset validation = MakeBlobs(val_options);
+
+  std::vector<ClassifierFactory> factories = {
+      []() { return std::make_unique<KnnClassifier>(3); },
+      []() {
+        LogisticRegressionOptions lr;
+        lr.epochs = 25;
+        return std::make_unique<LogisticRegression>(lr);
+      }};
+  UtilityFastPathOptions slow;
+  slow.zero_copy_views = false;
+
+  Rng rng(71);
+  for (const ClassifierFactory& factory : factories) {
+    ModelAccuracyUtility with_views(factory, train, validation);
+    ModelAccuracyUtility materialized(factory, train, validation, slow);
+    for (size_t trial = 0; trial < 12; ++trial) {
+      size_t size = 1 + rng.NextBounded(train.size() - 1);
+      std::vector<size_t> picks = rng.SampleWithoutReplacement(train.size(), size);
+      std::sort(picks.begin(), picks.end());
+      EXPECT_EQ(with_views.Evaluate(picks), materialized.Evaluate(picks))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(ModelAccuracyUtilityTest, CacheCountsHitsAndKeepsValues) {
+  BlobsOptions options;
+  options.num_examples = 16;
+  options.seed = 33;
+  MlDataset train = MakeBlobs(options);
+  options.num_examples = 8;
+  options.seed = 34;
+  MlDataset validation = MakeBlobs(options);
+
+  auto factory = []() { return std::make_unique<KnnClassifier>(3); };
+  UtilityFastPathOptions fast;
+  fast.subset_cache = true;
+  ModelAccuracyUtility utility(factory, train, validation, fast);
+
+  BanzhafOptions estimator;
+  estimator.num_samples = 64;
+  estimator.seed = 3;
+  ImportanceEstimate first = BanzhafValues(utility, estimator).value();
+  ASSERT_NE(utility.subset_cache(), nullptr);
+  SubsetCache::Stats cold = utility.subset_cache()->stats();
+  EXPECT_GT(cold.misses, 0u);
+
+  // Same seed, same game: the second run replays the same subsets, so every
+  // evaluation (minus empty sets, which skip the cache) must hit.
+  ImportanceEstimate second = BanzhafValues(utility, estimator).value();
+  SubsetCache::Stats warm = utility.subset_cache()->stats();
+  EXPECT_EQ(second.values, first.values);
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_GT(warm.hits, cold.hits);
+  // Eval counts are game queries, not model trainings: both runs report the
+  // same cost even though the second trained nothing.
+  EXPECT_EQ(second.utility_evaluations, first.utility_evaluations);
+}
+
+// --- SubsetCache --------------------------------------------------------------------------
+
+TEST(SubsetCacheTest, HitsAreOrderIndependent) {
+  SubsetCache cache;
+  size_t computes = 0;
+  auto compute = [&computes] { return static_cast<double>(++computes); };
+  EXPECT_EQ(cache.GetOrCompute({3, 1, 2}, compute), 1.0);
+  EXPECT_EQ(cache.GetOrCompute({1, 2, 3}, compute), 1.0);
+  EXPECT_EQ(cache.GetOrCompute({2, 3, 1}, compute), 1.0);
+  EXPECT_EQ(computes, 1u);
+  SubsetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SubsetCacheTest, EvictionBoundsSizeAndOnlyCostsRecomputation) {
+  SubsetCacheOptions options;
+  options.num_shards = 2;
+  options.max_entries = 4;
+  SubsetCache cache(options);
+  auto value_of = [](const std::vector<size_t>& s) {
+    return static_cast<double>(s[0] * 10);
+  };
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 20; ++i) {
+      std::vector<size_t> subset = {i};
+      EXPECT_EQ(cache.GetOrCompute(subset, [&] { return value_of(subset); }),
+                value_of(subset));
+    }
+  }
+  SubsetCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+// --- SoftKnnUtility fast membership -------------------------------------------------------
+
+/// Reference re-implementation of SoftKnnUtility::Evaluate as it was before
+/// the epoch-stamped membership vector: per-call unordered_set, same
+/// summation order, so results must match bit for bit.
+double ReferenceSoftKnnEvaluate(const MlDataset& train,
+                                const MlDataset& validation, size_t k,
+                                const std::vector<size_t>& subset) {
+  if (subset.empty() || validation.size() == 0) return 0.0;
+  std::unordered_set<size_t> members(subset.begin(), subset.end());
+  double total = 0.0;
+  for (size_t v = 0; v < validation.size(); ++v) {
+    // Distance order with the same (distance, index) tie-break.
+    size_t n = train.size();
+    std::vector<double> dist(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = train.features.RowPtr(i);
+      const double* query = validation.features.RowPtr(v);
+      double acc = 0.0;
+      for (size_t c = 0; c < train.features.cols(); ++c) {
+        double diff = row[c] - query[c];
+        acc += diff * diff;
+      }
+      dist[i] = acc;
+    }
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&dist](size_t a, size_t b) {
+      if (dist[a] != dist[b]) return dist[a] < dist[b];
+      return a < b;
+    });
+    int y = validation.labels[v];
+    size_t taken = 0;
+    double hits = 0.0;
+    for (size_t idx : order) {
+      if (members.find(idx) == members.end()) continue;
+      if (train.labels[idx] == y) hits += 1.0;
+      if (++taken >= k) break;
+    }
+    total += hits / static_cast<double>(k);
+  }
+  return total / static_cast<double>(validation.size());
+}
+
+TEST(KnnShapleyTest, SoftKnnEpochMembershipMatchesSetReference) {
+  BlobsOptions options;
+  options.num_examples = 18;
+  options.num_features = 3;
+  options.seed = 41;
+  MlDataset train = MakeBlobs(options);
+  options.num_examples = 7;
+  options.seed = 42;
+  MlDataset validation = MakeBlobs(options);
+
+  for (size_t k : {1u, 3u, 5u}) {
+    SoftKnnUtility game(train, validation, k);
+    Rng rng(55);
+    for (size_t trial = 0; trial < 25; ++trial) {
+      size_t size = 1 + rng.NextBounded(train.size() - 1);
+      std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(train.size(), size);
+      std::sort(picks.begin(), picks.end());
+      EXPECT_EQ(game.Evaluate(picks),
+                ReferenceSoftKnnEvaluate(train, validation, k, picks))
+          << "k=" << k << " trial=" << trial;
+    }
+    EXPECT_EQ(game.Evaluate({}), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace nde

@@ -403,5 +403,108 @@ TEST_P(AllModelsTest, RejectsEmptyFit) {
 
 INSTANTIATE_TEST_SUITE_P(Models, AllModelsTest, ::testing::Range(0, 5));
 
+// --- Zero-copy view fitting ---------------------------------------------------------------
+
+TEST(FitViewTest, LogisticRegressionViewWeightsMatchMaterializedFit) {
+  MlDataset data = EasyBinaryBlobs(7, 40);
+  std::vector<size_t> subset = {1, 3, 4, 8, 11, 15, 20, 21, 30, 37};
+
+  LogisticRegressionOptions options;
+  options.epochs = 40;
+  LogisticRegression from_view(options);
+  ASSERT_TRUE(from_view.FitView(MlDatasetView(data, subset), 2).ok());
+  LogisticRegression from_copy(options);
+  ASSERT_TRUE(from_copy.FitWithClasses(data.Subset(subset), 2).ok());
+
+  ASSERT_EQ(from_view.weights().rows(), from_copy.weights().rows());
+  ASSERT_EQ(from_view.weights().cols(), from_copy.weights().cols());
+  for (size_t r = 0; r < from_view.weights().rows(); ++r) {
+    for (size_t c = 0; c < from_view.weights().cols(); ++c) {
+      EXPECT_EQ(from_view.weights().At(r, c), from_copy.weights().At(r, c))
+          << "weight (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(FitViewTest, KnnViewPredictionsMatchMaterializedFit) {
+  MlDataset data = EasyBinaryBlobs(9, 50);
+  MlDataset eval = EasyBinaryBlobs(10, 20);
+  std::vector<size_t> subset = {0, 2, 5, 7, 12, 18, 25, 33, 41, 49};
+
+  KnnClassifier from_view(3);
+  ASSERT_TRUE(from_view.FitView(MlDatasetView(data, subset), 2).ok());
+  KnnClassifier from_copy(3);
+  ASSERT_TRUE(from_copy.FitWithClasses(data.Subset(subset), 2).ok());
+
+  EXPECT_EQ(from_view.Predict(eval.features), from_copy.Predict(eval.features));
+}
+
+TEST(FitViewTest, EmptyViewIsRejected) {
+  MlDataset data = EasyBinaryBlobs(11, 10);
+  std::vector<size_t> empty;
+  KnnClassifier knn(3);
+  EXPECT_FALSE(knn.FitView(MlDatasetView(data, empty), 2).ok());
+  LogisticRegression logreg;
+  EXPECT_FALSE(logreg.FitView(MlDatasetView(data, empty), 2).ok());
+}
+
+// --- Warm-start incremental fitting -------------------------------------------------------
+
+TEST(FitIncrementalTest, UnfittedModelFallsBackToExactFit) {
+  MlDataset data = EasyBinaryBlobs(13, 60);
+  LogisticRegressionOptions options;
+  options.epochs = 40;
+  LogisticRegression incremental(options);
+  ASSERT_TRUE(incremental.FitIncremental(data, 2).ok());
+  LogisticRegression cold(options);
+  ASSERT_TRUE(cold.FitWithClasses(data, 2).ok());
+  // No previous state to warm-start from, so the fallback is the exact fit.
+  for (size_t r = 0; r < cold.weights().rows(); ++r) {
+    for (size_t c = 0; c < cold.weights().cols(); ++c) {
+      EXPECT_EQ(incremental.weights().At(r, c), cold.weights().At(r, c));
+    }
+  }
+}
+
+TEST(FitIncrementalTest, WarmStartRefinesPreviousWeights) {
+  MlDataset data = EasyBinaryBlobs(17, 80);
+  LogisticRegressionOptions options;
+  options.epochs = 60;
+  options.warm_start_epochs = 10;
+  LogisticRegression model(options);
+  ASSERT_TRUE(model.FitWithClasses(data, 2).ok());
+  Matrix before = model.weights();
+
+  // Growing the dataset and warm-starting must keep the model usable and
+  // actually move the weights (it runs warm_start_epochs > 0 of descent).
+  MlDataset grown = EasyBinaryBlobs(17, 80);
+  MlDataset extra = EasyBinaryBlobs(19, 20);
+  grown.features.AppendRows(extra.features);
+  grown.labels.insert(grown.labels.end(), extra.labels.begin(),
+                      extra.labels.end());
+  ASSERT_TRUE(model.FitIncremental(grown, 2).ok());
+  bool moved = false;
+  for (size_t r = 0; r < before.rows() && !moved; ++r) {
+    for (size_t c = 0; c < before.cols() && !moved; ++c) {
+      moved = model.weights().At(r, c) != before.At(r, c);
+    }
+  }
+  EXPECT_TRUE(moved);
+  double accuracy = Accuracy(grown.labels, model.Predict(grown.features));
+  EXPECT_GT(accuracy, 0.8);
+}
+
+TEST(FitIncrementalTest, DefaultImplementationDelegatesToExactFit) {
+  // Models without a warm-start override (e.g. KNN) must still satisfy the
+  // FitIncremental contract by refitting exactly.
+  MlDataset data = EasyBinaryBlobs(23, 40);
+  MlDataset eval = EasyBinaryBlobs(24, 15);
+  KnnClassifier incremental(3);
+  ASSERT_TRUE(incremental.FitIncremental(data, 2).ok());
+  KnnClassifier cold(3);
+  ASSERT_TRUE(cold.FitWithClasses(data, 2).ok());
+  EXPECT_EQ(incremental.Predict(eval.features), cold.Predict(eval.features));
+}
+
 }  // namespace
 }  // namespace nde

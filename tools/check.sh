@@ -7,6 +7,11 @@
 #   tools/check.sh --tsan [build-dir]  # ThreadSanitizer, parallel-runtime and
 #                                      # determinism tests only
 #                                      # (default build dir: build-tsan)
+#   tools/check.sh --bench-smoke [build-dir]
+#                                      # Release build; runs the scalability
+#                                      # bench briefly (including its startup
+#                                      # fast-path bit-identity checks)
+#                                      # (default build dir: build-bench)
 #
 # TSan is incompatible with ASan, hence the separate mode and build dir.
 # A non-zero exit means a build failure, test failure, or sanitizer report.
@@ -18,14 +23,34 @@ MODE=asan
 if [ "${1:-}" = "--tsan" ]; then
   MODE=tsan
   shift
+elif [ "${1:-}" = "--bench-smoke" ]; then
+  MODE=bench
+  shift
 fi
 
 if [ "$MODE" = "tsan" ]; then
   BUILD_DIR="${1:-build-tsan}"
   SANITIZE="thread"
+elif [ "$MODE" = "bench" ]; then
+  BUILD_DIR="${1:-build-bench}"
 else
   BUILD_DIR="${1:-build-asan}"
   SANITIZE="address,undefined"
+fi
+
+if [ "$MODE" = "bench" ]; then
+  # Smoke-run the benchmark harness: Release build, a short spin of the
+  # utility fast-path sweep. The binary's startup checks assert bit-identity
+  # of the fast path and of cross-thread runs before any timing happens, so
+  # this doubles as a cheap perf-regression and determinism gate. Results go
+  # to stdout only (NDE_BENCH_RESULTS="" disables the JSON append).
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target scalability
+  NDE_BENCH_RESULTS="" "$BUILD_DIR/bench/scalability" \
+    --benchmark_filter='BM_TmcUtilityFastPath|BM_BanzhafSubsetCache' \
+    --benchmark_min_time=0.05
+  echo "check.sh: bench smoke passed (fast-path bit-identity + timing run)"
+  exit 0
 fi
 
 cmake -B "$BUILD_DIR" -S . \
@@ -40,8 +65,9 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export TSAN_OPTIONS="halt_on_error=1"
 
 if [ "$MODE" = "tsan" ]; then
-  # The thread-heavy suites: pool lifecycle, ParallelFor, and the estimators'
-  # cross-thread determinism contract.
+  # The thread-heavy suites: pool lifecycle, ParallelFor (including the
+  # SubsetCache concurrency hammer), and the estimators' cross-thread
+  # determinism contract over the cached/warm-started utilities.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     -R "determinism|parallel|importance"
   echo "check.sh: parallel suites passed under TSan"

@@ -27,6 +27,15 @@
 //   --threads <N>        worker threads for parallel estimators (default:
 //                        hardware concurrency; results are identical for any
 //                        N at a fixed seed)
+//
+// Importance (pipeline mode) fast-path flags:
+//
+//   --utility-cache      memoize utility values in the sharded subset cache
+//                        (bit-identical results; hit/miss/eviction counters
+//                        show up under --metrics as utility_cache.*)
+//   --warm-start         allow approximate warm-started prefix training for
+//                        models without an exact incremental scorer (changes
+//                        values slightly, like truncation; deterministic)
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +60,8 @@ struct Args {
 /// Flags that never take a value (so a following positional is not eaten).
 const std::set<std::string>& BooleanFlags() {
   static const std::set<std::string>* flags =
-      new std::set<std::string>{"metrics", "prometheus"};
+      new std::set<std::string>{"metrics", "prometheus", "utility-cache",
+                                "warm-start"};
   return *flags;
 }
 
@@ -228,11 +238,15 @@ int RunImportancePipeline(const Args& args) {
     values = KnnShapleyValues(train, valid, 5);
   } else {
     auto factory = []() { return std::make_unique<KnnClassifier>(5); };
-    ModelAccuracyUtility utility(factory, train, valid);
+    UtilityFastPathOptions fast_path;
+    fast_path.subset_cache = args.flags.count("utility-cache") > 0;
+    bool warm_start = args.flags.count("warm-start") > 0;
+    ModelAccuracyUtility utility(factory, train, valid, fast_path);
     auto estimate_for = [&]() -> Result<ImportanceEstimate> {
       if (method == "tmc_shapley") {
         TmcShapleyOptions options;
         options.num_permutations = permutations;
+        options.warm_start = warm_start;
         return TmcShapleyValues(utility, options);
       }
       if (method == "banzhaf") {
@@ -274,8 +288,9 @@ int RunImportancePipeline(const Args& args) {
 }
 
 int RunImportance(const Args& args) {
-  Status flags_ok = CheckFlags(args, "importance",
-                               {"label", "method", "top", "permutations"});
+  Status flags_ok =
+      CheckFlags(args, "importance", {"label", "method", "top", "permutations",
+                                      "utility-cache", "warm-start"});
   if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() == 1) return RunImportancePipeline(args);
   if (args.positional.size() != 2) {
@@ -364,7 +379,8 @@ int Usage() {
                "  importance <table.csv> --label <col>  (pipeline mode)\n"
                "             [--method tmc_shapley|banzhaf|beta_shapley|"
                "knn_shapley]\n"
-               "             [--top 25] [--permutations 8]\n"
+               "             [--top 25] [--permutations 8] [--utility-cache] "
+               "[--warm-start]\n"
                "  impute <table.csv> --column <col>\n"
                "         [--strategy mean|median|most_frequent] "
                "[--out <out.csv>]\n"
