@@ -1,0 +1,251 @@
+#ifndef NDE_COMMON_LOG_H_
+#define NDE_COMMON_LOG_H_
+
+/// Structured, leveled logging for nde ("NDE_LOG(INFO) << ..."-style).
+///
+/// Design goals, in order:
+///   1. Observability without perturbation — logging never changes estimator
+///      results (it only formats and writes), so instrumented code keeps the
+///      bit-determinism contract of DESIGN.md §8.
+///   2. Operator-friendly output: a human text sink by default, a JSON-lines
+///      sink (`Logger::SetJson(true)`) for log shippers, both carrying the
+///      same structured record (level, file:line, thread, wall-clock time).
+///   3. Cheap when silent: a disabled level costs one relaxed atomic load and
+///      no formatting; with NDE_TELEMETRY=OFF the macros compile out entirely
+///      (the class API below stays available in both build modes, mirroring
+///      telemetry/telemetry.h).
+///   4. Rate-limited per-site suppression: NDE_LOG_EVERY_N / NDE_LOG_FIRST_N /
+///      NDE_LOG_EVERY_MS keep hot loops from flooding the sink; suppressed
+///      messages are counted (Logger::stats()) so silence is visible.
+///
+/// This lives in common/ (not telemetry/) because nde_telemetry links
+/// nde_common: the logger must be usable from everything, including the
+/// telemetry subsystem itself.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#ifndef NDE_TELEMETRY_ENABLED
+#define NDE_TELEMETRY_ENABLED 1
+#endif
+
+namespace nde {
+namespace log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// "DEBUG", "INFO", "WARNING", "ERROR".
+const char* LevelName(Level level);
+
+/// Parses "debug|info|warning|error" (case-insensitive; "warn" and "err"
+/// accepted). Returns false (and leaves *level untouched) on anything else.
+bool ParseLevel(const std::string& text, Level* level);
+
+namespace internal {
+/// The runtime level filter, read on every NDE_LOG site. Exposed so
+/// IsEnabled can inline to a single relaxed load.
+extern std::atomic<int> g_min_level;
+}  // namespace internal
+
+/// Messages below this level are dropped before any formatting happens.
+/// Defaults to kWarning so library code is quiet unless an operator opts in.
+inline Level MinLevel() {
+  return static_cast<Level>(
+      internal::g_min_level.load(std::memory_order_relaxed));
+}
+void SetMinLevel(Level level);
+
+inline bool IsEnabled(Level level) {
+  return static_cast<int>(level) >=
+         internal::g_min_level.load(std::memory_order_relaxed);
+}
+
+/// One structured log message, as handed to sinks.
+struct LogRecord {
+  Level level = Level::kInfo;
+  const char* file = "";  ///< basename of the emitting source file
+  int line = 0;
+  int64_t wall_micros = 0;  ///< microseconds since the Unix epoch
+  uint32_t tid = 0;         ///< small dense thread id (first-use order)
+  /// For rate-limited sites: how many times the site has fired in total
+  /// (1 for plain NDE_LOG). occurrence > 1 on an EVERY_N site means
+  /// occurrence - previous emissions were suppressed since the last line.
+  uint64_t occurrence = 1;
+  std::string message;
+};
+
+/// Human-readable single line: "I0805 13:02:11.042187  3 file.cc:42] msg".
+std::string FormatText(const LogRecord& record);
+/// JSON-lines object: {"ts_us":...,"level":"INFO","file":"...","line":42,
+/// "tid":3,"msg":"..."} (+ "occurrence" when > 1).
+std::string FormatJson(const LogRecord& record);
+
+/// Counters over the process lifetime; suppressed counts messages dropped by
+/// rate-limited sites (NOT by the level filter, which is free by design).
+struct LogStats {
+  uint64_t emitted = 0;
+  uint64_t suppressed = 0;
+};
+
+/// Process-wide sink fan-in. Thread-safe: records from concurrent threads are
+/// written atomically (one line each, never interleaved).
+class Logger {
+ public:
+  static Logger& Global();
+
+  /// Formats with FormatText/FormatJson and writes to stderr, or hands the
+  /// record to the test sink when one is installed.
+  void Write(const LogRecord& record);
+
+  /// Switches the default stderr sink between text and JSON-lines.
+  void SetJson(bool json);
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+
+  /// Replaces the stderr writer (tests, embedders). Pass nullptr to restore
+  /// the default. The sink runs under the logger's mutex.
+  using Sink = std::function<void(const LogRecord&)>;
+  void SetSink(Sink sink);
+
+  LogStats stats() const;
+  void ResetStats();
+
+  /// Internal: rate-limited sites report their drops here.
+  void CountSuppressed(uint64_t n);
+
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  Sink sink_;  ///< guarded by mu_
+  std::atomic<bool> json_{false};
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+/// Emits one message through Logger::Global() (level filter applied). The
+/// function form is always available — even when NDE_TELEMETRY=OFF compiles
+/// the macros out — for callers like the CLI that log unconditionally.
+void Emit(Level level, const char* file, int line, const std::string& message);
+
+/// RAII message builder backing NDE_LOG: accumulates an ostream and hands the
+/// finished record to Logger::Global() at destruction (end of the statement).
+class LogMessage {
+ public:
+  LogMessage(Level level, const char* file, int line, uint64_t occurrence = 1);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogRecord record_;
+  std::ostringstream stream_;
+};
+
+/// Makes the ternary in NDE_LOG type-check: both arms must be void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Swallows "<<" chains when logging is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+namespace internal {
+
+/// Per-call-site state for the rate-limited macros. Each macro expansion
+/// owns one instance via a local-static-in-lambda, so different sites never
+/// share counters.
+struct SiteState {
+  std::atomic<uint64_t> occurrences{0};
+  std::atomic<int64_t> last_emit_ms{-(1LL << 62)};  ///< steady-clock ms
+};
+
+/// Returns the 1-based occurrence number when this occurrence should emit
+/// (1, n+1, 2n+1, ...), 0 when it is suppressed. Counts suppressions.
+uint64_t NextOccurrenceEveryN(SiteState* site, uint64_t n);
+/// Emits only the first `n` occurrences of the site.
+uint64_t NextOccurrenceFirstN(SiteState* site, uint64_t n);
+/// Emits at most once per `ms` milliseconds (steady clock) per site.
+uint64_t NextOccurrenceEveryMs(SiteState* site, int64_t ms);
+
+}  // namespace internal
+}  // namespace log
+}  // namespace nde
+
+#define NDE_LOG_LEVEL_DEBUG ::nde::log::Level::kDebug
+#define NDE_LOG_LEVEL_INFO ::nde::log::Level::kInfo
+#define NDE_LOG_LEVEL_WARNING ::nde::log::Level::kWarning
+#define NDE_LOG_LEVEL_ERROR ::nde::log::Level::kError
+
+#if NDE_TELEMETRY_ENABLED
+
+/// NDE_LOG(INFO) << "rows=" << rows;
+/// The stream operands are not evaluated when the level is filtered out.
+#define NDE_LOG(severity)                                                  \
+  !::nde::log::IsEnabled(NDE_LOG_LEVEL_##severity)                         \
+      ? (void)0                                                            \
+      : ::nde::log::Voidify() &                                            \
+            ::nde::log::LogMessage(NDE_LOG_LEVEL_##severity, __FILE__,     \
+                                   __LINE__)                               \
+                .stream()
+
+/// Shared skeleton of the rate-limited variants: `decider` maps this site's
+/// SiteState to an occurrence number (0 = suppressed). The lambda-static
+/// gives every expansion its own SiteState while keeping the whole construct
+/// a single statement, so it nests anywhere NDE_LOG does.
+#define NDE_LOG_RATE_LIMITED_IMPL(severity, decider, arg)                   \
+  for (uint64_t nde_log_occurrence =                                        \
+           ::nde::log::IsEnabled(NDE_LOG_LEVEL_##severity)                  \
+               ? ::nde::log::internal::decider(                             \
+                     [] {                                                   \
+                       static ::nde::log::internal::SiteState state;        \
+                       return &state;                                       \
+                     }(),                                                   \
+                     (arg))                                                 \
+               : 0;                                                         \
+       nde_log_occurrence != 0; nde_log_occurrence = 0)                     \
+  ::nde::log::Voidify() &                                                   \
+      ::nde::log::LogMessage(NDE_LOG_LEVEL_##severity, __FILE__, __LINE__,  \
+                             nde_log_occurrence)                            \
+          .stream()
+
+/// Emits the 1st, (n+1)th, (2n+1)th, ... occurrence of this site.
+#define NDE_LOG_EVERY_N(severity, n) \
+  NDE_LOG_RATE_LIMITED_IMPL(severity, NextOccurrenceEveryN, n)
+
+/// Emits only the first n occurrences of this site.
+#define NDE_LOG_FIRST_N(severity, n) \
+  NDE_LOG_RATE_LIMITED_IMPL(severity, NextOccurrenceFirstN, n)
+
+/// Emits at most one line per `ms` milliseconds from this site.
+#define NDE_LOG_EVERY_MS(severity, ms) \
+  NDE_LOG_RATE_LIMITED_IMPL(severity, NextOccurrenceEveryMs, ms)
+
+#else  // !NDE_TELEMETRY_ENABLED
+
+// Compiled out: the "<<" chain still type-checks but generates no code and
+// evaluates nothing at runtime (the while(false) body is dead).
+#define NDE_LOG(severity) \
+  while (false) ::nde::log::NullStream()
+#define NDE_LOG_EVERY_N(severity, n) \
+  while (false) ::nde::log::NullStream()
+#define NDE_LOG_FIRST_N(severity, n) \
+  while (false) ::nde::log::NullStream()
+#define NDE_LOG_EVERY_MS(severity, ms) \
+  while (false) ::nde::log::NullStream()
+
+#endif  // NDE_TELEMETRY_ENABLED
+
+#endif  // NDE_COMMON_LOG_H_

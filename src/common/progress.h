@@ -1,0 +1,41 @@
+#ifndef NDE_COMMON_PROGRESS_H_
+#define NDE_COMMON_PROGRESS_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace nde {
+
+/// One progress observation from a long-running estimator, emitted on the
+/// *coordinating* thread at fixed wave boundaries (never from workers), so a
+/// fixed seed produces the exact same update sequence for any thread count.
+///
+/// Determinism contract: progress callbacks are observational. Estimators
+/// compute every field from state they already maintain and never let the
+/// callback influence sampling, convergence, or reduction order — results
+/// with and without a callback installed are bit-identical (enforced by
+/// tests/determinism_test.cc).
+struct ProgressUpdate {
+  /// Which estimator phase is reporting: "tmc_shapley", "banzhaf",
+  /// "beta_shapley", "leave_one_out", "knn_shapley".
+  const char* phase = "";
+  /// Work units finished so far: permutations, samples, units, or validation
+  /// points, depending on the phase.
+  size_t completed = 0;
+  /// The full budget in the same unit as `completed`. Early stopping may
+  /// finish a run with completed < total.
+  size_t total = 0;
+  /// Utility evaluations consumed so far (0 for closed-form estimators).
+  size_t utility_evaluations = 0;
+  /// Largest per-unit standard error at this boundary; 0 when not estimable
+  /// (fewer than 2 observations, or a closed-form estimator).
+  double max_std_error = 0.0;
+};
+
+/// Invoked after each wave; must be fast and must not touch estimator state.
+/// Exceptions propagate to the estimator's caller.
+using ProgressCallback = std::function<void(const ProgressUpdate&)>;
+
+}  // namespace nde
+
+#endif  // NDE_COMMON_PROGRESS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/log.h"
 #include "common/string_util.h"
 #include "importance/knn_shapley.h"
 #include "ml/metrics.h"
@@ -46,6 +47,9 @@ Result<std::vector<double>> KnnShapleyOverPipeline(
   NDE_TRACE_SPAN_VAR(span, "KnnShapleyOverPipeline", "datascope");
   NDE_SPAN_ARG(span, "output_rows", static_cast<int64_t>(output.size()));
   NDE_METRIC_COUNT("datascope.knn_shapley_runs", 1);
+  NDE_LOG(INFO) << "knn_shapley over pipeline: " << output.size()
+                << " output rows, " << validation.size()
+                << " validation points, k=" << k;
   MlDataset train = output.ToDataset();
   std::vector<double> output_values =
       KnnShapleyValues(train, validation, k, options);
@@ -116,12 +120,20 @@ double PipelineSourceUtility::EvaluateUncached(
   }
   Result<PipelineOutput> output = pipeline_->RunWithout(removed);
   if (!output.ok() || output->size() == 0) {
-    // No trainable output: random-guess utility.
+    // No trainable output: random-guess utility. Estimators probe thousands
+    // of coalitions, so this is expected for small ones — log a sample, not
+    // a flood.
+    NDE_LOG_EVERY_N(DEBUG, 256)
+        << "coalition of " << subset.size()
+        << " units produced no trainable output; using random-guess utility";
     return 1.0 / static_cast<double>(num_classes_);
   }
   std::unique_ptr<Classifier> model = factory_();
   Status fit = model->FitWithClasses(output->ToDataset(), num_classes_);
   if (!fit.ok()) {
+    NDE_LOG_FIRST_N(WARNING, 4)
+        << "classifier fit failed for a coalition of " << subset.size()
+        << " units (" << fit.message() << "); using random-guess utility";
     return 1.0 / static_cast<double>(num_classes_);
   }
   std::vector<int> predicted = model->Predict(validation_.features);

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/progress.h"
+
 namespace nde {
 
 /// Knobs shared by every importance estimator. Method-specific option structs
@@ -39,6 +41,12 @@ struct EstimatorOptions {
   /// speedup, so it is off by default; results stay deterministic for any
   /// thread count either way.
   bool warm_start = false;
+
+  /// Observational progress hook, invoked on the coordinating thread at fixed
+  /// wave boundaries (see common/progress.h). Powers live progress/ETA lines
+  /// and RunReport convergence curves; installing one never changes results
+  /// (DESIGN.md §10). Leave empty to skip all progress bookkeeping.
+  ProgressCallback progress;
 };
 
 }  // namespace nde

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "telemetry/telemetry.h"
@@ -65,18 +66,33 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
   double full = utility.FullUtility();
   std::vector<double> values(n);
   // One task per unit, writing into its own slot: no randomness and no shared
-  // accumulator, so results are identical for any thread count.
-  ParallelFor(
-      0, n,
-      [&](size_t i) {
-        std::vector<size_t> subset;
-        subset.reserve(n - 1);
-        for (size_t j = 0; j < n; ++j) {
-          if (j != i) subset.push_back(j);
-        }
-        values[i] = full - utility.Evaluate(subset);
-      },
-      options.num_threads, "leave_one_out");
+  // accumulator, so results are identical for any thread count. Units run in
+  // fixed 64-unit waves purely so progress can be reported at deterministic
+  // boundaries; the per-unit work is unchanged.
+  constexpr size_t kWaveUnits = 64;
+  NDE_LOG(DEBUG) << "leave_one_out: " << n << " units";
+  for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
+    size_t wave_end = std::min(wave_begin + kWaveUnits, n);
+    ParallelFor(
+        wave_begin, wave_end,
+        [&](size_t i) {
+          std::vector<size_t> subset;
+          subset.reserve(n - 1);
+          for (size_t j = 0; j < n; ++j) {
+            if (j != i) subset.push_back(j);
+          }
+          values[i] = full - utility.Evaluate(subset);
+        },
+        options.num_threads, "leave_one_out");
+    if (options.progress) {
+      ProgressUpdate update;
+      update.phase = "leave_one_out";
+      update.completed = wave_end;
+      update.total = n;
+      update.utility_evaluations = wave_end + 1;  // + the full-set baseline
+      options.progress(update);
+    }
+  }
   return values;
 }
 
@@ -187,14 +203,36 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
     }
     executed = wave_end;
 
-    if (options.convergence_tolerance > 0.0 && executed > 1) {
+    // One max-std-error per wave serves both the convergence decision
+    // (max <= tol is equivalent to "every unit's error <= tol") and the
+    // progress callback, so installing a callback cannot change when the
+    // estimator stops.
+    double max_std_error = 0.0;
+    bool want_error = options.convergence_tolerance > 0.0 ||
+                      static_cast<bool>(options.progress);
+    if (want_error && executed > 1) {
       double m = static_cast<double>(executed);
-      bool converged = true;
-      for (size_t i = 0; i < n && converged; ++i) {
-        converged = MeanStdError(sum[i], sum_sq[i], m) <=
-                    options.convergence_tolerance;
+      for (size_t i = 0; i < n; ++i) {
+        max_std_error =
+            std::max(max_std_error, MeanStdError(sum[i], sum_sq[i], m));
       }
-      if (converged) break;
+    }
+    if (options.progress) {
+      ProgressUpdate update;
+      update.phase = "tmc_shapley";
+      update.completed = executed;
+      update.total = options.num_permutations;
+      update.utility_evaluations = evaluations;
+      update.max_std_error = max_std_error;
+      options.progress(update);
+    }
+    if (options.convergence_tolerance > 0.0 && executed > 1 &&
+        max_std_error <= options.convergence_tolerance) {
+      NDE_LOG(INFO) << "tmc_shapley converged after " << executed << "/"
+                    << options.num_permutations
+                    << " permutations (max std error " << max_std_error
+                    << " <= " << options.convergence_tolerance << ")";
+      break;
     }
   }
   NDE_METRIC_COUNT("shapley.permutations", executed);
@@ -353,21 +391,45 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
     }
     chunk_cursor = wave_end;
 
-    if (options.convergence_tolerance > 0.0) {
-      bool converged = true;
-      for (size_t i = 0; i < n && converged; ++i) {
+    // Shared once-per-wave error scan (see the TMC loop): the estimate is
+    // estimable only when every unit has >= 2 in- and out-samples, and the
+    // stopping decision "estimable && max <= tol" is exactly the old
+    // per-unit early-exit check.
+    double max_std_error = 0.0;
+    bool estimable = true;
+    bool want_error = options.convergence_tolerance > 0.0 ||
+                      static_cast<bool>(options.progress);
+    if (want_error) {
+      for (size_t i = 0; i < n; ++i) {
         if (in_count[i] < 2 || out_count[i] < 2) {
-          converged = false;
+          estimable = false;
+          max_std_error = 0.0;
           break;
         }
         double in_err = MeanStdError(in_sum[i], in_sq[i],
                                      static_cast<double>(in_count[i]));
         double out_err = MeanStdError(out_sum[i], out_sq[i],
                                       static_cast<double>(out_count[i]));
-        converged = std::sqrt(in_err * in_err + out_err * out_err) <=
-                    options.convergence_tolerance;
+        max_std_error = std::max(
+            max_std_error, std::sqrt(in_err * in_err + out_err * out_err));
       }
-      if (converged) break;
+    }
+    if (options.progress) {
+      ProgressUpdate update;
+      update.phase = "banzhaf";
+      update.completed = executed_samples;
+      update.total = options.num_samples;
+      update.utility_evaluations = executed_samples;
+      update.max_std_error = estimable ? max_std_error : 0.0;
+      options.progress(update);
+    }
+    if (options.convergence_tolerance > 0.0 && estimable &&
+        max_std_error <= options.convergence_tolerance) {
+      NDE_LOG(INFO) << "banzhaf converged after " << executed_samples << "/"
+                    << options.num_samples << " samples (max std error "
+                    << max_std_error << " <= "
+                    << options.convergence_tolerance << ")";
+      break;
     }
   }
   NDE_METRIC_COUNT("banzhaf.samples", executed_samples);
@@ -468,49 +530,76 @@ Result<ImportanceEstimate> BetaShapleyValues(
   };
   std::vector<UnitPartial> units(n);
 
-  size_t threads_used = ParallelFor(
-      0, n,
-      [&](size_t i) {
-        NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
-        NDE_SPAN_ARG(unit_span, "unit", static_cast<int64_t>(i));
-        Rng rng = seeds.RngFor(i);
-        std::vector<size_t> others;
-        others.reserve(n - 1);
-        for (size_t j = 0; j < n; ++j) {
-          if (j != i) others.push_back(j);
-        }
-        double sum = 0.0;
-        double sum_sq = 0.0;
-        size_t samples = 0;
-        for (size_t s = 0; s < options.samples_per_unit; ++s) {
-          size_t cardinality = rng.NextCategorical(cardinality_weights);
-          std::vector<size_t> picks =
-              rng.SampleWithoutReplacement(others.size(), cardinality);
-          std::vector<size_t> subset;
-          subset.reserve(cardinality + 1);
-          for (size_t p : picks) subset.push_back(others[p]);
-          double without = utility.Evaluate(Sorted(subset));
-          subset.push_back(i);
-          double with = utility.Evaluate(Sorted(subset));
-          double marginal = with - without;
-          sum += marginal;
-          sum_sq += marginal * marginal;
-          ++samples;
-          if (options.convergence_tolerance > 0.0 &&
-              samples >= kMinSamplesForConvergence &&
-              MeanStdError(sum, sum_sq, static_cast<double>(samples)) <=
-                  options.convergence_tolerance) {
-            break;
+  // Units run in fixed 16-unit waves so progress can be reported at
+  // deterministic boundaries. Each unit's Rng stream is keyed by its index
+  // and each unit converges on its own samples only, so the wave grouping
+  // changes scheduling, never results.
+  constexpr size_t kWaveUnits = 16;
+  size_t threads_used = 1;
+  size_t evaluations_so_far = 0;
+  double max_std_error = 0.0;
+  for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
+    size_t wave_end = std::min(wave_begin + kWaveUnits, n);
+    size_t used = ParallelFor(
+        wave_begin, wave_end,
+        [&](size_t i) {
+          NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
+          NDE_SPAN_ARG(unit_span, "unit", static_cast<int64_t>(i));
+          Rng rng = seeds.RngFor(i);
+          std::vector<size_t> others;
+          others.reserve(n - 1);
+          for (size_t j = 0; j < n; ++j) {
+            if (j != i) others.push_back(j);
           }
-        }
-        double m = static_cast<double>(samples);
-        UnitPartial& out = units[i];
-        out.mean = sum / m;
-        out.std_error = MeanStdError(sum, sum_sq, m);
-        out.evaluations = 2 * samples;
-        NDE_SPAN_ARG(unit_span, "std_error", out.std_error);
-      },
-      options.num_threads, "beta_shapley_units");
+          double sum = 0.0;
+          double sum_sq = 0.0;
+          size_t samples = 0;
+          for (size_t s = 0; s < options.samples_per_unit; ++s) {
+            size_t cardinality = rng.NextCategorical(cardinality_weights);
+            std::vector<size_t> picks =
+                rng.SampleWithoutReplacement(others.size(), cardinality);
+            std::vector<size_t> subset;
+            subset.reserve(cardinality + 1);
+            for (size_t p : picks) subset.push_back(others[p]);
+            double without = utility.Evaluate(Sorted(subset));
+            subset.push_back(i);
+            double with = utility.Evaluate(Sorted(subset));
+            double marginal = with - without;
+            sum += marginal;
+            sum_sq += marginal * marginal;
+            ++samples;
+            if (options.convergence_tolerance > 0.0 &&
+                samples >= kMinSamplesForConvergence &&
+                MeanStdError(sum, sum_sq, static_cast<double>(samples)) <=
+                    options.convergence_tolerance) {
+              break;
+            }
+          }
+          double m = static_cast<double>(samples);
+          UnitPartial& out = units[i];
+          out.mean = sum / m;
+          out.std_error = MeanStdError(sum, sum_sq, m);
+          out.evaluations = 2 * samples;
+          NDE_SPAN_ARG(unit_span, "std_error", out.std_error);
+        },
+        options.num_threads, "beta_shapley_units");
+    threads_used = std::max(threads_used, used);
+    // Index-order fold of the wave's partials (deterministic, and cheap
+    // enough to do even with no callback installed).
+    for (size_t i = wave_begin; i < wave_end; ++i) {
+      evaluations_so_far += units[i].evaluations;
+      max_std_error = std::max(max_std_error, units[i].std_error);
+    }
+    if (options.progress) {
+      ProgressUpdate update;
+      update.phase = "beta_shapley";
+      update.completed = wave_end;
+      update.total = n;
+      update.utility_evaluations = evaluations_so_far;
+      update.max_std_error = max_std_error;
+      options.progress(update);
+    }
+  }
 
   ImportanceEstimate estimate;
   estimate.values.resize(n, 0.0);

@@ -48,13 +48,14 @@ std::vector<double> KnnShapleyValues(const MlDataset& train,
 
   // Validation points are independent; process them as fixed 8-point chunks
   // with one partial sum per chunk, folded in chunk order below, so the
-  // result is bit-identical for any thread count.
+  // result is bit-identical for any thread count. Chunks run in fixed
+  // 8-chunk waves purely so progress can be reported at deterministic
+  // boundaries; the per-chunk work is unchanged.
   constexpr size_t kChunkPoints = 8;
+  constexpr size_t kWaveChunks = 8;
   size_t num_chunks = (validation.size() + kChunkPoints - 1) / kChunkPoints;
   std::vector<std::vector<double>> partials(num_chunks);
-  ParallelFor(
-      0, num_chunks,
-      [&](size_t chunk) {
+  auto run_chunk = [&](size_t chunk) {
         std::vector<double>& partial = partials[chunk];
         partial.assign(n, 0.0);
         std::vector<double> s(n, 0.0);
@@ -80,8 +81,21 @@ std::vector<double> KnnShapleyValues(const MlDataset& train,
           }
           for (size_t i = 0; i < n; ++i) partial[i] += s[i];
         }
-      },
-      options.num_threads, "knn_shapley");
+  };
+  for (size_t wave_begin = 0; wave_begin < num_chunks;
+       wave_begin += kWaveChunks) {
+    size_t wave_end = std::min(wave_begin + kWaveChunks, num_chunks);
+    ParallelFor(wave_begin, wave_end, run_chunk, options.num_threads,
+                "knn_shapley");
+    if (options.progress) {
+      ProgressUpdate update;
+      update.phase = "knn_shapley";
+      update.completed = std::min(wave_end * kChunkPoints, validation.size());
+      update.total = validation.size();
+      // Closed-form estimator: no utility evaluations, no error estimate.
+      options.progress(update);
+    }
+  }
 
   std::vector<double> values(n, 0.0);
   for (const std::vector<double>& partial : partials) {

@@ -22,16 +22,21 @@
 /// Plus the substrates everything rests on: data/ (tables, CSV), linalg/,
 /// ml/ (models and metrics), datagen/ (the hiring scenario and error
 /// injectors), and cleaning/ (prioritized cleaning and the debugging
-/// challenge) — and the cross-cutting observability layer, telemetry/
-/// (metrics registry, scoped trace spans with Chrome trace_event export,
-/// per-operator pipeline profiling; see src/telemetry/README.md).
+/// challenge) — and the cross-cutting observability layer: common/log.h
+/// (structured leveled logging), common/progress.h (estimator progress
+/// callbacks), and telemetry/ (metrics registry, scoped trace spans with
+/// Chrome trace_event export, per-operator pipeline profiling, JSON run
+/// reports, and an embedded HTTP scrape endpoint; see
+/// src/telemetry/README.md).
 
 #include "cleaning/challenge.h"
 #include "cleaning/cleaner.h"
 #include "cleaning/imputation.h"
 #include "cleaning/strategies.h"
 #include "common/check.h"
+#include "common/log.h"
 #include "common/parallel.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -69,7 +74,9 @@
 #include "pipeline/provenance.h"
 #include "query/calibration.h"
 #include "query/predictive_query.h"
+#include "telemetry/http_exporter.h"
 #include "telemetry/metrics.h"
+#include "telemetry/run_report.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "uncertain/affine.h"

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/log.h"
 #include "common/string_util.h"
 #include "telemetry/telemetry.h"
 
@@ -120,6 +121,10 @@ Result<PipelineOutput> MlPipeline::Execute(const PlanNodePtr& plan) const {
   NDE_SPAN_ARG(span, "output_rows", static_cast<int64_t>(out.size()));
   NDE_METRIC_COUNT("pipeline.executions", 1);
   NDE_METRIC_COUNT("pipeline.output_rows", out.size());
+  // Estimators execute the pipeline once per coalition; sample the stream
+  // instead of logging every execution.
+  NDE_LOG_EVERY_N(DEBUG, 100) << "pipeline executed: " << out.size()
+                              << " output rows";
   return out;
 }
 

@@ -1,0 +1,204 @@
+#include "telemetry/http_exporter.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace nde {
+namespace telemetry {
+
+namespace {
+
+std::string MakeResponse(int status, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+std::string TracezJson() {
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  constexpr size_t kMaxSpans = 100;
+  size_t begin = events.size() > kMaxSpans ? events.size() - kMaxSpans : 0;
+  std::ostringstream os;
+  os << "{\"buffered_spans\":" << events.size()
+     << ",\"dropped_spans\":" << TraceBuffer::Global().dropped()
+     << ",\"spans\":[";
+  bool first = true;
+  for (size_t i = begin; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"category\":\""
+       << JsonEscape(event.category) << "\",\"ts_us\":" << event.ts_us
+       << ",\"dur_us\":" << event.dur_us << ",\"tid\":" << event.tid << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Reads until the end of the request headers (blank line) or EOF; only the
+/// request line matters, but draining headers keeps clients happy.
+std::string ReadRequestLine(int fd) {
+  std::string data;
+  char buf[1024];
+  while (data.find("\r\n\r\n") == std::string::npos &&
+         data.find("\n\n") == std::string::npos && data.size() < 16384) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+    if (data.find('\n') != std::string::npos && data.size() >= 4) {
+      // We have the request line; keep draining only if more is in flight —
+      // a single short read with a complete line is the common case.
+      break;
+    }
+  }
+  size_t eol = data.find('\n');
+  if (eol == std::string::npos) return data;
+  std::string line = data.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string HttpExporter::HandleRequest(const std::string& request_line) {
+  MetricsRegistry::Global().GetCounter("http_exporter.requests").Increment();
+  std::istringstream is(request_line);
+  std::string method, target;
+  is >> method >> target;
+  if (method != "GET") {
+    return MakeResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is supported\n");
+  }
+  // Ignore any query string: /metrics?x=1 serves /metrics.
+  size_t query = target.find('?');
+  if (query != std::string::npos) target = target.substr(0, query);
+  if (target == "/healthz") {
+    return MakeResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (target == "/metrics") {
+    return MakeResponse(200, "OK", "text/plain; version=0.0.4",
+                        MetricsRegistry::Global().ToPrometheusText());
+  }
+  if (target == "/varz") {
+    return MakeResponse(200, "OK", "application/json",
+                        MetricsRegistry::Global().ToJson() + "\n");
+  }
+  if (target == "/tracez") {
+    return MakeResponse(200, "OK", "application/json", TracezJson() + "\n");
+  }
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "unknown path; try /healthz /metrics /varz /tracez\n");
+}
+
+Status HttpExporter::Start(uint16_t port) {
+  if (running()) {
+    return Status::FailedPrecondition("http exporter already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:" + std::to_string(port) +
+                           "): " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen(): " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname(): " + err);
+  }
+  if (::pipe(wake_fds_) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("pipe(): " + err);
+  }
+  listen_fd_ = fd;
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  NDE_LOG(INFO) << "http exporter serving on 127.0.0.1:" << this->port();
+  return Status();
+}
+
+void HttpExporter::Serve() {
+  while (running()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() wrote to the wake pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    std::string request_line = ReadRequestLine(client);
+    if (!request_line.empty()) {
+      WriteAll(client, HandleRequest(request_line));
+    }
+    ::close(client);
+  }
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the poll loop so it observes running_ == false and exits.
+  char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  port_.store(0, std::memory_order_release);
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+}  // namespace telemetry
+}  // namespace nde

@@ -1,0 +1,68 @@
+#ifndef NDE_TELEMETRY_HTTP_EXPORTER_H_
+#define NDE_TELEMETRY_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace nde {
+namespace telemetry {
+
+/// Minimal embedded HTTP/1.1 server exposing process observability, designed
+/// for `nde_cli --serve PORT` and scrape-style clients (curl, Prometheus).
+/// No third-party dependencies: POSIX sockets, one serving thread, requests
+/// handled serially (scrapes are rare and cheap; concurrency would buy
+/// nothing but locking).
+///
+/// Endpoints (GET only; anything else is 404/405):
+///   /healthz  -> 200 "ok\n" liveness probe
+///   /metrics  -> Prometheus text exposition of the global MetricsRegistry
+///   /varz     -> the same registry as JSON (MetricsRegistry::ToJson)
+///   /tracez   -> recent trace spans as JSON (most recent ~100)
+///
+/// The server binds 127.0.0.1 only — this is an introspection port, not a
+/// public service. Start(0) picks an ephemeral port, readable via port().
+class HttpExporter {
+ public:
+  HttpExporter() = default;
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serving thread.
+  /// Fails if already running or the bind/listen fails.
+  Status Start(uint16_t port);
+
+  /// Stops the serving thread and closes the socket. Safe to call twice or
+  /// when never started; also invoked by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the actual one when Start was given 0); 0 if stopped.
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Pure request router: maps a request line like "GET /metrics HTTP/1.1"
+  /// to the complete HTTP response bytes. Exposed so tests can cover every
+  /// endpoint deterministically without sockets; the serving thread uses
+  /// exactly this function.
+  static std::string HandleRequest(const std::string& request_line);
+
+ private:
+  void Serve();
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint16_t> port_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe so Stop() interrupts poll()
+};
+
+}  // namespace telemetry
+}  // namespace nde
+
+#endif  // NDE_TELEMETRY_HTTP_EXPORTER_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "telemetry/trace.h"
 
 namespace nde {
 namespace telemetry {
@@ -109,26 +111,56 @@ Histogram& MetricsRegistry::GetHistogram(
   return *slot;
 }
 
-std::string MetricsRegistry::ToTable() const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream os;
-  os << StrFormat("%-44s %-10s %s\n", "metric", "kind", "value");
+  MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
-    os << StrFormat("%-44s %-10s %llu\n", name.c_str(), "counter",
-                    static_cast<unsigned long long>(counter->value()));
+    snapshot.counters[name] = counter->value();
   }
   for (const auto& [name, gauge] : gauges_) {
-    os << StrFormat("%-44s %-10s %.6g\n", name.c_str(), "gauge",
-                    gauge->value());
+    snapshot.gauges[name] = gauge->value();
   }
   for (const auto& [name, histogram] : histograms_) {
-    os << StrFormat(
-        "%-44s %-10s count=%llu sum=%.3f p50=%.4g p95=%.4g p99=%.4g\n",
-        name.c_str(), "histogram",
-        static_cast<unsigned long long>(histogram->count()), histogram->sum(),
-        histogram->Quantile(0.5), histogram->Quantile(0.95),
-        histogram->Quantile(0.99));
+    HistogramSummary summary;
+    summary.count = histogram->count();
+    summary.sum = histogram->sum();
+    summary.p50 = histogram->Quantile(0.5);
+    summary.p95 = histogram->Quantile(0.95);
+    summary.p99 = histogram->Quantile(0.99);
+    snapshot.histograms[name] = summary;
   }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One (name, line) entry per metric regardless of kind, sorted by name, so
+  // two dumps of the same process state are byte-identical and diffable.
+  std::vector<std::pair<std::string, std::string>> lines;
+  lines.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    lines.emplace_back(
+        name, StrFormat("%-44s %-10s %llu\n", name.c_str(), "counter",
+                        static_cast<unsigned long long>(counter->value())));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    lines.emplace_back(name, StrFormat("%-44s %-10s %.6g\n", name.c_str(),
+                                       "gauge", gauge->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    lines.emplace_back(
+        name,
+        StrFormat(
+            "%-44s %-10s count=%llu sum=%.3f p50=%.4g p95=%.4g p99=%.4g\n",
+            name.c_str(), "histogram",
+            static_cast<unsigned long long>(histogram->count()),
+            histogram->sum(), histogram->Quantile(0.5),
+            histogram->Quantile(0.95), histogram->Quantile(0.99)));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream os;
+  os << StrFormat("%-44s %-10s %s\n", "metric", "kind", "value");
+  for (const auto& [name, line] : lines) os << line;
   return os.str();
 }
 
@@ -150,20 +182,24 @@ std::string PrometheusName(const std::string& name) {
 
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream os;
+  // Blocks are sorted by metric name across kinds (Prometheus ignores order,
+  // but sorted scrapes diff cleanly and scrape tests can be byte-stable).
+  std::vector<std::pair<std::string, std::string>> blocks;
+  blocks.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     std::string pname = PrometheusName(name);
-    os << "# TYPE " << pname << " counter\n"
-       << pname << " " << counter->value() << "\n";
+    blocks.emplace_back(name, "# TYPE " + pname + " counter\n" + pname + " " +
+                                  std::to_string(counter->value()) + "\n");
   }
   for (const auto& [name, gauge] : gauges_) {
     std::string pname = PrometheusName(name);
-    os << "# TYPE " << pname << " gauge\n"
-       << pname << " " << StrFormat("%.6g", gauge->value()) << "\n";
+    blocks.emplace_back(name, "# TYPE " + pname + " gauge\n" + pname + " " +
+                                  StrFormat("%.6g", gauge->value()) + "\n");
   }
   for (const auto& [name, histogram] : histograms_) {
     std::string pname = PrometheusName(name);
-    os << "# TYPE " << pname << " histogram\n";
+    std::ostringstream block;
+    block << "# TYPE " << pname << " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < histogram->num_buckets(); ++i) {
       cumulative += histogram->bucket_count(i);
@@ -171,11 +207,47 @@ std::string MetricsRegistry::ToPrometheusText() const {
           i < histogram->upper_bounds().size()
               ? StrFormat("%g", histogram->upper_bounds()[i])
               : std::string("+Inf");
-      os << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+      block << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
     }
-    os << pname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
-       << pname << "_count " << histogram->count() << "\n";
+    block << pname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
+          << pname << "_count " << histogram->count() << "\n";
+    blocks.emplace_back(name, block.str());
   }
+  std::sort(blocks.begin(), blocks.end());
+  std::ostringstream os;
+  for (const auto& [name, block] : blocks) os << block;
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MetricsSnapshot snapshot = Snapshot();
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << StrFormat("%.9g", value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":"
+       << StrFormat("{\"count\":%llu,\"sum\":%.9g,\"p50\":%.9g,"
+                    "\"p95\":%.9g,\"p99\":%.9g}",
+                    static_cast<unsigned long long>(h.count), h.sum, h.p50,
+                    h.p95, h.p99);
+  }
+  os << "}}";
   return os.str();
 }
 

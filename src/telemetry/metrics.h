@@ -73,6 +73,24 @@ class Histogram {
 /// Default latency buckets in milliseconds: 1us .. ~100s, x4 per bucket.
 const std::vector<double>& DefaultLatencyBucketsMs();
 
+/// Point-in-time copy of one histogram's reporting summary.
+struct HistogramSummary {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, used by run reports and
+/// the /varz endpoint. Values may be slightly stale relative to concurrent
+/// writers (the usual relaxed-read reporting semantics).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
 /// Process-wide named-metric registry. Getters create on first use and
 /// return references that stay valid for the registry's lifetime, so hot
 /// paths may cache them. All operations are thread-safe.
@@ -88,12 +106,22 @@ class MetricsRegistry {
                           const std::vector<double>& upper_bounds =
                               DefaultLatencyBucketsMs());
 
-  /// Human-readable fixed-width table of every registered metric.
+  /// Copies every registered metric's current value.
+  MetricsSnapshot Snapshot() const;
+
+  /// Human-readable fixed-width table of every registered metric, sorted by
+  /// metric name across kinds so two dumps diff cleanly.
   std::string ToTable() const;
 
   /// Prometheus text exposition format (counters, gauges, and histograms
-  /// with cumulative `_bucket{le=...}` series).
+  /// with cumulative `_bucket{le=...}` series), sorted by metric name across
+  /// kinds for diffable scrapes.
   std::string ToPrometheusText() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {"count":...,"sum":...,"p50":...,"p95":...,"p99":...}}}; keys sorted.
+  /// The /varz endpoint and RunReport metric snapshots both use this shape.
+  std::string ToJson() const;
 
   /// Zeroes every registered metric (the metrics stay registered).
   void Reset();

@@ -1,0 +1,233 @@
+#include "telemetry/run_report.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "telemetry/trace.h"
+
+namespace nde {
+namespace telemetry {
+
+namespace {
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonNumber(double value) { return StrFormat("%.9g", value); }
+
+/// Aggregated span stats for the "top_spans" trace summary.
+struct SpanAgg {
+  uint64_t count = 0;
+  int64_t total_us = 0;
+  int64_t max_us = 0;
+};
+
+std::string RenderTraceSummary() {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  std::map<std::string, SpanAgg> by_name;
+  for (const TraceEvent& event : events) {
+    SpanAgg& agg = by_name[event.name];
+    ++agg.count;
+    agg.total_us += event.dur_us;
+    agg.max_us = std::max(agg.max_us, event.dur_us);
+  }
+  // Top spans by total time: where did the run actually go?
+  std::vector<std::pair<std::string, SpanAgg>> ranked(by_name.begin(),
+                                                      by_name.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us)
+      return a.second.total_us > b.second.total_us;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  constexpr size_t kTopSpans = 10;
+  if (ranked.size() > kTopSpans) ranked.resize(kTopSpans);
+
+  std::ostringstream os;
+  os << "{\"buffered_spans\":" << events.size()
+     << ",\"dropped_spans\":" << buffer.dropped()
+     << ",\"buffer_capacity\":" << buffer.capacity() << ",\"top_spans\":[";
+  bool first = true;
+  for (const auto& [name, agg] : ranked) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(name) << "\",\"count\":" << agg.count
+       << ",\"total_ms\":" << JsonNumber(agg.total_us / 1000.0)
+       << ",\"max_ms\":" << JsonNumber(agg.max_us / 1000.0) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string name)
+    : name_(std::move(name)),
+      start_steady_us_(SteadyMicros()),
+      start_cpu_clock_(static_cast<int64_t>(std::clock())) {}
+
+void RunReport::SetConfig(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void RunReport::SetConfig(const std::string& key, const char* value) {
+  SetConfig(key, std::string(value));
+}
+
+void RunReport::SetConfig(const std::string& key, int64_t value) {
+  config_.emplace_back(key,
+                       StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void RunReport::SetConfig(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+void RunReport::SetConfig(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+}
+
+void RunReport::RecordProgress(const ProgressUpdate& update) {
+  ConvergencePoint point;
+  point.completed = update.completed;
+  point.total = update.total;
+  point.utility_evaluations = update.utility_evaluations;
+  point.max_std_error = update.max_std_error;
+  // Envelope: running minimum over estimable (> 0) errors. Points before the
+  // first estimable error carry 0, matching "nothing known yet".
+  double prev = curve_.empty() ? 0.0 : curve_.back().envelope;
+  if (update.max_std_error > 0.0) {
+    point.envelope =
+        prev > 0.0 ? std::min(prev, update.max_std_error) : update.max_std_error;
+  } else {
+    point.envelope = prev;
+  }
+  curve_.push_back(point);
+}
+
+ProgressCallback RunReport::MakeProgressCallback() {
+  return [this](const ProgressUpdate& update) { RecordProgress(update); };
+}
+
+void RunReport::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  wall_ms_ = static_cast<double>(SteadyMicros() - start_steady_us_) / 1000.0;
+  cpu_ms_ = (static_cast<double>(std::clock()) -
+             static_cast<double>(start_cpu_clock_)) *
+            1000.0 / CLOCKS_PER_SEC;
+  metrics_ = MetricsRegistry::Global().Snapshot();
+  trace_json_ = RenderTraceSummary();
+}
+
+std::string RunReport::ToJson() {
+  Finish();
+  std::ostringstream os;
+  os << "{\"name\":\"" << JsonEscape(name_) << "\",\"config\":{";
+  // Last write wins per key, preserving first-seen order (the CLI records
+  // flags in parse order, which is what a human wants to read back).
+  std::vector<std::pair<std::string, std::string>> config;
+  for (const auto& [key, value] : config_) {
+    auto it = std::find_if(config.begin(), config.end(),
+                           [&](const auto& e) { return e.first == key; });
+    if (it == config.end()) {
+      config.emplace_back(key, value);
+    } else {
+      it->second = value;
+    }
+  }
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(key) << "\":" << value;
+  }
+  os << "},\"timing\":{\"wall_ms\":" << JsonNumber(wall_ms_)
+     << ",\"cpu_ms\":" << JsonNumber(cpu_ms_) << "},\"convergence_curve\":[";
+  first = true;
+  for (const ConvergencePoint& point : curve_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"completed\":" << point.completed << ",\"total\":" << point.total
+       << ",\"utility_evaluations\":" << point.utility_evaluations
+       << ",\"max_std_error\":" << JsonNumber(point.max_std_error)
+       << ",\"envelope\":" << JsonNumber(point.envelope) << "}";
+  }
+  os << "],\"metrics\":";
+  // Re-render the snapshot taken at Finish() time (not the live registry, so
+  // serializing later does not smuggle in post-run metric churn).
+  std::ostringstream metrics;
+  metrics << "{\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : metrics_.counters) {
+    if (!first) metrics << ",";
+    first = false;
+    metrics << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  metrics << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : metrics_.gauges) {
+    if (!first) metrics << ",";
+    first = false;
+    metrics << "\"" << JsonEscape(name) << "\":" << JsonNumber(value);
+  }
+  metrics << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics_.histograms) {
+    if (!first) metrics << ",";
+    first = false;
+    metrics << "\"" << JsonEscape(name) << "\":"
+            << StrFormat("{\"count\":%llu,\"sum\":%.9g,\"p50\":%.9g,"
+                         "\"p95\":%.9g,\"p99\":%.9g}",
+                         static_cast<unsigned long long>(h.count), h.sum,
+                         h.p50, h.p95, h.p99);
+  }
+  metrics << "}}";
+  os << metrics.str();
+  // Derived cache summary: the question a report reader actually asks is
+  // "did the subset cache help", so answer it directly instead of making
+  // them divide counters.
+  auto counter = [&](const char* name) -> uint64_t {
+    auto it = metrics_.counters.find(name);
+    return it == metrics_.counters.end() ? 0 : it->second;
+  };
+  uint64_t hits = counter("utility_cache.hits");
+  uint64_t misses = counter("utility_cache.misses");
+  uint64_t lookups = hits + misses;
+  os << ",\"utility_cache\":{\"hits\":" << hits << ",\"misses\":" << misses
+     << ",\"hit_rate\":"
+     << JsonNumber(lookups == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(lookups))
+     << "}";
+  os << ",\"trace\":" << trace_json_ << "}";
+  return os.str();
+}
+
+Status RunReport::WriteFile(const std::string& path) {
+  std::string json = ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open run-report file: " + path);
+  }
+  json.push_back('\n');
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to run-report file: " + path);
+  }
+  return Status();
+}
+
+}  // namespace telemetry
+}  // namespace nde

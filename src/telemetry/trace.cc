@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "telemetry/metrics.h"
 
 namespace nde {
 namespace telemetry {
@@ -32,6 +33,12 @@ bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void SetEnabled(bool enabled) {
   g_enabled.store(enabled, std::memory_order_relaxed);
+  if (enabled) {
+    // Surface the span budget as soon as recording starts, so /metrics and
+    // run reports can show how close the buffer is to silently dropping.
+    MetricsRegistry::Global().GetGauge("trace.buffer_capacity")
+        .Set(static_cast<double>(TraceBuffer::Global().capacity()));
+  }
 }
 
 uint32_t CurrentThreadId() {
@@ -53,12 +60,23 @@ TraceBuffer& TraceBuffer::Global() {
 TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {}
 
 void TraceBuffer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= capacity_) {
-    ++dropped_;
-    return;
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      dropped = true;
+    } else {
+      events_.push_back(std::move(event));
+    }
   }
-  events_.push_back(std::move(event));
+  // Saturation must be visible, not silent: the global buffer mirrors its
+  // drops into a counter that /metrics and run reports expose. Local buffers
+  // (tests) stay off the global registry. Incremented outside mu_ — the
+  // registry has its own lock and no path back into the trace buffer.
+  if (dropped && this == &Global()) {
+    MetricsRegistry::Global().GetCounter("trace.dropped_spans").Increment();
+  }
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
@@ -88,11 +106,17 @@ void TraceBuffer::Clear() {
 }
 
 void TraceBuffer::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
-  capacity_ = capacity;
-  while (events_.size() > capacity_) {
-    events_.pop_back();
-    ++dropped_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    while (events_.size() > capacity_) {
+      events_.pop_back();
+      ++dropped_;
+    }
+  }
+  if (this == &Global()) {
+    MetricsRegistry::Global().GetGauge("trace.buffer_capacity")
+        .Set(static_cast<double>(capacity));
   }
 }
 

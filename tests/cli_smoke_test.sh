@@ -104,6 +104,56 @@ grep -q -- "--threads" err.txt || fail "--threads error does not name the flag"
 "$CLI" importance train.csv --label label --threads -3 > /dev/null 2>&1
 [ $? -eq 2 ] || fail "negative --threads should exit 2"
 
+# --- observability flags: --report / --log-level / --log-json / --serve ------
+"$CLI" importance train.csv --label label --top 5 --permutations 8 \
+    --report report.json > /dev/null 2> report_err.txt \
+    || fail "--report importance failed"
+[ -s report.json ] || fail "run report missing or empty"
+grep -q '"convergence_curve"' report.json || fail "report lacks convergence_curve"
+grep -q '"config"' report.json || fail "report lacks config"
+grep -q '"flag.permutations":"8"' report.json \
+    || fail "report config does not record the invocation flags"
+grep -q '"command":"importance"' report.json \
+    || fail "report config does not record the command"
+grep -q "wrote run report" report_err.txt \
+    || fail "--report did not announce the report path"
+
+# Progress lines reach stderr at info level, as text and as JSON.
+"$CLI" importance train.csv --label label --top 5 --permutations 8 \
+    --log-level info > /dev/null 2> log_text.txt \
+    || fail "--log-level info importance failed"
+grep -q "tmc_shapley: " log_text.txt || fail "no progress line at --log-level info"
+"$CLI" importance train.csv --label label --top 5 --permutations 8 \
+    --log-level info --log-json > /dev/null 2> log_json.txt \
+    || fail "--log-json importance failed"
+grep -q '"level":"INFO"' log_json.txt || fail "--log-json did not emit JSON lines"
+grep -q '"msg":"tmc_shapley: ' log_json.txt \
+    || fail "--log-json progress line missing msg field"
+
+# Default level is warning: no progress chatter without opting in.
+grep -q "tmc_shapley: " pipeline_err.txt \
+    && fail "progress lines leaked at the default log level"
+
+"$CLI" importance train.csv --label label --log-level bogus > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "bogus --log-level should exit 2"
+grep -q -- "--log-level" err.txt || fail "--log-level error does not name the flag"
+
+# --serve 0 binds an ephemeral port and announces it before the run.
+"$CLI" importance train.csv --label label --top 5 --permutations 8 \
+    --serve 0 > /dev/null 2> serve_err.txt || fail "--serve 0 importance failed"
+grep -q "serving on http://127.0.0.1:" serve_err.txt \
+    || fail "--serve did not announce the bound port"
+
+"$CLI" importance train.csv --label label --serve notaport > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "non-numeric --serve should exit 2"
+grep -q -- "--serve" err.txt || fail "--serve error does not name the flag"
+
+"$CLI" importance train.csv --label label --serve > /dev/null 2>&1
+[ $? -eq 2 ] || fail "value-less --serve should exit 2"
+
+"$CLI" importance train.csv --label label --report > /dev/null 2>&1
+[ $? -eq 2 ] || fail "value-less --report should exit 2"
+
 # --- error handling ----------------------------------------------------------
 "$CLI" bogus train.csv > /dev/null 2> err.txt
 [ $? -eq 2 ] || fail "unknown command should exit 2"

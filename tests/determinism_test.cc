@@ -11,13 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include "common/log.h"
 #include "common/parallel.h"
+#include "common/progress.h"
 #include "datagen/synthetic.h"
 #include "importance/game_values.h"
 #include "importance/knn_shapley.h"
 #include "importance/utility.h"
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
+#include "telemetry/run_report.h"
 
 namespace nde {
 namespace {
@@ -424,6 +427,124 @@ TEST(FastPathBitIdentityTest,
   EXPECT_EQ(with_scan.values, plain.values);
   EXPECT_EQ(with_scan.std_errors, plain.std_errors);
   EXPECT_EQ(with_scan.utility_evaluations, plain.utility_evaluations);
+}
+
+// ---------------------------------------------------------------------------
+// Observability must not perturb results (DESIGN.md §10): running with a
+// progress callback, a run report, and verbose logging enabled must produce
+// the exact same estimate — and the exact same progress sequence — as a bare
+// run, for every thread count.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, ObservabilityHooksDoNotPerturbTmcResults) {
+  LambdaUtility game = NonAdditiveGame(8);
+  TmcShapleyOptions bare;
+  // A budget far past convergence so the tolerance check — not the budget —
+  // ends the run, exercising the early-stopping path under observation.
+  bare.num_permutations = 4096;
+  bare.convergence_tolerance = 0.05;
+  bare.seed = 19;
+  bare.num_threads = 1;
+  ImportanceEstimate baseline = TmcShapleyValues(game, bare).value();
+
+  // Capture log output in a sink so verbose logging runs its full formatting
+  // path without spamming test stderr.
+  log::Level original_level = log::MinLevel();
+  log::SetMinLevel(log::Level::kDebug);
+  std::vector<std::string> log_lines;
+  log::Logger::Global().SetSink([&log_lines](const log::LogRecord& record) {
+    log_lines.push_back(log::FormatText(record));
+  });
+
+  std::vector<std::vector<ProgressUpdate>> sequences;
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    telemetry::RunReport report("determinism_check");
+    std::vector<ProgressUpdate> updates;
+    TmcShapleyOptions options = bare;
+    options.num_threads = threads;
+    options.progress = [&](const ProgressUpdate& update) {
+      updates.push_back(update);
+      report.RecordProgress(update);
+    };
+    ImportanceEstimate run = TmcShapleyValues(game, options).value();
+    EXPECT_EQ(run.values, baseline.values) << threads << " threads";
+    EXPECT_EQ(run.std_errors, baseline.std_errors) << threads << " threads";
+    EXPECT_EQ(run.utility_evaluations, baseline.utility_evaluations)
+        << threads << " threads";
+    EXPECT_EQ(updates.size(), report.curve().size());
+    sequences.push_back(std::move(updates));
+  }
+
+  log::Logger::Global().SetSink(nullptr);
+  log::SetMinLevel(original_level);
+
+  // The update sequences themselves are thread-count invariant: same wave
+  // boundaries, same counts, same errors.
+  ASSERT_EQ(sequences[0].size(), sequences[1].size());
+  for (size_t i = 0; i < sequences[0].size(); ++i) {
+    EXPECT_EQ(sequences[0][i].completed, sequences[1][i].completed) << i;
+    EXPECT_EQ(sequences[0][i].total, sequences[1][i].total) << i;
+    EXPECT_EQ(sequences[0][i].utility_evaluations,
+              sequences[1][i].utility_evaluations)
+        << i;
+    EXPECT_EQ(sequences[0][i].max_std_error, sequences[1][i].max_std_error)
+        << i;
+  }
+  // Early stopping happened and the final boundary matches the estimate.
+  ASSERT_FALSE(sequences[0].empty());
+  EXPECT_LT(sequences[0].back().completed, bare.num_permutations);
+  EXPECT_EQ(sequences[0].back().utility_evaluations,
+            baseline.utility_evaluations);
+}
+
+TEST(DeterminismTest, ProgressSequencesIdenticalForAllEstimators) {
+  LambdaUtility game = NonAdditiveGame(20);  // > one 16-unit beta wave.
+  auto collect = [](auto&& run_fn) {
+    std::vector<ProgressUpdate> updates;
+    run_fn([&updates](const ProgressUpdate& update) {
+      updates.push_back(update);
+    });
+    return updates;
+  };
+
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    SCOPED_TRACE(threads);
+    std::vector<ProgressUpdate> banzhaf =
+        collect([&](ProgressCallback progress) {
+          BanzhafOptions options;
+          options.num_samples = 200;
+          options.seed = 23;
+          options.num_threads = threads;
+          options.progress = std::move(progress);
+          BanzhafValues(game, options).value();
+        });
+    ASSERT_FALSE(banzhaf.empty());
+    EXPECT_EQ(banzhaf.back().completed, 200u);
+    EXPECT_STREQ(banzhaf.back().phase, "banzhaf");
+
+    std::vector<ProgressUpdate> beta = collect([&](ProgressCallback progress) {
+      BetaShapleyOptions options;
+      options.samples_per_unit = 4;
+      options.seed = 29;
+      options.num_threads = threads;
+      options.progress = std::move(progress);
+      BetaShapleyValues(game, options).value();
+    });
+    ASSERT_EQ(beta.size(), 2u);  // 20 units = 16 + ragged 4.
+    EXPECT_EQ(beta[0].completed, 16u);
+    EXPECT_EQ(beta[1].completed, 20u);
+    EXPECT_GT(beta.back().max_std_error, 0.0);
+
+    std::vector<ProgressUpdate> loo = collect([&](ProgressCallback progress) {
+      EstimatorOptions options;
+      options.num_threads = threads;
+      options.progress = std::move(progress);
+      LeaveOneOutValues(game, options).value();
+    });
+    ASSERT_EQ(loo.size(), 1u);  // 20 units fit one 64-unit wave.
+    EXPECT_EQ(loo[0].completed, 20u);
+    EXPECT_EQ(loo[0].utility_evaluations, 21u);
+  }
 }
 
 TEST(EstimatorValidationTest, ZeroUnitsIsInvalidArgument) {

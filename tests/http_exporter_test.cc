@@ -1,0 +1,199 @@
+#include "telemetry/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "importance/game_values.h"
+#include "importance/utility.h"
+#include "json_checker.h"
+#include "telemetry/metrics.h"
+
+namespace nde {
+namespace {
+
+// One blocking HTTP GET against 127.0.0.1:port; returns the raw response
+// bytes ("" on connect failure).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+// --- Socket-free router coverage: every endpoint, deterministically. --------
+
+TEST(HttpExporterRoutingTest, HealthzIsOk) {
+  std::string response =
+      telemetry::HttpExporter::HandleRequest("GET /healthz HTTP/1.1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+  EXPECT_EQ(Body(response), "ok\n");
+}
+
+TEST(HttpExporterRoutingTest, MetricsIsPrometheusText) {
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("http_test.scraped")
+      .Increment();
+  std::string response =
+      telemetry::HttpExporter::HandleRequest("GET /metrics HTTP/1.1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+  EXPECT_NE(response.find("text/plain"), std::string::npos) << response;
+  std::string body = Body(response);
+  // Prometheus exposition: names mapped to [a-zA-Z0-9_:], HELP/TYPE lines.
+  EXPECT_NE(body.find("# TYPE http_test_scraped counter"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("http_test_scraped "), std::string::npos) << body;
+}
+
+TEST(HttpExporterRoutingTest, VarzIsValidJson) {
+  std::string response =
+      telemetry::HttpExporter::HandleRequest("GET /varz HTTP/1.1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+  std::string body = Body(response);
+  ASSERT_FALSE(body.empty());
+  if (body.back() == '\n') body.pop_back();
+  EXPECT_TRUE(JsonChecker(body).Valid()) << body;
+}
+
+TEST(HttpExporterRoutingTest, TracezIsValidJson) {
+  std::string response =
+      telemetry::HttpExporter::HandleRequest("GET /tracez HTTP/1.1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+  std::string body = Body(response);
+  ASSERT_FALSE(body.empty());
+  if (body.back() == '\n') body.pop_back();
+  EXPECT_TRUE(JsonChecker(body).Valid()) << body;
+}
+
+TEST(HttpExporterRoutingTest, QueryStringsAreStripped) {
+  std::string response = telemetry::HttpExporter::HandleRequest(
+      "GET /healthz?probe=1 HTTP/1.1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+  EXPECT_EQ(Body(response), "ok\n");
+}
+
+TEST(HttpExporterRoutingTest, UnknownPathIs404AndNonGetIs405) {
+  EXPECT_EQ(telemetry::HttpExporter::HandleRequest("GET /nope HTTP/1.1")
+                .rfind("HTTP/1.1 404", 0),
+            0u);
+  EXPECT_EQ(telemetry::HttpExporter::HandleRequest("POST /metrics HTTP/1.1")
+                .rfind("HTTP/1.1 405", 0),
+            0u);
+  EXPECT_EQ(
+      telemetry::HttpExporter::HandleRequest("").rfind("HTTP/1.1 4", 0), 0u)
+      << "garbage request lines must still get an error response";
+}
+
+TEST(HttpExporterRoutingTest, EveryRequestCountsInTheRegistry) {
+  telemetry::Counter& requests =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "http_exporter.requests");
+  uint64_t before = requests.value();
+  telemetry::HttpExporter::HandleRequest("GET /healthz HTTP/1.1");
+  telemetry::HttpExporter::HandleRequest("GET /nope HTTP/1.1");
+  EXPECT_EQ(requests.value(), before + 2);
+}
+
+// --- Real sockets: the ISSUE acceptance scenario. ---------------------------
+
+TEST(HttpExporterTest, ServesScrapesWhileAnEstimatorRuns) {
+  telemetry::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start(0).ok());
+  ASSERT_TRUE(exporter.running());
+  uint16_t port = exporter.port();
+  ASSERT_NE(port, 0);
+
+  // A deliberately slow game keeps the estimator busy on another thread
+  // while we scrape.
+  class SlowGame : public UtilityFunction {
+   public:
+    double Evaluate(const std::vector<size_t>& subset) const override {
+      double sum = 0.0;
+      for (size_t i : subset) sum += static_cast<double>(i + 1);
+      for (int spin = 0; spin < 200; ++spin) sum = std::sqrt(sum * sum + 1e-9);
+      return std::sqrt(sum);
+    }
+    size_t num_units() const override { return 12; }
+  };
+  SlowGame game;
+  ImportanceEstimate estimate;
+  std::thread estimator([&game, &estimate] {
+    TmcShapleyOptions options;
+    options.num_permutations = 96;
+    options.seed = 5;
+    estimate = TmcShapleyValues(game, options).value();
+  });
+
+  std::string health = HttpGet(port, "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200", 0), 0u) << health;
+  EXPECT_EQ(Body(health), "ok\n");
+
+  std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_NE(Body(metrics).find("# TYPE"), std::string::npos);
+
+  std::string missing = HttpGet(port, "/definitely-not-here");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404", 0), 0u);
+
+  estimator.join();
+  EXPECT_EQ(estimate.values.size(), 12u);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_EQ(exporter.port(), 0);
+  exporter.Stop();  // Idempotent.
+  EXPECT_TRUE(HttpGet(port, "/healthz").empty())
+      << "stopped server must not answer";
+}
+
+TEST(HttpExporterTest, StartTwiceFailsAndRestartWorks) {
+  telemetry::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_FALSE(exporter.Start(0).ok()) << "double Start must fail";
+  uint16_t first_port = exporter.port();
+  exporter.Stop();
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_NE(exporter.port(), 0);
+  std::string health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200", 0), 0u);
+  (void)first_port;
+  exporter.Stop();
+}
+
+}  // namespace
+}  // namespace nde

@@ -1,0 +1,113 @@
+#ifndef NDE_TESTS_JSON_CHECKER_H_
+#define NDE_TESTS_JSON_CHECKER_H_
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace nde {
+
+/// Minimal recursive-descent JSON well-formedness checker — enough to catch
+/// broken escaping or unbalanced structure without a JSON dependency. Shared
+/// by the telemetry, run-report, and HTTP-exporter tests.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWhitespace();
+    if (!Value()) return false;
+    SkipWhitespace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWhitespace();
+      if (!String()) return false;
+      SkipWhitespace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWhitespace();
+      if (!Value()) return false;
+      SkipWhitespace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWhitespace();
+      if (!Value()) return false;
+      SkipWhitespace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace nde
+
+#endif  // NDE_TESTS_JSON_CHECKER_H_

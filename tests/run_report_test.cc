@@ -1,0 +1,156 @@
+#include "telemetry/run_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/progress.h"
+#include "importance/game_values.h"
+#include "importance/utility.h"
+#include "json_checker.h"
+
+namespace nde {
+namespace {
+
+ProgressUpdate MakeUpdate(size_t completed, size_t total, size_t evals,
+                          double max_std_error) {
+  ProgressUpdate update;
+  update.phase = "test";
+  update.completed = completed;
+  update.total = total;
+  update.utility_evaluations = evals;
+  update.max_std_error = max_std_error;
+  return update;
+}
+
+TEST(RunReportTest, EnvelopeIsMonotoneOnANonMonotoneRawSeries) {
+  telemetry::RunReport report("envelope");
+  // Raw errors: not estimable, then 0.5, 0.2, 0.4 (tick up), not estimable,
+  // 0.1. The envelope must carry through the gaps and never increase.
+  const double raw[] = {0.0, 0.5, 0.2, 0.4, 0.0, 0.1};
+  for (size_t i = 0; i < 6; ++i) {
+    report.RecordProgress(MakeUpdate(i + 1, 6, (i + 1) * 10, raw[i]));
+  }
+  const auto& curve = report.curve();
+  ASSERT_EQ(curve.size(), 6u);
+  const double expected_envelope[] = {0.0, 0.5, 0.2, 0.2, 0.2, 0.1};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(curve[i].max_std_error, raw[i]) << i;
+    EXPECT_DOUBLE_EQ(curve[i].envelope, expected_envelope[i]) << i;
+    if (i > 0 && curve[i].envelope > 0 && curve[i - 1].envelope > 0) {
+      EXPECT_LE(curve[i].envelope, curve[i - 1].envelope) << i;
+    }
+  }
+}
+
+TEST(RunReportTest, MakeProgressCallbackForwardsEveryField) {
+  telemetry::RunReport report("callback");
+  ProgressCallback callback = report.MakeProgressCallback();
+  callback(MakeUpdate(32, 100, 250, 0.125));
+  ASSERT_EQ(report.curve().size(), 1u);
+  EXPECT_EQ(report.curve()[0].completed, 32u);
+  EXPECT_EQ(report.curve()[0].total, 100u);
+  EXPECT_EQ(report.curve()[0].utility_evaluations, 250u);
+  EXPECT_DOUBLE_EQ(report.curve()[0].max_std_error, 0.125);
+}
+
+TEST(RunReportTest, ConfigKeepsTypesAndLastWriteWins) {
+  telemetry::RunReport report("config");
+  report.SetConfig("method", "tmc_shapley");
+  report.SetConfig("seed", int64_t{42});
+  report.SetConfig("tolerance", 0.05);
+  report.SetConfig("cache", true);
+  report.SetConfig("seed", int64_t{7});  // Overwrite.
+  std::string json = report.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"method\":\"tmc_shapley\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":7"), std::string::npos);
+  EXPECT_EQ(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":true"), std::string::npos);
+}
+
+TEST(RunReportTest, ToJsonIsWellFormedAndFinishIsIdempotent) {
+  telemetry::RunReport report("shape");
+  report.SetConfig("escaped \"key\"", "escaped \"value\"\n");
+  report.RecordProgress(MakeUpdate(1, 2, 3, 0.5));
+  report.Finish();
+  EXPECT_TRUE(report.finished());
+  std::string first = report.ToJson();
+  report.Finish();  // Second call must not move the timers.
+  EXPECT_EQ(report.ToJson(), first);
+  EXPECT_TRUE(JsonChecker(first).Valid()) << first;
+  for (const char* key :
+       {"\"name\":\"shape\"", "\"config\":", "\"timing\":", "\"wall_ms\":",
+        "\"cpu_ms\":", "\"convergence_curve\":", "\"metrics\":",
+        "\"utility_cache\":", "\"trace\":"}) {
+    EXPECT_NE(first.find(key), std::string::npos) << key << "\n" << first;
+  }
+}
+
+TEST(RunReportTest, WriteFileRoundTripsAndReportsIOErrors) {
+  telemetry::RunReport report("file");
+  report.RecordProgress(MakeUpdate(4, 4, 9, 0.25));
+  std::string path =
+      ::testing::TempDir() + "/nde_run_report_test_roundtrip.json";
+  ASSERT_TRUE(report.WriteFile(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(contents.empty());
+  EXPECT_EQ(contents.back(), '\n');
+  contents.pop_back();
+  EXPECT_EQ(contents, report.ToJson());
+  EXPECT_TRUE(JsonChecker(contents).Valid());
+
+  Status bad = report.WriteFile("/nonexistent-dir-zzz/report.json");
+  EXPECT_FALSE(bad.ok());
+}
+
+// A report attached to a real estimator run must agree with the estimate:
+// the last curve point sits at the run's final boundary and its cumulative
+// evaluation count matches the estimator's own accounting.
+TEST(RunReportTest, CurveAgreesWithARealTmcRun) {
+  class SqrtGame : public UtilityFunction {
+   public:
+    double Evaluate(const std::vector<size_t>& subset) const override {
+      double sum = 0.0;
+      for (size_t i : subset) sum += static_cast<double>(i + 1);
+      return std::sqrt(sum);
+    }
+    size_t num_units() const override { return 6; }
+  };
+  SqrtGame game;
+
+  telemetry::RunReport report("tmc");
+  TmcShapleyOptions options;
+  options.num_permutations = 64;
+  options.seed = 11;
+  options.truncation_tolerance = 0.0;
+  options.progress = report.MakeProgressCallback();
+  ImportanceEstimate estimate = TmcShapleyValues(game, options).value();
+
+  const auto& curve = report.curve();
+  ASSERT_EQ(curve.size(), 2u);  // 64 permutations = two 32-permutation waves.
+  EXPECT_EQ(curve.back().completed, 64u);
+  EXPECT_EQ(curve.back().total, 64u);
+  EXPECT_EQ(curve.back().utility_evaluations, estimate.utility_evaluations);
+  EXPECT_GT(curve.back().max_std_error, 0.0);
+  EXPECT_LE(curve.back().envelope, curve.front().envelope);
+  EXPECT_TRUE(JsonChecker(report.ToJson()).Valid());
+}
+
+}  // namespace
+}  // namespace nde

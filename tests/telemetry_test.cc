@@ -1,4 +1,3 @@
-#include <cctype>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -7,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "data/table.h"
+#include "json_checker.h"
 #include "pipeline/plan.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -75,6 +75,46 @@ TEST_F(TelemetryTest, HistogramQuantileEdgeCases) {
   EXPECT_EQ(h.Quantile(0.5), 0.0);  // Empty histogram.
   h.Record(100.0);                  // Overflow-only mass...
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);  // ...reports the last finite bound.
+}
+
+TEST_F(TelemetryTest, HistogramEmptyQuantileIsZeroForEveryQ) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramValuesOnExactBucketBounds) {
+  // Upper bounds are inclusive: a value exactly equal to a bound must land
+  // in that bound's bucket, never the next one up.
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(1.0);
+  h.Record(10.0);
+  h.Record(100.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 0u);  // Overflow bucket stays empty.
+  // Quantiles interpolate inside finite buckets and never exceed the largest
+  // finite bound while all mass is finite.
+  EXPECT_LE(h.Quantile(0.99), 100.0);
+  EXPECT_GE(h.Quantile(0.01), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramOverflowBucketQuantilesClampToLastBound) {
+  Histogram h({1.0, 10.0});
+  h.Record(50.0);    // overflow
+  h.Record(5000.0);  // overflow
+  // With all mass above the largest finite bound, the bucketed quantile
+  // cannot do better than the last finite bound — for every q.
+  for (double q : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 10.0) << "q=" << q;
+  }
+  // Mixed mass: low quantiles come from finite buckets, high ones clamp.
+  h.Record(0.5);
+  h.Record(0.5);
+  EXPECT_LE(h.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);
 }
 
 TEST_F(TelemetryTest, HistogramResetKeepsLayout) {
@@ -157,6 +197,67 @@ TEST_F(TelemetryTest, RegistryExportsPrometheusText) {
   EXPECT_NE(table.find("reqs.total"), std::string::npos);
 }
 
+TEST_F(TelemetryTest, ExportsAreSortedByNameAcrossKinds) {
+  // Registration order is deliberately interleaved and unsorted across
+  // metric kinds; every export must still come out name-sorted so two dumps
+  // of the same state are byte-identical and diffable.
+  MetricsRegistry registry;
+  registry.GetGauge("zz.gauge").Set(1.0);
+  registry.GetCounter("aa.counter").Increment();
+  registry.GetHistogram("mm.hist", {1.0}).Record(0.5);
+  registry.GetCounter("nn.counter").Increment();
+  registry.GetGauge("bb.gauge").Set(2.0);
+
+  std::string table = registry.ToTable();
+  size_t aa = table.find("aa.counter");
+  size_t bb = table.find("bb.gauge");
+  size_t mm = table.find("mm.hist");
+  size_t nn = table.find("nn.counter");
+  size_t zz = table.find("zz.gauge");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, bb);
+  EXPECT_LT(bb, mm);
+  EXPECT_LT(mm, nn);
+  EXPECT_LT(nn, zz);
+
+  std::string prom = registry.ToPrometheusText();
+  size_t paa = prom.find("# TYPE aa_counter");
+  size_t pbb = prom.find("# TYPE bb_gauge");
+  size_t pmm = prom.find("# TYPE mm_hist");
+  size_t pnn = prom.find("# TYPE nn_counter");
+  size_t pzz = prom.find("# TYPE zz_gauge");
+  ASSERT_NE(paa, std::string::npos);
+  ASSERT_NE(pzz, std::string::npos);
+  EXPECT_LT(paa, pbb);
+  EXPECT_LT(pbb, pmm);
+  EXPECT_LT(pmm, pnn);
+  EXPECT_LT(pnn, pzz);
+
+  // Two consecutive exports of unchanged state are byte-identical.
+  EXPECT_EQ(table, registry.ToTable());
+  EXPECT_EQ(prom, registry.ToPrometheusText());
+}
+
+TEST_F(TelemetryTest, SnapshotAndJsonExportCoverEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one").Increment(3);
+  registry.GetGauge("g.one").Set(1.5);
+  registry.GetHistogram("h.one", {1.0, 10.0}).Record(5.0);
+  telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c.one"), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("g.one"), 1.5);
+  ASSERT_EQ(snapshot.histograms.count("h.one"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("h.one").count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.histograms.at("h.one").sum, 5.0);
+
+  std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"c.one\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
 // --- Spans and the trace buffer ---------------------------------------------
 
 TEST_F(TelemetryTest, SpanNestingRecordsInnerFirstWithIncreasingDepth) {
@@ -223,107 +324,52 @@ TEST_F(TelemetryTest, BoundedBufferDropsNewestAndCounts) {
   EXPECT_EQ(buffer.dropped(), 0u);
 }
 
+TEST_F(TelemetryTest, GlobalBufferSaturationIsVisibleInMetrics) {
+#if NDE_TELEMETRY_ENABLED
+  TraceBuffer& buffer = TraceBuffer::Global();
+  size_t original_capacity = buffer.capacity();
+  uint64_t dropped_before = MetricsRegistry::Global()
+                                .GetCounter("trace.dropped_spans")
+                                .value();
+  telemetry::SetEnabled(true);
+  buffer.SetCapacity(2);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("trace.buffer_capacity").value(),
+      2.0);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("saturating_span", "test");
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  // The drops are mirrored into the metrics registry, where /metrics and run
+  // reports can see them.
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("trace.dropped_spans").value(),
+      dropped_before + 3);
+  buffer.SetCapacity(original_capacity);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("trace.buffer_capacity").value(),
+      static_cast<double>(original_capacity));
+#endif
+}
+
+TEST_F(TelemetryTest, LocalBufferDropsDoNotTouchGlobalMetrics) {
+  uint64_t dropped_before = MetricsRegistry::Global()
+                                .GetCounter("trace.dropped_spans")
+                                .value();
+  TraceBuffer local(/*capacity=*/1);
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent event;
+    event.name = "local";
+    local.Record(std::move(event));
+  }
+  EXPECT_EQ(local.dropped(), 2u);
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("trace.dropped_spans").value(),
+      dropped_before);
+}
+
 // --- Chrome trace JSON ------------------------------------------------------
-
-// Minimal recursive-descent JSON well-formedness checker — enough to catch
-// broken escaping or unbalanced structure without a JSON dependency.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Valid() {
-    SkipWhitespace();
-    if (!Value()) return false;
-    SkipWhitespace();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
-    }
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWhitespace();
-    if (Peek() == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWhitespace();
-      if (!String()) return false;
-      SkipWhitespace();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWhitespace();
-      if (!Value()) return false;
-      SkipWhitespace();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    SkipWhitespace();
-    if (Peek() == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWhitespace();
-      if (!Value()) return false;
-      SkipWhitespace();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        if (pos_ + 1 >= text_.size()) return false;
-        ++pos_;
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // Closing quote.
-    return true;
-  }
-  bool Number() {
-    size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool Literal(const std::string& word) {
-    if (text_.compare(pos_, word.size(), word) != 0) return false;
-    pos_ += word.size();
-    return true;
-  }
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
 
 TEST_F(TelemetryTest, ChromeTraceJsonIsWellFormed) {
   telemetry::SetEnabled(true);

@@ -12,6 +12,12 @@
 #                                      # bench briefly (including its startup
 #                                      # fast-path bit-identity checks)
 #                                      # (default build dir: build-bench)
+#   tools/check.sh --serve-smoke [build-dir]
+#                                      # Release build; scrapes a live
+#                                      # `nde_cli --serve` endpoint (/healthz,
+#                                      # /metrics format check) while an
+#                                      # estimator is running
+#                                      # (default build dir: build-serve)
 #
 # TSan is incompatible with ASan, hence the separate mode and build dir.
 # A non-zero exit means a build failure, test failure, or sanitizer report.
@@ -26,6 +32,9 @@ if [ "${1:-}" = "--tsan" ]; then
 elif [ "${1:-}" = "--bench-smoke" ]; then
   MODE=bench
   shift
+elif [ "${1:-}" = "--serve-smoke" ]; then
+  MODE=serve
+  shift
 fi
 
 if [ "$MODE" = "tsan" ]; then
@@ -33,6 +42,8 @@ if [ "$MODE" = "tsan" ]; then
   SANITIZE="thread"
 elif [ "$MODE" = "bench" ]; then
   BUILD_DIR="${1:-build-bench}"
+elif [ "$MODE" = "serve" ]; then
+  BUILD_DIR="${1:-build-serve}"
 else
   BUILD_DIR="${1:-build-asan}"
   SANITIZE="address,undefined"
@@ -50,6 +61,102 @@ if [ "$MODE" = "bench" ]; then
     --benchmark_filter='BM_TmcUtilityFastPath|BM_BanzhafSubsetCache' \
     --benchmark_min_time=0.05
   echo "check.sh: bench smoke passed (fast-path bit-identity + timing run)"
+  exit 0
+fi
+
+if [ "$MODE" = "serve" ]; then
+  # Live-endpoint smoke: start `nde_cli --serve 0` on a workload big enough
+  # that the estimator is still running when we scrape (a tiny workload
+  # finishes — and stops the exporter — before the first request lands),
+  # then hit /healthz and /metrics and validate the Prometheus exposition
+  # format with a small awk parser.
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target nde_cli
+
+  WORKDIR="$(mktemp -d)"
+  CLI_PID=""
+  cleanup() {
+    if [ -n "$CLI_PID" ] && kill -0 "$CLI_PID" 2>/dev/null; then
+      kill "$CLI_PID" 2>/dev/null || true
+      wait "$CLI_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+  }
+  trap cleanup EXIT
+
+  # curl when present, else python3's urllib (one of the two is everywhere).
+  http_get() {
+    if command -v curl >/dev/null 2>&1; then
+      curl -sf --max-time 5 "$1"
+    else
+      python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())' "$1"
+    fi
+  }
+
+  # A workload large enough to keep the server up for several seconds.
+  python3 - "$WORKDIR/train.csv" <<'EOF'
+import random, sys
+random.seed(7)
+with open(sys.argv[1], "w") as f:
+    f.write("x0,x1,label\n")
+    for i in range(400):
+        label = i % 2
+        mu = 1.0 if label else -1.0
+        f.write(f"{random.gauss(mu, 1):.4f},{random.gauss(-mu, 1):.4f},{label}\n")
+EOF
+
+  "$BUILD_DIR/tools/nde_cli" importance "$WORKDIR/train.csv" --label label \
+    --method tmc_shapley --permutations 2000 --top 5 --serve 0 \
+    > "$WORKDIR/out.txt" 2> "$WORKDIR/err.txt" &
+  CLI_PID=$!
+
+  # Poll for the announced port instead of sleeping a fixed time.
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's#.*serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$WORKDIR/err.txt" | head -1)"
+    [ -n "$PORT" ] && break
+    kill -0 "$CLI_PID" 2>/dev/null || {
+      echo "check.sh: nde_cli exited before serving" >&2
+      cat "$WORKDIR/err.txt" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "check.sh: no serving line after 10s" >&2; exit 1; }
+
+  http_get "http://127.0.0.1:$PORT/healthz" | grep -q '^ok$' \
+    || { echo "check.sh: /healthz did not answer ok" >&2; exit 1; }
+
+  http_get "http://127.0.0.1:$PORT/metrics" > "$WORKDIR/metrics.txt" \
+    || { echo "check.sh: /metrics scrape failed" >&2; exit 1; }
+
+  # Minimal Prometheus text-format parser: every non-comment line must be
+  # "name value" with a legal metric name and a numeric value, and at least
+  # one # TYPE line must be present.
+  awk '
+    /^$/ { next }
+    /^# (HELP|TYPE) / { if ($2 ~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) { meta++; next }
+                        print "bad meta line: " $0; bad = 1; next }
+    /^#/ { print "bad comment line: " $0; bad = 1; next }
+    {
+      if (NF != 2 || $1 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?$/ ||
+          $2 !~ /^-?[0-9.eE+naif]+$/) { print "bad sample line: " $0; bad = 1 }
+      samples++
+    }
+    END {
+      if (bad) exit 1
+      if (meta == 0) { print "no # TYPE/# HELP lines"; exit 1 }
+      if (samples == 0) { print "no samples"; exit 1 }
+    }
+  ' "$WORKDIR/metrics.txt" \
+    || { echo "check.sh: /metrics is not valid Prometheus text" >&2; exit 1; }
+
+  kill "$CLI_PID" 2>/dev/null || true
+  wait "$CLI_PID" 2>/dev/null || true
+  CLI_PID=""
+  echo "check.sh: serve smoke passed (/healthz ok, /metrics well-formed)"
   exit 0
 fi
 

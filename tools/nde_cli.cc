@@ -27,6 +27,14 @@
 //   --threads <N>        worker threads for parallel estimators (default:
 //                        hardware concurrency; results are identical for any
 //                        N at a fixed seed)
+//   --serve <port>       serve /healthz /metrics /varz /tracez on
+//                        127.0.0.1:<port> while the command runs (0 picks an
+//                        ephemeral port, announced on stderr)
+//   --report <out.json>  write a JSON run report (invocation config, timing,
+//                        convergence curve, metrics, top trace spans)
+//   --log-level <level>  debug|info|warning|error (default warning); info
+//                        enables live progress/ETA lines for estimators
+//   --log-json           emit log lines as JSON objects instead of text
 //
 // Importance (pipeline mode) fast-path flags:
 //
@@ -37,6 +45,7 @@
 //                        models without an exact incremental scorer (changes
 //                        values slightly, like truncation; deterministic)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,7 +70,7 @@ struct Args {
 const std::set<std::string>& BooleanFlags() {
   static const std::set<std::string>* flags =
       new std::set<std::string>{"metrics", "prometheus", "utility-cache",
-                                "warm-start"};
+                                "warm-start", "log-json"};
   return *flags;
 }
 
@@ -98,13 +107,55 @@ int Fail(const std::string& message) {
   return 2;
 }
 
+/// Active --report sink, if any; estimator progress is mirrored into it.
+telemetry::RunReport* g_report = nullptr;
+
+/// The CLI's estimator progress hook: records every update into the active
+/// run report and, at --log-level info or below, prints a progress/ETA line
+/// at most every 200 ms (the final update always prints). Purely
+/// observational — see common/progress.h.
+ProgressCallback MakeCliProgress() {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  auto last_print =
+      std::make_shared<Clock::time_point>(start - std::chrono::seconds(1));
+  return [start, last_print](const ProgressUpdate& update) {
+    if (g_report != nullptr) g_report->RecordProgress(update);
+    if (!log::IsEnabled(log::Level::kInfo)) return;
+    Clock::time_point now = Clock::now();
+    bool final_update = update.completed >= update.total;
+    if (!final_update &&
+        now - *last_print < std::chrono::milliseconds(200)) {
+      return;
+    }
+    *last_print = now;
+    std::string message = StrFormat("%s: %zu/%zu", update.phase,
+                                    update.completed, update.total);
+    double elapsed = std::chrono::duration<double>(now - start).count();
+    if (update.completed > 0 && !final_update && elapsed > 0.0) {
+      double eta = elapsed * static_cast<double>(update.total -
+                                                 update.completed) /
+                   static_cast<double>(update.completed);
+      message += StrFormat(" eta=%.1fs", eta);
+    }
+    if (update.utility_evaluations > 0) {
+      message += StrFormat(" evals=%zu", update.utility_evaluations);
+    }
+    if (update.max_std_error > 0.0) {
+      message += StrFormat(" max_std_error=%.4g", update.max_std_error);
+    }
+    log::Emit(log::Level::kInfo, "nde_cli.cc", 0, message);
+  };
+}
+
 /// Rejects flags outside `allowed` (plus the global telemetry flags) so a
 /// typo like --labell fails loudly instead of silently using the default.
 Status CheckFlags(const Args& args, const std::string& command,
                   const std::set<std::string>& allowed) {
   for (const auto& [key, value] : args.flags) {
     if (allowed.count(key) > 0 || key == "metrics" || key == "prometheus" ||
-        key == "trace" || key == "threads") {
+        key == "trace" || key == "threads" || key == "serve" ||
+        key == "report" || key == "log-level" || key == "log-json") {
       continue;
     }
     return Status::InvalidArgument(StrFormat(
@@ -188,6 +239,18 @@ int RunImportancePipeline(const Args& args) {
   size_t top = static_cast<size_t>(std::stoul(FlagOr(args, "top", "25")));
   size_t permutations =
       static_cast<size_t>(std::stoul(FlagOr(args, "permutations", "8")));
+  uint64_t seed = std::stoull(FlagOr(args, "seed", "42"));
+  bool use_cache = args.flags.count("utility-cache") > 0;
+  bool warm_start = args.flags.count("warm-start") > 0;
+  if (g_report != nullptr) {
+    g_report->SetConfig("method", method);
+    g_report->SetConfig("seed", static_cast<int64_t>(seed));
+    g_report->SetConfig("threads",
+                        static_cast<int64_t>(DefaultNumThreads()));
+    g_report->SetConfig("permutations", static_cast<int64_t>(permutations));
+    g_report->SetConfig("utility_cache", use_cache);
+    g_report->SetConfig("warm_start", warm_start);
+  }
 
   Result<Table> table = ReadCsvFile(args.positional[0]);
   if (!table.ok()) return Fail(table.status().ToString());
@@ -235,28 +298,36 @@ int RunImportancePipeline(const Args& args) {
 
   std::vector<double> values;
   if (method == "knn_shapley") {
-    values = KnnShapleyValues(train, valid, 5);
+    EstimatorOptions options;
+    options.seed = seed;
+    options.progress = MakeCliProgress();
+    values = KnnShapleyValues(train, valid, 5, options);
   } else {
     auto factory = []() { return std::make_unique<KnnClassifier>(5); };
     UtilityFastPathOptions fast_path;
-    fast_path.subset_cache = args.flags.count("utility-cache") > 0;
-    bool warm_start = args.flags.count("warm-start") > 0;
+    fast_path.subset_cache = use_cache;
     ModelAccuracyUtility utility(factory, train, valid, fast_path);
     auto estimate_for = [&]() -> Result<ImportanceEstimate> {
       if (method == "tmc_shapley") {
         TmcShapleyOptions options;
         options.num_permutations = permutations;
         options.warm_start = warm_start;
+        options.seed = seed;
+        options.progress = MakeCliProgress();
         return TmcShapleyValues(utility, options);
       }
       if (method == "banzhaf") {
         BanzhafOptions options;
         options.num_samples = permutations * 8;
+        options.seed = seed;
+        options.progress = MakeCliProgress();
         return BanzhafValues(utility, options);
       }
       if (method == "beta_shapley") {
         BetaShapleyOptions options;
         options.samples_per_unit = std::max<size_t>(permutations, 2);
+        options.seed = seed;
+        options.progress = MakeCliProgress();
         return BetaShapleyValues(utility, options);
       }
       return Status::InvalidArgument(
@@ -290,7 +361,7 @@ int RunImportancePipeline(const Args& args) {
 int RunImportance(const Args& args) {
   Status flags_ok =
       CheckFlags(args, "importance", {"label", "method", "top", "permutations",
-                                      "utility-cache", "warm-start"});
+                                      "utility-cache", "warm-start", "seed"});
   if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() == 1) return RunImportancePipeline(args);
   if (args.positional.size() != 2) {
@@ -385,7 +456,9 @@ int Usage() {
                "         [--strategy mean|median|most_frequent] "
                "[--out <out.csv>]\n"
                "global flags: --metrics | --prometheus | --trace <out.json> "
-               "| --threads <N>\n");
+               "| --threads <N>\n"
+               "              --serve <port> | --report <out.json> "
+               "| --log-level <level> | --log-json\n");
   return 2;
 }
 
@@ -410,6 +483,19 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  std::string log_level_flag = FlagOr(args, "log-level", "");
+  if (!log_level_flag.empty()) {
+    log::Level level;
+    if (!log::ParseLevel(log_level_flag, &level)) {
+      return Fail("--log-level must be debug|info|warning|error, got '" +
+                  log_level_flag + "'");
+    }
+    log::SetMinLevel(level);
+  }
+  if (args.flags.count("log-json") > 0) {
+    log::Logger::Global().SetJson(true);
+  }
+
   std::string threads_flag = FlagOr(args, "threads", "");
   if (!threads_flag.empty()) {
     char* end = nullptr;
@@ -429,13 +515,53 @@ int Main(int argc, char** argv) {
   bool want_metrics = args.flags.count("metrics") > 0;
   bool want_prometheus = args.flags.count("prometheus") > 0;
   std::string trace_path = FlagOr(args, "trace", "");
-  if (want_metrics || want_prometheus || !trace_path.empty()) {
+  std::string serve_flag = FlagOr(args, "serve", "");
+  std::string report_path = FlagOr(args, "report", "");
+  if (want_metrics || want_prometheus || !trace_path.empty() ||
+      !serve_flag.empty() || !report_path.empty()) {
     telemetry::SetEnabled(true);
 #if !NDE_TELEMETRY_ENABLED
     std::fprintf(stderr,
                  "note: telemetry compiled out (NDE_TELEMETRY=OFF); metrics "
                  "and traces will be empty\n");
 #endif
+  }
+
+  telemetry::HttpExporter exporter;
+  if (!serve_flag.empty()) {
+    bool all_digits =
+        serve_flag.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long long port = all_digits
+                                  ? std::strtoull(serve_flag.c_str(),
+                                                  nullptr, 10)
+                                  : 65536ULL;
+    if (!all_digits || port > 65535ULL) {
+      return Fail("--serve requires a port in 0..65535, got '" + serve_flag +
+                  "'");
+    }
+    Status started = exporter.Start(static_cast<uint16_t>(port));
+    if (!started.ok()) return Fail(started.ToString());
+    // Announced on stderr so scripts backgrounding the CLI can scrape the
+    // bound port (meaningful with --serve 0).
+    std::fprintf(stderr, "serving on http://127.0.0.1:%u\n",
+                 static_cast<unsigned>(exporter.port()));
+    std::fflush(stderr);
+  }
+
+  std::unique_ptr<telemetry::RunReport> report;
+  if (!report_path.empty()) {
+    report = std::make_unique<telemetry::RunReport>(command);
+    report->SetConfig("command", command);
+    std::string argv_line;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) argv_line += " ";
+      argv_line += argv[i];
+    }
+    report->SetConfig("argv", argv_line);
+    for (const auto& [key, value] : args.flags) {
+      report->SetConfig("flag." + key, value);
+    }
+    g_report = report.get();
   }
 
   int code;
@@ -462,6 +588,18 @@ int Main(int argc, char** argv) {
     int trace_code = WriteTrace(trace_path);
     if (code == 0) code = trace_code;
   }
+  if (report != nullptr) {
+    g_report = nullptr;
+    report->Finish();
+    Status written = report->WriteFile(report_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      if (code == 0) code = 2;
+    } else {
+      std::fprintf(stderr, "wrote run report to %s\n", report_path.c_str());
+    }
+  }
+  exporter.Stop();
   return code;
 }
 
