@@ -4,6 +4,8 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -100,6 +102,14 @@ void ThreadPool::WorkerLoop() {
     {
       NDE_TRACE_SPAN("pool_task", "parallel");
       try {
+        // Chaos hook: an armed `threadpool.task` failpoint kills this task
+        // before it runs. The throw lands in the pool's normal error latch,
+        // so injection exercises exactly the propagation path a real task
+        // exception takes (rethrown by the next WaitIdle).
+        if (failpoint::AnyArmed()) {
+          failpoint::Outcome fp = failpoint::Fire("threadpool.task");
+          if (fp.fired()) throw failpoint::InjectedFault(fp.status);
+        }
         task();
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -157,6 +167,22 @@ size_t ParallelFor(size_t begin, size_t end,
   }
   pool.WaitIdle();  // Re-throws the first body exception, if any.
   return threads;
+}
+
+Result<size_t> TryParallelFor(size_t begin, size_t end,
+                              const std::function<void(size_t)>& body,
+                              size_t num_threads, const char* label) {
+  try {
+    return ParallelFor(begin, end, body, num_threads, label);
+  } catch (const failpoint::InjectedFault& fault) {
+    return fault.status();
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        StrFormat("parallel task '%s' failed: %s", label, e.what()));
+  } catch (...) {
+    return Status::Internal(StrFormat(
+        "parallel task '%s' failed with a non-exception throw", label));
+  }
 }
 
 uint64_t SeedSequence::SeedFor(uint64_t task_index) const {

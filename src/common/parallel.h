@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 
 namespace nde {
@@ -106,6 +107,18 @@ class ThreadPool {
 size_t ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& body,
                    size_t num_threads = 0, const char* label = "parallel_for");
+
+/// ParallelFor with the exception path converted to a typed Status: an
+/// injected fault (failpoint::InjectedFault, e.g. the `threadpool.task`
+/// failpoint killing a worker task) returns the Status it carries, and any
+/// other exception becomes Status::Internal with the exception text. The
+/// pool still drains fully before this returns — no task is left running —
+/// so estimators can abort a wave without leaking workers. On success,
+/// returns the worker count used, like ParallelFor.
+Result<size_t> TryParallelFor(size_t begin, size_t end,
+                              const std::function<void(size_t)>& body,
+                              size_t num_threads = 0,
+                              const char* label = "parallel_for");
 
 /// --- SeedSequence -----------------------------------------------------------
 

@@ -22,8 +22,35 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kIOError:
       return "io_error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
+}
+
+bool StatusCodeFromString(const std::string& text, StatusCode* code) {
+  static const StatusCode kAll[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,  StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kIOError,     StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted,
+  };
+  for (StatusCode candidate : kAll) {
+    if (text == StatusCodeToString(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
 }
 
 std::string Status::ToString() const {

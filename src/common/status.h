@@ -20,11 +20,25 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIOError = 8,
+  /// Transient failure (flaky backend, lost connection): safe to retry with
+  /// backoff. The estimators' retry policy keys off this code.
+  kUnavailable = 9,
+  /// Out of memory/quota/capacity. Also retryable (pressure may pass).
+  kResourceExhausted = 10,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
 /// "invalid_argument", ...). Stable; safe to use in logs and golden tests.
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString: parses a canonical lowercase name. Returns
+/// false (leaving `*code` untouched) for unknown names. Used by the failpoint
+/// spec parser, so operators can write `error(io_error:disk gone)`.
+bool StatusCodeFromString(const std::string& text, StatusCode* code);
+
+/// True for codes that describe transient conditions a caller may retry
+/// (kUnavailable, kResourceExhausted). Everything else is permanent.
+bool IsRetryable(StatusCode code);
 
 /// Result of an operation that can fail without it being a programming error.
 ///
@@ -77,6 +91,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

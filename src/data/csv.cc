@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace nde {
@@ -12,9 +13,10 @@ namespace nde {
 namespace {
 
 /// Splits one CSV record honoring double-quoted fields ("" escapes a quote).
-std::vector<std::string> SplitCsvRecord(const std::string& line,
-                                        char delimiter) {
-  std::vector<std::string> fields;
+/// `line_number` is 1-based, for error messages only.
+Status SplitCsvRecord(const std::string& line, char delimiter,
+                      size_t line_number, std::vector<std::string>* fields) {
+  fields->clear();
   std::string current;
   bool in_quotes = false;
   for (size_t i = 0; i < line.size(); ++i) {
@@ -33,14 +35,21 @@ std::vector<std::string> SplitCsvRecord(const std::string& line,
     } else if (c == '"') {
       in_quotes = true;
     } else if (c == delimiter) {
-      fields.push_back(std::move(current));
+      fields->push_back(std::move(current));
       current.clear();
     } else {
       current.push_back(c);
     }
   }
-  fields.push_back(std::move(current));
-  return fields;
+  if (in_quotes) {
+    // A dangling quote means the record is truncated or corrupt; silently
+    // accepting it would glue the rest of the line (and, in multi-line
+    // inputs, often the rest of the file) into one field.
+    return Status::InvalidArgument(
+        StrFormat("line %zu has an unterminated quoted field", line_number));
+  }
+  fields->push_back(std::move(current));
+  return Status::OK();
 }
 
 bool ParseInt64(const std::string& text, int64_t* out) {
@@ -101,7 +110,9 @@ Result<Table> ReadCsvString(const std::string& text,
 
   std::vector<std::string> names;
   size_t first_data_line = 0;
-  std::vector<std::string> first = SplitCsvRecord(lines[0], options.delimiter);
+  std::vector<std::string> first;
+  NDE_RETURN_IF_ERROR(
+      SplitCsvRecord(lines[0], options.delimiter, 1, &first));
   if (options.has_header) {
     for (auto& n : first) names.emplace_back(StripWhitespace(n));
     first_data_line = 1;
@@ -116,12 +127,25 @@ Result<Table> ReadCsvString(const std::string& text,
   std::vector<std::vector<std::string>> records;
   records.reserve(lines.size() - first_data_line);
   for (size_t i = first_data_line; i < lines.size(); ++i) {
-    std::vector<std::string> fields =
-        SplitCsvRecord(lines[i], options.delimiter);
+    // Per-record chaos hook, keyed by the record index so probabilistic
+    // injection replays bit-identically run to run.
+    NDE_FAILPOINT_KEYED("csv.record", i - first_data_line);
+    std::vector<std::string> fields;
+    NDE_RETURN_IF_ERROR(
+        SplitCsvRecord(lines[i], options.delimiter, i + 1, &fields));
     if (fields.size() != num_cols) {
       return Status::InvalidArgument(
           StrFormat("line %zu has %zu fields, expected %zu", i + 1,
                     fields.size(), num_cols));
+    }
+    if (options.max_field_bytes > 0) {
+      for (size_t c = 0; c < fields.size(); ++c) {
+        if (fields[c].size() > options.max_field_bytes) {
+          return Status::InvalidArgument(StrFormat(
+              "line %zu field %zu is %zu bytes, over the %zu-byte limit",
+              i + 1, c, fields[c].size(), options.max_field_bytes));
+        }
+      }
     }
     records.push_back(std::move(fields));
   }
@@ -196,6 +220,7 @@ Result<Table> ReadCsvString(const std::string& text,
 
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvReadOptions& options) {
+  NDE_FAILPOINT("csv.open");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));

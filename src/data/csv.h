@@ -17,6 +17,11 @@ struct CsvReadOptions {
   /// Cells equal to this marker (after trimming) are parsed as null, in
   /// addition to empty cells.
   std::string null_marker = "n/a";
+  /// Reject any field longer than this many bytes (0 = unlimited). A guard
+  /// against corrupt inputs — an unclosed quote or binary garbage can glue
+  /// megabytes into one "field"; better a typed error than a silent
+  /// memory-hungry parse.
+  size_t max_field_bytes = 0;
 };
 
 /// Parses CSV text into a Table. Column types are inferred from the data:

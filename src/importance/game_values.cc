@@ -1,12 +1,16 @@
 #include "importance/game_values.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "telemetry/health.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -39,6 +43,47 @@ double MeanStdError(double sum, double sum_sq, double m) {
   return std::sqrt(std::max(variance, 0.0) / m);
 }
 
+/// One utility evaluation with bounded retry. Retries only *retryable*
+/// failures (unavailable / resource_exhausted — a transient backend), with
+/// capped exponential backoff: retry_backoff_ms, doubled per attempt, capped
+/// at 10x the base. Non-finite values are data corruption and fail
+/// immediately — the utility is deterministic, so retrying would return the
+/// same poison. Passing the attempt number as the TryEvaluate salt re-rolls
+/// an injected probabilistic fault deterministically, so a flaky-backend
+/// simulation can succeed on retry and replay bit-identically.
+Result<double> EvaluateWithRetry(const UtilityFunction& utility,
+                                 const std::vector<size_t>& subset,
+                                 const EstimatorOptions& options) {
+  Status last;
+  for (size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
+    if (attempt > 0) {
+      NDE_METRIC_COUNT("estimator.retries", 1);
+      uint64_t delay_ms = static_cast<uint64_t>(options.retry_backoff_ms)
+                          << (attempt - 1);
+      delay_ms = std::min<uint64_t>(
+          delay_ms, uint64_t{10} * options.retry_backoff_ms);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
+    Result<double> value = utility.TryEvaluate(subset, attempt);
+    if (value.ok()) {
+      if (!std::isfinite(*value)) {
+        Status poisoned =
+            Status::Internal("utility produced a non-finite value");
+        telemetry::SetDegraded(poisoned.ToString());
+        return poisoned;
+      }
+      if (attempt > 0) telemetry::SetHealthy();  // Recovered on retry.
+      return value;
+    }
+    last = value.status();
+    telemetry::SetDegraded(last.ToString());
+    if (!IsRetryable(last.code())) break;
+  }
+  return last;
+}
+
 /// Evaluates v over every subset of {0..n-1}; 2^n evaluations.
 std::vector<double> EnumerateAllSubsets(const UtilityFunction& utility) {
   size_t n = utility.num_units();
@@ -63,8 +108,14 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
   }
   NDE_TRACE_SPAN_VAR(span, "LeaveOneOutValues", "importance");
   NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
-  double full = utility.FullUtility();
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  NDE_ASSIGN_OR_RETURN(double full, EvaluateWithRetry(utility, all, options));
   std::vector<double> values(n);
+  // LOO has no sampling budget to shrink, so a failed unit has no meaningful
+  // partial result: the first evaluation error (in unit order) is returned as
+  // the call's Status.
+  std::vector<Status> errors(n);
   // One task per unit, writing into its own slot: no randomness and no shared
   // accumulator, so results are identical for any thread count. Units run in
   // fixed 64-unit waves purely so progress can be reported at deterministic
@@ -73,17 +124,33 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
   NDE_LOG(DEBUG) << "leave_one_out: " << n << " units";
   for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
     size_t wave_end = std::min(wave_begin + kWaveUnits, n);
-    ParallelFor(
-        wave_begin, wave_end,
-        [&](size_t i) {
-          std::vector<size_t> subset;
-          subset.reserve(n - 1);
-          for (size_t j = 0; j < n; ++j) {
-            if (j != i) subset.push_back(j);
-          }
-          values[i] = full - utility.Evaluate(subset);
-        },
-        options.num_threads, "leave_one_out");
+    NDE_ASSIGN_OR_RETURN(
+        size_t used,
+        TryParallelFor(
+            wave_begin, wave_end,
+            [&](size_t i) {
+              std::vector<size_t> subset;
+              subset.reserve(n - 1);
+              for (size_t j = 0; j < n; ++j) {
+                if (j != i) subset.push_back(j);
+              }
+              Result<double> without = EvaluateWithRetry(utility, subset,
+                                                         options);
+              if (!without.ok()) {
+                errors[i] = without.status();
+                return;
+              }
+              values[i] = full - *without;
+            },
+            options.num_threads, "leave_one_out"));
+    (void)used;
+    for (size_t i = wave_begin; i < wave_end; ++i) {
+      if (!errors[i].ok()) {
+        NDE_LOG(WARNING) << "leave_one_out aborted at unit " << i << ": "
+                         << errors[i].ToString();
+        return errors[i];
+      }
+    }
     if (options.progress) {
       ProgressUpdate update;
       update.phase = "leave_one_out";
@@ -107,8 +174,12 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
         "TMC-Shapley requires at least one permutation");
   }
   NDE_TRACE_SPAN_VAR(span, "TmcShapleyValues", "importance");
-  double empty_utility = utility.EmptyUtility();
-  double full_utility = utility.FullUtility();
+  NDE_ASSIGN_OR_RETURN(double empty_utility,
+                       EvaluateWithRetry(utility, {}, options));
+  std::vector<size_t> all_units(n);
+  std::iota(all_units.begin(), all_units.end(), size_t{0});
+  NDE_ASSIGN_OR_RETURN(double full_utility,
+                       EvaluateWithRetry(utility, all_units, options));
 
   // Permutation t always draws from stream SeedFor(t) and waves always span
   // the same permutation indices, so both the sampled marginals and the
@@ -119,6 +190,7 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
   struct PermutationPartial {
     std::vector<double> marginals;
     size_t evaluations = 0;
+    Status error;  ///< First evaluation failure inside this permutation.
   };
 
   std::vector<double> sum(n, 0.0);
@@ -126,6 +198,8 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
   size_t evaluations = 2;  // empty + full, evaluated above on this thread
   size_t executed = 0;
   size_t threads_used = 1;
+  bool aborted = false;
+  Status abort_cause;
   std::vector<PermutationPartial> wave(
       std::min(kWavePermutations, options.num_permutations));
 
@@ -136,8 +210,9 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
     for (auto& partial : wave) {
       partial.marginals.assign(n, 0.0);
       partial.evaluations = 0;
+      partial.error = Status::OK();
     }
-    size_t used = ParallelFor(
+    Result<size_t> used = TryParallelFor(
         wave_begin, wave_end,
         [&](size_t t) {
           // One complete-event per permutation: the trace shows where sampling
@@ -146,50 +221,138 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
           PermutationPartial& out = wave[t - wave_begin];
           Rng rng = seeds.RngFor(t);
           std::vector<size_t> perm = rng.Permutation(n);
-          // Prefix-scan fast path: the permutation grows one coalition a unit
-          // at a time, so a utility offering an incremental scan evaluates
-          // each prefix without retraining from scratch. Exact scans are
-          // bit-identical to Evaluate; approximate warm-started scans are
-          // only handed out when options.warm_start opted in.
-          std::unique_ptr<UtilityFunction::PrefixScan> scan =
-              options.use_prefix_scan ? utility.NewPrefixScan(options.warm_start)
-                                      : nullptr;
-          std::vector<size_t> prefix;
-          prefix.reserve(n);
-          double previous = empty_utility;
-          bool truncated = false;
-          for (size_t pos = 0; pos < n; ++pos) {
-            size_t unit = perm[pos];
-            double marginal = 0.0;
-            if (!truncated) {
-              if (options.truncation_tolerance > 0.0 &&
-                  std::fabs(full_utility - previous) <
-                      options.truncation_tolerance) {
-                truncated = true;  // Remaining marginals are treated as zero.
-                NDE_METRIC_COUNT("shapley.truncation_hits", 1);
-                NDE_SPAN_ARG(perm_span, "truncated_at",
-                             static_cast<int64_t>(pos));
-              } else {
-                double current;
-                if (scan != nullptr) {
-                  current = scan->Push(unit);
-                } else {
-                  prefix.push_back(unit);
-                  current = utility.Evaluate(Sorted(prefix));
-                }
-                ++out.evaluations;
-                marginal = current - previous;
-                previous = current;
+          // A prefix scan is an incremental state machine, so a failed Push
+          // cannot be retried in place. A transient fault at position P
+          // instead re-runs the permutation against a fresh scan, replaying
+          // the already-succeeded prefix silently (exact scans make the
+          // replay idempotent, and settled fault decisions are not re-taken)
+          // and re-rolling only position P's decision — keyed by permutation
+          // x position x attempt, schedule-invariant for replay. Each
+          // evaluation gets the same bounded budget and counted, capped
+          // backoff as EvaluateWithRetry, which handles the non-scan path.
+          Status failure;
+          size_t resume_pos = 0;     // First position still owed a decision.
+          size_t fail_attempts = 0;  // Failed attempts at resume_pos so far.
+          for (;;) {
+            if (fail_attempts > 0) {
+              NDE_METRIC_COUNT("estimator.retries", 1);
+              uint64_t delay_ms =
+                  static_cast<uint64_t>(options.retry_backoff_ms)
+                  << (fail_attempts - 1);
+              delay_ms = std::min<uint64_t>(
+                  delay_ms, uint64_t{10} * options.retry_backoff_ms);
+              if (delay_ms > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
               }
             }
-            out.marginals[unit] = marginal;
+            // Prefix-scan fast path: the permutation grows one coalition a
+            // unit at a time, so a utility offering an incremental scan
+            // evaluates each prefix without retraining from scratch. Exact
+            // scans are bit-identical to Evaluate; approximate warm-started
+            // scans are only handed out when options.warm_start opted in.
+            std::unique_ptr<UtilityFunction::PrefixScan> scan =
+                options.use_prefix_scan
+                    ? utility.NewPrefixScan(options.warm_start)
+                    : nullptr;
+            failure = Status::OK();
+            size_t failed_at = 0;
+            std::vector<size_t> prefix;
+            prefix.reserve(n);
+            double previous = empty_utility;
+            bool truncated = false;
+            for (size_t pos = 0; pos < n && failure.ok(); ++pos) {
+              size_t unit = perm[pos];
+              double marginal = 0.0;
+              if (!truncated) {
+                if (options.truncation_tolerance > 0.0 &&
+                    std::fabs(full_utility - previous) <
+                        options.truncation_tolerance) {
+                  truncated = true;  // Remaining marginals are zero.
+                  NDE_METRIC_COUNT("shapley.truncation_hits", 1);
+                  NDE_SPAN_ARG(perm_span, "truncated_at",
+                               static_cast<int64_t>(pos));
+                } else {
+                  double current;
+                  if (scan != nullptr) {
+                    if (failpoint::AnyArmed() && pos >= resume_pos) {
+                      size_t attempt = pos == resume_pos ? fail_attempts : 0;
+                      failpoint::Outcome fp = failpoint::Fire(
+                          "utility.evaluate",
+                          failpoint::MixKey(failpoint::MixKey(t, pos),
+                                            attempt));
+                      if (fp.kind == failpoint::Outcome::kNanPoison) {
+                        failure = Status::Internal(
+                            "utility produced a non-finite value");
+                        failed_at = pos;
+                        break;
+                      }
+                      if (fp.fired()) {
+                        failure = fp.status;
+                        failed_at = pos;
+                        break;
+                      }
+                    }
+                    current = scan->Push(unit);
+                    if (!std::isfinite(current)) {
+                      failure = Status::Internal(
+                          "utility produced a non-finite value");
+                      failed_at = pos;
+                      break;
+                    }
+                  } else {
+                    prefix.push_back(unit);
+                    Result<double> value =
+                        EvaluateWithRetry(utility, Sorted(prefix), options);
+                    if (!value.ok()) {
+                      failure = value.status();
+                      break;
+                    }
+                    current = *value;
+                  }
+                  ++out.evaluations;
+                  marginal = current - previous;
+                  previous = current;
+                }
+              }
+              out.marginals[unit] = marginal;
+            }
+            if (failure.ok()) {
+              if (fail_attempts > 0) telemetry::SetHealthy();
+              break;
+            }
+            telemetry::SetDegraded(failure.ToString());
+            if (scan == nullptr || !IsRetryable(failure.code())) break;
+            if (failed_at != resume_pos) {
+              resume_pos = failed_at;  // Fresh evaluation, fresh budget.
+              fail_attempts = 0;
+            }
+            if (fail_attempts >= options.max_retries) break;
+            ++fail_attempts;
           }
+          out.error = failure;
           NDE_SPAN_ARG(perm_span, "permutation", static_cast<int64_t>(t));
           NDE_SPAN_ARG(perm_span, "evaluations",
                        static_cast<int64_t>(out.evaluations));
         },
         options.num_threads, "tmc_wave");
-    threads_used = std::max(threads_used, used);
+    if (!used.ok()) {
+      aborted = true;
+      abort_cause = used.status();
+      break;
+    }
+    threads_used = std::max(threads_used, *used);
+
+    // A failed wave is discarded whole (in index order, so the abort cause is
+    // schedule-invariant): the estimate then covers exactly the permutations
+    // a clean run with a smaller budget would have used.
+    for (size_t t = wave_begin; t < wave_end && !aborted; ++t) {
+      if (!wave[t - wave_begin].error.ok()) {
+        aborted = true;
+        abort_cause = wave[t - wave_begin].error;
+      }
+    }
+    if (aborted) break;
 
     // Deterministic reduction: fold permutation partials in index order.
     for (size_t t = wave_begin; t < wave_end; ++t) {
@@ -241,6 +404,14 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
   NDE_SPAN_ARG(span, "permutations", static_cast<int64_t>(executed));
   NDE_SPAN_ARG(span, "evaluations", static_cast<int64_t>(evaluations));
   NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
+  if (aborted) {
+    NDE_METRIC_COUNT("estimator.aborted", 1);
+    telemetry::SetDegraded(abort_cause.ToString());
+    NDE_LOG(WARNING) << "tmc_shapley aborted after " << executed << "/"
+                     << options.num_permutations
+                     << " permutations: " << abort_cause.ToString();
+    if (executed == 0) return abort_cause;  // Nothing usable to report.
+  }
 
   ImportanceEstimate estimate;
   estimate.values.resize(n);
@@ -252,6 +423,8 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
   }
   estimate.utility_evaluations = evaluations;
   estimate.num_threads_used = threads_used;
+  estimate.aborted_early = aborted;
+  estimate.abort_cause = abort_cause;
   NDE_METRIC_GAUGE_SET(
       "shapley.max_std_error",
       estimate.std_errors.empty()
@@ -313,6 +486,7 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
   struct ChunkPartial {
     std::vector<double> in_sum, in_sq, out_sum, out_sq;
     std::vector<size_t> in_count, out_count;
+    Status error;  ///< First evaluation failure inside this chunk.
   };
 
   std::vector<double> in_sum(n, 0.0), in_sq(n, 0.0);
@@ -323,6 +497,8 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
   size_t chunk_cursor = 0;
   size_t executed_samples = 0;
   size_t threads_used = 1;
+  bool aborted = false;
+  Status abort_cause;
   std::vector<ChunkPartial> wave(std::min(kWaveChunks, num_chunks));
 
   while (chunk_cursor < num_chunks) {
@@ -335,8 +511,9 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
       partial.out_sq.assign(n, 0.0);
       partial.in_count.assign(n, 0);
       partial.out_count.assign(n, 0);
+      partial.error = Status::OK();
     }
-    size_t used = ParallelFor(
+    Result<size_t> used = TryParallelFor(
         wave_begin, wave_end,
         [&](size_t c) {
           ChunkPartial& out = wave[c - wave_begin];
@@ -357,7 +534,13 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
               member[i] = rng.NextBernoulli(0.5);
               if (member[i]) subset.push_back(i);
             }
-            double value = utility.Evaluate(subset);
+            Result<double> evaluated =
+                EvaluateWithRetry(utility, subset, options);
+            if (!evaluated.ok()) {
+              out.error = evaluated.status();
+              return;  // The whole chunk is discarded with its wave.
+            }
+            double value = *evaluated;
             for (size_t i = 0; i < n; ++i) {
               if (member[i]) {
                 out.in_sum[i] += value;
@@ -372,7 +555,22 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
           }
         },
         options.num_threads, "banzhaf_wave");
-    threads_used = std::max(threads_used, used);
+    if (!used.ok()) {
+      aborted = true;
+      abort_cause = used.status();
+      break;
+    }
+    threads_used = std::max(threads_used, *used);
+
+    // Discard a failed wave whole (first error in chunk-index order wins) so
+    // the partial estimate matches a clean smaller-budget run exactly.
+    for (size_t c = wave_begin; c < wave_end && !aborted; ++c) {
+      if (!wave[c - wave_begin].error.ok()) {
+        aborted = true;
+        abort_cause = wave[c - wave_begin].error;
+      }
+    }
+    if (aborted) break;
 
     // Deterministic reduction: fold chunk partials in index order.
     for (size_t c = wave_begin; c < wave_end; ++c) {
@@ -436,6 +634,14 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
   NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
   NDE_SPAN_ARG(span, "samples", static_cast<int64_t>(executed_samples));
   NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
+  if (aborted) {
+    NDE_METRIC_COUNT("estimator.aborted", 1);
+    telemetry::SetDegraded(abort_cause.ToString());
+    NDE_LOG(WARNING) << "banzhaf aborted after " << executed_samples << "/"
+                     << options.num_samples
+                     << " samples: " << abort_cause.ToString();
+    if (executed_samples == 0) return abort_cause;
+  }
 
   ImportanceEstimate estimate;
   estimate.values.resize(n, 0.0);
@@ -453,6 +659,8 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
   }
   estimate.utility_evaluations = executed_samples;
   estimate.num_threads_used = threads_used;
+  estimate.aborted_early = aborted;
+  estimate.abort_cause = abort_cause;
   return estimate;
 }
 
@@ -527,6 +735,7 @@ Result<ImportanceEstimate> BetaShapleyValues(
     double mean = 0.0;
     double std_error = 0.0;
     size_t evaluations = 0;
+    Status error;  ///< First evaluation failure while sampling this unit.
   };
   std::vector<UnitPartial> units(n);
 
@@ -538,9 +747,12 @@ Result<ImportanceEstimate> BetaShapleyValues(
   size_t threads_used = 1;
   size_t evaluations_so_far = 0;
   double max_std_error = 0.0;
+  bool aborted = false;
+  Status abort_cause;
+  size_t completed_units = 0;
   for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
     size_t wave_end = std::min(wave_begin + kWaveUnits, n);
-    size_t used = ParallelFor(
+    Result<size_t> used = TryParallelFor(
         wave_begin, wave_end,
         [&](size_t i) {
           NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
@@ -561,10 +773,20 @@ Result<ImportanceEstimate> BetaShapleyValues(
             std::vector<size_t> subset;
             subset.reserve(cardinality + 1);
             for (size_t p : picks) subset.push_back(others[p]);
-            double without = utility.Evaluate(Sorted(subset));
+            Result<double> without =
+                EvaluateWithRetry(utility, Sorted(subset), options);
+            if (!without.ok()) {
+              units[i].error = without.status();
+              return;  // The unit's wave is discarded whole below.
+            }
             subset.push_back(i);
-            double with = utility.Evaluate(Sorted(subset));
-            double marginal = with - without;
+            Result<double> with =
+                EvaluateWithRetry(utility, Sorted(subset), options);
+            if (!with.ok()) {
+              units[i].error = with.status();
+              return;
+            }
+            double marginal = *with - *without;
             sum += marginal;
             sum_sq += marginal * marginal;
             ++samples;
@@ -583,7 +805,26 @@ Result<ImportanceEstimate> BetaShapleyValues(
           NDE_SPAN_ARG(unit_span, "std_error", out.std_error);
         },
         options.num_threads, "beta_shapley_units");
-    threads_used = std::max(threads_used, used);
+    if (!used.ok()) {
+      aborted = true;
+      abort_cause = used.status();
+      break;
+    }
+    threads_used = std::max(threads_used, *used);
+    // Discard a failed wave whole (first error in unit-index order wins): the
+    // discarded units report value 0 / std error 0, exactly like units a
+    // clean smaller run never reached.
+    for (size_t i = wave_begin; i < wave_end && !aborted; ++i) {
+      if (!units[i].error.ok()) {
+        aborted = true;
+        abort_cause = units[i].error;
+      }
+    }
+    if (aborted) {
+      for (size_t i = wave_begin; i < wave_end; ++i) units[i] = UnitPartial{};
+      break;
+    }
+    completed_units = wave_end;
     // Index-order fold of the wave's partials (deterministic, and cheap
     // enough to do even with no callback installed).
     for (size_t i = wave_begin; i < wave_end; ++i) {
@@ -601,6 +842,14 @@ Result<ImportanceEstimate> BetaShapleyValues(
     }
   }
 
+  if (aborted) {
+    NDE_METRIC_COUNT("estimator.aborted", 1);
+    telemetry::SetDegraded(abort_cause.ToString());
+    NDE_LOG(WARNING) << "beta_shapley aborted after " << completed_units << "/"
+                     << n << " units: " << abort_cause.ToString();
+    if (completed_units == 0) return abort_cause;
+  }
+
   ImportanceEstimate estimate;
   estimate.values.resize(n, 0.0);
   estimate.std_errors.resize(n, 0.0);
@@ -612,6 +861,8 @@ Result<ImportanceEstimate> BetaShapleyValues(
   }
   estimate.utility_evaluations = evaluations;
   estimate.num_threads_used = threads_used;
+  estimate.aborted_early = aborted;
+  estimate.abort_cause = abort_cause;
   NDE_METRIC_COUNT("beta_shapley.utility_evaluations", evaluations);
   NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
   return estimate;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "common/rng.h"
 #include "importance/estimator_options.h"
 #include "importance/utility.h"
@@ -27,6 +28,15 @@ struct ImportanceEstimate {
   size_t utility_evaluations = 0;
   /// Worker threads the estimator actually fanned out over.
   size_t num_threads_used = 1;
+  /// True when utility evaluation failed mid-run and the estimate covers only
+  /// the waves completed before the failure. Values/std_errors are exactly
+  /// what a clean run with that smaller budget would produce (failed waves
+  /// are discarded whole, so determinism survives the abort). When no wave
+  /// completed at all, the estimator returns `abort_cause` as its Status
+  /// instead of a partial estimate.
+  bool aborted_early = false;
+  /// The first failure that stopped sampling (OK when !aborted_early).
+  Status abort_cause;
 };
 
 /// Deprecated pre-parallel name; remove after one release.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -76,6 +77,14 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
   misses_.fetch_add(1, std::memory_order_relaxed);
   NDE_METRIC_COUNT("utility_cache.misses", 1);
   double value = compute();
+
+  // Simulated allocation failure: the cache degrades gracefully by serving
+  // the freshly computed value without retaining it — callers never see an
+  // error, they just lose the memoization for this subset.
+  if (failpoint::AnyArmed() &&
+      failpoint::Fire("subset_cache.insert", hash).fired()) {
+    return value;
+  }
 
   {
     std::lock_guard<std::mutex> lock(shard.mu);

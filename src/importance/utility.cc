@@ -1,10 +1,13 @@
 #include "importance/utility.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -13,6 +16,23 @@ double UtilityFunction::FullUtility() const {
   std::vector<size_t> all(num_units());
   std::iota(all.begin(), all.end(), size_t{0});
   return Evaluate(all);
+}
+
+Result<double> UtilityFunction::TryEvaluate(const std::vector<size_t>& subset,
+                                            uint64_t salt) const {
+  if (failpoint::AnyArmed()) {
+    // Order-insensitive subset hash: XOR of per-element mixes commutes, so
+    // the key — and therefore a probabilistic fire decision — depends only on
+    // the coalition itself, not on which thread or wave evaluated it.
+    uint64_t key = failpoint::MixKey(subset.size(), salt);
+    for (size_t unit : subset) key ^= failpoint::MixKey(unit + 1, 0x5eed);
+    failpoint::Outcome fp = failpoint::Fire("utility.evaluate", key);
+    if (fp.kind == failpoint::Outcome::kNanPoison) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (fp.fired()) return fp.status;
+  }
+  return Evaluate(subset);
 }
 
 ModelAccuracyUtility::ModelAccuracyUtility(ClassifierFactory factory,

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/result.h"
 #include "importance/subset_cache.h"
 #include "ml/dataset.h"
 #include "ml/metrics.h"
@@ -29,6 +30,18 @@ class UtilityFunction {
 
   /// Value of the coalition `subset`.
   virtual double Evaluate(const std::vector<size_t>& subset) const = 0;
+
+  /// Failure-aware wrapper around Evaluate: the estimators call this so a
+  /// backend fault (injected through the `utility.evaluate` failpoint, or a
+  /// real one once utilities grow fallible backends) surfaces as a typed
+  /// Status instead of undefined behavior. The failpoint is keyed by an
+  /// order-insensitive hash of the subset mixed with `salt`, so probabilistic
+  /// specs replay bit-identically for any thread count; retrying callers pass
+  /// the attempt number as `salt` to re-roll the decision deterministically.
+  /// A `nan` action poisons the value path: TryEvaluate returns quiet NaN and
+  /// the caller's finiteness check converts it into a typed error.
+  Result<double> TryEvaluate(const std::vector<size_t>& subset,
+                             uint64_t salt = 0) const;
 
   /// Number of training units (players).
   virtual size_t num_units() const = 0;

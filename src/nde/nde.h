@@ -34,6 +34,7 @@
 #include "cleaning/imputation.h"
 #include "cleaning/strategies.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/progress.h"
@@ -74,6 +75,7 @@
 #include "pipeline/provenance.h"
 #include "query/calibration.h"
 #include "query/predictive_query.h"
+#include "telemetry/health.h"
 #include "telemetry/http_exporter.h"
 #include "telemetry/metrics.h"
 #include "telemetry/run_report.h"

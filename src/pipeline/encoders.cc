@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "telemetry/telemetry.h"
 
@@ -20,6 +21,12 @@ Status NumericEncoder::Fit(const std::vector<Value>& column) {
     }
     total += v.AsNumeric();
     ++count;
+  }
+  if (count == 0) {
+    // An all-null numeric column has no mean to impute with; fitting it
+    // silently would make Transform emit a fabricated constant 0 feature.
+    return Status::InvalidArgument(
+        "NumericEncoder fitted on all-null column");
   }
   mean_ = count > 0 ? total / static_cast<double>(count) : 0.0;
   double var = 0.0;
@@ -185,6 +192,7 @@ Status ColumnTransformer::Fit(const Table& table) {
   if (entries_.empty()) {
     return Status::FailedPrecondition("ColumnTransformer has no encoders");
   }
+  NDE_FAILPOINT("encoder.fit");
   NDE_TRACE_SPAN_VAR(span, "ColumnTransformer::Fit", "encoder");
   NDE_SPAN_ARG(span, "rows", static_cast<int64_t>(table.num_rows()));
   for (Entry& e : entries_) {
@@ -208,6 +216,7 @@ Result<Matrix> ColumnTransformer::Transform(const Table& table) const {
   if (!fitted_) {
     return Status::FailedPrecondition("ColumnTransformer is not fitted");
   }
+  NDE_FAILPOINT("encoder.transform");
   NDE_TRACE_SPAN_VAR(span, "ColumnTransformer::Transform", "encoder");
   NDE_SPAN_ARG(span, "rows", static_cast<int64_t>(table.num_rows()));
   size_t width = num_features();

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "telemetry/telemetry.h"
 
@@ -19,6 +20,10 @@ thread_local PlanProfiler* t_active_profiler = nullptr;
 }  // namespace
 
 Result<AnnotatedTable> PlanNode::Execute() const {
+  // One chaos hook covers every operator: Execute() is the NVI gateway all
+  // plan nodes funnel through, so arming `pipeline.execute` proves the whole
+  // operator tree propagates a mid-plan failure instead of aborting.
+  NDE_FAILPOINT("pipeline.execute");
   PlanProfiler* profiler = t_active_profiler;
   // With NDE_TELEMETRY_ENABLED == 0 `traced` is constant false and the
   // whole instrumented branch folds away.

@@ -1,0 +1,42 @@
+#include "telemetry/health.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace nde {
+namespace telemetry {
+
+namespace {
+
+std::atomic<bool> g_healthy{true};
+std::mutex g_reason_mu;
+std::string& ReasonStorage() {
+  static std::string* reason = new std::string;  // Leaked: outlives exit.
+  return *reason;
+}
+
+}  // namespace
+
+void SetHealthy() {
+  g_healthy.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_reason_mu);
+  ReasonStorage().clear();
+}
+
+void SetDegraded(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(g_reason_mu);
+    ReasonStorage() = reason;
+  }
+  g_healthy.store(false, std::memory_order_relaxed);
+}
+
+bool IsHealthy() { return g_healthy.load(std::memory_order_relaxed); }
+
+std::string HealthReason() {
+  std::lock_guard<std::mutex> lock(g_reason_mu);
+  return ReasonStorage();
+}
+
+}  // namespace telemetry
+}  // namespace nde

@@ -10,7 +10,9 @@
 #include <sstream>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/log.h"
+#include "telemetry/health.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -88,6 +90,15 @@ void WriteAll(int fd, const std::string& data) {
 
 std::string HttpExporter::HandleRequest(const std::string& request_line) {
   MetricsRegistry::Global().GetCounter("http_exporter.requests").Increment();
+  // Chaos hook: a scrape failure must produce a well-formed 500, never tear
+  // down the serving thread.
+  if (failpoint::AnyArmed()) {
+    failpoint::Outcome fp = failpoint::Fire("http.handle_request");
+    if (fp.fired()) {
+      return MakeResponse(500, "Internal Server Error", "text/plain",
+                          fp.status.ToString() + "\n");
+    }
+  }
   std::istringstream is(request_line);
   std::string method, target;
   is >> method >> target;
@@ -99,6 +110,13 @@ std::string HttpExporter::HandleRequest(const std::string& request_line) {
   size_t query = target.find('?');
   if (query != std::string::npos) target = target.substr(0, query);
   if (target == "/healthz") {
+    // Degraded keeps serving scrapes: the process is alive but its current
+    // work is failing (e.g. utility evaluation exhausted its retries), so
+    // probers see 503 while /metrics stays readable.
+    if (!IsHealthy()) {
+      return MakeResponse(503, "Service Unavailable", "text/plain",
+                          "degraded: " + HealthReason() + "\n");
+    }
     return MakeResponse(200, "OK", "text/plain", "ok\n");
   }
   if (target == "/metrics") {

@@ -6,11 +6,30 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "telemetry/trace.h"
 
 namespace nde {
 namespace telemetry {
+
+namespace {
+
+/// Failpoint hit/fire counters, exported as `failpoint.<name>.hits` and
+/// `failpoint.<name>.fires`. The failpoint framework lives below telemetry
+/// (nde_common must not depend on this library), so the merge happens here at
+/// export time instead of through the macro API. Empty — and therefore
+/// export-invisible — unless a failpoint was armed at some point.
+std::vector<std::pair<std::string, uint64_t>> FailpointCounterValues() {
+  std::vector<std::pair<std::string, uint64_t>> values;
+  for (const failpoint::PointStats& point : failpoint::Stats()) {
+    values.emplace_back("failpoint." + point.name + ".hits", point.hits);
+    values.emplace_back("failpoint." + point.name + ".fires", point.fires);
+  }
+  return values;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)),
@@ -117,6 +136,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
   }
+  for (const auto& [name, value] : FailpointCounterValues()) {
+    snapshot.counters[name] = value;
+  }
   for (const auto& [name, gauge] : gauges_) {
     snapshot.gauges[name] = gauge->value();
   }
@@ -142,6 +164,11 @@ std::string MetricsRegistry::ToTable() const {
     lines.emplace_back(
         name, StrFormat("%-44s %-10s %llu\n", name.c_str(), "counter",
                         static_cast<unsigned long long>(counter->value())));
+  }
+  for (const auto& [name, value] : FailpointCounterValues()) {
+    lines.emplace_back(
+        name, StrFormat("%-44s %-10s %llu\n", name.c_str(), "counter",
+                        static_cast<unsigned long long>(value)));
   }
   for (const auto& [name, gauge] : gauges_) {
     lines.emplace_back(name, StrFormat("%-44s %-10s %.6g\n", name.c_str(),
@@ -190,6 +217,11 @@ std::string MetricsRegistry::ToPrometheusText() const {
     std::string pname = PrometheusName(name);
     blocks.emplace_back(name, "# TYPE " + pname + " counter\n" + pname + " " +
                                   std::to_string(counter->value()) + "\n");
+  }
+  for (const auto& [name, value] : FailpointCounterValues()) {
+    std::string pname = PrometheusName(name);
+    blocks.emplace_back(name, "# TYPE " + pname + " counter\n" + pname + " " +
+                                  std::to_string(value) + "\n");
   }
   for (const auto& [name, gauge] : gauges_) {
     std::string pname = PrometheusName(name);

@@ -118,6 +118,12 @@ ProgressCallback RunReport::MakeProgressCallback() {
   return [this](const ProgressUpdate& update) { RecordProgress(update); };
 }
 
+void RunReport::SetError(const Status& status, int exit_code) {
+  has_error_ = true;
+  error_ = status;
+  error_exit_code_ = exit_code;
+}
+
 void RunReport::Finish() {
   if (finished_) return;
   finished_ = true;
@@ -210,6 +216,12 @@ std::string RunReport::ToJson() {
                        : static_cast<double>(hits) /
                              static_cast<double>(lookups))
      << "}";
+  if (has_error_) {
+    os << ",\"error\":{\"code\":\""
+       << JsonEscape(StatusCodeToString(error_.code())) << "\",\"message\":\""
+       << JsonEscape(error_.message())
+       << "\",\"exit_code\":" << error_exit_code_ << "}";
+  }
   os << ",\"trace\":" << trace_json_ << "}";
   return os.str();
 }

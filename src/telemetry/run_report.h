@@ -66,6 +66,13 @@ class RunReport {
   /// callback holds a raw pointer to this report, which must outlive it.
   ProgressCallback MakeProgressCallback();
 
+  /// Records the failure that ended the run: serialized as an "error" object
+  /// ({"code","message","exit_code"}) so report consumers can distinguish a
+  /// clean run (no "error" key) from a structured failure without parsing
+  /// stderr. Later calls overwrite; `exit_code` is the process exit code the
+  /// CLI will return.
+  void SetError(const Status& status, int exit_code);
+
   /// Stops the timers and snapshots metrics + the global trace buffer.
   /// Idempotent: the first call wins, so the report describes the run, not
   /// the time spent serializing it.
@@ -94,6 +101,9 @@ class RunReport {
   std::vector<ConvergencePoint> curve_;
   MetricsSnapshot metrics_;
   std::string trace_json_;  ///< pre-rendered "trace" object
+  bool has_error_ = false;
+  Status error_;
+  int error_exit_code_ = 0;
 };
 
 }  // namespace telemetry

@@ -167,6 +167,89 @@ grep -q -- "--bogus-flag" err.txt || fail "unknown-flag error does not name the 
 [ $? -eq 2 ] || fail "value-less --trace should exit 2"
 grep -q -- "--trace" err.txt || fail "missing-value error does not name the flag"
 
+# --- fault injection: exit codes, report error block, health endpoint --------
+
+# Runtime failures exit 3, distinct from usage errors (2) and screen
+# findings (1).
+"$CLI" screen missing.csv > /dev/null 2>&1
+[ $? -eq 3 ] || fail "missing input file should exit 3"
+
+# An injected utility fault with retries exhausted aborts the run with exit 3
+# and a structured error block in the run report.
+NDE_FAILPOINTS='utility.evaluate=error(unavailable:backend down)' \
+    "$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    --retries 0 --report chaos_report.json \
+    > chaos_out.txt 2> chaos_err.txt
+[ $? -eq 3 ] || fail "injected utility fault should exit 3"
+grep -q "backend down" chaos_err.txt \
+    || fail "injected fault not reported on stderr"
+[ -s chaos_report.json ] || fail "run report missing after injected fault"
+grep -q '"error":{"code":"unavailable","message":"backend down","exit_code":3}' \
+    chaos_report.json || fail "report lacks the structured error block"
+
+# A malformed NDE_FAILPOINTS spec warns and is ignored — an operator typo
+# must not break the run it was trying to observe.
+NDE_FAILPOINTS='utility.evaluate=bogus_action' \
+    "$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    > /dev/null 2> badspec_err.txt \
+    || fail "malformed NDE_FAILPOINTS spec aborted the run"
+grep -q "warning: NDE_FAILPOINTS" badspec_err.txt \
+    || fail "malformed NDE_FAILPOINTS spec not warned about"
+
+# While utility retries back off, /healthz flips to 503 but /metrics stays
+# scrapeable (including the failpoint counters); the run then exits 3.
+http_fetch() {  # prints the response body, then the HTTP status on a new line
+  if command -v curl >/dev/null 2>&1; then
+    curl -s --max-time 5 -w '\n%{http_code}' "$1"
+  else
+    python3 - "$1" <<'EOF'
+import sys, urllib.error, urllib.request
+try:
+    r = urllib.request.urlopen(sys.argv[1], timeout=5)
+    body, code = r.read().decode(), r.getcode()
+except urllib.error.HTTPError as e:
+    body, code = e.read().decode(), e.code
+except Exception:
+    body, code = "", 0
+print(body)
+print(code)
+EOF
+  fi
+}
+
+: > serve3_err.txt
+NDE_FAILPOINTS='utility.evaluate=error(unavailable:flaky backend)' \
+    "$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    --retries 4 --retry-backoff-ms 300 --serve 0 \
+    > serve3_out.txt 2> serve3_err.txt &
+cli_pid=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's#^serving on http://127.0.0.1:\([0-9]*\)$#\1#p' serve3_err.txt)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { kill "$cli_pid" 2>/dev/null; fail "--serve port not announced under fault"; }
+saw_degraded=""
+for _ in $(seq 1 100); do
+  http_fetch "http://127.0.0.1:$PORT/healthz" > healthz.txt 2>/dev/null
+  if [ "$(tail -1 healthz.txt)" = "503" ]; then
+    saw_degraded=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$saw_degraded" ] || { kill "$cli_pid" 2>/dev/null; fail "/healthz never flipped to 503 under fault"; }
+grep -q "degraded: " healthz.txt \
+    || { kill "$cli_pid" 2>/dev/null; fail "503 healthz body lacks the degraded reason"; }
+http_fetch "http://127.0.0.1:$PORT/metrics" > metrics_degraded.txt 2>/dev/null
+[ "$(tail -1 metrics_degraded.txt)" = "200" ] \
+    || { kill "$cli_pid" 2>/dev/null; fail "/metrics not scrapeable while degraded"; }
+grep -q "failpoint_utility_evaluate" metrics_degraded.txt \
+    || { kill "$cli_pid" 2>/dev/null; fail "/metrics lacks failpoint counters while degraded"; }
+wait "$cli_pid"
+[ $? -eq 3 ] || fail "faulty --serve run should exit 3 after retries"
+
 # --- usage ----------------------------------------------------------------------
 "$CLI" > /dev/null 2>&1
 [ $? -eq 2 ] || fail "bare invocation should exit 2 with usage"

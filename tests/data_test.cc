@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "data/csv.h"
 #include "data/table.h"
 #include "data/value.h"
@@ -290,6 +292,61 @@ TEST(CsvTest, AllNullColumnDefaultsToString) {
   Result<Table> t = ReadCsvString("a,b\n1,\n2,\n");
   ASSERT_TRUE(t.ok());
   EXPECT_EQ(t->schema().field(1).type, DataType::kString);
+}
+
+// --- CSV negative paths -------------------------------------------------------
+
+TEST(CsvTest, UnterminatedQuoteIsTypedError) {
+  Result<Table> t = ReadCsvString("a,b\n\"unclosed,2\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("unterminated quoted field"),
+            std::string::npos);
+}
+
+TEST(CsvTest, OverlongFieldRejectedByByteLimit) {
+  CsvReadOptions options;
+  options.max_field_bytes = 8;
+  std::string text = "a,b\nshort,";
+  text += std::string(64, 'x');
+  text += "\n";
+  Result<Table> t = ReadCsvString(text, options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("over the 8-byte limit"),
+            std::string::npos);
+  // Unlimited (the default) accepts the same input.
+  EXPECT_TRUE(ReadCsvString(text).ok());
+}
+
+TEST(CsvTest, OpenFailpointSurfacesTypedError) {
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm("csv.open=error(io_error:disk gone)").ok());
+  Result<Table> t = ReadCsvFile("/definitely/not/used.csv");
+  failpoint::DisarmAll();
+  failpoint::ResetStats();
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(t.status().message(), "disk gone");
+}
+
+TEST(CsvTest, RecordFailpointFiresOnExactRecord) {
+  failpoint::DisarmAll();
+  // csv.record is keyed by the data-record index, so #N counts hits: the
+  // third record read aborts the parse.
+  ASSERT_TRUE(failpoint::Arm("csv.record=error(io_error:bad sector)#3").ok());
+  Result<Table> t = ReadCsvString("a\n1\n2\n3\n4\n");
+  failpoint::DisarmAll();
+  failpoint::ResetStats();
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(t.status().message(), "bad sector");
+
+  // A two-record input never reaches the third hit: the parse succeeds.
+  ASSERT_TRUE(failpoint::Arm("csv.record=error(io_error:bad sector)#3").ok());
+  EXPECT_TRUE(ReadCsvString("a\n1\n2\n").ok());
+  failpoint::DisarmAll();
+  failpoint::ResetStats();
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -8,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "importance/subset_cache.h"
 
 namespace nde {
@@ -181,6 +184,98 @@ TEST(ParallelForTest, SubsetCacheConcurrentGetOrCompute) {
   EXPECT_EQ(stats.hits + stats.misses, 4000u);
   EXPECT_GT(stats.hits, 0u);
   EXPECT_LE(stats.entries, options.max_entries);
+}
+
+// --- Fault propagation ------------------------------------------------------
+
+/// Scoped disarm: fault-injection tests must not leak armed points into the
+/// rest of the suite.
+struct FailpointGuard {
+  FailpointGuard() {
+    failpoint::DisarmAll();
+    failpoint::ResetStats();
+  }
+  ~FailpointGuard() {
+    failpoint::DisarmAll();
+    failpoint::ResetStats();
+  }
+};
+
+TEST(ThreadPoolTest, InjectedFaultPropagatesThroughWaitIdle) {
+  FailpointGuard guard;
+  // Kill exactly one task: the third one a worker picks up.
+  ASSERT_TRUE(
+      failpoint::Arm("threadpool.task=error(unavailable:worker fault)#3x1")
+          .ok());
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  bool threw = false;
+  try {
+    pool.WaitIdle();
+  } catch (const failpoint::InjectedFault& fault) {
+    threw = true;
+    EXPECT_EQ(fault.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(fault.status().message(), "worker fault");
+  }
+  EXPECT_TRUE(threw);
+  // The killed task never ran its body; the other seven drained normally.
+  EXPECT_EQ(counter.load(), 7);
+  // The error latch is one-shot: the pool is healthy again and keeps
+  // accepting work.
+  pool.WaitIdle();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, DrainsCleanlyOnDestructionAfterFault) {
+  FailpointGuard guard;
+  ASSERT_TRUE(failpoint::Arm("threadpool.task=error(internal:boom)#1x1").ok());
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitIdle: the destructor must drain every remaining task and must
+    // not terminate on the latched exception.
+  }
+  EXPECT_EQ(counter.load(), 31);
+}
+
+TEST(TryParallelForTest, MapsInjectedFaultToTypedStatus) {
+  FailpointGuard guard;
+  ASSERT_TRUE(
+      failpoint::Arm("threadpool.task=error(unavailable:worker fault)").ok());
+  std::vector<int> out(64, 0);
+  Result<size_t> used = TryParallelFor(
+      0, out.size(), [&](size_t i) { out[i] = 1; }, 4, "fault_test");
+  ASSERT_FALSE(used.ok());
+  EXPECT_EQ(used.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(used.status().message(), "worker fault");
+  // Disarmed, the same call succeeds and completes every index.
+  failpoint::DisarmAll();
+  Result<size_t> clean = TryParallelFor(
+      0, out.size(), [&](size_t i) { out[i] = 1; }, 4, "fault_test");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(std::count(out.begin(), out.end(), 1),
+            static_cast<ptrdiff_t>(out.size()));
+}
+
+TEST(TryParallelForTest, MapsBodyExceptionToInternalStatus) {
+  Result<size_t> used = TryParallelFor(
+      0, 16,
+      [](size_t i) {
+        if (i == 7) throw std::runtime_error("index 7 exploded");
+      },
+      4, "throw_test");
+  ASSERT_FALSE(used.ok());
+  EXPECT_EQ(used.status().code(), StatusCode::kInternal);
+  EXPECT_NE(used.status().message().find("index 7 exploded"),
+            std::string::npos);
 }
 
 }  // namespace

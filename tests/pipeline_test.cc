@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "datagen/synthetic.h"
 #include "pipeline/encoders.h"
 #include "pipeline/inspection.h"
@@ -634,6 +636,63 @@ TEST(InspectionTest, ScreenPipelineAggregatesChecks) {
     EXPECT_FALSE(issue.ToString().empty());
   }
   EXPECT_TRUE(label_issue);
+}
+
+// --- Negative paths and fault injection -------------------------------------
+
+TEST(NumericEncoderTest, AllNullColumnFailsFit) {
+  NumericEncoder encoder;
+  Status status = encoder.Fit({Value::Null(), Value::Null()});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("all-null"), std::string::npos);
+}
+
+TEST(PlanTest, ExecuteFailpointSurfacesFromAnyOperator) {
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm("pipeline.execute=error(internal:op died)").ok());
+  // The failpoint lives in the PlanNode::Execute gateway, so every operator —
+  // source, filter, join — degrades the same way.
+  Result<AnnotatedTable> out =
+      MakeFilterEquals(MakeSource(0, "people", People()), "dept",
+                       Value(int64_t{10}))
+          ->Execute();
+  failpoint::DisarmAll();
+  failpoint::ResetStats();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(out.status().message(), "op died");
+}
+
+TEST(ColumnTransformerTest, FitFailpointSurfacesTypedError) {
+  failpoint::DisarmAll();
+  ColumnTransformer transformer;
+  transformer.Add("id", std::make_unique<NumericEncoder>());
+  ASSERT_TRUE(failpoint::Arm("encoder.fit=error(unavailable:fit lost)").ok());
+  Status status = transformer.Fit(People());
+  failpoint::DisarmAll();
+  failpoint::ResetStats();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.message(), "fit lost");
+  EXPECT_FALSE(transformer.fitted());
+}
+
+TEST(ColumnTransformerTest, TransformFailpointSurfacesTypedError) {
+  failpoint::DisarmAll();
+  ColumnTransformer transformer;
+  transformer.Add("id", std::make_unique<NumericEncoder>());
+  ASSERT_TRUE(transformer.Fit(People()).ok());
+  ASSERT_TRUE(
+      failpoint::Arm("encoder.transform=error(internal:encode died)").ok());
+  Result<Matrix> encoded = transformer.Transform(People());
+  failpoint::DisarmAll();
+  failpoint::ResetStats();
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(encoded.status().message(), "encode died");
+  // The transformer itself is unharmed: disarmed, the same call encodes.
+  EXPECT_TRUE(transformer.Transform(People()).ok());
 }
 
 }  // namespace

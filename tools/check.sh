@@ -18,6 +18,15 @@
 #                                      # /metrics format check) while an
 #                                      # estimator is running
 #                                      # (default build dir: build-serve)
+#   tools/check.sh --chaos [build-dir-prefix]
+#                                      # Runs the fault-injection suites
+#                                      # (ctest -L chaos) under ASan+UBSan AND
+#                                      # under TSan, then drives the CLI with
+#                                      # NDE_FAILPOINTS and checks the exit
+#                                      # code and the exported failpoint
+#                                      # counters
+#                                      # (default build dirs: build-chaos-asan
+#                                      # and build-chaos-tsan)
 #
 # TSan is incompatible with ASan, hence the separate mode and build dir.
 # A non-zero exit means a build failure, test failure, or sanitizer report.
@@ -35,6 +44,9 @@ elif [ "${1:-}" = "--bench-smoke" ]; then
 elif [ "${1:-}" = "--serve-smoke" ]; then
   MODE=serve
   shift
+elif [ "${1:-}" = "--chaos" ]; then
+  MODE=chaos
+  shift
 fi
 
 if [ "$MODE" = "tsan" ]; then
@@ -44,6 +56,8 @@ elif [ "$MODE" = "bench" ]; then
   BUILD_DIR="${1:-build-bench}"
 elif [ "$MODE" = "serve" ]; then
   BUILD_DIR="${1:-build-serve}"
+elif [ "$MODE" = "chaos" ]; then
+  BUILD_PREFIX="${1:-build-chaos}"
 else
   BUILD_DIR="${1:-build-asan}"
   SANITIZE="address,undefined"
@@ -157,6 +171,66 @@ EOF
   wait "$CLI_PID" 2>/dev/null || true
   CLI_PID=""
   echo "check.sh: serve smoke passed (/healthz ok, /metrics well-formed)"
+  exit 0
+fi
+
+if [ "$MODE" = "chaos" ]; then
+  # The chaos gate: the fault-injection suites (ctest label `chaos`) must be
+  # clean under BOTH ASan+UBSan (no leaks or UB on any injected error path)
+  # and TSan (no races when faults land on worker threads), and the CLI must
+  # turn an injected fault into exit code 3 with failpoint counters visible
+  # in its telemetry export.
+  for SAN in address,undefined thread; do
+    case "$SAN" in
+      thread) DIR="$BUILD_PREFIX-tsan" ;;
+      *)      DIR="$BUILD_PREFIX-asan" ;;
+    esac
+    cmake -B "$DIR" -S . \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=$SAN -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=$SAN"
+    cmake --build "$DIR" -j "$(nproc)"
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)" -L chaos
+    echo "check.sh: chaos suites passed under $SAN"
+  done
+
+  # End-to-end: injected utility faults exhaust their retries, the CLI exits
+  # 3, and the metrics table reports the failpoint's hit/fire counters.
+  WORKDIR="$(mktemp -d)"
+  trap 'rm -rf "$WORKDIR"' EXIT
+  {
+    echo "age,score,label"
+    for i in $(seq 0 59); do
+      echo "$((20 + i % 30)),$((i % 7)).$((i % 10)),$((i % 2))"
+    done
+  } > "$WORKDIR/train.csv"
+  set +e
+  NDE_FAILPOINTS='utility.evaluate=error(unavailable:chaos gate)' \
+    "$BUILD_PREFIX-asan/tools/nde_cli" importance "$WORKDIR/train.csv" \
+    --label label --top 5 --permutations 4 --retries 1 --retry-backoff-ms 0 \
+    --metrics > "$WORKDIR/out.txt" 2> "$WORKDIR/err.txt"
+  CODE=$?
+  set -e
+  [ "$CODE" -eq 3 ] || {
+    echo "check.sh: expected exit 3 from injected fault, got $CODE" >&2
+    cat "$WORKDIR/err.txt" >&2
+    exit 1
+  }
+  grep -q "chaos gate" "$WORKDIR/err.txt" || {
+    echo "check.sh: injected fault message missing from stderr" >&2
+    exit 1
+  }
+  grep -q "failpoint.utility.evaluate.hits" "$WORKDIR/out.txt" || {
+    echo "check.sh: --metrics lacks failpoint hit counters" >&2
+    exit 1
+  }
+  grep -q "failpoint.utility.evaluate.fires" "$WORKDIR/out.txt" || {
+    echo "check.sh: --metrics lacks failpoint fire counters" >&2
+    exit 1
+  }
+  echo "check.sh: chaos gate passed (ASan+UBSan, TSan, CLI exit-3 + counters)"
   exit 0
 fi
 

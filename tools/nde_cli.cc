@@ -44,6 +44,16 @@
 //   --warm-start         allow approximate warm-started prefix training for
 //                        models without an exact incremental scorer (changes
 //                        values slightly, like truncation; deterministic)
+//   --retries <N>        retry budget per utility evaluation for transient
+//                        (unavailable/resource_exhausted) failures (default 2)
+//   --retry-backoff-ms <ms>  base retry backoff, doubled per attempt and
+//                        capped at 10x (default 25)
+//
+// Exit codes: 0 success; 1 screen found error-severity issues; 2 bad usage or
+// configuration; 3 runtime failure (I/O, pipeline, or estimator error —
+// including a fault injected via NDE_FAILPOINTS). Runtime failures also land
+// as a structured "error" object in the --report artifact and flip /healthz
+// to 503 while --serve is up.
 
 #include <chrono>
 #include <cstdio>
@@ -109,6 +119,25 @@ int Fail(const std::string& message) {
 
 /// Active --report sink, if any; estimator progress is mirrored into it.
 telemetry::RunReport* g_report = nullptr;
+
+/// Runtime failure (I/O, pipeline, estimator): exit code 3, distinct from
+/// bad usage (2). The failure also flips /healthz to degraded and lands as a
+/// structured "error" object in the --report artifact.
+int FailRuntime(const Status& status) {
+  telemetry::SetDegraded(status.ToString());
+  if (g_report != nullptr) g_report->SetError(status, 3);
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 3;
+}
+
+/// Routes a Status to the right exit code: invalid_argument is the caller's
+/// mistake (usage, 2); every other code is a runtime failure (3).
+int FailStatus(const Status& status) {
+  if (status.code() == StatusCode::kInvalidArgument) {
+    return Fail(status.ToString());
+  }
+  return FailRuntime(status);
+}
 
 /// The CLI's estimator progress hook: records every update into the active
 /// run report and, at --log-level info or below, prints a progress/ETA line
@@ -197,7 +226,7 @@ int RunScreen(const Args& args) {
     return Fail("usage: nde_cli screen <table.csv> --label <col>");
   }
   Result<Table> table = ReadCsvFile(args.positional[0]);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return FailStatus(table.status());
   double max_null = std::stod(FlagOr(args, "max-null", "0.2"));
 
   std::vector<PipelineIssue> issues = CheckNullFractions(*table, max_null);
@@ -206,7 +235,7 @@ int RunScreen(const Args& args) {
     ColumnTransformer transformer;
     Result<MlDataset> data =
         LoadDataset(args.positional[0], label, &transformer, true);
-    if (!data.ok()) return Fail(data.status().ToString());
+    if (!data.ok()) return FailStatus(data.status());
     auto balance = CheckClassBalance(data->labels, 0.1);
     issues.insert(issues.end(), balance.begin(), balance.end());
     auto labels = CheckLabelErrors(*data, 5, 0.2);
@@ -242,6 +271,10 @@ int RunImportancePipeline(const Args& args) {
   uint64_t seed = std::stoull(FlagOr(args, "seed", "42"));
   bool use_cache = args.flags.count("utility-cache") > 0;
   bool warm_start = args.flags.count("warm-start") > 0;
+  size_t retries =
+      static_cast<size_t>(std::stoul(FlagOr(args, "retries", "2")));
+  uint32_t retry_backoff_ms = static_cast<uint32_t>(
+      std::stoul(FlagOr(args, "retry-backoff-ms", "25")));
   if (g_report != nullptr) {
     g_report->SetConfig("method", method);
     g_report->SetConfig("seed", static_cast<int64_t>(seed));
@@ -250,15 +283,18 @@ int RunImportancePipeline(const Args& args) {
     g_report->SetConfig("permutations", static_cast<int64_t>(permutations));
     g_report->SetConfig("utility_cache", use_cache);
     g_report->SetConfig("warm_start", warm_start);
+    g_report->SetConfig("retries", static_cast<int64_t>(retries));
+    g_report->SetConfig("retry_backoff_ms",
+                        static_cast<int64_t>(retry_backoff_ms));
   }
 
   Result<Table> table = ReadCsvFile(args.positional[0]);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return FailStatus(table.status());
   Result<size_t> label_col = table->schema().FieldIndex(label);
   if (!label_col.ok()) return Fail(label_col.status().ToString());
 
   Result<ColumnTransformer> transformer = MakeAutoTransformer(*table, {label});
-  if (!transformer.ok()) return Fail(transformer.status().ToString());
+  if (!transformer.ok()) return FailStatus(transformer.status());
 
   std::vector<std::string> columns;
   for (size_t c = 0; c < table->schema().num_fields(); ++c) {
@@ -279,7 +315,7 @@ int RunImportancePipeline(const Args& args) {
   PlanNodePtr plan = pipeline.BuildPlan();
   PlanProfiler profiler;
   Result<PipelineOutput> output = pipeline.Execute(plan);
-  if (!output.ok()) return Fail(output.status().ToString());
+  if (!output.ok()) return FailStatus(output.status());
 
   std::printf("pipeline plan (per-operator timings):\n%s\n",
               profiler.AnnotatedPlan(*plan).c_str());
@@ -297,6 +333,7 @@ int RunImportancePipeline(const Args& args) {
   MlDataset valid = all.Subset(valid_rows);
 
   std::vector<double> values;
+  int exit_code = 0;
   if (method == "knn_shapley") {
     EstimatorOptions options;
     options.seed = seed;
@@ -313,6 +350,8 @@ int RunImportancePipeline(const Args& args) {
         options.num_permutations = permutations;
         options.warm_start = warm_start;
         options.seed = seed;
+        options.max_retries = retries;
+        options.retry_backoff_ms = retry_backoff_ms;
         options.progress = MakeCliProgress();
         return TmcShapleyValues(utility, options);
       }
@@ -320,6 +359,8 @@ int RunImportancePipeline(const Args& args) {
         BanzhafOptions options;
         options.num_samples = permutations * 8;
         options.seed = seed;
+        options.max_retries = retries;
+        options.retry_backoff_ms = retry_backoff_ms;
         options.progress = MakeCliProgress();
         return BanzhafValues(utility, options);
       }
@@ -327,6 +368,8 @@ int RunImportancePipeline(const Args& args) {
         BetaShapleyOptions options;
         options.samples_per_unit = std::max<size_t>(permutations, 2);
         options.seed = seed;
+        options.max_retries = retries;
+        options.retry_backoff_ms = retry_backoff_ms;
         options.progress = MakeCliProgress();
         return BetaShapleyValues(utility, options);
       }
@@ -336,7 +379,20 @@ int RunImportancePipeline(const Args& args) {
           "tmc_shapley|banzhaf|beta_shapley|knn_shapley)");
     };
     Result<ImportanceEstimate> estimate = estimate_for();
-    if (!estimate.ok()) return Fail(estimate.status().ToString());
+    if (!estimate.ok()) return FailStatus(estimate.status());
+    if (estimate->aborted_early) {
+      // A partial estimate is still worth printing (completed waves are
+      // exactly a smaller clean run), but the process must not pretend the
+      // budget ran to completion: report the cause, mark the run degraded,
+      // and exit with the runtime-failure code.
+      telemetry::SetDegraded(estimate->abort_cause.ToString());
+      if (g_report != nullptr) g_report->SetError(estimate->abort_cause, 3);
+      std::fprintf(stderr,
+                   "warning: estimator aborted early (%s); ranking below "
+                   "covers the completed portion only\n",
+                   estimate->abort_cause.ToString().c_str());
+      exit_code = 3;
+    }
     std::printf("%zu utility evaluations over %zu training rows (%zu threads)\n",
                 estimate->utility_evaluations, train.size(),
                 estimate->num_threads_used);
@@ -355,13 +411,14 @@ int RunImportancePipeline(const Args& args) {
     std::printf("%u\n", refs.empty() ? static_cast<uint32_t>(output_row)
                                      : refs[0].row_id);
   }
-  return 0;
+  return exit_code;
 }
 
 int RunImportance(const Args& args) {
   Status flags_ok =
-      CheckFlags(args, "importance", {"label", "method", "top", "permutations",
-                                      "utility-cache", "warm-start", "seed"});
+      CheckFlags(args, "importance",
+                 {"label", "method", "top", "permutations", "utility-cache",
+                  "warm-start", "seed", "retries", "retry-backoff-ms"});
   if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() == 1) return RunImportancePipeline(args);
   if (args.positional.size() != 2) {
@@ -376,10 +433,16 @@ int RunImportance(const Args& args) {
   ColumnTransformer transformer;
   Result<MlDataset> train =
       LoadDataset(args.positional[0], label, &transformer, true);
-  if (!train.ok()) return Fail("train: " + train.status().ToString());
+  if (!train.ok()) {
+    return FailStatus(Status(train.status().code(),
+                             "train: " + train.status().message()));
+  }
   Result<MlDataset> valid =
       LoadDataset(args.positional[1], label, &transformer, false);
-  if (!valid.ok()) return Fail("valid: " + valid.status().ToString());
+  if (!valid.ok()) {
+    return FailStatus(Status(valid.status().code(),
+                             "valid: " + valid.status().message()));
+  }
 
   CleaningStrategy strategy;
   if (method == "knn_shapley") {
@@ -396,7 +459,7 @@ int RunImportance(const Args& args) {
     return Fail("unknown method '" + method + "'");
   }
   Result<std::vector<size_t>> ranking = strategy.rank(*train, *valid, 42);
-  if (!ranking.ok()) return Fail(ranking.status().ToString());
+  if (!ranking.ok()) return FailStatus(ranking.status());
 
   std::printf("top %zu cleaning candidates by %s (most suspect first):\n", top,
               strategy.name.c_str());
@@ -418,7 +481,7 @@ int RunImpute(const Args& args) {
   std::string out_path = FlagOr(args, "out", args.positional[0] + ".imputed");
 
   Result<Table> table = ReadCsvFile(args.positional[0]);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return FailStatus(table.status());
 
   std::unique_ptr<Imputer> imputer;
   if (strategy == "mean") {
@@ -434,7 +497,7 @@ int RunImpute(const Args& args) {
       ImputeColumn(&table.value(), column, imputer.get());
   if (!repaired.ok()) return Fail(repaired.status().ToString());
   Status written = WriteCsvFile(*table, out_path);
-  if (!written.ok()) return Fail(written.ToString());
+  if (!written.ok()) return FailStatus(written);
   std::printf("repaired %zu cells in '%s' (%s); wrote %s\n", repaired->size(),
               column.c_str(), imputer->name().c_str(), out_path.c_str());
   return 0;
@@ -452,6 +515,7 @@ int Usage() {
                "knn_shapley]\n"
                "             [--top 25] [--permutations 8] [--utility-cache] "
                "[--warm-start]\n"
+               "             [--retries 2] [--retry-backoff-ms 25]\n"
                "  impute <table.csv> --column <col>\n"
                "         [--strategy mean|median|most_frequent] "
                "[--out <out.csv>]\n"
