@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "telemetry/telemetry.h"
 
 namespace nde {
 namespace bench {
@@ -56,13 +59,41 @@ inline std::string ResultsPath() {
   return "BENCH_results.json";
 }
 
+/// The machine stamp appended to every ReportJson record, so a results file
+/// accumulated over weeks stays attributable: which commit, which day, which
+/// machine shape, and whether telemetry was live during the run. The harness
+/// passes provenance through the environment (`NDE_GIT_REV`,
+/// `NDE_BENCH_DATE`) because the benchmark binary should not shell out to
+/// git or read the wall clock's calendar on its own.
+inline std::string MachineStamp() {
+  const char* rev = std::getenv("NDE_GIT_REV");
+  const char* date = std::getenv("NDE_BENCH_DATE");
+  const char* telemetry_state = "off";
+#if NDE_TELEMETRY_ENABLED
+  if (nde::telemetry::Enabled()) telemetry_state = "on";
+#else
+  telemetry_state = "compiled_out";
+#endif
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                ", \"git_rev\": \"%s\", \"date\": \"%s\", \"cpus\": %u, "
+                "\"telemetry\": \"%s\"",
+                rev != nullptr && *rev != '\0' ? rev : "unknown",
+                date != nullptr && *date != '\0' ? date : "unknown",
+                std::thread::hardware_concurrency(), telemetry_state);
+  return buffer;
+}
+
 /// Appends one machine-readable record to ResultsPath() as a JSON line:
 ///
-///   {"name": "...", "ms": 1.25, "key": value, ...}
+///   {"name": "...", "ms": 1.25, "key": value, ...,
+///    "git_rev": "...", "date": "...", "cpus": N, "telemetry": "on|off"}
 ///
 /// `extra` values are emitted verbatim, so pass numbers as their decimal
 /// text ("500") and strings pre-quoted ("\"tmc\""). One record per line
-/// (JSON-lines) so runs can be appended and parsed with any JSON reader.
+/// (JSON-lines) so runs can be appended and parsed with any JSON reader; the
+/// trailing MachineStamp() fields make each line self-describing for
+/// trajectory tools like tools/bench_diff.
 inline void ReportJson(
     const std::string& name, double ms,
     const std::vector<std::pair<std::string, std::string>>& extra = {}) {
@@ -74,7 +105,7 @@ inline void ReportJson(
   for (const auto& [key, value] : extra) {
     std::fprintf(file, ", \"%s\": %s", key.c_str(), value.c_str());
   }
-  std::fprintf(file, "}\n");
+  std::fprintf(file, "%s}\n", MachineStamp().c_str());
   std::fclose(file);
 }
 

@@ -23,6 +23,8 @@
 #include "importance/knn_shapley.h"
 #include "importance/utility.h"
 #include "ml/knn.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 namespace {
@@ -245,6 +247,37 @@ BENCHMARK(BM_BanzhafSubsetCache)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+void BM_TmcWaveLatency(benchmark::State& state) {
+  // Wave-latency tail with telemetry live: runs the same medium TMC config as
+  // the fast-path sweep but with the estimator.wave_ms histogram recording,
+  // and reports its p99 as a counter. This is the number tools/bench_diff
+  // watches for scheduler/instrumentation regressions — it moves if waves get
+  // slower *or* if the observability layer starts costing real time.
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  options.num_threads = 1;
+  options.use_prefix_scan = true;
+  UtilityFastPathOptions fast_path;
+  fast_path.zero_copy_views = true;
+  bool was_enabled = telemetry::Enabled();
+  telemetry::SetEnabled(true);
+  telemetry::Histogram& wave_ms =
+      telemetry::MetricsRegistry::Global().GetHistogram("estimator.wave_ms");
+  wave_ms.Reset();
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation, fast_path);
+    ImportanceEstimate estimate = TmcShapleyValues(utility, options).value();
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["wave_p99_ms"] = benchmark::Counter(wave_ms.Quantile(0.99));
+  telemetry::SetEnabled(was_enabled);
+}
+BENCHMARK(BM_TmcWaveLatency)->Unit(benchmark::kMillisecond);
 
 // Console output as usual, plus one JSON-lines record per benchmark run in
 // BENCH_results.json (see bench_util.h) so sweeps can be plotted or diffed

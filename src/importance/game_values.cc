@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "telemetry/health.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -124,11 +125,18 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
   NDE_LOG(DEBUG) << "leave_one_out: " << n << " units";
   for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
     size_t wave_end = std::min(wave_begin + kWaveUnits, n);
+    // Wave-phase observability: latency into the shared estimator histogram,
+    // allocations attributed to this phase (coordinator side; workers tag
+    // their own scopes inside the task). Purely observational.
+    telemetry::AllocationScope wave_alloc("loo_wave");
+    [[maybe_unused]] int64_t wave_start_us =
+        telemetry::Enabled() ? telemetry::NowMicros() : 0;
     NDE_ASSIGN_OR_RETURN(
         size_t used,
         TryParallelFor(
             wave_begin, wave_end,
             [&](size_t i) {
+              telemetry::AllocationScope unit_alloc("loo_unit");
               std::vector<size_t> subset;
               subset.reserve(n - 1);
               for (size_t j = 0; j < n; ++j) {
@@ -144,6 +152,9 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
             },
             options.num_threads, "leave_one_out"));
     (void)used;
+    NDE_METRIC_RECORD(
+        "estimator.wave_ms",
+        static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
     for (size_t i = wave_begin; i < wave_end; ++i) {
       if (!errors[i].ok()) {
         NDE_LOG(WARNING) << "leave_one_out aborted at unit " << i << ": "
@@ -207,6 +218,9 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
     size_t wave_begin = executed;
     size_t wave_end =
         std::min(wave_begin + kWavePermutations, options.num_permutations);
+    telemetry::AllocationScope wave_alloc("tmc_wave");
+    [[maybe_unused]] int64_t wave_start_us =
+        telemetry::Enabled() ? telemetry::NowMicros() : 0;
     for (auto& partial : wave) {
       partial.marginals.assign(n, 0.0);
       partial.evaluations = 0;
@@ -218,6 +232,7 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
           // One complete-event per permutation: the trace shows where sampling
           // time goes and how hard truncation is biting, task by task.
           NDE_TRACE_SPAN_VAR(perm_span, "tmc_permutation", "importance");
+          telemetry::AllocationScope perm_alloc("tmc_permutation");
           PermutationPartial& out = wave[t - wave_begin];
           Rng rng = seeds.RngFor(t);
           std::vector<size_t> perm = rng.Permutation(n);
@@ -342,6 +357,9 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
       break;
     }
     threads_used = std::max(threads_used, *used);
+    NDE_METRIC_RECORD(
+        "estimator.wave_ms",
+        static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
 
     // A failed wave is discarded whole (in index order, so the abort cause is
     // schedule-invariant): the estimate then covers exactly the permutations
@@ -504,6 +522,9 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
   while (chunk_cursor < num_chunks) {
     size_t wave_begin = chunk_cursor;
     size_t wave_end = std::min(wave_begin + kWaveChunks, num_chunks);
+    telemetry::AllocationScope wave_alloc("banzhaf_wave");
+    [[maybe_unused]] int64_t wave_start_us =
+        telemetry::Enabled() ? telemetry::NowMicros() : 0;
     for (auto& partial : wave) {
       partial.in_sum.assign(n, 0.0);
       partial.in_sq.assign(n, 0.0);
@@ -516,6 +537,7 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
     Result<size_t> used = TryParallelFor(
         wave_begin, wave_end,
         [&](size_t c) {
+          telemetry::AllocationScope chunk_alloc("banzhaf_chunk");
           ChunkPartial& out = wave[c - wave_begin];
           size_t sample_begin = c * kChunkSamples;
           size_t sample_end =
@@ -561,6 +583,9 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
       break;
     }
     threads_used = std::max(threads_used, *used);
+    NDE_METRIC_RECORD(
+        "estimator.wave_ms",
+        static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
 
     // Discard a failed wave whole (first error in chunk-index order wins) so
     // the partial estimate matches a clean smaller-budget run exactly.
@@ -752,10 +777,14 @@ Result<ImportanceEstimate> BetaShapleyValues(
   size_t completed_units = 0;
   for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
     size_t wave_end = std::min(wave_begin + kWaveUnits, n);
+    telemetry::AllocationScope wave_alloc("beta_shapley_wave");
+    [[maybe_unused]] int64_t wave_start_us =
+        telemetry::Enabled() ? telemetry::NowMicros() : 0;
     Result<size_t> used = TryParallelFor(
         wave_begin, wave_end,
         [&](size_t i) {
           NDE_TRACE_SPAN_VAR(unit_span, "beta_shapley_unit", "importance");
+          telemetry::AllocationScope unit_alloc("beta_shapley_unit");
           NDE_SPAN_ARG(unit_span, "unit", static_cast<int64_t>(i));
           Rng rng = seeds.RngFor(i);
           std::vector<size_t> others;
@@ -811,6 +840,9 @@ Result<ImportanceEstimate> BetaShapleyValues(
       break;
     }
     threads_used = std::max(threads_used, *used);
+    NDE_METRIC_RECORD(
+        "estimator.wave_ms",
+        static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
     // Discard a failed wave whole (first error in unit-index order wins): the
     // discarded units report value 0 / std error 0, exactly like units a
     // clean smaller run never reached.

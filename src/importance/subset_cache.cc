@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -61,14 +62,30 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
   uint64_t hash = OrderIndependentSubsetHash{}(*lookup);
   Shard& shard = *shards_[hash % options_.num_shards];
 
+  // Cache-op latency is only clocked when telemetry is on: the probe path is
+  // hot (one per utility evaluation with the cache enabled), and two clock
+  // reads per probe would be measurable there.
+  [[maybe_unused]] const bool timed = telemetry::Enabled();
+  [[maybe_unused]] int64_t probe_start_us = timed ? telemetry::NowMicros() : 0;
+  bool hit = false;
+  double cached = 0.0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.values.find(*lookup);
     if (it != shard.values.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      NDE_METRIC_COUNT("utility_cache.hits", 1);
-      return it->second;
+      hit = true;
+      cached = it->second;
     }
+  }
+  if (timed) {
+    NDE_METRIC_RECORD(
+        "utility_cache.op_ms",
+        static_cast<double>(telemetry::NowMicros() - probe_start_us) / 1000.0);
+  }
+  if (hit) {
+    NDE_METRIC_COUNT("utility_cache.hits", 1);
+    return cached;
   }
 
   // Compute outside the lock: distinct subsets never serialize on each other,
@@ -86,7 +103,9 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
     return value;
   }
 
+  [[maybe_unused]] int64_t insert_start_us = timed ? telemetry::NowMicros() : 0;
   {
+    telemetry::AllocationScope insert_alloc("utility_cache.insert");
     std::lock_guard<std::mutex> lock(shard.mu);
     std::vector<size_t> owned = (lookup == &subset) ? subset : std::move(key);
     auto [it, inserted] = shard.values.emplace(std::move(owned), value);
@@ -104,6 +123,11 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
                            static_cast<double>(
                                entries_.load(std::memory_order_relaxed)));
     }
+  }
+  if (timed) {
+    NDE_METRIC_RECORD(
+        "utility_cache.op_ms",
+        static_cast<double>(telemetry::NowMicros() - insert_start_us) / 1000.0);
   }
   return value;
 }

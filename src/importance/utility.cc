@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -66,17 +67,28 @@ double ModelAccuracyUtility::Evaluate(const std::vector<size_t>& subset) const {
 
 double ModelAccuracyUtility::EvaluateUncached(
     const std::vector<size_t>& subset) const {
+  // The retrain path is the expensive one, so it carries the phase
+  // observability; the prefix-scan fast path stays clock-free.
+  telemetry::AllocationScope eval_alloc("utility.evaluate");
+  [[maybe_unused]] int64_t start_us =
+      telemetry::Enabled() ? telemetry::NowMicros() : 0;
   std::unique_ptr<Classifier> model = factory_();
   MlDatasetView view(train_, subset);
   Status fit = fast_path_.zero_copy_views
                    ? model->FitView(view, num_classes_)
                    : model->FitWithClasses(train_.Subset(subset), num_classes_);
+  double result;
   if (fit.ok()) {
     std::vector<int> predicted = model->Predict(validation_.features);
-    return Accuracy(validation_.labels, predicted);
+    result = Accuracy(validation_.labels, predicted);
+  } else {
+    // Fallback: majority-label predictor of the coalition.
+    result = MajorityAccuracy(view.CopyLabels());
   }
-  // Fallback: majority-label predictor of the coalition.
-  return MajorityAccuracy(view.CopyLabels());
+  NDE_METRIC_RECORD(
+      "utility.eval_ms",
+      static_cast<double>(telemetry::NowMicros() - start_us) / 1000.0);
+  return result;
 }
 
 double ModelAccuracyUtility::MajorityAccuracy(

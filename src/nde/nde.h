@@ -78,6 +78,7 @@
 #include "telemetry/health.h"
 #include "telemetry/http_exporter.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/run_report.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"

@@ -14,6 +14,7 @@
 #include "common/log.h"
 #include "telemetry/health.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
 namespace nde {
@@ -106,9 +107,14 @@ std::string HttpExporter::HandleRequest(const std::string& request_line) {
     return MakeResponse(405, "Method Not Allowed", "text/plain",
                         "only GET is supported\n");
   }
-  // Ignore any query string: /metrics?x=1 serves /metrics.
+  // Split off the query string; /profilez honors it, everything else ignores
+  // it (/metrics?x=1 serves /metrics).
+  std::string query_string;
   size_t query = target.find('?');
-  if (query != std::string::npos) target = target.substr(0, query);
+  if (query != std::string::npos) {
+    query_string = target.substr(query + 1);
+    target = target.substr(0, query);
+  }
   if (target == "/healthz") {
     // Degraded keeps serving scrapes: the process is alive but its current
     // work is failing (e.g. utility evaluation exhausted its retries), so
@@ -130,8 +136,18 @@ std::string HttpExporter::HandleRequest(const std::string& request_line) {
   if (target == "/tracez") {
     return MakeResponse(200, "OK", "application/json", TracezJson() + "\n");
   }
-  return MakeResponse(404, "Not Found", "text/plain",
-                      "unknown path; try /healthz /metrics /varz /tracez\n");
+  if (target == "/profilez") {
+    // Default: human-readable flat table + allocation accounting.
+    // ?folded=1 downloads the raw folded stacks for flamegraph.pl/speedscope.
+    if (query_string.find("folded=1") != std::string::npos) {
+      return MakeResponse(200, "OK", "text/plain",
+                          Profiler::Global().FoldedStacks());
+    }
+    return MakeResponse(200, "OK", "text/plain", Profiler::Global().ToText());
+  }
+  return MakeResponse(
+      404, "Not Found", "text/plain",
+      "unknown path; try /healthz /metrics /varz /tracez /profilez\n");
 }
 
 Status HttpExporter::Start(uint16_t port) {

@@ -22,6 +22,9 @@ namespace telemetry {
 ///   /metrics  -> Prometheus text exposition of the global MetricsRegistry
 ///   /varz     -> the same registry as JSON (MetricsRegistry::ToJson)
 ///   /tracez   -> recent trace spans as JSON (most recent ~100)
+///   /profilez -> sampling-profiler flat table + allocation accounting;
+///                /profilez?folded=1 downloads raw folded stacks
+///                (flamegraph.pl / speedscope input)
 ///
 /// The server binds 127.0.0.1 only — this is an introspection port, not a
 /// public service. Start(0) picks an ephemeral port, readable via port().

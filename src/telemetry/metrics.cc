@@ -243,6 +243,17 @@ std::string MetricsRegistry::ToPrometheusText() const {
     }
     block << pname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
           << pname << "_count " << histogram->count() << "\n";
+    // Companion summary with precomputed quantiles: dashboards get p50/p90/p99
+    // without a histogram_quantile() over coarse buckets. Same sort key, so
+    // the block stays adjacent to its histogram.
+    std::string sname = pname + "_quantiles";
+    block << "# TYPE " << sname << " summary\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+      block << sname << "{quantile=\"" << StrFormat("%g", q) << "\"} "
+            << StrFormat("%.9g", histogram->Quantile(q)) << "\n";
+    }
+    block << sname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
+          << sname << "_count " << histogram->count() << "\n";
     blocks.emplace_back(name, block.str());
   }
   std::sort(blocks.begin(), blocks.end());

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
 namespace nde {
@@ -133,6 +134,7 @@ void RunReport::Finish() {
             1000.0 / CLOCKS_PER_SEC;
   metrics_ = MetricsRegistry::Global().Snapshot();
   trace_json_ = RenderTraceSummary();
+  profile_json_ = Profiler::Global().ToJson();
 }
 
 std::string RunReport::ToJson() {
@@ -222,6 +224,7 @@ std::string RunReport::ToJson() {
        << JsonEscape(error_.message())
        << "\",\"exit_code\":" << error_exit_code_ << "}";
   }
+  os << ",\"profile\":" << profile_json_;
   os << ",\"trace\":" << trace_json_ << "}";
   return os.str();
 }

@@ -80,7 +80,11 @@ class RunReport {
 
   /// Serializes the report (calls Finish() if the caller has not). Shape:
   /// {"name":...,"config":{...},"timing":{"wall_ms":...,"cpu_ms":...},
-  ///  "convergence_curve":[{...}],"metrics":{...},"trace":{...}}
+  ///  "convergence_curve":[{...}],"metrics":{...},"utility_cache":{...},
+  ///  "profile":{...},"trace":{...}}
+  /// The "profile" block is Profiler::ToJson() captured at Finish() time; its
+  /// "enabled" field is false (and its aggregates empty) when the sampling
+  /// profiler never ran.
   std::string ToJson();
 
   /// Writes ToJson() plus a trailing newline to `path`.
@@ -100,7 +104,8 @@ class RunReport {
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<ConvergencePoint> curve_;
   MetricsSnapshot metrics_;
-  std::string trace_json_;  ///< pre-rendered "trace" object
+  std::string trace_json_;    ///< pre-rendered "trace" object
+  std::string profile_json_;  ///< pre-rendered "profile" object
   bool has_error_ = false;
   Status error_;
   int error_exit_code_ = 0;

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 
 namespace nde {
 namespace telemetry {
@@ -149,12 +150,19 @@ ScopedSpan::ScopedSpan(std::string name, std::string category)
   event_.category = std::move(category);
   event_.tid = CurrentThreadId();
   event_.depth = t_span_depth++;
+  // Publish the frame to the sampling profiler before reading the clock, so
+  // a sample taken during the span sees the full stack.
+  if (prof::SamplingActive()) {
+    prof::PushFrame(event_.name);
+    pushed_ = true;
+  }
   event_.ts_us = NowMicros();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   event_.dur_us = NowMicros() - event_.ts_us;
+  if (pushed_) prof::PopFrame();
   --t_span_depth;
   TraceBuffer::Global().Record(std::move(event_));
 }

@@ -96,6 +96,10 @@ class ScopedSpan {
 
  private:
   bool active_;
+  /// Whether this span pushed a frame onto the profiler's per-thread stack
+  /// (sampling can start or stop mid-span, so the pop must match the push,
+  /// not the state at destruction time).
+  bool pushed_ = false;
   TraceEvent event_;
 };
 

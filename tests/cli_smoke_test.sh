@@ -154,6 +154,38 @@ grep -q -- "--serve" err.txt || fail "--serve error does not name the flag"
 "$CLI" importance train.csv --label label --report > /dev/null 2>&1
 [ $? -eq 2 ] || fail "value-less --report should exit 2"
 
+# --- --profile: folded stacks, report block, bit-identical ranking -----------
+# 256 permutations keep the estimator busy for tens of milliseconds, so the
+# fast CLI sampler is guaranteed observations.
+"$CLI" importance train.csv --label label --top 5 --permutations 256 \
+    --profile prof.folded --report prof_report.json \
+    > prof_out.txt 2> prof_err.txt || fail "--profile importance failed"
+grep -q "wrote .* profile samples" prof_err.txt \
+    || fail "--profile did not announce the profile file"
+grep -q '"profile":{' prof_report.json \
+    || fail "report lacks the profile block under --profile"
+if grep -q "telemetry compiled out" prof_err.txt; then
+  : # NDE_TELEMETRY=OFF build: no spans exist, so folded stacks stay empty.
+else
+  [ -s prof.folded ] || fail "folded-stack file missing or empty"
+  # Folded lines are "frame(;frame)* count" and the run's wave spans show up.
+  awk '{ if (NF != 2 || $2 !~ /^[0-9]+$/) exit 1 }' prof.folded \
+      || fail "prof.folded is not in folded-stack format"
+  grep -q "tmc" prof.folded || fail "folded stacks lack tmc wave frames"
+  grep -q '"profile":{"enabled":true' prof_report.json \
+      || fail "report profile block not enabled under --profile"
+fi
+# Profiling must not change the ranking: compare against the plain run.
+"$CLI" importance train.csv --label label --top 5 --permutations 256 \
+    > noprof_out.txt || fail "plain importance failed"
+grep '^[0-9]\+$' prof_out.txt > prof_ids.txt
+grep '^[0-9]\+$' noprof_out.txt > noprof_ids.txt
+cmp -s prof_ids.txt noprof_ids.txt \
+    || fail "--profile changed the importance ranking"
+
+"$CLI" importance train.csv --label label --profile > /dev/null 2>&1
+[ $? -eq 2 ] || fail "value-less --profile should exit 2"
+
 # --- error handling ----------------------------------------------------------
 "$CLI" bogus train.csv > /dev/null 2> err.txt
 [ $? -eq 2 ] || fail "unknown command should exit 2"

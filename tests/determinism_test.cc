@@ -20,7 +20,9 @@
 #include "importance/utility.h"
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
+#include "telemetry/profiler.h"
 #include "telemetry/run_report.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 namespace {
@@ -495,6 +497,63 @@ TEST(DeterminismTest, ObservabilityHooksDoNotPerturbTmcResults) {
   EXPECT_LT(sequences[0].back().completed, bare.num_permutations);
   EXPECT_EQ(sequences[0].back().utility_evaluations,
             baseline.utility_evaluations);
+}
+
+TEST(DeterminismTest, ProfilerAndAllocAccountingDoNotPerturbResults) {
+  // The sampling profiler + allocation accounting are the most invasive
+  // observers in the system (a background thread reading worker stacks, and
+  // interposed operator new/delete): run every estimator with them fully on
+  // and compare bit-for-bit against the plain run at 1 and 8 threads.
+  LambdaUtility game = NonAdditiveGame(10);
+
+  auto run_all = [&game](size_t threads) {
+    std::vector<ImportanceEstimate> estimates;
+    TmcShapleyOptions tmc;
+    tmc.num_permutations = 33;
+    tmc.seed = 11;
+    tmc.num_threads = threads;
+    estimates.push_back(TmcShapleyValues(game, tmc).value());
+    BanzhafOptions banzhaf;
+    banzhaf.num_samples = 64;
+    banzhaf.seed = 11;
+    banzhaf.num_threads = threads;
+    estimates.push_back(BanzhafValues(game, banzhaf).value());
+    BetaShapleyOptions beta;
+    beta.samples_per_unit = 6;
+    beta.seed = 11;
+    beta.num_threads = threads;
+    estimates.push_back(BetaShapleyValues(game, beta).value());
+    return estimates;
+  };
+
+  std::vector<ImportanceEstimate> baseline = run_all(1);
+
+  telemetry::SetEnabled(true);
+  telemetry::SetAllocAccountingEnabled(true);
+  telemetry::ProfilerOptions prof_options;
+  prof_options.sampling_interval_us = 100;  // Aggressive: ~10 kHz.
+  ASSERT_TRUE(telemetry::Profiler::Global().Start(prof_options).ok());
+
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    telemetry::AllocationScope scope("determinism.sweep");
+    std::vector<ImportanceEstimate> observed = run_all(threads);
+    ASSERT_EQ(observed.size(), baseline.size());
+    for (size_t e = 0; e < baseline.size(); ++e) {
+      EXPECT_EQ(observed[e].values, baseline[e].values)
+          << "estimator " << e << " at " << threads << " threads";
+      EXPECT_EQ(observed[e].std_errors, baseline[e].std_errors)
+          << "estimator " << e << " at " << threads << " threads";
+      EXPECT_EQ(observed[e].utility_evaluations,
+                baseline[e].utility_evaluations)
+          << "estimator " << e << " at " << threads << " threads";
+    }
+  }
+
+  telemetry::Profiler::Global().Stop();
+  telemetry::Profiler::Global().Reset();
+  telemetry::SetAllocAccountingEnabled(false);
+  telemetry::ResetAllocStats();
+  telemetry::SetEnabled(false);
 }
 
 TEST(DeterminismTest, ProgressSequencesIdenticalForAllEstimators) {

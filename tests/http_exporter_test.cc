@@ -13,10 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "importance/game_values.h"
 #include "importance/utility.h"
 #include "json_checker.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/telemetry.h"
 
 namespace nde {
 namespace {
@@ -107,6 +110,50 @@ TEST(HttpExporterRoutingTest, QueryStringsAreStripped) {
   EXPECT_EQ(Body(response), "ok\n");
 }
 
+TEST(HttpExporterRoutingTest, VarzMergesFailpointCounters) {
+  // /varz must export failpoint hit/fire counters alongside the ordinary
+  // metrics: arm a point, hit it, and pin the JSON keys.
+  ASSERT_TRUE(failpoint::Arm("http_varz.pin=error(unavailable:pin)").ok());
+  ASSERT_TRUE(failpoint::Fire("http_varz.pin").fired());
+  failpoint::DisarmAll();
+
+  std::string response =
+      telemetry::HttpExporter::HandleRequest("GET /varz HTTP/1.1");
+  std::string body = Body(response);
+  EXPECT_NE(body.find("\"failpoint.http_varz.pin.hits\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"failpoint.http_varz.pin.fires\""), std::string::npos)
+      << body;
+  // Name-sorted export: the counters object must list the failpoint keys in
+  // lexicographic order (fires before hits).
+  size_t fires = body.find("failpoint.http_varz.pin.fires");
+  size_t hits = body.find("failpoint.http_varz.pin.hits");
+  EXPECT_LT(fires, hits);
+}
+
+TEST(HttpExporterRoutingTest, ProfilezServesTextAndFoldedStacks) {
+  telemetry::Profiler& profiler = telemetry::Profiler::Global();
+  profiler.Reset();
+  telemetry::prof::PushFrame("profilez_frame");
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+
+  std::string response =
+      telemetry::HttpExporter::HandleRequest("GET /profilez HTTP/1.1");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(Body(response).find("profilez_frame"), std::string::npos)
+      << Body(response);
+
+  // ?folded=1 downloads raw folded stacks: exactly the "stack count" lines.
+  std::string folded = telemetry::HttpExporter::HandleRequest(
+      "GET /profilez?folded=1 HTTP/1.1");
+  EXPECT_EQ(folded.rfind("HTTP/1.1 200", 0), 0u) << folded;
+  EXPECT_NE(Body(folded).find("profilez_frame 1"), std::string::npos)
+      << Body(folded);
+  profiler.Reset();
+}
+
 TEST(HttpExporterRoutingTest, UnknownPathIs404AndNonGetIs405) {
   EXPECT_EQ(telemetry::HttpExporter::HandleRequest("GET /nope HTTP/1.1")
                 .rfind("HTTP/1.1 404", 0),
@@ -138,6 +185,14 @@ TEST(HttpExporterTest, ServesScrapesWhileAnEstimatorRuns) {
   uint16_t port = exporter.port();
   ASSERT_NE(port, 0);
 
+  // Profile the run too: spans only exist with telemetry on, and the sampler
+  // must be live for ScopedSpan to push frames.
+  telemetry::SetEnabled(true);
+  telemetry::Profiler::Global().Reset();
+  telemetry::ProfilerOptions prof_options;
+  prof_options.sampling_interval_us = 100;  // Fast: the run lasts ~tens of ms.
+  ASSERT_TRUE(telemetry::Profiler::Global().Start(prof_options).ok());
+
   // A deliberately slow game keeps the estimator busy on another thread
   // while we scrape.
   class SlowGame : public UtilityFunction {
@@ -145,7 +200,11 @@ TEST(HttpExporterTest, ServesScrapesWhileAnEstimatorRuns) {
     double Evaluate(const std::vector<size_t>& subset) const override {
       double sum = 0.0;
       for (size_t i : subset) sum += static_cast<double>(i + 1);
-      for (int spin = 0; spin < 200; ++spin) sum = std::sqrt(sum * sum + 1e-9);
+      // Slow enough that the whole estimate spans tens of milliseconds: the
+      // scrapes below land mid-run and the 100 us sampler sees the waves.
+      for (int spin = 0; spin < 2000; ++spin) {
+        sum = std::sqrt(sum * sum + 1e-9);
+      }
       return std::sqrt(sum);
     }
     size_t num_units() const override { return 12; }
@@ -167,11 +226,28 @@ TEST(HttpExporterTest, ServesScrapesWhileAnEstimatorRuns) {
   EXPECT_EQ(metrics.rfind("HTTP/1.1 200", 0), 0u);
   EXPECT_NE(Body(metrics).find("# TYPE"), std::string::npos);
 
+  // /profilez answers mid-run; with a live estimator it may or may not have
+  // caught a wave yet, so only the transport and shape are asserted here.
+  std::string profilez = HttpGet(port, "/profilez");
+  EXPECT_EQ(profilez.rfind("HTTP/1.1 200", 0), 0u) << profilez;
+  EXPECT_EQ(Body(profilez).rfind("profiler:", 0), 0u) << Body(profilez);
+
   std::string missing = HttpGet(port, "/definitely-not-here");
   EXPECT_EQ(missing.rfind("HTTP/1.1 404", 0), 0u);
 
   estimator.join();
   EXPECT_EQ(estimate.values.size(), 12u);
+  telemetry::Profiler::Global().Stop();
+#if NDE_TELEMETRY_ENABLED
+  // 96 sequential waves of a deliberately slow game run long enough that the
+  // 1 ms sampler observes at least one tmc wave span. (Without telemetry
+  // compiled in there are no spans to observe.)
+  EXPECT_NE(telemetry::Profiler::Global().FoldedStacks().find("tmc"),
+            std::string::npos)
+      << telemetry::Profiler::Global().FoldedStacks();
+#endif
+  telemetry::Profiler::Global().Reset();
+  telemetry::SetEnabled(false);
 
   exporter.Stop();
   EXPECT_FALSE(exporter.running());

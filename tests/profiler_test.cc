@@ -1,0 +1,283 @@
+#include "telemetry/profiler.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_checker.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace nde {
+namespace {
+
+using telemetry::AllocationScope;
+using telemetry::FlatFrame;
+using telemetry::FoldedStack;
+using telemetry::Profiler;
+
+/// Restores global telemetry + profiler + alloc-accounting state on exit so
+/// these tests compose with the rest of the suite in any order.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Global().Stop();
+    Profiler::Global().Reset();
+    telemetry::ResetAllocStats();
+  }
+  void TearDown() override {
+    Profiler::Global().Stop();
+    Profiler::Global().Reset();
+    telemetry::SetAllocAccountingEnabled(false);
+    telemetry::ResetAllocStats();
+    telemetry::SetEnabled(false);
+  }
+};
+
+TEST_F(ProfilerTest, PushPopTracksLocalDepth) {
+  EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 0u);
+  telemetry::prof::PushFrame("outer");
+  telemetry::prof::PushFrame("inner");
+  EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 2u);
+  telemetry::prof::PopFrame();
+  EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 1u);
+  telemetry::prof::PopFrame();
+  EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 0u);
+}
+
+TEST_F(ProfilerTest, SampleOnceAggregatesTheCallersStack) {
+  Profiler& profiler = Profiler::Global();
+  telemetry::prof::PushFrame("alpha");
+  telemetry::prof::PushFrame("beta");
+  profiler.SampleOnce();
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+
+  EXPECT_EQ(profiler.samples(), 3u);
+  EXPECT_EQ(profiler.sample_passes(), 3u);
+  EXPECT_EQ(profiler.torn_samples(), 0u);
+
+  std::vector<FoldedStack> folded = profiler.Folded();
+  ASSERT_EQ(folded.size(), 2u);
+  // Sorted by stack text: "alpha" < "alpha;beta".
+  EXPECT_EQ(folded[0].stack, "alpha");
+  EXPECT_EQ(folded[0].count, 1u);
+  EXPECT_EQ(folded[1].stack, "alpha;beta");
+  EXPECT_EQ(folded[1].count, 2u);
+  EXPECT_EQ(profiler.FoldedStacks(), "alpha 1\nalpha;beta 2\n");
+
+  // Flat view: beta was the leaf twice; alpha was on-stack for all three
+  // samples but the leaf only once.
+  std::vector<FlatFrame> flat = profiler.Flat();
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat[0].name, "beta");
+  EXPECT_EQ(flat[0].self, 2u);
+  EXPECT_EQ(flat[0].total, 2u);
+  EXPECT_EQ(flat[1].name, "alpha");
+  EXPECT_EQ(flat[1].self, 1u);
+  EXPECT_EQ(flat[1].total, 3u);
+}
+
+TEST_F(ProfilerTest, ResetDropsAggregates) {
+  Profiler& profiler = Profiler::Global();
+  telemetry::prof::PushFrame("gone");
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+  ASSERT_GT(profiler.samples(), 0u);
+  profiler.Reset();
+  EXPECT_EQ(profiler.samples(), 0u);
+  EXPECT_EQ(profiler.sample_passes(), 0u);
+  EXPECT_TRUE(profiler.Folded().empty());
+  EXPECT_EQ(profiler.FoldedStacks(), "");
+}
+
+TEST_F(ProfilerTest, FoldedOutputSanitizesDelimiterCharacters) {
+  // Span names may carry spaces ("fit numeric(score)"); the folded-stack
+  // grammar reserves space and semicolon, so they must come out as "_".
+  Profiler& profiler = Profiler::Global();
+  telemetry::prof::PushFrame("fit numeric(score)");
+  telemetry::prof::PushFrame("odd;name");
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+  EXPECT_EQ(profiler.FoldedStacks(),
+            "fit_numeric(score) 1\nfit_numeric(score);odd_name 1\n");
+}
+
+TEST_F(ProfilerTest, ToJsonIsValidAndCarriesTheAggregates) {
+  Profiler& profiler = Profiler::Global();
+  telemetry::prof::PushFrame("json_frame");
+  profiler.SampleOnce();
+  telemetry::prof::PopFrame();
+
+  std::string json = profiler.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"folded\""), std::string::npos);
+  EXPECT_NE(json.find("\"flat\""), std::string::npos);
+  EXPECT_NE(json.find("\"alloc\""), std::string::npos);
+  EXPECT_NE(json.find("json_frame"), std::string::npos);
+
+  std::string text = profiler.ToText();
+  EXPECT_NE(text.find("json_frame"), std::string::npos) << text;
+}
+
+TEST_F(ProfilerTest, StartStopLifecycle) {
+  Profiler& profiler = Profiler::Global();
+  EXPECT_FALSE(profiler.running());
+  ASSERT_TRUE(profiler.Start({}).ok());
+  EXPECT_TRUE(profiler.running());
+  EXPECT_FALSE(profiler.Start({}).ok()) << "double Start must fail";
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  profiler.Stop();  // Idempotent.
+  ASSERT_TRUE(profiler.Start({}).ok()) << "restart after Stop must work";
+  profiler.Stop();
+}
+
+TEST_F(ProfilerTest, BackgroundSamplerTicks) {
+  Profiler& profiler = Profiler::Global();
+  telemetry::ProfilerOptions options;
+  options.sampling_interval_us = 200;
+  ASSERT_TRUE(profiler.Start(options).ok());
+  // Passes tick whether or not any thread has spans open, so this cannot
+  // flake on an idle machine; bound the wait to keep a loaded one honest.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (profiler.sample_passes() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  profiler.Stop();
+  EXPECT_GT(profiler.sample_passes(), 0u);
+}
+
+TEST_F(ProfilerTest, ScopedSpansFeedTheSamplerWhileRunning) {
+#if !NDE_TELEMETRY_ENABLED
+  GTEST_SKIP() << "NDE_TRACE_SPAN compiles to nothing in this build";
+#endif
+  telemetry::SetEnabled(true);
+  Profiler& profiler = Profiler::Global();
+  telemetry::ProfilerOptions options;
+  // Effectively never fires on its own: the test drives SampleOnce so the
+  // observation is deterministic.
+  options.sampling_interval_us = 60 * 1000 * 1000;
+  ASSERT_TRUE(profiler.Start(options).ok());
+  {
+    NDE_TRACE_SPAN("profiled_section", "test");
+    EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 1u);
+    profiler.SampleOnce();
+  }
+  EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 0u);
+  profiler.Stop();
+  EXPECT_NE(profiler.FoldedStacks().find("profiled_section"),
+            std::string::npos)
+      << profiler.FoldedStacks();
+}
+
+TEST_F(ProfilerTest, SpansDoNotPushFramesWhileStopped) {
+  telemetry::SetEnabled(true);
+  {
+    NDE_TRACE_SPAN("unprofiled_section", "test");
+    EXPECT_EQ(telemetry::prof::LocalDepthForTesting(), 0u)
+        << "spans must not pay the frame-stack cost when no profiler runs";
+  }
+}
+
+// --- Allocation accounting --------------------------------------------------
+
+/// Heap churn the optimizer cannot elide: the pointer escapes through a
+/// volatile.
+void ChurnHeap(size_t bytes) {
+  char* block = new char[bytes];
+  static volatile char sink = 0;
+  sink = static_cast<char>(sink + block[bytes / 2]);
+  delete[] block;
+}
+
+TEST_F(ProfilerTest, AllocAccountingCountsWhenCompiledIn) {
+  if (!telemetry::AllocAccountingCompiledIn()) {
+    GTEST_SKIP() << "alloc interposition compiled out (telemetry off or "
+                    "sanitizer build)";
+  }
+  telemetry::SetAllocAccountingEnabled(true);
+  telemetry::ResetAllocStats();
+  ChurnHeap(1 << 16);
+  telemetry::SetAllocAccountingEnabled(false);
+
+  telemetry::AllocStats stats = telemetry::GlobalAllocStats();
+  EXPECT_GT(stats.alloc_count, 0u);
+  EXPECT_GE(stats.alloc_bytes, uint64_t{1} << 16);
+  EXPECT_GT(stats.free_count, 0u);
+  EXPECT_GE(stats.peak_live_bytes, int64_t{1} << 16);
+}
+
+TEST_F(ProfilerTest, AllocAccountingIsOffByDefault) {
+  if (!telemetry::AllocAccountingCompiledIn()) {
+    GTEST_SKIP() << "alloc interposition compiled out";
+  }
+  ASSERT_FALSE(telemetry::AllocAccountingEnabled());
+  telemetry::ResetAllocStats();
+  ChurnHeap(1 << 14);
+  telemetry::AllocStats stats = telemetry::GlobalAllocStats();
+  EXPECT_EQ(stats.alloc_count, 0u);
+  EXPECT_EQ(stats.alloc_bytes, 0u);
+}
+
+TEST_F(ProfilerTest, AllocationScopeAttributesToInnermostPhase) {
+  if (!telemetry::AllocAccountingCompiledIn()) {
+    GTEST_SKIP() << "alloc interposition compiled out";
+  }
+  telemetry::SetAllocAccountingEnabled(true);
+  telemetry::ResetAllocStats();
+  {
+    AllocationScope outer("test.outer");
+    ChurnHeap(1 << 12);
+    {
+      AllocationScope inner("test.inner");
+      ChurnHeap(1 << 15);
+    }
+  }
+  telemetry::SetAllocAccountingEnabled(false);
+
+  uint64_t outer_bytes = 0, inner_bytes = 0;
+  for (const auto& [phase, stats] : telemetry::AllocPhaseStats()) {
+    if (phase == "test.outer") outer_bytes = stats.alloc_bytes;
+    if (phase == "test.inner") inner_bytes = stats.alloc_bytes;
+  }
+  // Self-only attribution: the inner scope's churn must not roll up into the
+  // outer phase, and each phase saw at least its own block.
+  EXPECT_GE(inner_bytes, uint64_t{1} << 15);
+  EXPECT_GE(outer_bytes, uint64_t{1} << 12);
+  EXPECT_LT(outer_bytes, uint64_t{1} << 15);
+}
+
+TEST_F(ProfilerTest, AllocationScopeIsInertWhileDisabled) {
+  telemetry::ResetAllocStats();
+  {
+    AllocationScope scope("test.disabled");
+    ChurnHeap(1 << 12);
+  }
+  for (const auto& [phase, stats] : telemetry::AllocPhaseStats()) {
+    EXPECT_NE(phase, "test.disabled")
+        << "disabled scope must not record a phase";
+    (void)stats;
+  }
+}
+
+TEST_F(ProfilerTest, AllocStatsTableAndJsonStayWellFormed) {
+  // Works in every build mode, including compiled-out interposition.
+  std::string table = telemetry::AllocStatsTable();
+  EXPECT_FALSE(table.empty());
+  std::string json = Profiler::Global().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"compiled_in\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nde

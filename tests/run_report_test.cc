@@ -12,6 +12,7 @@
 #include "importance/game_values.h"
 #include "importance/utility.h"
 #include "json_checker.h"
+#include "telemetry/profiler.h"
 
 namespace nde {
 namespace {
@@ -86,8 +87,34 @@ TEST(RunReportTest, ToJsonIsWellFormedAndFinishIsIdempotent) {
   for (const char* key :
        {"\"name\":\"shape\"", "\"config\":", "\"timing\":", "\"wall_ms\":",
         "\"cpu_ms\":", "\"convergence_curve\":", "\"metrics\":",
-        "\"utility_cache\":", "\"trace\":"}) {
+        "\"utility_cache\":", "\"profile\":", "\"trace\":"}) {
     EXPECT_NE(first.find(key), std::string::npos) << key << "\n" << first;
+  }
+}
+
+TEST(RunReportTest, ProfileBlockReflectsTheSamplingProfiler) {
+  // Without a profiler run the block is present but disabled…
+  {
+    telemetry::Profiler::Global().Reset();
+    telemetry::RunReport report("no_profile");
+    std::string json = report.ToJson();
+    EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+    EXPECT_NE(json.find("\"profile\":{\"enabled\":false"), std::string::npos)
+        << json;
+  }
+  // …and with samples aggregated it carries them, inside valid JSON.
+  {
+    telemetry::prof::PushFrame("report_frame");
+    telemetry::Profiler::Global().SampleOnce();
+    telemetry::prof::PopFrame();
+    telemetry::RunReport report("with_profile");
+    std::string json = report.ToJson();
+    EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+    EXPECT_NE(json.find("\"profile\":{\"enabled\":true"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("report_frame"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"alloc\":"), std::string::npos) << json;
+    telemetry::Profiler::Global().Reset();
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "data/table.h"
 #include "json_checker.h"
 #include "pipeline/plan.h"
@@ -195,6 +196,37 @@ TEST_F(TelemetryTest, RegistryExportsPrometheusText) {
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
   std::string table = registry.ToTable();
   EXPECT_NE(table.find("reqs.total"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, PrometheusHistogramsCarrySummaryQuantiles) {
+  // Every histogram exports a companion summary block with p50/p90/p99, so a
+  // scraper gets tail latencies without re-deriving them from buckets. The
+  // exact exposition lines are pinned: one deterministic distribution (100
+  // values in [1, 100] against decade bounds), known quantile answers.
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("wave.ms", {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE wave_ms_quantiles summary"), std::string::npos)
+      << prom;
+  std::string expected_p50 =
+      StrFormat("wave_ms_quantiles{quantile=\"0.5\"} %.9g", h.Quantile(0.5));
+  std::string expected_p90 =
+      StrFormat("wave_ms_quantiles{quantile=\"0.9\"} %.9g", h.Quantile(0.9));
+  std::string expected_p99 =
+      StrFormat("wave_ms_quantiles{quantile=\"0.99\"} %.9g", h.Quantile(0.99));
+  EXPECT_NE(prom.find(expected_p50), std::string::npos) << prom;
+  EXPECT_NE(prom.find(expected_p90), std::string::npos) << prom;
+  EXPECT_NE(prom.find(expected_p99), std::string::npos) << prom;
+  // The summary shares the histogram's sum/count so the two blocks agree.
+  EXPECT_NE(prom.find("wave_ms_quantiles_sum "), std::string::npos) << prom;
+  EXPECT_NE(prom.find("wave_ms_quantiles_count 100"), std::string::npos)
+      << prom;
+  // Adjacency: the summary block sits right after its histogram block, i.e.
+  // before the next metric would sort.
+  EXPECT_LT(prom.find("# TYPE wave_ms histogram"),
+            prom.find("# TYPE wave_ms_quantiles summary"));
 }
 
 TEST_F(TelemetryTest, ExportsAreSortedByNameAcrossKinds) {

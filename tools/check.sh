@@ -10,7 +10,20 @@
 #   tools/check.sh --bench-smoke [build-dir]
 #                                      # Release build; runs the scalability
 #                                      # bench briefly (including its startup
-#                                      # fast-path bit-identity checks)
+#                                      # fast-path bit-identity checks) and
+#                                      # diffs the key counters against the
+#                                      # committed baseline at a loose
+#                                      # threshold suited to short runs
+#                                      # (default build dir: build-bench)
+#   tools/check.sh --bench-diff [build-dir]
+#                                      # Release build; full run of the
+#                                      # watched benchmarks, appends a
+#                                      # machine-stamped entry to
+#                                      # BENCH_results.json, and fails if any
+#                                      # key counter regresses >15% vs
+#                                      # bench/BENCH_baseline.json; also
+#                                      # self-tests the gate with an injected
+#                                      # regression
 #                                      # (default build dir: build-bench)
 #   tools/check.sh --serve-smoke [build-dir]
 #                                      # Release build; scrapes a live
@@ -41,6 +54,9 @@ if [ "${1:-}" = "--tsan" ]; then
 elif [ "${1:-}" = "--bench-smoke" ]; then
   MODE=bench
   shift
+elif [ "${1:-}" = "--bench-diff" ]; then
+  MODE=benchdiff
+  shift
 elif [ "${1:-}" = "--serve-smoke" ]; then
   MODE=serve
   shift
@@ -52,7 +68,7 @@ fi
 if [ "$MODE" = "tsan" ]; then
   BUILD_DIR="${1:-build-tsan}"
   SANITIZE="thread"
-elif [ "$MODE" = "bench" ]; then
+elif [ "$MODE" = "bench" ] || [ "$MODE" = "benchdiff" ]; then
   BUILD_DIR="${1:-build-bench}"
 elif [ "$MODE" = "serve" ]; then
   BUILD_DIR="${1:-build-serve}"
@@ -63,18 +79,67 @@ else
   SANITIZE="address,undefined"
 fi
 
-if [ "$MODE" = "bench" ]; then
-  # Smoke-run the benchmark harness: Release build, a short spin of the
-  # utility fast-path sweep. The binary's startup checks assert bit-identity
-  # of the fast path and of cross-thread runs before any timing happens, so
-  # this doubles as a cheap perf-regression and determinism gate. Results go
-  # to stdout only (NDE_BENCH_RESULTS="" disables the JSON append).
+if [ "$MODE" = "bench" ] || [ "$MODE" = "benchdiff" ]; then
+  # Both modes run the watched benchmarks (the counters guarded by
+  # bench/BENCH_baseline.json) with a machine stamp, then gate on bench_diff.
+  # --bench-smoke is the quick tier: short spins, results to a temp file, a
+  # loose threshold because 0.05s timing runs are noisy. --bench-diff is the
+  # trajectory tier: full-length runs appended to BENCH_results.json so the
+  # perf history accumulates, gated at the real 15%, plus a self-test that
+  # the gate actually fires on a fabricated regression.
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target scalability
-  NDE_BENCH_RESULTS="" "$BUILD_DIR/bench/scalability" \
-    --benchmark_filter='BM_TmcUtilityFastPath|BM_BanzhafSubsetCache' \
-    --benchmark_min_time=0.05
-  echo "check.sh: bench smoke passed (fast-path bit-identity + timing run)"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target scalability bench_diff
+
+  WATCHED='BM_TmcUtilityFastPath|BM_BanzhafSubsetCache|BM_TmcWaveLatency'
+  export NDE_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  export NDE_BENCH_DATE="$(date -u +%Y-%m-%d)"
+
+  if [ "$MODE" = "bench" ]; then
+    RESULTS="$(mktemp)"
+    trap 'rm -f "$RESULTS"' EXIT
+    MIN_TIME=0.05
+    THRESHOLD=0.5
+  else
+    RESULTS="BENCH_results.json"
+    MIN_TIME=0.2
+    THRESHOLD=0.15
+  fi
+
+  NDE_BENCH_RESULTS="$RESULTS" "$BUILD_DIR/bench/scalability" \
+    --benchmark_filter="$WATCHED" \
+    --benchmark_min_time="$MIN_TIME"
+
+  "$BUILD_DIR/tools/bench_diff" --baseline bench/BENCH_baseline.json \
+    --candidate "$RESULTS" --threshold "$THRESHOLD"
+
+  if [ "$MODE" = "benchdiff" ]; then
+    # Gate self-test: scale every watched counter the wrong way by 20% and
+    # the diff MUST exit nonzero, otherwise the gate is decorative.
+    BROKEN="$(mktemp)"
+    trap 'rm -f "$BROKEN"' EXIT
+    python3 - bench/BENCH_baseline.json "$BROKEN" <<'EOF'
+import json, sys
+worse = {"utility_evals_per_sec": 0.8, "cache_hit_rate": 0.8,
+         "wave_p99_ms": 1.2}
+with open(sys.argv[1]) as src, open(sys.argv[2], "w") as dst:
+    for line in src:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        for key, factor in worse.items():
+            if key in record:
+                record[key] = record[key] * factor
+        dst.write(json.dumps(record) + "\n")
+EOF
+    if "$BUILD_DIR/tools/bench_diff" --baseline bench/BENCH_baseline.json \
+         --candidate "$BROKEN" --threshold 0.15 > /dev/null 2>&1; then
+      echo "check.sh: bench_diff failed to flag an injected 20% regression" >&2
+      exit 1
+    fi
+    echo "check.sh: bench diff passed (counters within 15%, gate self-test ok)"
+  else
+    echo "check.sh: bench smoke passed (bit-identity checks + baseline diff)"
+  fi
   exit 0
 fi
 

@@ -32,6 +32,13 @@
 //                        ephemeral port, announced on stderr)
 //   --report <out.json>  write a JSON run report (invocation config, timing,
 //                        convergence curve, metrics, top trace spans)
+//   --profile <out.folded>  run the sampling profiler + allocation accounting
+//                        for the whole command and write folded stacks
+//                        (flamegraph input: one "frame;frame count" line per
+//                        unique stack) to the file; a profile summary also
+//                        lands in --report and on /profilez under --serve.
+//                        Purely observational: results are bit-identical with
+//                        or without it.
 //   --log-level <level>  debug|info|warning|error (default warning); info
 //                        enables live progress/ETA lines for estimators
 //   --log-json           emit log lines as JSON objects instead of text
@@ -184,7 +191,8 @@ Status CheckFlags(const Args& args, const std::string& command,
   for (const auto& [key, value] : args.flags) {
     if (allowed.count(key) > 0 || key == "metrics" || key == "prometheus" ||
         key == "trace" || key == "threads" || key == "serve" ||
-        key == "report" || key == "log-level" || key == "log-json") {
+        key == "report" || key == "profile" || key == "log-level" ||
+        key == "log-json") {
       continue;
     }
     return Status::InvalidArgument(StrFormat(
@@ -522,8 +530,27 @@ int Usage() {
                "global flags: --metrics | --prometheus | --trace <out.json> "
                "| --threads <N>\n"
                "              --serve <port> | --report <out.json> "
-               "| --log-level <level> | --log-json\n");
+               "| --profile <out.folded>\n"
+               "              --log-level <level> | --log-json\n");
   return 2;
+}
+
+/// Stops the sampling profiler and writes its folded stacks (flamegraph
+/// input) to `path`. A short summary goes to stderr so the user can tell an
+/// empty profile (run too short to sample) from a failed write.
+int WriteProfile(const std::string& path) {
+  telemetry::Profiler& profiler = telemetry::Profiler::Global();
+  profiler.Stop();
+  std::string folded = profiler.FoldedStacks();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Fail("cannot write profile file '" + path + "'");
+  std::fwrite(folded.data(), 1, folded.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr,
+               "wrote %llu profile samples (%zu unique stacks) to %s\n",
+               static_cast<unsigned long long>(profiler.samples()),
+               profiler.Folded().size(), path.c_str());
+  return 0;
 }
 
 /// Writes the global trace buffer as Chrome trace JSON.
@@ -581,14 +608,25 @@ int Main(int argc, char** argv) {
   std::string trace_path = FlagOr(args, "trace", "");
   std::string serve_flag = FlagOr(args, "serve", "");
   std::string report_path = FlagOr(args, "report", "");
+  std::string profile_path = FlagOr(args, "profile", "");
   if (want_metrics || want_prometheus || !trace_path.empty() ||
-      !serve_flag.empty() || !report_path.empty()) {
+      !serve_flag.empty() || !report_path.empty() || !profile_path.empty()) {
     telemetry::SetEnabled(true);
 #if !NDE_TELEMETRY_ENABLED
     std::fprintf(stderr,
                  "note: telemetry compiled out (NDE_TELEMETRY=OFF); metrics "
                  "and traces will be empty\n");
 #endif
+  }
+  if (!profile_path.empty()) {
+    // Profiling needs span events, so it implies telemetry (enabled above).
+    telemetry::SetAllocAccountingEnabled(true);
+    telemetry::ProfilerOptions prof_options;
+    // CLI invocations are often short (milliseconds); sample fast enough
+    // that even a small run yields a usable profile.
+    prof_options.sampling_interval_us = 250;
+    Status prof = telemetry::Profiler::Global().Start(prof_options);
+    if (!prof.ok()) return Fail(prof.ToString());
   }
 
   telemetry::HttpExporter exporter;
@@ -640,6 +678,12 @@ int Main(int argc, char** argv) {
     return Usage();
   }
 
+  if (!profile_path.empty()) {
+    // Stopped (inside WriteProfile) before the report finishes so the
+    // report's "profile" block sees the final sample aggregates.
+    int profile_code = WriteProfile(profile_path);
+    if (code == 0) code = profile_code;
+  }
   if (want_metrics) {
     std::printf("\n=== telemetry metrics ===\n%s",
                 telemetry::MetricsRegistry::Global().ToTable().c_str());
