@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -37,7 +39,7 @@ bool StatusCodeFromString(const std::string& text, StatusCode* code) {
       StatusCode::kOutOfRange,  StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented, StatusCode::kInternal,
       StatusCode::kIOError,     StatusCode::kUnavailable,
-      StatusCode::kResourceExhausted,
+      StatusCode::kResourceExhausted, StatusCode::kCancelled,
   };
   for (StatusCode candidate : kAll) {
     if (text == StatusCodeToString(candidate)) {

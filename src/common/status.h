@@ -25,6 +25,10 @@ enum class StatusCode {
   kUnavailable = 9,
   /// Out of memory/quota/capacity. Also retryable (pressure may pass).
   kResourceExhausted = 10,
+  /// The caller asked for the operation to stop (cooperative cancellation,
+  /// e.g. DELETE /jobs/<id> raising EstimatorOptions::cancel). Not retryable:
+  /// the work was abandoned on purpose.
+  kCancelled = 11,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -97,6 +101,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,6 +1,7 @@
 #ifndef NDE_IMPORTANCE_ESTIMATOR_OPTIONS_H_
 #define NDE_IMPORTANCE_ESTIMATOR_OPTIONS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -57,6 +58,14 @@ struct EstimatorOptions {
   /// and RunReport convergence curves; installing one never changes results
   /// (DESIGN.md §10). Leave empty to skip all progress bookkeeping.
   ProgressCallback progress;
+
+  /// Cooperative cancellation: when non-null, the wave-based estimators poll
+  /// this flag at fixed wave boundaries and stop with abort_cause
+  /// StatusCode::kCancelled. Completed waves are kept, so a cancelled run's
+  /// partial estimate is bit-identical to a clean smaller-budget run (the
+  /// same contract fault aborts follow, DESIGN.md §11); the serving layer's
+  /// DELETE /jobs/<id> raises it. The flag must outlive the estimator call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace nde

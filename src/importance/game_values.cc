@@ -44,6 +44,15 @@ double MeanStdError(double sum, double sum_sq, double m) {
   return std::sqrt(std::max(variance, 0.0) / m);
 }
 
+/// True when the caller raised the cooperative-cancellation flag. Checked on
+/// the coordinating thread at wave boundaries only, so cancellation composes
+/// with the determinism contract exactly like a fault abort: completed waves
+/// are kept, the cancelled run equals a clean smaller-budget run.
+bool CancelRequested(const EstimatorOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
+}
+
 /// One utility evaluation with bounded retry. Retries only *retryable*
 /// failures (unavailable / resource_exhausted — a transient backend), with
 /// capped exponential backoff: retry_backoff_ms, doubled per attempt, capped
@@ -124,6 +133,11 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
   constexpr size_t kWaveUnits = 64;
   NDE_LOG(DEBUG) << "leave_one_out: " << n << " units";
   for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
+    // LOO has no partial-result notion (see the error comment above), so a
+    // cancelled run surfaces as a plain Status rather than a partial vector.
+    if (CancelRequested(options)) {
+      return Status::Cancelled("leave_one_out cancelled");
+    }
     size_t wave_end = std::min(wave_begin + kWaveUnits, n);
     // Wave-phase observability: latency into the shared estimator histogram,
     // allocations attributed to this phase (coordinator side; workers tag
@@ -215,6 +229,11 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
       std::min(kWavePermutations, options.num_permutations));
 
   while (executed < options.num_permutations) {
+    if (CancelRequested(options)) {
+      aborted = true;
+      abort_cause = Status::Cancelled("tmc_shapley cancelled");
+      break;
+    }
     size_t wave_begin = executed;
     size_t wave_end =
         std::min(wave_begin + kWavePermutations, options.num_permutations);
@@ -520,6 +539,11 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
   std::vector<ChunkPartial> wave(std::min(kWaveChunks, num_chunks));
 
   while (chunk_cursor < num_chunks) {
+    if (CancelRequested(options)) {
+      aborted = true;
+      abort_cause = Status::Cancelled("banzhaf cancelled");
+      break;
+    }
     size_t wave_begin = chunk_cursor;
     size_t wave_end = std::min(wave_begin + kWaveChunks, num_chunks);
     telemetry::AllocationScope wave_alloc("banzhaf_wave");
@@ -776,6 +800,11 @@ Result<ImportanceEstimate> BetaShapleyValues(
   Status abort_cause;
   size_t completed_units = 0;
   for (size_t wave_begin = 0; wave_begin < n; wave_begin += kWaveUnits) {
+    if (CancelRequested(options)) {
+      aborted = true;
+      abort_cause = Status::Cancelled("beta_shapley cancelled");
+      break;
+    }
     size_t wave_end = std::min(wave_begin + kWaveUnits, n);
     telemetry::AllocationScope wave_alloc("beta_shapley_wave");
     [[maybe_unused]] int64_t wave_start_us =

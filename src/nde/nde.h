@@ -35,6 +35,7 @@
 #include "cleaning/strategies.h"
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/json.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/progress.h"
@@ -68,6 +69,9 @@
 #include "ml/naive_bayes.h"
 #include "ml/svm.h"
 #include "ml/unlearning.h"
+#include "nde/engine.h"
+#include "nde/job_api.h"
+#include "nde/registry.h"
 #include "pipeline/encoders.h"
 #include "pipeline/inspection.h"
 #include "pipeline/pipeline.h"

@@ -12,6 +12,7 @@
 
 #include "common/failpoint.h"
 #include "common/log.h"
+#include "common/string_util.h"
 #include "telemetry/health.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
@@ -20,11 +21,9 @@
 namespace nde {
 namespace telemetry {
 
-namespace {
-
-std::string MakeResponse(int status, const char* reason,
-                         const std::string& content_type,
-                         const std::string& body) {
+std::string MakeHttpResponse(int status, const char* reason,
+                             const std::string& content_type,
+                             const std::string& body) {
   std::ostringstream os;
   os << "HTTP/1.1 " << status << " " << reason << "\r\n"
      << "Content-Type: " << content_type << "\r\n"
@@ -33,6 +32,10 @@ std::string MakeResponse(int status, const char* reason,
      << body;
   return os.str();
 }
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 16384;
 
 std::string TracezJson() {
   std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
@@ -55,27 +58,110 @@ std::string TracezJson() {
   return os.str();
 }
 
-/// Reads until the end of the request headers (blank line) or EOF; only the
-/// request line matters, but draining headers keeps clients happy.
-std::string ReadRequestLine(int fd) {
+/// Splits a request line ("POST /jobs?x=1 HTTP/1.1") into method + target +
+/// query. Malformed lines leave fields empty, which Route answers with 405.
+void ParseRequestLine(const std::string& line, HttpRequest* out) {
+  std::istringstream is(line);
+  is >> out->method >> out->target;
+  size_t query = out->target.find('?');
+  if (query != std::string::npos) {
+    out->query = out->target.substr(query + 1);
+    out->target.resize(query);
+  }
+}
+
+/// Reads one HTTP request off the socket: request line, headers, and — when
+/// Content-Length says so — the body. Bodyless methods keep the historical
+/// single-read fast path (a complete request line is enough; clients may
+/// never send the blank line). Returns false when there is nothing to
+/// answer; a non-empty `error_response` carries a 413/400 to send instead.
+bool ReadHttpRequest(int fd, size_t max_body_bytes, HttpRequest* out,
+                     std::string* error_response) {
   std::string data;
-  char buf[1024];
-  while (data.find("\r\n\r\n") == std::string::npos &&
-         data.find("\n\n") == std::string::npos && data.size() < 16384) {
+  char buf[4096];
+  size_t body_start = std::string::npos;
+  while (true) {
+    size_t crlf = data.find("\r\n\r\n");
+    size_t lflf = data.find("\n\n");
+    if (crlf != std::string::npos &&
+        (lflf == std::string::npos || crlf < lflf)) {
+      body_start = crlf + 4;
+      break;
+    }
+    if (lflf != std::string::npos) {
+      body_start = lflf + 2;
+      break;
+    }
+    if (data.size() >= kMaxHeaderBytes) break;  // cap; parse what we have
+    if (data.find('\n') != std::string::npos) {
+      std::string method = data.substr(0, data.find_first_of(" \r\n"));
+      if (method != "POST" && method != "PUT") break;  // no body expected
+    }
     ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) break;
     data.append(buf, static_cast<size_t>(n));
-    if (data.find('\n') != std::string::npos && data.size() >= 4) {
-      // We have the request line; keep draining only if more is in flight —
-      // a single short read with a complete line is the common case.
-      break;
-    }
   }
+
   size_t eol = data.find('\n');
-  if (eol == std::string::npos) return data;
+  if (eol == std::string::npos) return false;  // no request line at all
   std::string line = data.substr(0, eol);
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  return line;
+  ParseRequestLine(line, out);
+
+  if (body_start == std::string::npos) return true;  // headers never ended
+
+  // Scan the header block for Content-Length (case-insensitive key).
+  size_t content_length = 0;
+  bool has_length = false;
+  size_t cursor = eol + 1;
+  while (cursor < body_start && cursor < data.size()) {
+    size_t line_end = data.find('\n', cursor);
+    if (line_end == std::string::npos || line_end >= body_start) break;
+    std::string header = data.substr(cursor, line_end - cursor);
+    cursor = line_end + 1;
+    if (!header.empty() && header.back() == '\r') header.pop_back();
+    size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = header.substr(0, colon);
+    for (char& c : key) c = static_cast<char>(std::tolower(c));
+    if (key != "content-length") continue;
+    size_t value_begin = header.find_first_not_of(" \t", colon + 1);
+    if (value_begin == std::string::npos) continue;
+    std::string value = header.substr(value_begin);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      *error_response = MakeHttpResponse(400, "Bad Request", "text/plain",
+                                         "malformed Content-Length\n");
+      return false;
+    }
+    content_length = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                       nullptr, 10));
+    has_length = true;
+  }
+  if (!has_length || content_length == 0) return true;
+  if (content_length > max_body_bytes) {
+    *error_response = MakeHttpResponse(
+        413, "Payload Too Large", "text/plain",
+        StrFormat("request body of %zu bytes exceeds the %zu-byte cap\n",
+                  content_length, max_body_bytes));
+    return false;
+  }
+  std::string body =
+      body_start < data.size() ? data.substr(body_start) : std::string();
+  while (body.size() < content_length) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    body.append(buf, static_cast<size_t>(n));
+  }
+  if (body.size() < content_length) {
+    *error_response =
+        MakeHttpResponse(400, "Bad Request", "text/plain",
+                         "request body shorter than Content-Length\n");
+    return false;
+  }
+  body.resize(content_length);
+  out->body = std::move(body);
+  return true;
 }
 
 void WriteAll(int fd, const std::string& data) {
@@ -89,65 +175,81 @@ void WriteAll(int fd, const std::string& data) {
 
 }  // namespace
 
-std::string HttpExporter::HandleRequest(const std::string& request_line) {
+std::string HttpExporter::Route(const HttpRequest& request,
+                                const HttpHandler* handler) {
   MetricsRegistry::Global().GetCounter("http_exporter.requests").Increment();
   // Chaos hook: a scrape failure must produce a well-formed 500, never tear
   // down the serving thread.
   if (failpoint::AnyArmed()) {
     failpoint::Outcome fp = failpoint::Fire("http.handle_request");
     if (fp.fired()) {
-      return MakeResponse(500, "Internal Server Error", "text/plain",
-                          fp.status.ToString() + "\n");
+      return MakeHttpResponse(500, "Internal Server Error", "text/plain",
+                              fp.status.ToString() + "\n");
     }
   }
-  std::istringstream is(request_line);
-  std::string method, target;
-  is >> method >> target;
-  if (method != "GET") {
-    return MakeResponse(405, "Method Not Allowed", "text/plain",
-                        "only GET is supported\n");
+  // Serving-layer routes go to the installed handler with any method and the
+  // request body; the built-ins below never do, so their responses stay
+  // byte-identical whether or not a handler is installed.
+  bool handled = handler != nullptr && *handler;
+  if (handled &&
+      (request.target == "/jobs" || StartsWith(request.target, "/jobs/") ||
+       request.target == "/algorithmz")) {
+    return (*handler)(request);
   }
-  // Split off the query string; /profilez honors it, everything else ignores
-  // it (/metrics?x=1 serves /metrics).
-  std::string query_string;
-  size_t query = target.find('?');
-  if (query != std::string::npos) {
-    query_string = target.substr(query + 1);
-    target = target.substr(0, query);
+  if (request.method != "GET") {
+    return MakeHttpResponse(405, "Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
   }
-  if (target == "/healthz") {
+  if (request.target == "/healthz") {
     // Degraded keeps serving scrapes: the process is alive but its current
     // work is failing (e.g. utility evaluation exhausted its retries), so
     // probers see 503 while /metrics stays readable.
     if (!IsHealthy()) {
-      return MakeResponse(503, "Service Unavailable", "text/plain",
-                          "degraded: " + HealthReason() + "\n");
+      return MakeHttpResponse(503, "Service Unavailable", "text/plain",
+                              "degraded: " + HealthReason() + "\n");
     }
-    return MakeResponse(200, "OK", "text/plain", "ok\n");
+    return MakeHttpResponse(200, "OK", "text/plain", "ok\n");
   }
-  if (target == "/metrics") {
-    return MakeResponse(200, "OK", "text/plain; version=0.0.4",
-                        MetricsRegistry::Global().ToPrometheusText());
+  if (request.target == "/metrics") {
+    return MakeHttpResponse(200, "OK", "text/plain; version=0.0.4",
+                            MetricsRegistry::Global().ToPrometheusText());
   }
-  if (target == "/varz") {
-    return MakeResponse(200, "OK", "application/json",
-                        MetricsRegistry::Global().ToJson() + "\n");
+  if (request.target == "/varz") {
+    return MakeHttpResponse(200, "OK", "application/json",
+                            MetricsRegistry::Global().ToJson() + "\n");
   }
-  if (target == "/tracez") {
-    return MakeResponse(200, "OK", "application/json", TracezJson() + "\n");
+  if (request.target == "/tracez") {
+    return MakeHttpResponse(200, "OK", "application/json",
+                            TracezJson() + "\n");
   }
-  if (target == "/profilez") {
+  if (request.target == "/profilez") {
     // Default: human-readable flat table + allocation accounting.
     // ?folded=1 downloads the raw folded stacks for flamegraph.pl/speedscope.
-    if (query_string.find("folded=1") != std::string::npos) {
-      return MakeResponse(200, "OK", "text/plain",
-                          Profiler::Global().FoldedStacks());
+    if (request.query.find("folded=1") != std::string::npos) {
+      return MakeHttpResponse(200, "OK", "text/plain",
+                              Profiler::Global().FoldedStacks());
     }
-    return MakeResponse(200, "OK", "text/plain", Profiler::Global().ToText());
+    return MakeHttpResponse(200, "OK", "text/plain",
+                            Profiler::Global().ToText());
   }
-  return MakeResponse(
+  if (handled) {
+    return MakeHttpResponse(404, "Not Found", "text/plain",
+                            "unknown path; try /healthz /metrics /varz "
+                            "/tracez /profilez /jobs /algorithmz\n");
+  }
+  return MakeHttpResponse(
       404, "Not Found", "text/plain",
       "unknown path; try /healthz /metrics /varz /tracez /profilez\n");
+}
+
+std::string HttpExporter::Dispatch(const HttpRequest& request) const {
+  return Route(request, &handler_);
+}
+
+std::string HttpExporter::HandleRequest(const std::string& request_line) {
+  HttpRequest request;
+  ParseRequestLine(request_line, &request);
+  return Route(request, nullptr);
 }
 
 Status HttpExporter::Start(uint16_t port) {
@@ -208,9 +310,12 @@ void HttpExporter::Serve() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    std::string request_line = ReadRequestLine(client);
-    if (!request_line.empty()) {
-      WriteAll(client, HandleRequest(request_line));
+    HttpRequest request;
+    std::string error_response;
+    if (ReadHttpRequest(client, max_body_bytes_, &request, &error_response)) {
+      WriteAll(client, Dispatch(request));
+    } else if (!error_response.empty()) {
+      WriteAll(client, error_response);
     }
     ::close(client);
   }

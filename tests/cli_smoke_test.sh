@@ -282,6 +282,36 @@ grep -q "failpoint_utility_evaluate" metrics_degraded.txt \
 wait "$cli_pid"
 [ $? -eq 3 ] || fail "faulty --serve run should exit 3 after retries"
 
+# --- algorithm registry ---------------------------------------------------------
+"$CLI" --list-algorithms > algorithms.txt || fail "--list-algorithms failed"
+for name in loo tmc_shapley banzhaf beta_shapley knn_shapley datascope \
+            influence aum self_confidence; do
+  grep -q "^$name\$" algorithms.txt \
+      || fail "--list-algorithms does not list $name"
+done
+grep -q "num_permutations" algorithms.txt \
+    || fail "--list-algorithms does not document options"
+
+# --set reaches the registry: an explicit option matching the flag default
+# must reproduce the flag run exactly.
+"$CLI" importance train.csv --label label --top 5 --permutations 4 \
+    > set_flag_out.txt || fail "flag-configured importance failed"
+"$CLI" importance train.csv --label label --top 5 \
+    --set num_permutations=4 > set_set_out.txt \
+    || fail "--set-configured importance failed"
+diff <(grep '^[0-9]\+$' set_flag_out.txt) <(grep '^[0-9]\+$' set_set_out.txt) \
+    > /dev/null || fail "--set num_permutations=4 ranked differently than --permutations 4"
+
+"$CLI" importance train.csv --label label --set bogus=1 > /dev/null 2> err.txt
+[ $? -eq 2 ] || fail "unknown --set option should exit 2"
+grep -q "no option 'bogus'" err.txt \
+    || fail "unknown --set option error should name the option"
+"$CLI" importance train.csv --label label --set num_permutations=never \
+    > /dev/null 2>&1
+[ $? -eq 2 ] || fail "badly typed --set value should exit 2"
+"$CLI" screen train.csv --label label --set k=3 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--set on a non-importance command should exit 2"
+
 # --- usage ----------------------------------------------------------------------
 "$CLI" > /dev/null 2>&1
 [ $? -eq 2 ] || fail "bare invocation should exit 2 with usage"

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -328,6 +329,53 @@ TEST(StringUtilTest, StrFormatBasics) {
   EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
   EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
   EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(JsonParseTest, ScalarsKeepValueAndRawSpelling) {
+  json::Value number = json::Parse("1e-3").value();
+  ASSERT_TRUE(number.is_number());
+  EXPECT_DOUBLE_EQ(number.as_number(), 1e-3);
+  EXPECT_EQ(number.raw(), "1e-3");
+
+  EXPECT_EQ(json::Parse("-42").value().as_number(), -42.0);
+  EXPECT_TRUE(json::Parse("true").value().as_bool());
+  EXPECT_FALSE(json::Parse("false").value().as_bool());
+  EXPECT_TRUE(json::Parse("null").value().is_null());
+  EXPECT_EQ(json::Parse("\"a\\n\\\"b\\\"\"").value().as_string(), "a\n\"b\"");
+}
+
+TEST(JsonParseTest, ObjectMembersKeepSourceOrder) {
+  json::Value object =
+      json::Parse("{\"z\": 1, \"a\": [true, {\"k\": \"v\"}], \"m\": null}")
+          .value();
+  ASSERT_TRUE(object.is_object());
+  ASSERT_EQ(object.members().size(), 3u);
+  EXPECT_EQ(object.members()[0].first, "z");
+  EXPECT_EQ(object.members()[1].first, "a");
+  const json::Value* array = object.Find("a");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->items().size(), 2u);
+  EXPECT_EQ(array->items()[1].Find("k")->as_string(), "v");
+  EXPECT_EQ(object.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StrictnessRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":1,}", "{\"a\":1 \"b\":2}", "01", "1.",
+        "\"unterminated", "\"bad \\q escape\"", "nul", "{\"a\":1}garbage",
+        "{\"dup\":1,\"dup\":2}", "[1] [2]"}) {
+    Result<json::Value> parsed = json::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "' should not parse";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(JsonParseTest, DepthIsCapped) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json::Parse(deep).ok());
 }
 
 }  // namespace

@@ -3,18 +3,26 @@
 // threads run it. These tests exercise the promise across num_threads
 // {1, 2, 8}, including ragged chunk sizes and early stopping.
 
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/progress.h"
+#include "common/rng.h"
+#include "data/csv.h"
 #include "datagen/synthetic.h"
+#include "nde/engine.h"
+#include "nde/job_api.h"
+#include "nde/registry.h"
 #include "importance/game_values.h"
 #include "importance/knn_shapley.h"
 #include "importance/utility.h"
@@ -616,6 +624,84 @@ TEST(EstimatorValidationTest, ZeroUnitsIsInvalidArgument) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(BetaShapleyValues(empty, {}).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// --- CLI vs job API: one engine, bit-identical answers. ---------------------
+
+TEST(DeterminismTest, JobApiMatchesDirectEngineRunBitForBit) {
+  // The HTTP job API and the CLI share RunAlgorithmOnTable, so for equal
+  // configuration the values must agree bit for bit — including through the
+  // JSON round-trip, because doubles are serialized with their shortest
+  // round-tripping spelling (ISSUE 7 acceptance).
+  std::string csv = "a,b,label\n";
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    csv += std::to_string(rng.NextDouble()) + "," +
+           std::to_string(rng.NextDouble()) + "," +
+           std::to_string(i % 2) + "\n";
+  }
+
+  // Direct path: registry instance against the shared table engine.
+  Table table = ReadCsvString(csv).value();
+  std::unique_ptr<AlgorithmInstance> algorithm =
+      AlgorithmRegistry::Global().Create("tmc_shapley").value();
+  ASSERT_TRUE(algorithm
+                  ->ConfigureAll({{"num_permutations", "12"},
+                                  {"seed", "5"},
+                                  {"k", "3"}})
+                  .ok());
+  TableRunResult direct =
+      RunAlgorithmOnTable(*algorithm, table, "label").value();
+
+  // API path: same CSV and options through JobManager + HTTP JSON.
+  JobManager manager;
+  JobRequest request;
+  request.algorithm = "tmc_shapley";
+  request.label = "label";
+  request.csv_data = csv;
+  request.options = {{"num_permutations", "12"}, {"seed", "5"}, {"k", "3"}};
+  std::string id = manager.Submit(request).value();
+  JobSnapshot snapshot;
+  for (int i = 0; i < 5000; ++i) {
+    snapshot = manager.Get(id).value();
+    if (snapshot.state != JobState::kQueued &&
+        snapshot.state != JobState::kRunning) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(snapshot.state, JobState::kDone)
+      << snapshot.error.ToString();
+
+  // In-memory snapshot identical to the direct run.
+  EXPECT_EQ(snapshot.estimate.values, direct.estimate.values);
+  EXPECT_EQ(snapshot.estimate.std_errors, direct.estimate.std_errors);
+  EXPECT_EQ(snapshot.estimate.utility_evaluations,
+            direct.estimate.utility_evaluations);
+  EXPECT_EQ(snapshot.ranked_rows, direct.ranked_rows);
+
+  // And the HTTP JSON reproduces every double exactly.
+  telemetry::HttpRequest poll;
+  poll.method = "GET";
+  poll.target = "/jobs/" + id;
+  std::string response = manager.HandleHttp(poll);
+  size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  json::Value parsed = json::Parse(response.substr(split + 4)).value();
+  const json::Value* result = parsed.Find("result");
+  ASSERT_NE(result, nullptr);
+  const std::vector<json::Value>& values = result->Find("values")->items();
+  ASSERT_EQ(values.size(), direct.estimate.values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i].as_number(), direct.estimate.values[i]) << i;
+  }
+  const std::vector<json::Value>& ranked =
+      result->Find("ranked_rows")->items();
+  ASSERT_EQ(ranked.size(), direct.ranked_rows.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].as_number(),
+              static_cast<double>(direct.ranked_rows[i]));
+  }
 }
 
 TEST(EstimatorValidationTest, ZeroBudgetIsInvalidArgument) {

@@ -1,0 +1,393 @@
+// The async importance-job API (src/nde/job_api.h): submit/poll/cancel
+// lifecycle, HTTP request handling, bounded-queue backpressure (429), error
+// isolation (a failing job flips /healthz without poisoning later jobs), and
+// RunReport artifacts. Uses a test-registered blocking algorithm to make
+// queue states deterministic.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "nde/job_api.h"
+#include "nde/registry.h"
+#include "telemetry/health.h"
+#include "telemetry/http_exporter.h"
+#include "json_checker.h"
+
+namespace nde {
+namespace {
+
+/// Inline CSV small enough for fast jobs but big enough for the 1-in-5
+/// validation split to be non-empty.
+const char kCsv[] =
+    "a,b,label\n"
+    "1,2,0\n2,1,1\n3,3,0\n4,1,1\n5,2,0\n"
+    "1,3,1\n2,2,0\n3,1,1\n4,4,0\n5,1,1\n"
+    "1,1,0\n2,4,1\n3,2,0\n4,2,1\n5,3,0\n"
+    "1,4,1\n2,3,0\n3,4,1\n4,3,0\n5,4,1\n";
+
+JobRequest QuickRequest() {
+  JobRequest request;
+  request.algorithm = "knn_shapley";
+  request.label = "label";
+  request.csv_data = kCsv;
+  request.options = {{"k", "3"}};
+  return request;
+}
+
+/// Polls until the job leaves queued/running (all jobs here finish fast).
+JobSnapshot AwaitDone(const JobManager& manager, const std::string& id) {
+  for (int i = 0; i < 2000; ++i) {
+    JobSnapshot snapshot = manager.Get(id).value();
+    if (snapshot.state != JobState::kQueued &&
+        snapshot.state != JobState::kRunning) {
+      return snapshot;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ADD_FAILURE() << "job " << id << " never finished";
+  return manager.Get(id).value();
+}
+
+TEST(JobApiTest, SubmitPollResultLifecycle) {
+  JobManager manager;
+  Result<std::string> id = manager.Submit(QuickRequest());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  JobSnapshot done = AwaitDone(manager, *id);
+  EXPECT_EQ(done.state, JobState::kDone);
+  EXPECT_TRUE(done.error.ok());
+  EXPECT_EQ(done.algorithm, "knn_shapley");
+  // 20 rows -> 16 train / 4 validation under the engine's 1-in-5 split.
+  EXPECT_EQ(done.train_rows, 16u);
+  EXPECT_EQ(done.valid_rows, 4u);
+  EXPECT_EQ(done.estimate.values.size(), 16u);
+  EXPECT_EQ(done.ranked_rows.size(), 16u);
+  EXPECT_EQ(done.progress_completed, done.progress_total);
+}
+
+TEST(JobApiTest, SubmitValidatesUpFront) {
+  JobManager manager;
+
+  JobRequest no_source = QuickRequest();
+  no_source.csv_data.clear();
+  EXPECT_EQ(manager.Submit(no_source).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JobRequest both = QuickRequest();
+  both.csv_path = "/tmp/x.csv";
+  EXPECT_EQ(manager.Submit(both).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JobRequest unknown_algorithm = QuickRequest();
+  unknown_algorithm.algorithm = "nope";
+  EXPECT_EQ(manager.Submit(unknown_algorithm).status().code(),
+            StatusCode::kNotFound);
+
+  JobRequest bad_option = QuickRequest();
+  bad_option.options = {{"k", "zero"}};
+  EXPECT_EQ(manager.Submit(bad_option).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JobRequest unknown_option = QuickRequest();
+  unknown_option.options = {{"num_permutations", "8"}};
+  EXPECT_EQ(manager.Submit(unknown_option).status().code(),
+            StatusCode::kNotFound);
+
+  EXPECT_EQ(manager.Get("job-99").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Cancel("job-99").code(), StatusCode::kNotFound);
+}
+
+/// A registry algorithm that blocks until its cancel flag rises — the only
+/// way to hold a worker deterministically for queue/cancel tests.
+class BlockingAlgorithm : public AlgorithmInstance {
+ public:
+  BlockingAlgorithm()
+      : AlgorithmInstance("test_blocking", "blocks until cancelled") {}
+  Result<ImportanceEstimate> Run(const RunInput&) const override {
+    while (!cancel_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::Cancelled("cancelled mid-run");
+  }
+};
+
+void EnsureBlockingRegistered() {
+  static bool once = [] {
+    Status registered = AlgorithmRegistry::Global().Register(
+        []() { return std::make_unique<BlockingAlgorithm>(); });
+    return registered.ok();
+  }();
+  ASSERT_TRUE(once);
+}
+
+JobRequest BlockingRequest() {
+  JobRequest request = QuickRequest();
+  request.algorithm = "test_blocking";
+  request.options.clear();
+  return request;
+}
+
+TEST(JobApiTest, FullQueueRefusesWithResourceExhausted) {
+  EnsureBlockingRegistered();
+  JobApiOptions options;
+  options.num_workers = 1;
+  options.max_queued = 1;
+  JobManager manager(options);
+
+  // First job occupies the single worker; wait until it actually runs so the
+  // queue accounting is deterministic.
+  std::string running = manager.Submit(BlockingRequest()).value();
+  for (int i = 0; i < 2000 && manager.Get(running).value().state !=
+                                  JobState::kRunning;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(manager.Get(running).value().state, JobState::kRunning);
+
+  // Second fills the queue; third must bounce with backpressure.
+  std::string queued = manager.Submit(BlockingRequest()).value();
+  Result<std::string> refused = manager.Submit(BlockingRequest());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+
+  // Cancel both: the queued job only advances once the worker reaches it, so
+  // the runner must be released first.
+  ASSERT_TRUE(manager.Cancel(queued).ok());
+  ASSERT_TRUE(manager.Cancel(running).ok());
+  JobSnapshot stopped = AwaitDone(manager, running);
+  EXPECT_EQ(stopped.state, JobState::kCancelled);
+  JobSnapshot cancelled = AwaitDone(manager, queued);
+  EXPECT_EQ(cancelled.state, JobState::kCancelled);
+  EXPECT_EQ(cancelled.error.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(cancelled.estimate.values.empty());
+
+  // With the queue drained, a new submission is accepted again.
+  Result<std::string> retried = manager.Submit(QuickRequest());
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+TEST(JobApiTest, DestructorCancelsOutstandingJobs) {
+  EnsureBlockingRegistered();
+  JobApiOptions options;
+  options.num_workers = 1;
+  options.max_queued = 4;
+  {
+    JobManager manager(options);
+    manager.Submit(BlockingRequest()).value();
+    manager.Submit(BlockingRequest()).value();
+    // Destructor must cancel the runner and the queued job and drain.
+  }
+  SUCCEED();
+}
+
+TEST(JobApiTest, FailingJobDegradesHealthAndLaterSuccessRestoresIt) {
+  telemetry::SetHealthy();
+  failpoint::DisarmAll();
+  // Every utility evaluation fails: the estimator aborts on the first wave
+  // and the job must surface the injected error, not a partial result.
+  ASSERT_TRUE(failpoint::Arm("utility.evaluate=error(io_error:disk gone)").ok());
+
+  JobManager manager;
+  JobRequest failing = QuickRequest();
+  failing.algorithm = "loo";
+  failing.options = {{"max_retries", "0"}};
+  std::string id = manager.Submit(failing).value();
+  JobSnapshot failed = AwaitDone(manager, id);
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(failed.state, JobState::kError);
+  EXPECT_FALSE(failed.error.ok());
+  EXPECT_TRUE(failed.estimate.values.empty());
+  EXPECT_FALSE(telemetry::IsHealthy());
+
+  // The manager keeps serving: a clean job succeeds and restores /healthz.
+  std::string clean = manager.Submit(QuickRequest()).value();
+  JobSnapshot done = AwaitDone(manager, clean);
+  EXPECT_EQ(done.state, JobState::kDone);
+  EXPECT_TRUE(telemetry::IsHealthy());
+}
+
+TEST(JobApiTest, WritesRunReportArtifact) {
+  JobApiOptions options;
+  options.artifact_dir = ::testing::TempDir() + "nde_job_artifacts";
+  JobManager manager(options);
+  std::string id = manager.Submit(QuickRequest()).value();
+  JobSnapshot done = AwaitDone(manager, id);
+  ASSERT_EQ(done.state, JobState::kDone);
+  ASSERT_FALSE(done.artifact_path.empty());
+
+  std::FILE* f = std::fopen(done.artifact_path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << done.artifact_path;
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  JsonChecker checker(contents);
+  EXPECT_TRUE(checker.Valid());
+  EXPECT_NE(contents.find("knn_shapley"), std::string::npos);
+}
+
+// --- HTTP face ---------------------------------------------------------------
+
+std::string StatusLine(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+std::string Body(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+telemetry::HttpRequest Request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "") {
+  telemetry::HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  return request;
+}
+
+TEST(JobApiHttpTest, AlgorithmzServesTheCatalog) {
+  JobManager manager;
+  std::string response = manager.HandleHttp(Request("GET", "/algorithmz"));
+  EXPECT_NE(StatusLine(response).find("200"), std::string::npos);
+  std::string body = Body(response);
+  JsonChecker checker(body);
+  EXPECT_TRUE(checker.Valid());
+  EXPECT_NE(body.find("\"tmc_shapley\""), std::string::npos);
+  EXPECT_NE(body.find("\"num_permutations\""), std::string::npos);
+
+  std::string post = manager.HandleHttp(Request("POST", "/algorithmz"));
+  EXPECT_NE(StatusLine(post).find("405"), std::string::npos);
+}
+
+TEST(JobApiHttpTest, PostPollFetchLifecycle) {
+  JobManager manager;
+  std::string body =
+      "{\"algorithm\":\"knn_shapley\",\"label\":\"label\",\"csv\":";
+  // JSON-encode the CSV payload.
+  std::string csv;
+  for (char c : std::string(kCsv)) {
+    if (c == '\n') {
+      csv += "\\n";
+    } else {
+      csv += c;
+    }
+  }
+  body += "\"" + csv + "\",\"options\":{\"k\":3}}";
+
+  std::string response = manager.HandleHttp(Request("POST", "/jobs", body));
+  ASSERT_NE(StatusLine(response).find("202"), std::string::npos) << response;
+  json::Value accepted = json::Parse(Body(response)).value();
+  const json::Value* id = accepted.Find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(accepted.Find("state")->as_string(), "queued");
+
+  // Poll over HTTP until done.
+  std::string job_path = "/jobs/" + id->as_string();
+  json::Value snapshot = json::Value::Null();
+  for (int i = 0; i < 2000; ++i) {
+    std::string poll = manager.HandleHttp(Request("GET", job_path));
+    ASSERT_NE(StatusLine(poll).find("200"), std::string::npos);
+    snapshot = json::Parse(Body(poll)).value();
+    const std::string& state = snapshot.Find("state")->as_string();
+    if (state != "queued" && state != "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(snapshot.Find("state")->as_string(), "done");
+  const json::Value* result = snapshot.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("values")->items().size(), 16u);
+  EXPECT_EQ(result->Find("ranked_rows")->items().size(), 16u);
+  EXPECT_EQ(result->Find("train_rows")->as_number(), 16.0);
+
+  // The job list mentions it; summaries omit the result payload.
+  std::string list = manager.HandleHttp(Request("GET", "/jobs"));
+  EXPECT_NE(Body(list).find(id->as_string()), std::string::npos);
+  EXPECT_EQ(Body(list).find("\"values\""), std::string::npos);
+}
+
+TEST(JobApiHttpTest, BadRequestsGetStructuredErrors) {
+  JobManager manager;
+
+  std::string malformed = manager.HandleHttp(Request("POST", "/jobs", "{"));
+  EXPECT_NE(StatusLine(malformed).find("400"), std::string::npos);
+  EXPECT_NE(Body(malformed).find("\"error\""), std::string::npos);
+
+  std::string unknown_field = manager.HandleHttp(Request(
+      "POST", "/jobs",
+      "{\"algorithm\":\"loo\",\"label\":\"y\",\"csv\":\"x\",\"oops\":1}"));
+  EXPECT_NE(StatusLine(unknown_field).find("400"), std::string::npos);
+
+  std::string unknown_algorithm = manager.HandleHttp(Request(
+      "POST", "/jobs",
+      "{\"algorithm\":\"nope\",\"label\":\"y\",\"csv\":\"a,y\\n1,0\\n\"}"));
+  EXPECT_NE(StatusLine(unknown_algorithm).find("404"), std::string::npos);
+  EXPECT_NE(Body(unknown_algorithm).find("not_found"), std::string::npos);
+
+  std::string missing_job = manager.HandleHttp(Request("GET", "/jobs/job-9"));
+  EXPECT_NE(StatusLine(missing_job).find("404"), std::string::npos);
+
+  std::string bad_method = manager.HandleHttp(Request("PUT", "/jobs"));
+  EXPECT_NE(StatusLine(bad_method).find("405"), std::string::npos);
+}
+
+TEST(JobApiHttpTest, FullQueueAnswers429) {
+  EnsureBlockingRegistered();
+  JobApiOptions options;
+  options.num_workers = 1;
+  options.max_queued = 1;
+  JobManager manager(options);
+
+  std::string running = manager.Submit(BlockingRequest()).value();
+  for (int i = 0; i < 2000 && manager.Get(running).value().state !=
+                                  JobState::kRunning;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  manager.Submit(BlockingRequest()).value();
+
+  std::string body =
+      "{\"algorithm\":\"test_blocking\",\"label\":\"label\",\"csv\":\"a\"}";
+  std::string refused = manager.HandleHttp(Request("POST", "/jobs", body));
+  EXPECT_NE(StatusLine(refused).find("429"), std::string::npos) << refused;
+  EXPECT_NE(Body(refused).find("resource_exhausted"), std::string::npos);
+}
+
+TEST(JobApiHttpTest, DeleteCancelsARunningJob) {
+  EnsureBlockingRegistered();
+  JobManager manager;
+  std::string id = manager.Submit(BlockingRequest()).value();
+  for (int i = 0; i < 2000 &&
+                  manager.Get(id).value().state != JobState::kRunning;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::string response = manager.HandleHttp(Request("DELETE", "/jobs/" + id));
+  EXPECT_NE(StatusLine(response).find("200"), std::string::npos);
+
+  JobSnapshot stopped = AwaitDone(manager, id);
+  EXPECT_EQ(stopped.state, JobState::kCancelled);
+  std::string poll = manager.HandleHttp(Request("GET", "/jobs/" + id));
+  EXPECT_NE(Body(poll).find("\"cancelled\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nde

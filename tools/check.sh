@@ -29,7 +29,11 @@
 #                                      # Release build; scrapes a live
 #                                      # `nde_cli --serve` endpoint (/healthz,
 #                                      # /metrics format check) while an
-#                                      # estimator is running
+#                                      # estimator is running, then drives the
+#                                      # async job API on `nde_cli serve`:
+#                                      # POST /jobs, poll to done, result +
+#                                      # RunReport artifact, queue-full 429,
+#                                      # DELETE cancellation
 #                                      # (default build dir: build-serve)
 #   tools/check.sh --chaos [build-dir-prefix]
 #                                      # Runs the fault-injection suites
@@ -235,7 +239,112 @@ EOF
   kill "$CLI_PID" 2>/dev/null || true
   wait "$CLI_PID" 2>/dev/null || true
   CLI_PID=""
-  echo "check.sh: serve smoke passed (/healthz ok, /metrics well-formed)"
+
+  # --- job-API smoke: drive a full async importance job over HTTP. ----------
+  # POST with status capture: prints the body, then "HTTP <code>" last.
+  http_post() {
+    if command -v curl >/dev/null 2>&1; then
+      curl -s --max-time 10 -X POST --data "$2" \
+        -w '\nHTTP %{http_code}\n' "$1"
+    else
+      python3 - "$1" "$2" <<'EOF'
+import sys, urllib.request, urllib.error
+req = urllib.request.Request(sys.argv[1], data=sys.argv[2].encode())
+try:
+    resp = urllib.request.urlopen(req, timeout=10)
+    body, code = resp.read().decode(), resp.status
+except urllib.error.HTTPError as e:
+    body, code = e.read().decode(), e.code
+print(body)
+print(f"HTTP {code}")
+EOF
+    fi
+  }
+  http_delete() {
+    if command -v curl >/dev/null 2>&1; then
+      curl -s --max-time 10 -X DELETE "$1"
+    else
+      python3 -c 'import sys, urllib.request
+req = urllib.request.Request(sys.argv[1], method="DELETE")
+sys.stdout.write(urllib.request.urlopen(req, timeout=10).read().decode())' "$1"
+    fi
+  }
+
+  "$BUILD_DIR/tools/nde_cli" serve --port 0 --job-workers 1 --max-queue 1 \
+    --artifact-dir "$WORKDIR/artifacts" 2> "$WORKDIR/serve_err.txt" &
+  CLI_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's#.*serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$WORKDIR/serve_err.txt" | head -1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "check.sh: serve mode never announced" >&2; exit 1; }
+
+  http_get "http://127.0.0.1:$PORT/algorithmz" | grep -q '"tmc_shapley"' \
+    || { echo "check.sh: /algorithmz does not list tmc_shapley" >&2; exit 1; }
+
+  # Submit a fast job and poll it to completion.
+  http_post "http://127.0.0.1:$PORT/jobs" \
+    "{\"algorithm\":\"knn_shapley\",\"label\":\"label\",\"csv_path\":\"$WORKDIR/train.csv\",\"options\":{\"k\":3}}" \
+    > "$WORKDIR/submit.txt"
+  grep -q '^HTTP 202$' "$WORKDIR/submit.txt" \
+    || { echo "check.sh: POST /jobs not accepted" >&2; cat "$WORKDIR/submit.txt" >&2; exit 1; }
+  JOB_ID="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$WORKDIR/submit.txt" | head -1)"
+  [ -n "$JOB_ID" ] || { echo "check.sh: no job id in POST response" >&2; exit 1; }
+
+  DONE=""
+  for _ in $(seq 1 100); do
+    http_get "http://127.0.0.1:$PORT/jobs/$JOB_ID" > "$WORKDIR/job.txt" || true
+    if grep -q '"state":"done"' "$WORKDIR/job.txt"; then DONE=1; break; fi
+    if grep -q '"state":"error"' "$WORKDIR/job.txt"; then break; fi
+    sleep 0.1
+  done
+  [ -n "$DONE" ] || { echo "check.sh: job never reached done" >&2; cat "$WORKDIR/job.txt" >&2; exit 1; }
+  grep -q '"values":\[-\?[0-9]' "$WORKDIR/job.txt" \
+    || { echo "check.sh: done job has no values" >&2; exit 1; }
+  grep -q '"ranked_rows":\[[0-9]' "$WORKDIR/job.txt" \
+    || { echo "check.sh: done job has no ranked rows" >&2; exit 1; }
+  [ -s "$WORKDIR/artifacts/$JOB_ID.json" ] \
+    || { echo "check.sh: job RunReport artifact missing" >&2; exit 1; }
+  grep -q '"job_id"' "$WORKDIR/artifacts/$JOB_ID.json" \
+    || { echo "check.sh: artifact lacks job config" >&2; exit 1; }
+
+  # Backpressure: with 1 worker and a 1-deep queue, a long job + a queued job
+  # must push the third submission to 429; then cancel the long one.
+  LONG="{\"algorithm\":\"tmc_shapley\",\"label\":\"label\",\"csv_path\":\"$WORKDIR/train.csv\",\"options\":{\"num_permutations\":100000}}"
+  http_post "http://127.0.0.1:$PORT/jobs" "$LONG" > "$WORKDIR/long1.txt"
+  grep -q '^HTTP 202$' "$WORKDIR/long1.txt" \
+    || { echo "check.sh: first long job rejected" >&2; exit 1; }
+  LONG_ID="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$WORKDIR/long1.txt" | head -1)"
+  http_post "http://127.0.0.1:$PORT/jobs" "$LONG" > "$WORKDIR/long2.txt"
+  grep -q '^HTTP 202$' "$WORKDIR/long2.txt" \
+    || { echo "check.sh: queued long job rejected" >&2; exit 1; }
+  QUEUED_ID="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$WORKDIR/long2.txt" | head -1)"
+  http_post "http://127.0.0.1:$PORT/jobs" "$LONG" > "$WORKDIR/long3.txt"
+  grep -q '^HTTP 429$' "$WORKDIR/long3.txt" \
+    || { echo "check.sh: full queue did not answer 429" >&2; cat "$WORKDIR/long3.txt" >&2; exit 1; }
+  grep -q 'resource_exhausted' "$WORKDIR/long3.txt" \
+    || { echo "check.sh: 429 body lacks the status code" >&2; exit 1; }
+
+  http_delete "http://127.0.0.1:$PORT/jobs/$QUEUED_ID" > /dev/null
+  http_delete "http://127.0.0.1:$PORT/jobs/$LONG_ID" > /dev/null
+  CANCELLED=""
+  for _ in $(seq 1 100); do
+    if http_get "http://127.0.0.1:$PORT/jobs/$LONG_ID" \
+        | grep -q '"state":"cancelled"'; then
+      CANCELLED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ -n "$CANCELLED" ] || { echo "check.sh: DELETE did not cancel the job" >&2; exit 1; }
+
+  kill "$CLI_PID" 2>/dev/null || true
+  wait "$CLI_PID" 2>/dev/null || true
+  CLI_PID=""
+  echo "check.sh: serve smoke passed (/healthz ok, /metrics well-formed, job API drove submit/poll/result/429/cancel)"
   exit 0
 fi
 
@@ -312,10 +421,11 @@ export TSAN_OPTIONS="halt_on_error=1"
 
 if [ "$MODE" = "tsan" ]; then
   # The thread-heavy suites: pool lifecycle, ParallelFor (including the
-  # SubsetCache concurrency hammer), and the estimators' cross-thread
-  # determinism contract over the cached/warm-started utilities.
+  # SubsetCache concurrency hammer), the estimators' cross-thread
+  # determinism contract over the cached/warm-started utilities, and the
+  # registry/job-API serving layer (worker pool + HTTP cancellation).
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R "determinism|parallel|importance"
+    -R "determinism|parallel|importance|registry|job_api"
   echo "check.sh: parallel suites passed under TSan"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -18,6 +18,22 @@
 //           [--strategy mean|median|most_frequent] [--out <out.csv>]
 //       Fills the column's missing values and writes the repaired CSV.
 //
+//   nde_cli serve [--port 0] [--job-workers 1] [--max-queue 8]
+//           [--artifact-dir <dir>]
+//       Runs the async importance-job API on 127.0.0.1: POST /jobs submits a
+//       CSV + algorithm + options, GET /jobs/<id> polls, DELETE /jobs/<id>
+//       cancels, GET /algorithmz lists every algorithm with its typed
+//       options. The observability endpoints (/healthz /metrics /varz
+//       /tracez /profilez) are served on the same port. Ctrl-C stops.
+//
+//   nde_cli --list-algorithms
+//       Prints the algorithm registry: every estimator name with its
+//       options, types, defaults, and docs.
+//
+// Estimators are resolved through the algorithm registry
+// (src/nde/registry.h); `--set name=value` (repeatable, importance and
+// pipeline mode) sets any declared option by name, with typed validation.
+//
 // Global flags (any subcommand):
 //
 //   --metrics            print the telemetry metrics table after the command
@@ -63,6 +79,7 @@
 // to 503 while --serve is up.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +87,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nde/nde.h"
@@ -80,6 +98,7 @@ namespace {
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> sets;  ///< "name=value" from repeatable --set
   std::string error;  ///< Non-empty when parsing failed (e.g. missing value).
 };
 
@@ -104,6 +123,11 @@ Args ParseArgs(int argc, char** argv) {
       if (i + 1 >= argc || StartsWith(argv[i + 1], "--")) {
         args.error = StrFormat("flag '--%s' requires a value", key.c_str());
         return args;
+      }
+      if (key == "set") {
+        // Repeatable: each occurrence is one "name=value" assignment.
+        args.sets.push_back(argv[++i]);
+        continue;
       }
       args.flags[key] = argv[++i];
     } else {
@@ -188,6 +212,10 @@ ProgressCallback MakeCliProgress() {
 /// typo like --labell fails loudly instead of silently using the default.
 Status CheckFlags(const Args& args, const std::string& command,
                   const std::set<std::string>& allowed) {
+  if (!args.sets.empty() && allowed.count("set") == 0) {
+    return Status::InvalidArgument(
+        StrFormat("unknown flag '--set' for '%s'", command.c_str()));
+  }
   for (const auto& [key, value] : args.flags) {
     if (allowed.count(key) > 0 || key == "metrics" || key == "prometheus" ||
         key == "trace" || key == "threads" || key == "serve" ||
@@ -197,6 +225,22 @@ Status CheckFlags(const Args& args, const std::string& command,
     }
     return Status::InvalidArgument(StrFormat(
         "unknown flag '--%s' for '%s'", key.c_str(), command.c_str()));
+  }
+  return Status::OK();
+}
+
+/// Applies every --set name=value assignment strictly: unknown options and
+/// unparsable values are usage errors, unlike the legacy flags (which land
+/// only on algorithms declaring the matching option).
+Status ApplySetFlags(const Args& args, AlgorithmInstance* algorithm) {
+  for (const std::string& assignment : args.sets) {
+    size_t eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("--set expects name=value, got '" +
+                                     assignment + "'");
+    }
+    NDE_RETURN_IF_ERROR(algorithm->Configure(assignment.substr(0, eq),
+                                             assignment.substr(eq + 1)));
   }
   return Status::OK();
 }
@@ -266,8 +310,10 @@ int RunScreen(const Args& args) {
 /// Single-CSV importance: runs the file through a real MlPipeline (source ->
 /// filter -> project -> encode) under a PlanProfiler, prints the annotated
 /// plan with per-operator timings, then ranks the training rows with a
-/// game-theoretic estimator over an internal train/validation split. This is
-/// the fully instrumented path: with --trace, the output JSON contains one
+/// registry-resolved estimator over an internal train/validation split (the
+/// shared engine in src/nde/engine.h — the same code path the HTTP job API
+/// runs, so CLI and API results are bit-identical). This is the fully
+/// instrumented path: with --trace, the output JSON contains one
 /// complete-event per plan operator and per Shapley iteration batch.
 int RunImportancePipeline(const Args& args) {
   std::string label = FlagOr(args, "label", "");
@@ -296,128 +342,82 @@ int RunImportancePipeline(const Args& args) {
                         static_cast<int64_t>(retry_backoff_ms));
   }
 
+  Result<std::unique_ptr<AlgorithmInstance>> algorithm =
+      AlgorithmRegistry::Global().Create(method);
+  if (!algorithm.ok()) return Fail(algorithm.status().ToString());
+
+  // Map the legacy flags onto registry options. Each lands only on
+  // algorithms declaring the matching option, preserving the pre-registry
+  // behavior where e.g. knn_shapley silently ignored --permutations; only
+  // --set assignments are strict.
+  auto configure = [&](const std::string& option,
+                       const std::string& value) -> Status {
+    if (!(*algorithm)->HasOption(option)) return Status::OK();
+    return (*algorithm)->Configure(option, value);
+  };
+  Status configured = Status::OK();
+  auto merge = [&configured](const Status& status) {
+    if (configured.ok()) configured = status;
+  };
+  merge(configure("seed", FlagOr(args, "seed", "42")));
+  merge(configure("num_permutations", StrFormat("%zu", permutations)));
+  merge(configure("num_samples", StrFormat("%zu", permutations * 8)));
+  merge(configure("samples_per_unit",
+                  StrFormat("%zu", std::max<size_t>(permutations, 2))));
+  merge(configure("utility_cache", use_cache ? "true" : "false"));
+  merge(configure("warm_start", warm_start ? "true" : "false"));
+  merge(configure("max_retries", FlagOr(args, "retries", "2")));
+  merge(configure("retry_backoff_ms", FlagOr(args, "retry-backoff-ms", "25")));
+  if (!configured.ok()) return Fail(configured.ToString());
+  Status sets_ok = ApplySetFlags(args, algorithm->get());
+  if (!sets_ok.ok()) return Fail(sets_ok.ToString());
+  (*algorithm)->SetProgress(MakeCliProgress());
+
   Result<Table> table = ReadCsvFile(args.positional[0]);
   if (!table.ok()) return FailStatus(table.status());
+  // A missing label column is a usage error (exit 2), so screen it here
+  // before the engine treats it as a generic failure.
   Result<size_t> label_col = table->schema().FieldIndex(label);
   if (!label_col.ok()) return Fail(label_col.status().ToString());
 
-  Result<ColumnTransformer> transformer = MakeAutoTransformer(*table, {label});
-  if (!transformer.ok()) return FailStatus(transformer.status());
-
-  std::vector<std::string> columns;
-  for (size_t c = 0; c < table->schema().num_fields(); ++c) {
-    columns.push_back(table->schema().field(c).name);
+  std::string annotated_plan;
+  Result<TableRunResult> run =
+      RunAlgorithmOnTable(**algorithm, *table, label, &annotated_plan);
+  // The plan is worth printing even when the estimator then failed.
+  if (!annotated_plan.empty()) {
+    std::printf("pipeline plan (per-operator timings):\n%s\n",
+                annotated_plan.c_str());
   }
-  PlanBuilder builder = [label, columns](
-                            const std::vector<PlanNodePtr>& sources) {
-    PlanNodePtr node = MakeFilter(
-        sources[0], label + " is not null", [label](const RowView& row) {
-          Result<Value> cell = row.Get(label);
-          return cell.ok() && !cell.value().is_null();
-        });
-    return MakeProject(std::move(node), columns);
-  };
-  MlPipeline pipeline({{"train", *table}}, builder, *std::move(transformer),
-                      label);
+  if (!run.ok()) return FailStatus(run.status());
 
-  PlanNodePtr plan = pipeline.BuildPlan();
-  PlanProfiler profiler;
-  Result<PipelineOutput> output = pipeline.Execute(plan);
-  if (!output.ok()) return FailStatus(output.status());
-
-  std::printf("pipeline plan (per-operator timings):\n%s\n",
-              profiler.AnnotatedPlan(*plan).c_str());
-
-  // Internal split: every 5th output row validates, the rest train.
-  MlDataset all = output->ToDataset();
-  std::vector<size_t> train_rows, valid_rows;
-  for (size_t r = 0; r < all.size(); ++r) {
-    (r % 5 == 4 ? valid_rows : train_rows).push_back(r);
-  }
-  if (train_rows.empty() || valid_rows.empty()) {
-    return Fail("not enough rows for an importance split");
-  }
-  MlDataset train = all.Subset(train_rows);
-  MlDataset valid = all.Subset(valid_rows);
-
-  std::vector<double> values;
   int exit_code = 0;
-  if (method == "knn_shapley") {
-    EstimatorOptions options;
-    options.seed = seed;
-    options.progress = MakeCliProgress();
-    values = KnnShapleyValues(train, valid, 5, options);
-  } else {
-    auto factory = []() { return std::make_unique<KnnClassifier>(5); };
-    UtilityFastPathOptions fast_path;
-    fast_path.subset_cache = use_cache;
-    ModelAccuracyUtility utility(factory, train, valid, fast_path);
-    auto estimate_for = [&]() -> Result<ImportanceEstimate> {
-      if (method == "tmc_shapley") {
-        TmcShapleyOptions options;
-        options.num_permutations = permutations;
-        options.warm_start = warm_start;
-        options.seed = seed;
-        options.max_retries = retries;
-        options.retry_backoff_ms = retry_backoff_ms;
-        options.progress = MakeCliProgress();
-        return TmcShapleyValues(utility, options);
-      }
-      if (method == "banzhaf") {
-        BanzhafOptions options;
-        options.num_samples = permutations * 8;
-        options.seed = seed;
-        options.max_retries = retries;
-        options.retry_backoff_ms = retry_backoff_ms;
-        options.progress = MakeCliProgress();
-        return BanzhafValues(utility, options);
-      }
-      if (method == "beta_shapley") {
-        BetaShapleyOptions options;
-        options.samples_per_unit = std::max<size_t>(permutations, 2);
-        options.seed = seed;
-        options.max_retries = retries;
-        options.retry_backoff_ms = retry_backoff_ms;
-        options.progress = MakeCliProgress();
-        return BetaShapleyValues(utility, options);
-      }
-      return Status::InvalidArgument(
-          "unknown method '" + method +
-          "' (single-file mode supports "
-          "tmc_shapley|banzhaf|beta_shapley|knn_shapley)");
-    };
-    Result<ImportanceEstimate> estimate = estimate_for();
-    if (!estimate.ok()) return FailStatus(estimate.status());
-    if (estimate->aborted_early) {
-      // A partial estimate is still worth printing (completed waves are
-      // exactly a smaller clean run), but the process must not pretend the
-      // budget ran to completion: report the cause, mark the run degraded,
-      // and exit with the runtime-failure code.
-      telemetry::SetDegraded(estimate->abort_cause.ToString());
-      if (g_report != nullptr) g_report->SetError(estimate->abort_cause, 3);
-      std::fprintf(stderr,
-                   "warning: estimator aborted early (%s); ranking below "
-                   "covers the completed portion only\n",
-                   estimate->abort_cause.ToString().c_str());
-      exit_code = 3;
-    }
-    std::printf("%zu utility evaluations over %zu training rows (%zu threads)\n",
-                estimate->utility_evaluations, train.size(),
-                estimate->num_threads_used);
-    values = std::move(estimate->values);
+  const ImportanceEstimate& estimate = run->estimate;
+  if (estimate.aborted_early) {
+    // A partial estimate is still worth printing (completed waves are
+    // exactly a smaller clean run), but the process must not pretend the
+    // budget ran to completion: report the cause, mark the run degraded,
+    // and exit with the runtime-failure code.
+    telemetry::SetDegraded(estimate.abort_cause.ToString());
+    if (g_report != nullptr) g_report->SetError(estimate.abort_cause, 3);
+    std::fprintf(stderr,
+                 "warning: estimator aborted early (%s); ranking below "
+                 "covers the completed portion only\n",
+                 estimate.abort_cause.ToString().c_str());
+    exit_code = 3;
+  }
+  if (estimate.utility_evaluations > 0) {
+    std::printf(
+        "%zu utility evaluations over %zu training rows (%zu threads)\n",
+        estimate.utility_evaluations, run->train_rows,
+        estimate.num_threads_used);
   }
 
-  // Most suspect first = lowest importance value; report source row ids via
-  // the pipeline's provenance.
-  std::vector<size_t> ranking = AscendingOrder(values);
+  // Most suspect first = lowest importance value; the engine already mapped
+  // values back to source row ids through the pipeline's provenance.
   std::printf("top %zu cleaning candidates by %s (most suspect first):\n",
-              std::min(top, ranking.size()), method.c_str());
-  for (size_t i = 0; i < std::min(top, ranking.size()); ++i) {
-    size_t output_row = train_rows[ranking[i]];
-    const std::vector<SourceRef>& refs =
-        output->provenance[output_row].refs();
-    std::printf("%u\n", refs.empty() ? static_cast<uint32_t>(output_row)
-                                     : refs[0].row_id);
+              std::min(top, run->ranked_rows.size()), method.c_str());
+  for (size_t i = 0; i < std::min(top, run->ranked_rows.size()); ++i) {
+    std::printf("%u\n", run->ranked_rows[i]);
   }
   return exit_code;
 }
@@ -426,7 +426,7 @@ int RunImportance(const Args& args) {
   Status flags_ok =
       CheckFlags(args, "importance",
                  {"label", "method", "top", "permutations", "utility-cache",
-                  "warm-start", "seed", "retries", "retry-backoff-ms"});
+                  "warm-start", "seed", "retries", "retry-backoff-ms", "set"});
   if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() == 1) return RunImportancePipeline(args);
   if (args.positional.size() != 2) {
@@ -452,27 +452,30 @@ int RunImportance(const Args& args) {
                              "valid: " + valid.status().message()));
   }
 
-  CleaningStrategy strategy;
-  if (method == "knn_shapley") {
-    strategy = KnnShapleyStrategy();
-  } else if (method == "influence") {
-    strategy = InfluenceStrategy();
-  } else if (method == "aum") {
-    strategy = AumStrategy();
-  } else if (method == "self_confidence") {
-    strategy = SelfConfidenceStrategy();
-  } else if (method == "loo") {
-    strategy = LooStrategy();
-  } else {
-    return Fail("unknown method '" + method + "'");
+  Result<std::unique_ptr<AlgorithmInstance>> algorithm =
+      AlgorithmRegistry::Global().Create(method);
+  if (!algorithm.ok()) return Fail(algorithm.status().ToString());
+  // The pre-registry strategies seeded from the dispatcher (always 42 here);
+  // registry defaults already match their other knobs exactly.
+  if ((*algorithm)->HasOption("seed")) {
+    Status seeded = (*algorithm)->Configure("seed", "42");
+    if (!seeded.ok()) return Fail(seeded.ToString());
   }
-  Result<std::vector<size_t>> ranking = strategy.rank(*train, *valid, 42);
-  if (!ranking.ok()) return FailStatus(ranking.status());
+  Status sets_ok = ApplySetFlags(args, algorithm->get());
+  if (!sets_ok.ok()) return Fail(sets_ok.ToString());
+  (*algorithm)->SetProgress(MakeCliProgress());
+
+  RunInput input;
+  input.train = &*train;
+  input.validation = &*valid;
+  Result<ImportanceEstimate> estimate = (*algorithm)->Run(input);
+  if (!estimate.ok()) return FailStatus(estimate.status());
+  std::vector<size_t> ranking = AscendingOrder(estimate->values);
 
   std::printf("top %zu cleaning candidates by %s (most suspect first):\n", top,
-              strategy.name.c_str());
-  for (size_t i = 0; i < std::min(top, ranking->size()); ++i) {
-    std::printf("%zu\n", (*ranking)[i]);
+              method.c_str());
+  for (size_t i = 0; i < std::min(top, ranking.size()); ++i) {
+    std::printf("%zu\n", ranking[i]);
   }
   return 0;
 }
@@ -511,9 +514,86 @@ int RunImpute(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+/// Dedicated serving mode: keeps the embedded HTTP exporter up with the
+/// async importance-job API mounted (POST /jobs, GET /jobs/<id>,
+/// DELETE /jobs/<id>, GET /algorithmz) alongside the observability endpoints
+/// until SIGINT/SIGTERM. Jobs run on a shared worker pool with a bounded
+/// queue; an overflowing queue answers 429 so callers can back off.
+int RunServe(const Args& args) {
+  Status flags_ok = CheckFlags(
+      args, "serve", {"port", "job-workers", "max-queue", "artifact-dir"});
+  if (!flags_ok.ok()) return Fail(flags_ok.ToString());
+  if (!args.positional.empty()) {
+    return Fail("usage: nde_cli serve [--port 0] [--job-workers 1] "
+                "[--max-queue 8] [--artifact-dir <dir>]");
+  }
+  auto parse_count = [&](const std::string& flag, const std::string& fallback,
+                         unsigned long long max_value,
+                         unsigned long long* out) -> Status {
+    std::string text = FlagOr(args, flag, fallback);
+    bool all_digits = !text.empty() &&
+                      text.find_first_not_of("0123456789") ==
+                          std::string::npos;
+    unsigned long long parsed =
+        all_digits ? std::strtoull(text.c_str(), nullptr, 10) : max_value + 1;
+    if (!all_digits || parsed > max_value) {
+      return Status::InvalidArgument(StrFormat(
+          "--%s requires an integer in 0..%llu, got '%s'", flag.c_str(),
+          max_value, text.c_str()));
+    }
+    *out = parsed;
+    return Status::OK();
+  };
+  unsigned long long port = 0, workers = 1, max_queue = 8;
+  Status parsed = parse_count("port", "0", 65535ULL, &port);
+  if (parsed.ok()) parsed = parse_count("job-workers", "1", 1024ULL, &workers);
+  if (parsed.ok()) parsed = parse_count("max-queue", "8", 65536ULL, &max_queue);
+  if (!parsed.ok()) return Fail(parsed.ToString());
+  if (workers == 0) return Fail("--job-workers requires at least 1 worker");
+
+  // A long-lived server should always expose live metrics and traces.
+  telemetry::SetEnabled(true);
+
+  JobApiOptions job_options;
+  job_options.num_workers = static_cast<size_t>(workers);
+  job_options.max_queued = static_cast<size_t>(max_queue);
+  job_options.artifact_dir = FlagOr(args, "artifact-dir", "");
+  // Destruction order matters: the exporter (declared second) stops first,
+  // so no HTTP thread can reach the manager while it drains its workers.
+  JobManager manager(job_options);
+  telemetry::HttpExporter exporter;
+  exporter.SetHandler([&manager](const telemetry::HttpRequest& request) {
+    return manager.HandleHttp(request);
+  });
+  Status started = exporter.Start(static_cast<uint16_t>(port));
+  if (!started.ok()) return Fail(started.ToString());
+  std::fprintf(stderr, "serving on http://127.0.0.1:%u\n",
+               static_cast<unsigned>(exporter.port()));
+  std::fprintf(stderr,
+               "job api ready: POST /jobs, GET /jobs/<id>, GET /algorithmz "
+               "(%zu worker%s, queue %zu)\n",
+               job_options.num_workers,
+               job_options.num_workers == 1 ? "" : "s",
+               job_options.max_queued);
+  std::fflush(stderr);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  exporter.Stop();
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: nde_cli <screen|importance|impute> ...\n"
+               "usage: nde_cli <screen|importance|impute|serve> ...\n"
                "  screen <table.csv> [--label <col>] [--max-null 0.2]\n"
                "  importance <train.csv> <valid.csv> --label <col>\n"
                "             [--method knn_shapley|influence|aum|"
@@ -527,6 +607,14 @@ int Usage() {
                "  impute <table.csv> --column <col>\n"
                "         [--strategy mean|median|most_frequent] "
                "[--out <out.csv>]\n"
+               "  serve [--port 0] [--job-workers 1] [--max-queue 8] "
+               "[--artifact-dir <dir>]\n"
+               "        (async job API: POST /jobs, GET /jobs/<id>, "
+               "GET /algorithmz)\n"
+               "  --list-algorithms    print every registry algorithm and "
+               "its options\n"
+               "importance flags: --set <option>=<value> (repeatable; see "
+               "--list-algorithms)\n"
                "global flags: --metrics | --prometheus | --trace <out.json> "
                "| --threads <N>\n"
                "              --serve <port> | --report <out.json> "
@@ -568,6 +656,10 @@ int WriteTrace(const std::string& path) {
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (command == "--list-algorithms") {
+    std::printf("%s", AlgorithmRegistry::Global().DescribeText().c_str());
+    return 0;
+  }
   Args args = ParseArgs(argc, argv);
   if (!args.error.empty()) {
     std::fprintf(stderr, "error: %s\n", args.error.c_str());
@@ -629,6 +721,13 @@ int Main(int argc, char** argv) {
     if (!prof.ok()) return Fail(prof.ToString());
   }
 
+  // `serve` runs its own exporter with the job API mounted; everything below
+  // is the sidecar --serve used while another command runs.
+  if (command == "serve") return RunServe(args);
+
+  // Declared before the exporter so the exporter (and its request thread)
+  // stops before the manager's workers drain.
+  std::unique_ptr<JobManager> serve_jobs;
   telemetry::HttpExporter exporter;
   if (!serve_flag.empty()) {
     bool all_digits =
@@ -641,6 +740,13 @@ int Main(int argc, char** argv) {
       return Fail("--serve requires a port in 0..65535, got '" + serve_flag +
                   "'");
     }
+    // The sidecar also exposes the job API so an observing client can submit
+    // follow-up importance runs against the same process.
+    serve_jobs = std::make_unique<JobManager>(JobApiOptions{});
+    exporter.SetHandler(
+        [manager = serve_jobs.get()](const telemetry::HttpRequest& request) {
+          return manager->HandleHttp(request);
+        });
     Status started = exporter.Start(static_cast<uint16_t>(port));
     if (!started.ok()) return Fail(started.ToString());
     // Announced on stderr so scripts backgrounding the CLI can scrape the
