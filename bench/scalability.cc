@@ -18,12 +18,15 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "datagen/synthetic.h"
 #include "importance/game_values.h"
 #include "importance/knn_shapley.h"
 #include "importance/utility.h"
 #include "ml/knn.h"
+#include "ml/naive_bayes.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -193,9 +196,85 @@ void BM_TmcUtilityFastPath(benchmark::State& state) {
   }
   state.counters["utility_evals_per_sec"] = benchmark::Counter(
       static_cast<double>(evaluations), benchmark::Counter::kIsRate);
+  // Steady-state allocation rate of the fast path, measured outside the
+  // timed loop: one run to warm the scorer context and arena pool, then one
+  // accounted run on the same utility. Only meaningful when the allocation
+  // interposer is compiled in (telemetry on, no sanitizer).
+  if (fast && telemetry::AllocAccountingCompiledIn()) {
+    ModelAccuracyUtility utility(factory, train, validation, fast_path);
+    benchmark::DoNotOptimize(TmcShapleyValues(utility, options).value());
+    telemetry::ResetAllocStats();
+    telemetry::SetAllocAccountingEnabled(true);
+    ImportanceEstimate accounted = TmcShapleyValues(utility, options).value();
+    telemetry::SetAllocAccountingEnabled(false);
+    telemetry::AllocStats stats = telemetry::GlobalAllocStats();
+    state.counters["allocs_per_eval"] = benchmark::Counter(
+        static_cast<double>(stats.alloc_count) /
+        static_cast<double>(accounted.utility_evaluations));
+  }
 }
 BENCHMARK(BM_TmcUtilityFastPath)
     ->ArgName("fast")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KnnKernel(benchmark::State& state) {
+  // The KNN coalition-scorer kernel in isolation: one full permutation scan
+  // per iteration, straight through NewPrefixScan — no estimator, no wave
+  // scheduling. Arg 0 runs the reference row-wise kernel, arg 1 the SoA
+  // kernel (flat cutoff/window buffers, vectorizable candidate-mask pass).
+  // Outputs are bit-identical (asserted at startup); only evals/sec moves.
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+  UtilityFastPathOptions fast_path;
+  fast_path.soa_kernels = state.range(0) != 0;
+  ModelAccuracyUtility utility(factory, train, validation, fast_path);
+  std::vector<size_t> perm = Rng(7).Permutation(train.size());
+  size_t evaluations = 0;
+  for (auto _ : state) {
+    std::unique_ptr<UtilityFunction::PrefixScan> scan =
+        utility.NewPrefixScan(false);
+    double last = 0.0;
+    for (size_t unit : perm) last = scan->Push(unit);
+    benchmark::DoNotOptimize(last);
+    evaluations += perm.size();
+  }
+  state.counters["utility_evals_per_sec"] = benchmark::Counter(
+      static_cast<double>(evaluations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KnnKernel)
+    ->ArgName("soa")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GaussianNbPrefixScan(benchmark::State& state) {
+  // TMC over the Gaussian-NB proxy utility: arg 0 retrains from scratch on
+  // every prefix, arg 1 uses the exact incremental scorer (sorted member
+  // lists, per-class moment recompute). Values are bit-identical either way
+  // (asserted at startup).
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  auto factory = []() { return std::make_unique<GaussianNaiveBayes>(); };
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  options.num_threads = 1;
+  options.use_prefix_scan = state.range(0) != 0;
+  size_t evaluations = 0;
+  for (auto _ : state) {
+    ModelAccuracyUtility utility(factory, train, validation);
+    ImportanceEstimate estimate = TmcShapleyValues(utility, options).value();
+    benchmark::DoNotOptimize(estimate);
+    evaluations += estimate.utility_evaluations;
+  }
+  state.counters["utility_evals_per_sec"] = benchmark::Counter(
+      static_cast<double>(evaluations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GaussianNbPrefixScan)
+    ->ArgName("scan")
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
@@ -373,12 +452,64 @@ bool CheckUtilityFastPathBitIdentity() {
   return true;
 }
 
+/// Guards the kernel benchmarks' premise: the SoA KNN kernel (with arena
+/// allocation) and the incremental Gaussian-NB scorer are pure speed knobs —
+/// their TMC-Shapley output must match the reference kernels bit for bit.
+bool CheckKernelVariantsBitIdentity() {
+  MlDataset train = MakeTrain(200);
+  MlDataset validation = MakeValidation();
+  TmcShapleyOptions options;
+  options.num_permutations = 8;
+  options.truncation_tolerance = 0.0;
+  options.num_threads = 1;
+  options.use_prefix_scan = true;
+
+  {
+    auto factory = []() { return std::make_unique<KnnClassifier>(5); };
+    UtilityFastPathOptions reference_path;
+    reference_path.soa_kernels = false;
+    reference_path.arena = false;
+    ModelAccuracyUtility reference(factory, train, validation, reference_path);
+    ImportanceEstimate baseline = TmcShapleyValues(reference, options).value();
+    ModelAccuracyUtility soa(factory, train, validation);  // Defaults: SoA on.
+    ImportanceEstimate candidate = TmcShapleyValues(soa, options).value();
+    if (candidate.values.size() != baseline.values.size() ||
+        std::memcmp(candidate.values.data(), baseline.values.data(),
+                    baseline.values.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "FATAL: SoA KNN kernel changed TMC-Shapley output\n");
+      return false;
+    }
+  }
+  {
+    auto factory = []() { return std::make_unique<GaussianNaiveBayes>(); };
+    ModelAccuracyUtility utility(factory, train, validation);
+    options.use_prefix_scan = false;
+    ImportanceEstimate baseline = TmcShapleyValues(utility, options).value();
+    options.use_prefix_scan = true;
+    ImportanceEstimate candidate = TmcShapleyValues(utility, options).value();
+    if (candidate.values.size() != baseline.values.size() ||
+        std::memcmp(candidate.values.data(), baseline.values.data(),
+                    baseline.values.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "FATAL: Gaussian-NB prefix scan changed TMC-Shapley "
+                   "output\n");
+      return false;
+    }
+  }
+  std::fprintf(stderr,
+               "determinism: SoA KNN kernel and Gaussian-NB prefix scan "
+               "byte-identical to reference kernels\n");
+  return true;
+}
+
 }  // namespace
 }  // namespace nde
 
 int main(int argc, char** argv) {
   if (!nde::CheckThreadCountDeterminism()) return 1;
   if (!nde::CheckUtilityFastPathBitIdentity()) return 1;
+  if (!nde::CheckKernelVariantsBitIdentity()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   nde::JsonAppendingReporter reporter;

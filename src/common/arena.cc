@@ -1,0 +1,104 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace nde {
+
+namespace {
+
+/// True for the power-of-two alignments Allocate accepts.
+bool ValidAlignment(size_t alignment) {
+  return alignment > 0 && alignment <= Arena::kMaxAlignment &&
+         (alignment & (alignment - 1)) == 0;
+}
+
+}  // namespace
+
+Arena::Arena(size_t min_chunk_bytes)
+    : min_chunk_bytes_(std::max<size_t>(min_chunk_bytes, 64)) {}
+
+Arena::~Arena() {
+  for (Chunk& chunk : chunks_) {
+    ::operator delete(chunk.data, std::align_val_t{kMaxAlignment});
+  }
+}
+
+void Arena::AddChunk(size_t bytes) {
+  // Geometric growth from the last chunk keeps the chunk count logarithmic
+  // in total demand; the cap bounds the retained high-water mark.
+  size_t capacity = chunks_.empty() ? min_chunk_bytes_
+                                    : std::min(chunks_.back().capacity * 2,
+                                               kMaxChunkBytes);
+  capacity = std::max(capacity, bytes);
+  Chunk chunk;
+  chunk.data = static_cast<char*>(
+      ::operator new(capacity, std::align_val_t{kMaxAlignment}));
+  chunk.capacity = capacity;
+  chunks_.push_back(chunk);
+  bytes_reserved_ += capacity;
+  head_used_ = 0;
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  NDE_CHECK(ValidAlignment(alignment)) << "bad arena alignment " << alignment;
+  if (bytes == 0) bytes = 1;  // Distinct non-null pointers, like operator new.
+  size_t aligned = (head_used_ + alignment - 1) & ~(alignment - 1);
+  if (chunks_.empty() || aligned + bytes > chunks_.back().capacity) {
+    AddChunk(bytes);
+    aligned = 0;  // Chunk starts are kMaxAlignment-aligned.
+  }
+  char* out = chunks_.back().data + aligned;
+  head_used_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  if (chunks_.size() > 1) {
+    // Keep only the largest chunk: after one warm-up cycle the whole working
+    // set fits in it and Allocate never grows again.
+    auto largest = std::max_element(
+        chunks_.begin(), chunks_.end(),
+        [](const Chunk& a, const Chunk& b) { return a.capacity < b.capacity; });
+    Chunk keep = *largest;
+    for (Chunk& chunk : chunks_) {
+      if (chunk.data != keep.data) {
+        ::operator delete(chunk.data, std::align_val_t{kMaxAlignment});
+        bytes_reserved_ -= chunk.capacity;
+      }
+    }
+    chunks_.clear();
+    chunks_.push_back(keep);
+  }
+  head_used_ = 0;
+  bytes_allocated_ = 0;
+}
+
+std::unique_ptr<Arena> ArenaPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<Arena> arena = std::move(free_.back());
+      free_.pop_back();
+      arena->Reset();
+      return arena;
+    }
+  }
+  return std::make_unique<Arena>(min_chunk_bytes_);
+}
+
+void ArenaPool::Release(std::unique_ptr<Arena> arena) {
+  if (arena == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(arena));
+}
+
+size_t ArenaPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace nde

@@ -1,0 +1,110 @@
+#ifndef NDE_COMMON_ARENA_H_
+#define NDE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nde {
+
+/// Bump allocator for short-lived, uniformly-released scratch memory: the
+/// per-permutation coalition-scorer state (KNN top-k windows, NB running
+/// statistics) and similar hot-loop buffers that would otherwise cost one
+/// malloc each per permutation.
+///
+/// Allocation is pointer-bump within a chunk; exhausted chunks grow
+/// geometrically. There is no per-object free: Reset() reclaims everything at
+/// once and retains the largest chunk, so a reused arena reaches a steady
+/// state where Allocate never touches the heap again. Objects placed in an
+/// arena must be trivially destructible — nothing runs destructors.
+///
+/// Not thread-safe: an arena belongs to one scorer/scan at a time. Use
+/// ArenaPool to recycle arenas across permutations from concurrent workers.
+class Arena {
+ public:
+  /// `min_chunk_bytes` is the size of the first chunk (grown 2x per
+  /// exhaustion, capped at kMaxChunkBytes).
+  explicit Arena(size_t min_chunk_bytes = 4096);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `alignment`
+  /// (a power of two, at most kMaxAlignment). Never fails except by
+  /// std::bad_alloc from the underlying chunk allocation.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// Typed array of `count` uninitialized elements. T must be trivially
+  /// destructible (the arena never runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is released without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Releases every allocation at once. The largest chunk is kept for reuse,
+  /// so a warmed-up arena serves subsequent identical workloads without any
+  /// heap traffic.
+  void Reset();
+
+  /// Bytes handed out since construction or the last Reset().
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total chunk capacity currently held (survives Reset).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  static constexpr size_t kMaxAlignment = 64;  ///< One cache line.
+  static constexpr size_t kMaxChunkBytes = size_t{1} << 22;  ///< 4 MiB cap.
+
+ private:
+  struct Chunk {
+    char* data = nullptr;
+    size_t capacity = 0;
+  };
+
+  /// Makes `head_` a chunk with at least `bytes` of room.
+  void AddChunk(size_t bytes);
+
+  std::vector<Chunk> chunks_;  ///< chunks_.back() is the active one.
+  size_t head_used_ = 0;       ///< Bump offset into the active chunk.
+  size_t min_chunk_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// Mutex-guarded free list of arenas. The utility fast path acquires one
+/// arena per prefix scan (one per permutation) and releases it when the scan
+/// ends; after the first wave every acquisition is a recycled, pre-grown
+/// arena, so scorer construction performs zero heap allocations in steady
+/// state. Thread-safe; the mutex is taken once per permutation, not per
+/// evaluation.
+class ArenaPool {
+ public:
+  explicit ArenaPool(size_t min_chunk_bytes = 4096)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  /// A reset arena, recycled when one is free, freshly constructed otherwise.
+  std::unique_ptr<Arena> Acquire();
+
+  /// Returns an arena to the pool for reuse. Null is ignored.
+  void Release(std::unique_ptr<Arena> arena);
+
+  /// Arenas currently parked in the pool (for tests/telemetry).
+  size_t idle() const;
+
+ private:
+  size_t min_chunk_bytes_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Arena>> free_;
+};
+
+}  // namespace nde
+
+#endif  // NDE_COMMON_ARENA_H_

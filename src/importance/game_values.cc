@@ -292,7 +292,9 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
             failure = Status::OK();
             size_t failed_at = 0;
             std::vector<size_t> prefix;
-            prefix.reserve(n);
+            // Only the slow per-prefix Evaluate path grows this vector; the
+            // scan path stays allocation-free, so reserve lazily.
+            if (scan == nullptr) prefix.reserve(n);
             double previous = empty_utility;
             bool truncated = false;
             for (size_t pos = 0; pos < n && failure.ok(); ++pos) {

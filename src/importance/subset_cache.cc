@@ -61,6 +61,10 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
 
   uint64_t hash = OrderIndependentSubsetHash{}(*lookup);
   Shard& shard = *shards_[hash % options_.num_shards];
+  // Hash once, reuse everywhere: the shard pick above and the transparent
+  // map probe below both consume this value, and no vector key exists until
+  // a miss inserts one.
+  const SubsetKeyView probe{lookup->data(), lookup->size(), hash};
 
   // Cache-op latency is only clocked when telemetry is on: the probe path is
   // hot (one per utility evaluation with the cache enabled), and two clock
@@ -71,7 +75,7 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
   double cached = 0.0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.values.find(*lookup);
+    auto it = shard.values.find(probe);
     if (it != shard.values.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       hit = true;

@@ -1,6 +1,7 @@
 #ifndef NDE_IMPORTANCE_SUBSET_CACHE_H_
 #define NDE_IMPORTANCE_SUBSET_CACHE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -18,6 +19,45 @@ namespace nde {
 /// costs nothing in correctness.
 struct OrderIndependentSubsetHash {
   size_t operator()(const std::vector<size_t>& subset) const;
+};
+
+/// Non-owning probe key: a sorted index span plus its precomputed
+/// order-independent hash. The hot GetOrCompute probe builds one of these so
+/// the map lookup neither copies the subset nor re-hashes its elements;
+/// an owned vector key is materialized only when a miss actually inserts.
+/// Invariant: `hash` must equal OrderIndependentSubsetHash over the span.
+struct SubsetKeyView {
+  const size_t* data = nullptr;
+  size_t size = 0;
+  uint64_t hash = 0;
+};
+
+/// Transparent (C++20 heterogeneous-lookup) hasher over owned keys and
+/// SubsetKeyView probes.
+struct SubsetKeyHash {
+  using is_transparent = void;
+  size_t operator()(const std::vector<size_t>& subset) const {
+    return OrderIndependentSubsetHash{}(subset);
+  }
+  size_t operator()(const SubsetKeyView& view) const {
+    return static_cast<size_t>(view.hash);
+  }
+};
+
+/// Transparent equality companion: always full element comparison, so hash
+/// collisions can share a bucket but never corrupt a lookup.
+struct SubsetKeyEq {
+  using is_transparent = void;
+  bool operator()(const std::vector<size_t>& a,
+                  const std::vector<size_t>& b) const {
+    return a == b;
+  }
+  bool operator()(const std::vector<size_t>& a, const SubsetKeyView& b) const {
+    return a.size() == b.size && std::equal(a.begin(), a.end(), b.data);
+  }
+  bool operator()(const SubsetKeyView& a, const std::vector<size_t>& b) const {
+    return operator()(b, a);
+  }
 };
 
 /// Configuration for a SubsetCache.
@@ -68,7 +108,7 @@ class SubsetCache {
  private:
   struct Shard {
     std::mutex mu;
-    std::unordered_map<std::vector<size_t>, double, OrderIndependentSubsetHash>
+    std::unordered_map<std::vector<size_t>, double, SubsetKeyHash, SubsetKeyEq>
         values;
     /// Insertion-order queue for FIFO eviction.
     std::deque<std::vector<size_t>> order;

@@ -117,9 +117,19 @@ double ModelAccuracyUtility::MajorityAccuracy(
 /// already cheaper than a cache probe plus the occasional retrain.
 class ModelAccuracyUtility::ExactScan : public UtilityFunction::PrefixScan {
  public:
+  /// Takes a pooled arena (may be null) that the scorer's buffers were
+  /// carved from; it is returned to the owner's pool — bump pointer reset,
+  /// chunks retained — when the scan dies, so steady-state permutation scans
+  /// reuse warm memory instead of allocating.
   ExactScan(const ModelAccuracyUtility* owner,
+            std::unique_ptr<Arena> arena,
             std::unique_ptr<CoalitionScorer> scorer)
-      : owner_(owner), scorer_(std::move(scorer)) {}
+      : owner_(owner), arena_(std::move(arena)), scorer_(std::move(scorer)) {}
+
+  ~ExactScan() override {
+    scorer_.reset();  // The scorer's buffers live in the arena; it dies first.
+    owner_->arena_pool_.Release(std::move(arena_));
+  }
 
   double Push(size_t unit) override {
     owner_->evaluations_.fetch_add(1, std::memory_order_relaxed);
@@ -130,6 +140,7 @@ class ModelAccuracyUtility::ExactScan : public UtilityFunction::PrefixScan {
 
  private:
   const ModelAccuracyUtility* owner_;
+  std::unique_ptr<Arena> arena_;
   std::unique_ptr<CoalitionScorer> scorer_;
 };
 
@@ -146,6 +157,10 @@ class ModelAccuracyUtility::WarmStartScan
         model_(owner->factory_()),
         row_(1, owner->train_.features.cols()) {
     coalition_.features = Matrix(0, owner->train_.features.cols());
+    // A scan grows to the full training set; reserving up front keeps the
+    // per-Push AppendRows free of reallocation.
+    coalition_.features.Reserve(owner->train_.size());
+    coalition_.labels.reserve(owner->train_.size());
   }
 
   double Push(size_t unit) override {
@@ -175,11 +190,19 @@ ModelAccuracyUtility::NewPrefixScan(bool allow_warm_start) const {
   if (train_.size() == 0 || validation_.size() == 0) return nullptr;
   std::call_once(scorer_context_once_, [this] {
     std::unique_ptr<Classifier> probe = factory_();
+    CoalitionScorerOptions options;
+    options.soa_kernels = fast_path_.soa_kernels;
+    options.float32 = fast_path_.float32;
     scorer_context_ = probe->NewCoalitionScorerContext(
-        train_, validation_.features, num_classes_);
+        train_, validation_.features, num_classes_, options);
   });
   if (scorer_context_ != nullptr) {
-    return std::make_unique<ExactScan>(this, scorer_context_->NewScorer());
+    std::unique_ptr<Arena> arena =
+        fast_path_.arena ? arena_pool_.Acquire() : nullptr;
+    std::unique_ptr<CoalitionScorer> scorer =
+        scorer_context_->NewScorer(arena.get());
+    return std::make_unique<ExactScan>(this, std::move(arena),
+                                       std::move(scorer));
   }
   if (allow_warm_start) {
     return std::make_unique<WarmStartScan>(this);

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "importance/subset_cache.h"
 #include "ml/dataset.h"
@@ -96,6 +97,20 @@ struct UtilityFastPathOptions {
 
   /// Cache shape when `subset_cache` is on.
   SubsetCacheOptions cache;
+
+  /// Use the structure-of-arrays coalition-scorer kernels on the prefix-scan
+  /// fast path (see CoalitionScorerOptions::soa_kernels). Bit-identical; off
+  /// only to benchmark the kernel layout.
+  bool soa_kernels = true;
+
+  /// Opt into float32 distance storage on the KNN prefix-scan kernel.
+  /// Approximate (changes bits), so default-off; deterministic for any
+  /// thread count like every fast path.
+  bool float32 = false;
+
+  /// Back each prefix scan's scorer state with a pooled arena instead of
+  /// per-scan heap allocations. Placement only — never changes results.
+  bool arena = true;
 };
 
 /// The standard data-valuation utility: validation accuracy of a model
@@ -151,6 +166,10 @@ class ModelAccuracyUtility : public UtilityFunction {
   int num_classes_;
   UtilityFastPathOptions fast_path_;
   std::unique_ptr<SubsetCache> cache_;  ///< Internally synchronized.
+  /// Recycles scorer arenas across permutation scans (one arena per live
+  /// scan). Mutable: NewPrefixScan is const and runs concurrently; the pool
+  /// is internally synchronized.
+  mutable ArenaPool arena_pool_;
   /// Shared exact-scorer precomputation, built lazily on the first
   /// NewPrefixScan (it is useless — and not free — for plain Evaluate users).
   mutable std::once_flag scorer_context_once_;

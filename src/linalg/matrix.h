@@ -111,6 +111,10 @@ class Matrix {
   /// this matrix is empty, in which case it adopts other's width).
   void AppendRows(const Matrix& other);
 
+  /// Reserves storage for `rows` rows so a sequence of AppendRows up to that
+  /// size never reallocates. Does not change the matrix's shape or contents.
+  void Reserve(size_t rows) { data_.reserve(rows * cols_); }
+
   /// Horizontal concatenation [this | other].
   /// Precondition: other.rows() == rows().
   Matrix ConcatCols(const Matrix& other) const;

@@ -34,9 +34,15 @@ class KnnClassifier : public Classifier {
   /// KNN supports exact incremental coalition scoring: the context holds the
   /// train-to-eval distance matrix, computed once, and scorers maintain
   /// per-evaluation-point k-nearest windows as rows are added.
+  ///
+  /// Kernel selection via `options`: the default SoA kernel keeps flat
+  /// cutoff/window buffers with a vectorizable candidate-mask pass and is
+  /// bit-identical to both the reference row-wise kernel
+  /// (options.soa_kernels = false) and the cold FitWithClasses + Predict
+  /// path; options.float32 opts into approximate float32 distance storage.
   std::shared_ptr<const CoalitionScorerContext> NewCoalitionScorerContext(
-      const MlDataset& train, const Matrix& eval_features,
-      int num_classes) const override;
+      const MlDataset& train, const Matrix& eval_features, int num_classes,
+      const CoalitionScorerOptions& options = {}) const override;
 
   std::vector<int> Predict(const Matrix& features) const override;
   Matrix PredictProba(const Matrix& features) const override;

@@ -12,6 +12,23 @@
 
 namespace nde {
 
+class Arena;
+
+/// Kernel knobs for CoalitionScorerContext construction. Defaults preserve
+/// the exact bit-level semantics of the cold training path.
+struct CoalitionScorerOptions {
+  /// Use the structure-of-arrays kernels (flat cutoff/window buffers,
+  /// branch-light contiguous inner loops). Bit-identical to the reference
+  /// row-wise kernels; off only to benchmark the layout difference.
+  bool soa_kernels = true;
+
+  /// Store precomputed distances in float32 instead of float64 (KNN only).
+  /// Halves the kernel's memory traffic and doubles SIMD width but changes
+  /// bits, so it is opt-in and never part of the default configuration.
+  /// Implies the SoA kernels.
+  bool float32 = false;
+};
+
 /// Incrementally scores a growing coalition of training rows against a fixed
 /// evaluation set (see CoalitionScorerContext). Add() admits one parent-row
 /// index at a time; Predict() returns the evaluation-set predictions of the
@@ -44,7 +61,18 @@ class CoalitionScorer {
 class CoalitionScorerContext {
  public:
   virtual ~CoalitionScorerContext() = default;
-  virtual std::unique_ptr<CoalitionScorer> NewScorer() const = 0;
+
+  /// A fresh scorer over the empty coalition. When `arena` is non-null the
+  /// scorer carves its window/statistics buffers from it instead of the heap;
+  /// the arena must outlive the scorer and belongs to it exclusively until
+  /// the scorer is destroyed (scorers are single-threaded, so one arena per
+  /// permutation scan suffices). Arena placement never changes results.
+  virtual std::unique_ptr<CoalitionScorer> NewScorer(Arena* arena) const = 0;
+
+  /// Heap-backed convenience overload.
+  std::unique_ptr<CoalitionScorer> NewScorer() const {
+    return NewScorer(nullptr);
+  }
 };
 
 /// Abstract multi-class classifier. All models in the library implement this
@@ -90,12 +118,17 @@ class Classifier {
   /// A scorer context for models that support exact incremental coalition
   /// scoring over (`train`, `eval_features`); nullptr (the default) when the
   /// model has no such fast path. Both arguments must outlive the context.
+  /// `options` selects kernel variants; every default-options variant is
+  /// bit-identical to the cold path, and approximate variants (float32) are
+  /// only taken when explicitly requested.
   virtual std::shared_ptr<const CoalitionScorerContext>
   NewCoalitionScorerContext(const MlDataset& train, const Matrix& eval_features,
-                            int num_classes) const {
+                            int num_classes,
+                            const CoalitionScorerOptions& options = {}) const {
     (void)train;
     (void)eval_features;
     (void)num_classes;
+    (void)options;
     return nullptr;
   }
 

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
 
+#include "common/arena.h"
 #include "ml/logistic_regression.h"  // SoftmaxRowsInPlace
 
 namespace nde {
@@ -149,6 +154,278 @@ Matrix GaussianNaiveBayes::PredictProba(const Matrix& features) const {
 
 std::unique_ptr<Classifier> GaussianNaiveBayes::Clone() const {
   return std::make_unique<GaussianNaiveBayes>(var_smoothing_);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental coalition scorer.
+//
+// Exactness argument (the cold fit sees the coalition sorted ascending, per
+// the UtilityFunction subset convention): every per-(class, feature) sum in
+// the cold two-pass fit accumulates the class's member rows in ascending
+// parent-index order. The scorer keeps member lists sorted, so recomputing
+// the pushed class's mean/variance passes over its sorted list replays the
+// identical floating-point chain; untouched classes keep their previous —
+// likewise identical — values. Global fallback statistics are maintained the
+// same way, and only while some class is absent: once every class has a
+// member the cold fit still computes them but never reads them, so skipping
+// them is value-identical. max_feature_var is a max over a fixed set
+// (order-independent), and the floor, priors and LogJoint expressions are
+// replicated operation for operation. This is deliberately NOT a
+// Welford-style running update, which would change bits.
+//
+// Cost per Push: O(|class| * d) moment recompute plus O(m * C * d) scoring,
+// versus the cold path's O(n * d) fit, O(n * d) coalition copy and a model
+// allocation per prefix.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shifts the sorted prefix [0, count) up by one slot and inserts `value`.
+void InsertSorted(uint32_t* arr, size_t count, uint32_t value) {
+  size_t pos = count;
+  while (pos > 0 && arr[pos - 1] > value) {
+    arr[pos] = arr[pos - 1];
+    --pos;
+  }
+  arr[pos] = value;
+}
+
+class NbCoalitionContext;
+
+class NbCoalitionScorer final : public CoalitionScorer {
+ public:
+  NbCoalitionScorer(const NbCoalitionContext* context, Arena* arena);
+
+  void Add(size_t train_index) override;
+  const std::vector<int>& Predict() override;
+
+ private:
+  void RefreshDerived();
+
+  const NbCoalitionContext* context_;
+  size_t d_;
+  int num_classes_;
+  size_t capacity_;  ///< Training-set size; bounds every member list.
+  // Flat buffers carved from one block (arena or owned_), doubles first:
+  double* means_;           ///< C x d, valid rows only where counts_ > 0.
+  double* vars_;            ///< C x d, unfloored.
+  double* global_mean_;     ///< d, maintained only while a class is absent.
+  double* global_var_;      ///< d, unfloored.
+  double* log_priors_;      ///< C.
+  double* var_cache_;       ///< C x d, floored (absent classes resolved).
+  double* log_var_cache_;   ///< C x d, log of var_cache_.
+  double* mean_cache_;      ///< C x d, absent classes resolved.
+  uint32_t* members_;       ///< Sorted coalition, num_members_ entries.
+  uint32_t* class_members_; ///< C x capacity, sorted per class.
+  uint32_t* counts_;        ///< C.
+  size_t num_members_ = 0;
+  int present_classes_ = 0;
+  bool derived_dirty_ = false;
+  std::vector<int> predictions_;
+  std::vector<char> owned_;  ///< Backing block when no arena is given.
+};
+
+class NbCoalitionContext final : public CoalitionScorerContext {
+ public:
+  NbCoalitionContext(const MlDataset& train, const Matrix& eval_features,
+                     int num_classes, double var_smoothing)
+      : train_features_(&train.features),
+        eval_features_(&eval_features),
+        labels_(train.labels),
+        num_classes_(num_classes),
+        var_smoothing_(var_smoothing) {
+    NDE_CHECK_LT(train.size(), std::numeric_limits<uint32_t>::max());
+    NDE_CHECK_EQ(train.features.cols(), eval_features.cols());
+  }
+
+  std::unique_ptr<CoalitionScorer> NewScorer(Arena* arena) const override {
+    return std::make_unique<NbCoalitionScorer>(this, arena);
+  }
+
+  const Matrix& train_features() const { return *train_features_; }
+  const Matrix& eval_features() const { return *eval_features_; }
+  int label(size_t i) const { return labels_[i]; }
+  size_t train_size() const { return labels_.size(); }
+  int num_classes() const { return num_classes_; }
+  double var_smoothing() const { return var_smoothing_; }
+
+ private:
+  const Matrix* train_features_;  ///< Borrowed; caller keeps it alive.
+  const Matrix* eval_features_;   ///< Borrowed; caller keeps it alive.
+  std::vector<int> labels_;
+  int num_classes_;
+  double var_smoothing_;
+};
+
+NbCoalitionScorer::NbCoalitionScorer(const NbCoalitionContext* context,
+                                     Arena* arena)
+    : context_(context),
+      d_(context->train_features().cols()),
+      num_classes_(context->num_classes()),
+      capacity_(context->train_size()),
+      predictions_(context->eval_features().rows(), 0) {
+  const size_t classes = static_cast<size_t>(num_classes_);
+  const size_t stats = classes * d_;
+  const size_t doubles = 5 * stats + 2 * d_ + classes;
+  const size_t uints = capacity_ + classes * capacity_ + classes;
+  const size_t total = doubles * sizeof(double) + uints * sizeof(uint32_t);
+  char* block;
+  if (arena != nullptr) {
+    block = static_cast<char*>(arena->Allocate(total, alignof(double)));
+  } else {
+    owned_.resize(total);
+    block = owned_.data();
+  }
+  double* dbl = reinterpret_cast<double*>(block);
+  means_ = dbl;
+  vars_ = means_ + stats;
+  global_mean_ = vars_ + stats;
+  global_var_ = global_mean_ + d_;
+  log_priors_ = global_var_ + d_;
+  var_cache_ = log_priors_ + classes;
+  log_var_cache_ = var_cache_ + stats;
+  mean_cache_ = log_var_cache_ + stats;
+  uint32_t* u32 = reinterpret_cast<uint32_t*>(mean_cache_ + stats);
+  members_ = u32;
+  class_members_ = members_ + capacity_;
+  counts_ = class_members_ + classes * capacity_;
+  std::fill(counts_, counts_ + classes, uint32_t{0});
+}
+
+void NbCoalitionScorer::Add(size_t train_index) {
+  const uint32_t index32 = static_cast<uint32_t>(train_index);
+  const size_t c = static_cast<size_t>(context_->label(train_index));
+  InsertSorted(members_, num_members_, index32);
+  ++num_members_;
+  InsertSorted(class_members_ + c * capacity_, counts_[c], index32);
+  if (++counts_[c] == 1) ++present_classes_;
+
+  // Recompute the pushed class's moments over its sorted member list: the
+  // same two passes, in the same order, as the cold fit restricted to this
+  // class.
+  const Matrix& train = context_->train_features();
+  const uint32_t* members = class_members_ + c * capacity_;
+  const size_t count = counts_[c];
+  double* mean = means_ + c * d_;
+  double* var = vars_ + c * d_;
+  std::fill(mean, mean + d_, 0.0);
+  std::fill(var, var + d_, 0.0);
+  for (size_t k = 0; k < count; ++k) {
+    const double* row = train.RowPtr(members[k]);
+    for (size_t j = 0; j < d_; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < d_; ++j) mean[j] /= static_cast<double>(count);
+  for (size_t k = 0; k < count; ++k) {
+    const double* row = train.RowPtr(members[k]);
+    for (size_t j = 0; j < d_; ++j) {
+      double diff = row[j] - mean[j];
+      var[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d_; ++j) var[j] /= static_cast<double>(count);
+
+  // Global fallback moments: only read by the cold fit while some class is
+  // absent, so they are only maintained while some class is absent.
+  if (present_classes_ < num_classes_) {
+    std::fill(global_mean_, global_mean_ + d_, 0.0);
+    std::fill(global_var_, global_var_ + d_, 0.0);
+    for (size_t k = 0; k < num_members_; ++k) {
+      const double* row = train.RowPtr(members_[k]);
+      for (size_t j = 0; j < d_; ++j) global_mean_[j] += row[j];
+    }
+    for (size_t j = 0; j < d_; ++j) {
+      global_mean_[j] /= static_cast<double>(num_members_);
+    }
+    for (size_t k = 0; k < num_members_; ++k) {
+      const double* row = train.RowPtr(members_[k]);
+      for (size_t j = 0; j < d_; ++j) {
+        double diff = row[j] - global_mean_[j];
+        global_var_[j] += diff * diff;
+      }
+    }
+    for (size_t j = 0; j < d_; ++j) {
+      global_var_[j] /= static_cast<double>(num_members_);
+    }
+  }
+  derived_dirty_ = true;
+}
+
+void NbCoalitionScorer::RefreshDerived() {
+  const size_t classes = static_cast<size_t>(num_classes_);
+  // max over a fixed set of variances: order-independent, so one flat pass
+  // yields the cold fit's value.
+  double max_feature_var = 0.0;
+  for (size_t c = 0; c < classes; ++c) {
+    const double* var = counts_[c] > 0 ? vars_ + c * d_ : global_var_;
+    for (size_t j = 0; j < d_; ++j) {
+      max_feature_var = std::max(max_feature_var, var[j]);
+    }
+  }
+  const double floor =
+      context_->var_smoothing() * std::max(max_feature_var, 1.0) + 1e-12;
+  // Floored variances and their logs, one per (class, feature) per Push
+  // instead of one per (eval row, class, feature): the cached doubles are
+  // the exact values the cold LogJoint computes inline.
+  for (size_t c = 0; c < classes; ++c) {
+    const bool present = counts_[c] > 0;
+    const double* var = present ? vars_ + c * d_ : global_var_;
+    const double* mean = present ? means_ + c * d_ : global_mean_;
+    for (size_t j = 0; j < d_; ++j) {
+      const double floored = var[j] + floor;
+      var_cache_[c * d_ + j] = floored;
+      log_var_cache_[c * d_ + j] = std::log(floored);
+      mean_cache_[c * d_ + j] = mean[j];
+    }
+  }
+  for (size_t c = 0; c < classes; ++c) {
+    double prior = (static_cast<double>(counts_[c]) + 1.0) /
+                   (static_cast<double>(num_members_) + num_classes_);
+    log_priors_[c] = std::log(prior);
+  }
+  derived_dirty_ = false;
+}
+
+const std::vector<int>& NbCoalitionScorer::Predict() {
+  NDE_CHECK_GT(num_members_, 0u);
+  if (derived_dirty_) RefreshDerived();
+  const Matrix& eval = context_->eval_features();
+  const size_t m = eval.rows();
+  const size_t classes = static_cast<size_t>(num_classes_);
+  for (size_t r = 0; r < m; ++r) {
+    const double* row = eval.RowPtr(r);
+    int best = 0;
+    double best_acc = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      // The cold LogJoint chain, operation for operation.
+      double acc = log_priors_[c];
+      const double* mean = mean_cache_ + c * d_;
+      const double* var = var_cache_ + c * d_;
+      const double* log_var = log_var_cache_ + c * d_;
+      for (size_t j = 0; j < d_; ++j) {
+        double diff = row[j] - mean[j];
+        acc -= 0.5 * (kLogTwoPi + log_var[j] + diff * diff / var[j]);
+      }
+      if (c == 0 || acc > best_acc) {
+        best = static_cast<int>(c);
+        best_acc = acc;
+      }
+    }
+    predictions_[r] = best;
+  }
+  return predictions_;
+}
+
+}  // namespace
+
+std::shared_ptr<const CoalitionScorerContext>
+GaussianNaiveBayes::NewCoalitionScorerContext(
+    const MlDataset& train, const Matrix& eval_features, int num_classes,
+    const CoalitionScorerOptions& options) const {
+  (void)options;  // One exact kernel; float32 does not apply to NB.
+  if (train.size() == 0 || eval_features.rows() == 0) return nullptr;
+  if (num_classes < train.NumClasses()) num_classes = train.NumClasses();
+  return std::make_shared<NbCoalitionContext>(
+      train, eval_features, std::max(num_classes, 1), var_smoothing_);
 }
 
 }  // namespace nde

@@ -18,6 +18,18 @@ class GaussianNaiveBayes : public Classifier {
 
   Status Fit(const MlDataset& data) override;
   Status FitWithClasses(const MlDataset& data, int num_classes) override;
+
+  /// Gaussian NB supports exact incremental coalition scoring. Scorers keep
+  /// sorted member lists (global and per class) and on each Add recompute
+  /// only the pushed class's two moment passes, iterating members in sorted
+  /// order — the same per-(class, feature) accumulation chains as a cold
+  /// two-pass FitWithClasses on the sorted coalition — so Predict() is
+  /// bit-identical to cold retraining, regardless of insertion order.
+  /// `train` and `eval_features` must outlive the context.
+  std::shared_ptr<const CoalitionScorerContext> NewCoalitionScorerContext(
+      const MlDataset& train, const Matrix& eval_features, int num_classes,
+      const CoalitionScorerOptions& options = {}) const override;
+
   std::vector<int> Predict(const Matrix& features) const override;
   Matrix PredictProba(const Matrix& features) const override;
   int num_classes() const override { return num_classes_; }

@@ -13,6 +13,8 @@
 #include "importance/label_scores.h"
 #include "importance/utility.h"
 #include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
 #include "telemetry/trace.h"
 
 namespace nde {
@@ -258,8 +260,10 @@ Status CheckTrainValidation(const AlgorithmInstance& algorithm,
   return Status::OK();
 }
 
-/// Shared base for the estimators driven by the retrain-and-score KNN proxy
-/// utility (loo, tmc_shapley, banzhaf, beta_shapley).
+/// Shared base for the estimators driven by the retrain-and-score proxy
+/// utility (loo, tmc_shapley, banzhaf, beta_shapley). The proxy model is
+/// selectable: KNN and Gaussian NB have exact prefix-scan scorers, logistic
+/// regression rides the approximate warm-start scan when enabled.
 class GameAlgorithm : public AlgorithmInstance {
  protected:
   GameAlgorithm(std::string name, std::string summary)
@@ -268,10 +272,34 @@ class GameAlgorithm : public AlgorithmInstance {
   /// Call from the subclass constructor after its option struct holds its
   /// defaults (binders snapshot defaults at bind time).
   void BindGameOptions(EstimatorOptions* options) {
+    BindOption(
+        "model", OptionType::kString,
+        "proxy model retrained per coalition: knn | gaussian_nb | logreg "
+        "(knn and gaussian_nb have exact prefix scans; logreg needs "
+        "warm_start for a fast path)",
+        [this](const std::string& value) -> Status {
+          if (value != "knn" && value != "gaussian_nb" && value != "logreg") {
+            return Status::InvalidArgument(
+                "expects knn|gaussian_nb|logreg, got '" + value + "'");
+          }
+          model_ = value;
+          return Status::OK();
+        },
+        [this]() -> std::string { return model_; });
     BindSize("k", "neighbors of the KNN proxy model", &k_, 1);
     BindBool("utility_cache",
              "memoize utility values in the sharded subset cache",
              &utility_cache_);
+    BindBool("soa_kernels",
+             "use the SoA prefix-scan kernels (bit-identical; off only to "
+             "compare kernel layouts)", &soa_kernels_);
+    BindBool("float32",
+             "approximate float32 distance storage on the KNN prefix-scan "
+             "kernel (changes bits; deterministic for any thread count)",
+             &float32_);
+    BindBool("arena",
+             "back prefix-scan scorer state with pooled arena allocation "
+             "(placement only, never changes results)", &arena_);
     BindEstimatorOptions(options);
   }
 
@@ -283,15 +311,29 @@ class GameAlgorithm : public AlgorithmInstance {
     NDE_RETURN_IF_ERROR(CheckTrainValidation(*this, input, true));
     UtilityFastPathOptions fast_path;
     fast_path.subset_cache = utility_cache_;
-    size_t k = k_;
+    fast_path.soa_kernels = soa_kernels_;
+    fast_path.float32 = float32_;
+    fast_path.arena = arena_;
+    ClassifierFactory factory;
+    if (model_ == "gaussian_nb") {
+      factory = [] { return std::make_unique<GaussianNaiveBayes>(); };
+    } else if (model_ == "logreg") {
+      factory = [] { return std::make_unique<LogisticRegression>(); };
+    } else {
+      size_t k = k_;
+      factory = [k] { return std::make_unique<KnnClassifier>(k); };
+    }
     return std::make_unique<ModelAccuracyUtility>(
-        [k]() { return std::make_unique<KnnClassifier>(k); }, *input.train,
-        *input.validation, fast_path);
+        std::move(factory), *input.train, *input.validation, fast_path);
   }
 
  private:
+  std::string model_ = "knn";
   size_t k_ = 5;
   bool utility_cache_ = false;
+  bool soa_kernels_ = true;
+  bool float32_ = false;
+  bool arena_ = true;
 };
 
 class LooAlgorithm final : public GameAlgorithm {

@@ -28,6 +28,7 @@
 #include "importance/utility.h"
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
 #include "telemetry/profiler.h"
 #include "telemetry/run_report.h"
 #include "telemetry/telemetry.h"
@@ -437,6 +438,110 @@ TEST(FastPathBitIdentityTest,
   EXPECT_EQ(with_scan.values, plain.values);
   EXPECT_EQ(with_scan.std_errors, plain.std_errors);
   EXPECT_EQ(with_scan.utility_evaluations, plain.utility_evaluations);
+}
+
+// ---------------------------------------------------------------------------
+// Raw-speed kernels (DESIGN.md §14): the SoA KNN kernel, arena allocation,
+// and the incremental Gaussian-NB scorer are pure speed knobs — every on/off
+// combination must be bit-identical to the reference slow path at every
+// thread count. float32 is the one approximate knob and must stay opt-in.
+// ---------------------------------------------------------------------------
+
+TEST(KernelBitIdentityTest, KnnSoaAndArenaIdenticalToSlowPathAcrossThreads) {
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+
+  UtilityFastPathOptions slow;
+  slow.zero_copy_views = false;
+  slow.soa_kernels = false;
+  slow.arena = false;
+  ModelAccuracyUtility baseline_utility(KnnFactory(), train, validation, slow);
+  TmcShapleyOptions baseline_options = FastPathTmcOptions();
+  baseline_options.use_prefix_scan = false;
+  baseline_options.num_threads = 1;
+  ImportanceEstimate baseline =
+      TmcShapleyValues(baseline_utility, baseline_options).value();
+
+  for (bool soa : {false, true}) {
+    for (bool arena : {false, true}) {
+      for (size_t threads : kThreadCounts) {
+        UtilityFastPathOptions fast;
+        fast.soa_kernels = soa;
+        fast.arena = arena;
+        ModelAccuracyUtility utility(KnnFactory(), train, validation, fast);
+        TmcShapleyOptions options = FastPathTmcOptions();
+        options.use_prefix_scan = true;
+        options.num_threads = threads;
+        ImportanceEstimate run = TmcShapleyValues(utility, options).value();
+        std::string config = "soa=" + std::to_string(soa) +
+                             " arena=" + std::to_string(arena) +
+                             " threads=" + std::to_string(threads);
+        EXPECT_EQ(run.values, baseline.values) << config;
+        EXPECT_EQ(run.std_errors, baseline.std_errors) << config;
+        EXPECT_EQ(run.utility_evaluations, baseline.utility_evaluations)
+            << config;
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentityTest, GaussianNbScanIdenticalToRetrainingAcrossThreads) {
+  // The NB incremental scorer (sorted member lists, decremental moments) must
+  // reproduce the retrain-per-prefix path exactly, for any Add order the
+  // permutations induce and at any thread count.
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  auto factory = []() { return std::make_unique<GaussianNaiveBayes>(); };
+  TmcShapleyOptions options = FastPathTmcOptions();
+
+  options.use_prefix_scan = false;
+  options.num_threads = 1;
+  ModelAccuracyUtility slow_utility(factory, train, validation);
+  ImportanceEstimate baseline = TmcShapleyValues(slow_utility, options).value();
+
+  options.use_prefix_scan = true;
+  for (bool arena : {false, true}) {
+    for (size_t threads : kThreadCounts) {
+      UtilityFastPathOptions fast;
+      fast.arena = arena;
+      ModelAccuracyUtility utility(factory, train, validation, fast);
+      options.num_threads = threads;
+      ImportanceEstimate run = TmcShapleyValues(utility, options).value();
+      EXPECT_EQ(run.values, baseline.values)
+          << "arena=" << arena << " threads=" << threads;
+      EXPECT_EQ(run.std_errors, baseline.std_errors);
+      EXPECT_EQ(run.utility_evaluations, baseline.utility_evaluations);
+    }
+  }
+}
+
+TEST(KernelBitIdentityTest, Float32IsOptInAndDeterministicWhenEnabled) {
+  // The float32 kernel changes bits by design, so it must never be on by
+  // default — and once opted in, it must still be deterministic across
+  // reruns and thread counts.
+  UtilityFastPathOptions defaults;
+  EXPECT_FALSE(defaults.float32);
+
+  MlDataset train = FastPathTrain();
+  MlDataset validation = FastPathValidation();
+  TmcShapleyOptions options = FastPathTmcOptions();
+  options.use_prefix_scan = true;
+
+  std::vector<ImportanceEstimate> runs;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (size_t threads : kThreadCounts) {
+      UtilityFastPathOptions fast;
+      fast.float32 = true;
+      ModelAccuracyUtility utility(KnnFactory(), train, validation, fast);
+      options.num_threads = threads;
+      runs.push_back(TmcShapleyValues(utility, options).value());
+    }
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].values, runs[0].values) << "run " << r;
+    EXPECT_EQ(runs[r].std_errors, runs[0].std_errors);
+    EXPECT_EQ(runs[r].utility_evaluations, runs[0].utility_evaluations);
+  }
 }
 
 // ---------------------------------------------------------------------------

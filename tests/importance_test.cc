@@ -626,6 +626,42 @@ TEST(SubsetCacheTest, EvictionBoundsSizeAndOnlyCostsRecomputation) {
   EXPECT_GT(stats.evictions, 0u);
 }
 
+TEST(SubsetCacheTest, KeyViewProbeAgreesWithOwnedKeys) {
+  // The hot lookup path probes the map with a non-owning SubsetKeyView
+  // (precomputed hash, borrowed span) via C++20 transparent lookup. The view
+  // must hash and compare exactly like the owned vector key it mirrors —
+  // including against near-miss keys that share a hash, a size, or a prefix.
+  std::vector<size_t> key = {1, 5, 9};
+  SubsetKeyView view{key.data(), key.size(),
+                     OrderIndependentSubsetHash{}(key)};
+  EXPECT_EQ(SubsetKeyHash{}(view), SubsetKeyHash{}(key));
+  EXPECT_TRUE(SubsetKeyEq{}(key, view));
+  EXPECT_TRUE(SubsetKeyEq{}(view, key));
+
+  // The commutative hash makes {9, 5, 1} collide with {1, 5, 9} by
+  // construction; equality must still separate them (stored keys are
+  // canonicalized, so a non-sorted stored key never occurs, but the
+  // comparator must not rely on that).
+  std::vector<size_t> permuted = {9, 5, 1};
+  EXPECT_EQ(SubsetKeyHash{}(permuted), SubsetKeyHash{}(key));
+  EXPECT_FALSE(SubsetKeyEq{}(permuted, view));
+
+  std::vector<size_t> shorter = {1, 5};
+  std::vector<size_t> same_size = {1, 5, 8};
+  EXPECT_FALSE(SubsetKeyEq{}(shorter, view));
+  EXPECT_FALSE(SubsetKeyEq{}(same_size, view));
+
+  // End to end: a probe that misses must not plant a bad entry — the value
+  // computed for {1, 5, 9} stays keyed to it alone.
+  SubsetCache cache;
+  EXPECT_EQ(cache.GetOrCompute({9, 5, 1}, [] { return 2.5; }), 2.5);
+  EXPECT_EQ(cache.GetOrCompute({1, 5, 8}, [] { return 7.0; }), 7.0);
+  EXPECT_EQ(cache.GetOrCompute({1, 5, 9}, [] { return -1.0; }), 2.5);
+  SubsetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
 // --- SoftKnnUtility fast membership -------------------------------------------------------
 
 /// Reference re-implementation of SoftKnnUtility::Evaluate as it was before

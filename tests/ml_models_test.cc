@@ -1,8 +1,11 @@
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "datagen/synthetic.h"
 #include "ml/decision_tree.h"
 #include "ml/knn.h"
@@ -504,6 +507,112 @@ TEST(FitIncrementalTest, DefaultImplementationDelegatesToExactFit) {
   KnnClassifier cold(3);
   ASSERT_TRUE(cold.FitWithClasses(data, 2).ok());
   EXPECT_EQ(incremental.Predict(eval.features), cold.Predict(eval.features));
+}
+
+// --- Coalition scorers ----------------------------------------------------
+//
+// The CoalitionScorer contract: Predict() after any sequence of Add() calls
+// is bit-identical to a cold FitWithClasses on the *sorted* coalition. These
+// tests drive the scorers directly (no estimator) with adversarial insertion
+// orders, for every kernel variant and with and without arena placement.
+
+MlDataset ScorerBlobs(uint64_t seed, size_t n) {
+  BlobsOptions options;
+  options.num_examples = n;
+  options.num_features = 4;
+  options.num_classes = 3;
+  options.seed = seed;
+  options.center_seed = 7;
+  return MakeBlobs(options);
+}
+
+/// Insertion order that starts with every row of one class (so the scorer
+/// spends several steps with classes absent), then drains the rest in
+/// descending index order (so sorted-insert paths never get appended-only
+/// input).
+std::vector<size_t> AdversarialOrder(const MlDataset& train) {
+  std::vector<size_t> order;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train.labels[i] == 0) order.push_back(i);
+  }
+  for (size_t i = train.size(); i-- > 0;) {
+    if (train.labels[i] != 0) order.push_back(i);
+  }
+  return order;
+}
+
+template <typename Model>
+void CheckScorerMatchesColdFit(const Model& model, const MlDataset& train,
+                               const Matrix& eval_features, int num_classes,
+                               const CoalitionScorerOptions& options,
+                               Arena* arena) {
+  std::shared_ptr<const CoalitionScorerContext> context =
+      model.NewCoalitionScorerContext(train, eval_features, num_classes,
+                                      options);
+  ASSERT_NE(context, nullptr);
+  std::unique_ptr<CoalitionScorer> scorer = context->NewScorer(arena);
+  std::vector<size_t> coalition;
+  for (size_t index : AdversarialOrder(train)) {
+    scorer->Add(index);
+    coalition.push_back(index);
+    std::vector<size_t> sorted = coalition;
+    std::sort(sorted.begin(), sorted.end());
+    std::unique_ptr<Classifier> cold = model.Clone();
+    ASSERT_TRUE(cold->FitWithClasses(train.Subset(sorted), num_classes).ok());
+    EXPECT_EQ(scorer->Predict(), cold->Predict(eval_features))
+        << "after " << coalition.size() << " adds";
+  }
+}
+
+TEST(CoalitionScorerTest, KnnKernelsMatchColdFitUnderAdversarialOrder) {
+  MlDataset train = ScorerBlobs(31, 24);
+  MlDataset eval = ScorerBlobs(32, 10);
+  KnnClassifier model(3);
+  for (bool soa : {false, true}) {
+    for (bool use_arena : {false, true}) {
+      CoalitionScorerOptions options;
+      options.soa_kernels = soa;
+      Arena arena;
+      CheckScorerMatchesColdFit(model, train, eval.features,
+                                train.NumClasses(), options,
+                                use_arena ? &arena : nullptr);
+    }
+  }
+}
+
+TEST(CoalitionScorerTest, GaussianNbScorerMatchesColdFitUnderAdversarialOrder) {
+  MlDataset train = ScorerBlobs(33, 24);
+  MlDataset eval = ScorerBlobs(34, 10);
+  GaussianNaiveBayes model;
+  for (bool use_arena : {false, true}) {
+    Arena arena;
+    CheckScorerMatchesColdFit(model, train, eval.features, train.NumClasses(),
+                              CoalitionScorerOptions{},
+                              use_arena ? &arena : nullptr);
+  }
+}
+
+TEST(CoalitionScorerTest, Float32KnnKernelIsDeterministic) {
+  // float32 trades bits for speed, so it is not compared against the cold
+  // double-precision fit — but two float32 scorers (heap and arena backed)
+  // must agree with each other exactly at every step.
+  MlDataset train = ScorerBlobs(35, 24);
+  MlDataset eval = ScorerBlobs(36, 10);
+  KnnClassifier model(3);
+  CoalitionScorerOptions options;
+  options.float32 = true;
+  std::shared_ptr<const CoalitionScorerContext> context =
+      model.NewCoalitionScorerContext(train, eval.features, train.NumClasses(),
+                                      options);
+  ASSERT_NE(context, nullptr);
+  Arena arena;
+  std::unique_ptr<CoalitionScorer> heap_scorer = context->NewScorer();
+  std::unique_ptr<CoalitionScorer> arena_scorer = context->NewScorer(&arena);
+  for (size_t index : AdversarialOrder(train)) {
+    heap_scorer->Add(index);
+    arena_scorer->Add(index);
+    EXPECT_EQ(heap_scorer->Predict(), arena_scorer->Predict());
+  }
 }
 
 }  // namespace

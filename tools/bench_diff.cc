@@ -45,6 +45,8 @@ const WatchedCounter kWatched[] = {
     {"BM_TmcUtilityFastPath/fast:1", "utility_evals_per_sec", true},
     {"BM_BanzhafSubsetCache/warm:1", "cache_hit_rate", true},
     {"BM_TmcWaveLatency", "wave_p99_ms", false},
+    {"BM_KnnKernel/soa:1", "utility_evals_per_sec", true},
+    {"BM_GaussianNbPrefixScan/scan:1", "utility_evals_per_sec", true},
 };
 
 /// Extracts the string value of `key` from one flat JSON object line.

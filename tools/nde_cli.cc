@@ -67,6 +67,15 @@
 //   --warm-start         allow approximate warm-started prefix training for
 //                        models without an exact incremental scorer (changes
 //                        values slightly, like truncation; deterministic)
+//   --model <name>       proxy model for the game estimators: knn (default) |
+//                        gaussian_nb | logreg (knn and gaussian_nb scan
+//                        prefixes exactly; logreg pairs with --warm-start)
+//   --float32            float32 distance storage on the KNN prefix-scan
+//                        kernel: faster, approximate (changes bits;
+//                        deterministic for any thread count). The SoA kernel
+//                        and arena knobs stay on by default and are exact —
+//                        flip them off via --set soa_kernels=false /
+//                        --set arena=false only to benchmark.
 //   --retries <N>        retry budget per utility evaluation for transient
 //                        (unavailable/resource_exhausted) failures (default 2)
 //   --retry-backoff-ms <ms>  base retry backoff, doubled per attempt and
@@ -106,7 +115,7 @@ struct Args {
 const std::set<std::string>& BooleanFlags() {
   static const std::set<std::string>* flags =
       new std::set<std::string>{"metrics", "prometheus", "utility-cache",
-                                "warm-start", "log-json"};
+                                "warm-start", "float32", "log-json"};
   return *flags;
 }
 
@@ -325,6 +334,8 @@ int RunImportancePipeline(const Args& args) {
   uint64_t seed = std::stoull(FlagOr(args, "seed", "42"));
   bool use_cache = args.flags.count("utility-cache") > 0;
   bool warm_start = args.flags.count("warm-start") > 0;
+  bool float32 = args.flags.count("float32") > 0;
+  std::string model = FlagOr(args, "model", "knn");
   size_t retries =
       static_cast<size_t>(std::stoul(FlagOr(args, "retries", "2")));
   uint32_t retry_backoff_ms = static_cast<uint32_t>(
@@ -337,6 +348,8 @@ int RunImportancePipeline(const Args& args) {
     g_report->SetConfig("permutations", static_cast<int64_t>(permutations));
     g_report->SetConfig("utility_cache", use_cache);
     g_report->SetConfig("warm_start", warm_start);
+    g_report->SetConfig("float32", float32);
+    g_report->SetConfig("model", model);
     g_report->SetConfig("retries", static_cast<int64_t>(retries));
     g_report->SetConfig("retry_backoff_ms",
                         static_cast<int64_t>(retry_backoff_ms));
@@ -366,6 +379,8 @@ int RunImportancePipeline(const Args& args) {
                   StrFormat("%zu", std::max<size_t>(permutations, 2))));
   merge(configure("utility_cache", use_cache ? "true" : "false"));
   merge(configure("warm_start", warm_start ? "true" : "false"));
+  merge(configure("float32", float32 ? "true" : "false"));
+  merge(configure("model", model));
   merge(configure("max_retries", FlagOr(args, "retries", "2")));
   merge(configure("retry_backoff_ms", FlagOr(args, "retry-backoff-ms", "25")));
   if (!configured.ok()) return Fail(configured.ToString());
@@ -426,7 +441,8 @@ int RunImportance(const Args& args) {
   Status flags_ok =
       CheckFlags(args, "importance",
                  {"label", "method", "top", "permutations", "utility-cache",
-                  "warm-start", "seed", "retries", "retry-backoff-ms", "set"});
+                  "warm-start", "float32", "model", "seed", "retries",
+                  "retry-backoff-ms", "set"});
   if (!flags_ok.ok()) return Fail(flags_ok.ToString());
   if (args.positional.size() == 1) return RunImportancePipeline(args);
   if (args.positional.size() != 2) {
@@ -603,6 +619,7 @@ int Usage() {
                "knn_shapley]\n"
                "             [--top 25] [--permutations 8] [--utility-cache] "
                "[--warm-start]\n"
+               "             [--model knn|gaussian_nb|logreg] [--float32]\n"
                "             [--retries 2] [--retry-backoff-ms 25]\n"
                "  impute <table.csv> --column <col>\n"
                "         [--strategy mean|median|most_frequent] "
