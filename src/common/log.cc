@@ -6,6 +6,7 @@
 #include <ctime>
 
 #include "common/string_util.h"
+#include "common/trace_context.h"
 
 namespace nde {
 namespace log {
@@ -68,6 +69,15 @@ int64_t WallMicros() {
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash == nullptr ? path : slash + 1;
+}
+
+/// Copies the emitting thread's trace/job identity onto the record, so every
+/// sink — text, JSON, test sinks — sees the same attribution. Records emitted
+/// outside any context keep empty fields and format exactly as before.
+void StampTraceContext(LogRecord* record) {
+  const TraceContext& context = CurrentTraceContext();
+  if (context.has_trace()) record->trace_id = TraceIdHex(context);
+  record->job_id = context.job_id;
 }
 
 /// Escapes for a JSON string literal; local twin of telemetry::JsonEscape
@@ -143,6 +153,8 @@ std::string FormatText(const LogRecord& record) {
                       static_cast<unsigned long long>(record.occurrence));
   }
   line += record.message;
+  if (!record.trace_id.empty()) line += " trace=" + record.trace_id;
+  if (!record.job_id.empty()) line += " job=" + record.job_id;
   return line;
 }
 
@@ -155,6 +167,12 @@ std::string FormatJson(const LogRecord& record) {
   if (record.occurrence > 1) {
     json += StrFormat(",\"occurrence\":%llu",
                       static_cast<unsigned long long>(record.occurrence));
+  }
+  if (!record.trace_id.empty()) {
+    json += ",\"trace_id\":\"" + internal::EscapeJson(record.trace_id) + "\"";
+  }
+  if (!record.job_id.empty()) {
+    json += ",\"job_id\":\"" + internal::EscapeJson(record.job_id) + "\"";
   }
   json += ",\"msg\":\"" + internal::EscapeJson(record.message) + "\"}";
   return json;
@@ -210,6 +228,7 @@ void Emit(Level level, const char* file, int line,
   record.line = line;
   record.wall_micros = internal::WallMicros();
   record.tid = internal::CurrentLogThreadId();
+  internal::StampTraceContext(&record);
   record.message = message;
   Logger::Global().Write(record);
 }
@@ -225,6 +244,7 @@ LogMessage::LogMessage(Level level, const char* file, int line,
 LogMessage::~LogMessage() {
   record_.wall_micros = internal::WallMicros();
   record_.tid = internal::CurrentLogThreadId();
+  internal::StampTraceContext(&record_);
   record_.message = stream_.str();
   Logger::Global().Write(record_);
 }

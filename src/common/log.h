@@ -75,13 +75,20 @@ struct LogRecord {
   /// (1 for plain NDE_LOG). occurrence > 1 on an EVERY_N site means
   /// occurrence - previous emissions were suppressed since the last line.
   uint64_t occurrence = 1;
+  /// Auto-stamped from the emitting thread's TraceContext (see
+  /// common/trace_context.h): the 32-hex trace id and owning job id, both ""
+  /// when no context is installed — existing output stays byte-identical.
+  std::string trace_id;
+  std::string job_id;
   std::string message;
 };
 
-/// Human-readable single line: "I0805 13:02:11.042187  3 file.cc:42] msg".
+/// Human-readable single line: "I0805 13:02:11.042187  3 file.cc:42] msg",
+/// with " trace=<id> job=<id>" appended when the record carries them.
 std::string FormatText(const LogRecord& record);
 /// JSON-lines object: {"ts_us":...,"level":"INFO","file":"...","line":42,
-/// "tid":3,"msg":"..."} (+ "occurrence" when > 1).
+/// "tid":3,"msg":"..."} (+ "occurrence" when > 1, + "trace_id"/"job_id"
+/// when the record was emitted under an installed TraceContext).
 std::string FormatJson(const LogRecord& record);
 
 /// Counters over the process lifetime; suppressed counts messages dropped by

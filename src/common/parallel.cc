@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "telemetry/telemetry.h"
 
 namespace nde {
@@ -57,6 +58,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   NDE_CHECK(task != nullptr);
+  // Explicit context hop: capture the submitter's TraceContext so spans,
+  // logs, and labeled metrics produced by the worker attribute to the
+  // submitting request/job. Purely observational (the wrapper adds no
+  // synchronization and never touches task results), so the bit-determinism
+  // contract is unaffected. Tasks submitted outside any context skip the
+  // wrapper entirely.
+  if (HasTraceContext()) {
+    task = [context = CurrentTraceContext(),
+            inner = std::move(task)]() mutable {
+      ScopedTraceContext scope(std::move(context));
+      inner();
+    };
+  }
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);

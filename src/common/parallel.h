@@ -54,6 +54,12 @@ size_t PlannedNumThreads(size_t range, size_t num_threads);
 /// each executed task bumps `parallel.tasks_executed` and records a
 /// "pool_task" trace span on its worker thread, so `--trace` output shows
 /// per-worker occupancy.
+///
+/// Trace-context propagation: Submit captures the submitting thread's
+/// TraceContext (common/trace_context.h) and installs it around the task on
+/// the worker, so spans/logs/metrics emitted by pool work attach to the
+/// submitter's trace and job. ParallelFor inherits this automatically (its
+/// workers are pool tasks; the single-thread path runs inline on the caller).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 = DefaultNumThreads()).

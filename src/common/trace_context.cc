@@ -1,0 +1,161 @@
+#include "common/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace nde {
+
+namespace {
+
+/// One thread-local slot per thread. `installs` counts nested
+/// ScopedTraceContext scopes so HasTraceContext can distinguish "a request
+/// context is active" from "the slot still holds default values".
+struct ContextSlot {
+  TraceContext context;
+  int installs = 0;
+};
+
+ContextSlot& Slot() {
+  thread_local ContextSlot slot;
+  return slot;
+}
+
+/// Base seed for id minting: sampled once, mixing wall-clock time with ASLR
+/// address entropy so two processes started in the same microsecond still
+/// mint disjoint ids. Per-mint cost after that is one fetch_add + splitmix64.
+uint64_t MintBaseSeed() {
+  static const uint64_t seed = [] {
+    uint64_t state = static_cast<uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    state ^= reinterpret_cast<uintptr_t>(&Slot) << 17;
+    internal::SplitMix64(&state);
+    return internal::SplitMix64(&state);
+  }();
+  return seed;
+}
+
+uint64_t MintId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t state = MintBaseSeed() ^
+                   (0x9e3779b97f4a7c15ULL *
+                    (counter.fetch_add(1, std::memory_order_relaxed) + 1));
+  internal::SplitMix64(&state);
+  uint64_t id = internal::SplitMix64(&state);
+  return id != 0 ? id : 1;  // all-zero ids are invalid on the wire
+}
+
+void AppendHex64(std::string* out, uint64_t value) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(value >> shift) & 0xF]);
+  }
+}
+
+/// Parses exactly `digits` lowercase hex chars at text[pos]; false on any
+/// non-[0-9a-f] byte (uppercase is a W3C violation and is rejected).
+bool ParseHex(const std::string& text, size_t pos, size_t digits,
+              uint64_t* out) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < digits; ++i) {
+    char c = text[pos + i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | nibble;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+TraceContext* MutableCurrentTraceContext() { return &Slot().context; }
+
+void AdjustTraceContextInstalls(int delta) { Slot().installs += delta; }
+
+}  // namespace internal
+
+const TraceContext& CurrentTraceContext() { return Slot().context; }
+
+bool HasTraceContext() {
+  const ContextSlot& slot = Slot();
+  return slot.installs > 0 || slot.context.span_id != 0;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context) {
+  ContextSlot& slot = Slot();
+  saved_ = std::move(slot.context);
+  slot.context = std::move(context);
+  ++slot.installs;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  ContextSlot& slot = Slot();
+  slot.context = std::move(saved_);
+  --slot.installs;
+}
+
+std::string TraceIdHex(const TraceContext& context) {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(&out, context.trace_id_hi);
+  AppendHex64(&out, context.trace_id_lo);
+  return out;
+}
+
+std::string SpanIdHex(uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(&out, span_id);
+  return out;
+}
+
+std::string FormatTraceparent(const TraceContext& context) {
+  std::string out = "00-";
+  out.reserve(55);
+  AppendHex64(&out, context.trace_id_hi);
+  AppendHex64(&out, context.trace_id_lo);
+  out.push_back('-');
+  AppendHex64(&out, context.span_id);
+  out += "-01";
+  return out;
+}
+
+bool ParseTraceparent(const std::string& text, TraceContext* out) {
+  // version(2) '-' trace-id(32) '-' span-id(16) '-' flags(2) == 55 bytes.
+  if (text.size() != 55) return false;
+  if (text[2] != '-' || text[35] != '-' || text[52] != '-') return false;
+  uint64_t version, hi, lo, span, flags;
+  if (!ParseHex(text, 0, 2, &version) || !ParseHex(text, 3, 16, &hi) ||
+      !ParseHex(text, 19, 16, &lo) || !ParseHex(text, 36, 16, &span) ||
+      !ParseHex(text, 53, 2, &flags)) {
+    return false;
+  }
+  if (version == 0xff) return false;  // forbidden by the spec
+  if ((hi | lo) == 0 || span == 0) return false;
+  out->trace_id_hi = hi;
+  out->trace_id_lo = lo;
+  out->span_id = span;
+  return true;
+}
+
+TraceContext MintTraceContext() {
+  TraceContext context;
+  context.trace_id_hi = MintId();
+  context.trace_id_lo = MintId();
+  context.span_id = MintId();
+  return context;
+}
+
+uint64_t MintSpanId() { return MintId(); }
+
+}  // namespace nde

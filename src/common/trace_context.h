@@ -1,0 +1,99 @@
+#ifndef NDE_COMMON_TRACE_CONTEXT_H_
+#define NDE_COMMON_TRACE_CONTEXT_H_
+
+/// Request-scoped trace context, propagated Dapper-style: a 128-bit trace id
+/// plus the current span id, carried in a thread-local slot and copied across
+/// thread hops explicitly (ThreadPool::Submit captures the submitter's
+/// context and installs it around the task). `job_id` / `algorithm` ride
+/// along so telemetry — spans, structured logs, labeled metrics — can
+/// attribute work executed by shared pool workers to the job that submitted
+/// it.
+///
+/// The wire format is W3C Trace Context's `traceparent` header:
+///
+///   00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+///   ^^ ^trace-id (32 lowercase hex)^^^^ ^span-id (16)^^^^ ^flags
+///
+/// Determinism contract: ids are minted from a process-local counter mixed
+/// through splitmix64 and never feed back into estimator sampling, so
+/// attaching a context (or none) cannot change any computed value — the same
+/// "observational only" rule the rest of telemetry follows (DESIGN.md §8).
+///
+/// This lives in common/ (not telemetry/) for the same reason the logger
+/// does: nde_telemetry links nde_common, and the logger must be able to stamp
+/// records with the current trace without a link cycle.
+
+#include <cstdint>
+#include <string>
+
+namespace nde {
+
+struct TraceContext {
+  uint64_t trace_id_hi = 0;  ///< high 64 bits of the 128-bit trace id
+  uint64_t trace_id_lo = 0;  ///< low 64 bits
+  uint64_t span_id = 0;      ///< the current (parent-to-be) span
+  std::string job_id;        ///< owning job ("" outside the job API)
+  std::string algorithm;     ///< the job's algorithm ("" when unknown)
+
+  /// A context with an all-zero trace id carries attribution fields only;
+  /// W3C forbids all-zero ids on the wire.
+  bool has_trace() const { return (trace_id_hi | trace_id_lo) != 0; }
+};
+
+/// The context installed on the calling thread (a default-constructed one
+/// when nothing is installed). The reference stays valid for the thread's
+/// lifetime but its fields change as scopes install/uninstall.
+const TraceContext& CurrentTraceContext();
+
+/// True when the calling thread is inside a ScopedTraceContext or an open
+/// span — i.e. there is something worth propagating across a thread hop.
+bool HasTraceContext();
+
+namespace internal {
+/// Mutable access to the thread-local slot, for the RAII helpers here and
+/// the span-id push/pop in telemetry's ScopedSpan. Not a public API.
+TraceContext* MutableCurrentTraceContext();
+/// Install-depth bookkeeping backing HasTraceContext().
+void AdjustTraceContextInstalls(int delta);
+}  // namespace internal
+
+/// Installs `context` as the calling thread's current context for the scope's
+/// lifetime, restoring the previous context (if any) on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// 32 lowercase hex chars of the trace id ("0..0" for a traceless context).
+std::string TraceIdHex(const TraceContext& context);
+/// 16 lowercase hex chars of a span id.
+std::string SpanIdHex(uint64_t span_id);
+
+/// Renders `context` as a version-00 traceparent with the sampled flag set:
+/// "00-<32 hex>-<16 hex>-01". Precondition: context.has_trace().
+std::string FormatTraceparent(const TraceContext& context);
+
+/// Strict W3C traceparent parser: exactly 55 bytes, lowercase hex, dashes at
+/// positions 2/35/52, version != "ff", trace and span ids not all-zero.
+/// Returns false (leaving *out untouched) on anything else — including the
+/// empty string, so callers can feed a possibly-absent header directly.
+bool ParseTraceparent(const std::string& text, TraceContext* out);
+
+/// Mints a fresh context: random-looking nonzero trace and span ids from a
+/// process-local counter mixed through splitmix64 (no wall-clock reads on the
+/// per-mint path; the counter's base seed takes entropy once at first use).
+TraceContext MintTraceContext();
+
+/// A fresh nonzero span id from the same generator.
+uint64_t MintSpanId();
+
+}  // namespace nde
+
+#endif  // NDE_COMMON_TRACE_CONTEXT_H_

@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "telemetry/health.h"
+#include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 
@@ -53,6 +54,26 @@ bool CancelRequested(const EstimatorOptions& options) {
          options.cancel->load(std::memory_order_relaxed);
 }
 
+/// Per-job labeled twins of NDE_METRIC_COUNT / NDE_METRIC_RECORD: under a
+/// job's TraceContext the sample lands in both the base metric and the
+/// job-labeled series, so /metrics breaks the value out per job; outside a
+/// job (CLI, tests) only the base metric moves and output is unchanged.
+/// Called at wave boundaries, retry slow paths, and run ends — never per
+/// utility evaluation — so the per-call registry lookup is irrelevant.
+void CountForJob(const char* name, uint64_t delta) {
+  if (!telemetry::Enabled()) return;
+  telemetry::MetricsRegistry::Global()
+      .GetCounterWithLabels(name, telemetry::CurrentJobLabels())
+      .Increment(delta);
+}
+
+void RecordMsForJob(const char* name, double ms) {
+  if (!telemetry::Enabled()) return;
+  telemetry::MetricsRegistry::Global()
+      .GetHistogramWithLabels(name, telemetry::CurrentJobLabels())
+      .Record(ms);
+}
+
 /// One utility evaluation with bounded retry. Retries only *retryable*
 /// failures (unavailable / resource_exhausted — a transient backend), with
 /// capped exponential backoff: retry_backoff_ms, doubled per attempt, capped
@@ -67,7 +88,7 @@ Result<double> EvaluateWithRetry(const UtilityFunction& utility,
   Status last;
   for (size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
     if (attempt > 0) {
-      NDE_METRIC_COUNT("estimator.retries", 1);
+      CountForJob("estimator.retries", 1);
       uint64_t delay_ms = static_cast<uint64_t>(options.retry_backoff_ms)
                           << (attempt - 1);
       delay_ms = std::min<uint64_t>(
@@ -166,7 +187,7 @@ Result<std::vector<double>> LeaveOneOutValues(const UtilityFunction& utility,
             },
             options.num_threads, "leave_one_out"));
     (void)used;
-    NDE_METRIC_RECORD(
+    RecordMsForJob(
         "estimator.wave_ms",
         static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
     for (size_t i = wave_begin; i < wave_end; ++i) {
@@ -305,7 +326,7 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
                     std::fabs(full_utility - previous) <
                         options.truncation_tolerance) {
                   truncated = true;  // Remaining marginals are zero.
-                  NDE_METRIC_COUNT("shapley.truncation_hits", 1);
+                  CountForJob("shapley.truncation_hits", 1);
                   NDE_SPAN_ARG(perm_span, "truncated_at",
                                static_cast<int64_t>(pos));
                 } else {
@@ -378,7 +399,7 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
       break;
     }
     threads_used = std::max(threads_used, *used);
-    NDE_METRIC_RECORD(
+    RecordMsForJob(
         "estimator.wave_ms",
         static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
 
@@ -437,8 +458,8 @@ Result<ImportanceEstimate> TmcShapleyValues(const UtilityFunction& utility,
       break;
     }
   }
-  NDE_METRIC_COUNT("shapley.permutations", executed);
-  NDE_METRIC_COUNT("shapley.utility_evaluations", evaluations);
+  CountForJob("shapley.permutations", executed);
+  CountForJob("shapley.utility_evaluations", evaluations);
   NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
   NDE_SPAN_ARG(span, "permutations", static_cast<int64_t>(executed));
   NDE_SPAN_ARG(span, "evaluations", static_cast<int64_t>(evaluations));
@@ -609,7 +630,7 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
       break;
     }
     threads_used = std::max(threads_used, *used);
-    NDE_METRIC_RECORD(
+    RecordMsForJob(
         "estimator.wave_ms",
         static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
 
@@ -681,7 +702,7 @@ Result<ImportanceEstimate> BanzhafValues(const UtilityFunction& utility,
       break;
     }
   }
-  NDE_METRIC_COUNT("banzhaf.samples", executed_samples);
+  CountForJob("banzhaf.samples", executed_samples);
   NDE_SPAN_ARG(span, "units", static_cast<int64_t>(n));
   NDE_SPAN_ARG(span, "samples", static_cast<int64_t>(executed_samples));
   NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
@@ -871,7 +892,7 @@ Result<ImportanceEstimate> BetaShapleyValues(
       break;
     }
     threads_used = std::max(threads_used, *used);
-    NDE_METRIC_RECORD(
+    RecordMsForJob(
         "estimator.wave_ms",
         static_cast<double>(telemetry::NowMicros() - wave_start_us) / 1000.0);
     // Discard a failed wave whole (first error in unit-index order wins): the
@@ -926,7 +947,7 @@ Result<ImportanceEstimate> BetaShapleyValues(
   estimate.num_threads_used = threads_used;
   estimate.aborted_early = aborted;
   estimate.abort_cause = abort_cause;
-  NDE_METRIC_COUNT("beta_shapley.utility_evaluations", evaluations);
+  CountForJob("beta_shapley.utility_evaluations", evaluations);
   NDE_SPAN_ARG(span, "threads", static_cast<int64_t>(threads_used));
   return estimate;
 }

@@ -6,6 +6,8 @@
 #include <span>
 
 #include "common/parallel.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace nde {
 
@@ -85,8 +87,20 @@ std::vector<double> KnnShapleyValues(const MlDataset& train,
   for (size_t wave_begin = 0; wave_begin < num_chunks;
        wave_begin += kWaveChunks) {
     size_t wave_end = std::min(wave_begin + kWaveChunks, num_chunks);
+    int64_t wave_start_us =
+        telemetry::Enabled() ? telemetry::NowMicros() : 0;
     ParallelFor(wave_begin, wave_end, run_chunk, options.num_threads,
                 "knn_shapley");
+    // Wave latency, attributed to the owning job when one is active — purely
+    // observational, like the progress callback below.
+    if (telemetry::Enabled()) {
+      telemetry::MetricsRegistry::Global()
+          .GetHistogramWithLabels("estimator.wave_ms",
+                                  telemetry::CurrentJobLabels())
+          .Record(static_cast<double>(telemetry::NowMicros() -
+                                      wave_start_us) /
+                  1000.0);
+    }
     if (options.progress) {
       ProgressUpdate update;
       update.phase = "knn_shapley";

@@ -40,11 +40,17 @@ SubsetCache::SubsetCache(SubsetCacheOptions options) : options_(options) {
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  // Pre-register the telemetry counters so `nde_cli --metrics` lists them
-  // (at zero) even before the first evaluation lands.
-  telemetry::MetricsRegistry::Global().GetCounter("utility_cache.hits");
-  telemetry::MetricsRegistry::Global().GetCounter("utility_cache.misses");
-  telemetry::MetricsRegistry::Global().GetCounter("utility_cache.evictions");
+  // Resolve the telemetry counters once, here: this both pre-registers them
+  // so `nde_cli --metrics` lists them (at zero) before the first evaluation
+  // lands, and attaches the owning job's labels (CurrentJobLabels is empty —
+  // base-only counting — outside a job) without any lookup on the hot path.
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  telemetry::MetricLabels labels = telemetry::CurrentJobLabels();
+  hit_counter_ = registry.GetCounterWithLabels("utility_cache.hits", labels);
+  miss_counter_ =
+      registry.GetCounterWithLabels("utility_cache.misses", labels);
+  eviction_counter_ =
+      registry.GetCounterWithLabels("utility_cache.evictions", labels);
 }
 
 double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
@@ -88,7 +94,7 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
         static_cast<double>(telemetry::NowMicros() - probe_start_us) / 1000.0);
   }
   if (hit) {
-    NDE_METRIC_COUNT("utility_cache.hits", 1);
+    if (timed) hit_counter_.Increment();
     return cached;
   }
 
@@ -96,7 +102,7 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
   // and a concurrent duplicate compute returns the identical (deterministic)
   // value, so double computation is a small waste, never a correctness issue.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  NDE_METRIC_COUNT("utility_cache.misses", 1);
+  if (timed) miss_counter_.Increment();
   double value = compute();
 
   // Simulated allocation failure: the cache degrades gracefully by serving
@@ -121,7 +127,7 @@ double SubsetCache::GetOrCompute(const std::vector<size_t>& subset,
         shard.order.pop_front();
         entries_.fetch_sub(1, std::memory_order_relaxed);
         evictions_.fetch_add(1, std::memory_order_relaxed);
-        NDE_METRIC_COUNT("utility_cache.evictions", 1);
+        if (timed) eviction_counter_.Increment();
       }
       NDE_METRIC_GAUGE_SET("utility_cache.entries",
                            static_cast<double>(

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace nde {
 
 /// Order-independent subset hash: a commutative (addition) fold of a 64-bit
@@ -117,6 +119,12 @@ class SubsetCache {
   SubsetCacheOptions options_;
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Registry counters resolved once at construction (construction happens
+  /// on the owning run's thread, so a job's labels attach here), then
+  /// incremented lock-free on the hot probe path.
+  telemetry::LabeledCounter hit_counter_;
+  telemetry::LabeledCounter miss_counter_;
+  telemetry::LabeledCounter eviction_counter_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -3,10 +3,12 @@
 #include <sys/stat.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/json.h"
+#include "common/log.h"
 #include "common/string_util.h"
 #include "data/csv.h"
 #include "nde/engine.h"
@@ -158,7 +160,67 @@ std::string SnapshotJson(const JobSnapshot& snapshot, bool summary_only) {
   if (!snapshot.artifact_path.empty()) {
     os << ",\"artifact\":\"" << JsonEscape(snapshot.artifact_path) << "\"";
   }
+  if (snapshot.trace.has_trace()) {
+    os << ",\"trace_id\":\"" << TraceIdHex(snapshot.trace) << "\"";
+  }
   os << "}";
+  return os.str();
+}
+
+/// GET /jobs/<id>/eventz body (also the `<id>.events.json` artifact): the
+/// job's wave-boundary timeline.
+std::string EventsJson(const JobSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"job_id\":\"" << JsonEscape(snapshot.id) << "\",\"algorithm\":\""
+     << JsonEscape(snapshot.algorithm) << "\",\"trace_id\":\""
+     << (snapshot.trace.has_trace() ? TraceIdHex(snapshot.trace)
+                                    : std::string())
+     << "\",\"waves\":[";
+  bool first = true;
+  for (const JobWaveEvent& event : snapshot.events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"wave\":" << event.wave << ",\"phase\":\""
+       << JsonEscape(event.phase) << "\",\"ts_us\":" << event.ts_us
+       << ",\"dur_us\":" << event.dur_us
+       << ",\"completed\":" << event.completed << ",\"total\":" << event.total
+       << ",\"utility_evaluations\":" << event.utility_evaluations
+       << ",\"max_std_error\":" << FormatDouble(event.max_std_error) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// GET /jobs/<id>/tracez body: the job's spans, filtered from the global
+/// trace buffer by the job's trace id, with parent linkage so clients can
+/// rebuild the span tree.
+std::string JobTracezJson(const JobSnapshot& snapshot) {
+  std::vector<telemetry::TraceEvent> events =
+      telemetry::TraceBuffer::Global().Snapshot();
+  std::ostringstream os;
+  os << "{\"job_id\":\"" << JsonEscape(snapshot.id) << "\",\"trace_id\":\""
+     << (snapshot.trace.has_trace() ? TraceIdHex(snapshot.trace)
+                                    : std::string())
+     << "\",\"spans\":[";
+  bool first = true;
+  for (const telemetry::TraceEvent& event : events) {
+    if (event.trace_id_hi != snapshot.trace.trace_id_hi ||
+        event.trace_id_lo != snapshot.trace.trace_id_lo ||
+        !snapshot.trace.has_trace()) {
+      continue;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"category\":\""
+       << JsonEscape(event.category) << "\",\"ts_us\":" << event.ts_us
+       << ",\"dur_us\":" << event.dur_us << ",\"tid\":" << event.tid
+       << ",\"span_id\":\"" << SpanIdHex(event.span_id)
+       << "\",\"parent_span_id\":\""
+       << (event.parent_span_id != 0 ? SpanIdHex(event.parent_span_id)
+                                     : std::string())
+       << "\"}";
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -167,6 +229,9 @@ std::string SnapshotJson(const JobSnapshot& snapshot, bool summary_only) {
 struct JobManager::Job {
   std::string id;
   JobRequest request;
+  /// Trace attribution, fixed at submit time (adopted from the submitter's
+  /// ambient context or freshly minted) and immutable afterwards.
+  TraceContext trace;
   std::atomic<bool> cancel{false};
   std::atomic<size_t> progress_completed{0};
   std::atomic<size_t> progress_total{0};
@@ -178,6 +243,7 @@ struct JobManager::Job {
   size_t valid_rows = 0;
   Status error;
   std::string artifact_path;
+  std::vector<JobWaveEvent> events;
 };
 
 JobManager::JobManager(JobApiOptions options) : options_(std::move(options)) {
@@ -228,6 +294,14 @@ Result<std::string> JobManager::Submit(const JobRequest& request) {
     job = std::make_shared<Job>();
     job->id = StrFormat("job-%zu", next_id_++);
     job->request = request;
+    // Adopt the submitter's trace (the one HTTP ingress installed from the
+    // request's traceparent) so the caller's id follows the job; mint one
+    // for contextless submitters (tests, embedded use). Either way the job
+    // id and algorithm ride along for log/metric attribution.
+    job->trace = CurrentTraceContext().has_trace() ? CurrentTraceContext()
+                                                   : MintTraceContext();
+    job->trace.job_id = job->id;
+    job->trace.algorithm = request.algorithm;
     jobs_[job->id] = job;
     order_.push_back(job->id);
     ++pending_;
@@ -265,9 +339,19 @@ void JobManager::Execute(const std::shared_ptr<Job>& job) {
 }
 
 Status JobManager::RunJob(Job* job) {
+  // The job's whole execution — estimator waves, pool fan-out, logging —
+  // runs under its trace context: spans parent into this trace, NDE_LOG
+  // records carry trace_id/job_id, and labeled metrics resolve the job's
+  // labels from here.
+  ScopedTraceContext trace_scope{TraceContext(job->trace)};
+  NDE_LOG(INFO) << "job " << job->id << " started: algorithm="
+                << job->request.algorithm;
   telemetry::RunReport report("job:" + job->request.algorithm);
   report.SetConfig("job_id", job->id);
   report.SetConfig("algorithm", job->request.algorithm);
+  if (job->trace.has_trace()) {
+    report.SetConfig("trace_id", TraceIdHex(job->trace));
+  }
   report.SetConfig("label", job->request.label);
   if (!job->request.csv_path.empty()) {
     report.SetConfig("csv_path", job->request.csv_path);
@@ -287,11 +371,29 @@ Status JobManager::RunJob(Job* job) {
     NDE_RETURN_IF_ERROR(algorithm->ConfigureAll(job->request.options));
     algorithm->SetCancelFlag(&job->cancel);
     telemetry::RunReport* report_ptr = &report;
-    algorithm->SetProgress([job, report_ptr](const ProgressUpdate& update) {
+    int64_t job_start_us = telemetry::NowMicros();
+    algorithm->SetProgress([this, job, report_ptr,
+                            job_start_us](const ProgressUpdate& update) {
       job->progress_completed.store(update.completed,
                                     std::memory_order_relaxed);
       job->progress_total.store(update.total, std::memory_order_relaxed);
       report_ptr->RecordProgress(update);
+      // Wave timeline for /jobs/<id>/eventz. Callbacks fire on the job's
+      // coordinating thread at wave boundaries, so appending under mu_ is
+      // uncontended and purely observational (determinism contract intact).
+      JobWaveEvent event;
+      event.ts_us = telemetry::NowMicros();
+      event.phase = update.phase;
+      event.completed = update.completed;
+      event.total = update.total;
+      event.utility_evaluations = update.utility_evaluations;
+      event.max_std_error = update.max_std_error;
+      std::lock_guard<std::mutex> lock(mu_);
+      event.wave = job->events.size() + 1;
+      event.dur_us = event.ts_us - (job->events.empty()
+                                        ? job_start_us
+                                        : job->events.back().ts_us);
+      job->events.push_back(std::move(event));
     });
     NDE_ASSIGN_OR_RETURN(
         TableRunResult result,
@@ -318,6 +420,14 @@ Status JobManager::RunJob(Job* job) {
       std::lock_guard<std::mutex> lock(mu_);
       job->artifact_path = path;
     }
+    // Persist the wave timeline next to the RunReport so a job's eventz view
+    // survives the process (best-effort, like the report itself).
+    Result<JobSnapshot> snapshot = Get(job->id);
+    if (snapshot.ok()) {
+      std::ofstream events_out(options_.artifact_dir + "/" + job->id +
+                               ".events.json");
+      if (events_out) events_out << EventsJson(*snapshot) << "\n";
+    }
   }
   return status;
 }
@@ -342,6 +452,8 @@ Result<JobSnapshot> JobManager::Get(const std::string& id) const {
   snapshot.valid_rows = job.valid_rows;
   snapshot.error = job.error;
   snapshot.artifact_path = job.artifact_path;
+  snapshot.trace = job.trace;
+  snapshot.events = job.events;
   return snapshot;
 }
 
@@ -402,6 +514,33 @@ std::string JobManager::HandleHttp(const HttpRequest& request) {
   }
   if (StartsWith(request.target, "/jobs/")) {
     std::string id = request.target.substr(6);
+    std::string view;
+    size_t slash = id.find('/');
+    if (slash != std::string::npos) {
+      view = id.substr(slash + 1);
+      id.resize(slash);
+    }
+    if (!view.empty()) {
+      if (request.method != "GET") return MethodNotAllowed("GET");
+      Result<JobSnapshot> snapshot = Get(id);
+      if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+      if (view == "tracez") {
+        if (request.query.find("folded=1") != std::string::npos) {
+          return MakeHttpResponse(
+              200, "OK", "text/plain",
+              telemetry::TraceBuffer::Global().FoldedForTrace(
+                  snapshot->trace.trace_id_hi, snapshot->trace.trace_id_lo));
+        }
+        return MakeHttpResponse(200, "OK", "application/json",
+                                JobTracezJson(*snapshot) + "\n");
+      }
+      if (view == "eventz") {
+        return MakeHttpResponse(200, "OK", "application/json",
+                                EventsJson(*snapshot) + "\n");
+      }
+      return MakeHttpResponse(404, "Not Found", "text/plain",
+                              "unknown job view; try tracez or eventz\n");
+    }
     if (request.method == "GET") {
       Result<JobSnapshot> snapshot = Get(id);
       if (!snapshot.ok()) return ErrorResponse(snapshot.status());

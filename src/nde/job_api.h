@@ -11,6 +11,7 @@
 
 #include "common/parallel.h"
 #include "common/result.h"
+#include "common/trace_context.h"
 #include "importance/game_values.h"
 #include "telemetry/http_exporter.h"
 
@@ -29,12 +30,27 @@ namespace nde {
 ///                      the estimate (values, std_errors, ranked rows)
 ///   DELETE /jobs/<id>  -> cooperative cancellation (completed waves are
 ///                      kept; see EstimatorOptions::cancel)
+///   GET    /jobs/<id>/tracez -> the job's span tree, filtered from the
+///                      global trace buffer by the job's trace id;
+///                      ?folded=1 downloads flamegraph-compatible folded
+///                      stacks instead
+///   GET    /jobs/<id>/eventz -> per-wave event timeline (wave index,
+///                      evals, max_std_error, duration)
 ///   GET    /algorithmz -> AlgorithmRegistry::DescribeJson()
 ///
 /// Jobs run on a private fixed-size ThreadPool. Each job writes a RunReport
 /// artifact (config, convergence curve, error) under `artifact_dir` when one
 /// is configured. A failed job flips /healthz to degraded exactly like a
 /// failed CLI run; a later successful job restores it.
+///
+/// Trace attribution: Submit adopts the submitting thread's TraceContext
+/// (the one HttpExporter::Dispatch installed from the request's traceparent)
+/// — or mints one when there is none — and stamps it with the job's id and
+/// algorithm. The job's whole execution runs under that context, so its
+/// spans, structured logs, and labeled metrics all carry the same trace id,
+/// which is also recorded in the RunReport artifact ("trace_id" config) and
+/// the job snapshot. An externally supplied traceparent therefore round-trips
+/// verbatim from HTTP ingress to every signal the job emits.
 
 struct JobApiOptions {
   /// Worker threads executing jobs (each job may itself fan out utility
@@ -61,6 +77,19 @@ enum class JobState { kQueued, kRunning, kDone, kError, kCancelled };
 /// "queued" / "running" / "done" / "error" / "cancelled".
 const char* JobStateName(JobState state);
 
+/// One estimator wave as observed by the job's progress callback: the basis
+/// of GET /jobs/<id>/eventz and of the `<id>.events.json` artifact.
+struct JobWaveEvent {
+  size_t wave = 0;     ///< 1-based wave index
+  int64_t ts_us = 0;   ///< wave boundary, trace-epoch microseconds
+  int64_t dur_us = 0;  ///< time since the previous boundary (or job start)
+  std::string phase;   ///< reporting estimator phase, e.g. "tmc_shapley"
+  size_t completed = 0;
+  size_t total = 0;
+  size_t utility_evaluations = 0;
+  double max_std_error = 0.0;
+};
+
 /// Point-in-time copy of one job, safe to read after the job advanced.
 struct JobSnapshot {
   std::string id;
@@ -77,6 +106,10 @@ struct JobSnapshot {
   size_t valid_rows = 0;
   Status error;               ///< non-OK when state is kError/kCancelled
   std::string artifact_path;  ///< RunReport artifact ("" when disabled)
+  /// The job's trace attribution (id fields set at submit time) and the
+  /// wave-boundary timeline recorded so far.
+  TraceContext trace;
+  std::vector<JobWaveEvent> events;
 };
 
 class JobManager {
@@ -105,8 +138,9 @@ class JobManager {
   /// finished job is a no-op. NotFound for an unknown id.
   Status Cancel(const std::string& id);
 
-  /// The HTTP face: handles /jobs, /jobs/<id>, and /algorithmz requests and
-  /// returns complete response bytes. Install via
+  /// The HTTP face: handles /jobs, /jobs/<id>, /jobs/<id>/tracez,
+  /// /jobs/<id>/eventz, and /algorithmz requests and returns complete
+  /// response bytes. Install via
   /// `exporter.SetHandler([&](const auto& r) { return m.HandleHttp(r); })`.
   std::string HandleHttp(const telemetry::HttpRequest& request);
 

@@ -43,6 +43,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "data/csv.h"
 #include "data/table.h"
 #include "data/value.h"

@@ -13,6 +13,7 @@
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "telemetry/health.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
@@ -52,7 +53,21 @@ std::string TracezJson() {
     first = false;
     os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"category\":\""
        << JsonEscape(event.category) << "\",\"ts_us\":" << event.ts_us
-       << ",\"dur_us\":" << event.dur_us << ",\"tid\":" << event.tid << "}";
+       << ",\"dur_us\":" << event.dur_us << ",\"tid\":" << event.tid;
+    if ((event.trace_id_hi | event.trace_id_lo) != 0) {
+      TraceContext id_only;
+      id_only.trace_id_hi = event.trace_id_hi;
+      id_only.trace_id_lo = event.trace_id_lo;
+      os << ",\"trace_id\":\"" << TraceIdHex(id_only) << "\"";
+    }
+    if (event.span_id != 0) {
+      os << ",\"span_id\":\"" << SpanIdHex(event.span_id) << "\"";
+    }
+    if (event.parent_span_id != 0) {
+      os << ",\"parent_span_id\":\"" << SpanIdHex(event.parent_span_id)
+         << "\"";
+    }
+    os << "}";
   }
   os << "]}";
   return os.str();
@@ -124,10 +139,14 @@ bool ReadHttpRequest(int fd, size_t max_body_bytes, HttpRequest* out,
     if (colon == std::string::npos) continue;
     std::string key = header.substr(0, colon);
     for (char& c : key) c = static_cast<char>(std::tolower(c));
-    if (key != "content-length") continue;
     size_t value_begin = header.find_first_not_of(" \t", colon + 1);
     if (value_begin == std::string::npos) continue;
     std::string value = header.substr(value_begin);
+    if (key == "traceparent") {
+      out->traceparent = value;
+      continue;
+    }
+    if (key != "content-length") continue;
     if (value.empty() ||
         value.find_first_not_of("0123456789") != std::string::npos) {
       *error_response = MakeHttpResponse(400, "Bad Request", "text/plain",
@@ -162,6 +181,38 @@ bool ReadHttpRequest(int fd, size_t max_body_bytes, HttpRequest* out,
   body.resize(content_length);
   out->body = std::move(body);
   return true;
+}
+
+/// Collapses id-bearing paths to one label value per route shape, so the
+/// `http.request_us` target label has a small fixed vocabulary no matter how
+/// many jobs exist (the cardinality cap is for accidents, not for design).
+std::string NormalizedTarget(const std::string& target) {
+  if (target == "/healthz" || target == "/metrics" || target == "/varz" ||
+      target == "/tracez" || target == "/profilez" || target == "/jobs" ||
+      target == "/algorithmz") {
+    return target;
+  }
+  if (StartsWith(target, "/jobs/")) {
+    size_t slash = target.find('/', 6);
+    if (slash == std::string::npos) return "/jobs/<id>";
+    std::string suffix = target.substr(slash);
+    if (suffix == "/tracez" || suffix == "/eventz") {
+      return "/jobs/<id>" + suffix;
+    }
+    return "other";
+  }
+  return "other";
+}
+
+/// Request-latency buckets in microseconds: 1us .. ~18min, x4 per bucket.
+/// (The default registry buckets are scaled for milliseconds.)
+const std::vector<double>& RequestLatencyBucketsUs() {
+  static const std::vector<double>* bounds = [] {
+    auto* v = new std::vector<double>();
+    for (double b = 1.0; b <= 1.2e9; b *= 4.0) v->push_back(b);
+    return v;
+  }();
+  return *bounds;
 }
 
 void WriteAll(int fd, const std::string& data) {
@@ -243,7 +294,30 @@ std::string HttpExporter::Route(const HttpRequest& request,
 }
 
 std::string HttpExporter::Dispatch(const HttpRequest& request) const {
-  return Route(request, &handler_);
+  // Tracing ingress: honor a valid incoming traceparent (the caller's trace
+  // id then flows through every span/log/metric this request produces), mint
+  // a fresh context otherwise. Handlers that spawn work (the job API) copy
+  // the ambient context before this scope ends.
+  TraceContext context;
+  if (!ParseTraceparent(request.traceparent, &context)) {
+    context = MintTraceContext();
+  }
+  ScopedTraceContext scope(std::move(context));
+  int64_t start_us = NowMicros();
+  std::string response = Route(request, &handler_);
+  int64_t elapsed_us = NowMicros() - start_us;
+  // Per-endpoint latency, labeled by route shape + status class. Resolved
+  // per request — requests are orders of magnitude rarer than the hot-path
+  // metrics, so the map lookup is irrelevant here.
+  char status_digit = response.size() > 9 ? response[9] : '5';
+  MetricsRegistry::Global()
+      .GetHistogramWithLabels(
+          "http.request_us",
+          WithLabels({{"target", NormalizedTarget(request.target)},
+                      {"status", std::string(1, status_digit) + "xx"}}),
+          RequestLatencyBucketsUs())
+      .Record(static_cast<double>(elapsed_us));
+  return response;
 }
 
 std::string HttpExporter::HandleRequest(const std::string& request_line) {

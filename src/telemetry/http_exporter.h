@@ -16,10 +16,11 @@ namespace telemetry {
 /// query string already split off; `body` is empty unless the client sent a
 /// Content-Length body (bounded by HttpExporter::max_body_bytes).
 struct HttpRequest {
-  std::string method;  ///< "GET", "POST", "DELETE", ... (as sent)
-  std::string target;  ///< path with the query string stripped
-  std::string query;   ///< raw query string ("" when absent)
-  std::string body;    ///< request body ("" when none was sent)
+  std::string method;       ///< "GET", "POST", "DELETE", ... (as sent)
+  std::string target;       ///< path with the query string stripped
+  std::string query;        ///< raw query string ("" when absent)
+  std::string body;         ///< request body ("" when none was sent)
+  std::string traceparent;  ///< raw `traceparent` header value ("" if absent)
 };
 
 /// Maps a request to complete HTTP response bytes. Build responses with
@@ -88,6 +89,14 @@ class HttpExporter {
   /// Routes a full request through the built-in endpoints and the installed
   /// handler — the serving thread uses exactly this function. Exposed so
   /// tests can cover routing deterministically without sockets.
+  ///
+  /// This is the tracing ingress: a valid `request.traceparent` is adopted
+  /// as the request's TraceContext (the caller-supplied trace id propagates
+  /// through every span/log/metric the request produces), otherwise a fresh
+  /// context is minted. Either way the context is installed around Route and
+  /// removed before returning. Each dispatch also records its latency in the
+  /// `http.request_us` histogram, labeled by normalized target and status
+  /// class (2xx/4xx/...), visible in /metrics.
   std::string Dispatch(const HttpRequest& request) const;
 
   /// Pure request-line router over the built-in endpoints only (no handler,

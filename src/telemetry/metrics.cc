@@ -2,18 +2,50 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "telemetry/trace.h"
 
 namespace nde {
 namespace telemetry {
 
 namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.'
+/// (and anything else) to '_'. Also applied to label keys at series-creation
+/// time, so exported label names are always legal.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Escapes a label value for the `name{key="value"}` series key. The same
+/// escapes are valid in Prometheus label values and (after JsonEscape at
+/// export time) in JSON object keys.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 /// Failpoint hit/fire counters, exported as `failpoint.<name>.hits` and
 /// `failpoint.<name>.fires`. The failpoint framework lives below telemetry
@@ -103,16 +135,57 @@ const std::vector<double>& DefaultLatencyBucketsMs() {
   return *buckets;
 }
 
+MetricLabels WithLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+MetricLabels CurrentJobLabels() {
+  const TraceContext& context = CurrentTraceContext();
+  if (context.job_id.empty()) return {};
+  MetricLabels labels;
+  if (!context.algorithm.empty()) {
+    labels.emplace_back("algorithm", context.algorithm);
+  }
+  labels.emplace_back("job_id", context.job_id);
+  return labels;  // already key-sorted: "algorithm" < "job_id"
+}
+
+std::string LabeledSeriesName(const std::string& name,
+                              const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = WithLabels(labels);
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += PrometheusName(sorted[i].first) + "=\"" +
+           EscapeLabelValue(sorted[i].second) + "\"";
+  }
+  key += "}";
+  return key;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
-Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+Counter& MetricsRegistry::CounterLocked(const std::string& name) {
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
+}
+
+Histogram& MetricsRegistry::HistogramLocked(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return *slot;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CounterLocked(name);
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
@@ -125,9 +198,66 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 Histogram& MetricsRegistry::GetHistogram(
     const std::string& name, const std::vector<double>& upper_bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Histogram>& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
-  return *slot;
+  return HistogramLocked(name, upper_bounds);
+}
+
+bool MetricsRegistry::AdmitLabeledSeriesLocked(bool exists) {
+  if (exists) return true;
+  if (labeled_series_ >= label_cardinality_cap_) {
+    // Refused: the caller falls back to base-only counting, and the drop is
+    // visible instead of silent. Incrementing under mu_ is safe — the
+    // counter op is a plain atomic add with no registry re-entry.
+    CounterLocked("telemetry.labels_dropped").Increment();
+    return false;
+  }
+  ++labeled_series_;
+  return true;
+}
+
+LabeledCounter MetricsRegistry::GetCounterWithLabels(
+    const std::string& name, const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LabeledCounter result;
+  result.base = &CounterLocked(name);
+  if (labels.empty()) return result;
+  // Pre-register the drop counter so scrapes list it (at zero) as soon as
+  // any labeled series exists, making "nothing was dropped" observable.
+  CounterLocked("telemetry.labels_dropped");
+  std::string key = LabeledSeriesName(name, labels);
+  bool exists = counters_.find(key) != counters_.end();
+  if (!AdmitLabeledSeriesLocked(exists)) return result;
+  result.series = &CounterLocked(key);
+  return result;
+}
+
+LabeledHistogram MetricsRegistry::GetHistogramWithLabels(
+    const std::string& name, const MetricLabels& labels,
+    const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LabeledHistogram result;
+  result.base = &HistogramLocked(name, upper_bounds);
+  if (labels.empty()) return result;
+  CounterLocked("telemetry.labels_dropped");
+  std::string key = LabeledSeriesName(name, labels);
+  bool exists = histograms_.find(key) != histograms_.end();
+  if (!AdmitLabeledSeriesLocked(exists)) return result;
+  result.series = &HistogramLocked(key, upper_bounds);
+  return result;
+}
+
+void MetricsRegistry::SetLabelCardinalityCap(size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_cardinality_cap_ = cap;
+}
+
+size_t MetricsRegistry::label_cardinality_cap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_cardinality_cap_;
+}
+
+size_t MetricsRegistry::labeled_series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return labeled_series_;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -193,45 +323,79 @@ std::string MetricsRegistry::ToTable() const {
 
 namespace {
 
-/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.'
-/// (and anything else) to '_'.
-std::string PrometheusName(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-              (c >= '0' && c <= '9') || c == '_' || c == ':';
-    if (!ok) c = '_';
+/// One export block: the series' sort key, the `# TYPE` declarations its
+/// body relies on (emitted once per metric family after sorting — a base
+/// metric and its labeled series share one declaration), and the sample
+/// lines themselves.
+struct PromBlock {
+  std::string sort_key;
+  std::vector<std::pair<std::string, std::string>> types;  ///< (name, kind)
+  std::string body;
+};
+
+/// Splits a registry key `name{labels}` into the Prometheus family name and
+/// the label block's inner text ("" when unlabeled). Label keys/values were
+/// sanitized at series creation, so they pass through untouched.
+void SplitSeriesKey(const std::string& key, std::string* family,
+                    std::string* labels_inner) {
+  size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *family = PrometheusName(key);
+    labels_inner->clear();
+    return;
   }
-  return out;
+  *family = PrometheusName(key.substr(0, brace));
+  *labels_inner = key.substr(brace + 1, key.size() - brace - 2);
+}
+
+/// `family{inner,extra}` with correct brace handling for any combination of
+/// empty `inner` / `extra`.
+std::string SampleName(const std::string& family, const std::string& inner,
+                       const std::string& extra = "") {
+  std::string all = inner;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  if (all.empty()) return family;
+  return family + "{" + all + "}";
 }
 
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
-  // Blocks are sorted by metric name across kinds (Prometheus ignores order,
-  // but sorted scrapes diff cleanly and scrape tests can be byte-stable).
-  std::vector<std::pair<std::string, std::string>> blocks;
+  // Blocks are sorted by series key across kinds (Prometheus ignores order,
+  // but sorted scrapes diff cleanly and scrape tests can be byte-stable);
+  // labeled series sort directly after their base metric.
+  std::vector<PromBlock> blocks;
   blocks.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  auto counter_block = [&blocks](const std::string& name, uint64_t value) {
+    std::string family, labels;
+    SplitSeriesKey(name, &family, &labels);
+    blocks.push_back({name,
+                      {{family, "counter"}},
+                      SampleName(family, labels) + " " +
+                          std::to_string(value) + "\n"});
+  };
   for (const auto& [name, counter] : counters_) {
-    std::string pname = PrometheusName(name);
-    blocks.emplace_back(name, "# TYPE " + pname + " counter\n" + pname + " " +
-                                  std::to_string(counter->value()) + "\n");
+    counter_block(name, counter->value());
   }
   for (const auto& [name, value] : FailpointCounterValues()) {
-    std::string pname = PrometheusName(name);
-    blocks.emplace_back(name, "# TYPE " + pname + " counter\n" + pname + " " +
-                                  std::to_string(value) + "\n");
+    counter_block(name, value);
   }
   for (const auto& [name, gauge] : gauges_) {
-    std::string pname = PrometheusName(name);
-    blocks.emplace_back(name, "# TYPE " + pname + " gauge\n" + pname + " " +
-                                  StrFormat("%.6g", gauge->value()) + "\n");
+    std::string family, labels;
+    SplitSeriesKey(name, &family, &labels);
+    blocks.push_back({name,
+                      {{family, "gauge"}},
+                      SampleName(family, labels) + " " +
+                          StrFormat("%.6g", gauge->value()) + "\n"});
   }
   for (const auto& [name, histogram] : histograms_) {
-    std::string pname = PrometheusName(name);
-    std::ostringstream block;
-    block << "# TYPE " << pname << " histogram\n";
+    std::string family, labels;
+    SplitSeriesKey(name, &family, &labels);
+    std::ostringstream body;
     uint64_t cumulative = 0;
     for (size_t i = 0; i < histogram->num_buckets(); ++i) {
       cumulative += histogram->bucket_count(i);
@@ -239,26 +403,43 @@ std::string MetricsRegistry::ToPrometheusText() const {
           i < histogram->upper_bounds().size()
               ? StrFormat("%g", histogram->upper_bounds()[i])
               : std::string("+Inf");
-      block << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+      body << SampleName(family + "_bucket", labels, "le=\"" + le + "\"")
+           << " " << cumulative << "\n";
     }
-    block << pname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
-          << pname << "_count " << histogram->count() << "\n";
+    body << SampleName(family + "_sum", labels) << " "
+         << StrFormat("%.6f", histogram->sum()) << "\n"
+         << SampleName(family + "_count", labels) << " " << histogram->count()
+         << "\n";
     // Companion summary with precomputed quantiles: dashboards get p50/p90/p99
     // without a histogram_quantile() over coarse buckets. Same sort key, so
     // the block stays adjacent to its histogram.
-    std::string sname = pname + "_quantiles";
-    block << "# TYPE " << sname << " summary\n";
+    std::string sname = family + "_quantiles";
     for (double q : {0.5, 0.9, 0.99}) {
-      block << sname << "{quantile=\"" << StrFormat("%g", q) << "\"} "
-            << StrFormat("%.9g", histogram->Quantile(q)) << "\n";
+      body << SampleName(sname, labels,
+                         "quantile=\"" + StrFormat("%g", q) + "\"")
+           << " " << StrFormat("%.9g", histogram->Quantile(q)) << "\n";
     }
-    block << sname << "_sum " << StrFormat("%.6f", histogram->sum()) << "\n"
-          << sname << "_count " << histogram->count() << "\n";
-    blocks.emplace_back(name, block.str());
+    body << SampleName(sname + "_sum", labels) << " "
+         << StrFormat("%.6f", histogram->sum()) << "\n"
+         << SampleName(sname + "_count", labels) << " " << histogram->count()
+         << "\n";
+    blocks.push_back(
+        {name, {{family, "histogram"}, {sname, "summary"}}, body.str()});
   }
-  std::sort(blocks.begin(), blocks.end());
+  std::sort(blocks.begin(), blocks.end(),
+            [](const PromBlock& a, const PromBlock& b) {
+              return a.sort_key < b.sort_key;
+            });
   std::ostringstream os;
-  for (const auto& [name, block] : blocks) os << block;
+  std::set<std::string> declared;
+  for (const PromBlock& block : blocks) {
+    for (const auto& [family, kind] : block.types) {
+      if (declared.insert(family).second) {
+        os << "# TYPE " << family << " " << kind << "\n";
+      }
+    }
+    os << block.body;
+  }
   return os.str();
 }
 

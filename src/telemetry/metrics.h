@@ -73,6 +73,56 @@ class Histogram {
 /// Default latency buckets in milliseconds: 1us .. ~100s, x4 per bucket.
 const std::vector<double>& DefaultLatencyBucketsMs();
 
+/// --- Labeled metrics --------------------------------------------------------
+///
+/// A label set is a small sorted (key, value) list. Labeled series are stored
+/// in the registry under the full series key `name{k="v",k2="v2"}`, so every
+/// export path (table, Prometheus, JSON, snapshots/run reports) carries them
+/// with no extra plumbing. Cardinality is bounded by a process-wide hard cap:
+/// once the cap is reached, new label sets are refused (the unlabeled base
+/// metric still counts them) and `telemetry.labels_dropped` ticks — a scrape
+/// target can never be blown up by unbounded label values.
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonicalizes a label list: sorted by key (stable series keys regardless
+/// of call-site order). Usage: WithLabels({{"job_id", id}, {"algorithm", a}}).
+MetricLabels WithLabels(MetricLabels labels);
+
+/// Labels {{"algorithm",...},{"job_id",...}} from the calling thread's
+/// TraceContext; empty (=> unlabeled metrics) outside any job.
+MetricLabels CurrentJobLabels();
+
+/// The full series key: `name` when labels is empty, else
+/// `name{k="v",...}` with values escaped for Prometheus/JSON embedding.
+std::string LabeledSeriesName(const std::string& name,
+                              const MetricLabels& labels);
+
+/// A resolved (base, labeled-series) counter pair: Increment hits both, so
+/// unlabeled aggregates stay exact while the labeled breakdown accumulates.
+/// Either pointer may be null (no-op half): `series` is null when the label
+/// set was refused by the cardinality cap or the label list was empty, and a
+/// default-constructed instance is a full no-op — hot paths resolve once and
+/// increment unconditionally.
+struct LabeledCounter {
+  Counter* base = nullptr;
+  Counter* series = nullptr;
+  void Increment(uint64_t delta = 1) {
+    if (base != nullptr) base->Increment(delta);
+    if (series != nullptr) series->Increment(delta);
+  }
+};
+
+/// Histogram companion to LabeledCounter, same null/no-op semantics.
+struct LabeledHistogram {
+  Histogram* base = nullptr;
+  Histogram* series = nullptr;
+  void Record(double value) {
+    if (base != nullptr) base->Record(value);
+    if (series != nullptr) series->Record(value);
+  }
+};
+
 /// Point-in-time copy of one histogram's reporting summary.
 struct HistogramSummary {
   uint64_t count = 0;
@@ -106,6 +156,27 @@ class MetricsRegistry {
                           const std::vector<double>& upper_bounds =
                               DefaultLatencyBucketsMs());
 
+  /// Resolves the (base, labeled) counter pair for `name` + `labels`. The
+  /// base counter is always created; the labeled series is created on first
+  /// use unless the process-wide labeled-series cap is reached, in which
+  /// case it stays null and `telemetry.labels_dropped` is incremented once
+  /// per refused resolution. Returned pointers stay valid for the registry's
+  /// lifetime — resolve once per run/instance, not per increment.
+  LabeledCounter GetCounterWithLabels(const std::string& name,
+                                      const MetricLabels& labels);
+  /// Histogram twin of GetCounterWithLabels (bounds honored on first
+  /// registration of each series, like GetHistogram).
+  LabeledHistogram GetHistogramWithLabels(
+      const std::string& name, const MetricLabels& labels,
+      const std::vector<double>& upper_bounds = DefaultLatencyBucketsMs());
+
+  /// Hard cap on distinct labeled series across all metric kinds; refused
+  /// label sets fall back to base-only counting. Default 128.
+  void SetLabelCardinalityCap(size_t cap);
+  size_t label_cardinality_cap() const;
+  /// Distinct labeled series currently registered (always <= the cap).
+  size_t labeled_series_count() const;
+
   /// Copies every registered metric's current value.
   MetricsSnapshot Snapshot() const;
 
@@ -131,10 +202,20 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
  private:
+  /// Lock-held twins of the public getters, for compound operations.
+  Counter& CounterLocked(const std::string& name);
+  Histogram& HistogramLocked(const std::string& name,
+                             const std::vector<double>& upper_bounds);
+  /// True when a new labeled series under `key` may be created; counts the
+  /// drop otherwise. Call with mu_ held.
+  bool AdmitLabeledSeriesLocked(bool exists);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  size_t label_cardinality_cap_ = 128;  ///< guarded by mu_
+  size_t labeled_series_ = 0;           ///< series admitted so far
 };
 
 }  // namespace telemetry

@@ -1,10 +1,14 @@
 #include "telemetry/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
 
@@ -123,6 +127,20 @@ void TraceBuffer::SetCapacity(size_t capacity) {
 
 std::string TraceBuffer::ToChromeJson() const {
   std::vector<TraceEvent> events = Snapshot();
+  // Remap raw thread ids to small dense ones in first-appearance order:
+  // process-lifetime ids depend on which unrelated threads ran first, so
+  // remapping makes exports with the same span structure byte-comparable.
+  std::unordered_map<uint32_t, uint32_t> tid_map;
+  auto dense_tid = [&tid_map](uint32_t tid) {
+    auto [it, inserted] =
+        tid_map.emplace(tid, static_cast<uint32_t>(tid_map.size() + 1));
+    return it->second;
+  };
+  // Span-id -> recording tid, for cross-thread flow linkage below.
+  std::unordered_map<uint64_t, uint32_t> span_tid;
+  for (const TraceEvent& event : events) {
+    if (event.span_id != 0) span_tid.emplace(event.span_id, event.tid);
+  }
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -132,14 +150,94 @@ std::string TraceBuffer::ToChromeJson() const {
     os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
        << JsonEscape(event.category) << "\",\"ph\":\"X\",\"ts\":"
        << event.ts_us << ",\"dur\":" << event.dur_us
-       << ",\"pid\":1,\"tid\":" << event.tid << ",\"args\":{\"depth\":"
-       << event.depth;
+       << ",\"pid\":1,\"tid\":" << dense_tid(event.tid)
+       << ",\"args\":{\"depth\":" << event.depth;
+    if (event.span_id != 0) {
+      os << ",\"id\":\"" << SpanIdHex(event.span_id) << "\"";
+    }
+    if (event.parent_span_id != 0) {
+      os << ",\"parent\":\"" << SpanIdHex(event.parent_span_id) << "\"";
+    }
+    if ((event.trace_id_hi | event.trace_id_lo) != 0) {
+      TraceContext id_only;
+      id_only.trace_id_hi = event.trace_id_hi;
+      id_only.trace_id_lo = event.trace_id_lo;
+      os << ",\"trace_id\":\"" << TraceIdHex(id_only) << "\"";
+    }
     for (const auto& [key, value] : event.args) {
       os << ",\"" << JsonEscape(key) << "\":" << value;
     }
     os << "}}";
   }
+  // Flow events stitch parent/child edges that cross threads (a pool task
+  // parented to the submitting span): an "s" at the parent's recorded tid
+  // and an "f" at the child's start, both keyed by the child's span id.
+  for (const TraceEvent& event : events) {
+    if (event.parent_span_id == 0 || event.span_id == 0) continue;
+    auto parent = span_tid.find(event.parent_span_id);
+    if (parent == span_tid.end() || parent->second == event.tid) continue;
+    std::string id = "\"" + SpanIdHex(event.span_id) + "\"";
+    os << ",{\"name\":\"submit\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" << id
+       << ",\"ts\":" << event.ts_us << ",\"pid\":1,\"tid\":"
+       << dense_tid(parent->second) << "}"
+       << ",{\"name\":\"submit\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+       << "\"id\":" << id << ",\"ts\":" << event.ts_us
+       << ",\"pid\":1,\"tid\":" << dense_tid(event.tid) << "}";
+  }
   os << "]}";
+  return os.str();
+}
+
+std::string TraceBuffer::FoldedForTrace(uint64_t trace_id_hi,
+                                        uint64_t trace_id_lo) const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::unordered_map<uint64_t, const TraceEvent*> by_span;
+  std::vector<const TraceEvent*> in_trace;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id_hi != trace_id_hi || event.trace_id_lo != trace_id_lo) {
+      continue;
+    }
+    in_trace.push_back(&event);
+    if (event.span_id != 0) by_span.emplace(event.span_id, &event);
+  }
+  // Self time = duration minus the children recorded in the buffer, clamped
+  // at zero (children can outlive a dropped parent record, never vice versa).
+  std::unordered_map<uint64_t, int64_t> children_us;
+  for (const TraceEvent* event : in_trace) {
+    if (event->parent_span_id != 0 &&
+        by_span.count(event->parent_span_id) != 0) {
+      children_us[event->parent_span_id] += event->dur_us;
+    }
+  }
+  std::map<std::string, int64_t> folded;  // sorted -> deterministic output
+  for (const TraceEvent* event : in_trace) {
+    // Walk parent pointers to the root; spans whose parent fell outside the
+    // buffer (or outside the trace) become roots of their own stacks.
+    std::vector<const TraceEvent*> chain{event};
+    const TraceEvent* cursor = event;
+    while (cursor->parent_span_id != 0) {
+      auto it = by_span.find(cursor->parent_span_id);
+      if (it == by_span.end() || it->second == event) break;
+      cursor = it->second;
+      chain.push_back(cursor);
+      if (chain.size() > events.size()) break;  // malformed linkage guard
+    }
+    std::string stack;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (!stack.empty()) stack += ";";
+      stack += (*it)->name;
+    }
+    int64_t self_us = event->dur_us;
+    auto consumed = children_us.find(event->span_id);
+    if (consumed != children_us.end()) {
+      self_us = std::max<int64_t>(0, self_us - consumed->second);
+    }
+    folded[stack] += self_us;
+  }
+  std::ostringstream os;
+  for (const auto& [stack, self_us] : folded) {
+    os << stack << " " << self_us << "\n";
+  }
   return os.str();
 }
 
@@ -150,6 +248,18 @@ ScopedSpan::ScopedSpan(std::string name, std::string category)
   event_.category = std::move(category);
   event_.tid = CurrentThreadId();
   event_.depth = t_span_depth++;
+  // Parent linkage: adopt the thread's current TraceContext (trace id and
+  // parent span), then install this span as the current one so children —
+  // on this thread or on pool workers it submits to — parent here. The
+  // span-id push/pop mutates only the id field in place, so the context's
+  // job attribution strings are never copied on this hot path.
+  TraceContext* context = nde::internal::MutableCurrentTraceContext();
+  event_.trace_id_hi = context->trace_id_hi;
+  event_.trace_id_lo = context->trace_id_lo;
+  event_.parent_span_id = context->span_id;
+  event_.span_id = MintSpanId();
+  saved_span_id_ = context->span_id;
+  context->span_id = event_.span_id;
   // Publish the frame to the sampling profiler before reading the clock, so
   // a sample taken during the span sees the full stack.
   if (prof::SamplingActive()) {
@@ -163,6 +273,7 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   event_.dur_us = NowMicros() - event_.ts_us;
   if (pushed_) prof::PopFrame();
+  nde::internal::MutableCurrentTraceContext()->span_id = saved_span_id_;
   --t_span_depth;
   TraceBuffer::Global().Record(std::move(event_));
 }

@@ -36,6 +36,15 @@ struct TraceEvent {
   int64_t dur_us = 0;  ///< span duration
   uint32_t tid = 0;
   uint32_t depth = 0;  ///< span nesting depth on its thread (0 = top level)
+  /// Request attribution, copied from the opening thread's TraceContext
+  /// (common/trace_context.h): the owning 128-bit trace id (0 when the span
+  /// opened outside any request), this span's own id, and its parent's
+  /// (0 for a root span). Parent linkage crosses thread hops because
+  /// ThreadPool::Submit propagates the submitting context to its workers.
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 /// Bounded in-memory store of completed spans. When full, new events are
@@ -60,8 +69,20 @@ class TraceBuffer {
   void SetCapacity(size_t capacity);
 
   /// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` object form),
-  /// loadable in about:tracing / Perfetto.
+  /// loadable in about:tracing / Perfetto. Thread ids are remapped to small
+  /// dense values in first-appearance order (stable across runs with the
+  /// same span structure); spans carry `id`/`parent` args, and a flow event
+  /// pair (`"ph":"s"` / `"ph":"f"`) links every parent/child edge that
+  /// crosses threads, so pool work renders attached to its submitter
+  /// instead of as flat unparented boxes.
   std::string ToChromeJson() const;
+
+  /// Flamegraph-compatible folded stacks for one trace: each line is
+  /// "root;child;...;leaf <self_us>" built from span parent linkage, with
+  /// identical stacks merged and lines sorted (deterministic output).
+  /// Feed to flamegraph.pl or speedscope. Empty string when the buffer has
+  /// no spans for the trace.
+  std::string FoldedForTrace(uint64_t trace_id_hi, uint64_t trace_id_lo) const;
 
   TraceBuffer(const TraceBuffer&) = delete;
   TraceBuffer& operator=(const TraceBuffer&) = delete;
@@ -76,6 +97,11 @@ class TraceBuffer {
 /// RAII span: records one complete event into TraceBuffer::Global() at scope
 /// exit. Construction is a no-op (no clock reads, no allocations beyond the
 /// moved-in name) when telemetry is disabled at the time the span opens.
+///
+/// An active span mints its own span id, records the current TraceContext's
+/// span id as its parent, and installs itself as the thread's current span
+/// for its scope — so nested spans (including spans opened by pool tasks the
+/// scope submits) parent to it, restoring the previous span on destruction.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string name, std::string category = "nde");
@@ -100,6 +126,8 @@ class ScopedSpan {
   /// (sampling can start or stop mid-span, so the pop must match the push,
   /// not the state at destruction time).
   bool pushed_ = false;
+  /// The thread's previous current-span id, restored at destruction.
+  uint64_t saved_span_id_ = 0;
   TraceEvent event_;
 };
 

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "data/csv.h"
 #include "data/table.h"
 #include "importance/game_values.h"
@@ -29,20 +31,43 @@
 #include "pipeline/plan.h"
 #include "telemetry/health.h"
 #include "telemetry/http_exporter.h"
+#include "telemetry/trace.h"
 
 namespace nde {
 namespace {
 
 class ChaosTest : public ::testing::Test {
  protected:
-  void SetUp() override { Reset(); }
-  void TearDown() override { Reset(); }
+  void SetUp() override {
+    Reset();
+    // NDE_CHAOS_TRACE=1 (set by `tools/check.sh --trace-smoke`) reruns the
+    // whole suite with the tracing/metrics stack live, so injected failures
+    // race span recording and labeled-series resolution under TSan too.
+    const char* trace_env = std::getenv("NDE_CHAOS_TRACE");
+    if (trace_env != nullptr && trace_env[0] == '1') {
+      telemetry::SetEnabled(true);
+      TraceContext context = MintTraceContext();
+      context.job_id = "chaos";
+      context.algorithm = "chaos";
+      trace_scope_ = std::make_unique<ScopedTraceContext>(context);
+    }
+  }
+  void TearDown() override {
+    trace_scope_.reset();
+    if (telemetry::Enabled()) {
+      telemetry::SetEnabled(false);
+      telemetry::TraceBuffer::Global().Clear();
+    }
+    Reset();
+  }
 
   static void Reset() {
     failpoint::DisarmAll();
     failpoint::ResetStats();
     telemetry::SetHealthy();
   }
+
+  std::unique_ptr<ScopedTraceContext> trace_scope_;
 };
 
 uint64_t FiresFor(const std::string& name) {

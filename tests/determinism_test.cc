@@ -18,6 +18,7 @@
 #include "common/parallel.h"
 #include "common/progress.h"
 #include "common/rng.h"
+#include "common/trace_context.h"
 #include "data/csv.h"
 #include "datagen/synthetic.h"
 #include "nde/engine.h"
@@ -29,9 +30,11 @@
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
+#include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
 #include "telemetry/run_report.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace nde {
 namespace {
@@ -667,6 +670,69 @@ TEST(DeterminismTest, ProfilerAndAllocAccountingDoNotPerturbResults) {
   telemetry::SetAllocAccountingEnabled(false);
   telemetry::ResetAllocStats();
   telemetry::SetEnabled(false);
+}
+
+TEST(DeterminismTest, TraceContextAndLabeledMetricsDoNotPerturbResults) {
+  // Run the estimators bare first, then rerun with the full tracing stack
+  // attached — telemetry enabled (spans recording, wave histograms labeled)
+  // under an installed job TraceContext, so every labeled-metric and
+  // span-propagation path is live — at 1 and 8 threads. Ids are minted from
+  // a side channel that never touches estimator RNG streams, so every value
+  // must stay bit-identical.
+  LambdaUtility game = NonAdditiveGame(10);
+  auto run_all = [&game](size_t threads) {
+    std::vector<ImportanceEstimate> estimates;
+    TmcShapleyOptions tmc;
+    tmc.num_permutations = 33;
+    tmc.seed = 47;
+    tmc.num_threads = threads;
+    estimates.push_back(TmcShapleyValues(game, tmc).value());
+    BanzhafOptions banzhaf;
+    banzhaf.num_samples = 96;
+    banzhaf.seed = 47;
+    banzhaf.num_threads = threads;
+    estimates.push_back(BanzhafValues(game, banzhaf).value());
+    BetaShapleyOptions beta;
+    beta.samples_per_unit = 6;
+    beta.seed = 47;
+    beta.num_threads = threads;
+    estimates.push_back(BetaShapleyValues(game, beta).value());
+    return estimates;
+  };
+
+  std::vector<ImportanceEstimate> baseline = run_all(1);
+
+  telemetry::SetEnabled(true);
+  TraceContext context = MintTraceContext();
+  context.job_id = "job-determinism";
+  context.algorithm = "sweep";
+  {
+    ScopedTraceContext scope{context};
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      std::vector<ImportanceEstimate> observed = run_all(threads);
+      ASSERT_EQ(observed.size(), baseline.size());
+      for (size_t e = 0; e < baseline.size(); ++e) {
+        EXPECT_EQ(observed[e].values, baseline[e].values)
+            << "estimator " << e << " at " << threads << " threads";
+        EXPECT_EQ(observed[e].std_errors, baseline[e].std_errors)
+            << "estimator " << e << " at " << threads << " threads";
+        EXPECT_EQ(observed[e].utility_evaluations,
+                  baseline[e].utility_evaluations)
+            << "estimator " << e << " at " << threads << " threads";
+      }
+    }
+  }
+  telemetry::SetEnabled(false);
+
+  // The attribution machinery really was live: the per-job labeled series
+  // accumulated alongside the unlabeled aggregates.
+  telemetry::MetricsSnapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snapshot.counters.at(
+                "shapley.permutations{"
+                "algorithm=\"sweep\",job_id=\"job-determinism\"}"),
+            0u);
+  telemetry::TraceBuffer::Global().Clear();
 }
 
 TEST(DeterminismTest, ProgressSequencesIdenticalForAllEstimators) {

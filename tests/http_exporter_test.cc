@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
+#include "common/trace_context.h"
 #include "importance/game_values.h"
 #include "importance/utility.h"
 #include "json_checker.h"
@@ -392,6 +393,106 @@ TEST(HttpExporterRoutingTest, DispatchWithoutHandlerMatchesHandleRequest) {
                   std::string("GET ") + path + " HTTP/1.1"))
         << path;
   }
+}
+
+// --- Tracing ingress and per-endpoint latency --------------------------------
+
+TEST(HttpExporterRoutingTest, DispatchAdoptsValidTraceparentAndMintsOtherwise) {
+  telemetry::HttpExporter exporter;
+  exporter.SetHandler([](const telemetry::HttpRequest&) {
+    return telemetry::MakeHttpResponse(
+        200, "OK", "text/plain", TraceIdHex(CurrentTraceContext()) + "\n");
+  });
+  telemetry::HttpRequest request;
+  request.method = "POST";
+  request.target = "/jobs";
+  request.traceparent =
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  EXPECT_EQ(Body(exporter.Dispatch(request)),
+            "4bf92f3577b34da6a3ce929d0e0e4736\n");
+  // An invalid header is never adopted: a fresh nonzero context is minted.
+  request.traceparent = "not-a-traceparent";
+  std::string minted = Body(exporter.Dispatch(request));
+  ASSERT_EQ(minted.size(), 33u) << minted;
+  EXPECT_NE(minted, "4bf92f3577b34da6a3ce929d0e0e4736\n");
+  EXPECT_NE(minted, std::string(32, '0') + "\n");
+  // The ingress context is uninstalled again once the dispatch returns.
+  EXPECT_FALSE(HasTraceContext());
+}
+
+TEST(HttpExporterRoutingTest, DispatchRecordsLabeledRequestLatency) {
+  telemetry::HttpExporter exporter;
+  telemetry::HttpRequest request;
+  request.method = "GET";
+  request.target = "/healthz";
+  exporter.Dispatch(request);
+  request.target = "/jobs/job-123";  // id-bearing, no handler mounted -> 404
+  exporter.Dispatch(request);
+
+  telemetry::MetricsSnapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  // Labeled series collapse job ids to a fixed route-shape vocabulary, and
+  // the unlabeled aggregate counts every dispatch.
+  EXPECT_GE(snapshot.histograms
+                .at("http.request_us{status=\"2xx\",target=\"/healthz\"}")
+                .count,
+            1u);
+  EXPECT_GE(snapshot.histograms
+                .at("http.request_us{status=\"4xx\",target=\"/jobs/<id>\"}")
+                .count,
+            1u);
+  EXPECT_GE(snapshot.histograms.at("http.request_us").count, 2u);
+
+  // Pinned Prometheus rendering: labeled samples merge their labels with the
+  // le=/quantile= extras, under a single TYPE declaration per family.
+  std::string prom = telemetry::MetricsRegistry::Global().ToPrometheusText();
+  EXPECT_NE(
+      prom.find("http_request_us_count{status=\"2xx\",target=\"/healthz\"}"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("http_request_us_bucket{status=\"2xx\","
+                      "target=\"/healthz\",le=\"+Inf\"}"),
+            std::string::npos)
+      << prom;
+  size_t first = prom.find("# TYPE http_request_us histogram");
+  ASSERT_NE(first, std::string::npos) << prom;
+  EXPECT_EQ(prom.find("# TYPE http_request_us histogram", first + 1),
+            std::string::npos);
+}
+
+TEST(HttpExporterTest, TraceparentHeaderIsCapturedFromTheWire) {
+  telemetry::HttpExporter exporter;
+  exporter.SetHandler([](const telemetry::HttpRequest& request) {
+    return telemetry::MakeHttpResponse(200, "OK", "text/plain",
+                                       "[" + request.traceparent + "]\n");
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  uint16_t port = exporter.port();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  // Mixed-case header name: HTTP headers are case-insensitive on the wire.
+  std::string request =
+      "POST /jobs HTTP/1.1\r\nHost: localhost\r\nTraceparent: " + tp +
+      "\r\nContent-Length: 2\r\n\r\nhi";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(Body(response), "[" + tp + "]\n") << response;
+  exporter.Stop();
 }
 
 TEST(HttpExporterRoutingTest, JobPathsWithoutHandlerAre404) {

@@ -19,10 +19,13 @@
 #include "common/failpoint.h"
 #include "common/json.h"
 #include "common/status.h"
+#include "common/trace_context.h"
 #include "nde/job_api.h"
 #include "nde/registry.h"
 #include "telemetry/health.h"
 #include "telemetry/http_exporter.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "json_checker.h"
 
 namespace nde {
@@ -259,6 +262,12 @@ telemetry::HttpRequest Request(const std::string& method,
   telemetry::HttpRequest request;
   request.method = method;
   request.target = target;
+  // Mirror the wire parser: the query string arrives split off the target.
+  size_t query = request.target.find('?');
+  if (query != std::string::npos) {
+    request.query = request.target.substr(query + 1);
+    request.target.resize(query);
+  }
   request.body = body;
   return request;
 }
@@ -387,6 +396,126 @@ TEST(JobApiHttpTest, DeleteCancelsARunningJob) {
   EXPECT_EQ(stopped.state, JobState::kCancelled);
   std::string poll = manager.HandleHttp(Request("GET", "/jobs/" + id));
   EXPECT_NE(Body(poll).find("\"cancelled\""), std::string::npos);
+}
+
+// --- Trace-context round-trip ------------------------------------------------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+TEST(JobApiHttpTest, ExternalTraceparentRoundTripsThroughEveryJobView) {
+  telemetry::SetEnabled(true);
+  telemetry::TraceBuffer::Global().Clear();
+  JobApiOptions options;
+  options.artifact_dir = ::testing::TempDir() + "nde_trace_artifacts";
+  JobManager manager(options);
+  telemetry::HttpExporter exporter;
+  exporter.SetHandler([&manager](const telemetry::HttpRequest& request) {
+    return manager.HandleHttp(request);
+  });
+
+  std::string csv;
+  for (char c : std::string(kCsv)) {
+    csv += c == '\n' ? std::string("\\n") : std::string(1, c);
+  }
+  std::string body =
+      "{\"algorithm\":\"knn_shapley\",\"label\":\"label\",\"csv\":\"" + csv +
+      "\",\"options\":{\"k\":3}}";
+
+  // Submit through the Dispatch ingress with an externally minted traceparent.
+  const std::string kTraceId = "4bf92f3577b34da6a3ce929d0e0e4736";
+  telemetry::HttpRequest post = Request("POST", "/jobs", body);
+  post.traceparent = "00-" + kTraceId + "-00f067aa0ba902b7-01";
+  std::string response = exporter.Dispatch(post);
+  ASSERT_NE(StatusLine(response).find("202"), std::string::npos) << response;
+  std::string id = json::Parse(Body(response)).value().Find("id")->as_string();
+
+  JobSnapshot done = AwaitDone(manager, id);
+  ASSERT_EQ(done.state, JobState::kDone) << done.error.ToString();
+  EXPECT_EQ(TraceIdHex(done.trace), kTraceId);
+
+  // The external id propagated verbatim into the poll JSON...
+  std::string poll = Body(manager.HandleHttp(Request("GET", "/jobs/" + id)));
+  EXPECT_NE(poll.find("\"trace_id\":\"" + kTraceId + "\""), std::string::npos)
+      << poll;
+
+  // ...the span view (estimator/pool spans recorded under the job's trace,
+  // with parent linkage fields)...
+  std::string tracez =
+      manager.HandleHttp(Request("GET", "/jobs/" + id + "/tracez"));
+  EXPECT_NE(StatusLine(tracez).find("200"), std::string::npos);
+  std::string tracez_body = Body(tracez);
+  EXPECT_TRUE(JsonChecker(tracez_body).Valid()) << tracez_body;
+  EXPECT_NE(tracez_body.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos)
+      << tracez_body;
+#if NDE_TELEMETRY_ENABLED
+  // Span macros compile out with NDE_TELEMETRY=OFF; the view itself (and
+  // the trace id on it) must work either way.
+  EXPECT_NE(tracez_body.find("\"spans\":[{"), std::string::npos)
+      << "job left no spans in the trace buffer: " << tracez_body;
+  EXPECT_NE(tracez_body.find("\"parent_span_id\""), std::string::npos);
+#endif
+
+  // ...the folded flamegraph view...
+  std::string folded = manager.HandleHttp(
+      Request("GET", "/jobs/" + id + "/tracez?folded=1"));
+  EXPECT_NE(StatusLine(folded).find("200"), std::string::npos);
+  EXPECT_NE(folded.find("text/plain"), std::string::npos);
+
+  // ...the wave timeline...
+  std::string eventz =
+      manager.HandleHttp(Request("GET", "/jobs/" + id + "/eventz"));
+  EXPECT_NE(StatusLine(eventz).find("200"), std::string::npos);
+  std::string eventz_body = Body(eventz);
+  EXPECT_TRUE(JsonChecker(eventz_body).Valid()) << eventz_body;
+  EXPECT_NE(eventz_body.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos)
+      << eventz_body;
+  EXPECT_NE(eventz_body.find("\"waves\":[{\"wave\":1,"), std::string::npos)
+      << eventz_body;
+
+  // ...the RunReport artifact and its sibling events file on disk.
+  ASSERT_FALSE(done.artifact_path.empty());
+  std::string report = ReadWholeFile(done.artifact_path);
+  EXPECT_NE(report.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos)
+      << done.artifact_path;
+  std::string events_file =
+      ReadWholeFile(options.artifact_dir + "/" + id + ".events.json");
+  EXPECT_TRUE(JsonChecker(events_file).Valid()) << events_file;
+  EXPECT_NE(events_file.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos);
+
+  // Unknown views 404 without disturbing the job.
+  std::string unknown =
+      manager.HandleHttp(Request("GET", "/jobs/" + id + "/nope"));
+  EXPECT_NE(StatusLine(unknown).find("404"), std::string::npos);
+
+  telemetry::SetEnabled(false);
+  telemetry::TraceBuffer::Global().Clear();
+}
+
+TEST(JobApiTest, JobsWithoutIngressContextMintTheirOwnTrace) {
+  JobManager manager;
+  std::string id = manager.Submit(QuickRequest()).value();
+  JobSnapshot done = AwaitDone(manager, id);
+  ASSERT_EQ(done.state, JobState::kDone);
+  // Even without a caller-supplied traceparent every job owns a nonzero
+  // trace id, so logs/metrics attribution never silently degrades.
+  EXPECT_TRUE(done.trace.has_trace());
+  EXPECT_EQ(done.trace.job_id, id);
+  EXPECT_EQ(done.trace.algorithm, "knn_shapley");
 }
 
 }  // namespace

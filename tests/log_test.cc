@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trace_context.h"
 #include "json_checker.h"
 
 namespace nde {
@@ -98,6 +99,51 @@ TEST_F(LogTest, FormatJsonIsValidJsonAndEscapes) {
   json = log::FormatJson(record);
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"occurrence\":5"), std::string::npos) << json;
+}
+
+TEST_F(LogTest, FormattersCarryTraceAndJobOnlyWhenStamped) {
+  log::LogRecord record;
+  record.level = log::Level::kInfo;
+  record.file = "x.cc";
+  record.line = 1;
+  record.message = "m";
+  // Without a stamp, output is byte-identical to the pre-tracing format.
+  std::string plain_text = log::FormatText(record);
+  EXPECT_EQ(plain_text.find(" trace="), std::string::npos) << plain_text;
+  std::string plain_json = log::FormatJson(record);
+  EXPECT_EQ(plain_json.find("trace_id"), std::string::npos) << plain_json;
+  EXPECT_EQ(plain_json.find("job_id"), std::string::npos) << plain_json;
+
+  record.trace_id = "0123456789abcdeffedcba9876543210";
+  record.job_id = "job-7";
+  std::string text = log::FormatText(record);
+  EXPECT_NE(text.find("] m trace=0123456789abcdeffedcba9876543210 job=job-7"),
+            std::string::npos)
+      << text;
+  std::string json = log::FormatJson(record);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(
+      json.find("\"trace_id\":\"0123456789abcdeffedcba9876543210\""),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"job_id\":\"job-7\""), std::string::npos) << json;
+}
+
+TEST_F(LogTest, EmitStampsRecordsFromTheInstalledTraceContext) {
+  TraceContext context;
+  context.trace_id_hi = 0x0123456789abcdefULL;
+  context.trace_id_lo = 0xfedcba9876543210ULL;
+  context.job_id = "job-42";
+  {
+    ScopedTraceContext scope{context};
+    log::Emit(log::Level::kInfo, "x.cc", 1, "inside");
+  }
+  log::Emit(log::Level::kInfo, "x.cc", 2, "outside");
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].trace_id, "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(records_[0].job_id, "job-42");
+  EXPECT_TRUE(records_[1].trace_id.empty());
+  EXPECT_TRUE(records_[1].job_id.empty());
 }
 
 #if NDE_TELEMETRY_ENABLED

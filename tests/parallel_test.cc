@@ -11,6 +11,7 @@
 
 #include "common/failpoint.h"
 #include "common/status.h"
+#include "common/trace_context.h"
 #include "importance/subset_cache.h"
 
 namespace nde {
@@ -263,6 +264,55 @@ TEST(TryParallelForTest, MapsInjectedFaultToTypedStatus) {
   ASSERT_TRUE(clean.ok());
   EXPECT_EQ(std::count(out.begin(), out.end(), 1),
             static_cast<ptrdiff_t>(out.size()));
+}
+
+// --- Trace-context propagation ----------------------------------------------
+
+TEST(ThreadPoolTest, SubmitPropagatesTraceContextToWorkers) {
+  ThreadPool pool(2);
+  TraceContext context;
+  context.trace_id_hi = 0xaaULL;
+  context.trace_id_lo = 0xbbULL;
+  context.span_id = 42;
+  context.job_id = "job-9";
+  context.algorithm = "tmc";
+  TraceContext seen;
+  {
+    ScopedTraceContext scope{context};
+    pool.Submit([&seen] { seen = CurrentTraceContext(); });
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(seen.trace_id_hi, 0xaaULL);
+  EXPECT_EQ(seen.trace_id_lo, 0xbbULL);
+  EXPECT_EQ(seen.span_id, 42u);
+  EXPECT_EQ(seen.job_id, "job-9");
+  EXPECT_EQ(seen.algorithm, "tmc");
+  // A task submitted outside any context runs without one.
+  bool worker_had_context = true;
+  pool.Submit([&worker_had_context] { worker_had_context = HasTraceContext(); });
+  pool.WaitIdle();
+  EXPECT_FALSE(worker_had_context);
+}
+
+TEST(ParallelForTest, BodiesInheritTheCallersTraceContext) {
+  TraceContext context;
+  context.trace_id_hi = 1;
+  context.trace_id_lo = 2;
+  context.job_id = "job-x";
+  ScopedTraceContext scope{context};
+  std::vector<int> attributed(32, 0);
+  ParallelFor(
+      0, attributed.size(),
+      [&](size_t i) {
+        const TraceContext& current = CurrentTraceContext();
+        attributed[i] = current.trace_id_hi == 1 && current.trace_id_lo == 2 &&
+                                current.job_id == "job-x"
+                            ? 1
+                            : 0;
+      },
+      4, "ctx_test");
+  EXPECT_EQ(std::count(attributed.begin(), attributed.end(), 1),
+            static_cast<ptrdiff_t>(attributed.size()));
 }
 
 TEST(TryParallelForTest, MapsBodyExceptionToInternalStatus) {

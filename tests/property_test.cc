@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "data/csv.h"
 #include "datagen/synthetic.h"
 #include "datascope/datascope.h"
@@ -265,6 +267,110 @@ TEST_P(PipelineRemovalTest, FastPathInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineRemovalTest,
                          ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+// --- W3C traceparent parser: round-trip, rejection, no-crash fuzz ------------
+
+class TraceparentFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceparentFuzzTest, MintedContextsRoundTripExactly) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    TraceContext context;
+    context.trace_id_hi = rng.NextUint64();
+    context.trace_id_lo = rng.NextUint64();
+    context.span_id = rng.NextUint64();
+    if (!context.has_trace() || context.span_id == 0) continue;
+    std::string wire = FormatTraceparent(context);
+    ASSERT_EQ(wire.size(), 55u) << wire;
+    TraceContext parsed;
+    ASSERT_TRUE(ParseTraceparent(wire, &parsed)) << wire;
+    EXPECT_EQ(parsed.trace_id_hi, context.trace_id_hi);
+    EXPECT_EQ(parsed.trace_id_lo, context.trace_id_lo);
+    EXPECT_EQ(parsed.span_id, context.span_id);
+    // Identity on the wire form too: parse(format(x)) formats back to x.
+    EXPECT_EQ(FormatTraceparent(parsed), wire);
+  }
+}
+
+TEST_P(TraceparentFuzzTest, SingleByteCorruptionNeverRoundTrips) {
+  Rng rng(GetParam());
+  TraceContext context = MintTraceContext();
+  std::string wire = FormatTraceparent(context);
+  for (int i = 0; i < 300; ++i) {
+    std::string corrupt = wire;
+    size_t pos = static_cast<size_t>(rng.NextBounded(corrupt.size()));
+    char replacement = static_cast<char>(rng.NextBounded(256));
+    if (corrupt[pos] == replacement) continue;
+    corrupt[pos] = replacement;
+    // Layout: version(0-1) '-' trace-id(3-34) '-' span-id(36-51) '-'
+    // flags(53-54). Only the id fields carry id bits.
+    bool in_ids = (pos >= 3 && pos <= 34) || (pos >= 36 && pos <= 51);
+    TraceContext parsed;
+    if (ParseTraceparent(corrupt, &parsed)) {
+      if (in_ids) {
+        // A hex digit changed to a different hex digit must decode to
+        // *different* ids — never silently alias the original trace.
+        EXPECT_NE(FormatTraceparent(parsed), wire);
+      } else {
+        // A parseable version/flags corruption (any hex but version "ff")
+        // must preserve the ids exactly.
+        EXPECT_EQ(parsed.trace_id_hi, context.trace_id_hi);
+        EXPECT_EQ(parsed.trace_id_lo, context.trace_id_lo);
+        EXPECT_EQ(parsed.span_id, context.span_id);
+      }
+    }
+  }
+}
+
+TEST_P(TraceparentFuzzTest, ArbitraryBytesNeverCrashOrFalselyParse) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    size_t length = static_cast<size_t>(rng.NextBounded(80));
+    std::string junk(length, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.NextBounded(256));
+    TraceContext parsed;
+    parsed.trace_id_hi = 0xdead;
+    bool ok = ParseTraceparent(junk, &parsed);
+    if (!ok) {
+      // Contract: a failed parse leaves the output untouched.
+      EXPECT_EQ(parsed.trace_id_hi, 0xdeadu);
+    } else {
+      EXPECT_EQ(junk.size(), 55u);
+      EXPECT_TRUE(parsed.has_trace());
+      EXPECT_NE(parsed.span_id, 0u);
+    }
+  }
+}
+
+TEST(TraceparentTest, RejectsMalformedAndAllZeroInputs) {
+  TraceContext parsed;
+  // Wrong sizes, casing, separators, and forbidden values.
+  EXPECT_FALSE(ParseTraceparent("", &parsed));
+  EXPECT_FALSE(ParseTraceparent("00", &parsed));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", &parsed));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", &parsed));
+  EXPECT_FALSE(ParseTraceparent(
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &parsed));
+  // All-zero trace id and all-zero span id are invalid per W3C.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01", &parsed));
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", &parsed));
+  // Version ff is reserved and must be rejected.
+  EXPECT_FALSE(ParseTraceparent(
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &parsed));
+  // The canonical example parses.
+  EXPECT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &parsed));
+  EXPECT_EQ(TraceIdHex(parsed), "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(SpanIdHex(parsed.span_id), "00f067aa0ba902b7");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceparentFuzzTest,
+                         ::testing::Values(uint64_t{101}, uint64_t{102},
+                                           uint64_t{103}, uint64_t{104}));
 
 }  // namespace
 }  // namespace nde

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "data/table.h"
 #include "json_checker.h"
 #include "pipeline/plan.h"
@@ -418,6 +419,205 @@ TEST_F(TelemetryTest, ChromeTraceJsonIsWellFormed) {
   EXPECT_NE(json.find("\"dur\":"), std::string::npos);
   EXPECT_NE(json.find("\"tid\":"), std::string::npos);
   EXPECT_NE(json.find("\"rows\":12"), std::string::npos);
+}
+
+// --- Labeled metrics ---------------------------------------------------------
+
+TEST_F(TelemetryTest, LabeledSeriesKeySortsKeysAndEscapesValues) {
+  using telemetry::LabeledSeriesName;
+  using telemetry::WithLabels;
+  EXPECT_EQ(LabeledSeriesName("m", {}), "m");
+  // WithLabels canonicalizes order, so call-site order never forks a series.
+  EXPECT_EQ(LabeledSeriesName(
+                "m", WithLabels({{"job_id", "j1"}, {"algorithm", "tmc"}})),
+            "m{algorithm=\"tmc\",job_id=\"j1\"}");
+  EXPECT_EQ(LabeledSeriesName("m", WithLabels({{"k", "a\"b\\c"}})),
+            "m{k=\"a\\\"b\\\\c\"}");
+}
+
+TEST_F(TelemetryTest, LabeledCounterFeedsBaseAndSeries) {
+  MetricsRegistry registry;
+  telemetry::MetricLabels labels =
+      telemetry::WithLabels({{"algorithm", "tmc"}, {"job_id", "job-1"}});
+  telemetry::LabeledCounter labeled =
+      registry.GetCounterWithLabels("evals", labels);
+  ASSERT_NE(labeled.base, nullptr);
+  ASSERT_NE(labeled.series, nullptr);
+  labeled.Increment(3);
+  // Unlabeled resolution of the same metric shares the base counter.
+  telemetry::LabeledCounter plain = registry.GetCounterWithLabels("evals", {});
+  EXPECT_EQ(plain.series, nullptr);
+  plain.Increment(2);
+
+  telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("evals"), 5u);  // aggregate stays exact
+  EXPECT_EQ(snapshot.counters.at("evals{algorithm=\"tmc\",job_id=\"job-1\"}"),
+            3u);
+}
+
+TEST_F(TelemetryTest, PrometheusExportRendersLabeledSeries) {
+  MetricsRegistry registry;
+  telemetry::MetricLabels labels =
+      telemetry::WithLabels({{"algorithm", "tmc"}, {"job_id", "job-1"}});
+  registry.GetCounterWithLabels("evals.total", labels).Increment(3);
+  registry.GetHistogramWithLabels("lat.ms", labels, {1.0, 10.0}).Record(0.5);
+
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(
+      prom.find("evals_total{algorithm=\"tmc\",job_id=\"job-1\"} 3"),
+      std::string::npos)
+      << prom;
+  // The labeled histogram merges its labels with le=.
+  EXPECT_NE(prom.find("lat_ms_bucket{algorithm=\"tmc\",job_id=\"job-1\","
+                      "le=\"+Inf\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_ms_count{algorithm=\"tmc\",job_id=\"job-1\"} 1"),
+            std::string::npos)
+      << prom;
+  // One TYPE declaration per family, even with base + labeled series present.
+  size_t first = prom.find("# TYPE evals_total counter");
+  ASSERT_NE(first, std::string::npos) << prom;
+  EXPECT_EQ(prom.find("# TYPE evals_total counter", first + 1),
+            std::string::npos)
+      << prom;
+  // The base (unlabeled) sample is present too and the export stays sorted.
+  EXPECT_NE(prom.find("\nevals_total 3\n"), std::string::npos) << prom;
+}
+
+TEST_F(TelemetryTest, LabelCardinalityCapBoundsSeriesAcrossThreads) {
+  MetricsRegistry registry;
+  registry.SetLabelCardinalityCap(8);
+  // Admit one known series before the stampede so we can later re-resolve a
+  // set that is certainly inside the cap.
+  registry
+      .GetCounterWithLabels("m", telemetry::WithLabels({{"job_id", "pinned"}}))
+      .Increment();
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        std::string job = "job-" + std::to_string(t * kPerThread + i);
+        telemetry::LabeledCounter counter = registry.GetCounterWithLabels(
+            "m", telemetry::WithLabels({{"job_id", job}}));
+        counter.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The registry admitted at most the cap, refused the rest visibly, and the
+  // unlabeled aggregate still counted every increment exactly.
+  EXPECT_LE(registry.labeled_series_count(), 8u);
+  telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("m"), kThreads * kPerThread + 1);
+  // 1 series pre-admitted + 7 of the 200 stampeding sets; the other 193
+  // resolutions were each refused and counted exactly once.
+  EXPECT_EQ(snapshot.counters.at("telemetry.labels_dropped"),
+            kThreads * kPerThread - 7u);
+  size_t labeled_sum = 0;
+  size_t labeled_count = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("m{", 0) == 0) {
+      ++labeled_count;
+      labeled_sum += value;
+    }
+  }
+  EXPECT_EQ(labeled_count, 8u);
+  EXPECT_EQ(labeled_sum, 8u);  // each admitted set was incremented once
+  // Re-resolving an already-admitted set is not a new series: it drops
+  // nothing and returns the same live labeled counter.
+  telemetry::LabeledCounter pinned = registry.GetCounterWithLabels(
+      "m", telemetry::WithLabels({{"job_id", "pinned"}}));
+  ASSERT_NE(pinned.series, nullptr);
+  pinned.Increment();
+  telemetry::MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.counters.at("telemetry.labels_dropped"),
+            kThreads * kPerThread - 7u);
+  EXPECT_EQ(after.counters.at("m{job_id=\"pinned\"}"), 2u);
+}
+
+// --- Trace-context linkage in exports ---------------------------------------
+
+TEST_F(TelemetryTest, ChromeTraceLinksParentsAndFlowsAcrossThreads) {
+  telemetry::SetEnabled(true);
+  TraceContext context;
+  context.trace_id_hi = 0x1111222233334444ULL;
+  context.trace_id_lo = 0x5555666677778888ULL;
+  {
+    ScopedTraceContext scope{TraceContext(context)};
+    ScopedSpan parent("parent", "test");
+    // Simulate the pool hop: capture the submitting context (which now has
+    // the parent span installed) and restore it on the worker.
+    TraceContext captured = CurrentTraceContext();
+    std::thread worker([captured] {
+      ScopedTraceContext worker_scope{TraceContext(captured)};
+      ScopedSpan child("child", "test");
+    });
+    worker.join();
+  }
+
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& child = events[0];   // closed (and recorded) first
+  const TraceEvent& parent = events[1];
+  EXPECT_EQ(child.name, "child");
+  EXPECT_EQ(parent.name, "parent");
+  EXPECT_EQ(parent.parent_span_id, 0u);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+  EXPECT_EQ(child.trace_id_hi, context.trace_id_hi);
+  EXPECT_NE(child.tid, parent.tid);
+
+  std::string json = TraceBuffer::Global().ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Dense tids in first-appearance order: the child (recorded first) gets 1.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos) << json;
+  // Parent linkage args.
+  EXPECT_NE(json.find("\"id\":\"" + SpanIdHex(parent.span_id) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"parent\":\"" + SpanIdHex(parent.span_id) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find("\"trace_id\":\"11112222333344445555666677778888\""),
+      std::string::npos)
+      << json;
+  // The cross-thread edge gets a flow pair keyed by the child's span id.
+  std::string flow_id = "\"id\":\"" + SpanIdHex(child.span_id) + "\"";
+  EXPECT_NE(json.find("\"ph\":\"s\"," + flow_id), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\"," + flow_id),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(TelemetryTest, FoldedStacksMergeByParentChainWithSelfTime) {
+  TraceBuffer buffer(16);
+  auto make_event = [](const char* name, uint64_t span, uint64_t parent,
+                       int64_t dur) {
+    TraceEvent event;
+    event.name = name;
+    event.trace_id_hi = 7;
+    event.trace_id_lo = 9;
+    event.span_id = span;
+    event.parent_span_id = parent;
+    event.dur_us = dur;
+    return event;
+  };
+  buffer.Record(make_event("leaf", 3, 2, 10));
+  buffer.Record(make_event("child", 2, 1, 60));
+  buffer.Record(make_event("root", 1, 0, 100));
+  // A span from another trace must be filtered out entirely.
+  TraceEvent other = make_event("other", 4, 0, 50);
+  other.trace_id_lo = 8;
+  buffer.Record(other);
+
+  EXPECT_EQ(buffer.FoldedForTrace(7, 9),
+            "root 40\nroot;child 50\nroot;child;leaf 10\n");
+  EXPECT_EQ(buffer.FoldedForTrace(1, 2), "");
 }
 
 TEST_F(TelemetryTest, JsonEscapeHandlesControlCharacters) {

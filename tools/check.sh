@@ -44,6 +44,21 @@
 #                                      # RunReport artifact, queue-full 429,
 #                                      # DELETE cancellation
 #                                      # (default build dir: build-serve)
+#   tools/check.sh --trace-smoke [build-dir]
+#                                      # Release build; starts `nde_cli serve`
+#                                      # with JSON logging, submits a job with
+#                                      # an explicit W3C traceparent header,
+#                                      # and requires the SAME trace id in the
+#                                      # server's JSON logs, the job's
+#                                      # /jobs/<id>/tracez and /eventz views,
+#                                      # the RunReport artifact, and per-job
+#                                      # labeled series on /metrics; then
+#                                      # reruns the chaos ctest label under
+#                                      # TSan with NDE_CHAOS_TRACE=1 so span
+#                                      # recording and label resolution race
+#                                      # the injected faults
+#                                      # (default build dirs: build-trace and
+#                                      # build-trace-tsan)
 #   tools/check.sh --chaos [build-dir-prefix]
 #                                      # Runs the fault-injection suites
 #                                      # (ctest -L chaos) under ASan+UBSan AND
@@ -76,6 +91,9 @@ elif [ "${1:-}" = "--kernel-smoke" ]; then
 elif [ "${1:-}" = "--serve-smoke" ]; then
   MODE=serve
   shift
+elif [ "${1:-}" = "--trace-smoke" ]; then
+  MODE=trace
+  shift
 elif [ "${1:-}" = "--chaos" ]; then
   MODE=chaos
   shift
@@ -90,6 +108,8 @@ elif [ "$MODE" = "kernel" ]; then
   BUILD_DIR="${1:-build-kernel}"
 elif [ "$MODE" = "serve" ]; then
   BUILD_DIR="${1:-build-serve}"
+elif [ "$MODE" = "trace" ]; then
+  BUILD_DIR="${1:-build-trace}"
 elif [ "$MODE" = "chaos" ]; then
   BUILD_PREFIX="${1:-build-chaos}"
 else
@@ -417,6 +437,167 @@ sys.stdout.write(urllib.request.urlopen(req, timeout=10).read().decode())' "$1"
   wait "$CLI_PID" 2>/dev/null || true
   CLI_PID=""
   echo "check.sh: serve smoke passed (/healthz ok, /metrics well-formed, job API drove submit/poll/result/429/cancel)"
+  exit 0
+fi
+
+if [ "$MODE" = "trace" ]; then
+  # Trace-correlation smoke: one trace id, supplied by the CLIENT via a W3C
+  # traceparent header, must come back out of every observability surface the
+  # job touches — logs, span tree, wave timeline, report artifact, metrics.
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target nde_cli
+
+  WORKDIR="$(mktemp -d)"
+  CLI_PID=""
+  cleanup() {
+    if [ -n "$CLI_PID" ] && kill -0 "$CLI_PID" 2>/dev/null; then
+      kill "$CLI_PID" 2>/dev/null || true
+      wait "$CLI_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+  }
+  trap cleanup EXIT
+
+  http_get() {
+    if command -v curl >/dev/null 2>&1; then
+      curl -sf --max-time 5 "$1"
+    else
+      python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())' "$1"
+    fi
+  }
+  # POST with an explicit traceparent header; prints body then "HTTP <code>".
+  http_post_traced() {
+    if command -v curl >/dev/null 2>&1; then
+      curl -s --max-time 10 -X POST -H "traceparent: $3" --data "$2" \
+        -w '\nHTTP %{http_code}\n' "$1"
+    else
+      python3 - "$1" "$2" "$3" <<'EOF'
+import sys, urllib.request, urllib.error
+req = urllib.request.Request(sys.argv[1], data=sys.argv[2].encode(),
+                             headers={"traceparent": sys.argv[3]})
+try:
+    resp = urllib.request.urlopen(req, timeout=10)
+    body, code = resp.read().decode(), resp.status
+except urllib.error.HTTPError as e:
+    body, code = e.read().decode(), e.code
+print(body)
+print(f"HTTP {code}")
+EOF
+    fi
+  }
+
+  python3 - "$WORKDIR/train.csv" <<'EOF'
+import random, sys
+random.seed(7)
+with open(sys.argv[1], "w") as f:
+    f.write("x0,x1,label\n")
+    for i in range(200):
+        label = i % 2
+        mu = 1.0 if label else -1.0
+        f.write(f"{random.gauss(mu, 1):.4f},{random.gauss(-mu, 1):.4f},{label}\n")
+EOF
+
+  "$BUILD_DIR/tools/nde_cli" serve --port 0 --job-workers 1 \
+    --artifact-dir "$WORKDIR/artifacts" --log-level info --log-json \
+    2> "$WORKDIR/serve_err.txt" &
+  CLI_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's#.*serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$WORKDIR/serve_err.txt" | head -1)"
+    [ -n "$PORT" ] && break
+    kill -0 "$CLI_PID" 2>/dev/null || {
+      echo "check.sh: nde_cli serve exited early" >&2
+      cat "$WORKDIR/serve_err.txt" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "check.sh: serve mode never announced" >&2; exit 1; }
+
+  # A fixed, recognizable trace id proves propagation (a minted one could
+  # mask an ignored header).
+  TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+  TRACEPARENT="00-$TRACE_ID-00f067aa0ba902b7-01"
+
+  http_post_traced "http://127.0.0.1:$PORT/jobs" \
+    "{\"algorithm\":\"knn_shapley\",\"label\":\"label\",\"csv_path\":\"$WORKDIR/train.csv\",\"options\":{\"k\":3}}" \
+    "$TRACEPARENT" > "$WORKDIR/submit.txt"
+  grep -q '^HTTP 202$' "$WORKDIR/submit.txt" \
+    || { echo "check.sh: POST /jobs not accepted" >&2; cat "$WORKDIR/submit.txt" >&2; exit 1; }
+  JOB_ID="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$WORKDIR/submit.txt" | head -1)"
+  [ -n "$JOB_ID" ] || { echo "check.sh: no job id in POST response" >&2; exit 1; }
+
+  DONE=""
+  for _ in $(seq 1 100); do
+    http_get "http://127.0.0.1:$PORT/jobs/$JOB_ID" > "$WORKDIR/job.txt" || true
+    if grep -q '"state":"done"' "$WORKDIR/job.txt"; then DONE=1; break; fi
+    if grep -q '"state":"error"' "$WORKDIR/job.txt"; then break; fi
+    sleep 0.1
+  done
+  [ -n "$DONE" ] || { echo "check.sh: job never reached done" >&2; cat "$WORKDIR/job.txt" >&2; exit 1; }
+
+  # (1) The job snapshot carries the client's trace id verbatim.
+  grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORKDIR/job.txt" \
+    || { echo "check.sh: job snapshot lacks the client trace id" >&2; exit 1; }
+
+  # (2) The span tree for the job is rooted in the same trace.
+  http_get "http://127.0.0.1:$PORT/jobs/$JOB_ID/tracez" > "$WORKDIR/tracez.txt" \
+    || { echo "check.sh: GET tracez failed" >&2; exit 1; }
+  grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORKDIR/tracez.txt" \
+    || { echo "check.sh: tracez lacks the client trace id" >&2; exit 1; }
+  grep -q '"spans":\[{' "$WORKDIR/tracez.txt" \
+    || { echo "check.sh: tracez recorded no spans" >&2; exit 1; }
+  http_get "http://127.0.0.1:$PORT/jobs/$JOB_ID/tracez?folded=1" \
+    > "$WORKDIR/folded.txt" || true
+  [ -s "$WORKDIR/folded.txt" ] \
+    || { echo "check.sh: folded tracez view is empty" >&2; exit 1; }
+
+  # (3) The wave timeline is attributed to the same trace.
+  http_get "http://127.0.0.1:$PORT/jobs/$JOB_ID/eventz" > "$WORKDIR/eventz.txt" \
+    || { echo "check.sh: GET eventz failed" >&2; exit 1; }
+  grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORKDIR/eventz.txt" \
+    || { echo "check.sh: eventz lacks the client trace id" >&2; exit 1; }
+  grep -q '"waves":\[{' "$WORKDIR/eventz.txt" \
+    || { echo "check.sh: eventz recorded no waves" >&2; exit 1; }
+
+  # (4) The persisted RunReport artifact records the trace id.
+  grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORKDIR/artifacts/$JOB_ID.json" \
+    || { echo "check.sh: RunReport artifact lacks the trace id" >&2; exit 1; }
+
+  # (5) The server's JSON logs stamp both the trace id and the job id.
+  grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORKDIR/serve_err.txt" \
+    || { echo "check.sh: JSON logs lack the client trace id" >&2; exit 1; }
+  grep -q "\"job_id\":\"$JOB_ID\"" "$WORKDIR/serve_err.txt" \
+    || { echo "check.sh: JSON logs lack the job id" >&2; exit 1; }
+
+  # (6) /metrics exposes per-job labeled series plus the per-endpoint
+  # request-latency histogram.
+  http_get "http://127.0.0.1:$PORT/metrics" > "$WORKDIR/metrics.txt" \
+    || { echo "check.sh: /metrics scrape failed" >&2; exit 1; }
+  grep -q "job_id=\"$JOB_ID\"" "$WORKDIR/metrics.txt" \
+    || { echo "check.sh: /metrics has no series labeled with the job id" >&2; exit 1; }
+  grep -q 'http_request_us_count{status="2xx",target="/jobs/<id>"}' \
+    "$WORKDIR/metrics.txt" \
+    || { echo "check.sh: /metrics lacks the per-endpoint latency series" >&2; exit 1; }
+
+  kill "$CLI_PID" 2>/dev/null || true
+  wait "$CLI_PID" 2>/dev/null || true
+  CLI_PID=""
+
+  # Chaos with the tracing stack live, under TSan: injected faults land on
+  # worker threads while spans record and labeled series resolve.
+  TSAN_DIR="$BUILD_DIR-tsan"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$TSAN_DIR" -j "$(nproc)"
+  NDE_CHAOS_TRACE=1 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" -L chaos
+
+  echo "check.sh: trace smoke passed (one trace id across logs/tracez/eventz/artifact/metrics; chaos+tracing clean under TSan)"
   exit 0
 fi
 

@@ -40,6 +40,11 @@
 //   --prometheus         print metrics in Prometheus text format instead
 //   --trace <out.json>   write a Chrome trace_event JSON of the run,
 //                        loadable in about:tracing or https://ui.perfetto.dev
+//   --trace-parent <tp>  adopt a W3C traceparent ("00-<32 hex trace id>-
+//                        <16 hex span id>-<2 hex flags>") as the run's root
+//                        trace context, so spans, logs, and the --report
+//                        artifact carry the caller's trace id; without it a
+//                        fresh trace id is minted whenever telemetry is on
 //   --threads <N>        worker threads for parallel estimators (default:
 //                        hardware concurrency; results are identical for any
 //                        N at a fixed seed)
@@ -94,6 +99,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -227,9 +233,9 @@ Status CheckFlags(const Args& args, const std::string& command,
   }
   for (const auto& [key, value] : args.flags) {
     if (allowed.count(key) > 0 || key == "metrics" || key == "prometheus" ||
-        key == "trace" || key == "threads" || key == "serve" ||
-        key == "report" || key == "profile" || key == "log-level" ||
-        key == "log-json") {
+        key == "trace" || key == "trace-parent" || key == "threads" ||
+        key == "serve" || key == "report" || key == "profile" ||
+        key == "log-level" || key == "log-json") {
       continue;
     }
     return Status::InvalidArgument(StrFormat(
@@ -636,7 +642,8 @@ int Usage() {
                "| --threads <N>\n"
                "              --serve <port> | --report <out.json> "
                "| --profile <out.folded>\n"
-               "              --log-level <level> | --log-json\n");
+               "              --trace-parent <traceparent> | "
+               "--log-level <level> | --log-json\n");
   return 2;
 }
 
@@ -727,6 +734,26 @@ int Main(int argc, char** argv) {
                  "and traces will be empty\n");
 #endif
   }
+  // Root trace context for the whole run: adopt an externally supplied
+  // --trace-parent (a driving system can then correlate this invocation with
+  // its own trace), or mint one whenever telemetry is on so every span and
+  // structured log the run emits shares one trace id. Ids never feed the
+  // estimators, so results stay bit-identical either way.
+  std::optional<ScopedTraceContext> trace_scope;
+  TraceContext root_context;
+  std::string trace_parent_flag = FlagOr(args, "trace-parent", "");
+  if (!trace_parent_flag.empty()) {
+    if (!ParseTraceparent(trace_parent_flag, &root_context)) {
+      return Fail("--trace-parent must be a W3C traceparent "
+                  "(00-<32 hex>-<16 hex>-<2 hex>), got '" +
+                  trace_parent_flag + "'");
+    }
+    trace_scope.emplace(TraceContext(root_context));
+  } else if (telemetry::Enabled()) {
+    root_context = MintTraceContext();
+    trace_scope.emplace(TraceContext(root_context));
+  }
+
   if (!profile_path.empty()) {
     // Profiling needs span events, so it implies telemetry (enabled above).
     telemetry::SetAllocAccountingEnabled(true);
@@ -783,6 +810,9 @@ int Main(int argc, char** argv) {
       argv_line += argv[i];
     }
     report->SetConfig("argv", argv_line);
+    if (root_context.has_trace()) {
+      report->SetConfig("trace_id", TraceIdHex(root_context));
+    }
     for (const auto& [key, value] : args.flags) {
       report->SetConfig("flag." + key, value);
     }
