@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -12,43 +13,90 @@ namespace nde {
 
 namespace {
 
-/// Splits one CSV record honoring double-quoted fields ("" escapes a quote).
-/// `line_number` is 1-based, for error messages only.
-Status SplitCsvRecord(const std::string& line, char delimiter,
-                      size_t line_number, std::vector<std::string>* fields) {
-  fields->clear();
+/// One parsed CSV record: its unquoted fields plus the 1-based physical line
+/// it started on (quoted fields may span lines, so records and lines are not
+/// one-to-one) and whether the record was a blank line (only whitespace, no
+/// quotes or delimiters — such records are dropped at end of input, but a
+/// quoted empty field `""` is a real one-null row, not a blank line).
+struct RawRecord {
+  std::vector<std::string> fields;
+  size_t line_number = 1;
+  bool blank = true;
+};
+
+/// Splits the whole input into records in one quote-aware scan. Unquoted LF
+/// or CRLF terminates a record; inside quotes both are field content ("" is
+/// an escaped quote). The final record is flushed even when the input does
+/// not end in a newline, and a lone trailing '\r' at end of input closes the
+/// record like a CRLF would. An unterminated quote is reported against the
+/// line where the quote opened.
+Status SplitCsvRecords(const std::string& text, char delimiter,
+                       std::vector<RawRecord>* records) {
+  records->clear();
+  size_t line = 1;
+  size_t quote_open_line = 1;
+  RawRecord record;
   std::string current;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
+  bool record_started = false;  // any byte consumed since the last flush
+  auto flush = [&]() {
+    record.fields.push_back(std::move(current));
+    current.clear();
+    records->push_back(std::move(record));
+    record = RawRecord{};
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
           current.push_back('"');
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         current.push_back(c);
       }
-    } else if (c == '"') {
+      continue;
+    }
+    if (c == '"') {
       in_quotes = true;
+      quote_open_line = line;
+      record.blank = false;
+      record_started = true;
     } else if (c == delimiter) {
-      fields->push_back(std::move(current));
+      record.fields.push_back(std::move(current));
       current.clear();
+      record.blank = false;
+      record_started = true;
+    } else if (c == '\n' ||
+               (c == '\r' &&
+                (i + 1 == text.size() || text[i + 1] == '\n'))) {
+      if (c == '\r' && i + 1 < text.size()) ++i;  // consume the CRLF pair
+      flush();
+      ++line;
+      record.line_number = line;
+      record_started = false;
     } else {
+      if (!std::isspace(static_cast<unsigned char>(c))) record.blank = false;
       current.push_back(c);
+      record_started = true;
     }
   }
   if (in_quotes) {
     // A dangling quote means the record is truncated or corrupt; silently
-    // accepting it would glue the rest of the line (and, in multi-line
-    // inputs, often the rest of the file) into one field.
+    // accepting it would glue the rest of the file into one field.
     return Status::InvalidArgument(
-        StrFormat("line %zu has an unterminated quoted field", line_number));
+        StrFormat("line %zu has an unterminated quoted field",
+                  quote_open_line));
   }
-  fields->push_back(std::move(current));
+  if (record_started || !record.fields.empty() || !current.empty()) {
+    flush();  // input ended without a trailing newline
+  }
+  // Drop trailing blank lines (but never quoted-empty records, see above).
+  while (!records->empty() && records->back().blank) records->pop_back();
   return Status::OK();
 }
 
@@ -93,49 +141,37 @@ std::string QuoteField(const std::string& field) {
 
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvReadOptions& options) {
-  std::vector<std::string> lines;
-  {
-    std::istringstream stream(text);
-    std::string line;
-    while (std::getline(stream, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      lines.push_back(line);
-    }
-  }
-  // Drop trailing blank lines.
-  while (!lines.empty() && StripWhitespace(lines.back()).empty()) {
-    lines.pop_back();
-  }
-  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+  std::vector<RawRecord> raw_records;
+  NDE_RETURN_IF_ERROR(
+      SplitCsvRecords(text, options.delimiter, &raw_records));
+  if (raw_records.empty()) return Status::InvalidArgument("empty CSV input");
 
   std::vector<std::string> names;
-  size_t first_data_line = 0;
-  std::vector<std::string> first;
-  NDE_RETURN_IF_ERROR(
-      SplitCsvRecord(lines[0], options.delimiter, 1, &first));
+  size_t first_data_record = 0;
   if (options.has_header) {
-    for (auto& n : first) names.emplace_back(StripWhitespace(n));
-    first_data_line = 1;
+    for (auto& n : raw_records[0].fields) {
+      names.emplace_back(StripWhitespace(n));
+    }
+    first_data_record = 1;
   } else {
-    for (size_t i = 0; i < first.size(); ++i) {
+    for (size_t i = 0; i < raw_records[0].fields.size(); ++i) {
       names.push_back(StrFormat("c%zu", i));
     }
   }
   size_t num_cols = names.size();
 
-  // Pass 1: collect raw cells and infer per-column types.
+  // Pass 1: validate record shapes and infer per-column types.
   std::vector<std::vector<std::string>> records;
-  records.reserve(lines.size() - first_data_line);
-  for (size_t i = first_data_line; i < lines.size(); ++i) {
+  records.reserve(raw_records.size() - first_data_record);
+  for (size_t i = first_data_record; i < raw_records.size(); ++i) {
     // Per-record chaos hook, keyed by the record index so probabilistic
     // injection replays bit-identically run to run.
-    NDE_FAILPOINT_KEYED("csv.record", i - first_data_line);
-    std::vector<std::string> fields;
-    NDE_RETURN_IF_ERROR(
-        SplitCsvRecord(lines[i], options.delimiter, i + 1, &fields));
+    NDE_FAILPOINT_KEYED("csv.record", i - first_data_record);
+    std::vector<std::string>& fields = raw_records[i].fields;
+    size_t line_number = raw_records[i].line_number;
     if (fields.size() != num_cols) {
       return Status::InvalidArgument(
-          StrFormat("line %zu has %zu fields, expected %zu", i + 1,
+          StrFormat("line %zu has %zu fields, expected %zu", line_number,
                     fields.size(), num_cols));
     }
     if (options.max_field_bytes > 0) {
@@ -143,7 +179,7 @@ Result<Table> ReadCsvString(const std::string& text,
         if (fields[c].size() > options.max_field_bytes) {
           return Status::InvalidArgument(StrFormat(
               "line %zu field %zu is %zu bytes, over the %zu-byte limit",
-              i + 1, c, fields[c].size(), options.max_field_bytes));
+              line_number, c, fields[c].size(), options.max_field_bytes));
         }
       }
     }
@@ -239,12 +275,17 @@ std::string WriteCsvString(const Table& table, char delimiter) {
   }
   os << "\n";
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::string line;
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      if (c > 0) os << delimiter;
+      if (c > 0) line.push_back(delimiter);
       std::string cell = table.At(r, c).ToString();
-      os << (NeedsQuoting(cell, delimiter) ? QuoteField(cell) : cell);
+      line += NeedsQuoting(cell, delimiter) ? QuoteField(cell) : cell;
     }
-    os << "\n";
+    // A single-column null row would render as a blank line, which the
+    // reader drops at end of input; a quoted empty field round-trips to the
+    // same null without being mistaken for a trailing blank line.
+    if (line.empty()) line = "\"\"";
+    os << line << "\n";
   }
   return os.str();
 }

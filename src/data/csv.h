@@ -27,6 +27,13 @@ struct CsvReadOptions {
 /// Parses CSV text into a Table. Column types are inferred from the data:
 /// a column is int64 if every non-null cell parses as an integer, double if
 /// every non-null cell parses as a number, and string otherwise.
+///
+/// Quoting follows RFC 4180: fields may be double-quoted, `""` escapes a
+/// quote, and a quoted field may contain delimiters and line breaks (LF or
+/// CRLF), so records can span physical lines. Records end at unquoted LF or
+/// CRLF; a final record without a trailing newline is still read. Errors are
+/// reported against the physical line where the record (or the offending
+/// quote) started.
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvReadOptions& options = {});
 

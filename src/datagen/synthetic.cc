@@ -252,6 +252,71 @@ DatasetSplits LoadRecommendationLetters(size_t num_examples, uint64_t seed) {
   return splits;
 }
 
+CreditScenario MakeCreditScenario(const CreditScenarioOptions& options) {
+  NDE_CHECK_GE(options.default_rate, 0.0);
+  NDE_CHECK_LE(options.default_rate, 1.0);
+  NDE_CHECK_GE(options.label_noise_fraction, 0.0);
+  NDE_CHECK_LE(options.label_noise_fraction, 1.0);
+  NDE_CHECK_GE(options.missing_sector_fraction, 0.0);
+  NDE_CHECK_LE(options.missing_sector_fraction, 1.0);
+  Rng rng(options.seed);
+  size_t n = options.num_accounts;
+
+  std::vector<int64_t> account_ids;
+  std::vector<double> incomes;
+  std::vector<double> debt_ratios;
+  std::vector<int64_t> late_payments;
+  std::vector<Value> sectors;
+  std::vector<int64_t> defaulted;
+  account_ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    account_ids.push_back(static_cast<int64_t>(i));
+    int label = rng.NextBernoulli(options.default_rate) ? 1 : 0;
+    defaulted.push_back(label);
+    double direction = label == 1 ? -1.0 : 1.0;
+    // Defaulters earn less, carry more debt relative to income, and have a
+    // higher late-payment count; overlap keeps the task non-trivial.
+    incomes.push_back(
+        std::max(8.0, 52.0 + 14.0 * direction + 11.0 * rng.NextGaussian()));
+    debt_ratios.push_back(std::clamp(
+        0.38 - 0.16 * direction + 0.13 * rng.NextGaussian(), 0.0, 1.5));
+    double late = (label == 1 ? 2.6 : 0.7) + 1.1 * rng.NextGaussian();
+    late_payments.push_back(
+        static_cast<int64_t>(std::max(0.0, std::round(late))));
+    sectors.emplace_back(
+        std::string(kSectors[rng.NextBounded(std::size(kSectors))]));
+  }
+
+  CreditScenario scenario;
+
+  // Label noise: flip round(fraction * n) distinct labels, like
+  // InjectLabelErrors does for MlDatasets.
+  size_t flip_count = static_cast<size_t>(
+      std::llround(options.label_noise_fraction * static_cast<double>(n)));
+  scenario.corrupted_rows = rng.SampleWithoutReplacement(n, flip_count);
+  std::sort(scenario.corrupted_rows.begin(), scenario.corrupted_rows.end());
+  for (size_t i : scenario.corrupted_rows) defaulted[i] ^= 1;
+
+  // Missingness: null out round(fraction * n) distinct sector cells (MCAR).
+  size_t missing_count = static_cast<size_t>(
+      std::llround(options.missing_sector_fraction * static_cast<double>(n)));
+  scenario.missing_sector_rows = rng.SampleWithoutReplacement(n, missing_count);
+  std::sort(scenario.missing_sector_rows.begin(),
+            scenario.missing_sector_rows.end());
+  for (size_t i : scenario.missing_sector_rows) sectors[i] = Value::Null();
+
+  scenario.accounts =
+      TableBuilder()
+          .AddInt64Column("account_id", std::move(account_ids))
+          .AddDoubleColumn("income", std::move(incomes))
+          .AddDoubleColumn("debt_ratio", std::move(debt_ratios))
+          .AddInt64Column("late_payments", std::move(late_payments))
+          .AddValueColumn("sector", DataType::kString, std::move(sectors))
+          .AddInt64Column("defaulted", std::move(defaulted))
+          .Build();
+  return scenario;
+}
+
 std::vector<size_t> InjectLabelErrors(MlDataset* data, double fraction,
                                       Rng* rng) {
   NDE_CHECK(data != nullptr);

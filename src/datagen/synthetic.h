@@ -79,6 +79,41 @@ HiringScenario MakeHiringScenario(const HiringScenarioOptions& options);
 DatasetSplits LoadRecommendationLetters(size_t num_examples = 600,
                                         uint64_t seed = 42);
 
+/// --- Credit-default scenario -------------------------------------------------
+
+/// Options for the credit-default scoring scenario: a single-table loan book
+/// whose label is whether the account defaulted. The second synthetic domain
+/// next to hiring, so scenario-corpus tests are not tied to one schema.
+struct CreditScenarioOptions {
+  size_t num_accounts = 400;
+  /// P(defaulted == 1) for each account, independently.
+  double default_rate = 0.25;
+  /// Fraction of labels flipped after generation (rounded to the nearest
+  /// count), reported via CreditScenario::corrupted_rows. 0 disables.
+  double label_noise_fraction = 0.0;
+  /// Fraction of `sector` cells set to null (rounded to the nearest count).
+  double missing_sector_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// The generated loan book plus ground truth about injected errors.
+///
+/// `accounts`: account_id, income, debt_ratio, late_payments,
+///             sector (nullable string), defaulted (label, int64 0/1).
+///
+/// Features are drawn conditioned on the label (defaulters have lower
+/// income, higher debt ratios and more late payments), so the label is
+/// genuinely learnable. Generation is deterministic given the seed.
+struct CreditScenario {
+  Table accounts;
+  /// Rows whose label was flipped by `label_noise_fraction`, sorted.
+  std::vector<size_t> corrupted_rows;
+  /// Rows whose sector was nulled by `missing_sector_fraction`, sorted.
+  std::vector<size_t> missing_sector_rows;
+};
+
+CreditScenario MakeCreditScenario(const CreditScenarioOptions& options);
+
 /// --- Error injection (Figure 1 error taxonomy) ------------------------------
 
 /// Flips the labels of a `fraction` of uniformly chosen examples to a

@@ -1,0 +1,50 @@
+#include "proptest/check.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace nde {
+namespace prop {
+
+int DefaultNumCases(int fallback) {
+  const char* env = std::getenv("NDE_PROP_CASES");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) return fallback;
+  return static_cast<int>(value);
+}
+
+uint64_t BaseSeed(uint64_t fallback) {
+  const char* env = std::getenv("NDE_PROP_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<uint64_t>(value);
+}
+
+uint64_t CaseSeed(uint64_t base, int index) {
+  // Case 0 IS the base seed: a reported failing seed replays as case 0.
+  if (index == 0) return base;
+  uint64_t state = base;
+  uint64_t seed = 0;
+  for (int i = 0; i < index; ++i) seed = internal::SplitMix64(&state);
+  return seed;
+}
+
+std::string ReplayCommand(const CheckConfig& config, uint64_t failing_seed) {
+  std::string command =
+      StrFormat("NDE_PROP_SEED=%llu ",
+                static_cast<unsigned long long>(failing_seed));
+  if (!config.gtest_filter.empty()) {
+    command += StrFormat("GTEST_FILTER='%s' ", config.gtest_filter.c_str());
+  }
+  command += StrFormat("ctest -R %s --output-on-failure",
+                       config.ctest_target.c_str());
+  return command;
+}
+
+}  // namespace prop
+}  // namespace nde

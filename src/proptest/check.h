@@ -1,0 +1,158 @@
+#ifndef NDE_PROPTEST_CHECK_H_
+#define NDE_PROPTEST_CHECK_H_
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+#include "proptest/gen.h"
+
+namespace nde {
+namespace prop {
+
+/// The property-check driver (DESIGN.md §16).
+///
+/// A property over T is a function returning "" on pass and a non-empty
+/// failure description otherwise. CheckProperty samples `num_cases` values,
+/// each from its own splitmix64-derived seed; on the first failure it
+/// greedily shrinks the counterexample (re-running the property on every
+/// candidate) and returns a report containing:
+///   - the exact one-line replay command
+///     (`NDE_PROP_SEED=<seed> [GTEST_FILTER=...] ctest -R <target> ...`),
+///   - the shrunk counterexample rendered by `describe` (for tables this is
+///     a pasteable CSV snippet), and
+///   - the original and final failure messages.
+/// An empty return means every case passed.
+///
+/// Replay contract: case 0 always samples directly from the base seed, and
+/// every failure reports the *failing case's own seed*, so exporting
+/// NDE_PROP_SEED=<reported> reproduces the failure as case 0 of the rerun —
+/// one command, no case-index bookkeeping.
+
+/// Per-run knobs, mostly environment-driven so CI tiers can scale the case
+/// budget without recompiling.
+struct CheckConfig {
+  /// Cases to run; 0 means DefaultNumCases() (NDE_PROP_CASES env, else 100).
+  int num_cases = 0;
+  /// Base seed; 0 means BaseSeed() (NDE_PROP_SEED env, else 42).
+  uint64_t seed = 0;
+  /// Hard cap on shrink rounds (each round tries one candidate list).
+  int max_shrink_rounds = 200;
+  /// The ctest test name for the replay line.
+  std::string ctest_target = "proptest_test";
+  /// Optional --gtest_filter value naming the failing TEST, included in the
+  /// replay line when set (tests fill it from gtest's current_test_info).
+  std::string gtest_filter;
+};
+
+/// NDE_PROP_CASES env value, else `fallback`.
+int DefaultNumCases(int fallback = 100);
+
+/// NDE_PROP_SEED env value, else `fallback`. Accepts decimal or 0x-hex.
+uint64_t BaseSeed(uint64_t fallback = 42);
+
+/// The seed for case `index` under `base`: case 0 is `base` itself (the
+/// replay contract above), later cases are splitmix64 hops from it.
+uint64_t CaseSeed(uint64_t base, int index);
+
+/// Renders the one-line replay command for a failing seed.
+std::string ReplayCommand(const CheckConfig& config, uint64_t failing_seed);
+
+/// Fallback printer: numbers, strings, and vectors thereof render readably;
+/// other types report that a describe function is needed.
+template <typename T>
+std::string DefaultDescribe(const T& value) {
+  std::ostringstream os;
+  if constexpr (std::is_arithmetic_v<T>) {
+    os << value;
+  } else if constexpr (std::is_convertible_v<T, std::string>) {
+    os << std::string(value);
+  } else {
+    os << "(no describe function registered for this type)";
+  }
+  return os.str();
+}
+
+template <typename T>
+std::string DefaultDescribe(const std::vector<T>& value) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << DefaultDescribe(value[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Greedily shrinks `value` (already failing with `first_message`) under
+/// `property`, counting re-checks. Returns the minimal failing value found;
+/// `final_message` carries its failure text.
+template <typename T>
+T ShrinkCounterexample(const Gen<T>& gen, const T& value,
+                       const std::function<std::string(const T&)>& property,
+                       const CheckConfig& config, int* shrink_steps,
+                       int* rechecks, std::string* final_message) {
+  T current = value;
+  for (int round = 0; round < config.max_shrink_rounds; ++round) {
+    bool descended = false;
+    for (T& candidate : gen.Shrink(current)) {
+      ++*rechecks;
+      std::string message = property(candidate);
+      if (!message.empty()) {
+        current = std::move(candidate);
+        *final_message = std::move(message);
+        ++*shrink_steps;
+        descended = true;
+        break;  // Greedy: restart from the smaller failing value.
+      }
+    }
+    if (!descended) break;
+  }
+  return current;
+}
+
+/// Runs the property over the configured case budget. Returns "" when every
+/// case passes, else the full failure report described above.
+template <typename T>
+std::string CheckProperty(
+    const std::string& name, const Gen<T>& gen,
+    const std::function<std::string(const T&)>& property,
+    const std::function<std::string(const T&)>& describe = nullptr,
+    CheckConfig config = {}) {
+  if (config.num_cases <= 0) config.num_cases = DefaultNumCases();
+  if (config.seed == 0) config.seed = BaseSeed();
+  for (int i = 0; i < config.num_cases; ++i) {
+    uint64_t case_seed = CaseSeed(config.seed, i);
+    Rng rng(case_seed);
+    T value = gen.Sample(&rng);
+    std::string message = property(value);
+    if (message.empty()) continue;
+
+    int shrink_steps = 0;
+    int rechecks = 0;
+    std::string final_message = message;
+    T shrunk = ShrinkCounterexample(gen, value, property, config,
+                                    &shrink_steps, &rechecks, &final_message);
+    std::ostringstream report;
+    report << "property '" << name << "' failed at case " << i << " of "
+           << config.num_cases << " (case seed " << case_seed << ")\n"
+           << "replay: " << ReplayCommand(config, case_seed) << "\n"
+           << "original failure: " << message << "\n"
+           << "shrunk counterexample (" << shrink_steps << " shrink steps, "
+           << rechecks << " property re-checks):\n"
+           << (describe ? describe(shrunk) : DefaultDescribe(shrunk)) << "\n"
+           << "shrunk failure: " << final_message;
+    return report.str();
+  }
+  return "";
+}
+
+}  // namespace prop
+}  // namespace nde
+
+#endif  // NDE_PROPTEST_CHECK_H_

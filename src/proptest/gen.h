@@ -1,0 +1,272 @@
+#ifndef NDE_PROPTEST_GEN_H_
+#define NDE_PROPTEST_GEN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nde {
+namespace prop {
+
+/// A typed random-value generator with greedy shrinking, the core of the
+/// property-testing harness (DESIGN.md §16).
+///
+/// A `Gen<T>` is a pair of pure functions:
+///   - Sample(Rng*)  -> T: draws one value from the explicitly seeded stream
+///     (so every generated case is replayable from its seed alone);
+///   - Shrink(value) -> candidates: smaller values to try when `value` breaks
+///     a property, ordered most-aggressive first. The check driver
+///     (proptest/check.h) re-runs the property on each candidate and greedily
+///     descends into the first one that still fails, so shrinkers only need
+///     to propose candidates — they never decide which failure survives.
+///
+/// Shrinking contract: every candidate must be strictly "smaller" under some
+/// well-founded measure (magnitude for numbers, length then element size for
+/// vectors), so greedy descent terminates without a step budget doing the
+/// real work. A Gen without a shrinker is legal; its counterexamples are
+/// simply reported unshrunk.
+template <typename T>
+class Gen {
+ public:
+  using SampleFn = std::function<T(Rng*)>;
+  using ShrinkFn = std::function<std::vector<T>(const T&)>;
+
+  explicit Gen(SampleFn sample, ShrinkFn shrink = nullptr)
+      : sample_(std::move(sample)), shrink_(std::move(shrink)) {
+    NDE_CHECK(sample_ != nullptr);
+  }
+
+  T Sample(Rng* rng) const { return sample_(rng); }
+
+  std::vector<T> Shrink(const T& value) const {
+    if (shrink_ == nullptr) return {};
+    return shrink_(value);
+  }
+
+  /// Same generator with a (replacement) shrinker attached.
+  Gen<T> WithShrink(ShrinkFn shrink) const {
+    return Gen<T>(sample_, std::move(shrink));
+  }
+
+  /// Transforms every sampled value. The mapped generator keeps shrinking
+  /// when `inverse_free_shrink` is provided (a shrinker over U); plain Map
+  /// drops shrinking because U-candidates cannot be pulled back through `f`.
+  template <typename F>
+  auto Map(F f) const -> Gen<decltype(f(std::declval<T>()))> {
+    using U = decltype(f(std::declval<T>()));
+    SampleFn sample = sample_;
+    return Gen<U>([sample, f](Rng* rng) { return f(sample(rng)); });
+  }
+
+  /// Keeps sampling until `pred` holds (bounded; aborts the case budget on a
+  /// pathological predicate rather than looping forever). Shrink candidates
+  /// are filtered through the same predicate, so shrinking never escapes the
+  /// generator's domain.
+  Gen<T> Filter(std::function<bool(const T&)> pred, int max_tries = 64) const {
+    SampleFn sample = sample_;
+    ShrinkFn shrink = shrink_;
+    return Gen<T>(
+        [sample, pred, max_tries](Rng* rng) {
+          for (int i = 0; i < max_tries; ++i) {
+            T value = sample(rng);
+            if (pred(value)) return value;
+          }
+          NDE_CHECK(false) << "prop::Gen::Filter: predicate rejected "
+                           << max_tries << " consecutive samples";
+          return sample(rng);  // Unreachable.
+        },
+        shrink == nullptr
+            ? ShrinkFn(nullptr)
+            : ShrinkFn([shrink, pred](const T& value) {
+                std::vector<T> kept;
+                for (T& candidate : shrink(value)) {
+                  if (pred(candidate)) kept.push_back(std::move(candidate));
+                }
+                return kept;
+              }));
+  }
+
+ private:
+  SampleFn sample_;
+  ShrinkFn shrink_;
+};
+
+/// --- Primitive generators ----------------------------------------------------
+
+/// Always `value`; no shrinking (it is already minimal by fiat).
+template <typename T>
+Gen<T> Just(T value) {
+  return Gen<T>([value](Rng*) { return value; });
+}
+
+/// Shrink candidates for an integer toward `origin`: origin itself first,
+/// then successive halvings of the distance, then the adjacent value. Shared
+/// by the integral generators so every integer in the library shrinks the
+/// same way.
+template <typename T>
+std::vector<T> ShrinkIntegerToward(T origin, T value) {
+  std::vector<T> candidates;
+  if (value == origin) return candidates;
+  candidates.push_back(origin);
+  // Halve the distance; works for signed and unsigned alike because value
+  // and origin are already ordered by the caller's range.
+  T distance = value > origin ? value - origin : origin - value;
+  for (T step = distance / 2; step > 0; step /= 2) {
+    T candidate = value > origin ? static_cast<T>(origin + step)
+                                 : static_cast<T>(origin - step);
+    if (candidate != value && candidate != origin &&
+        (candidates.empty() || candidate != candidates.back())) {
+      candidates.push_back(candidate);
+    }
+  }
+  T neighbor = value > origin ? static_cast<T>(value - 1)
+                              : static_cast<T>(value + 1);
+  if (neighbor != origin &&
+      std::find(candidates.begin(), candidates.end(), neighbor) ==
+          candidates.end()) {
+    candidates.push_back(neighbor);
+  }
+  return candidates;
+}
+
+/// Uniform integer in [lo, hi], shrinking toward lo.
+inline Gen<int64_t> IntInRange(int64_t lo, int64_t hi) {
+  NDE_CHECK_LE(lo, hi);
+  return Gen<int64_t>(
+      [lo, hi](Rng* rng) { return rng->NextInt(lo, hi); },
+      [lo](const int64_t& value) { return ShrinkIntegerToward(lo, value); });
+}
+
+/// Uniform size_t in [lo, hi], shrinking toward lo. The workhorse for counts
+/// (rows, columns, permutations, coalition sizes).
+inline Gen<size_t> SizeInRange(size_t lo, size_t hi) {
+  NDE_CHECK_LE(lo, hi);
+  return Gen<size_t>(
+      [lo, hi](Rng* rng) { return lo + rng->NextBounded(hi - lo + 1); },
+      [lo](const size_t& value) { return ShrinkIntegerToward(lo, value); });
+}
+
+/// Uniform double in [lo, hi). Shrinks toward lo through midpoints and the
+/// nearest integer (integral doubles make counterexamples legible).
+inline Gen<double> DoubleInRange(double lo, double hi) {
+  NDE_CHECK(lo <= hi);
+  return Gen<double>(
+      [lo, hi](Rng* rng) { return rng->NextUniform(lo, hi); },
+      [lo](const double& value) {
+        std::vector<double> candidates;
+        if (value == lo) return candidates;
+        candidates.push_back(lo);
+        double mid = lo + (value - lo) / 2.0;
+        if (mid != value && mid != lo) candidates.push_back(mid);
+        double rounded = static_cast<double>(static_cast<int64_t>(value));
+        if (rounded != value && rounded >= lo &&
+            std::find(candidates.begin(), candidates.end(), rounded) ==
+                candidates.end()) {
+          candidates.push_back(rounded);
+        }
+        return candidates;
+      });
+}
+
+/// Bernoulli(p) boolean; true shrinks to false.
+inline Gen<bool> BoolWithProbability(double p = 0.5) {
+  return Gen<bool>([p](Rng* rng) { return rng->NextBernoulli(p); },
+                   [](const bool& value) {
+                     return value ? std::vector<bool>{false}
+                                  : std::vector<bool>{};
+                   });
+}
+
+/// Uniformly one of `items`; shrinks toward earlier list positions, so order
+/// the list least-nasty first.
+template <typename T>
+Gen<T> ElementOf(std::vector<T> items) {
+  NDE_CHECK(!items.empty());
+  return Gen<T>(
+      [items](Rng* rng) { return items[rng->NextBounded(items.size())]; },
+      [items](const T& value) {
+        std::vector<T> candidates;
+        for (const T& item : items) {
+          if (item == value) break;
+          candidates.push_back(item);
+        }
+        return candidates;
+      });
+}
+
+/// Shrink candidates for a vector: empty first, then each half removed, then
+/// single elements removed (capped), then per-element shrinks via
+/// `shrink_element` (capped). The cap bounds the greedy driver's fan-out per
+/// round; the driver's repeated rounds still reach minimal counterexamples.
+template <typename T>
+std::vector<std::vector<T>> ShrinkVector(
+    const std::vector<T>& value,
+    const std::function<std::vector<T>(const T&)>& shrink_element,
+    size_t min_size = 0) {
+  std::vector<std::vector<T>> candidates;
+  const size_t n = value.size();
+  if (n > min_size) {
+    if (min_size == 0) candidates.emplace_back();
+    // Drop the first / second half.
+    if (n >= 2 && n / 2 >= min_size) {
+      candidates.emplace_back(value.begin() + static_cast<ptrdiff_t>(n / 2),
+                              value.end());
+      candidates.emplace_back(value.begin(),
+                              value.begin() + static_cast<ptrdiff_t>(n / 2));
+    }
+    // Drop single elements, front-biased, capped.
+    const size_t kMaxSingleRemovals = 8;
+    for (size_t i = 0; i < n && i < kMaxSingleRemovals; ++i) {
+      std::vector<T> smaller;
+      smaller.reserve(n - 1);
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) smaller.push_back(value[j]);
+      }
+      if (smaller.size() >= min_size) candidates.push_back(std::move(smaller));
+    }
+  }
+  if (shrink_element != nullptr) {
+    const size_t kMaxElementShrinks = 16;
+    size_t emitted = 0;
+    for (size_t i = 0; i < n && emitted < kMaxElementShrinks; ++i) {
+      for (T& replacement : shrink_element(value[i])) {
+        std::vector<T> mutated = value;
+        mutated[i] = std::move(replacement);
+        candidates.push_back(std::move(mutated));
+        if (++emitted >= kMaxElementShrinks) break;
+      }
+    }
+  }
+  return candidates;
+}
+
+/// Vector of `size ~ size_gen` elements drawn from `element`. Shrinks by
+/// removing chunks/elements first, then shrinking individual elements.
+template <typename T>
+Gen<std::vector<T>> VectorOf(Gen<size_t> size_gen, Gen<T> element,
+                             size_t min_size = 0) {
+  return Gen<std::vector<T>>(
+      [size_gen, element](Rng* rng) {
+        size_t n = size_gen.Sample(rng);
+        std::vector<T> values;
+        values.reserve(n);
+        for (size_t i = 0; i < n; ++i) values.push_back(element.Sample(rng));
+        return values;
+      },
+      [element, min_size](const std::vector<T>& value) {
+        return ShrinkVector<T>(
+            value, [element](const T& v) { return element.Shrink(v); },
+            min_size);
+      });
+}
+
+}  // namespace prop
+}  // namespace nde
+
+#endif  // NDE_PROPTEST_GEN_H_

@@ -349,5 +349,92 @@ TEST(CsvTest, RecordFailpointFiresOnExactRecord) {
   failpoint::ResetStats();
 }
 
+// --- CSV edge-case hardening --------------------------------------------------
+// Regressions for the quote-aware record scanner: quoted fields spanning
+// lines, CRLF inside quotes, EOF without a final newline, and empty trailing
+// fields. Each case was once mis-parsed by the line-based splitter.
+
+TEST(CsvHardeningTest, QuotedFieldAtEofWithoutNewline) {
+  Result<Table> t = ReadCsvString("a,b\n1,\"x,y\"");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->At(0, 0).as_int64(), 1);
+  EXPECT_EQ(t->At(0, 1).as_string(), "x,y");
+}
+
+TEST(CsvHardeningTest, UnquotedLastFieldAtEofWithoutNewline) {
+  Result<Table> t = ReadCsvString("a,b\n1,2\n3,4");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->At(1, 1).as_int64(), 4);
+}
+
+TEST(CsvHardeningTest, NewlineInsideQuotedFieldSpansRecords) {
+  Result<Table> t = ReadCsvString("a,b\n\"line1\nline2\",7\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->At(0, 0).as_string(), "line1\nline2");
+  EXPECT_EQ(t->At(0, 1).as_int64(), 7);
+}
+
+TEST(CsvHardeningTest, CrlfInsideQuotedFieldIsContent) {
+  // An unquoted CRLF ends the record; a quoted one is two content bytes.
+  Result<Table> t = ReadCsvString("a,b\r\n\"x\r\ny\",5\r\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->At(0, 0).as_string(), "x\r\ny");
+  EXPECT_EQ(t->At(0, 1).as_int64(), 5);
+}
+
+TEST(CsvHardeningTest, EmptyTrailingFieldIsNull) {
+  // Both with and without a final newline, "1," is the two fields [1, null].
+  for (const char* text : {"a,b\n1,\n", "a,b\n1,"}) {
+    Result<Table> t = ReadCsvString(text);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    ASSERT_EQ(t->num_rows(), 1u) << text;
+    EXPECT_EQ(t->At(0, 0).as_int64(), 1);
+    EXPECT_TRUE(t->At(0, 1).is_null()) << text;
+  }
+}
+
+TEST(CsvHardeningTest, SingleColumnNullRowRoundTrips) {
+  // A lone null cell would serialize as a blank line (which the reader drops
+  // at end of input); the writer emits a quoted empty field instead.
+  Table t = TableBuilder()
+                .AddValueColumn("v", DataType::kInt64,
+                                {Value(1), Value::Null(), Value(3)})
+                .Build();
+  Table shorter = t.SelectRows({0, 1});  // null row is last
+  std::string csv = WriteCsvString(shorter);
+  EXPECT_NE(csv.find("\"\""), std::string::npos);
+  Result<Table> reread = ReadCsvString(csv);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread->num_rows(), 2u);
+  EXPECT_TRUE(reread->At(1, 0).is_null());
+}
+
+TEST(CsvHardeningTest, ErrorLineNumbersAccountForMultilineFields) {
+  // The bad record starts on physical line 4 (the quoted field above it
+  // spans lines 2-3), and the error must say so.
+  Result<Table> t = ReadCsvString("a\n\"x\ny\"\nbad,row\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 4"), std::string::npos)
+      << t.status().message();
+}
+
+TEST(CsvHardeningTest, UnterminatedQuoteReportsOpeningLine) {
+  Result<Table> t = ReadCsvString("a\n1\n\"open\nmore\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status().message();
+}
+
+TEST(CsvHardeningTest, TrailingBlankAndWhitespaceLinesDropped) {
+  Result<Table> t = ReadCsvString("a,b\n1,2\n\n   \n\r\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
 }  // namespace
 }  // namespace nde

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "data/csv.h"
 #include "datagen/synthetic.h"
 #include "ml/knn.h"
 #include "ml/metrics.h"
+#include "nde/engine.h"
+#include "nde/registry.h"
 
 namespace nde {
 namespace {
@@ -345,6 +348,109 @@ TEST(MissingnessToStringTest, Names) {
   EXPECT_STREQ(MissingnessToString(Missingness::kMcar), "MCAR");
   EXPECT_STREQ(MissingnessToString(Missingness::kMar), "MAR");
   EXPECT_STREQ(MissingnessToString(Missingness::kMnar), "MNAR");
+}
+
+// --- Credit-default scenario ---------------------------------------------------
+
+TEST(CreditScenarioTest, DeterministicUnderFixedSeed) {
+  CreditScenarioOptions options;
+  options.num_accounts = 120;
+  options.label_noise_fraction = 0.1;
+  options.missing_sector_fraction = 0.2;
+  CreditScenario a = MakeCreditScenario(options);
+  CreditScenario b = MakeCreditScenario(options);
+  EXPECT_EQ(WriteCsvString(a.accounts), WriteCsvString(b.accounts));
+  EXPECT_EQ(a.corrupted_rows, b.corrupted_rows);
+  EXPECT_EQ(a.missing_sector_rows, b.missing_sector_rows);
+
+  options.seed = 7;
+  CreditScenario c = MakeCreditScenario(options);
+  EXPECT_NE(WriteCsvString(a.accounts), WriteCsvString(c.accounts));
+}
+
+TEST(CreditScenarioTest, DefaultRateControlsClassBalance) {
+  CreditScenarioOptions options;
+  options.num_accounts = 2000;
+  options.default_rate = 0.3;
+  CreditScenario scenario = MakeCreditScenario(options);
+  size_t col = scenario.accounts.schema().FieldIndex("defaulted").value();
+  size_t defaults = 0;
+  for (size_t r = 0; r < scenario.accounts.num_rows(); ++r) {
+    defaults += scenario.accounts.At(r, col).as_int64();
+  }
+  double rate = static_cast<double>(defaults) / 2000.0;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+
+  options.default_rate = 0.0;
+  CreditScenario none = MakeCreditScenario(options);
+  for (size_t r = 0; r < none.accounts.num_rows(); ++r) {
+    EXPECT_EQ(none.accounts.At(r, col).as_int64(), 0);
+  }
+}
+
+TEST(CreditScenarioTest, LabelNoiseContractFlipsExactCount) {
+  CreditScenarioOptions clean_options;
+  clean_options.num_accounts = 200;
+  CreditScenarioOptions noisy_options = clean_options;
+  noisy_options.label_noise_fraction = 0.1;
+  CreditScenario clean = MakeCreditScenario(clean_options);
+  CreditScenario noisy = MakeCreditScenario(noisy_options);
+
+  EXPECT_EQ(noisy.corrupted_rows.size(), 20u);  // round(0.1 * 200)
+  EXPECT_TRUE(std::is_sorted(noisy.corrupted_rows.begin(),
+                             noisy.corrupted_rows.end()));
+  EXPECT_EQ(std::set<size_t>(noisy.corrupted_rows.begin(),
+                             noisy.corrupted_rows.end())
+                .size(),
+            noisy.corrupted_rows.size());
+  // Same seed, same pre-noise labels: the noisy run differs from the clean
+  // run exactly on the reported rows.
+  size_t col = clean.accounts.schema().FieldIndex("defaulted").value();
+  std::set<size_t> flipped(noisy.corrupted_rows.begin(),
+                           noisy.corrupted_rows.end());
+  for (size_t r = 0; r < 200; ++r) {
+    int64_t before = clean.accounts.At(r, col).as_int64();
+    int64_t after = noisy.accounts.At(r, col).as_int64();
+    if (flipped.count(r)) {
+      EXPECT_EQ(after, before ^ 1) << "row " << r;
+    } else {
+      EXPECT_EQ(after, before) << "row " << r;
+    }
+  }
+}
+
+TEST(CreditScenarioTest, MissingSectorContractNullsExactCount) {
+  CreditScenarioOptions options;
+  options.num_accounts = 200;
+  options.missing_sector_fraction = 0.25;
+  CreditScenario scenario = MakeCreditScenario(options);
+  EXPECT_EQ(scenario.missing_sector_rows.size(), 50u);  // round(0.25 * 200)
+  size_t col = scenario.accounts.schema().FieldIndex("sector").value();
+  EXPECT_EQ(scenario.accounts.CountNulls(col), 50u);
+  for (size_t r : scenario.missing_sector_rows) {
+    EXPECT_TRUE(scenario.accounts.At(r, col).is_null()) << "row " << r;
+  }
+}
+
+TEST(CreditScenarioTest, RunsEndToEndThroughImportanceEngine) {
+  CreditScenarioOptions options;
+  options.num_accounts = 60;
+  options.label_noise_fraction = 0.1;
+  options.missing_sector_fraction = 0.1;
+  CreditScenario scenario = MakeCreditScenario(options);
+
+  Result<std::unique_ptr<AlgorithmInstance>> algorithm =
+      AlgorithmRegistry::Global().Create("knn_shapley");
+  ASSERT_TRUE(algorithm.ok()) << algorithm.status().ToString();
+  ASSERT_TRUE(algorithm.value()->Configure("k", "3").ok());
+  Result<TableRunResult> run = RunAlgorithmOnTable(
+      *algorithm.value(), scenario.accounts, "defaulted");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->train_rows + run->valid_rows, 60u);
+  EXPECT_EQ(run->estimate.values.size(), run->train_rows);
+  // Train-split algorithms rank the provenance-mapped training rows.
+  EXPECT_EQ(run->ranked_rows.size(), run->train_rows);
+  EXPECT_FALSE(run->annotated_plan.empty());
 }
 
 }  // namespace

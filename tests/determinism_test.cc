@@ -30,6 +30,9 @@
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
+#include "proptest/check.h"
+#include "proptest/domain.h"
+#include "proptest/gen.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
 #include "telemetry/run_report.h"
@@ -873,6 +876,140 @@ TEST(DeterminismTest, JobApiMatchesDirectEngineRunBitForBit) {
     EXPECT_EQ(ranked[i].as_number(),
               static_cast<double>(direct.ranked_rows[i]));
   }
+}
+
+// --- Generative thread-sweep (src/proptest harness) --------------------------
+//
+// The hand-picked scenarios above pin specific shapes (ragged waves, tiny
+// validation sets). These properties sweep the same §8 bit-identity promise
+// over *generated* scenarios and option draws, so shapes nobody thought to
+// pin — one-class blobs, two-row training sets, budget/thread interactions —
+// get exercised every run, and any failure shrinks to a pasteable CSV.
+
+prop::CheckConfig SweepCheckConfig(int default_cases) {
+  prop::CheckConfig config;
+  config.num_cases = prop::DefaultNumCases(default_cases);
+  config.ctest_target = "determinism_test";
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  config.gtest_filter =
+      std::string(info->test_suite_name()) + "." + info->name();
+  return config;
+}
+
+std::string CompareThreadRuns(const ImportanceEstimate& one,
+                              const ImportanceEstimate& many,
+                              size_t threads) {
+  if (one.values != many.values) {
+    return "values diverge between 1 and " + std::to_string(threads) +
+           " threads";
+  }
+  if (one.std_errors != many.std_errors) {
+    return "std_errors diverge between 1 and " + std::to_string(threads) +
+           " threads";
+  }
+  if (one.utility_evaluations != many.utility_evaluations) {
+    return "utility_evaluations diverge: " +
+           std::to_string(one.utility_evaluations) + " vs " +
+           std::to_string(many.utility_evaluations);
+  }
+  return "";
+}
+
+TEST(GenerativeThreadSweepTest, BanzhafIsThreadCountInvariant) {
+  struct Case {
+    prop::ImportanceScenario scenario;
+    BanzhafOptions options;
+  };
+  prop::Gen<prop::ImportanceScenario> scenario_gen =
+      prop::AnyImportanceScenario(14, 5, 3, 3);
+  prop::Gen<BanzhafOptions> options_gen = prop::AnyBanzhafOptions(32);
+  prop::Gen<Case> gen(
+      [scenario_gen, options_gen](Rng* rng) {
+        Case c;
+        c.scenario = scenario_gen.Sample(rng);
+        c.options = options_gen.Sample(rng);
+        return c;
+      },
+      [scenario_gen](const Case& c) {
+        std::vector<Case> candidates;
+        for (prop::ImportanceScenario& smaller :
+             scenario_gen.Shrink(c.scenario)) {
+          Case candidate = c;
+          candidate.scenario = std::move(smaller);
+          candidates.push_back(std::move(candidate));
+        }
+        return candidates;
+      });
+  std::string report = prop::CheckProperty<Case>(
+      "banzhaf thread-count invariance", gen,
+      [](const Case& c) -> std::string {
+        ClassifierFactory factory = []() {
+          return std::make_unique<KnnClassifier>(3);
+        };
+        std::vector<ImportanceEstimate> runs;
+        for (size_t threads : {size_t{1}, size_t{8}}) {
+          ModelAccuracyUtility utility(factory, c.scenario.train,
+                                       c.scenario.valid);
+          BanzhafOptions options = c.options;
+          options.num_threads = threads;
+          Result<ImportanceEstimate> run = BanzhafValues(utility, options);
+          if (!run.ok()) return "run failed: " + run.status().ToString();
+          runs.push_back(std::move(run).value());
+        }
+        return CompareThreadRuns(runs[0], runs[1], 8);
+      },
+      [](const Case& c) { return prop::DescribeScenario(c.scenario); },
+      SweepCheckConfig(15));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(GenerativeThreadSweepTest, BetaShapleyIsThreadCountInvariant) {
+  struct Case {
+    prop::ImportanceScenario scenario;
+    BetaShapleyOptions options;
+  };
+  prop::Gen<prop::ImportanceScenario> scenario_gen =
+      prop::AnyImportanceScenario(12, 5, 3, 3);
+  prop::Gen<BetaShapleyOptions> options_gen = prop::AnyBetaOptions(8);
+  prop::Gen<Case> gen(
+      [scenario_gen, options_gen](Rng* rng) {
+        Case c;
+        c.scenario = scenario_gen.Sample(rng);
+        c.options = options_gen.Sample(rng);
+        return c;
+      },
+      [scenario_gen](const Case& c) {
+        std::vector<Case> candidates;
+        for (prop::ImportanceScenario& smaller :
+             scenario_gen.Shrink(c.scenario)) {
+          Case candidate = c;
+          candidate.scenario = std::move(smaller);
+          candidates.push_back(std::move(candidate));
+        }
+        return candidates;
+      });
+  std::string report = prop::CheckProperty<Case>(
+      "beta-shapley thread-count invariance", gen,
+      [](const Case& c) -> std::string {
+        ClassifierFactory factory = []() {
+          return std::make_unique<KnnClassifier>(3);
+        };
+        std::vector<ImportanceEstimate> runs;
+        for (size_t threads : {size_t{1}, size_t{8}}) {
+          ModelAccuracyUtility utility(factory, c.scenario.train,
+                                       c.scenario.valid);
+          BetaShapleyOptions options = c.options;
+          options.num_threads = threads;
+          Result<ImportanceEstimate> run = BetaShapleyValues(utility, options);
+          if (!run.ok()) return "run failed: " + run.status().ToString();
+          runs.push_back(std::move(run).value());
+        }
+        return CompareThreadRuns(runs[0], runs[1], 8);
+      },
+      [](const Case& c) { return prop::DescribeScenario(c.scenario); },
+      SweepCheckConfig(12));
+  EXPECT_TRUE(report.empty()) << report;
 }
 
 TEST(EstimatorValidationTest, ZeroBudgetIsInvalidArgument) {

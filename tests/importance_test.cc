@@ -2,7 +2,10 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -14,9 +17,12 @@
 #include "importance/influence.h"
 #include "importance/knn_shapley.h"
 #include "importance/label_scores.h"
+#include "importance/subset_cache.h"
 #include "importance/utility.h"
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
+#include "proptest/check.h"
+#include "proptest/gen.h"
 
 namespace nde {
 namespace {
@@ -836,6 +842,169 @@ TEST(BetaShapleyTest, UtilityFaultAborts) {
   Result<ImportanceEstimate> estimate = BetaShapleyValues(game, options);
   ASSERT_FALSE(estimate.ok());
   EXPECT_EQ(estimate.status().code(), StatusCode::kUnavailable);
+}
+
+// --- Generative SubsetCache properties (src/proptest harness) ---------------
+
+prop::CheckConfig CacheCheckConfig(int default_cases) {
+  prop::CheckConfig config;
+  config.num_cases = prop::DefaultNumCases(default_cases);
+  config.ctest_target = "importance_test";
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  config.gtest_filter =
+      std::string(info->test_suite_name()) + "." + info->name();
+  return config;
+}
+
+/// The deterministic "utility" a cached coalition must always resolve to,
+/// regardless of probe order or eviction history.
+double CanonicalCacheValue(std::vector<size_t> subset) {
+  std::sort(subset.begin(), subset.end());
+  uint64_t h = OrderIndependentSubsetHash{}(subset);
+  return static_cast<double>(h % 100003) + 0.5;
+}
+
+prop::Gen<std::vector<std::vector<size_t>>> AnyProbeSequence() {
+  return prop::VectorOf(prop::SizeInRange(1, 12),
+                        prop::VectorOf(prop::SizeInRange(0, 6),
+                                       prop::SizeInRange(0, 19)),
+                        /*min_size=*/1);
+}
+
+std::string DescribeProbeSequence(
+    const std::vector<std::vector<size_t>>& probes) {
+  std::ostringstream os;
+  for (const std::vector<size_t>& subset : probes) {
+    os << "{";
+    for (size_t i = 0; i < subset.size(); ++i) {
+      if (i > 0) os << ",";
+      os << subset[i];
+    }
+    os << "} ";
+  }
+  return os.str();
+}
+
+TEST(SubsetCachePropertyTest, PermutedProbesHitWithoutRecompute) {
+  // For any probe sequence: the first probe of a coalition computes, and a
+  // reversed-order re-probe must be served from cache — a poisoned compute
+  // callback on the second probe must never be invoked. This is the invariant
+  // the order-independent hash + full-key equality pair exists to provide
+  // (subset_cache.h); a hash that depended on order, or equality that
+  // compared less than the full key, fails it within a handful of cases.
+  std::string report = prop::CheckProperty<std::vector<std::vector<size_t>>>(
+      "permuted probes hit the same entry", AnyProbeSequence(),
+      [](const std::vector<std::vector<size_t>>& probes) -> std::string {
+        SubsetCache cache;  // Default capacity: nothing evicts at this size.
+        for (const std::vector<size_t>& subset : probes) {
+          double expected = CanonicalCacheValue(subset);
+          double first =
+              cache.GetOrCompute(subset, [&] { return expected; });
+          if (first != expected) {
+            return "first probe returned " + std::to_string(first) +
+                   ", expected " + std::to_string(expected);
+          }
+          std::vector<size_t> reversed(subset.rbegin(), subset.rend());
+          bool poison_invoked = false;
+          double second = cache.GetOrCompute(reversed, [&] {
+            poison_invoked = true;
+            return expected + 1e6;
+          });
+          if (poison_invoked) {
+            return "reversed re-probe missed the cache (recompute invoked)";
+          }
+          if (second != expected) {
+            return "reversed re-probe returned " + std::to_string(second);
+          }
+        }
+        SubsetCache::Stats stats = cache.stats();
+        if (stats.hits < probes.size()) {
+          return "expected at least " + std::to_string(probes.size()) +
+                 " hits, saw " + std::to_string(stats.hits);
+        }
+        return "";
+      },
+      DescribeProbeSequence, CacheCheckConfig(150));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(SubsetCachePropertyTest, EvictionOnlyCostsRecomputation) {
+  // A pathologically tiny cache (one shard, one entry) evicts on nearly
+  // every insert. The contract (subset_cache.h): eviction may cost extra
+  // compute calls but can never change a served value, and the entry count
+  // must respect the bound throughout.
+  std::string report = prop::CheckProperty<std::vector<std::vector<size_t>>>(
+      "eviction never corrupts values", AnyProbeSequence(),
+      [](const std::vector<std::vector<size_t>>& probes) -> std::string {
+        SubsetCacheOptions options;
+        options.num_shards = 1;
+        options.max_entries = 1;
+        SubsetCache cache(options);
+        uint64_t total_probes = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+          for (const std::vector<size_t>& subset : probes) {
+            double expected = CanonicalCacheValue(subset);
+            double got =
+                cache.GetOrCompute(subset, [&] { return expected; });
+            ++total_probes;
+            if (got != expected) {
+              return "probe returned " + std::to_string(got) +
+                     ", expected " + std::to_string(expected);
+            }
+            SubsetCache::Stats stats = cache.stats();
+            if (stats.entries > 1) {
+              return "entry count " + std::to_string(stats.entries) +
+                     " exceeds max_entries=1";
+            }
+          }
+        }
+        SubsetCache::Stats stats = cache.stats();
+        if (stats.hits + stats.misses != total_probes) {
+          return "hits+misses=" +
+                 std::to_string(stats.hits + stats.misses) +
+                 " != probes=" + std::to_string(total_probes);
+        }
+        return "";
+      },
+      DescribeProbeSequence, CacheCheckConfig(100));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(SubsetCachePropertyTest, HashIsOrderIndependent) {
+  // The commutative-fold hash must agree across every ordering of the same
+  // elements (here: sorted vs reversed vs rotated), and the transparent
+  // SubsetKeyView hasher must agree with the owned-key hasher — the pair of
+  // contracts the heterogeneous map lookup in GetOrCompute relies on.
+  std::string report = prop::CheckProperty<std::vector<size_t>>(
+      "subset hash is order independent",
+      prop::VectorOf(prop::SizeInRange(0, 8), prop::SizeInRange(0, 40)),
+      [](const std::vector<size_t>& subset) -> std::string {
+        OrderIndependentSubsetHash hasher;
+        size_t baseline = hasher(subset);
+        std::vector<size_t> reversed(subset.rbegin(), subset.rend());
+        if (hasher(reversed) != baseline) {
+          return "reversed ordering hashed differently";
+        }
+        if (!subset.empty()) {
+          std::vector<size_t> rotated(subset.begin() + 1, subset.end());
+          rotated.push_back(subset.front());
+          if (hasher(rotated) != baseline) {
+            return "rotated ordering hashed differently";
+          }
+        }
+        SubsetKeyView view{subset.data(), subset.size(),
+                           static_cast<uint64_t>(baseline)};
+        if (SubsetKeyHash{}(view) != SubsetKeyHash{}(subset)) {
+          return "view hasher disagrees with owned-key hasher";
+        }
+        if (!SubsetKeyEq{}(subset, view)) {
+          return "view equality rejected the identical subset";
+        }
+        return "";
+      },
+      nullptr, CacheCheckConfig(200));
+  EXPECT_TRUE(report.empty()) << report;
 }
 
 }  // namespace

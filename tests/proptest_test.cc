@@ -1,0 +1,815 @@
+// Generative invariant suites over the whole estimator stack (DESIGN.md §16).
+//
+// Every test here draws hundreds of random cases from src/proptest's domain
+// generators and asserts an invariant the design document promises for *all*
+// inputs: bit-identity across fast-path configurations and thread counts,
+// CSV round-trips, prefix-scan-vs-full-retrain equality, registry-vs-direct
+// equality, pipeline removal semantics, and the paper-level metamorphic
+// property that corrupting rows drops their importance.
+//
+// On failure each suite prints a one-line replay command
+// (`NDE_PROP_SEED=<seed> ... ctest -R proptest_test`) plus the shrunk
+// counterexample as a pasteable CSV snippet. Case budgets scale with
+// NDE_PROP_CASES (tools/check.sh sets a reduced budget under sanitizers).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "data/table.h"
+#include "datagen/synthetic.h"
+#include "importance/game_values.h"
+#include "importance/knn_shapley.h"
+#include "importance/utility.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "nde/registry.h"
+#include "pipeline/pipeline.h"
+#include "proptest/check.h"
+#include "proptest/domain.h"
+#include "proptest/gen.h"
+
+namespace nde {
+namespace prop {
+namespace {
+
+/// CheckConfig naming the running gtest test, so the replay line pinpoints
+/// the failing TEST as well as the seed.
+CheckConfig HereConfig(int default_cases) {
+  CheckConfig config;
+  config.num_cases = DefaultNumCases(default_cases);
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    config.gtest_filter =
+        std::string(info->test_suite_name()) + "." + info->name();
+  }
+  return config;
+}
+
+/// --- Framework self-tests ---------------------------------------------------
+
+TEST(PropFrameworkTest, CaseSeedReplayContract) {
+  // Case 0 IS the base seed: replaying a reported failing seed reproduces the
+  // failure as case 0 without any case-index bookkeeping.
+  EXPECT_EQ(CaseSeed(12345, 0), 12345u);
+  EXPECT_EQ(CaseSeed(0xdeadbeef, 0), 0xdeadbeefu);
+  // Later cases are deterministic and distinct from the base.
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t seed = CaseSeed(42, i);
+    EXPECT_EQ(seed, CaseSeed(42, i));
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 50u);
+}
+
+TEST(PropFrameworkTest, GreedyShrinkReachesBoundary) {
+  // Property: v < 50. Every failing value must shrink to exactly 50, the
+  // minimal counterexample.
+  Gen<int64_t> gen = IntInRange(0, 1000);
+  std::function<std::string(const int64_t&)> property =
+      [](const int64_t& v) -> std::string {
+    return v < 50 ? "" : StrFormat("%lld is not < 50", static_cast<long long>(v));
+  };
+  CheckConfig config;
+  for (int64_t start : {50, 51, 77, 512, 1000}) {
+    int steps = 0, rechecks = 0;
+    std::string message = property(start);
+    ASSERT_FALSE(message.empty());
+    int64_t shrunk = ShrinkCounterexample<int64_t>(gen, start, property,
+                                                   config, &steps, &rechecks,
+                                                   &message);
+    EXPECT_EQ(shrunk, 50) << "started from " << start;
+    EXPECT_FALSE(message.empty());
+  }
+}
+
+TEST(PropFrameworkTest, VectorShrinkFindsMinimalElement) {
+  // Property: no element >= 10. Minimal counterexample is the single-element
+  // vector [10].
+  Gen<std::vector<int64_t>> gen =
+      VectorOf(SizeInRange(0, 10), IntInRange(0, 100));
+  std::function<std::string(const std::vector<int64_t>&)> property =
+      [](const std::vector<int64_t>& v) -> std::string {
+    for (int64_t x : v) {
+      if (x >= 10) return StrFormat("contains %lld", static_cast<long long>(x));
+    }
+    return "";
+  };
+  Rng rng(7);
+  int found = 0;
+  while (found < 5) {
+    std::vector<int64_t> value = gen.Sample(&rng);
+    if (property(value).empty()) continue;
+    ++found;
+    int steps = 0, rechecks = 0;
+    std::string message;
+    std::vector<int64_t> shrunk = ShrinkCounterexample<std::vector<int64_t>>(
+        gen, value, property, CheckConfig{}, &steps, &rechecks, &message);
+    ASSERT_EQ(shrunk.size(), 1u);
+    EXPECT_EQ(shrunk[0], 10);
+  }
+}
+
+TEST(PropFrameworkTest, FailureReportIsReplayable) {
+  // A failing check must name the failing case's own seed such that running
+  // with that seed as base fails at case 0 — the one-command replay contract.
+  Gen<int64_t> gen = IntInRange(0, 1000000);
+  std::function<std::string(const int64_t&)> property =
+      [](const int64_t& v) -> std::string {
+    return (v % 2 == 0) ? "" : "odd";
+  };
+  CheckConfig config;
+  config.seed = 42;
+  config.num_cases = 200;
+  std::string report = CheckProperty<int64_t>("odd-hunt", gen, property,
+                                              nullptr, config);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("NDE_PROP_SEED="), std::string::npos);
+  EXPECT_NE(report.find("ctest -R proptest_test"), std::string::npos);
+  EXPECT_NE(report.find("replay:"), std::string::npos);
+
+  // Extract the reported seed and replay: must fail at case 0 of 1.
+  size_t pos = report.find("NDE_PROP_SEED=");
+  uint64_t failing_seed =
+      std::strtoull(report.c_str() + pos + strlen("NDE_PROP_SEED="), nullptr,
+                    10);
+  CheckConfig replay;
+  replay.seed = failing_seed;
+  replay.num_cases = 1;
+  std::string replay_report =
+      CheckProperty<int64_t>("odd-hunt", gen, property, nullptr, replay);
+  ASSERT_FALSE(replay_report.empty());
+  EXPECT_NE(replay_report.find("failed at case 0"), std::string::npos);
+}
+
+TEST(PropFrameworkTest, FilterNeverEscapesDomain) {
+  Gen<int64_t> evens = IntInRange(0, 100).Filter(
+      [](const int64_t& v) { return v % 2 == 0; });
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(evens.Sample(&rng) % 2, 0);
+  }
+  for (int64_t candidate : evens.Shrink(88)) {
+    EXPECT_EQ(candidate % 2, 0);
+  }
+}
+
+/// --- CSV round-trip and totality ---------------------------------------------
+
+/// Value comparison under the writer's 6-significant-digit double formatting.
+std::string CompareCell(const Value& original, const Value& reread,
+                        size_t row, size_t col) {
+  if (original.is_null() != reread.is_null()) {
+    return StrFormat("cell (%zu,%zu): null mismatch", row, col);
+  }
+  if (original.is_null()) return "";
+  if (original.is_string()) {
+    if (!reread.is_string() || original.as_string() != reread.as_string()) {
+      return StrFormat("cell (%zu,%zu): string mismatch", row, col);
+    }
+    return "";
+  }
+  double a = original.AsNumeric();
+  double b = reread.AsNumeric();
+  if (std::isnan(a) && std::isnan(b)) return "";
+  double tolerance = std::abs(a) * 1e-5 + 1e-5;  // %g keeps 6 sig digits
+  if (std::isnan(a) != std::isnan(b) || std::abs(a - b) > tolerance) {
+    return StrFormat("cell (%zu,%zu): %.17g re-read as %.17g", row, col, a, b);
+  }
+  return "";
+}
+
+TEST(CsvPropertyTest, WriteReadRoundTripPreservesTables) {
+  std::function<std::string(const Table&)> property =
+      [](const Table& table) -> std::string {
+    std::string csv = WriteCsvString(table);
+    Result<Table> reread = ReadCsvString(csv);
+    if (!reread.ok()) {
+      return "re-read failed: " + reread.status().ToString();
+    }
+    if (reread.value().num_rows() != table.num_rows() ||
+        reread.value().num_columns() != table.num_columns()) {
+      return StrFormat("shape changed: %zux%zu -> %zux%zu", table.num_rows(),
+                       table.num_columns(), reread.value().num_rows(),
+                       reread.value().num_columns());
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (reread.value().schema().field(c).name !=
+          table.schema().field(c).name) {
+        return StrFormat("column %zu renamed", c);
+      }
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        std::string diff = CompareCell(table.At(r, c),
+                                       reread.value().At(r, c), r, c);
+        if (!diff.empty()) return diff;
+      }
+    }
+    return "";
+  };
+  std::string report = CheckProperty<Table>("csv-round-trip", AnyTable(),
+                                            property, DescribeTable,
+                                            HereConfig(150));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(CsvPropertyTest, ReaderIsTotalAndReparseIsStable) {
+  // For arbitrary structured-but-nasty bytes the reader must either produce a
+  // consistent table or a typed error — and a successfully parsed table must
+  // survive a write -> re-read cycle with its shape intact.
+  std::function<std::string(const std::string&)> property =
+      [](const std::string& text) -> std::string {
+    Result<Table> first = ReadCsvString(text);
+    if (!first.ok()) return "";  // A typed error is an acceptable outcome.
+    Status valid = first.value().Validate();
+    if (!valid.ok()) {
+      return "parsed table fails Validate(): " + valid.ToString();
+    }
+    std::string rewritten = WriteCsvString(first.value());
+    Result<Table> second = ReadCsvString(rewritten);
+    if (!second.ok()) {
+      return "re-parse of rewritten table failed: " +
+             second.status().ToString();
+    }
+    if (second.value().num_rows() != first.value().num_rows() ||
+        second.value().num_columns() != first.value().num_columns()) {
+      return StrFormat("shape drifted: %zux%zu -> %zux%zu",
+                       first.value().num_rows(), first.value().num_columns(),
+                       second.value().num_rows(),
+                       second.value().num_columns());
+    }
+    return "";
+  };
+  std::string report = CheckProperty<std::string>(
+      "csv-totality", AnyCsvText(), property, DescribeCsvText,
+      HereConfig(200));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+/// --- Estimator configuration sweeps ------------------------------------------
+
+/// One generated estimator case: a matched train/validation pair plus TMC
+/// options. Shrinks the scenario first, then the options budget.
+struct EstimatorCase {
+  ImportanceScenario scenario;
+  TmcShapleyOptions tmc;
+};
+
+Gen<EstimatorCase> AnyEstimatorCase() {
+  Gen<ImportanceScenario> scenario_gen = AnyImportanceScenario();
+  Gen<TmcShapleyOptions> tmc_gen = AnyTmcOptions();
+  return Gen<EstimatorCase>(
+      [scenario_gen, tmc_gen](Rng* rng) {
+        EstimatorCase c;
+        c.scenario = scenario_gen.Sample(rng);
+        c.tmc = tmc_gen.Sample(rng);
+        return c;
+      },
+      [scenario_gen, tmc_gen](const EstimatorCase& c) {
+        std::vector<EstimatorCase> candidates;
+        for (ImportanceScenario& smaller : scenario_gen.Shrink(c.scenario)) {
+          candidates.push_back(EstimatorCase{std::move(smaller), c.tmc});
+        }
+        for (TmcShapleyOptions& smaller : tmc_gen.Shrink(c.tmc)) {
+          candidates.push_back(EstimatorCase{c.scenario, std::move(smaller)});
+        }
+        return candidates;
+      });
+}
+
+std::string DescribeEstimatorCase(const EstimatorCase& c) {
+  return DescribeScenario(c.scenario) + DescribeTmcOptions(c.tmc);
+}
+
+std::string CompareEstimates(const ImportanceEstimate& baseline,
+                             const ImportanceEstimate& variant,
+                             const std::string& variant_name) {
+  if (variant.values != baseline.values) {
+    for (size_t i = 0; i < baseline.values.size(); ++i) {
+      if (i < variant.values.size() &&
+          variant.values[i] != baseline.values[i]) {
+        return StrFormat("%s: values[%zu] %.17g != baseline %.17g",
+                         variant_name.c_str(), i, variant.values[i],
+                         baseline.values[i]);
+      }
+    }
+    return variant_name + ": values differ";
+  }
+  if (variant.std_errors != baseline.std_errors) {
+    return variant_name + ": std_errors differ";
+  }
+  if (variant.utility_evaluations != baseline.utility_evaluations) {
+    return StrFormat("%s: %zu utility evaluations != baseline %zu",
+                     variant_name.c_str(), variant.utility_evaluations,
+                     baseline.utility_evaluations);
+  }
+  return "";
+}
+
+ClassifierFactory KnnFactory(size_t k) {
+  return [k] { return std::make_unique<KnnClassifier>(k); };
+}
+
+TEST(EstimatorPropertyTest, FastPathConfigSweepIsBitIdentical) {
+  // DESIGN.md §9/§13: every fast-path knob (subset cache, zero-copy views,
+  // SoA kernels, arena placement, prefix scan) and every thread count must
+  // reproduce the slow path bit for bit.
+  std::function<std::string(const EstimatorCase&)> property =
+      [](const EstimatorCase& c) -> std::string {
+    TmcShapleyOptions base_options = c.tmc;
+    base_options.num_threads = 1;
+    ModelAccuracyUtility baseline_utility(KnnFactory(3), c.scenario.train,
+                                          c.scenario.valid, {});
+    Result<ImportanceEstimate> baseline =
+        TmcShapleyValues(baseline_utility, base_options);
+    if (!baseline.ok()) {
+      return "baseline failed: " + baseline.status().ToString();
+    }
+
+    struct Variant {
+      std::string name;
+      UtilityFastPathOptions fast_path;
+      size_t num_threads = 1;
+      bool use_prefix_scan = true;
+    };
+    std::vector<Variant> variants;
+    {
+      Variant v;
+      v.name = "subset_cache=on";
+      v.fast_path.subset_cache = true;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "zero_copy_views=off";
+      v.fast_path.zero_copy_views = false;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "soa_kernels=off";
+      v.fast_path.soa_kernels = false;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "arena=off";
+      v.fast_path.arena = false;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "num_threads=8";
+      v.num_threads = 8;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "use_prefix_scan=off";
+      v.use_prefix_scan = false;
+      variants.push_back(v);
+    }
+    {
+      // With KNN the default prefix-scan scorer bypasses Evaluate(), so the
+      // cache only serves values when the scan is off — this is the one
+      // variant where a poisoned cache entry can reach the estimate.
+      Variant v;
+      v.name = "cache+scan=off";
+      v.fast_path.subset_cache = true;
+      v.use_prefix_scan = false;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "cache+scan=off+threads=8";
+      v.fast_path.subset_cache = true;
+      v.use_prefix_scan = false;
+      v.num_threads = 8;
+      variants.push_back(v);
+    }
+    {
+      Variant v;
+      v.name = "cache+threads=8";
+      v.fast_path.subset_cache = true;
+      v.num_threads = 8;
+      variants.push_back(v);
+    }
+
+    for (const Variant& variant : variants) {
+      TmcShapleyOptions options = c.tmc;
+      options.num_threads = variant.num_threads;
+      options.use_prefix_scan = variant.use_prefix_scan;
+      ModelAccuracyUtility utility(KnnFactory(3), c.scenario.train,
+                                   c.scenario.valid, variant.fast_path);
+      Result<ImportanceEstimate> estimate = TmcShapleyValues(utility, options);
+      if (!estimate.ok()) {
+        return variant.name + " failed: " + estimate.status().ToString();
+      }
+      std::string diff =
+          CompareEstimates(baseline.value(), estimate.value(), variant.name);
+      if (!diff.empty()) return diff;
+    }
+    return "";
+  };
+  std::string report = CheckProperty<EstimatorCase>(
+      "fast-path-sweep", AnyEstimatorCase(), property, DescribeEstimatorCase,
+      HereConfig(30));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(EstimatorPropertyTest, Float32KernelIsThreadCountInvariant) {
+  // float32 distances are approximate (bits may differ from the float64
+  // kernel) but must still be deterministic across thread counts.
+  std::function<std::string(const EstimatorCase&)> property =
+      [](const EstimatorCase& c) -> std::string {
+    UtilityFastPathOptions fast_path;
+    fast_path.float32 = true;
+    ImportanceEstimate reference;
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      TmcShapleyOptions options = c.tmc;
+      options.num_threads = threads;
+      ModelAccuracyUtility utility(KnnFactory(3), c.scenario.train,
+                                   c.scenario.valid, fast_path);
+      Result<ImportanceEstimate> estimate = TmcShapleyValues(utility, options);
+      if (!estimate.ok()) {
+        return "float32 run failed: " + estimate.status().ToString();
+      }
+      if (threads == 1) {
+        reference = std::move(estimate).value();
+      } else {
+        std::string diff = CompareEstimates(
+            reference, estimate.value(),
+            StrFormat("float32 threads=%zu", threads));
+        if (!diff.empty()) return diff;
+      }
+    }
+    return "";
+  };
+  std::string report = CheckProperty<EstimatorCase>(
+      "float32-thread-identity", AnyEstimatorCase(), property,
+      DescribeEstimatorCase, HereConfig(20));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(EstimatorPropertyTest, RegistryMatchesDirectCall) {
+  // The registry surface (string-configured instances) must be a pure
+  // veneer: tmc_shapley through Create/Configure/Run equals the direct
+  // TmcShapleyValues call with the same options, bit for bit.
+  std::function<std::string(const EstimatorCase&)> property =
+      [](const EstimatorCase& c) -> std::string {
+    TmcShapleyOptions options = c.tmc;
+    options.num_threads = 2;
+    ModelAccuracyUtility utility(KnnFactory(5), c.scenario.train,
+                                 c.scenario.valid, {});
+    Result<ImportanceEstimate> direct = TmcShapleyValues(utility, options);
+    if (!direct.ok()) return "direct failed: " + direct.status().ToString();
+
+    Result<std::unique_ptr<AlgorithmInstance>> instance =
+        AlgorithmRegistry::Global().Create("tmc_shapley");
+    if (!instance.ok()) return "Create failed: " + instance.status().ToString();
+    AlgorithmInstance& algorithm = *instance.value();
+    for (const auto& [option, value] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"num_permutations", StrFormat("%zu", options.num_permutations)},
+             {"seed", StrFormat("%llu",
+                                static_cast<unsigned long long>(options.seed))},
+             {"num_threads", "2"},
+             {"truncation_tolerance",
+              StrFormat("%.17g", options.truncation_tolerance)},
+             {"convergence_tolerance",
+              StrFormat("%.17g", options.convergence_tolerance)}}) {
+      Status status = algorithm.Configure(option, value);
+      if (!status.ok()) {
+        return "Configure(" + option + ") failed: " + status.ToString();
+      }
+    }
+    RunInput input;
+    input.train = &c.scenario.train;
+    input.validation = &c.scenario.valid;
+    Result<ImportanceEstimate> registry = algorithm.Run(input);
+    if (!registry.ok()) {
+      return "registry run failed: " + registry.status().ToString();
+    }
+    return CompareEstimates(direct.value(), registry.value(), "registry");
+  };
+  std::string report = CheckProperty<EstimatorCase>(
+      "registry-vs-direct", AnyEstimatorCase(), property,
+      DescribeEstimatorCase, HereConfig(25));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+/// --- Prefix scan vs full retrain ----------------------------------------------
+
+std::string CheckExactScan(const ModelAccuracyUtility& utility,
+                           const MlDataset& train, Rng* rng) {
+  std::unique_ptr<UtilityFunction::PrefixScan> scan =
+      utility.NewPrefixScan(/*allow_warm_start=*/false);
+  if (scan == nullptr) return "expected an exact prefix scan, got nullptr";
+  std::vector<size_t> permutation(train.size());
+  std::iota(permutation.begin(), permutation.end(), size_t{0});
+  rng->Shuffle(&permutation);
+  std::vector<size_t> prefix;
+  for (size_t unit : permutation) {
+    double scanned = scan->Push(unit);
+    prefix.push_back(unit);
+    std::vector<size_t> sorted = prefix;
+    std::sort(sorted.begin(), sorted.end());
+    double retrained = utility.Evaluate(sorted);
+    if (scanned != retrained) {
+      return StrFormat(
+          "prefix of size %zu: scan %.17g != full retrain %.17g",
+          prefix.size(), scanned, retrained);
+    }
+  }
+  return "";
+}
+
+TEST(EstimatorPropertyTest, PrefixScanMatchesFullRetrain) {
+  // The exact coalition scorers (KNN, Gaussian NB) must return bit-identical
+  // values to retraining from scratch on every prefix; logistic regression
+  // has no exact scan and must decline rather than silently approximate.
+  std::function<std::string(const ImportanceScenario&)> property =
+      [](const ImportanceScenario& scenario) -> std::string {
+    Rng rng(scenario.train.labels.empty()
+                ? 1
+                : static_cast<uint64_t>(scenario.train.size() * 2654435761u));
+    {
+      ModelAccuracyUtility knn(KnnFactory(3), scenario.train, scenario.valid,
+                               {});
+      std::string diff = CheckExactScan(knn, scenario.train, &rng);
+      if (!diff.empty()) return "knn: " + diff;
+    }
+    {
+      ModelAccuracyUtility nb(
+          [] { return std::make_unique<GaussianNaiveBayes>(); },
+          scenario.train, scenario.valid, {});
+      std::string diff = CheckExactScan(nb, scenario.train, &rng);
+      if (!diff.empty()) return "gaussian_nb: " + diff;
+    }
+    {
+      ModelAccuracyUtility logreg(
+          [] { return std::make_unique<LogisticRegression>(); },
+          scenario.train, scenario.valid, {});
+      if (logreg.NewPrefixScan(/*allow_warm_start=*/false) != nullptr) {
+        return "logreg returned an exact scan it cannot honor";
+      }
+    }
+    return "";
+  };
+  std::string report = CheckProperty<ImportanceScenario>(
+      "prefix-scan-equality", AnyImportanceScenario(), property,
+      DescribeScenario, HereConfig(40));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+/// --- Error-injection metamorphic property -------------------------------------
+
+/// Well-separated blobs plus a heavy label-flip mix: corrupting known rows
+/// must drop their mean importance below the clean rows' mean under both the
+/// closed-form KNN-Shapley and LOO (the paper's identify-debug loop).
+struct CorruptionCase {
+  MlDataset train;
+  MlDataset valid;
+  std::vector<size_t> corrupted;
+};
+
+Gen<CorruptionCase> AnyCorruptionCase() {
+  return Gen<CorruptionCase>([](Rng* rng) {
+    BlobsOptions options;
+    options.num_examples = 24;
+    options.num_features = 2 + rng->NextBounded(2);
+    options.num_classes = 2;
+    options.separation = 3.5;
+    options.noise = 0.5;
+    options.seed = rng->NextUint64() | 1;
+    options.center_seed = rng->NextUint64() | 1;
+    CorruptionCase c;
+    c.train = MakeBlobs(options);
+    BlobsOptions valid_options = options;
+    valid_options.num_examples = 16;
+    valid_options.seed = rng->NextUint64() | 1;
+    c.valid = MakeBlobs(valid_options);
+    c.corrupted = InjectLabelErrors(&c.train, 0.35, rng);
+    return c;
+  });
+}
+
+std::string DescribeCorruptionCase(const CorruptionCase& c) {
+  std::string out = "train.csv (corrupted):\n" + DescribeDataset(c.train);
+  out += "corrupted rows:";
+  for (size_t i : c.corrupted) out += StrFormat(" %zu", i);
+  return out + "\n";
+}
+
+std::string CompareGroupMeans(const std::vector<double>& values,
+                              const std::vector<size_t>& corrupted,
+                              bool strict, const std::string& method) {
+  std::set<size_t> corrupt_set(corrupted.begin(), corrupted.end());
+  double corrupt_sum = 0.0, clean_sum = 0.0;
+  size_t clean_count = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (corrupt_set.count(i)) {
+      corrupt_sum += values[i];
+    } else {
+      clean_sum += values[i];
+      ++clean_count;
+    }
+  }
+  double corrupt_mean = corrupt_sum / static_cast<double>(corrupted.size());
+  double clean_mean = clean_sum / static_cast<double>(clean_count);
+  bool failed = strict ? !(corrupt_mean < clean_mean)
+                       : !(corrupt_mean <= clean_mean);
+  if (failed) {
+    return StrFormat(
+        "%s: corrupted rows score mean %.6g, clean rows %.6g — corruption "
+        "did not drop importance",
+        method.c_str(), corrupt_mean, clean_mean);
+  }
+  return "";
+}
+
+TEST(MetamorphicPropertyTest, InjectedErrorsDropImportance) {
+  std::function<std::string(const CorruptionCase&)> property =
+      [](const CorruptionCase& c) -> std::string {
+    if (c.corrupted.empty()) return "injector corrupted zero rows";
+    // Closed-form KNN-Shapley: flipped labels must strictly lose.
+    std::vector<double> shapley =
+        KnnShapleyValues(c.train, c.valid, /*k=*/3, {});
+    std::string diff =
+        CompareGroupMeans(shapley, c.corrupted, /*strict=*/true,
+                          "knn_shapley");
+    if (!diff.empty()) return diff;
+    // LOO under the KNN utility: accuracy is quantized by the validation
+    // size, so ties are legal — the corrupted mean just must not exceed the
+    // clean mean.
+    ModelAccuracyUtility utility(KnnFactory(3), c.train, c.valid, {});
+    EstimatorOptions options;
+    options.num_threads = 2;
+    Result<std::vector<double>> loo = LeaveOneOutValues(utility, options);
+    if (!loo.ok()) return "loo failed: " + loo.status().ToString();
+    return CompareGroupMeans(loo.value(), c.corrupted, /*strict=*/false,
+                             "loo");
+  };
+  std::string report = CheckProperty<CorruptionCase>(
+      "error-injection-rank-drop", AnyCorruptionCase(), property,
+      DescribeCorruptionCase, HereConfig(20));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+/// --- Error-mix bookkeeping -----------------------------------------------------
+
+struct MixCase {
+  MlDataset data;
+  ErrorMix mix;
+  uint64_t seed = 1;
+};
+
+TEST(ErrorMixPropertyTest, ApplyErrorMixKeepsShapeAndReportsSortedRows) {
+  Gen<MlDataset> dataset_gen = AnyDataset(4, 30);
+  Gen<ErrorMix> mix_gen = AnyErrorMix();
+  Gen<MixCase> gen(
+      [dataset_gen, mix_gen](Rng* rng) {
+        MixCase c;
+        c.data = dataset_gen.Sample(rng);
+        c.mix = mix_gen.Sample(rng);
+        c.seed = rng->NextUint64() | 1;
+        return c;
+      },
+      [dataset_gen, mix_gen](const MixCase& c) {
+        std::vector<MixCase> candidates;
+        for (MlDataset& smaller : dataset_gen.Shrink(c.data)) {
+          candidates.push_back(MixCase{std::move(smaller), c.mix, c.seed});
+        }
+        for (ErrorMix& smaller : mix_gen.Shrink(c.mix)) {
+          candidates.push_back(MixCase{c.data, std::move(smaller), c.seed});
+        }
+        return candidates;
+      });
+  std::function<std::string(const MixCase&)> property =
+      [](const MixCase& c) -> std::string {
+    MlDataset corrupted = c.data;
+    Rng rng(c.seed);
+    std::vector<size_t> rows = ApplyErrorMix(&corrupted, c.mix, &rng);
+    if (corrupted.size() != c.data.size() ||
+        corrupted.num_features() != c.data.num_features()) {
+      return "corruption changed the dataset shape";
+    }
+    Status valid = corrupted.Validate();
+    if (!valid.ok()) return "corrupted dataset invalid: " + valid.ToString();
+    if (!std::is_sorted(rows.begin(), rows.end())) {
+      return "corrupted indices not sorted";
+    }
+    if (std::adjacent_find(rows.begin(), rows.end()) != rows.end()) {
+      return "corrupted indices not unique";
+    }
+    for (size_t i : rows) {
+      if (i >= c.data.size()) return StrFormat("index %zu out of range", i);
+    }
+    // Replay determinism: the same seed must corrupt the same rows.
+    MlDataset again = c.data;
+    Rng rng2(c.seed);
+    std::vector<size_t> rows2 = ApplyErrorMix(&again, c.mix, &rng2);
+    if (rows2 != rows) return "corruption is not seed-deterministic";
+    if (again.labels != corrupted.labels) {
+      return "corrupted labels differ across identical replays";
+    }
+    return "";
+  };
+  std::string report = CheckProperty<MixCase>(
+      "error-mix-bookkeeping", gen, property,
+      [](const MixCase& c) {
+        return DescribeErrorMix(c.mix) + "\n" + DescribeDataset(c.data);
+      },
+      HereConfig(100));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+/// --- Pipeline removal invariants -----------------------------------------------
+
+TEST(PipelinePropertyTest, FastRemovalMatchesGroundTruthRerun) {
+  // RemoveByProvenance must be an exact equivalent of RunWithout whenever
+  // refitting the encoders cannot change any output — here the scenario
+  // columns are null-free and the NumericEncoders run with standardize off,
+  // so Transform is the identity regardless of fit statistics.
+  std::function<std::string(const PipelineScenario&)> property =
+      [](const PipelineScenario& scenario) -> std::string {
+    MlPipeline pipeline = BuildScenarioPipeline(scenario);
+    Result<PipelineOutput> output = pipeline.Run();
+    if (!output.ok()) {
+      // A filter chain may legitimately drop every row, in which case the
+      // encoders cannot fit; the removal contract is vacuous for such
+      // scenarios.
+      return "";
+    }
+
+    Rng rng(scenario.seed);
+    std::vector<SourceRef> removed;
+    size_t num_removed = 1 + rng.NextBounded(3);
+    std::set<uint32_t> seen;
+    for (size_t i = 0; i < num_removed; ++i) {
+      uint32_t row =
+          static_cast<uint32_t>(rng.NextBounded(scenario.table.num_rows()));
+      if (seen.insert(row).second) removed.push_back(SourceRef{0, row});
+    }
+
+    PipelineOutput fast =
+        MlPipeline::RemoveByProvenance(output.value(), removed);
+    Result<PipelineOutput> ground = pipeline.RunWithout(removed);
+    if (!ground.ok()) {
+      // RunWithout refits the encoders, so it fails exactly when the removal
+      // left no surviving rows — and then the fast path must agree that
+      // nothing survived.
+      if (fast.size() != 0) {
+        return "RunWithout failed (" + ground.status().ToString() +
+               ") but RemoveByProvenance kept " +
+               StrFormat("%zu", fast.size()) + " rows";
+      }
+      return "";
+    }
+    const PipelineOutput& slow = ground.value();
+    if (fast.size() != slow.size()) {
+      return StrFormat("row counts differ: fast %zu vs rerun %zu",
+                       fast.size(), slow.size());
+    }
+    if (fast.labels != slow.labels) return "labels differ";
+    if (fast.features.rows() != slow.features.rows() ||
+        fast.features.cols() != slow.features.cols()) {
+      return "feature shapes differ";
+    }
+    for (size_t r = 0; r < fast.features.rows(); ++r) {
+      for (size_t c = 0; c < fast.features.cols(); ++c) {
+        if (fast.features(r, c) != slow.features(r, c)) {
+          return StrFormat("feature (%zu,%zu): fast %.17g vs rerun %.17g", r,
+                           c, fast.features(r, c), slow.features(r, c));
+        }
+      }
+    }
+    for (size_t r = 0; r < fast.size(); ++r) {
+      if (!(fast.provenance[r].refs() == slow.provenance[r].refs())) {
+        return StrFormat("provenance differs at output row %zu", r);
+      }
+    }
+    return "";
+  };
+  std::string report = CheckProperty<PipelineScenario>(
+      "pipeline-removal-equality", AnyPipelineScenario(), property,
+      DescribePipelineScenario, HereConfig(60));
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+}  // namespace
+}  // namespace prop
+}  // namespace nde

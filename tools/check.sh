@@ -68,6 +68,21 @@
 #                                      # counters
 #                                      # (default build dirs: build-chaos-asan
 #                                      # and build-chaos-tsan)
+#   tools/check.sh --prop-smoke [build-dir]
+#                                      # Release build; runs exactly the
+#                                      # property-labeled generative suites
+#                                      # (ctest -L property) on a fast
+#                                      # NDE_PROP_CASES budget — the quick
+#                                      # pre-commit tier for the invariant
+#                                      # harness. Honors an exported
+#                                      # NDE_PROP_CASES / NDE_PROP_SEED, so a
+#                                      # failure's printed replay line works
+#                                      # through this entry point too
+#                                      # (default build dir: build-prop)
+#
+# The full ASan suite and the TSan suite also run the property label, at a
+# reduced NDE_PROP_CASES so sanitizer overhead stays bounded; exported values
+# win so replay commands keep working under sanitizers.
 #
 # TSan is incompatible with ASan, hence the separate mode and build dir.
 # A non-zero exit means a build failure, test failure, or sanitizer report.
@@ -97,6 +112,9 @@ elif [ "${1:-}" = "--trace-smoke" ]; then
 elif [ "${1:-}" = "--chaos" ]; then
   MODE=chaos
   shift
+elif [ "${1:-}" = "--prop-smoke" ]; then
+  MODE=prop
+  shift
 fi
 
 if [ "$MODE" = "tsan" ]; then
@@ -112,6 +130,8 @@ elif [ "$MODE" = "trace" ]; then
   BUILD_DIR="${1:-build-trace}"
 elif [ "$MODE" = "chaos" ]; then
   BUILD_PREFIX="${1:-build-chaos}"
+elif [ "$MODE" = "prop" ]; then
+  BUILD_DIR="${1:-build-prop}"
 else
   BUILD_DIR="${1:-build-asan}"
   SANITIZE="address,undefined"
@@ -601,6 +621,21 @@ EOF
   exit 0
 fi
 
+if [ "$MODE" = "prop" ]; then
+  # Fast generative tier: exactly the property-labeled suites on a small
+  # per-test case budget. An exported NDE_PROP_CASES/NDE_PROP_SEED wins, so
+  # the one-line replay command a failing property prints reproduces the
+  # same case through this entry point.
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target proptest_test property_test
+  NDE_PROP_CASES="${NDE_PROP_CASES:-25}" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      -L property
+  echo "check.sh: property smoke passed (ctest -L property, NDE_PROP_CASES=${NDE_PROP_CASES:-25})"
+  exit 0
+fi
+
 if [ "$MODE" = "chaos" ]; then
   # The chaos gate: the fault-injection suites (ctest label `chaos`) must be
   # clean under BOTH ASan+UBSan (no leaks or UB on any injected error path)
@@ -675,12 +710,20 @@ export TSAN_OPTIONS="halt_on_error=1"
 if [ "$MODE" = "tsan" ]; then
   # The thread-heavy suites: pool lifecycle, ParallelFor (including the
   # SubsetCache concurrency hammer), the estimators' cross-thread
-  # determinism contract over the cached/warm-started utilities, and the
-  # registry/job-API serving layer (worker pool + HTTP cancellation).
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R "determinism|parallel|importance|registry|job_api"
+  # determinism contract over the cached/warm-started utilities, the
+  # registry/job-API serving layer (worker pool + HTTP cancellation), and
+  # the generative property suites (thread-sweep and fast-path-config
+  # invariants fan work across pools) on a small case budget — TSan costs
+  # 5-15x, so the default 100-case budgets would dominate the run.
+  NDE_PROP_CASES="${NDE_PROP_CASES:-10}" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      -R "determinism|parallel|importance|registry|job_api|proptest"
   echo "check.sh: parallel suites passed under TSan"
 else
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  # Full suite, including the property label at a reduced generative budget
+  # (ASan+UBSan overhead makes the default case counts needlessly slow; a
+  # printed replay seed still reproduces here via its NDE_PROP_* exports).
+  NDE_PROP_CASES="${NDE_PROP_CASES:-25}" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
   echo "check.sh: all tests passed under ASan+UBSan"
 fi
